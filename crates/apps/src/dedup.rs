@@ -1,0 +1,85 @@
+//! Sort-based parallel deduplication.
+//!
+//! Removing duplicate keys (or keeping the first record per key) is another
+//! standard consumer of stable integer sorting: sort by key, then keep the
+//! first element of every equal-key run.  Stability matters — "first record
+//! per key" must mean first *in input order*, which is exactly what a stable
+//! sort plus run-head selection gives.
+
+use parlay::pack::pack_index;
+
+/// Returns the distinct keys of `keys`, in increasing order.
+pub fn distinct_keys(keys: &[u64]) -> Vec<u64> {
+    let mut sorted = keys.to_vec();
+    dtsort::sort(&mut sorted);
+    let heads = pack_index(sorted.len(), |i| i == 0 || sorted[i] != sorted[i - 1]);
+    heads.into_iter().map(|i| sorted[i]).collect()
+}
+
+/// Keeps, for every distinct key, the *first* record (in input order) with
+/// that key; the result is ordered by key.
+pub fn first_record_per_key<V: Copy + Send + Sync>(records: &[(u64, V)]) -> Vec<(u64, V)> {
+    let mut tagged: Vec<(u64, u32)> = records
+        .iter()
+        .enumerate()
+        .map(|(i, &(k, _))| (k, i as u32))
+        .collect();
+    dtsort::sort_pairs(&mut tagged);
+    let heads = pack_index(tagged.len(), |i| i == 0 || tagged[i].0 != tagged[i - 1].0);
+    heads
+        .into_iter()
+        .map(|i| {
+            let (k, tag) = tagged[i];
+            (k, records[tag as usize].1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlay::random::Rng;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn distinct_keys_matches_hashset() {
+        let rng = Rng::new(1);
+        let keys: Vec<u64> = (0..50_000).map(|i| rng.ith_in(i, 500)).collect();
+        let got = distinct_keys(&keys);
+        let want: HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(got.len(), want.len());
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+        assert!(got.iter().all(|k| want.contains(k)));
+    }
+
+    #[test]
+    fn first_record_per_key_respects_input_order() {
+        let records = vec![(5u64, 'x'), (3, 'a'), (5, 'y'), (3, 'b'), (9, 'z')];
+        let got = first_record_per_key(&records);
+        assert_eq!(got, vec![(3, 'a'), (5, 'x'), (9, 'z')]);
+    }
+
+    #[test]
+    fn first_record_matches_hashmap_on_random_input() {
+        let rng = Rng::new(2);
+        let records: Vec<(u64, u32)> = (0..30_000)
+            .map(|i| (rng.ith_in(i, 300), i as u32))
+            .collect();
+        let got = first_record_per_key(&records);
+        let mut want: HashMap<u64, u32> = HashMap::new();
+        for &(k, v) in &records {
+            want.entry(k).or_insert(v);
+        }
+        assert_eq!(got.len(), want.len());
+        for &(k, v) in &got {
+            assert_eq!(want[&k], v, "key {k}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(distinct_keys(&[]).is_empty());
+        let empty: Vec<(u64, u8)> = vec![];
+        assert!(first_record_per_key(&empty).is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Semisort-style group-by built on stable integer sorting.
+//!
+//! The paper motivates heavy-key handling with semisort-like workloads
+//! (Section 2.5): grouping records by key is the canonical consumer of
+//! duplicate-heavy sorting.  This module groups `(key, value)` records by
+//! key using DovetailSort and exposes per-group aggregates.
+
+/// One group of the result: the key, and the half-open range of its records
+/// in the sorted record array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Group {
+    /// The common key of the group.
+    pub key: u64,
+    /// Start index of the group in the sorted record array.
+    pub start: usize,
+    /// One past the last index of the group.
+    pub end: usize,
+}
+
+impl Group {
+    /// Number of records in the group.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the group is empty (never true for produced groups).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Groups records by key: sorts `records` stably by key (in place) and
+/// returns one [`Group`] per distinct key, in increasing key order.
+pub fn group_by_key<V: Copy + Send + Sync>(records: &mut [(u64, V)]) -> Vec<Group> {
+    dtsort::sort_pairs(records);
+    let mut groups = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=records.len() {
+        if i == records.len() || records[i].0 != records[start].0 {
+            groups.push(Group {
+                key: records[start].0,
+                start,
+                end: i,
+            });
+            start = i;
+        }
+    }
+    groups
+}
+
+/// Counts the number of records per distinct key (a histogram over an
+/// unbounded key universe), returned in increasing key order.
+pub fn count_by_key(keys: &[u64]) -> Vec<(u64, usize)> {
+    let mut records: Vec<(u64, ())> = keys.iter().map(|&k| (k, ())).collect();
+    group_by_key(&mut records)
+        .into_iter()
+        .map(|g| (g.key, g.len()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlay::random::Rng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn groups_cover_input_and_match_hashmap() {
+        let rng = Rng::new(1);
+        let mut records: Vec<(u64, u32)> = (0..50_000)
+            .map(|i| (rng.ith_in(i, 200), i as u32))
+            .collect();
+        let mut want: HashMap<u64, usize> = HashMap::new();
+        for &(k, _) in &records {
+            *want.entry(k).or_default() += 1;
+        }
+        let groups = group_by_key(&mut records);
+        assert_eq!(groups.len(), want.len());
+        let mut covered = 0usize;
+        for g in &groups {
+            assert_eq!(g.len(), want[&g.key]);
+            assert!(records[g.start..g.end].iter().all(|&(k, _)| k == g.key));
+            assert!(!g.is_empty());
+            covered += g.len();
+        }
+        assert_eq!(covered, records.len());
+        // Groups are in increasing key order.
+        assert!(groups.windows(2).all(|w| w[0].key < w[1].key));
+    }
+
+    #[test]
+    fn group_values_preserve_input_order() {
+        let mut records = vec![(5u64, 'a'), (3, 'x'), (5, 'b'), (3, 'y'), (5, 'c')];
+        let groups = group_by_key(&mut records);
+        assert_eq!(groups.len(), 2);
+        let g5 = groups.iter().find(|g| g.key == 5).unwrap();
+        let vals: Vec<char> = records[g5.start..g5.end].iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec!['a', 'b', 'c'], "stability within a group");
+    }
+
+    #[test]
+    fn count_by_key_heavy_input() {
+        let rng = Rng::new(2);
+        let keys: Vec<u64> = (0..30_000).map(|i| rng.ith_in(i, 3)).collect();
+        let counts = count_by_key(&keys);
+        assert!(counts.len() <= 3);
+        assert_eq!(counts.iter().map(|&(_, c)| c).sum::<usize>(), 30_000);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut empty: Vec<(u64, u8)> = vec![];
+        assert!(group_by_key(&mut empty).is_empty());
+        let mut one = vec![(9u64, 1u8)];
+        let g = group_by_key(&mut one);
+        assert_eq!(g, vec![Group { key: 9, start: 0, end: 1 }]);
+    }
+}

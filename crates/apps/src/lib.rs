@@ -1,0 +1,34 @@
+//! # apps — applications built on parallel integer sorting
+//!
+//! The paper's Section 6.2 evaluates the sorting algorithms inside two
+//! representative applications; this crate implements both (plus a
+//! semisort-style group-by that motivates heavy-key handling):
+//!
+//! * [`transpose`] — directed-graph transposition: the transposed CSR is
+//!   obtained by *stably* integer-sorting all edges by their destination
+//!   vertex.  Skewed in-degree distributions turn high-degree vertices into
+//!   heavy keys.
+//! * [`morton`] — Morton (z-order) sort of 2D/3D point sets: coordinates are
+//!   bit-interleaved into a z-value and the points are integer-sorted by it.
+//! * [`groupby`] — a semisort-style group-by (count records per key), the
+//!   classic consumer of duplicate-friendly sorting.
+//!
+//! Every application is parameterized by the sorter so the benchmark harness
+//! can compare DovetailSort against every baseline inside the same
+//! application code path (as Table 4 does).
+
+pub mod dedup;
+pub mod groupby;
+pub mod morton;
+pub mod topk;
+pub mod transpose;
+
+pub use morton::{morton2, morton3, morton_sort_2d, morton_sort_3d};
+pub use transpose::{transpose, transpose_with_sorter};
+
+/// A pluggable sorter for `(u32 key, u32 value)` records, used to run the
+/// applications with different sorting back-ends (paper Table 4).
+pub type PairSorter32 = fn(&mut [(u32, u32)]);
+
+/// A pluggable sorter for `(u64 key, u32 value)` records (Morton codes).
+pub type PairSorter64 = fn(&mut [(u64, u32)]);

@@ -1,0 +1,206 @@
+//! Morton (z-order) sort of point sets (paper Section 6.2).
+//!
+//! The z-value of a point is obtained by interleaving the bits of its
+//! coordinates; sorting points by z-value orders multidimensional data along
+//! a space-filling curve while preserving locality.  Dense spatial clusters
+//! (Varden-generated or GPS traces) produce many points with equal or
+//! near-equal z-values — heavy keys for the integer sort.
+
+use workloads::points::{Point2, Point3};
+
+/// Interleaves the bits of two 32-bit coordinates into a 64-bit z-value
+/// (x in the even bit positions, y in the odd ones).
+#[inline]
+pub fn morton2(x: u32, y: u32) -> u64 {
+    spread_bits_2(x) | (spread_bits_2(y) << 1)
+}
+
+/// Interleaves the low 21 bits of three coordinates into a 63-bit z-value.
+#[inline]
+pub fn morton3(x: u32, y: u32, z: u32) -> u64 {
+    spread_bits_3(x) | (spread_bits_3(y) << 1) | (spread_bits_3(z) << 2)
+}
+
+/// Spreads the 32 bits of `v` so that bit `i` moves to bit `2i`.
+#[inline]
+fn spread_bits_2(v: u32) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Spreads the low 21 bits of `v` so that bit `i` moves to bit `3i`.
+#[inline]
+fn spread_bits_3(v: u32) -> u64 {
+    let mut x = (v & 0x1F_FFFF) as u64;
+    x = (x | (x << 32)) & 0x001F_0000_0000_FFFF;
+    x = (x | (x << 16)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x << 8)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x << 4)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Computes the z-values of 2D points as `(z_value, original_index)` pairs.
+pub fn morton_codes_2d(points: &[Point2]) -> Vec<(u64, u32)> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (morton2(p.x, p.y), i as u32))
+        .collect()
+}
+
+/// Computes the z-values of 3D points as `(z_value, original_index)` pairs.
+pub fn morton_codes_3d(points: &[Point3]) -> Vec<(u64, u32)> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (morton3(p.x, p.y, p.z), i as u32))
+        .collect()
+}
+
+/// Sorts 2D points into Morton order using DovetailSort; returns the points
+/// in z-order.
+pub fn morton_sort_2d(points: &[Point2]) -> Vec<Point2> {
+    morton_sort_2d_with(points, |codes| dtsort::sort_pairs(codes))
+}
+
+/// Sorts 2D points into Morton order with a pluggable `(u64, u32)` sorter.
+pub fn morton_sort_2d_with<S>(points: &[Point2], sorter: S) -> Vec<Point2>
+where
+    S: Fn(&mut [(u64, u32)]),
+{
+    let mut codes = morton_codes_2d(points);
+    sorter(&mut codes);
+    codes.iter().map(|&(_, i)| points[i as usize]).collect()
+}
+
+/// Sorts 3D points into Morton order using DovetailSort.
+pub fn morton_sort_3d(points: &[Point3]) -> Vec<Point3> {
+    morton_sort_3d_with(points, |codes| dtsort::sort_pairs(codes))
+}
+
+/// Sorts 3D points into Morton order with a pluggable `(u64, u32)` sorter.
+pub fn morton_sort_3d_with<S>(points: &[Point3], sorter: S) -> Vec<Point3>
+where
+    S: Fn(&mut [(u64, u32)]),
+{
+    let mut codes = morton_codes_3d(points);
+    sorter(&mut codes);
+    codes.iter().map(|&(_, i)| points[i as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::points::{uniform_points_2d, uniform_points_3d, varden_points_2d, VardenConfig};
+
+    /// Bit-by-bit reference implementation of 2D interleaving.
+    fn morton2_reference(x: u32, y: u32) -> u64 {
+        let mut out = 0u64;
+        for b in 0..32 {
+            out |= (((x >> b) & 1) as u64) << (2 * b);
+            out |= (((y >> b) & 1) as u64) << (2 * b + 1);
+        }
+        out
+    }
+
+    fn morton3_reference(x: u32, y: u32, z: u32) -> u64 {
+        let mut out = 0u64;
+        for b in 0..21 {
+            out |= (((x >> b) & 1) as u64) << (3 * b);
+            out |= (((y >> b) & 1) as u64) << (3 * b + 1);
+            out |= (((z >> b) & 1) as u64) << (3 * b + 2);
+        }
+        out
+    }
+
+    #[test]
+    fn morton2_matches_reference() {
+        let cases = [
+            (0u32, 0u32),
+            (1, 0),
+            (0, 1),
+            (u32::MAX, 0),
+            (0, u32::MAX),
+            (u32::MAX, u32::MAX),
+            (0x1234_5678, 0x9ABC_DEF0),
+        ];
+        for &(x, y) in &cases {
+            assert_eq!(morton2(x, y), morton2_reference(x, y), "({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn morton3_matches_reference() {
+        let cases = [
+            (0u32, 0u32, 0u32),
+            (1, 2, 3),
+            ((1 << 21) - 1, 0, 0),
+            (0, (1 << 21) - 1, 0),
+            (0, 0, (1 << 21) - 1),
+            (0x15_5555, 0x0A_AAAA, 0x1F_FFFF),
+        ];
+        for &(x, y, z) in &cases {
+            assert_eq!(morton3(x, y, z), morton3_reference(x, y, z), "({x},{y},{z})");
+        }
+    }
+
+    #[test]
+    fn morton_order_respects_quadrants() {
+        // All points in the lower-left quadrant sort before any point in the
+        // upper-right quadrant.
+        let low = morton2(100, 200);
+        let high = morton2(1 << 31, 1 << 31);
+        assert!(low < high);
+    }
+
+    #[test]
+    fn morton_sort_matches_std_sort_of_codes() {
+        let pts = uniform_points_2d(20_000, 1);
+        let sorted = morton_sort_2d(&pts);
+        let mut want: Vec<u64> = pts.iter().map(|p| morton2(p.x, p.y)).collect();
+        want.sort_unstable();
+        let got: Vec<u64> = sorted.iter().map(|p| morton2(p.x, p.y)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn morton_sort_3d_and_varden_inputs() {
+        let pts = uniform_points_3d(10_000, 2);
+        let sorted = morton_sort_3d(&pts);
+        let got: Vec<u64> = sorted.iter().map(|p| morton3(p.x, p.y, p.z)).collect();
+        assert!(got.windows(2).all(|w| w[0] <= w[1]));
+
+        let pts = varden_points_2d(30_000, &VardenConfig::default(), 3);
+        let sorted = morton_sort_2d(&pts);
+        let got: Vec<u64> = sorted.iter().map(|p| morton2(p.x, p.y)).collect();
+        assert!(got.windows(2).all(|w| w[0] <= w[1]));
+        // The multiset of points is preserved.
+        let mut a: Vec<(u32, u32)> = pts.iter().map(|p| (p.x, p.y)).collect();
+        let mut b: Vec<(u32, u32)> = sorted.iter().map(|p| (p.x, p.y)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pluggable_sorters_agree() {
+        let pts = varden_points_2d(15_000, &VardenConfig::default(), 4);
+        let a = morton_sort_2d_with(&pts, |c| dtsort::sort_pairs(c));
+        let b = morton_sort_2d_with(&pts, |c| baselines::lsd::sort_pairs(c));
+        let c = morton_sort_2d_with(&pts, |c| c.sort_by_key(|&(k, _)| k));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn empty_point_set() {
+        assert!(morton_sort_2d(&[]).is_empty());
+        assert!(morton_sort_3d(&[]).is_empty());
+    }
+}

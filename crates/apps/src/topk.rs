@@ -1,0 +1,78 @@
+//! Top-k most frequent keys, a classic consumer of duplicate-aware sorting.
+//!
+//! Two implementations are provided: one on top of the sort-based group-by
+//! (works for arbitrary 64-bit key universes) and one on top of the parallel
+//! histogram (for small key ranges).  They are cross-checked in the tests
+//! and used by the harness to characterize how duplicate-heavy a workload is.
+
+use crate::groupby::group_by_key;
+
+/// Returns the `k` most frequent keys with their counts, most frequent
+/// first; ties are broken toward the smaller key.
+pub fn top_k_by_sort(keys: &[u64], k: usize) -> Vec<(u64, usize)> {
+    let mut records: Vec<(u64, ())> = keys.iter().map(|&x| (x, ())).collect();
+    let mut counts: Vec<(u64, usize)> = group_by_key(&mut records)
+        .into_iter()
+        .map(|g| (g.key, g.len()))
+        .collect();
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    counts.truncate(k);
+    counts
+}
+
+/// Histogram-based top-k for keys known to lie in `0..range`.
+pub fn top_k_small_range(keys: &[u64], range: usize, k: usize) -> Vec<(u64, usize)> {
+    parlay::histogram::top_k_frequent(keys, range, k, |&x| x as usize)
+        .into_iter()
+        .map(|(v, c)| (v as u64, c))
+        .collect()
+}
+
+/// The fraction of records covered by the `k` most frequent keys — the
+/// "heaviness" statistic the harness reports for each workload (the paper's
+/// notion of a heavy distribution corresponds to a large value here for
+/// small `k`).
+pub fn heavy_fraction(keys: &[u64], k: usize) -> f64 {
+    if keys.is_empty() {
+        return 0.0;
+    }
+    let covered: usize = top_k_by_sort(keys, k).iter().map(|&(_, c)| c).sum();
+    covered as f64 / keys.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlay::random::Rng;
+
+    #[test]
+    fn sort_and_histogram_top_k_agree() {
+        let rng = Rng::new(1);
+        let keys: Vec<u64> = (0..40_000).map(|i| rng.ith_in(i, 200)).collect();
+        let a = top_k_by_sort(&keys, 10);
+        let b = top_k_small_range(&keys, 200, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        // Counts are non-increasing.
+        assert!(a.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn heavy_fraction_tracks_duplication() {
+        let rng = Rng::new(2);
+        let skewed: Vec<u64> = (0..30_000)
+            .map(|i| if rng.ith_f64(i) < 0.8 { 7 } else { rng.ith(i) })
+            .collect();
+        let uniform: Vec<u64> = (0..30_000).map(|i| rng.fork(9).ith(i)).collect();
+        assert!(heavy_fraction(&skewed, 1) > 0.75);
+        assert!(heavy_fraction(&uniform, 1) < 0.01);
+        assert_eq!(heavy_fraction(&[], 3), 0.0);
+    }
+
+    #[test]
+    fn k_larger_than_distinct() {
+        let keys = vec![1u64, 1, 2];
+        let top = top_k_by_sort(&keys, 10);
+        assert_eq!(top, vec![(1, 2), (2, 1)]);
+    }
+}

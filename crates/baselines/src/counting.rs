@@ -1,0 +1,92 @@
+//! Direct counting sort for small key ranges (paper Section 1: "when
+//! `r = o(n)` the simpler counting sort can be used").
+//!
+//! This is a thin wrapper over the stable blocked counting sort of the
+//! `parlay` crate, exposed as a complete sorter for keys whose range is
+//! known to be small, plus a key-only histogram variant.
+
+use crate::dtsort_key::IntegerKey;
+
+/// Stably sorts records whose keys are known to lie in `0..range`.
+///
+/// # Panics
+/// Panics if any key is `>= range`.
+pub fn sort_by_key_small_range<T, F>(data: &mut [T], range: usize, key: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> usize + Sync,
+{
+    if data.len() <= 1 {
+        return;
+    }
+    let mut buf = data.to_vec();
+    parlay::counting_sort::counting_sort_by(data, &mut buf, range, key);
+    data.copy_from_slice(&buf);
+}
+
+/// Sorts small-range integer keys by histogramming alone: counts every key
+/// value and rewrites the array.  Only applicable to plain keys (no values).
+pub fn sort_keys_by_histogram<K: IntegerKey>(data: &mut [K], range: usize) {
+    if data.len() <= 1 {
+        return;
+    }
+    let mut counts = vec![0usize; range];
+    for k in data.iter() {
+        counts[k.to_ordered_u64() as usize] += 1;
+    }
+    // Rewrite in place.  The inverse mapping is not needed because we keep
+    // the original key objects: we collect one representative per value.
+    let mut reps: Vec<Option<K>> = vec![None; range];
+    for k in data.iter() {
+        reps[k.to_ordered_u64() as usize] = Some(*k);
+    }
+    let mut pos = 0usize;
+    for v in 0..range {
+        if counts[v] > 0 {
+            let rep = reps[v].expect("count > 0 implies representative");
+            for slot in &mut data[pos..pos + counts[v]] {
+                *slot = rep;
+            }
+            pos += counts[v];
+        }
+    }
+    debug_assert_eq!(pos, data.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlay::random::Rng;
+
+    #[test]
+    fn small_range_pairs_are_stable() {
+        let rng = Rng::new(1);
+        let input: Vec<(u32, u32)> = (0..50_000)
+            .map(|i| (rng.ith_in(i as u64, 100) as u32, i as u32))
+            .collect();
+        let mut got = input.clone();
+        sort_by_key_small_range(&mut got, 100, |r| r.0 as usize);
+        let mut want = input;
+        want.sort_by_key(|&(k, _)| k);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn histogram_sort_matches_std() {
+        let rng = Rng::new(2);
+        let mut v: Vec<u16> = (0..40_000).map(|i| rng.ith_in(i as u64, 500) as u16).collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        sort_keys_by_histogram(&mut v, 500);
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut v: Vec<u8> = vec![];
+        sort_keys_by_histogram(&mut v, 10);
+        let mut one = vec![(3u32, 4u32)];
+        sort_by_key_small_range(&mut one, 10, |r| r.0 as usize);
+        assert_eq!(one, vec![(3, 4)]);
+    }
+}

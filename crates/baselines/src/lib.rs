@@ -1,0 +1,80 @@
+//! # baselines — the comparison systems of the DovetailSort evaluation
+//!
+//! The paper (Table 2) compares DovetailSort against six parallel sorting
+//! implementations.  Those are large external C++ code bases; this crate
+//! provides faithful Rust stand-ins for each algorithmic *class*, built on
+//! the same [`parlay`] substrate so that comparisons isolate algorithmic
+//! differences:
+//!
+//! | Paper baseline | Class | This crate |
+//! |---|---|---|
+//! | `PLIS` (ParlayLib integer sort) | stable parallel MSD radix sort | [`plis`] |
+//! | `RADULS` | LSD radix sort | [`lsd`] |
+//! | `PLSS` / `IPS4o` | parallel comparison samplesort | [`samplesort`] |
+//! | `IPS2Ra` / `RegionsSort` | unstable in-place MSD radix sort | [`inplace_radix`] |
+//! | (Sec. 2.4) counting sort | small-range counting sort | [`counting`] |
+//! | std / rayon library sorts | reference comparison sorts | [`stdsort`] |
+//!
+//! Every sorter exposes the same `sort_by_key(data, key)` shape used by
+//! `dtsort`, so the benchmark harness can treat them uniformly.
+
+pub mod counting;
+pub mod inplace_radix;
+pub mod lsd;
+pub mod mergesort;
+pub mod plis;
+pub mod quicksort;
+pub mod samplesort;
+pub mod stdsort;
+
+pub use dtsort_key::IntegerKey;
+
+/// Re-export of the key trait so baselines can be used without depending on
+/// the `dtsort` crate directly.
+pub mod dtsort_key {
+    /// An integer key type usable by the baseline radix sorts.  This is a
+    /// structural copy of `dtsort::IntegerKey` kept dependency-free; the two
+    /// traits have identical impls for the primitive integer types.
+    pub trait IntegerKey: Copy + Send + Sync + Ord + std::fmt::Debug {
+        /// Number of significant bits of the key type.
+        const BITS: u32;
+        /// Order-preserving embedding into `u64`.
+        fn to_ordered_u64(self) -> u64;
+    }
+
+    macro_rules! impl_unsigned_key {
+        ($($t:ty),*) => {$(
+            impl IntegerKey for $t {
+                const BITS: u32 = <$t>::BITS;
+                #[inline]
+                fn to_ordered_u64(self) -> u64 { self as u64 }
+            }
+        )*};
+    }
+    macro_rules! impl_signed_key {
+        ($($t:ty => $u:ty),*) => {$(
+            impl IntegerKey for $t {
+                const BITS: u32 = <$t>::BITS;
+                #[inline]
+                fn to_ordered_u64(self) -> u64 {
+                    ((self as $u) ^ (1 << (<$t>::BITS - 1))) as u64
+                }
+            }
+        )*};
+    }
+    impl_unsigned_key!(u8, u16, u32, u64, usize);
+    impl_signed_key!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dtsort_key::IntegerKey;
+
+    #[test]
+    fn key_trait_is_order_preserving() {
+        assert!(1u32.to_ordered_u64() < 2u32.to_ordered_u64());
+        assert!((-5i32).to_ordered_u64() < 3i32.to_ordered_u64());
+        assert!(i64::MIN.to_ordered_u64() < i64::MAX.to_ordered_u64());
+        assert_eq!(<u16 as IntegerKey>::BITS, 16);
+    }
+}

@@ -1,0 +1,202 @@
+//! LSD (least-significant-digit) radix sort — the classic sequential
+//! textbook algorithm (paper Section 2.3) and a parallel variant, standing
+//! in for the RADULS class of baselines.
+//!
+//! The LSD sort processes the key from the lowest digit to the highest,
+//! re-distributing all records with a stable counting sort at each level.
+//! It performs `Θ(n · log_b r)` work regardless of the input distribution,
+//! which is exactly the behaviour the paper contrasts with MSD sorts.
+
+use crate::dtsort_key::IntegerKey;
+use parlay::counting_sort::counting_sort_by;
+
+/// Tuning parameters of the LSD radix sort.
+#[derive(Debug, Clone)]
+pub struct LsdConfig {
+    /// Bits per digit (pass).
+    pub radix_bits: u32,
+}
+
+impl Default for LsdConfig {
+    fn default() -> Self {
+        Self { radix_bits: 8 }
+    }
+}
+
+/// Sorts integer keys stably (parallel within each pass).
+pub fn sort<K: IntegerKey>(data: &mut [K]) {
+    sort_by_key(data, |&k| k);
+}
+
+/// Sorts `(key, value)` records stably by key.
+pub fn sort_pairs<K: IntegerKey, V: Copy + Send + Sync>(data: &mut [(K, V)]) {
+    sort_by_key(data, |r| r.0);
+}
+
+/// Sorts records stably by an integer key projection with default parameters.
+pub fn sort_by_key<T, K, F>(data: &mut [T], key: F)
+where
+    T: Copy + Send + Sync,
+    K: IntegerKey,
+    F: Fn(&T) -> K + Sync,
+{
+    sort_by_key_with(data, key, &LsdConfig::default());
+}
+
+/// Sorts records stably by an integer key projection.
+pub fn sort_by_key_with<T, K, F>(data: &mut [T], key: F, cfg: &LsdConfig)
+where
+    T: Copy + Send + Sync,
+    K: IntegerKey,
+    F: Fn(&T) -> K + Sync,
+{
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let keyfn = |r: &T| key(r).to_ordered_u64();
+    let max_key = parlay::reduce::par_max(data, |r| keyfn(r)).unwrap_or(0);
+    let total_bits = (64 - max_key.leading_zeros()).max(1);
+    let gamma = cfg.radix_bits.clamp(1, 16);
+    let num_buckets = 1usize << gamma;
+    let mask = (num_buckets - 1) as u64;
+
+    let mut buf = data.to_vec();
+    let mut src_is_data = true;
+    let mut shift = 0u32;
+    while shift < total_bits {
+        if src_is_data {
+            counting_sort_by(data, &mut buf, num_buckets, |rec| {
+                ((keyfn(rec) >> shift) & mask) as usize
+            });
+        } else {
+            counting_sort_by(&buf, data, num_buckets, |rec| {
+                ((keyfn(rec) >> shift) & mask) as usize
+            });
+        }
+        src_is_data = !src_is_data;
+        shift += gamma;
+    }
+    // If the final result landed in the buffer, copy it back.
+    if !src_is_data {
+        data.copy_from_slice(&buf);
+    }
+}
+
+/// Fully sequential LSD radix sort, used as a single-thread reference in the
+/// scalability experiments.
+pub fn sort_by_key_sequential<T, K, F>(data: &mut [T], key: F)
+where
+    T: Copy + Clone,
+    K: IntegerKey,
+    F: Fn(&T) -> K,
+{
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let keyfn = |r: &T| key(r).to_ordered_u64();
+    let max_key = data.iter().map(|r| keyfn(r)).max().unwrap_or(0);
+    let total_bits = (64 - max_key.leading_zeros()).max(1);
+    let gamma = 8u32;
+    let num_buckets = 1usize << gamma;
+    let mask = (num_buckets - 1) as u64;
+
+    let mut buf: Vec<T> = data.to_vec();
+    let mut shift = 0u32;
+    let mut src_is_data = true;
+    while shift < total_bits {
+        let (src, dst): (&[T], &mut [T]) = if src_is_data {
+            (&*data, &mut buf[..])
+        } else {
+            (&buf, &mut *data)
+        };
+        // Classic two-pass stable counting sort.
+        let mut counts = vec![0usize; num_buckets + 1];
+        for rec in src.iter() {
+            counts[(((keyfn(rec)) >> shift) & mask) as usize + 1] += 1;
+        }
+        for k in 0..num_buckets {
+            counts[k + 1] += counts[k];
+        }
+        for rec in src.iter() {
+            let b = ((keyfn(rec) >> shift) & mask) as usize;
+            dst[counts[b]] = *rec;
+            counts[b] += 1;
+        }
+        src_is_data = !src_is_data;
+        shift += gamma;
+    }
+    if !src_is_data {
+        data.copy_from_slice(&buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlay::random::Rng;
+
+    #[test]
+    fn sorts_random_u64() {
+        let rng = Rng::new(1);
+        let mut v: Vec<u64> = (0..70_000).map(|i| rng.ith(i)).collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        sort(&mut v);
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn parallel_lsd_is_stable() {
+        let rng = Rng::new(2);
+        let input: Vec<(u32, u32)> = (0..50_000)
+            .map(|i| (rng.ith_in(i as u64, 300) as u32, i as u32))
+            .collect();
+        let mut got = input.clone();
+        sort_pairs(&mut got);
+        let mut want = input;
+        want.sort_by_key(|&(k, _)| k);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sequential_lsd_matches_parallel() {
+        let rng = Rng::new(3);
+        let input: Vec<(u64, u32)> = (0..30_000)
+            .map(|i| (rng.ith_in(i, 1 << 48), i as u32))
+            .collect();
+        let mut a = input.clone();
+        let mut b = input;
+        sort_pairs(&mut a);
+        sort_by_key_sequential(&mut b, |r| r.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn odd_radix_width_and_edge_cases() {
+        let rng = Rng::new(4);
+        let input: Vec<u32> = (0..20_000).map(|i| rng.ith(i as u64) as u32).collect();
+        let mut got = input.clone();
+        sort_by_key_with(&mut got, |&k| k, &LsdConfig { radix_bits: 5 });
+        let mut want = input;
+        want.sort_unstable();
+        assert_eq!(got, want);
+
+        let mut empty: Vec<u32> = vec![];
+        sort(&mut empty);
+        let mut same = vec![9u8; 10_000];
+        sort(&mut same);
+        assert!(same.iter().all(|&x| x == 9));
+    }
+
+    #[test]
+    fn signed_keys() {
+        let rng = Rng::new(5);
+        let mut v: Vec<i64> = (0..40_000).map(|i| rng.ith(i) as i64).collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        sort(&mut v);
+        assert_eq!(v, want);
+    }
+}

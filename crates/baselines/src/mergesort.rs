@@ -1,0 +1,109 @@
+//! Stable parallel merge sort — the textbook `O(n log n)`-work,
+//! polylog-span comparison sort that the paper's theory section uses as the
+//! reference point integer sorts must beat (`O(n √log r)` vs `O(n log n)`).
+//!
+//! Built directly on the `parlay` parallel merge: split in half, sort both
+//! halves in parallel, merge.  A sequential insertion/std sort handles small
+//! subproblems.
+
+use crate::dtsort_key::IntegerKey;
+use parlay::merge::par_merge_into;
+
+/// Subproblems of at most this size are sorted sequentially.
+const BASE_CASE: usize = 1 << 12;
+
+/// Sorts integer keys stably.
+pub fn sort<K: IntegerKey>(data: &mut [K]) {
+    sort_by_key(data, |&k| k);
+}
+
+/// Sorts `(key, value)` records stably by key.
+pub fn sort_pairs<K: IntegerKey, V: Copy + Send + Sync>(data: &mut [(K, V)]) {
+    sort_by_key(data, |r| r.0);
+}
+
+/// Sorts records stably by an integer key projection.
+pub fn sort_by_key<T, K, F>(data: &mut [T], key: F)
+where
+    T: Copy + Send + Sync,
+    K: IntegerKey,
+    F: Fn(&T) -> K + Sync,
+{
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let keyfn = |r: &T| key(r).to_ordered_u64();
+    let mut buf = data.to_vec();
+    merge_sort_rec(data, &mut buf, &keyfn);
+}
+
+/// Sorts `data` (stably) using `scratch` as the merge buffer; the result ends
+/// in `data`.
+fn merge_sort_rec<T, F>(data: &mut [T], scratch: &mut [T], key: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u64 + Sync,
+{
+    let n = data.len();
+    if n <= BASE_CASE {
+        data.sort_by(|a, b| key(a).cmp(&key(b)));
+        return;
+    }
+    let mid = n / 2;
+    {
+        let (dl, dr) = data.split_at_mut(mid);
+        let (sl, sr) = scratch.split_at_mut(mid);
+        rayon::join(|| merge_sort_rec(dl, sl, key), || merge_sort_rec(dr, sr, key));
+    }
+    // Merge the two sorted halves of `data` into `scratch`, then copy back.
+    {
+        let (dl, dr) = data.split_at(mid);
+        par_merge_into(dl, dr, scratch, &|a, b| key(a) < key(b));
+    }
+    data.copy_from_slice(scratch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlay::random::Rng;
+
+    #[test]
+    fn sorts_random_input() {
+        let rng = Rng::new(1);
+        let mut v: Vec<u64> = (0..60_000).map(|i| rng.ith(i)).collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        sort(&mut v);
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn is_stable() {
+        let rng = Rng::new(2);
+        let input: Vec<(u32, u32)> = (0..50_000)
+            .map(|i| (rng.ith_in(i as u64, 40) as u32, i as u32))
+            .collect();
+        let mut got = input.clone();
+        sort_pairs(&mut got);
+        let mut want = input;
+        want.sort_by_key(|r| r.0);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn edge_cases_and_signed() {
+        let mut empty: Vec<u32> = vec![];
+        sort(&mut empty);
+        let mut one = vec![1u8];
+        sort(&mut one);
+        assert_eq!(one, vec![1]);
+        let rng = Rng::new(3);
+        let mut v: Vec<i32> = (0..30_000).map(|i| rng.ith(i) as i32).collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        sort(&mut v);
+        assert_eq!(v, want);
+    }
+}

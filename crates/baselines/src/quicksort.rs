@@ -1,0 +1,145 @@
+//! Parallel quicksort with heavy-key (equal-to-pivot) separation — the
+//! comparison-sort trick the paper's introduction cites: "quicksort can
+//! separate keys equal to the pivot to avoid further processing them".
+//!
+//! Unstable.  Each level partitions the records into `< pivot`, `= pivot`
+//! and `> pivot` classes with a stable counting sort (so the partition pass
+//! itself parallelizes), recurses on the outer classes in parallel, and
+//! leaves the middle class untouched — on duplicate-heavy inputs this skips
+//! most of the work, just like DovetailSort's heavy buckets.
+
+use crate::dtsort_key::IntegerKey;
+use parlay::counting_sort::counting_sort_by;
+use parlay::random::Rng;
+
+/// Subproblems of at most this size are sorted sequentially.
+const BASE_CASE: usize = 1 << 12;
+
+/// Sorts integer keys (unstable).
+pub fn sort<K: IntegerKey>(data: &mut [K]) {
+    sort_by_key(data, |&k| k);
+}
+
+/// Sorts `(key, value)` records by key (unstable).
+pub fn sort_pairs<K: IntegerKey, V: Copy + Send + Sync>(data: &mut [(K, V)]) {
+    sort_by_key(data, |r| r.0);
+}
+
+/// Sorts records by an integer key projection (unstable).
+pub fn sort_by_key<T, K, F>(data: &mut [T], key: F)
+where
+    T: Copy + Send + Sync,
+    K: IntegerKey,
+    F: Fn(&T) -> K + Sync,
+{
+    let keyfn = |r: &T| key(r).to_ordered_u64();
+    quicksort_rec(data, &keyfn, Rng::new(0x9C15_0947), 0);
+}
+
+fn quicksort_rec<T, F>(data: &mut [T], key: &F, rng: Rng, depth: u32)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u64 + Sync,
+{
+    let n = data.len();
+    if n <= BASE_CASE || depth > 96 {
+        data.sort_unstable_by(|a, b| key(a).cmp(&key(b)));
+        return;
+    }
+    // Median-of-three random pivot.
+    let mut cand = [
+        key(&data[rng.ith_in(0, n as u64) as usize]),
+        key(&data[rng.ith_in(1, n as u64) as usize]),
+        key(&data[rng.ith_in(2, n as u64) as usize]),
+    ];
+    cand.sort_unstable();
+    let pivot = cand[1];
+
+    // Three-way partition via a 3-bucket counting sort (parallel, one pass).
+    let mut buf = data.to_vec();
+    let plan = counting_sort_by(data, &mut buf, 3, |rec| {
+        let k = key(rec);
+        match k.cmp(&pivot) {
+            std::cmp::Ordering::Less => 0,
+            std::cmp::Ordering::Equal => 1,
+            std::cmp::Ordering::Greater => 2,
+        }
+    });
+    data.copy_from_slice(&buf);
+    let less = plan.bucket_range(0);
+    let greater = plan.bucket_range(2);
+    let (lo, rest) = data.split_at_mut(less.end);
+    let (_, hi) = rest.split_at_mut(greater.start - less.end);
+    rayon::join(
+        || quicksort_rec(lo, key, rng.fork(1), depth + 1),
+        || quicksort_rec(hi, key, rng.fork(2), depth + 1),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlay::random::Rng;
+
+    #[test]
+    fn sorts_random_input() {
+        let rng = Rng::new(1);
+        let mut v: Vec<u64> = (0..60_000).map(|i| rng.ith(i)).collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        sort(&mut v);
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn heavy_duplicates_are_handled_without_deep_recursion() {
+        // 90% of records share one key: the equal-to-pivot class absorbs them.
+        let rng = Rng::new(2);
+        let mut v: Vec<u32> = (0..80_000)
+            .map(|i| {
+                if rng.ith_f64(i as u64) < 0.9 {
+                    424242
+                } else {
+                    rng.ith(i as u64) as u32
+                }
+            })
+            .collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        sort(&mut v);
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn pairs_and_edge_cases() {
+        let rng = Rng::new(3);
+        let input: Vec<(u32, u32)> = (0..40_000)
+            .map(|i| (rng.ith_in(i as u64, 500) as u32, i as u32))
+            .collect();
+        let mut got = input.clone();
+        sort_pairs(&mut got);
+        let mut got_keys: Vec<u32> = got.iter().map(|r| r.0).collect();
+        let mut want_keys: Vec<u32> = input.iter().map(|r| r.0).collect();
+        want_keys.sort_unstable();
+        assert!(got_keys.windows(2).all(|w| w[0] <= w[1]));
+        got_keys.sort_unstable();
+        assert_eq!(got_keys, want_keys);
+
+        let mut empty: Vec<u32> = vec![];
+        sort(&mut empty);
+        let mut same = vec![5u16; 30_000];
+        sort(&mut same);
+        assert!(same.iter().all(|&x| x == 5));
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        let mut asc: Vec<u64> = (0..50_000).collect();
+        let want = asc.clone();
+        sort(&mut asc);
+        assert_eq!(asc, want);
+        let mut desc: Vec<u64> = (0..50_000).rev().collect();
+        sort(&mut desc);
+        assert_eq!(desc, want);
+    }
+}

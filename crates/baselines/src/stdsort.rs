@@ -1,0 +1,79 @@
+//! Library comparison sorts: Rust's standard stable/unstable sorts and
+//! rayon's parallel sorts, used as sanity references throughout the
+//! evaluation harness.
+
+use crate::dtsort_key::IntegerKey;
+use rayon::prelude::*;
+
+/// Stable sequential sort (std's adaptive merge sort).
+pub fn std_stable_by_key<T, K, F>(data: &mut [T], key: F)
+where
+    T: Copy,
+    K: IntegerKey,
+    F: Fn(&T) -> K,
+{
+    data.sort_by(|a, b| key(a).to_ordered_u64().cmp(&key(b).to_ordered_u64()));
+}
+
+/// Unstable sequential sort (std's pattern-defeating quicksort).
+pub fn std_unstable_by_key<T, K, F>(data: &mut [T], key: F)
+where
+    T: Copy,
+    K: IntegerKey,
+    F: Fn(&T) -> K,
+{
+    data.sort_unstable_by(|a, b| key(a).to_ordered_u64().cmp(&key(b).to_ordered_u64()));
+}
+
+/// Stable parallel sort (rayon's parallel merge sort).
+pub fn par_stable_by_key<T, K, F>(data: &mut [T], key: F)
+where
+    T: Copy + Send,
+    K: IntegerKey,
+    F: Fn(&T) -> K + Sync,
+{
+    data.par_sort_by(|a, b| key(a).to_ordered_u64().cmp(&key(b).to_ordered_u64()));
+}
+
+/// Unstable parallel sort (rayon's parallel quicksort).
+pub fn par_unstable_by_key<T, K, F>(data: &mut [T], key: F)
+where
+    T: Copy + Send,
+    K: IntegerKey,
+    F: Fn(&T) -> K + Sync,
+{
+    data.par_sort_unstable_by(|a, b| key(a).to_ordered_u64().cmp(&key(b).to_ordered_u64()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlay::random::Rng;
+
+    #[test]
+    fn all_wrappers_sort() {
+        let rng = Rng::new(1);
+        let input: Vec<(i64, u32)> = (0..30_000)
+            .map(|i| (rng.ith(i) as i64, i as u32))
+            .collect();
+        let mut want = input.clone();
+        want.sort_by_key(|&(k, _)| k);
+        let want_keys: Vec<i64> = want.iter().map(|r| r.0).collect();
+
+        let mut a = input.clone();
+        std_stable_by_key(&mut a, |r| r.0);
+        assert_eq!(a, want);
+
+        let mut b = input.clone();
+        par_stable_by_key(&mut b, |r| r.0);
+        assert_eq!(b, want);
+
+        let mut c = input.clone();
+        std_unstable_by_key(&mut c, |r| r.0);
+        assert_eq!(c.iter().map(|r| r.0).collect::<Vec<_>>(), want_keys);
+
+        let mut d = input;
+        par_unstable_by_key(&mut d, |r| r.0);
+        assert_eq!(d.iter().map(|r| r.0).collect::<Vec<_>>(), want_keys);
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion benchmark behind **Table 4**: the graph-transpose and
+//! Morton-sort applications with DovetailSort versus the strongest
+//! baselines.
+//!
+//! Run with `cargo bench -p bench --bench applications`.
+
+use bench::SorterKind;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workloads::graphs::{knn_like_graph, power_law_graph, Csr};
+use workloads::points::{varden_points_2d, VardenConfig};
+
+fn bench_transpose(c: &mut Criterion) {
+    let graphs = vec![
+        ("power_law", power_law_graph(50_000, 500_000, 1.2, 1)),
+        ("knn_like", knn_like_graph(60_000, 8, 2)),
+    ];
+    let sorters = [SorterKind::DtSort, SorterKind::Plis, SorterKind::SampleSort];
+    let mut group = c.benchmark_group("table4_transpose");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for (label, edges) in &graphs {
+        let g = Csr::from_unsorted_edges(edges.num_vertices, &edges.edges);
+        for sorter in sorters {
+            group.bench_with_input(BenchmarkId::new(sorter.name(), label), &g, |b, g| {
+                b.iter(|| apps::transpose_with_sorter(g, |e| sorter.sort_pairs_u32(e)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_morton(c: &mut Criterion) {
+    let pts = varden_points_2d(300_000, &VardenConfig::default(), 3);
+    let sorters = [SorterKind::DtSort, SorterKind::Plis, SorterKind::SampleSort];
+    let mut group = c.benchmark_group("table4_morton");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for sorter in sorters {
+        group.bench_with_input(
+            BenchmarkId::new(sorter.name(), "varden_2d"),
+            &pts,
+            |b, pts| {
+                b.iter(|| apps::morton::morton_sort_2d_with(pts, |codes| sorter.sort_codes(codes)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transpose, bench_morton);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Criterion micro-benchmarks of the algorithmic components: the stable
+//! blocked counting sort (Step 2), the parallel merge baseline, the in-place
+//! dovetail merge (Alg. 3), the sampling step, and the parallel primitives
+//! (scan, reduce, reverse) they are built from.
+//!
+//! Run with `cargo bench -p bench --bench components`.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtsort::config::SortConfig;
+use parlay::random::Rng;
+
+const N: usize = 500_000;
+
+fn keys(n: usize, seed: u64) -> Vec<(u64, u32)> {
+    let rng = Rng::new(seed);
+    (0..n).map(|i| (rng.ith(i as u64), i as u32)).collect()
+}
+
+fn bench_counting_sort(c: &mut Criterion) {
+    let input = keys(N, 1);
+    let mut group = c.benchmark_group("counting_sort");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &buckets in &[16usize, 256, 4096] {
+        group.bench_function(format!("{buckets}_buckets"), |b| {
+            b.iter_batched(
+                || (input.clone(), vec![(0u64, 0u32); N]),
+                |(src, mut dst)| {
+                    parlay::counting_sort::counting_sort_by(&src, &mut dst, buckets, |r| {
+                        (r.0 % buckets as u64) as usize
+                    })
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let rng = Rng::new(2);
+    let mut a: Vec<(u64, u32)> = (0..N).map(|i| (rng.ith(i as u64), i as u32)).collect();
+    let mut bb: Vec<(u64, u32)> = (0..N).map(|i| (rng.fork(1).ith(i as u64), i as u32)).collect();
+    a.sort_unstable();
+    bb.sort_unstable();
+    let mut group = c.benchmark_group("merge");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("parallel_merge", |b| {
+        b.iter_batched(
+            || vec![(0u64, 0u32); 2 * N],
+            |mut out| parlay::merge::par_merge_into(&a, &bb, &mut out, &|x, y| x.0 < y.0),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    // Dovetail merge of a zone with one huge heavy bucket.
+    let light: Vec<(u64, u32)> = a.clone();
+    let heavy: Vec<(u64, u32)> = vec![(a[N / 2].0 | 1, 7); N];
+    group.bench_function("dovetail_merge_in_place", |b| {
+        b.iter_batched(
+            || {
+                let mut zone = light.clone();
+                zone.extend_from_slice(&heavy);
+                zone
+            },
+            |mut zone| {
+                dtsort::dtmerge::dovetail_merge_in_place(&mut zone, N, &[N], &|r: &(u64, u32)| r.0)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let input = keys(N, 3);
+    let cfg = SortConfig::default();
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("sample_and_detect", |b| {
+        b.iter(|| {
+            dtsort::sampling::sample_and_detect(
+                input.len(),
+                |i| input[i].0,
+                10,
+                &cfg,
+                Rng::new(9),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parlay_primitives");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let v: Vec<usize> = (0..N).map(|i| i % 13).collect();
+    group.bench_function("scan_exclusive", |b| {
+        b.iter_batched(
+            || v.clone(),
+            |mut x| parlay::scan::scan_exclusive_in_place(&mut x),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    let data: Vec<u64> = (0..N as u64).collect();
+    group.bench_function("par_max", |b| b.iter(|| parlay::reduce::par_max(&data, |&x| x)));
+    group.bench_function("par_reverse", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut x| parlay::flip::par_reverse(&mut x),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_counting_sort,
+    bench_merge,
+    bench_sampling,
+    bench_primitives
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmark behind **Table 3 / Fig. 1**: every sorting algorithm
+//! on representative synthetic distributions, 32-bit and 64-bit keys.
+//!
+//! Run with `cargo bench -p bench --bench sort_distributions`.
+//! The input size is intentionally modest (Criterion repeats each
+//! measurement many times); use the `table3` binary for paper-scale runs.
+
+use bench::SorterKind;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workloads::dist::{generate_pairs_u32, generate_pairs_u64, Distribution};
+
+const N: usize = 200_000;
+
+fn bench_distributions_32(c: &mut Criterion) {
+    let instances = vec![
+        Distribution::Uniform { distinct: 1_000_000_000 },
+        Distribution::Uniform { distinct: 10 },
+        Distribution::Exponential { lambda: 10.0 },
+        Distribution::Zipfian { s: 1.2 },
+        Distribution::BitExponential { t: 100.0 },
+    ];
+    let mut group = c.benchmark_group("table3_32bit");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for dist in &instances {
+        let input = generate_pairs_u32(dist, N, 42);
+        for sorter in SorterKind::table3_lineup() {
+            group.bench_with_input(
+                BenchmarkId::new(sorter.name(), dist.label()),
+                &input,
+                |b, input| {
+                    b.iter_batched(
+                        || input.clone(),
+                        |mut data| sorter.sort_pairs_u32(&mut data),
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_distributions_64(c: &mut Criterion) {
+    let instances = vec![
+        Distribution::Uniform { distinct: 1_000_000_000 },
+        Distribution::Zipfian { s: 1.5 },
+        Distribution::BitExponential { t: 30.0 },
+    ];
+    let mut group = c.benchmark_group("table3_64bit");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for dist in &instances {
+        let input = generate_pairs_u64(dist, N, 43);
+        for sorter in SorterKind::table3_lineup() {
+            group.bench_with_input(
+                BenchmarkId::new(sorter.name(), dist.label()),
+                &input,
+                |b, input| {
+                    b.iter_batched(
+                        || input.clone(),
+                        |mut data| sorter.sort_pairs_u64(&mut data),
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributions_32, bench_distributions_64);
+criterion_main!(benches);

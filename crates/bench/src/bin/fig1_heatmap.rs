@@ -1,0 +1,41 @@
+//! Reproduces **Fig. 1** of the paper: a heatmap of running times relative
+//! to the fastest algorithm on each of the 15 standard 32-bit distributions
+//! (1.00 = fastest on that row), plus the per-algorithm geometric mean.
+//!
+//! Usage: `cargo run -p bench --release --bin fig1_heatmap -- [--n 1e7] [--reps 3]`
+
+use bench::experiments::measure_distribution;
+use bench::{geo_mean, print_heatmap_cell, Args, SorterKind, Table};
+use workloads::dist::paper_instances;
+
+fn main() {
+    let args = Args::parse();
+    args.apply_thread_limit();
+    let sorters = SorterKind::table3_lineup();
+    println!(
+        "Fig. 1 reproduction — relative running time (1.00 = fastest), n = {}, 32-bit keys, {} threads",
+        args.n,
+        rayon::current_num_threads()
+    );
+    let mut headers = vec!["Instance".to_string()];
+    headers.extend(sorters.iter().map(|s| s.name().to_string()));
+    let mut table = Table::new(headers);
+    let mut rel_per_sorter: Vec<Vec<f64>> = vec![Vec::new(); sorters.len()];
+    for dist in paper_instances() {
+        let times = measure_distribution(&dist, args.n, 32, args.reps, &sorters, args.verify, 42);
+        let best = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let mut row = vec![dist.label()];
+        for (i, &t) in times.iter().enumerate() {
+            rel_per_sorter[i].push(t / best);
+            row.push(print_heatmap_cell(t, best));
+        }
+        table.add_row(row);
+    }
+    let mut avg_row = vec!["Avg.(geomean)".to_string()];
+    for rel in &rel_per_sorter {
+        avg_row.push(format!("{:5.2}", geo_mean(rel)));
+    }
+    table.add_row(avg_row);
+    table.print();
+    println!("\nPaper reference (Fig. 1, 96-core machine): Ours 1.01, PLIS 1.29, IPS2Ra 1.49, RS 1.46, PLSS 2.39, IPS4o 1.35");
+}

@@ -1,0 +1,47 @@
+//! Reproduces **Fig. 4(a)(b)** of the paper: DTSort with and without
+//! heavy-key detection ("DTSort" vs "Plain") on the eight representative
+//! distributions (lightest and heaviest of each family), for 32-bit and
+//! 64-bit keys.
+//!
+//! Usage: `cargo run -p bench --release --bin fig4_heavy_ablation -- [--n 1e7] [--reps 3]`
+
+use bench::experiments::measure_heavy_ablation;
+use bench::{Args, Table};
+use workloads::dist::ablation_instances;
+
+fn run(bits: u32, args: &Args) {
+    println!("\n=== Heavy-key detection ablation, {bits}-bit keys (Fig. 4{}) ===",
+        if bits == 32 { "a" } else { "b" });
+    let mut table = Table::new(vec!["Instance", "DTSort(s)", "Plain(s)", "Speedup"]);
+    let mut speedups = Vec::new();
+    for dist in ablation_instances() {
+        let (with, without) = measure_heavy_ablation(&dist, args.n, bits, args.reps, 42);
+        let speedup = without / with.max(1e-12);
+        speedups.push(speedup);
+        table.add_row(vec![
+            dist.label(),
+            format!("{with:.3}"),
+            format!("{without:.3}"),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    let avg = bench::geo_mean(&speedups);
+    table.add_row(vec![
+        "Avg.(geomean)".to_string(),
+        String::new(),
+        String::new(),
+        format!("{avg:.2}x"),
+    ]);
+    table.print();
+}
+
+fn main() {
+    let args = Args::parse();
+    args.apply_thread_limit();
+    println!(
+        "Fig. 4(a)(b) reproduction — {} threads.  Paper reference: +25% average on 32-bit, 1.50x on 64-bit.",
+        rayon::current_num_threads()
+    );
+    run(32, &args);
+    run(64, &args);
+}

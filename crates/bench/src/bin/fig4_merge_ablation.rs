@@ -1,0 +1,53 @@
+//! Reproduces **Fig. 4(c)(d)** of the paper: the cost of the dovetail
+//! merging step.  For each representative distribution we time DTSort with
+//! (1) the DTMerge algorithm, (2) the parallel-merge baseline (PLMerge), and
+//! (3) the merge step skipped entirely ("Others", a lower bound that does
+//! not produce fully sorted output), for 32-bit and 64-bit keys.
+//!
+//! Usage: `cargo run -p bench --release --bin fig4_merge_ablation -- [--n 1e7] [--reps 3]`
+
+use bench::experiments::measure_merge_ablation;
+use bench::{Args, Table};
+use workloads::dist::merge_ablation_instances;
+
+fn run(bits: u32, args: &Args) {
+    println!(
+        "\n=== Dovetail merge ablation, {bits}-bit keys (Fig. 4{}) ===",
+        if bits == 32 { "c" } else { "d" }
+    );
+    let mut table = Table::new(vec![
+        "Instance",
+        "DTMerge(s)",
+        "PLMerge(s)",
+        "NoMerge(s)",
+        "merge% (DT)",
+        "merge% (PL)",
+        "merge speedup",
+    ]);
+    for dist in merge_ablation_instances() {
+        let (dt, pl, none) = measure_merge_ablation(&dist, args.n, bits, args.reps, 42);
+        let dt_merge = (dt - none).max(0.0);
+        let pl_merge = (pl - none).max(0.0);
+        table.add_row(vec![
+            dist.label(),
+            format!("{dt:.3}"),
+            format!("{pl:.3}"),
+            format!("{none:.3}"),
+            format!("{:.0}%", 100.0 * dt_merge / dt.max(1e-12)),
+            format!("{:.0}%", 100.0 * pl_merge / pl.max(1e-12)),
+            format!("{:.2}x", pl_merge / dt_merge.max(1e-12)),
+        ]);
+    }
+    table.print();
+}
+
+fn main() {
+    let args = Args::parse();
+    args.apply_thread_limit();
+    println!(
+        "Fig. 4(c)(d) reproduction — {} threads.  Paper reference: DTMerge accelerates the merge step by 1.7-2.8x on heavy/BExp inputs.",
+        rayon::current_num_threads()
+    );
+    run(32, &args);
+    run(64, &args);
+}

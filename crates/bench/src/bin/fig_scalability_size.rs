@@ -1,0 +1,60 @@
+//! Reproduces **Fig. 4(f)** and the appendix **Figs. 21–36**: running time
+//! as the input size grows, on a representative heavy and light instance of
+//! each distribution family (both 32-bit and 64-bit unless `--bits` is
+//! given).
+//!
+//! The paper sweeps n = 10^7 .. 2·10^9; the default here sweeps
+//! n = 10^5 .. `--n` (geometric steps) so the experiment finishes on a
+//! laptop while showing the same near-linear scaling curves.
+//!
+//! Usage: `cargo run -p bench --release --bin fig_scalability_size -- [--n 2e7] [--bits 32] [--reps 3]`
+
+use bench::experiments::measure_distribution;
+use bench::{Args, SorterKind, Table};
+use workloads::dist::Distribution;
+
+fn size_steps(max_n: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut n = 100_000usize;
+    while n < max_n {
+        v.push(n);
+        n *= 2;
+    }
+    v.push(max_n);
+    v
+}
+
+fn main() {
+    let args = Args::parse();
+    args.apply_thread_limit();
+    let sorters = SorterKind::table3_lineup();
+    let sizes = size_steps(args.n);
+    let instances = vec![
+        Distribution::Uniform { distinct: 10_000_000 },
+        Distribution::Uniform { distinct: 1_000 },
+        Distribution::Exponential { lambda: 2.0 },
+        Distribution::Exponential { lambda: 7.0 },
+        Distribution::Zipfian { s: 0.8 },
+        Distribution::Zipfian { s: 1.2 },
+        Distribution::BitExponential { t: 30.0 },
+        Distribution::BitExponential { t: 100.0 },
+    ];
+    println!(
+        "Figs. 4(f), 21-36 reproduction — running time vs input size ({}-bit keys, {} threads)",
+        args.bits,
+        rayon::current_num_threads()
+    );
+    for dist in &instances {
+        println!("\n=== {} ===", dist.label());
+        let mut headers = vec!["n".to_string()];
+        headers.extend(sorters.iter().map(|s| s.name().to_string()));
+        let mut table = Table::new(headers);
+        for &n in &sizes {
+            let times = measure_distribution(dist, n, args.bits, args.reps, &sorters, false, 42);
+            let mut row = vec![format!("{n}")];
+            row.extend(times.iter().map(|t| format!("{t:.4}")));
+            table.add_row(row);
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,76 @@
+//! Reproduces **Fig. 4(e)** and the appendix **Figs. 5–20**: self-speedup of
+//! every algorithm as the thread count grows, on a representative heavy and
+//! light instance of each distribution family.
+//!
+//! On the paper's 96-core machine the sweep goes up to 192 hyper-threads;
+//! here the sweep is capped at the number of logical CPUs of the host
+//! (pass `--threads` to force a larger cap and observe oversubscription).
+//!
+//! Usage: `cargo run -p bench --release --bin fig_scalability_threads -- [--n 1e7] [--bits 32] [--reps 3]`
+
+use bench::experiments::measure_with_threads;
+use bench::{Args, SorterKind, Table};
+use workloads::dist::Distribution;
+
+fn thread_counts(max_threads: usize) -> Vec<usize> {
+    let mut v = vec![1usize, 2, 4, 8, 16, 24, 48, 96, 192];
+    v.retain(|&t| t <= max_threads.max(1));
+    if !v.contains(&max_threads) && max_threads > 1 {
+        v.push(max_threads);
+    }
+    v
+}
+
+fn main() {
+    let args = Args::parse();
+    let max_threads = if args.threads > 0 {
+        args.threads
+    } else {
+        num_cpus::get()
+    };
+    let counts = thread_counts(max_threads);
+    let sorters = SorterKind::table3_lineup();
+    let instances = vec![
+        Distribution::Uniform { distinct: 10_000_000 },
+        Distribution::Uniform { distinct: 1_000 },
+        Distribution::Exponential { lambda: 2.0 },
+        Distribution::Exponential { lambda: 7.0 },
+        Distribution::Zipfian { s: 0.8 },
+        Distribution::Zipfian { s: 1.2 },
+        Distribution::BitExponential { t: 30.0 },
+        Distribution::BitExponential { t: 100.0 },
+    ];
+    println!(
+        "Figs. 4(e), 5-20 reproduction — self-speedup vs thread count (n = {}, {}-bit keys, host has {} logical CPUs)",
+        args.n,
+        args.bits,
+        num_cpus::get()
+    );
+    for dist in &instances {
+        println!("\n=== {} ===", dist.label());
+        let mut headers = vec!["Threads".to_string()];
+        headers.extend(sorters.iter().map(|s| s.name().to_string()));
+        let mut time_table = Table::new(headers.clone());
+        let mut speedup_table = Table::new(headers);
+        let mut base: Vec<f64> = Vec::new();
+        for &t in &counts {
+            let times =
+                measure_with_threads(dist, args.n, args.bits, args.reps, t, &sorters, 42);
+            if base.is_empty() {
+                base = times.clone();
+            }
+            let mut trow = vec![format!("{t}")];
+            let mut srow = vec![format!("{t}")];
+            for (i, &x) in times.iter().enumerate() {
+                trow.push(format!("{x:.3}"));
+                srow.push(format!("{:.2}", base[i] / x.max(1e-12)));
+            }
+            time_table.add_row(trow);
+            speedup_table.add_row(srow);
+        }
+        println!("-- running time (s) --");
+        time_table.print();
+        println!("-- self-speedup (relative to 1 thread) --");
+        speedup_table.print();
+    }
+}

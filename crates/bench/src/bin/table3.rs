@@ -1,0 +1,50 @@
+//! Reproduces **Table 3** of the paper: running time (seconds) of every
+//! sorting algorithm on the 15 standard synthetic distributions and the 5
+//! adversarial Bit-Exponential distributions, for 32-bit or 64-bit
+//! key/value pairs.
+//!
+//! Usage: `cargo run -p bench --release --bin table3 -- [--n 1e7] [--bits 32|64] [--reps 3] [--verify]`
+
+use bench::experiments::measure_distribution;
+use bench::{format_row, geo_mean, Args, SorterKind, Table};
+use workloads::dist::{bexp_instances, paper_instances};
+
+fn run_block(
+    title: &str,
+    dists: &[workloads::dist::Distribution],
+    args: &Args,
+    sorters: &[SorterKind],
+) {
+    println!("\n=== {title} (n = {}, {}-bit keys) ===", args.n, args.bits);
+    let mut headers = vec!["Instance".to_string()];
+    headers.extend(sorters.iter().map(|s| s.name().to_string()));
+    let mut table = Table::new(headers);
+    let mut per_sorter: Vec<Vec<f64>> = vec![Vec::new(); sorters.len()];
+    for dist in dists {
+        let times = measure_distribution(dist, args.n, args.bits, args.reps, sorters, args.verify, 42);
+        for (i, &t) in times.iter().enumerate() {
+            per_sorter[i].push(t);
+        }
+        table.add_row(format_row(&dist.label(), &times));
+    }
+    let avgs: Vec<f64> = per_sorter.iter().map(|v| geo_mean(v)).collect();
+    table.add_row(format_row("Avg.(geomean)", &avgs));
+    table.print();
+}
+
+fn main() {
+    let args = Args::parse();
+    args.apply_thread_limit();
+    let sorters = SorterKind::table3_lineup();
+    println!(
+        "Table 3 reproduction — {} threads, fastest entry per row marked with '*'",
+        rayon::current_num_threads()
+    );
+    run_block("Standard distributions", &paper_instances(), &args, &sorters);
+    run_block(
+        "Adversarial Bit-Exponential distributions",
+        &bexp_instances(),
+        &args,
+        &sorters,
+    );
+}

@@ -1,0 +1,88 @@
+//! Reproduces **Table 4** of the paper: running time of the sorting
+//! algorithms inside two applications — directed-graph transpose and Morton
+//! (z-order) sort — on synthetic stand-ins for the paper's datasets.
+//!
+//! Usage:
+//! `cargo run -p bench --release --bin table4 -- [--app transpose|morton|all] [--scale 0.1] [--reps 3]`
+
+use bench::experiments::{measure_morton, measure_transpose};
+use bench::{format_row, geo_mean, Args, SorterKind, Table};
+use workloads::graphs::{table4_graphs, Csr};
+use workloads::points::{trace_points_2d, uniform_points_2d, varden_points_2d, VardenConfig};
+
+fn run_transpose(args: &Args, sorters: &[SorterKind]) {
+    println!("\n=== Graph transpose (scale {:.2}) ===", args.scale);
+    let mut headers = vec!["Graph".to_string(), "|E|".to_string()];
+    headers.extend(sorters.iter().map(|s| s.name().to_string()));
+    let mut table = Table::new(headers);
+    let mut per_sorter: Vec<Vec<f64>> = vec![Vec::new(); sorters.len()];
+    for (label, edges) in table4_graphs(args.scale, 42) {
+        let g = Csr::from_unsorted_edges(edges.num_vertices, &edges.edges);
+        let times = measure_transpose(&g, args.reps, sorters);
+        for (i, &t) in times.iter().enumerate() {
+            per_sorter[i].push(t);
+        }
+        let mut row = format_row(&label, &times);
+        row.insert(1, format!("{}", g.num_edges()));
+        table.add_row(row);
+    }
+    let avgs: Vec<f64> = per_sorter.iter().map(|v| geo_mean(v)).collect();
+    let mut row = format_row("Avg.(geomean)", &avgs);
+    row.insert(1, String::new());
+    table.add_row(row);
+    table.print();
+}
+
+fn run_morton(args: &Args, sorters: &[SorterKind]) {
+    println!("\n=== Morton order (scale {:.2}) ===", args.scale);
+    let base = (2_000_000.0 * args.scale) as usize;
+    let instances: Vec<(String, Vec<workloads::points::Point2>)> = vec![
+        ("GL-like (GPS traces)".into(), trace_points_2d(base, base / 500 + 1, 1)),
+        ("CM-like (uniform sim)".into(), uniform_points_2d(base, 2)),
+        ("OSM-like (GPS traces)".into(), trace_points_2d(2 * base, base / 250 + 1, 3)),
+        (
+            "Varden SS2d".into(),
+            varden_points_2d(base, &VardenConfig::default(), 4),
+        ),
+        (
+            "Varden SS2d'".into(),
+            varden_points_2d(2 * base, &VardenConfig::default(), 5),
+        ),
+    ];
+    let mut headers = vec!["Dataset".to_string(), "n".to_string()];
+    headers.extend(sorters.iter().map(|s| s.name().to_string()));
+    let mut table = Table::new(headers);
+    let mut per_sorter: Vec<Vec<f64>> = vec![Vec::new(); sorters.len()];
+    for (label, pts) in &instances {
+        let times = measure_morton(pts, args.reps, sorters);
+        for (i, &t) in times.iter().enumerate() {
+            per_sorter[i].push(t);
+        }
+        let mut row = format_row(label, &times);
+        row.insert(1, format!("{}", pts.len()));
+        table.add_row(row);
+    }
+    let avgs: Vec<f64> = per_sorter.iter().map(|v| geo_mean(v)).collect();
+    let mut row = format_row("Avg.(geomean)", &avgs);
+    row.insert(1, String::new());
+    table.add_row(row);
+    table.print();
+}
+
+fn main() {
+    let args = Args::parse();
+    args.apply_thread_limit();
+    let sorters = SorterKind::table3_lineup();
+    println!(
+        "Table 4 reproduction — {} threads, times in seconds, fastest per row marked with '*'",
+        rayon::current_num_threads()
+    );
+    match args.app.as_str() {
+        "transpose" => run_transpose(&args, &sorters),
+        "morton" => run_morton(&args, &sorters),
+        _ => {
+            run_transpose(&args, &sorters);
+            run_morton(&args, &sorters);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! A minimal command-line parser shared by the harness binaries.
+//!
+//! All experiment binaries accept the same scaling flags so the paper's
+//! machine-scale runs (n = 10^9, 96 cores) can be shrunk to laptop scale
+//! without touching code:
+//!
+//! * `--n <records>` — input size (default 10^7 unless a binary overrides).
+//! * `--bits <32|64>` — key width.
+//! * `--reps <k>` — repetitions per measurement (median is reported).
+//! * `--threads <t>` — rayon thread count (0 = all available).
+//! * `--scale <f>` — scale factor for application datasets.
+//! * `--verify` — check output correctness after each measured run.
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Number of records per instance.
+    pub n: usize,
+    /// Key width in bits (32 or 64).
+    pub bits: u32,
+    /// Repetitions per measurement.
+    pub reps: usize,
+    /// Thread count (0 = rayon default).
+    pub threads: usize,
+    /// Scale factor for application datasets.
+    pub scale: f64,
+    /// Verify sortedness after measuring.
+    pub verify: bool,
+    /// Free-form selector (e.g. `--app transpose`).
+    pub app: String,
+    /// Remaining unrecognized flags (kept for binary-specific options).
+    pub rest: Vec<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            n: 10_000_000,
+            bits: 32,
+            reps: 3,
+            threads: 0,
+            scale: 1.0,
+            verify: false,
+            app: String::new(),
+            rest: Vec::new(),
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args()`, falling back to defaults.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument iterator (used by tests).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter().peekable();
+        while let Some(flag) = it.next() {
+            let mut take_value = || it.next().unwrap_or_default();
+            match flag.as_str() {
+                "--n" => out.n = parse_human_number(&take_value()).unwrap_or(out.n),
+                "--bits" => out.bits = take_value().parse().unwrap_or(out.bits),
+                "--reps" => out.reps = take_value().parse().unwrap_or(out.reps),
+                "--threads" => out.threads = take_value().parse().unwrap_or(out.threads),
+                "--scale" => out.scale = take_value().parse().unwrap_or(out.scale),
+                "--app" => out.app = take_value(),
+                "--verify" => out.verify = true,
+                other => out.rest.push(other.to_string()),
+            }
+        }
+        if out.bits != 32 && out.bits != 64 {
+            eprintln!("--bits must be 32 or 64; using 32");
+            out.bits = 32;
+        }
+        out
+    }
+
+    /// Applies the `--threads` option by building a bounded global rayon
+    /// pool.  Must be called before any parallel work; errors (e.g. the pool
+    /// already initialized) are reported but not fatal.
+    pub fn apply_thread_limit(&self) {
+        if self.threads > 0 {
+            if let Err(e) = rayon::ThreadPoolBuilder::new()
+                .num_threads(self.threads)
+                .build_global()
+            {
+                eprintln!("note: could not set global thread pool: {e}");
+            }
+        }
+    }
+}
+
+/// Parses numbers with scientific or suffix notation: `1e7`, `10M`, `2.5k`,
+/// `1000000`.
+pub fn parse_human_number(s: &str) -> Option<usize> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let (num, mult) = match s.chars().last().unwrap() {
+        'k' | 'K' => (&s[..s.len() - 1], 1_000.0),
+        'm' | 'M' => (&s[..s.len() - 1], 1_000_000.0),
+        'g' | 'G' | 'b' | 'B' => (&s[..s.len() - 1], 1_000_000_000.0),
+        _ => (s, 1.0),
+    };
+    let v: f64 = num.parse().ok()?;
+    if v < 0.0 {
+        return None;
+    }
+    Some((v * mult).round() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.n, 10_000_000);
+        assert_eq!(a.bits, 32);
+        assert_eq!(a.reps, 3);
+        assert!(!a.verify);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse(&[
+            "--n", "1e6", "--bits", "64", "--reps", "5", "--threads", "4", "--scale", "0.5",
+            "--app", "transpose", "--verify", "--extra",
+        ]);
+        assert_eq!(a.n, 1_000_000);
+        assert_eq!(a.bits, 64);
+        assert_eq!(a.reps, 5);
+        assert_eq!(a.threads, 4);
+        assert!((a.scale - 0.5).abs() < 1e-12);
+        assert_eq!(a.app, "transpose");
+        assert!(a.verify);
+        assert_eq!(a.rest, vec!["--extra".to_string()]);
+    }
+
+    #[test]
+    fn invalid_bits_fall_back() {
+        let a = parse(&["--bits", "48"]);
+        assert_eq!(a.bits, 32);
+    }
+
+    #[test]
+    fn human_numbers() {
+        assert_eq!(parse_human_number("1000"), Some(1000));
+        assert_eq!(parse_human_number("1e7"), Some(10_000_000));
+        assert_eq!(parse_human_number("2.5k"), Some(2500));
+        assert_eq!(parse_human_number("10M"), Some(10_000_000));
+        assert_eq!(parse_human_number("1G"), Some(1_000_000_000));
+        assert_eq!(parse_human_number(""), None);
+        assert_eq!(parse_human_number("-5"), None);
+        assert_eq!(parse_human_number("abc"), None);
+    }
+}

@@ -1,0 +1,257 @@
+//! Reusable experiment drivers shared by the table/figure binaries.
+//!
+//! Each function reproduces the measurement loop behind one family of
+//! results in the paper: full algorithm comparisons on a distribution
+//! (Table 3 / Fig. 1), the heavy-key-detection ablation (Fig. 4(a)(b)), the
+//! dovetail-merge ablation (Fig. 4(c)(d)), thread scaling (Fig. 4(e),
+//! Figs. 5–20), input-size scaling (Fig. 4(f), Figs. 21–36), the
+//! applications (Table 4), and the linear-work theory checks
+//! (Theorems 4.6/4.7).
+
+use crate::runner::{median_time_secs, SorterKind};
+use apps::morton::morton_sort_2d_with;
+use apps::transpose_with_sorter;
+use dtsort::{MergeStrategy, SortConfig, StatsSnapshot};
+use workloads::dist::{generate_pairs_u32, generate_pairs_u64, Distribution};
+use workloads::graphs::Csr;
+use workloads::points::Point2;
+
+/// Measures every sorter in `sorters` on one distribution instance.
+/// Returns the median seconds per sorter, in order.
+pub fn measure_distribution(
+    dist: &Distribution,
+    n: usize,
+    bits: u32,
+    reps: usize,
+    sorters: &[SorterKind],
+    verify: bool,
+    seed: u64,
+) -> Vec<f64> {
+    if bits == 32 {
+        let input = generate_pairs_u32(dist, n, seed);
+        sorters
+            .iter()
+            .map(|s| {
+                let t = median_time_secs(&input, reps, |v| s.sort_pairs_u32(v));
+                if verify {
+                    let mut check = input.clone();
+                    s.sort_pairs_u32(&mut check);
+                    assert!(
+                        check.windows(2).all(|w| w[0].0 <= w[1].0),
+                        "{} produced unsorted output on {}",
+                        s.name(),
+                        dist.label()
+                    );
+                }
+                t
+            })
+            .collect()
+    } else {
+        let input = generate_pairs_u64(dist, n, seed);
+        sorters
+            .iter()
+            .map(|s| {
+                let t = median_time_secs(&input, reps, |v| s.sort_pairs_u64(v));
+                if verify {
+                    let mut check = input.clone();
+                    s.sort_pairs_u64(&mut check);
+                    assert!(
+                        check.windows(2).all(|w| w[0].0 <= w[1].0),
+                        "{} produced unsorted output on {}",
+                        s.name(),
+                        dist.label()
+                    );
+                }
+                t
+            })
+            .collect()
+    }
+}
+
+/// Fig. 4(a)(b): DTSort with and without heavy-key detection.
+/// Returns `(with_detection, without_detection)` median seconds.
+pub fn measure_heavy_ablation(
+    dist: &Distribution,
+    n: usize,
+    bits: u32,
+    reps: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let full = SortConfig::default();
+    let plain = SortConfig::plain();
+    if bits == 32 {
+        let input = generate_pairs_u32(dist, n, seed);
+        (
+            median_time_secs(&input, reps, |v| dtsort::sort_pairs_with(v, &full)),
+            median_time_secs(&input, reps, |v| dtsort::sort_pairs_with(v, &plain)),
+        )
+    } else {
+        let input = generate_pairs_u64(dist, n, seed);
+        (
+            median_time_secs(&input, reps, |v| dtsort::sort_pairs_with(v, &full)),
+            median_time_secs(&input, reps, |v| dtsort::sort_pairs_with(v, &plain)),
+        )
+    }
+}
+
+/// Fig. 4(c)(d): the dovetail merge versus the parallel-merge baseline and
+/// the merge-free lower bound ("Others").
+/// Returns `(dtmerge, plmerge, no_merge)` median seconds.
+pub fn measure_merge_ablation(
+    dist: &Distribution,
+    n: usize,
+    bits: u32,
+    reps: usize,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let mk = |strategy: MergeStrategy| SortConfig {
+        merge_strategy: strategy,
+        ..SortConfig::default()
+    };
+    let cfgs = [
+        mk(MergeStrategy::Dovetail),
+        mk(MergeStrategy::ParallelMerge),
+        mk(MergeStrategy::Skip),
+    ];
+    let mut out = [0.0f64; 3];
+    if bits == 32 {
+        let input = generate_pairs_u32(dist, n, seed);
+        for (i, cfg) in cfgs.iter().enumerate() {
+            out[i] = median_time_secs(&input, reps, |v| dtsort::sort_pairs_with(v, cfg));
+        }
+    } else {
+        let input = generate_pairs_u64(dist, n, seed);
+        for (i, cfg) in cfgs.iter().enumerate() {
+            out[i] = median_time_secs(&input, reps, |v| dtsort::sort_pairs_with(v, cfg));
+        }
+    }
+    (out[0], out[1], out[2])
+}
+
+/// Thread-scaling measurement (Fig. 4(e), Figs. 5–20): median seconds of
+/// each sorter on the instance, using a dedicated pool of `threads` workers.
+pub fn measure_with_threads(
+    dist: &Distribution,
+    n: usize,
+    bits: u32,
+    reps: usize,
+    threads: usize,
+    sorters: &[SorterKind],
+    seed: u64,
+) -> Vec<f64> {
+    parlay::par::with_threads(threads, || {
+        measure_distribution(dist, n, bits, reps, sorters, false, seed)
+    })
+}
+
+/// Table 4 (graph transpose): measures transposing `g` with each sorter.
+pub fn measure_transpose(g: &Csr, reps: usize, sorters: &[SorterKind]) -> Vec<f64> {
+    sorters
+        .iter()
+        .map(|s| {
+            let kind = *s;
+            // The sorted edge list dominates the cost; we time the whole
+            // application (pair construction + sort + CSR rebuild), as the
+            // paper does.
+            let dummy = [0u8];
+            median_time_secs(&dummy, reps, |_| {
+                let t = transpose_with_sorter(g, |edges| kind.sort_pairs_u32(edges));
+                std::hint::black_box(t.num_edges());
+            })
+        })
+        .collect()
+}
+
+/// Table 4 (Morton order): measures Morton-sorting the 2D points with each
+/// sorter.
+pub fn measure_morton(points: &[Point2], reps: usize, sorters: &[SorterKind]) -> Vec<f64> {
+    sorters
+        .iter()
+        .map(|s| {
+            let kind = *s;
+            let dummy = [0u8];
+            median_time_secs(&dummy, reps, |_| {
+                let sorted = morton_sort_2d_with(points, |codes| kind.sort_codes(codes));
+                std::hint::black_box(sorted.len());
+            })
+        })
+        .collect()
+}
+
+/// Theory check (Theorems 4.6/4.7): returns the instrumentation snapshot of
+/// a DTSort run on the distribution, from which the harness derives the
+/// records-moved-per-input-record work proxy.
+pub fn measure_work_counters(dist: &Distribution, n: usize, bits: u32, seed: u64) -> StatsSnapshot {
+    if bits == 32 {
+        let mut input = generate_pairs_u32(dist, n, seed);
+        dtsort::sort_pairs_with_stats(&mut input, &SortConfig::default())
+    } else {
+        let mut input = generate_pairs_u64(dist, n, seed);
+        dtsort::sort_pairs_with_stats(&mut input, &SortConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_measurement_returns_one_time_per_sorter() {
+        let sorters = [SorterKind::DtSort, SorterKind::SampleSort];
+        let t = measure_distribution(
+            &Distribution::Zipfian { s: 1.0 },
+            20_000,
+            32,
+            1,
+            &sorters,
+            true,
+            1,
+        );
+        assert_eq!(t.len(), 2);
+        assert!(t.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn ablations_return_positive_times() {
+        let d = Distribution::Exponential { lambda: 10.0 };
+        let (a, b) = measure_heavy_ablation(&d, 20_000, 32, 1, 2);
+        assert!(a > 0.0 && b > 0.0);
+        let (x, y, z) = measure_merge_ablation(&d, 20_000, 64, 1, 3);
+        assert!(x > 0.0 && y > 0.0 && z > 0.0);
+    }
+
+    #[test]
+    fn thread_scoped_measurement_works() {
+        let t = measure_with_threads(
+            &Distribution::Uniform { distinct: 1000 },
+            10_000,
+            32,
+            1,
+            2,
+            &[SorterKind::DtSort],
+            4,
+        );
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn application_measurements_work() {
+        let e = workloads::graphs::power_law_graph(500, 5_000, 1.2, 5);
+        let g = Csr::from_unsorted_edges(e.num_vertices, &e.edges);
+        let t = measure_transpose(&g, 1, &[SorterKind::DtSort, SorterKind::Plis]);
+        assert_eq!(t.len(), 2);
+
+        let pts = workloads::points::uniform_points_2d(5_000, 6);
+        let t = measure_morton(&pts, 1, &[SorterKind::DtSort]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn work_counters_show_heavy_records_on_skewed_input() {
+        let snap = measure_work_counters(&Distribution::Uniform { distinct: 10 }, 50_000, 32, 7);
+        assert!(snap.heavy_records > 25_000, "{snap:?}");
+        let snap_uni =
+            measure_work_counters(&Distribution::Uniform { distinct: 1 << 40 }, 50_000, 64, 7);
+        assert_eq!(snap_uni.heavy_records, 0, "{snap_uni:?}");
+    }
+}

@@ -1,0 +1,199 @@
+//! The registry of sorting algorithms measured by the harness.
+//!
+//! Each variant corresponds to one column of the paper's Table 2 / Table 3:
+//! `Ours` (DovetailSort), `PLIS`, `IPS2Ra`/`RS` (unstable in-place radix
+//! class), `RD` (LSD radix class), `PLSS`/`IPS4o` (samplesort class), plus
+//! the rayon library sort as an extra reference point.  The harness runs
+//! every algorithm through the same entry points so the comparison isolates
+//! the algorithm.
+
+use dtsort::SortConfig;
+use std::time::Instant;
+
+/// A sorting algorithm measured by the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SorterKind {
+    /// DovetailSort (the paper's contribution, column "Ours").
+    DtSort,
+    /// DovetailSort without heavy-key detection (the "Plain" ablation).
+    DtSortPlain,
+    /// Stable parallel MSD radix sort (PLIS class).
+    Plis,
+    /// Unstable in-place MSD radix sort (IPS2Ra / RegionsSort class).
+    InplaceRadix,
+    /// LSD radix sort (RADULS class).
+    Lsd,
+    /// Parallel comparison samplesort (PLSS / IPS4o class).
+    SampleSort,
+    /// rayon's parallel unstable comparison sort (library reference).
+    ParStdSort,
+}
+
+impl SorterKind {
+    /// The algorithms of the main comparison (Table 3 / Fig. 1), in the
+    /// paper's column order.
+    pub fn table3_lineup() -> Vec<SorterKind> {
+        vec![
+            SorterKind::DtSort,
+            SorterKind::Plis,
+            SorterKind::InplaceRadix,
+            SorterKind::Lsd,
+            SorterKind::SampleSort,
+            SorterKind::ParStdSort,
+        ]
+    }
+
+    /// Every registered algorithm.
+    pub fn all() -> Vec<SorterKind> {
+        let mut v = Self::table3_lineup();
+        v.insert(1, SorterKind::DtSortPlain);
+        v
+    }
+
+    /// Column label, following the paper's naming.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SorterKind::DtSort => "Ours(DTSort)",
+            SorterKind::DtSortPlain => "Plain",
+            SorterKind::Plis => "PLIS*",
+            SorterKind::InplaceRadix => "IPRa*",
+            SorterKind::Lsd => "LSD*",
+            SorterKind::SampleSort => "SampleSort*",
+            SorterKind::ParStdSort => "ParStdSort",
+        }
+    }
+
+    /// Whether the algorithm is stable.
+    pub fn is_stable(&self) -> bool {
+        !matches!(self, SorterKind::InplaceRadix | SorterKind::ParStdSort)
+    }
+
+    /// Whether the algorithm is an integer sort (vs comparison sort).
+    pub fn is_integer_sort(&self) -> bool {
+        !matches!(self, SorterKind::SampleSort | SorterKind::ParStdSort)
+    }
+
+    /// Sorts `(u32 key, u32 value)` records.
+    pub fn sort_pairs_u32(&self, data: &mut [(u32, u32)]) {
+        match self {
+            SorterKind::DtSort => dtsort::sort_pairs(data),
+            SorterKind::DtSortPlain => dtsort::sort_pairs_with(data, &SortConfig::plain()),
+            SorterKind::Plis => baselines::plis::sort_pairs(data),
+            SorterKind::InplaceRadix => baselines::inplace_radix::sort_pairs(data),
+            SorterKind::Lsd => baselines::lsd::sort_pairs(data),
+            SorterKind::SampleSort => baselines::samplesort::sort_pairs(data),
+            SorterKind::ParStdSort => baselines::stdsort::par_unstable_by_key(data, |r| r.0),
+        }
+    }
+
+    /// Sorts `(u64 key, u64 value)` records.
+    pub fn sort_pairs_u64(&self, data: &mut [(u64, u64)]) {
+        match self {
+            SorterKind::DtSort => dtsort::sort_pairs(data),
+            SorterKind::DtSortPlain => dtsort::sort_pairs_with(data, &SortConfig::plain()),
+            SorterKind::Plis => baselines::plis::sort_pairs(data),
+            SorterKind::InplaceRadix => baselines::inplace_radix::sort_pairs(data),
+            SorterKind::Lsd => baselines::lsd::sort_pairs(data),
+            SorterKind::SampleSort => baselines::samplesort::sort_pairs(data),
+            SorterKind::ParStdSort => baselines::stdsort::par_unstable_by_key(data, |r| r.0),
+        }
+    }
+
+    /// Sorts `(u64 key, u32 value)` records (Morton codes).
+    pub fn sort_codes(&self, data: &mut [(u64, u32)]) {
+        match self {
+            SorterKind::DtSort => dtsort::sort_pairs(data),
+            SorterKind::DtSortPlain => dtsort::sort_pairs_with(data, &SortConfig::plain()),
+            SorterKind::Plis => baselines::plis::sort_pairs(data),
+            SorterKind::InplaceRadix => baselines::inplace_radix::sort_pairs(data),
+            SorterKind::Lsd => baselines::lsd::sort_pairs(data),
+            SorterKind::SampleSort => baselines::samplesort::sort_pairs(data),
+            SorterKind::ParStdSort => baselines::stdsort::par_unstable_by_key(data, |r| r.0),
+        }
+    }
+}
+
+/// Runs `op` on a fresh copy of `input` `reps` times and returns the median
+/// wall-clock seconds.  The paper reports the median of the last five of six
+/// runs; with the default `reps = 3` we report the median of three, which is
+/// the same estimator at laptop scale.
+pub fn median_time_secs<T: Clone, F: FnMut(&mut Vec<T>)>(
+    input: &[T],
+    reps: usize,
+    mut op: F,
+) -> f64 {
+    let reps = reps.max(1);
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut copy = input.to_vec();
+        let start = Instant::now();
+        op(&mut copy);
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::dist::{generate_pairs_u32, Distribution};
+
+    #[test]
+    fn every_sorter_sorts_correctly() {
+        let input = generate_pairs_u32(&Distribution::Zipfian { s: 1.0 }, 20_000, 1);
+        let mut want: Vec<u32> = input.iter().map(|r| r.0).collect();
+        want.sort_unstable();
+        for kind in SorterKind::all() {
+            let mut data = input.clone();
+            kind.sort_pairs_u32(&mut data);
+            let got: Vec<u32> = data.iter().map(|r| r.0).collect();
+            assert_eq!(got, want, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn stable_sorters_are_stable() {
+        let input = generate_pairs_u32(&Distribution::Uniform { distinct: 50 }, 20_000, 2);
+        let mut want = input.clone();
+        want.sort_by_key(|r| r.0);
+        for kind in SorterKind::all().into_iter().filter(|k| k.is_stable()) {
+            let mut data = input.clone();
+            kind.sort_pairs_u32(&mut data);
+            assert_eq!(data, want, "{} must be stable", kind.name());
+        }
+    }
+
+    #[test]
+    fn u64_and_code_entry_points_work() {
+        let rng = parlay::random::Rng::new(3);
+        let input64: Vec<(u64, u64)> = (0..10_000).map(|i| (rng.ith(i), i)).collect();
+        let codes: Vec<(u64, u32)> = (0..10_000).map(|i| (rng.ith(i + 1), i as u32)).collect();
+        for kind in SorterKind::all() {
+            let mut a = input64.clone();
+            kind.sort_pairs_u64(&mut a);
+            assert!(a.windows(2).all(|w| w[0].0 <= w[1].0), "{}", kind.name());
+            let mut b = codes.clone();
+            kind.sort_codes(&mut b);
+            assert!(b.windows(2).all(|w| w[0].0 <= w[1].0), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn lineups_and_metadata() {
+        assert_eq!(SorterKind::table3_lineup().len(), 6);
+        assert_eq!(SorterKind::all().len(), 7);
+        assert!(SorterKind::DtSort.is_stable());
+        assert!(SorterKind::DtSort.is_integer_sort());
+        assert!(!SorterKind::InplaceRadix.is_stable());
+        assert!(!SorterKind::SampleSort.is_integer_sort());
+        assert_eq!(SorterKind::DtSort.name(), "Ours(DTSort)");
+    }
+
+    #[test]
+    fn median_time_runs_the_op() {
+        let input = vec![3u32, 1, 2];
+        let t = median_time_secs(&input, 3, |v| v.sort_unstable());
+        assert!(t >= 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Plain-text table and heatmap formatting for the harness binaries.
+//!
+//! The binaries print the same rows/columns as the paper's tables (running
+//! time in seconds, fastest entry marked, geometric means per block), plus
+//! Fig. 1-style relative-time heatmap cells.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded or truncated to the header width).
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut r: Vec<String> = row.into_iter().map(Into::into).collect();
+        r.resize(self.headers.len(), String::new());
+        self.rows.push(r);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| format!("{:>width$}", cell, width = widths[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a row of timings: the minimum is marked with `*` (the paper
+/// underlines the fastest entry).
+pub fn format_row(label: &str, times: &[f64]) -> Vec<String> {
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut row = vec![label.to_string()];
+    for &t in times {
+        let cell = if (t - min).abs() < 1e-12 {
+            format!("{t:.3}*")
+        } else {
+            format!("{t:.3}")
+        };
+        row.push(cell);
+    }
+    row
+}
+
+/// Geometric mean of a sequence of positive values (the paper's "Avg." rows).
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Formats a Fig. 1-style heatmap cell: the running time relative to the
+/// fastest algorithm on this instance (1.00 = fastest).
+pub fn print_heatmap_cell(time: f64, best: f64) -> String {
+    if best <= 0.0 {
+        return "  -  ".to_string();
+    }
+    format!("{:5.2}", time / best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["Instance", "A", "B"]);
+        t.add_row(vec!["Unif-1e9", "0.500", "0.537"]);
+        t.add_row(vec!["Zipf-1.5", "0.446", "0.946"]);
+        let s = t.render();
+        assert!(s.contains("Instance"));
+        assert!(s.contains("Zipf-1.5"));
+        assert_eq!(t.num_rows(), 2);
+        // Every line has the same number of column separators.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn row_padding() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.add_row(vec!["1"]);
+        assert!(t.render().lines().count() == 3);
+    }
+
+    #[test]
+    fn format_row_marks_fastest() {
+        let row = format_row("X", &[0.5, 0.4, 0.6]);
+        assert_eq!(row[0], "X");
+        assert!(row[2].ends_with('*'));
+        assert!(!row[1].ends_with('*'));
+    }
+
+    #[test]
+    fn geo_mean_matches_hand_computation() {
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((geo_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn heatmap_cells() {
+        assert_eq!(print_heatmap_cell(1.0, 1.0), " 1.00");
+        assert_eq!(print_heatmap_cell(2.5, 1.0), " 2.50");
+        assert_eq!(print_heatmap_cell(1.0, 0.0), "  -  ");
+    }
+}

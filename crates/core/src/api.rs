@@ -1,0 +1,281 @@
+//! Public entry points of DovetailSort.
+//!
+//! All entry points are **stable** (equal keys keep their input order) and
+//! run in parallel on the ambient rayon thread pool.  Each comes in three
+//! flavours:
+//!
+//! * a plain function using the default [`SortConfig`];
+//! * a `*_with` variant taking an explicit configuration;
+//! * a `*_with_stats` variant additionally returning a [`StatsSnapshot`]
+//!   describing what the algorithm did (heavy keys detected, records moved,
+//!   per-step timings at the root level).
+
+use crate::config::SortConfig;
+use crate::key::IntegerKey;
+use crate::recurse::dtsort_impl;
+use crate::stats::{SortStats, StatsSnapshot};
+
+/// Sorts a slice of integer keys in non-decreasing order.
+///
+/// ```
+/// let mut v = vec![5u32, 1, 4, 1, 5, 9, 2, 6];
+/// dtsort::sort(&mut v);
+/// assert_eq!(v, vec![1, 1, 2, 4, 5, 5, 6, 9]);
+/// ```
+pub fn sort<K: IntegerKey>(data: &mut [K]) {
+    sort_with(data, &SortConfig::default());
+}
+
+/// [`sort`] with an explicit configuration.
+pub fn sort_with<K: IntegerKey>(data: &mut [K], cfg: &SortConfig) {
+    sort_by_key_with(data, |&k| k, cfg);
+}
+
+/// [`sort`] returning instrumentation counters.
+pub fn sort_with_stats<K: IntegerKey>(data: &mut [K], cfg: &SortConfig) -> StatsSnapshot {
+    sort_by_key_with_stats(data, |&k| k, cfg)
+}
+
+/// Sorts `(key, value)` records by key, stably.
+///
+/// This is the record shape used throughout the paper's evaluation
+/// (32-bit/64-bit keys with 32-bit/64-bit values).
+///
+/// ```
+/// let mut v = vec![(3u32, 'c'), (1, 'a'), (3, 'b')];
+/// dtsort::sort_pairs(&mut v);
+/// assert_eq!(v, vec![(1, 'a'), (3, 'c'), (3, 'b')]);
+/// ```
+pub fn sort_pairs<K: IntegerKey, V: Copy + Send + Sync>(data: &mut [(K, V)]) {
+    sort_pairs_with(data, &SortConfig::default());
+}
+
+/// [`sort_pairs`] with an explicit configuration.
+pub fn sort_pairs_with<K: IntegerKey, V: Copy + Send + Sync>(
+    data: &mut [(K, V)],
+    cfg: &SortConfig,
+) {
+    sort_by_key_with(data, |r| r.0, cfg);
+}
+
+/// [`sort_pairs`] returning instrumentation counters.
+pub fn sort_pairs_with_stats<K: IntegerKey, V: Copy + Send + Sync>(
+    data: &mut [(K, V)],
+    cfg: &SortConfig,
+) -> StatsSnapshot {
+    sort_by_key_with_stats(data, |r| r.0, cfg)
+}
+
+/// Sorts arbitrary `Copy` records stably by an integer key projection.
+///
+/// ```
+/// #[derive(Clone, Copy, PartialEq, Debug)]
+/// struct Edge { from: u32, to: u32 }
+/// let mut edges = vec![Edge { from: 2, to: 9 }, Edge { from: 1, to: 7 }];
+/// dtsort::sort_by_key(&mut edges, |e| e.from);
+/// assert_eq!(edges[0].from, 1);
+/// ```
+pub fn sort_by_key<T, K, F>(data: &mut [T], key: F)
+where
+    T: Copy + Send + Sync,
+    K: IntegerKey,
+    F: Fn(&T) -> K + Sync,
+{
+    sort_by_key_with(data, key, &SortConfig::default());
+}
+
+/// [`sort_by_key`] with an explicit configuration.
+pub fn sort_by_key_with<T, K, F>(data: &mut [T], key: F, cfg: &SortConfig)
+where
+    T: Copy + Send + Sync,
+    K: IntegerKey,
+    F: Fn(&T) -> K + Sync,
+{
+    let stats = SortStats::new();
+    let keyfn = move |r: &T| key(r).to_ordered_u64();
+    dtsort_impl(data, &keyfn, K::BITS, cfg, &stats);
+}
+
+/// [`sort_by_key`] returning instrumentation counters.
+pub fn sort_by_key_with_stats<T, K, F>(data: &mut [T], key: F, cfg: &SortConfig) -> StatsSnapshot
+where
+    T: Copy + Send + Sync,
+    K: IntegerKey,
+    F: Fn(&T) -> K + Sync,
+{
+    let stats = SortStats::new();
+    let keyfn = move |r: &T| key(r).to_ordered_u64();
+    dtsort_impl(data, &keyfn, K::BITS, cfg, &stats);
+    stats.snapshot()
+}
+
+/// Unstable integer sort.
+///
+/// DovetailSort is inherently stable; this alias exists for API symmetry
+/// with the unstable baselines (and the unstable MSD sort of Theorem 4.1).
+/// It currently runs the same stable algorithm, which is a valid (if
+/// slightly stronger) implementation of an unstable sort.
+pub fn sort_unstable<K: IntegerKey>(data: &mut [K]) {
+    sort(data);
+}
+
+/// Returns `true` if `data` is sorted non-decreasingly by `key`.
+pub fn is_sorted_by_key<T, K, F>(data: &[T], key: F) -> bool
+where
+    K: IntegerKey,
+    F: Fn(&T) -> K,
+{
+    data.windows(2).all(|w| key(&w[0]) <= key(&w[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlay::random::Rng;
+
+    #[test]
+    fn sort_plain_keys_u32_and_u64() {
+        let rng = Rng::new(1);
+        let mut a: Vec<u32> = (0..60_000).map(|i| rng.ith(i) as u32).collect();
+        let mut want = a.clone();
+        want.sort_unstable();
+        sort(&mut a);
+        assert_eq!(a, want);
+
+        let mut b: Vec<u64> = (0..60_000).map(|i| rng.ith(i)).collect();
+        let mut want = b.clone();
+        want.sort_unstable();
+        sort(&mut b);
+        assert_eq!(b, want);
+    }
+
+    #[test]
+    fn sort_signed_keys() {
+        let rng = Rng::new(2);
+        let mut a: Vec<i64> = (0..50_000).map(|i| rng.ith(i) as i64).collect();
+        let mut want = a.clone();
+        want.sort_unstable();
+        sort(&mut a);
+        assert_eq!(a, want);
+
+        let mut b: Vec<i32> = (0..50_000).map(|i| rng.ith(i) as i32).collect();
+        let mut want = b.clone();
+        want.sort_unstable();
+        sort(&mut b);
+        assert_eq!(b, want);
+    }
+
+    #[test]
+    fn sort_small_key_types() {
+        let rng = Rng::new(3);
+        let mut a: Vec<u8> = (0..100_000).map(|i| rng.ith(i) as u8).collect();
+        let mut want = a.clone();
+        want.sort_unstable();
+        sort(&mut a);
+        assert_eq!(a, want);
+
+        let mut b: Vec<u16> = (0..100_000).map(|i| rng.ith(i) as u16).collect();
+        let mut want = b.clone();
+        want.sort_unstable();
+        sort(&mut b);
+        assert_eq!(b, want);
+    }
+
+    #[test]
+    fn sort_pairs_is_stable() {
+        let rng = Rng::new(4);
+        let input: Vec<(u32, u32)> = (0..120_000)
+            .map(|i| (rng.ith_in(i as u64, 50) as u32, i as u32))
+            .collect();
+        let mut got = input.clone();
+        sort_pairs(&mut got);
+        let mut want = input;
+        want.sort_by_key(|&(k, _)| k);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sort_by_key_on_structs() {
+        #[derive(Clone, Copy, Debug, PartialEq)]
+        struct Rec {
+            key: u64,
+            payload: [u8; 8],
+        }
+        let rng = Rng::new(5);
+        let input: Vec<Rec> = (0..40_000)
+            .map(|i| Rec {
+                key: rng.ith_in(i, 1 << 40),
+                payload: (i as u64).to_le_bytes(),
+            })
+            .collect();
+        let mut got = input.clone();
+        sort_by_key(&mut got, |r| r.key);
+        let mut want = input;
+        want.sort_by_key(|r| r.key);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let mut empty: Vec<u32> = vec![];
+        sort(&mut empty);
+        assert!(empty.is_empty());
+
+        let mut one = vec![9u32];
+        sort(&mut one);
+        assert_eq!(one, vec![9]);
+
+        let mut two = vec![9u32, 1];
+        sort(&mut two);
+        assert_eq!(two, vec![1, 9]);
+    }
+
+    #[test]
+    fn already_sorted_and_reverse_sorted() {
+        let mut asc: Vec<u32> = (0..100_000).collect();
+        let want = asc.clone();
+        sort(&mut asc);
+        assert_eq!(asc, want);
+
+        let mut desc: Vec<u32> = (0..100_000).rev().collect();
+        sort(&mut desc);
+        assert_eq!(desc, want);
+    }
+
+    #[test]
+    fn all_equal_keys() {
+        let mut v = vec![42u64; 200_000];
+        sort(&mut v);
+        assert!(v.iter().all(|&x| x == 42));
+
+        let input: Vec<(u32, u32)> = (0..200_000).map(|i| (7, i)).collect();
+        let mut got = input.clone();
+        sort_pairs(&mut got);
+        assert_eq!(got, input, "all-equal input must be untouched (stability)");
+    }
+
+    #[test]
+    fn extreme_key_values() {
+        let mut v = vec![u64::MAX, 0, u64::MAX - 1, 1, u64::MAX, 0];
+        sort(&mut v);
+        assert_eq!(v, vec![0, 0, 1, u64::MAX - 1, u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn stats_are_returned() {
+        let rng = Rng::new(6);
+        let mut v: Vec<u32> = (0..100_000).map(|i| rng.ith(i) as u32).collect();
+        let snap = sort_with_stats(&mut v, &SortConfig::default());
+        assert!(is_sorted_by_key(&v, |&k| k));
+        assert!(snap.recursive_calls >= 1);
+        assert!(snap.distributed_records >= 100_000);
+        assert!(snap.samples_drawn > 0);
+    }
+
+    #[test]
+    fn is_sorted_helper() {
+        assert!(is_sorted_by_key::<u32, u32, _>(&[], |&k| k));
+        assert!(is_sorted_by_key(&[1u32, 1, 2], |&k| k));
+        assert!(!is_sorted_by_key(&[2u32, 1], |&k| k));
+    }
+}

@@ -1,0 +1,127 @@
+//! Integer key abstraction.
+//!
+//! The paper's integer sort takes records with keys in `[r] = {0, ..., r-1}`.
+//! In this implementation every supported key type is mapped, order
+//! preservingly, into `u64`; the radix machinery then works on the `u64`
+//! image.  Signed integers are mapped by flipping the sign bit, which turns
+//! two's-complement order into unsigned order.
+
+/// An integer key type usable by DovetailSort and the baseline radix sorts.
+///
+/// The mapping [`IntegerKey::to_ordered_u64`] must be injective and strictly
+/// monotone: `a < b  ⇔  a.to_ordered_u64() < b.to_ordered_u64()`.
+pub trait IntegerKey: Copy + Send + Sync + Ord + std::fmt::Debug {
+    /// Number of significant bits of the key type (the `log r` of the paper).
+    const BITS: u32;
+
+    /// Order-preserving embedding into `u64`.
+    fn to_ordered_u64(self) -> u64;
+
+    /// Inverse of [`IntegerKey::to_ordered_u64`] on the image of the type.
+    fn from_ordered_u64(x: u64) -> Self;
+}
+
+macro_rules! impl_unsigned_key {
+    ($($t:ty),*) => {$(
+        impl IntegerKey for $t {
+            const BITS: u32 = <$t>::BITS;
+            #[inline]
+            fn to_ordered_u64(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_ordered_u64(x: u64) -> Self {
+                x as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed_key {
+    ($($t:ty => $u:ty),*) => {$(
+        impl IntegerKey for $t {
+            const BITS: u32 = <$t>::BITS;
+            #[inline]
+            fn to_ordered_u64(self) -> u64 {
+                // Flip the sign bit: i::MIN -> 0, -1 -> 2^(B-1) - 1, 0 -> 2^(B-1), i::MAX -> 2^B - 1.
+                ((self as $u) ^ (1 << (<$t>::BITS - 1))) as u64
+            }
+            #[inline]
+            fn from_ordered_u64(x: u64) -> Self {
+                ((x as $u) ^ (1 << (<$t>::BITS - 1))) as $t
+            }
+        }
+    )*};
+}
+
+impl_unsigned_key!(u8, u16, u32, u64, usize);
+impl_signed_key!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Mask with the low `bits` bits set (saturating at 64 bits).
+#[inline]
+pub fn low_mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Number of bits needed to represent `x` (0 needs 0 bits).
+#[inline]
+pub fn bit_width(x: u64) -> u32 {
+    64 - x.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_roundtrip_and_order() {
+        for x in [0u32, 1, 7, u32::MAX, u32::MAX - 1, 12345] {
+            assert_eq!(u32::from_ordered_u64(x.to_ordered_u64()), x);
+        }
+        assert!(3u64.to_ordered_u64() < 4u64.to_ordered_u64());
+        assert_eq!(u8::BITS, 8);
+        assert_eq!(usize::BITS as u32, <usize as IntegerKey>::BITS);
+    }
+
+    #[test]
+    fn signed_roundtrip_and_order() {
+        let vals = [i32::MIN, -100, -1, 0, 1, 100, i32::MAX];
+        for &x in &vals {
+            assert_eq!(i32::from_ordered_u64(x.to_ordered_u64()), x);
+        }
+        for w in vals.windows(2) {
+            assert!(
+                w[0].to_ordered_u64() < w[1].to_ordered_u64(),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn signed_64_bit_extremes() {
+        assert_eq!(i64::MIN.to_ordered_u64(), 0);
+        assert_eq!(i64::MAX.to_ordered_u64(), u64::MAX);
+        assert_eq!((-1i64).to_ordered_u64(), (1u64 << 63) - 1);
+        assert_eq!(0i64.to_ordered_u64(), 1u64 << 63);
+    }
+
+    #[test]
+    fn masks_and_widths() {
+        assert_eq!(low_mask(0), 0);
+        assert_eq!(low_mask(1), 1);
+        assert_eq!(low_mask(16), 0xFFFF);
+        assert_eq!(low_mask(64), u64::MAX);
+        assert_eq!(low_mask(100), u64::MAX);
+        assert_eq!(bit_width(0), 0);
+        assert_eq!(bit_width(1), 1);
+        assert_eq!(bit_width(255), 8);
+        assert_eq!(bit_width(256), 9);
+        assert_eq!(bit_width(u64::MAX), 64);
+    }
+}

@@ -1,0 +1,167 @@
+//! Output verification utilities.
+//!
+//! The evaluation harness and the test suite repeatedly need to check the
+//! three properties a stable sort must satisfy: the output is non-decreasing
+//! by key, it is a permutation of the input, and records with equal keys
+//! keep their input order.  These helpers implement the checks in parallel
+//! (they are used on multi-million-record harness inputs) and report *where*
+//! a violation occurs to ease debugging.
+
+use parlay::par::parallel_for;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Result of verifying a sort output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// `output[index] > output[index + 1]` by key.
+    NotSorted { index: usize },
+    /// The output is not a permutation of the input (some key multiset
+    /// differs).
+    NotPermutation,
+    /// Two records with the same key appear in a different relative order
+    /// than in the input; `first_tag`/`second_tag` are their input positions.
+    NotStable { first_tag: usize, second_tag: usize },
+}
+
+/// Checks that `data` is non-decreasing by `key`; returns the first offending
+/// index on failure.
+pub fn check_sorted_by<T, K, F>(data: &[T], key: F) -> Result<(), VerifyError>
+where
+    T: Sync,
+    K: Ord + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    if data.len() < 2 {
+        return Ok(());
+    }
+    let bad = AtomicUsize::new(usize::MAX);
+    parallel_for(0, data.len() - 1, |i| {
+        if key(&data[i]) > key(&data[i + 1]) {
+            bad.fetch_min(i, Ordering::Relaxed);
+        }
+    });
+    match bad.load(Ordering::Relaxed) {
+        usize::MAX => Ok(()),
+        index => Err(VerifyError::NotSorted { index }),
+    }
+}
+
+/// Checks that `output` is a permutation of `input` under the key function
+/// (multisets of keys agree).
+pub fn check_permutation_by<T, K, F>(input: &[T], output: &[T], key: F) -> Result<(), VerifyError>
+where
+    K: std::hash::Hash + Eq,
+    F: Fn(&T) -> K,
+{
+    if input.len() != output.len() {
+        return Err(VerifyError::NotPermutation);
+    }
+    let mut counts: HashMap<K, i64> = HashMap::with_capacity(input.len());
+    for r in input {
+        *counts.entry(key(r)).or_default() += 1;
+    }
+    for r in output {
+        match counts.get_mut(&key(r)) {
+            Some(c) => *c -= 1,
+            None => return Err(VerifyError::NotPermutation),
+        }
+    }
+    if counts.values().all(|&c| c == 0) {
+        Ok(())
+    } else {
+        Err(VerifyError::NotPermutation)
+    }
+}
+
+/// Checks stability for `(key, tag)` records where `tag` is the input
+/// position: within every run of equal keys, tags must be increasing.
+pub fn check_stable_tagged<K: Ord + Sync + Send + Copy>(
+    output: &[(K, u32)],
+) -> Result<(), VerifyError> {
+    for w in output.windows(2) {
+        if w[0].0 == w[1].0 && w[0].1 > w[1].1 {
+            return Err(VerifyError::NotStable {
+                first_tag: w[0].1 as usize,
+                second_tag: w[1].1 as usize,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs all three checks on a tagged `(key, input-position)` record array.
+pub fn verify_stable_sort<K>(input: &[(K, u32)], output: &[(K, u32)]) -> Result<(), VerifyError>
+where
+    K: Ord + Copy + Send + Sync + std::hash::Hash,
+{
+    check_sorted_by(output, |r| r.0)?;
+    check_permutation_by(input, output, |r| (r.0, r.1))?;
+    check_stable_tagged(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_check_accepts_and_rejects() {
+        assert_eq!(check_sorted_by(&[1, 2, 2, 3], |&x| x), Ok(()));
+        assert_eq!(check_sorted_by::<i32, i32, _>(&[], |&x| x), Ok(()));
+        assert_eq!(
+            check_sorted_by(&[1, 3, 2, 4], |&x| x),
+            Err(VerifyError::NotSorted { index: 1 })
+        );
+        // Reports the first violation even with several.
+        let v: Vec<u32> = (0..10_000).map(|i| if i == 5000 { 0 } else { i }).collect();
+        assert_eq!(
+            check_sorted_by(&v, |&x| x),
+            Err(VerifyError::NotSorted { index: 4999 })
+        );
+    }
+
+    #[test]
+    fn permutation_check() {
+        let a = vec![(1u32, 0u32), (2, 1), (2, 2)];
+        let b = vec![(2u32, 2u32), (1, 0), (2, 1)];
+        assert_eq!(check_permutation_by(&a, &b, |r| (r.0, r.1)), Ok(()));
+        let c = vec![(2u32, 2u32), (1, 0), (3, 1)];
+        assert_eq!(
+            check_permutation_by(&a, &c, |r| (r.0, r.1)),
+            Err(VerifyError::NotPermutation)
+        );
+        let short = vec![(1u32, 0u32)];
+        assert_eq!(
+            check_permutation_by(&a, &short, |r| (r.0, r.1)),
+            Err(VerifyError::NotPermutation)
+        );
+    }
+
+    #[test]
+    fn stability_check() {
+        assert_eq!(check_stable_tagged(&[(5u32, 0u32), (5, 1), (6, 0)]), Ok(()));
+        assert_eq!(
+            check_stable_tagged(&[(5u32, 3u32), (5, 1)]),
+            Err(VerifyError::NotStable {
+                first_tag: 3,
+                second_tag: 1
+            })
+        );
+    }
+
+    #[test]
+    fn full_verification_on_dtsort_output() {
+        let rng = parlay::random::Rng::new(5);
+        let input: Vec<(u32, u32)> = (0..60_000)
+            .map(|i| (rng.ith_in(i as u64, 300) as u32, i as u32))
+            .collect();
+        let mut output = input.clone();
+        crate::sort_pairs(&mut output);
+        assert_eq!(verify_stable_sort(&input, &output), Ok(()));
+
+        // A corrupted output is rejected.
+        let mut corrupted = output.clone();
+        corrupted.swap(10, 50_000);
+        assert!(verify_stable_sort(&input, &corrupted).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Parallel in-place reversal and rotation.
+//!
+//! The dovetail merge (paper Alg. 3, Fig. 3 step 3) moves a heavy bucket to
+//! an overlapping earlier destination by *flipping* the bucket and then
+//! flipping the whole affected region — the classic in-place circular-shift
+//! technique.  Both flips are a parallel loop over swap pairs.
+
+use crate::par::parallel_for;
+use crate::slice::UnsafeSliceCell;
+
+/// Reverses `data` in place, in parallel.
+pub fn par_reverse<T: Copy + Send + Sync>(data: &mut [T]) {
+    let n = data.len();
+    if n < 2 {
+        return;
+    }
+    let cell = UnsafeSliceCell::new(data);
+    parallel_for(0, n / 2, |i| unsafe { cell.swap(i, n - 1 - i) });
+}
+
+/// Rotates `data` left by `mid` positions in place using three reversals
+/// (the involution-based in-place rotation cited by the paper [27, 60]).
+///
+/// After the call, the element previously at index `mid` is at index 0.
+pub fn par_rotate_left<T: Copy + Send + Sync>(data: &mut [T], mid: usize) {
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let mid = mid % n;
+    if mid == 0 {
+        return;
+    }
+    par_reverse(&mut data[..mid]);
+    par_reverse(&mut data[mid..]);
+    par_reverse(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_matches_std() {
+        for n in [0usize, 1, 2, 3, 10, 1000, 65_537] {
+            let mut a: Vec<usize> = (0..n).collect();
+            let mut b = a.clone();
+            par_reverse(&mut a);
+            b.reverse();
+            assert_eq!(a, b, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn rotate_matches_std() {
+        for n in [1usize, 2, 7, 100, 10_001] {
+            for mid in [0usize, 1, n / 3, n / 2, n - 1, n] {
+                let mut a: Vec<usize> = (0..n).collect();
+                let mut b = a.clone();
+                par_rotate_left(&mut a, mid);
+                b.rotate_left(mid % n);
+                assert_eq!(a, b, "n = {n}, mid = {mid}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_empty() {
+        let mut v: Vec<u8> = vec![];
+        par_rotate_left(&mut v, 3);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Parallel histogram over a small integer domain.
+//!
+//! The counting sort of Appendix B internally computes per-block histograms;
+//! this module exposes the histogram itself as a standalone primitive (the
+//! paper's Section 1 notes that counting sort — i.e. histogram + scatter —
+//! is the method of choice when the key range is `o(n)`), plus a helper to
+//! find the most frequent keys, which the harness uses to characterize
+//! workloads.
+
+use crate::par::parallel_for;
+use crate::slice::UnsafeSliceCell;
+use crate::DEFAULT_GRANULARITY;
+
+/// Counts how many elements map to each value in `0..range`.
+///
+/// Parallel over blocks: each block accumulates a private histogram and the
+/// block histograms are reduced at the end, so there is no contention on
+/// shared counters.  Work `O(n + B·range)`, span `O(range + log n)`.
+pub fn histogram<T, F>(data: &[T], range: usize, key: F) -> Vec<usize>
+where
+    T: Sync,
+    F: Fn(&T) -> usize + Sync,
+{
+    let n = data.len();
+    if range == 0 {
+        assert_eq!(n, 0, "histogram: zero range with nonempty input");
+        return Vec::new();
+    }
+    if n == 0 {
+        return vec![0; range];
+    }
+    let block = DEFAULT_GRANULARITY.max(range / 4);
+    let num_blocks = n.div_ceil(block);
+    let mut partial = vec![0usize; num_blocks * range];
+    {
+        let cell = UnsafeSliceCell::new(&mut partial);
+        let key = &key;
+        parallel_for(0, num_blocks, |b| {
+            let row = unsafe { cell.slice_mut(b * range, range) };
+            let start = b * block;
+            let end = ((b + 1) * block).min(n);
+            for x in &data[start..end] {
+                let k = key(x);
+                debug_assert!(k < range);
+                row[k] += 1;
+            }
+        });
+    }
+    // Reduce the block histograms column-wise (parallel over the range).
+    let mut out = vec![0usize; range];
+    {
+        let out_cell = UnsafeSliceCell::new(&mut out);
+        let partial_ref = &partial;
+        parallel_for(0, range, |k| {
+            let mut s = 0usize;
+            for b in 0..num_blocks {
+                s += partial_ref[b * range + k];
+            }
+            unsafe { out_cell.write(k, s) };
+        });
+    }
+    out
+}
+
+/// Returns the `k` most frequent values (value, count), most frequent first,
+/// breaking ties by smaller value.
+pub fn top_k_frequent<T, F>(data: &[T], range: usize, k: usize, key: F) -> Vec<(usize, usize)>
+where
+    T: Sync,
+    F: Fn(&T) -> usize + Sync,
+{
+    let hist = histogram(data, range, key);
+    let mut pairs: Vec<(usize, usize)> = hist
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c > 0)
+        .collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.truncate(k);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::Rng;
+
+    #[test]
+    fn histogram_matches_sequential_count() {
+        let rng = Rng::new(1);
+        let data: Vec<u32> = (0..80_000).map(|i| rng.ith_in(i, 97) as u32).collect();
+        let got = histogram(&data, 97, |&x| x as usize);
+        let mut want = vec![0usize; 97];
+        for &x in &data {
+            want[x as usize] += 1;
+        }
+        assert_eq!(got, want);
+        assert_eq!(got.iter().sum::<usize>(), data.len());
+    }
+
+    #[test]
+    fn histogram_empty_and_tiny() {
+        let empty: Vec<u8> = vec![];
+        assert_eq!(histogram(&empty, 5, |&x| x as usize), vec![0; 5]);
+        assert!(histogram(&empty, 0, |&x| x as usize).is_empty());
+        let one = vec![3u8];
+        let h = histogram(&one, 10, |&x| x as usize);
+        assert_eq!(h[3], 1);
+        assert_eq!(h.iter().sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn top_k_finds_the_heavy_values() {
+        let rng = Rng::new(2);
+        // Value 7 gets ~50%, value 3 gets ~25%, the rest uniform.
+        let data: Vec<u32> = (0..50_000)
+            .map(|i| {
+                let r = rng.ith_f64(i);
+                if r < 0.5 {
+                    7
+                } else if r < 0.75 {
+                    3
+                } else {
+                    rng.ith_in(i, 64) as u32
+                }
+            })
+            .collect();
+        let top = top_k_frequent(&data, 64, 2, |&x| x as usize);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 7);
+        assert_eq!(top[1].0, 3);
+        assert!(top[0].1 > top[1].1);
+    }
+
+    #[test]
+    fn top_k_more_than_distinct() {
+        let data = vec![1u8, 1, 2];
+        let top = top_k_frequent(&data, 4, 10, |&x| x as usize);
+        assert_eq!(top, vec![(1, 2), (2, 1)]);
+    }
+}

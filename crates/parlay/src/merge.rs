@@ -1,0 +1,201 @@
+//! Parallel merge of two sorted sequences.
+//!
+//! This is the `PLMerge` baseline of the paper's Section 6.3: a standard
+//! divide-and-conquer parallel merge with `O(n)` work and `O(log^2 n)` span.
+//! DovetailSort's evaluation compares its dovetail merge against exactly this
+//! primitive (Fig. 4(c)(d)).
+
+use crate::slice::UnsafeSliceCell;
+
+/// Sequential cutoff below which the merge runs serially.
+const MERGE_GRAIN: usize = 4096;
+
+/// Merges the two sorted slices `a` and `b` into `out` using the strict
+/// less-than predicate `lt`.  Stable: on ties, elements of `a` precede
+/// elements of `b`, and relative order within each input is preserved.
+///
+/// # Panics
+/// Panics if `out.len() != a.len() + b.len()`.
+pub fn par_merge_into<T, F>(a: &[T], b: &[T], out: &mut [T], lt: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> bool + Sync,
+{
+    assert_eq!(
+        out.len(),
+        a.len() + b.len(),
+        "par_merge_into: output length must equal sum of input lengths"
+    );
+    let out_cell = UnsafeSliceCell::new(out);
+    merge_rec(a, b, &out_cell, 0, lt);
+}
+
+/// Merges two sorted vectors and returns the merged vector (stable; ties
+/// favour `a`).
+pub fn par_merge_by<T, F>(a: &[T], b: &[T], lt: &F) -> Vec<T>
+where
+    T: Copy + Send + Sync + Default,
+    F: Fn(&T, &T) -> bool + Sync,
+{
+    let mut out = vec![T::default(); a.len() + b.len()];
+    par_merge_into(a, b, &mut out, lt);
+    out
+}
+
+fn seq_merge<T, F>(a: &[T], b: &[T], out: &UnsafeSliceCell<'_, T>, offset: usize, lt: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> bool + Sync,
+{
+    let (mut i, mut j, mut o) = (0usize, 0usize, offset);
+    while i < a.len() && j < b.len() {
+        // Stability: take from `a` unless b[j] is strictly smaller.
+        if lt(&b[j], &a[i]) {
+            unsafe { out.write(o, b[j]) };
+            j += 1;
+        } else {
+            unsafe { out.write(o, a[i]) };
+            i += 1;
+        }
+        o += 1;
+    }
+    while i < a.len() {
+        unsafe { out.write(o, a[i]) };
+        i += 1;
+        o += 1;
+    }
+    while j < b.len() {
+        unsafe { out.write(o, b[j]) };
+        j += 1;
+        o += 1;
+    }
+}
+
+fn merge_rec<T, F>(a: &[T], b: &[T], out: &UnsafeSliceCell<'_, T>, offset: usize, lt: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> bool + Sync,
+{
+    let n = a.len() + b.len();
+    if n <= MERGE_GRAIN {
+        seq_merge(a, b, out, offset, lt);
+        return;
+    }
+    // Split the larger sequence at its midpoint and binary-search the split
+    // value in the other sequence; recurse on the two halves in parallel.
+    if a.len() >= b.len() {
+        let ma = a.len() / 2;
+        let pivot = &a[ma];
+        // Elements of b strictly less than pivot go left (ties go right so
+        // that equal elements of `a` stay before equal elements of `b`).
+        let mb = crate::binsearch::lower_bound_by(b, |x| {
+            if lt(x, pivot) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+        let (a_lo, a_hi) = a.split_at(ma);
+        let (b_lo, b_hi) = b.split_at(mb);
+        rayon::join(
+            || merge_rec(a_lo, b_lo, out, offset, lt),
+            || merge_rec(a_hi, b_hi, out, offset + ma + mb, lt),
+        );
+    } else {
+        let mb = b.len() / 2;
+        let pivot = &b[mb];
+        // Elements of a less than or equal to pivot go left (ties from `a`
+        // must precede the pivot from `b`).
+        let ma = crate::binsearch::lower_bound_by(a, |x| {
+            if lt(pivot, x) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Less
+            }
+        });
+        let (a_lo, a_hi) = a.split_at(ma);
+        let (b_lo, b_hi) = b.split_at(mb);
+        rayon::join(
+            || merge_rec(a_lo, b_lo, out, offset, lt),
+            || merge_rec(a_hi, b_hi, out, offset + ma + mb, lt),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::Rng;
+
+    #[test]
+    fn merges_small_slices() {
+        let a = vec![1, 3, 5, 7];
+        let b = vec![2, 3, 4, 8, 9];
+        let out = par_merge_by(&a, &b, &|x, y| x < y);
+        assert_eq!(out, vec![1, 2, 3, 3, 4, 5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn merges_large_random_slices() {
+        let rng = Rng::new(5);
+        let mut a: Vec<u64> = (0..60_000).map(|i| rng.ith_in(i, 1 << 20)).collect();
+        let mut b: Vec<u64> = (0..80_000).map(|i| rng.fork(1).ith_in(i, 1 << 20)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        let got = par_merge_by(&a, &b, &|x, y| x < y);
+        let mut want = [a, b].concat();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stability_ties_favour_first_input() {
+        // Records are (key, source) pairs; equal keys must keep a-before-b
+        // and input order within each source.
+        let a: Vec<(u32, u32)> = vec![(5, 0), (5, 1), (7, 2)];
+        let b: Vec<(u32, u32)> = vec![(5, 100), (6, 101), (7, 102)];
+        let out = par_merge_by(&a, &b, &|x, y| x.0 < y.0);
+        assert_eq!(
+            out,
+            vec![(5, 0), (5, 1), (5, 100), (6, 101), (7, 2), (7, 102)]
+        );
+    }
+
+    #[test]
+    fn stability_on_large_inputs() {
+        let rng = Rng::new(11);
+        let n = 50_000u64;
+        let mut a: Vec<(u32, u32)> = (0..n)
+            .map(|i| (rng.ith_in(i, 100) as u32, i as u32))
+            .collect();
+        let mut b: Vec<(u32, u32)> = (0..n)
+            .map(|i| (rng.fork(3).ith_in(i, 100) as u32, (n + i) as u32))
+            .collect();
+        a.sort_by_key(|&(k, _)| k);
+        b.sort_by_key(|&(k, _)| k);
+        let got = par_merge_by(&a, &b, &|x, y| x.0 < y.0);
+        let mut want = [a, b].concat();
+        want.sort_by(|x, y| x.0.cmp(&y.0).then_with(|| x.1.cmp(&y.1)));
+        // Because all of `a`'s tags are < all of `b`'s tags for equal keys,
+        // a stable a-before-b merge equals the tag-tiebroken sort.
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e: Vec<u32> = vec![];
+        let a = vec![1u32, 2, 3];
+        assert_eq!(par_merge_by(&e, &e, &|x, y| x < y), e);
+        assert_eq!(par_merge_by(&a, &e, &|x, y| x < y), a);
+        assert_eq!(par_merge_by(&e, &a, &|x, y| x < y), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "output length")]
+    fn wrong_output_length_panics() {
+        let a = [1u32, 2];
+        let b = [3u32];
+        let mut out = vec![0u32; 2];
+        par_merge_into(&a, &b, &mut out, &|x, y| x < y);
+    }
+}

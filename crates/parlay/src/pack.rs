@@ -1,0 +1,106 @@
+//! Parallel pack (filter) built from a flag scan.
+//!
+//! Used by the workload generators and the samplesort baseline to extract
+//! subsets of records in parallel while preserving input order — the same
+//! `pack` primitive ParlayLib provides.
+
+use crate::par::parallel_for;
+use crate::scan::scan_exclusive_in_place;
+use crate::slice::UnsafeSliceCell;
+use crate::DEFAULT_GRANULARITY;
+
+/// Returns, in input order, the elements for which `keep` returns true.
+pub fn pack<T, F>(data: &[T], keep: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let idx = pack_index(data.len(), |i| keep(&data[i]));
+    let mut out = Vec::with_capacity(idx.len());
+    out.resize_with(idx.len(), || data[0]);
+    if idx.is_empty() {
+        return Vec::new();
+    }
+    let out_cell = UnsafeSliceCell::new(&mut out);
+    parallel_for(0, idx.len(), |i| unsafe { out_cell.write(i, data[idx[i]]) });
+    out
+}
+
+/// Returns the indices `i` in `0..n` (in increasing order) for which
+/// `keep(i)` returns true.
+pub fn pack_index<F>(n: usize, keep: F) -> Vec<usize>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    // Blocked: count survivors per block, scan, then fill.
+    let grain = DEFAULT_GRANULARITY;
+    let num_blocks = n.div_ceil(grain);
+    let mut block_counts = vec![0usize; num_blocks];
+    {
+        let counts = UnsafeSliceCell::new(&mut block_counts);
+        let keep = &keep;
+        parallel_for(0, num_blocks, |b| {
+            let start = b * grain;
+            let end = ((b + 1) * grain).min(n);
+            let c = (start..end).filter(|&i| keep(i)).count();
+            unsafe { counts.write(b, c) };
+        });
+    }
+    let total = scan_exclusive_in_place(&mut block_counts);
+    let mut out = vec![0usize; total];
+    {
+        let out_cell = UnsafeSliceCell::new(&mut out);
+        let offsets = &block_counts;
+        let keep = &keep;
+        parallel_for(0, num_blocks, |b| {
+            let start = b * grain;
+            let end = ((b + 1) * grain).min(n);
+            let mut pos = offsets[b];
+            for i in start..end {
+                if keep(i) {
+                    unsafe { out_cell.write(pos, i) };
+                    pos += 1;
+                }
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_index_matches_filter() {
+        let n = 100_000;
+        let got = pack_index(n, |i| i % 7 == 0);
+        let want: Vec<usize> = (0..n).filter(|i| i % 7 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_preserves_order() {
+        let data: Vec<u32> = (0..50_000).map(|i| (i * 31) % 1000).collect();
+        let got = pack(&data, |&x| x < 100);
+        let want: Vec<u32> = data.iter().copied().filter(|&x| x < 100).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_all_and_none() {
+        let data: Vec<u32> = (0..10_000).collect();
+        assert_eq!(pack(&data, |_| true), data);
+        assert!(pack(&data, |_| false).is_empty());
+        let empty: Vec<u32> = vec![];
+        assert!(pack(&empty, |_| true).is_empty());
+    }
+
+    #[test]
+    fn pack_index_zero_length() {
+        assert!(pack_index(0, |_| true).is_empty());
+    }
+}

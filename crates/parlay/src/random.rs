@@ -1,0 +1,121 @@
+//! Deterministic splittable pseudo-random numbers.
+//!
+//! ParlayLib's sorts draw all randomness from a hash of `(seed, index)` so
+//! that the computation is internally deterministic (paper Appendix A): the
+//! i-th random number does not depend on scheduling.  We reproduce that with
+//! a SplitMix64-style finalizer, which is statistically strong enough for
+//! sampling and is extremely cheap.
+
+/// A deterministic, splittable random number generator.
+///
+/// `Rng` is `Copy`: "child" generators for subproblems are derived with
+/// [`Rng::fork`], and the `i`-th number of a generator is obtained with
+/// [`Rng::ith`], independent of evaluation order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rng {
+    seed: u64,
+}
+
+/// SplitMix64 finalizer: a bijective mixing function on 64-bit integers.
+#[inline]
+pub fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed: hash64(seed) }
+    }
+
+    /// Derives an independent child generator identified by `id`
+    /// (e.g. the recursion path of a subproblem).
+    pub fn fork(self, id: u64) -> Self {
+        Self {
+            seed: hash64(self.seed ^ hash64(id.wrapping_add(0xA5A5_5A5A_DEAD_BEEF))),
+        }
+    }
+
+    /// The `i`-th 64-bit pseudo-random number of this generator.
+    #[inline]
+    pub fn ith(self, i: u64) -> u64 {
+        hash64(self.seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// The `i`-th pseudo-random number reduced to `0..bound` (bound > 0).
+    #[inline]
+    pub fn ith_in(self, i: u64, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire's multiply-shift reduction avoids the modulo bias being
+        // concentrated on low values and is faster than `%`.
+        ((self.ith(i) as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// The `i`-th pseudo-random `f64` in `[0, 1)`.
+    #[inline]
+    pub fn ith_f64(self, i: u64) -> f64 {
+        // 53 random mantissa bits.
+        (self.ith(i) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_independent() {
+        let r = Rng::new(42);
+        let a: Vec<u64> = (0..100).map(|i| r.ith(i)).collect();
+        let b: Vec<u64> = (0..100).rev().map(|i| r.ith(i)).collect();
+        let b_rev: Vec<u64> = b.into_iter().rev().collect();
+        assert_eq!(a, b_rev);
+    }
+
+    #[test]
+    fn fork_gives_different_streams() {
+        let r = Rng::new(7);
+        let c1 = r.fork(1);
+        let c2 = r.fork(2);
+        assert_ne!(c1.ith(0), c2.ith(0));
+        assert_ne!(r.ith(0), c1.ith(0));
+    }
+
+    #[test]
+    fn bounded_values_in_range_and_spread() {
+        let r = Rng::new(123);
+        let bound = 97u64;
+        let mut seen = vec![false; bound as usize];
+        for i in 0..10_000 {
+            let v = r.ith_in(i, bound);
+            assert!(v < bound);
+            seen[v as usize] = true;
+        }
+        // With 10k draws over 97 buckets, every bucket should be hit.
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_reasonable_mean() {
+        let r = Rng::new(9);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let x = r.ith_f64(i);
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn hash64_is_injective_on_small_range() {
+        use std::collections::HashSet;
+        let set: HashSet<u64> = (0..100_000u64).map(hash64).collect();
+        assert_eq!(set.len(), 100_000);
+    }
+}

@@ -1,0 +1,70 @@
+//! Parallel sampling utilities.
+//!
+//! DovetailSort's Step 1 (and the samplesort baselines) draw
+//! `Θ(2^γ · log n)` uniformly random records from the input.  The indices are
+//! produced by the deterministic splittable RNG so that the whole sort is
+//! internally deterministic (paper Appendix A).
+
+use crate::random::Rng;
+
+/// Returns `count` indices drawn uniformly at random (with replacement) from
+/// `0..n`.  Deterministic for a fixed `rng`.
+pub fn sample_indices(rng: Rng, n: usize, count: usize) -> Vec<usize> {
+    if n == 0 || count == 0 {
+        return Vec::new();
+    }
+    (0..count).map(|i| rng.ith_in(i as u64, n as u64) as usize).collect()
+}
+
+/// Copies `count` sampled records out of `data` (with replacement).
+pub fn sample_records<T: Copy>(rng: Rng, data: &[T], count: usize) -> Vec<T> {
+    sample_indices(rng, data.len(), count)
+        .into_iter()
+        .map(|i| data[i])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_in_range_and_deterministic() {
+        let rng = Rng::new(77);
+        let a = sample_indices(rng, 1000, 500);
+        let b = sample_indices(rng, 1000, 500);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert!(a.iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn empty_cases() {
+        let rng = Rng::new(1);
+        assert!(sample_indices(rng, 0, 10).is_empty());
+        assert!(sample_indices(rng, 10, 0).is_empty());
+        let data: Vec<u32> = vec![];
+        assert!(sample_records(rng, &data, 5).is_empty());
+    }
+
+    #[test]
+    fn samples_cover_the_range() {
+        let rng = Rng::new(3);
+        let n = 50;
+        let samples = sample_indices(rng, n, 5000);
+        let mut seen = vec![false; n];
+        for i in samples {
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "5000 draws should hit all 50 values");
+    }
+
+    #[test]
+    fn sample_records_pulls_values() {
+        let rng = Rng::new(4);
+        let data: Vec<u32> = (0..100).map(|i| i * 2).collect();
+        let s = sample_records(rng, &data, 200);
+        assert_eq!(s.len(), 200);
+        assert!(s.iter().all(|&x| x % 2 == 0 && x < 200));
+    }
+}

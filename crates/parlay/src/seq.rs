@@ -1,0 +1,107 @@
+//! Sequence construction utilities (`tabulate`, `map`, `filter_map_index`,
+//! `flatten`) in the style of ParlayLib's `parlay::sequence` helpers.
+//!
+//! These are small but load-bearing: the workload generators and the
+//! evaluation harness build multi-million-element vectors, and doing so with
+//! a parallel tabulate instead of a sequential `collect` keeps generation
+//! from dominating experiment wall-clock time on many-core machines.
+
+use crate::par::parallel_for;
+use crate::scan::scan_exclusive_in_place;
+use crate::slice::UnsafeSliceCell;
+
+/// Builds a vector of length `n` whose `i`-th element is `f(i)`, in parallel.
+pub fn tabulate<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send + Sync + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n];
+    {
+        let cell = UnsafeSliceCell::new(&mut out);
+        parallel_for(0, n, |i| unsafe { cell.write(i, f(i)) });
+    }
+    out
+}
+
+/// Applies `f` to every element in parallel, producing a new vector.
+pub fn map<T, U, F>(data: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send + Sync + Default + Clone,
+    F: Fn(&T) -> U + Sync,
+{
+    tabulate(data.len(), |i| f(&data[i]))
+}
+
+/// Parallel flatten of a slice of vectors into one vector, preserving order.
+pub fn flatten<T>(chunks: &[Vec<T>]) -> Vec<T>
+where
+    T: Copy + Send + Sync + Default,
+{
+    let mut offsets: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+    let total = scan_exclusive_in_place(&mut offsets);
+    let mut out = vec![T::default(); total];
+    {
+        let cell = UnsafeSliceCell::new(&mut out);
+        let offsets_ref = &offsets;
+        parallel_for(0, chunks.len(), |c| {
+            let dst = unsafe { cell.slice_mut(offsets_ref[c], chunks[c].len()) };
+            dst.copy_from_slice(&chunks[c]);
+        });
+    }
+    out
+}
+
+/// Splits `0..n` into `pieces` nearly equal contiguous ranges.
+pub fn split_ranges(n: usize, pieces: usize) -> Vec<std::ops::Range<usize>> {
+    let pieces = pieces.max(1);
+    let base = n / pieces;
+    let extra = n % pieces;
+    let mut out = Vec::with_capacity(pieces);
+    let mut start = 0usize;
+    for p in 0..pieces {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tabulate_and_map() {
+        let v = tabulate(10_000, |i| i * 2);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+        let doubled = map(&v, |&x| x + 1);
+        assert!(doubled.iter().enumerate().all(|(i, &x)| x == i * 2 + 1));
+        let empty: Vec<u8> = tabulate(0, |_| 0u8);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn flatten_preserves_order() {
+        let chunks: Vec<Vec<u32>> = (0..100).map(|c| (0..c).map(|x| c * 1000 + x).collect()).collect();
+        let flat = flatten(&chunks);
+        let want: Vec<u32> = chunks.iter().flatten().copied().collect();
+        assert_eq!(flat, want);
+        assert!(flatten::<u8>(&[]).is_empty());
+    }
+
+    #[test]
+    fn split_ranges_covers_everything() {
+        for (n, pieces) in [(0usize, 3usize), (10, 3), (7, 7), (100, 1), (5, 10)] {
+            let ranges = split_ranges(n, pieces);
+            assert_eq!(ranges.len(), pieces.max(1));
+            let total: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(total, n);
+            // Contiguous and ordered.
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+}

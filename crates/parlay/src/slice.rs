@@ -1,0 +1,167 @@
+//! A shared mutable view of a slice for *disjoint* parallel writes.
+//!
+//! The distribution (counting sort scatter), dovetail merge, and in-place
+//! radix partition all write to a shared output buffer from many tasks, with
+//! the algorithm guaranteeing that no two tasks ever touch the same index.
+//! Rust cannot express that guarantee in the type system for dynamically
+//! computed index sets, so the idiomatic HPC pattern is a small unsafe cell
+//! around a raw pointer whose safety contract is "callers write disjoint
+//! indices".  This mirrors how `rayon` itself and crates like `ndarray`
+//! expose unchecked parallel writes.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+
+/// A wrapper around `&mut [T]` that can be shared across threads and written
+/// through from multiple tasks, provided the writes are to disjoint indices.
+pub struct UnsafeSliceCell<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a UnsafeCell<[T]>>,
+}
+
+// SAFETY: the cell only permits access through `unsafe` methods whose
+// contract requires disjoint index sets across threads; with that contract
+// upheld there are no data races, so sharing the pointer is sound for
+// `T: Send + Sync`.
+unsafe impl<'a, T: Send + Sync> Send for UnsafeSliceCell<'a, T> {}
+unsafe impl<'a, T: Send + Sync> Sync for UnsafeSliceCell<'a, T> {}
+
+impl<'a, T> UnsafeSliceCell<'a, T> {
+    /// Wraps a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    /// No other thread may read or write `index` concurrently, and `index`
+    /// must be in bounds.
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        unsafe { self.ptr.add(index).write(value) };
+    }
+
+    /// Reads the value at `index` (requires `T: Copy`).
+    ///
+    /// # Safety
+    /// No other thread may write `index` concurrently, and `index` must be in
+    /// bounds.
+    #[inline]
+    pub unsafe fn read(&self, index: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(index < self.len);
+        unsafe { self.ptr.add(index).read() }
+    }
+
+    /// Returns a mutable reference to the element at `index`.
+    ///
+    /// # Safety
+    /// No other thread may access `index` concurrently, and `index` must be
+    /// in bounds.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, index: usize) -> &mut T {
+        debug_assert!(index < self.len);
+        unsafe { &mut *self.ptr.add(index) }
+    }
+
+    /// Returns a mutable sub-slice `[start, start + len)`.
+    ///
+    /// # Safety
+    /// The returned range must not be accessed concurrently by any other
+    /// thread, and it must be in bounds.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        debug_assert!(start + len <= self.len);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
+    }
+
+    /// Swaps the elements at `i` and `j`.
+    ///
+    /// # Safety
+    /// No other thread may access `i` or `j` concurrently; both must be in
+    /// bounds and distinct (or equal, in which case this is a no-op).
+    #[inline]
+    pub unsafe fn swap(&self, i: usize, j: usize) {
+        debug_assert!(i < self.len && j < self.len);
+        if i != j {
+            unsafe { std::ptr::swap(self.ptr.add(i), self.ptr.add(j)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::parallel_for;
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        let n = 20_000;
+        let mut v = vec![0usize; n];
+        {
+            let cell = UnsafeSliceCell::new(&mut v);
+            parallel_for(0, n, |i| unsafe { cell.write(i, i * 3) });
+        }
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn swap_and_read() {
+        let mut v = vec![1, 2, 3, 4];
+        {
+            let cell = UnsafeSliceCell::new(&mut v);
+            unsafe {
+                cell.swap(0, 3);
+                cell.swap(1, 1);
+                assert_eq!(cell.read(0), 4);
+            }
+        }
+        assert_eq!(v, vec![4, 2, 3, 1]);
+    }
+
+    #[test]
+    fn slice_mut_disjoint_regions() {
+        let mut v = vec![0u32; 100];
+        {
+            let cell = UnsafeSliceCell::new(&mut v);
+            parallel_for(0, 10, |b| {
+                let chunk = unsafe { cell.slice_mut(b * 10, 10) };
+                for (k, x) in chunk.iter_mut().enumerate() {
+                    *x = (b * 10 + k) as u32;
+                }
+            });
+        }
+        assert!(v.iter().enumerate().all(|(i, &x)| x as usize == i));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut v: Vec<u8> = vec![];
+        let cell = UnsafeSliceCell::new(&mut v);
+        assert_eq!(cell.len(), 0);
+        assert!(cell.is_empty());
+    }
+}

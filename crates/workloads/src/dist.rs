@@ -1,0 +1,310 @@
+//! The synthetic key distributions of the paper's Section 6.
+//!
+//! * **Unif-μ** — keys drawn uniformly from `μ` distinct values, then spread
+//!   over the full `[0, 2^bits)` range (order-preservingly) as the paper
+//!   does ("we map the keys to larger ranges up to 2^32 or 2^64").
+//! * **Exp-λ** — key frequencies follow an exponential distribution with
+//!   rate `10^-5 · λ`; the integer part of the variate is the (pre-spread)
+//!   key.
+//! * **Zipf-s** — key frequencies follow a Zipf law with exponent `s`.
+//! * **BExp-t** — the paper's adversarial *Bit-Exponential* distribution:
+//!   every bit of the key is 0 with probability `1/t` and 1 otherwise, which
+//!   makes MSD zone sizes extremely uneven and mixes heavy and light keys in
+//!   nearly every subproblem.
+//!
+//! All generators are parallel (over records) and deterministic in the seed.
+
+use crate::zipf::ZipfSampler;
+use parlay::par::parallel_for;
+use parlay::random::Rng;
+use parlay::slice::UnsafeSliceCell;
+
+/// A key distribution from the paper's evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Distribution {
+    /// Uniform over `distinct` values (the paper's Unif-μ).
+    Uniform { distinct: u64 },
+    /// Exponential with rate `1e-5 · lambda` (the paper's Exp-λ).
+    Exponential { lambda: f64 },
+    /// Zipfian with exponent `s` (the paper's Zipf-s).
+    Zipfian { s: f64 },
+    /// Bit-exponential with parameter `t` (the paper's BExp-t).
+    BitExponential { t: f64 },
+}
+
+impl Distribution {
+    /// Short instance label used in tables (e.g. `"Unif-1e7"`, `"Zipf-1.2"`).
+    pub fn label(&self) -> String {
+        match self {
+            Distribution::Uniform { distinct } => {
+                if *distinct >= 1000 {
+                    format!("Unif-1e{}", (*distinct as f64).log10().round() as u32)
+                } else {
+                    format!("Unif-{distinct}")
+                }
+            }
+            Distribution::Exponential { lambda } => format!("Exp-{lambda}"),
+            Distribution::Zipfian { s } => format!("Zipf-{s}"),
+            Distribution::BitExponential { t } => format!("BExp-{t}"),
+        }
+    }
+}
+
+/// Spreads a small key order-preservingly over the full `bits`-bit range.
+///
+/// The paper maps the standard distributions onto the full 32/64-bit key
+/// range so that the sorts exercise all digit levels; multiplying by a fixed
+/// stride preserves both the order and the duplicate structure.
+fn spread(key: u64, max_key: u64, bits: u32) -> u64 {
+    let range_top = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    if max_key == 0 {
+        return 0;
+    }
+    let stride = range_top / (max_key + 1);
+    key * stride.max(1)
+}
+
+/// Generates `n` keys of width `bits` (32 or 64) from the distribution.
+pub fn generate_keys(dist: &Distribution, n: usize, bits: u32, seed: u64) -> Vec<u64> {
+    assert!(bits == 32 || bits == 64, "the evaluation uses 32- or 64-bit keys");
+    let rng = Rng::new(seed);
+    let mut out = vec![0u64; n];
+    let cell = UnsafeSliceCell::new(&mut out);
+    match dist {
+        Distribution::Uniform { distinct } => {
+            let distinct = (*distinct).max(1);
+            parallel_for(0, n, |i| {
+                let v = rng.ith_in(i as u64, distinct);
+                unsafe { cell.write(i, spread(v, distinct - 1, bits)) };
+            });
+        }
+        Distribution::Exponential { lambda } => {
+            let rate = 1e-5 * lambda.max(1e-12);
+            // The largest key we expect (quantile 1 - 1/(100 n)); used for
+            // spreading over the full bit range.
+            let max_x = ((n as f64 * 100.0).ln() / rate).ceil() as u64;
+            parallel_for(0, n, |i| {
+                let u = rng.ith_f64(i as u64).max(f64::MIN_POSITIVE);
+                let x = (-u.ln() / rate).round() as u64;
+                let x = x.min(max_x);
+                unsafe { cell.write(i, spread(x, max_x, bits)) };
+            });
+        }
+        Distribution::Zipfian { s } => {
+            // The paper draws Zipfian ranks over a universe comparable to n.
+            let ranks = (n as u64).max(2);
+            let sampler = ZipfSampler::new(ranks, *s);
+            parallel_for(0, n, |i| {
+                let u1 = rng.ith_f64(2 * i as u64);
+                let u2 = rng.ith_f64(2 * i as u64 + 1);
+                let rank = sampler.sample(u1, u2) - 1;
+                unsafe { cell.write(i, spread(rank, ranks - 1, bits)) };
+            });
+        }
+        Distribution::BitExponential { t } => {
+            let p_zero = (1.0 / t.max(1.0)).clamp(0.0, 1.0);
+            parallel_for(0, n, |i| {
+                let mut key = 0u64;
+                let base = (i as u64) * 64;
+                for b in 0..bits {
+                    let bit = if rng.ith_f64(base + b as u64) < p_zero { 0 } else { 1 };
+                    key |= bit << b;
+                }
+                unsafe { cell.write(i, key) };
+            });
+        }
+    }
+    out
+}
+
+/// Generates `(32-bit key, 32-bit value)` records; values record the input
+/// index so stability can be checked.
+pub fn generate_pairs_u32(dist: &Distribution, n: usize, seed: u64) -> Vec<(u32, u32)> {
+    generate_keys(dist, n, 32, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| (k as u32, i as u32))
+        .collect()
+}
+
+/// Generates `(64-bit key, 64-bit value)` records.
+pub fn generate_pairs_u64(dist: &Distribution, n: usize, seed: u64) -> Vec<(u64, u64)> {
+    generate_keys(dist, n, 64, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| (k, i as u64))
+        .collect()
+}
+
+/// The 15 standard-distribution instances of Table 3 / Fig. 1, in the
+/// paper's order (5 Uniform, 5 Exponential, 5 Zipfian).
+pub fn paper_instances() -> Vec<Distribution> {
+    let mut v = Vec::new();
+    for &mu in &[1e9 as u64, 1e7 as u64, 1e5 as u64, 1e3 as u64, 10] {
+        v.push(Distribution::Uniform { distinct: mu });
+    }
+    for &l in &[1.0, 2.0, 5.0, 7.0, 10.0] {
+        v.push(Distribution::Exponential { lambda: l });
+    }
+    for &s in &[0.6, 0.8, 1.0, 1.2, 1.5] {
+        v.push(Distribution::Zipfian { s });
+    }
+    v
+}
+
+/// The 5 adversarial Bit-Exponential instances of Table 3.
+pub fn bexp_instances() -> Vec<Distribution> {
+    [10.0, 30.0, 50.0, 100.0, 300.0]
+        .iter()
+        .map(|&t| Distribution::BitExponential { t })
+        .collect()
+}
+
+/// The 8 representative instances used by the Fig. 4(a)(b) ablation
+/// (lightest and heaviest case of each distribution family).
+pub fn ablation_instances() -> Vec<Distribution> {
+    vec![
+        Distribution::Uniform { distinct: 1_000_000_000 },
+        Distribution::Uniform { distinct: 10 },
+        Distribution::Exponential { lambda: 1.0 },
+        Distribution::Exponential { lambda: 10.0 },
+        Distribution::Zipfian { s: 0.6 },
+        Distribution::Zipfian { s: 1.5 },
+        Distribution::BitExponential { t: 10.0 },
+        Distribution::BitExponential { t: 300.0 },
+    ]
+}
+
+/// The 7 representative instances used by the Fig. 4(c)(d) merge ablation.
+pub fn merge_ablation_instances() -> Vec<Distribution> {
+    vec![
+        Distribution::Uniform { distinct: 1_000 },
+        Distribution::Exponential { lambda: 1.0 },
+        Distribution::Exponential { lambda: 10.0 },
+        Distribution::Zipfian { s: 0.6 },
+        Distribution::Zipfian { s: 1.5 },
+        Distribution::BitExponential { t: 10.0 },
+        Distribution::BitExponential { t: 300.0 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn uniform_has_requested_distinct_count() {
+        let keys = generate_keys(&Distribution::Uniform { distinct: 10 }, 50_000, 32, 1);
+        let distinct: HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(distinct.len(), 10);
+        assert!(keys.iter().all(|&k| k <= u32::MAX as u64));
+    }
+
+    #[test]
+    fn uniform_large_universe_is_mostly_distinct() {
+        let n = 50_000;
+        let keys = generate_keys(&Distribution::Uniform { distinct: 1 << 40 }, n, 64, 2);
+        let distinct: HashSet<u64> = keys.iter().copied().collect();
+        assert!(distinct.len() > n * 99 / 100);
+    }
+
+    #[test]
+    fn exponential_is_skewed_toward_small_keys() {
+        let keys = generate_keys(&Distribution::Exponential { lambda: 10.0 }, 50_000, 32, 3);
+        // With rate 1e-4, the median of the underlying variate is ~6931, and
+        // the most frequent single keys are the small ones; at least the key
+        // multiset must contain many duplicates.
+        let distinct: HashSet<u64> = keys.iter().copied().collect();
+        assert!(distinct.len() < keys.len(), "exponential input should contain duplicates");
+    }
+
+    #[test]
+    fn exponential_lighter_lambda_has_more_distinct_keys() {
+        let n = 100_000;
+        let d1: HashSet<u64> =
+            generate_keys(&Distribution::Exponential { lambda: 1.0 }, n, 32, 4)
+                .into_iter()
+                .collect();
+        let d10: HashSet<u64> =
+            generate_keys(&Distribution::Exponential { lambda: 10.0 }, n, 32, 4)
+                .into_iter()
+                .collect();
+        assert!(
+            d1.len() > d10.len(),
+            "λ=1 ({}) should be lighter than λ=10 ({})",
+            d1.len(),
+            d10.len()
+        );
+    }
+
+    #[test]
+    fn zipf_heavier_exponent_has_fewer_distinct_keys() {
+        let n = 100_000;
+        let d06: HashSet<u64> = generate_keys(&Distribution::Zipfian { s: 0.6 }, n, 32, 5)
+            .into_iter()
+            .collect();
+        let d15: HashSet<u64> = generate_keys(&Distribution::Zipfian { s: 1.5 }, n, 32, 5)
+            .into_iter()
+            .collect();
+        assert!(d06.len() > 10 * d15.len(), "{} vs {}", d06.len(), d15.len());
+    }
+
+    #[test]
+    fn bexp_bits_are_mostly_ones_for_large_t() {
+        let keys = generate_keys(&Distribution::BitExponential { t: 300.0 }, 5_000, 32, 6);
+        let total_zero_bits: u32 = keys.iter().map(|&k| 32 - (k as u32).count_ones()).sum();
+        let frac = total_zero_bits as f64 / (keys.len() as f64 * 32.0);
+        assert!((frac - 1.0 / 300.0).abs() < 0.005, "zero-bit fraction {frac}");
+    }
+
+    #[test]
+    fn bexp_smaller_t_has_more_zero_bits() {
+        let k10 = generate_keys(&Distribution::BitExponential { t: 10.0 }, 5_000, 32, 7);
+        let k300 = generate_keys(&Distribution::BitExponential { t: 300.0 }, 5_000, 32, 7);
+        let zeros = |ks: &[u64]| -> u32 { ks.iter().map(|&k| 32 - (k as u32).count_ones()).sum() };
+        assert!(zeros(&k10) > zeros(&k300) * 5);
+    }
+
+    #[test]
+    fn keys_fit_requested_width() {
+        for dist in paper_instances().iter().chain(bexp_instances().iter()) {
+            let keys = generate_keys(dist, 2_000, 32, 8);
+            assert!(
+                keys.iter().all(|&k| k <= u32::MAX as u64),
+                "{:?} produced >32-bit keys",
+                dist
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let d = Distribution::Zipfian { s: 1.2 };
+        assert_eq!(generate_keys(&d, 10_000, 64, 9), generate_keys(&d, 10_000, 64, 9));
+        assert_ne!(generate_keys(&d, 10_000, 64, 9), generate_keys(&d, 10_000, 64, 10));
+    }
+
+    #[test]
+    fn pairs_record_input_index() {
+        let pairs = generate_pairs_u32(&Distribution::Uniform { distinct: 100 }, 1_000, 11);
+        assert_eq!(pairs.len(), 1_000);
+        assert!(pairs.iter().enumerate().all(|(i, &(_, v))| v as usize == i));
+        let pairs64 = generate_pairs_u64(&Distribution::Uniform { distinct: 100 }, 500, 11);
+        assert!(pairs64.iter().enumerate().all(|(i, &(_, v))| v as usize == i));
+    }
+
+    #[test]
+    fn instance_lists_match_paper_counts() {
+        assert_eq!(paper_instances().len(), 15);
+        assert_eq!(bexp_instances().len(), 5);
+        assert_eq!(ablation_instances().len(), 8);
+        assert_eq!(merge_ablation_instances().len(), 7);
+        assert_eq!(
+            Distribution::Uniform { distinct: 10_000_000 }.label(),
+            "Unif-1e7"
+        );
+        assert_eq!(Distribution::Zipfian { s: 1.2 }.label(), "Zipf-1.2");
+        assert_eq!(Distribution::Uniform { distinct: 10 }.label(), "Unif-10");
+    }
+}

@@ -1,0 +1,277 @@
+//! Synthetic directed graphs for the graph-transpose application
+//! (paper Section 6.2, Table 4).
+//!
+//! The paper transposes five real-world graphs (soc-LiveJournal, Twitter,
+//! Cosmo50, sd_arc, ClueWeb).  What matters for the sorting workload is the
+//! *in-degree distribution of the destination vertices* — social networks and
+//! web graphs are heavily skewed (many duplicate keys), while the k-NN graph
+//! Cosmo50 is near-regular.  The generators here reproduce those two shapes:
+//!
+//! * [`power_law_graph`] — destination vertices drawn from a Zipf
+//!   distribution (skewed in-degrees, social/web-graph stand-in);
+//! * [`knn_like_graph`] — every vertex points to `k` near-neighbours
+//!   (near-uniform in-degrees, Cosmo50 stand-in);
+//! * [`uniform_graph`] — destinations drawn uniformly (light duplicates).
+
+use crate::zipf::ZipfSampler;
+use parlay::par::parallel_for;
+use parlay::random::Rng;
+use parlay::slice::UnsafeSliceCell;
+
+/// An edge list of a directed graph on vertices `0..num_vertices`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeList {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Directed edges `(from, to)`.
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// A compressed-sparse-row representation of a directed graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes the out-neighbours of `v` in
+    /// `targets`.  Length `num_vertices + 1`.
+    pub offsets: Vec<usize>,
+    /// Concatenated out-neighbour lists.
+    pub targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbours of vertex `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Out-degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Builds a CSR from an edge list (edges must already be grouped by
+    /// source; use [`Csr::from_unsorted_edges`] otherwise).
+    pub fn from_sorted_edges(num_vertices: usize, edges: &[(u32, u32)]) -> Self {
+        let mut offsets = vec![0usize; num_vertices + 1];
+        for &(u, _) in edges {
+            offsets[u as usize + 1] += 1;
+        }
+        for v in 0..num_vertices {
+            offsets[v + 1] += offsets[v];
+        }
+        let targets = edges.iter().map(|&(_, v)| v).collect();
+        Self { offsets, targets }
+    }
+
+    /// Builds a CSR from an arbitrary edge list by stably sorting it by
+    /// source vertex first.
+    pub fn from_unsorted_edges(num_vertices: usize, edges: &[(u32, u32)]) -> Self {
+        let mut sorted = edges.to_vec();
+        dtsort_free_sort(&mut sorted);
+        Self::from_sorted_edges(num_vertices, &sorted)
+    }
+
+    /// Flattens the CSR back into an edge list `(source, target)`.
+    pub fn to_edges(&self) -> Vec<(u32, u32)> {
+        let n = self.num_vertices();
+        let mut edges = vec![(0u32, 0u32); self.num_edges()];
+        let cell = UnsafeSliceCell::new(&mut edges);
+        let offsets = &self.offsets;
+        let targets = &self.targets;
+        parallel_for(0, n, |v| {
+            for (j, &t) in targets[offsets[v]..offsets[v + 1]].iter().enumerate() {
+                unsafe { cell.write(offsets[v] + j, (v as u32, t)) };
+            }
+        });
+        edges
+    }
+}
+
+/// Dependency-free stable sort of an edge list by source vertex, used only
+/// for CSR construction inside this crate (the applications crate provides
+/// the measured sorting-based transpose).
+fn dtsort_free_sort(edges: &mut [(u32, u32)]) {
+    edges.sort_by_key(|&(u, _)| u);
+}
+
+/// A directed graph whose edge destinations follow a Zipf distribution —
+/// the stand-in for social networks and web graphs (skewed in-degrees).
+pub fn power_law_graph(num_vertices: usize, num_edges: usize, s: f64, seed: u64) -> EdgeList {
+    let rng = Rng::new(seed);
+    let sampler = ZipfSampler::new(num_vertices.max(1) as u64, s);
+    let mut edges = vec![(0u32, 0u32); num_edges];
+    let cell = UnsafeSliceCell::new(&mut edges);
+    parallel_for(0, num_edges, |i| {
+        let from = rng.ith_in(3 * i as u64, num_vertices as u64) as u32;
+        // Zipf rank 1 is the most popular destination; permute ranks with a
+        // hash so popular vertices are spread over the id space like in real
+        // graphs.
+        let rank = sampler.sample(
+            rng.ith_f64(3 * i as u64 + 1),
+            rng.ith_f64(3 * i as u64 + 2),
+        ) - 1;
+        let to = (parlay::random::hash64(rank) % num_vertices as u64) as u32;
+        unsafe { cell.write(i, (from, to)) };
+    });
+    EdgeList {
+        num_vertices,
+        edges,
+    }
+}
+
+/// A directed graph where every vertex has `k` out-edges to vertices with
+/// nearby ids — the stand-in for the k-NN graph Cosmo50 (near-uniform
+/// in-degrees).
+pub fn knn_like_graph(num_vertices: usize, k: usize, seed: u64) -> EdgeList {
+    let rng = Rng::new(seed);
+    let num_edges = num_vertices * k;
+    let mut edges = vec![(0u32, 0u32); num_edges];
+    let window = (8 * k).max(16) as u64;
+    let cell = UnsafeSliceCell::new(&mut edges);
+    parallel_for(0, num_vertices, |v| {
+        for j in 0..k {
+            let idx = v * k + j;
+            // Neighbour at a small random offset (wrapping), mimicking
+            // spatial locality of a k-NN graph.
+            let offset = rng.ith_in(idx as u64, window) as i64 - (window / 2) as i64;
+            let to = (v as i64 + offset).rem_euclid(num_vertices as i64) as u32;
+            unsafe { cell.write(idx, (v as u32, to)) };
+        }
+    });
+    EdgeList {
+        num_vertices,
+        edges,
+    }
+}
+
+/// A directed graph with uniformly random destinations.
+pub fn uniform_graph(num_vertices: usize, num_edges: usize, seed: u64) -> EdgeList {
+    let rng = Rng::new(seed);
+    let mut edges = vec![(0u32, 0u32); num_edges];
+    let cell = UnsafeSliceCell::new(&mut edges);
+    parallel_for(0, num_edges, |i| {
+        let from = rng.ith_in(2 * i as u64, num_vertices as u64) as u32;
+        let to = rng.ith_in(2 * i as u64 + 1, num_vertices as u64) as u32;
+        unsafe { cell.write(i, (from, to)) };
+    });
+    EdgeList {
+        num_vertices,
+        edges,
+    }
+}
+
+/// The Table 4 graph-transpose instances (scaled-down synthetic stand-ins
+/// for LJ / TW / CM / SD / CW), as `(label, edge list)` pairs.
+///
+/// `scale` multiplies the instance sizes; `scale = 1.0` produces graphs of a
+/// few million edges that run comfortably on a laptop.
+pub fn table4_graphs(scale: f64, seed: u64) -> Vec<(String, EdgeList)> {
+    let sz = |x: f64| ((x * scale) as usize).max(1000);
+    vec![
+        (
+            "LJ-like (social)".to_string(),
+            power_law_graph(sz(500_000.0), sz(4_000_000.0), 1.1, seed),
+        ),
+        (
+            "TW-like (social)".to_string(),
+            power_law_graph(sz(1_000_000.0), sz(8_000_000.0), 1.3, seed + 1),
+        ),
+        (
+            "CM-like (kNN)".to_string(),
+            knn_like_graph(sz(1_000_000.0), 8, seed + 2),
+        ),
+        (
+            "SD-like (web)".to_string(),
+            power_law_graph(sz(1_500_000.0), sz(10_000_000.0), 1.2, seed + 3),
+        ),
+        (
+            "CW-like (web)".to_string(),
+            power_law_graph(sz(2_000_000.0), sz(16_000_000.0), 1.25, seed + 4),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn power_law_graph_has_skewed_in_degrees() {
+        let g = power_law_graph(10_000, 200_000, 1.2, 1);
+        assert_eq!(g.edges.len(), 200_000);
+        assert!(g.edges.iter().all(|&(u, v)| (u as usize) < 10_000 && (v as usize) < 10_000));
+        let mut indeg: HashMap<u32, usize> = HashMap::new();
+        for &(_, v) in &g.edges {
+            *indeg.entry(v).or_default() += 1;
+        }
+        let max_deg = *indeg.values().max().unwrap();
+        let avg = 200_000.0 / indeg.len() as f64;
+        assert!(
+            max_deg as f64 > 20.0 * avg,
+            "max in-degree {max_deg} not skewed vs avg {avg}"
+        );
+    }
+
+    #[test]
+    fn knn_graph_has_regular_degrees() {
+        let g = knn_like_graph(5_000, 8, 2);
+        assert_eq!(g.edges.len(), 40_000);
+        let mut outdeg = vec![0usize; 5_000];
+        let mut indeg = vec![0usize; 5_000];
+        for &(u, v) in &g.edges {
+            outdeg[u as usize] += 1;
+            indeg[v as usize] += 1;
+        }
+        assert!(outdeg.iter().all(|&d| d == 8));
+        let max_in = *indeg.iter().max().unwrap();
+        assert!(max_in < 80, "kNN-like in-degrees should be near-uniform, max {max_in}");
+    }
+
+    #[test]
+    fn csr_round_trip() {
+        let g = uniform_graph(1_000, 20_000, 3);
+        let csr = Csr::from_unsorted_edges(g.num_vertices, &g.edges);
+        assert_eq!(csr.num_vertices(), 1_000);
+        assert_eq!(csr.num_edges(), 20_000);
+        let mut back = csr.to_edges();
+        let mut want = g.edges.clone();
+        back.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(back, want);
+        // Degrees sum to edge count.
+        let total: usize = (0..csr.num_vertices()).map(|v| csr.degree(v)).sum();
+        assert_eq!(total, 20_000);
+    }
+
+    #[test]
+    fn csr_neighbors_are_grouped_by_source() {
+        let edges = vec![(2u32, 5u32), (0, 1), (2, 3), (1, 0), (0, 9)];
+        let csr = Csr::from_unsorted_edges(10, &edges);
+        assert_eq!(csr.neighbors(0), &[1, 9]);
+        assert_eq!(csr.neighbors(1), &[0]);
+        assert_eq!(csr.neighbors(2), &[5, 3]);
+        assert!(csr.neighbors(3).is_empty());
+    }
+
+    #[test]
+    fn table4_instances_exist_and_are_deterministic() {
+        let a = table4_graphs(0.01, 7);
+        let b = table4_graphs(0.01, 7);
+        assert_eq!(a.len(), 5);
+        for ((la, ga), (lb, gb)) in a.iter().zip(b.iter()) {
+            assert_eq!(la, lb);
+            assert_eq!(ga, gb);
+            assert!(!ga.edges.is_empty());
+        }
+    }
+}

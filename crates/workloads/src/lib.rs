@@ -1,0 +1,31 @@
+//! # workloads — input generators for the DovetailSort evaluation
+//!
+//! Section 6 of the paper evaluates the sorting algorithms on four synthetic
+//! key distributions (Uniform-μ, Exponential-λ, Zipfian-s and the
+//! adversarial Bit-Exponential-t), on real-world graphs (for the graph
+//! transpose application) and on real-world / Varden-generated point sets
+//! (for the Morton sort application).
+//!
+//! This crate regenerates all of them synthetically and deterministically:
+//!
+//! * [`dist`] — the four key distributions with the paper's exact parameter
+//!   grids ([`dist::paper_instances`], [`dist::bexp_instances`]).
+//! * [`zipf`] — a bounded Zipf sampler (rejection inversion).
+//! * [`graphs`] — directed-graph generators whose in-degree skew mimics the
+//!   social/web graphs (power law) and the k-NN graph (near-uniform) used in
+//!   Table 4, plus a CSR representation.
+//! * [`points`] — 2D/3D point-cloud generators including a Varden-style
+//!   variable-density generator, used by the Morton-sort experiments.
+//!
+//! All generators take an explicit seed and are deterministic, so every
+//! experiment in `EXPERIMENTS.md` is exactly reproducible.
+
+pub mod dist;
+pub mod graphs;
+pub mod points;
+pub mod zipf;
+
+pub use dist::{bexp_instances, generate_keys, generate_pairs_u32, generate_pairs_u64, paper_instances, Distribution};
+pub use graphs::{Csr, EdgeList};
+pub use points::{Point2, Point3};
+pub use zipf::ZipfSampler;

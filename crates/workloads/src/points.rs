@@ -1,0 +1,275 @@
+//! Point-cloud generators for the Morton-sort application
+//! (paper Section 6.2, Table 4).
+//!
+//! The paper sorts the z-values (Morton codes) of real point sets (GeoLife,
+//! Cosmo50, OpenStreetMap) and of synthetic sets produced by the *Varden*
+//! generator, which creates points with strongly varying densities.  The
+//! property that matters for the sorting workload is the spatial density
+//! skew: dense clusters produce many points whose Morton codes share long
+//! prefixes (and many exact duplicates after quantization), while uniform
+//! clouds produce near-distinct codes.  The generators here reproduce both
+//! regimes.
+
+use parlay::par::parallel_for;
+use parlay::random::Rng;
+use parlay::slice::UnsafeSliceCell;
+
+/// A 2-dimensional point with coordinates quantized to `u32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Point2 {
+    pub x: u32,
+    pub y: u32,
+}
+
+/// A 3-dimensional point with coordinates quantized to `u32`
+/// (only the low 21 bits are used when interleaving into a 64-bit z-value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Point3 {
+    pub x: u32,
+    pub y: u32,
+    pub z: u32,
+}
+
+/// Uniformly random 2D points over the full coordinate range.
+pub fn uniform_points_2d(n: usize, seed: u64) -> Vec<Point2> {
+    let rng = Rng::new(seed);
+    let mut pts = vec![Point2::default(); n];
+    let cell = UnsafeSliceCell::new(&mut pts);
+    parallel_for(0, n, |i| {
+        let p = Point2 {
+            x: rng.ith(2 * i as u64) as u32,
+            y: rng.ith(2 * i as u64 + 1) as u32,
+        };
+        unsafe { cell.write(i, p) };
+    });
+    pts
+}
+
+/// Uniformly random 3D points (21 significant bits per coordinate).
+pub fn uniform_points_3d(n: usize, seed: u64) -> Vec<Point3> {
+    let rng = Rng::new(seed);
+    let mask = (1u32 << 21) - 1;
+    let mut pts = vec![Point3::default(); n];
+    let cell = UnsafeSliceCell::new(&mut pts);
+    parallel_for(0, n, |i| {
+        let p = Point3 {
+            x: rng.ith(3 * i as u64) as u32 & mask,
+            y: rng.ith(3 * i as u64 + 1) as u32 & mask,
+            z: rng.ith(3 * i as u64 + 2) as u32 & mask,
+        };
+        unsafe { cell.write(i, p) };
+    });
+    pts
+}
+
+/// Parameters of the Varden-style variable-density generator.
+#[derive(Debug, Clone)]
+pub struct VardenConfig {
+    /// Number of dense clusters.
+    pub clusters: usize,
+    /// Fraction of points placed inside clusters (the rest is background
+    /// noise spread uniformly).
+    pub clustered_fraction: f64,
+    /// Cluster radius as a fraction of the coordinate range; clusters get
+    /// geometrically varying radii around this value to vary the density.
+    pub base_radius: f64,
+    /// Quantization grid: coordinates are snapped to this many distinct
+    /// values per axis, which (like real GPS / simulation data) produces
+    /// exact duplicate points inside dense clusters.
+    pub grid: u32,
+}
+
+impl Default for VardenConfig {
+    fn default() -> Self {
+        Self {
+            clusters: 64,
+            clustered_fraction: 0.9,
+            base_radius: 0.002,
+            grid: 1 << 20,
+        }
+    }
+}
+
+/// Varden-style 2D points: dense clusters of geometrically varying density
+/// plus uniform background noise.
+pub fn varden_points_2d(n: usize, cfg: &VardenConfig, seed: u64) -> Vec<Point2> {
+    let rng = Rng::new(seed);
+    let crng = rng.fork(1);
+    let clusters = cfg.clusters.max(1);
+    // Cluster centers and radii (radii shrink geometrically => density grows).
+    let centers: Vec<(f64, f64, f64)> = (0..clusters)
+        .map(|c| {
+            let cx = crng.ith_f64(2 * c as u64);
+            let cy = crng.ith_f64(2 * c as u64 + 1);
+            let r = cfg.base_radius * 1.5f64.powi(-((c % 16) as i32));
+            (cx, cy, r)
+        })
+        .collect();
+    let scale = (cfg.grid - 1) as f64;
+    let mut pts = vec![Point2::default(); n];
+    let cell = UnsafeSliceCell::new(&mut pts);
+    let centers_ref = &centers;
+    parallel_for(0, n, |i| {
+        let b = i as u64;
+        let p = if rng.ith_f64(4 * b) < cfg.clustered_fraction {
+            let c = rng.ith_in(4 * b + 1, clusters as u64) as usize;
+            let (cx, cy, r) = centers_ref[c];
+            let dx = (rng.ith_f64(4 * b + 2) - 0.5) * 2.0 * r;
+            let dy = (rng.ith_f64(4 * b + 3) - 0.5) * 2.0 * r;
+            ((cx + dx).clamp(0.0, 1.0), (cy + dy).clamp(0.0, 1.0))
+        } else {
+            (rng.ith_f64(4 * b + 2), rng.ith_f64(4 * b + 3))
+        };
+        let q = Point2 {
+            x: (p.0 * scale) as u32,
+            y: (p.1 * scale) as u32,
+        };
+        unsafe { cell.write(i, q) };
+    });
+    pts
+}
+
+/// Varden-style 3D points.
+pub fn varden_points_3d(n: usize, cfg: &VardenConfig, seed: u64) -> Vec<Point3> {
+    let rng = Rng::new(seed);
+    let crng = rng.fork(2);
+    let clusters = cfg.clusters.max(1);
+    let centers: Vec<(f64, f64, f64, f64)> = (0..clusters)
+        .map(|c| {
+            let cx = crng.ith_f64(3 * c as u64);
+            let cy = crng.ith_f64(3 * c as u64 + 1);
+            let cz = crng.ith_f64(3 * c as u64 + 2);
+            let r = cfg.base_radius * 1.5f64.powi(-((c % 16) as i32));
+            (cx, cy, cz, r)
+        })
+        .collect();
+    let grid = cfg.grid.min(1 << 21);
+    let scale = (grid - 1) as f64;
+    let mut pts = vec![Point3::default(); n];
+    let cell = UnsafeSliceCell::new(&mut pts);
+    let centers_ref = &centers;
+    parallel_for(0, n, |i| {
+        let b = i as u64;
+        let p = if rng.ith_f64(5 * b) < cfg.clustered_fraction {
+            let c = rng.ith_in(5 * b + 1, clusters as u64) as usize;
+            let (cx, cy, cz, r) = centers_ref[c];
+            (
+                (cx + (rng.ith_f64(5 * b + 2) - 0.5) * 2.0 * r).clamp(0.0, 1.0),
+                (cy + (rng.ith_f64(5 * b + 3) - 0.5) * 2.0 * r).clamp(0.0, 1.0),
+                (cz + (rng.ith_f64(5 * b + 4) - 0.5) * 2.0 * r).clamp(0.0, 1.0),
+            )
+        } else {
+            (
+                rng.ith_f64(5 * b + 2),
+                rng.ith_f64(5 * b + 3),
+                rng.ith_f64(5 * b + 4),
+            )
+        };
+        let q = Point3 {
+            x: (p.0 * scale) as u32,
+            y: (p.1 * scale) as u32,
+            z: (p.2 * scale) as u32,
+        };
+        unsafe { cell.write(i, q) };
+    });
+    pts
+}
+
+/// GPS-trace-like 2D points (GeoLife / OSM stand-in): a small number of
+/// "roads" (random walks) along which points are densely and repeatedly
+/// sampled, producing very heavy coordinate duplication.
+pub fn trace_points_2d(n: usize, walks: usize, seed: u64) -> Vec<Point2> {
+    let rng = Rng::new(seed);
+    let walks = walks.max(1);
+    let steps_per_walk = (n / walks).max(1);
+    // Precompute walk paths coarsely (quantized to a street grid).
+    let grid = 1u32 << 16;
+    let path_rng = rng.fork(3);
+    let mut pts = vec![Point2::default(); n];
+    let cell = UnsafeSliceCell::new(&mut pts);
+    parallel_for(0, n, |i| {
+        let w = i / steps_per_walk;
+        let step = (i % steps_per_walk) as u64;
+        let wr = path_rng.fork(w as u64);
+        // Each walk consists of segments of 64 samples anchored at a grid
+        // cell; most samples within a segment are "stationary" (exactly the
+        // anchor, like a GPS device sitting at a traffic light), the rest
+        // advance along the segment direction.  This yields the heavy
+        // coordinate duplication observed in real GPS traces.
+        let seg = step / 64;
+        let x0 = wr.ith_in(2 * seg, grid as u64) as i64;
+        let y0 = wr.ith_in(2 * seg + 1, grid as u64) as i64;
+        let stationary = wr.ith_f64(10_000 + step) < 0.7;
+        let (x, y) = if stationary {
+            (x0, y0)
+        } else {
+            let dx = (wr.ith_in(20_000 + seg, 5) as i64) - 2;
+            let dy = (wr.ith_in(30_000 + seg, 5) as i64) - 2;
+            (
+                (x0 + dx * (step % 64) as i64).rem_euclid(grid as i64),
+                (y0 + dy * (step % 64) as i64).rem_euclid(grid as i64),
+            )
+        };
+        unsafe {
+            cell.write(
+                i,
+                Point2 {
+                    x: (x as u32) << 8,
+                    y: (y as u32) << 8,
+                },
+            )
+        };
+    });
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn uniform_points_are_mostly_distinct() {
+        let pts = uniform_points_2d(50_000, 1);
+        let set: HashSet<(u32, u32)> = pts.iter().map(|p| (p.x, p.y)).collect();
+        assert!(set.len() > 49_000);
+        let pts3 = uniform_points_3d(10_000, 2);
+        assert!(pts3.iter().all(|p| p.x < (1 << 21) && p.y < (1 << 21) && p.z < (1 << 21)));
+    }
+
+    #[test]
+    fn varden_points_have_density_skew() {
+        let pts = varden_points_2d(100_000, &VardenConfig::default(), 3);
+        assert_eq!(pts.len(), 100_000);
+        // Count points in a coarse grid; the densest cell should hold far
+        // more than the uniform expectation.
+        let mut counts = std::collections::HashMap::new();
+        for p in &pts {
+            *counts.entry((p.x >> 14, p.y >> 14)).or_insert(0usize) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let avg = 100_000.0 / counts.len() as f64;
+        assert!(max as f64 > 10.0 * avg, "max cell {max}, avg {avg}");
+    }
+
+    #[test]
+    fn varden_3d_in_range_and_deterministic() {
+        let cfg = VardenConfig::default();
+        let a = varden_points_3d(20_000, &cfg, 4);
+        let b = varden_points_3d(20_000, &cfg, 4);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|p| p.x < (1 << 21) && p.y < (1 << 21) && p.z < (1 << 21)));
+    }
+
+    #[test]
+    fn trace_points_have_heavy_duplicates() {
+        let pts = trace_points_2d(100_000, 200, 5);
+        let set: HashSet<(u32, u32)> = pts.iter().map(|p| (p.x, p.y)).collect();
+        assert!(
+            set.len() < pts.len() / 2,
+            "trace points should contain many duplicates: {} distinct of {}",
+            set.len(),
+            pts.len()
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Group-by on a duplicate-heavy stream — the semisort-style workload that
+//! motivates heavy-key detection (paper Sections 1 and 2.5).
+//!
+//! Simulates a clickstream where a few pages receive most of the traffic
+//! (Zipfian page popularity), groups the events by page with
+//! DovetailSort-backed `group_by_key`, and compares DovetailSort against the
+//! "Plain" radix sort (no heavy-key detection) on the same input.
+//!
+//! Run with `cargo run --release --example duplicate_groupby`.
+
+use apps::groupby::group_by_key;
+use pisort::SortConfig;
+use std::time::Instant;
+use workloads::dist::{generate_keys, Distribution};
+
+fn main() {
+    let n = 4_000_000;
+    println!("generating {n} click events with Zipf-1.2 page popularity...");
+    let pages = generate_keys(&Distribution::Zipfian { s: 1.2 }, n, 32, 3);
+    let mut events: Vec<(u64, u32)> = pages
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i as u32))
+        .collect();
+
+    // Group the events by page.
+    let t0 = Instant::now();
+    let groups = group_by_key(&mut events);
+    println!(
+        "grouped into {} distinct pages in {:?}",
+        groups.len(),
+        t0.elapsed()
+    );
+    let top = groups.iter().max_by_key(|g| g.len()).unwrap();
+    println!(
+        "hottest page owns {:.1}% of all events",
+        100.0 * top.len() as f64 / n as f64
+    );
+
+    // The underlying sort: with vs without heavy-key detection.
+    let input: Vec<(u64, u32)> = pages.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect();
+    let mut a = input.clone();
+    let t1 = Instant::now();
+    let stats = pisort::sort_pairs_with_stats(&mut a, &SortConfig::default());
+    let dt_time = t1.elapsed();
+    let mut b = input;
+    let t2 = Instant::now();
+    pisort::sort_pairs_with(&mut b, &SortConfig::plain());
+    let plain_time = t2.elapsed();
+    assert_eq!(a, b, "both configurations must produce the same stable order");
+    println!(
+        "DovetailSort: {dt_time:?} ({} heavy keys, {:.1}% of records bypassed recursion)",
+        stats.heavy_keys,
+        100.0 * stats.heavy_records as f64 / n as f64
+    );
+    println!("Plain radix sort (no heavy-key detection): {plain_time:?}");
+}

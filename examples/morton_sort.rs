@@ -1,0 +1,56 @@
+//! Morton (z-order) sort, the second application of the paper's Section 6.2.
+//!
+//! Generates a Varden-style variable-density 2D point cloud (dense clusters
+//! plus background noise), computes the z-value of every point by bit
+//! interleaving, and sorts the points along the z-order curve with
+//! DovetailSort.  Dense clusters produce many duplicate z-values, which is
+//! exactly the duplicate-heavy regime DovetailSort targets.
+//!
+//! Run with `cargo run --release --example morton_sort`.
+
+use apps::morton::{morton2, morton_sort_2d, morton_sort_2d_with};
+use std::time::Instant;
+use workloads::points::{varden_points_2d, VardenConfig};
+
+fn main() {
+    let n = 2_000_000;
+    println!("generating {n} Varden-style variable-density points...");
+    let points = varden_points_2d(n, &VardenConfig::default(), 7);
+
+    // How duplicate-heavy is this input after quantization?
+    let mut codes: Vec<u64> = points.iter().map(|p| morton2(p.x, p.y)).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    println!(
+        "{} distinct z-values among {n} points ({:.1}% duplicates)",
+        codes.len(),
+        100.0 * (1.0 - codes.len() as f64 / n as f64)
+    );
+
+    let t0 = Instant::now();
+    let sorted = morton_sort_2d(&points);
+    println!("DovetailSort Morton sort: {:?}", t0.elapsed());
+
+    let t1 = Instant::now();
+    let sorted_ss = morton_sort_2d_with(&points, |c| baselines::samplesort::sort_pairs(c));
+    println!("samplesort Morton sort:   {:?}", t1.elapsed());
+
+    // Verify: the z-values of the output are non-decreasing and the two
+    // back-ends agree on the z-value sequence.
+    let zs: Vec<u64> = sorted.iter().map(|p| morton2(p.x, p.y)).collect();
+    assert!(zs.windows(2).all(|w| w[0] <= w[1]));
+    let zs2: Vec<u64> = sorted_ss.iter().map(|p| morton2(p.x, p.y)).collect();
+    assert_eq!(zs, zs2);
+
+    // Locality: neighbours in z-order are spatially close on average.
+    let mut total_dist = 0.0f64;
+    for w in sorted.windows(2).take(100_000) {
+        let dx = w[0].x as f64 - w[1].x as f64;
+        let dy = w[0].y as f64 - w[1].y as f64;
+        total_dist += (dx * dx + dy * dy).sqrt();
+    }
+    println!(
+        "average distance between consecutive points in z-order (first 100k): {:.0} (coordinate range is ~10^6)",
+        total_dist / 100_000.0
+    );
+}

@@ -1,0 +1,31 @@
+//! # pisort — umbrella crate of the DovetailSort (PPoPP 2024) reproduction
+//!
+//! This crate re-exports the whole workspace under one roof so examples,
+//! integration tests, and downstream users can depend on a single crate:
+//!
+//! * [`dtsort`] — DovetailSort, the paper's contribution (stable parallel
+//!   integer sort with heavy-key detection and dovetail merging).
+//! * [`parlay`] — the ParlayLib-style parallel-primitives substrate.
+//! * [`baselines`] — the comparison sorting algorithms of the evaluation.
+//! * [`workloads`] — synthetic key distributions, graphs and point clouds.
+//! * [`apps`] — graph transpose, Morton sort and group-by applications.
+//!
+//! ```
+//! // The most common entry point: stably sort key-value records.
+//! let mut records = vec![(30u32, 'c'), (10, 'a'), (30, 'b'), (20, 'd')];
+//! pisort::sort_pairs(&mut records);
+//! assert_eq!(records, vec![(10, 'a'), (20, 'd'), (30, 'c'), (30, 'b')]);
+//! ```
+
+pub use apps;
+pub use baselines;
+pub use dtsort;
+pub use parlay;
+pub use workloads;
+
+// Convenience re-exports of the primary API.
+pub use dtsort::{
+    sort, sort_by_key, sort_by_key_with, sort_by_key_with_stats, sort_pairs, sort_pairs_with,
+    sort_pairs_with_stats, sort_with, sort_with_stats, IntegerKey, MergeStrategy, SortConfig,
+    StatsSnapshot,
+};

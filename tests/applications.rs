@@ -1,0 +1,92 @@
+//! End-to-end integration tests of the applications (graph transpose,
+//! Morton sort, group-by) across the whole crate stack: workload generators
+//! → DovetailSort / baselines → application logic.
+
+use apps::transpose::{transpose, transpose_reference, transpose_with_sorter};
+use workloads::graphs::{power_law_graph, table4_graphs, Csr};
+use workloads::points::{trace_points_2d, uniform_points_3d, varden_points_2d, VardenConfig};
+
+#[test]
+fn transpose_every_table4_stand_in_graph() {
+    for (label, edges) in table4_graphs(0.02, 3) {
+        let g = Csr::from_unsorted_edges(edges.num_vertices, &edges.edges);
+        let got = transpose(&g);
+        let want = transpose_reference(&g);
+        assert_eq!(got, want, "transpose mismatch on {label}");
+        assert_eq!(got.num_edges(), g.num_edges(), "{label}");
+    }
+}
+
+#[test]
+fn transpose_preserves_edge_multiset_and_orders_sources() {
+    let e = power_law_graph(5_000, 80_000, 1.3, 9);
+    let g = Csr::from_unsorted_edges(e.num_vertices, &e.edges);
+    let gt = transpose(&g);
+    // Every edge (u, v) of G appears as (v, u) in G^T.
+    let mut orig: Vec<(u32, u32)> = g.to_edges();
+    let mut flipped: Vec<(u32, u32)> = gt.to_edges().iter().map(|&(v, u)| (u, v)).collect();
+    orig.sort_unstable();
+    flipped.sort_unstable();
+    assert_eq!(orig, flipped);
+    // Within each transposed neighbour list, sources appear in increasing
+    // order because the original CSR lists edges grouped by increasing
+    // source and the sort is stable.
+    for v in 0..gt.num_vertices() {
+        let nb = gt.neighbors(v);
+        assert!(nb.windows(2).all(|w| w[0] <= w[1]), "vertex {v}");
+    }
+}
+
+#[test]
+fn morton_sort_all_point_generators() {
+    let cfg = VardenConfig::default();
+    let clouds2d = vec![
+        ("varden", varden_points_2d(40_000, &cfg, 1)),
+        ("trace", trace_points_2d(40_000, 100, 2)),
+    ];
+    for (label, pts) in clouds2d {
+        let sorted = apps::morton::morton_sort_2d(&pts);
+        let zs: Vec<u64> = sorted.iter().map(|p| apps::morton::morton2(p.x, p.y)).collect();
+        assert!(zs.windows(2).all(|w| w[0] <= w[1]), "{label} not in z-order");
+        assert_eq!(sorted.len(), pts.len());
+    }
+    let pts3 = uniform_points_3d(30_000, 3);
+    let sorted3 = apps::morton::morton_sort_3d(&pts3);
+    let zs: Vec<u64> = sorted3
+        .iter()
+        .map(|p| apps::morton::morton3(p.x, p.y, p.z))
+        .collect();
+    assert!(zs.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn all_sorters_give_identical_transposes() {
+    let e = power_law_graph(3_000, 50_000, 1.2, 4);
+    let g = Csr::from_unsorted_edges(e.num_vertices, &e.edges);
+    let reference = transpose_reference(&g);
+    let via_dtsort = transpose_with_sorter(&g, |p| dtsort::sort_pairs(p));
+    let via_plis = transpose_with_sorter(&g, |p| baselines::plis::sort_pairs(p));
+    let via_lsd = transpose_with_sorter(&g, |p| baselines::lsd::sort_pairs(p));
+    let via_samplesort = transpose_with_sorter(&g, |p| baselines::samplesort::sort_pairs(p));
+    assert_eq!(via_dtsort, reference);
+    assert_eq!(via_plis, reference);
+    assert_eq!(via_lsd, reference);
+    assert_eq!(via_samplesort, reference);
+}
+
+#[test]
+fn groupby_on_generated_workloads() {
+    use workloads::dist::{generate_keys, Distribution};
+    let keys = generate_keys(&Distribution::Exponential { lambda: 10.0 }, 60_000, 32, 6);
+    let counts = apps::groupby::count_by_key(&keys);
+    assert_eq!(counts.iter().map(|&(_, c)| c).sum::<usize>(), keys.len());
+    assert!(counts.windows(2).all(|w| w[0].0 < w[1].0));
+    // Cross-check a few entries against a hash map.
+    let mut want = std::collections::HashMap::new();
+    for &k in &keys {
+        *want.entry(k).or_insert(0usize) += 1;
+    }
+    for &(k, c) in counts.iter().take(50) {
+        assert_eq!(c, want[&k]);
+    }
+}
