@@ -113,6 +113,13 @@ mod tests {
         assert!(group_by_key(&mut empty).is_empty());
         let mut one = vec![(9u64, 1u8)];
         let g = group_by_key(&mut one);
-        assert_eq!(g, vec![Group { key: 9, start: 0, end: 1 }]);
+        assert_eq!(
+            g,
+            vec![Group {
+                key: 9,
+                start: 0,
+                end: 1
+            }]
+        );
     }
 }

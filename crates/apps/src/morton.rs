@@ -66,7 +66,7 @@ pub fn morton_codes_3d(points: &[Point3]) -> Vec<(u64, u32)> {
 /// Sorts 2D points into Morton order using DovetailSort; returns the points
 /// in z-order.
 pub fn morton_sort_2d(points: &[Point2]) -> Vec<Point2> {
-    morton_sort_2d_with(points, |codes| dtsort::sort_pairs(codes))
+    morton_sort_2d_with(points, dtsort::sort_pairs)
 }
 
 /// Sorts 2D points into Morton order with a pluggable `(u64, u32)` sorter.
@@ -81,7 +81,7 @@ where
 
 /// Sorts 3D points into Morton order using DovetailSort.
 pub fn morton_sort_3d(points: &[Point3]) -> Vec<Point3> {
-    morton_sort_3d_with(points, |codes| dtsort::sort_pairs(codes))
+    morton_sort_3d_with(points, dtsort::sort_pairs)
 }
 
 /// Sorts 3D points into Morton order with a pluggable `(u64, u32)` sorter.
@@ -146,7 +146,11 @@ mod tests {
             (0x15_5555, 0x0A_AAAA, 0x1F_FFFF),
         ];
         for &(x, y, z) in &cases {
-            assert_eq!(morton3(x, y, z), morton3_reference(x, y, z), "({x},{y},{z})");
+            assert_eq!(
+                morton3(x, y, z),
+                morton3_reference(x, y, z),
+                "({x},{y},{z})"
+            );
         }
     }
 
@@ -191,8 +195,8 @@ mod tests {
     #[test]
     fn pluggable_sorters_agree() {
         let pts = varden_points_2d(15_000, &VardenConfig::default(), 4);
-        let a = morton_sort_2d_with(&pts, |c| dtsort::sort_pairs(c));
-        let b = morton_sort_2d_with(&pts, |c| baselines::lsd::sort_pairs(c));
+        let a = morton_sort_2d_with(&pts, dtsort::sort_pairs);
+        let b = morton_sort_2d_with(&pts, baselines::lsd::sort_pairs);
         let c = morton_sort_2d_with(&pts, |c| c.sort_by_key(|&(k, _)| k));
         assert_eq!(a, b);
         assert_eq!(a, c);

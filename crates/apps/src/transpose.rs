@@ -13,7 +13,7 @@ use workloads::graphs::Csr;
 
 /// Transposes `g` using DovetailSort as the sorting back-end.
 pub fn transpose(g: &Csr) -> Csr {
-    transpose_with_sorter(g, |edges| dtsort::sort_pairs(edges))
+    transpose_with_sorter(g, dtsort::sort_pairs)
 }
 
 /// Transposes `g`, sorting the edge list with the provided stable sorter.
@@ -114,9 +114,9 @@ mod tests {
     fn transpose_with_alternative_sorters_agrees() {
         let e = power_law_graph(2_000, 30_000, 1.3, 5);
         let g = Csr::from_unsorted_edges(e.num_vertices, &e.edges);
-        let a = transpose_with_sorter(&g, |p| dtsort::sort_pairs(p));
-        let b = transpose_with_sorter(&g, |p| baselines::plis::sort_pairs(p));
-        let c = transpose_with_sorter(&g, |p| baselines::samplesort::sort_pairs(p));
+        let a = transpose_with_sorter(&g, dtsort::sort_pairs);
+        let b = transpose_with_sorter(&g, baselines::plis::sort_pairs);
+        let c = transpose_with_sorter(&g, baselines::samplesort::sort_pairs);
         let d = transpose_with_sorter(&g, |p| p.sort_by_key(|&(k, _)| k));
         assert_eq!(a, b);
         assert_eq!(a, c);

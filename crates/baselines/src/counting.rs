@@ -74,7 +74,9 @@ mod tests {
     #[test]
     fn histogram_sort_matches_std() {
         let rng = Rng::new(2);
-        let mut v: Vec<u16> = (0..40_000).map(|i| rng.ith_in(i as u64, 500) as u16).collect();
+        let mut v: Vec<u16> = (0..40_000)
+            .map(|i| rng.ith_in(i as u64, 500) as u16)
+            .collect();
         let mut want = v.clone();
         want.sort_unstable();
         sort_keys_by_histogram(&mut v, 500);

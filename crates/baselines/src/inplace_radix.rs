@@ -81,7 +81,7 @@ where
         return;
     }
     if n <= cfg.base_case_threshold.max(1) || bits == 0 {
-        data.sort_unstable_by(|a, b| key(a).cmp(&key(b)));
+        data.sort_unstable_by_key(|a| key(a));
         return;
     }
     let gamma = cfg.radix_bits.clamp(1, bits);

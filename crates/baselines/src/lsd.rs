@@ -96,7 +96,7 @@ where
         return;
     }
     let keyfn = |r: &T| key(r).to_ordered_u64();
-    let max_key = data.iter().map(|r| keyfn(r)).max().unwrap_or(0);
+    let max_key = data.iter().map(&keyfn).max().unwrap_or(0);
     let total_bits = (64 - max_key.leading_zeros()).max(1);
     let gamma = 8u32;
     let num_buckets = 1usize << gamma;

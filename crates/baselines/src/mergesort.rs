@@ -47,14 +47,17 @@ where
 {
     let n = data.len();
     if n <= BASE_CASE {
-        data.sort_by(|a, b| key(a).cmp(&key(b)));
+        data.sort_by_key(|a| key(a));
         return;
     }
     let mid = n / 2;
     {
         let (dl, dr) = data.split_at_mut(mid);
         let (sl, sr) = scratch.split_at_mut(mid);
-        rayon::join(|| merge_sort_rec(dl, sl, key), || merge_sort_rec(dr, sr, key));
+        rayon::join(
+            || merge_sort_rec(dl, sl, key),
+            || merge_sort_rec(dr, sr, key),
+        );
     }
     // Merge the two sorted halves of `data` into `scratch`, then copy back.
     {

@@ -64,7 +64,7 @@ where
     }
     let keyfn = |r: &T| key(r).to_ordered_u64();
     if n <= cfg.base_case_threshold.max(1) {
-        data.sort_by(|a, b| keyfn(a).cmp(&keyfn(b)));
+        data.sort_by_key(|a| keyfn(a));
         return;
     }
     // Skip leading all-zero digits: compute the maximum key once (the
@@ -85,7 +85,7 @@ where
         return;
     }
     if n <= cfg.base_case_threshold.max(1) || bits == 0 {
-        data.sort_by(|a, b| key(a).cmp(&key(b)));
+        data.sort_by_key(|a| key(a));
         return;
     }
     let gamma = cfg.radix_bits.clamp(1, bits);

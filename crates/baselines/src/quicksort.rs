@@ -43,7 +43,7 @@ where
 {
     let n = data.len();
     if n <= BASE_CASE || depth > 96 {
-        data.sort_unstable_by(|a, b| key(a).cmp(&key(b)));
+        data.sort_unstable_by_key(|a| key(a));
         return;
     }
     // Median-of-three random pivot.

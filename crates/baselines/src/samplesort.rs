@@ -91,7 +91,7 @@ where
         return;
     }
     if n <= cfg.base_case_threshold.max(1) || depth > 64 {
-        data.sort_by(|a, b| key(a).cmp(&key(b)));
+        data.sort_by_key(|a| key(a));
         return;
     }
 
@@ -114,7 +114,7 @@ where
     if splitters.is_empty() {
         // All sampled keys equal; fall back to a comparison sort (the input
         // is likely dominated by one key and nearly sorted already).
-        data.sort_by(|a, b| key(a).cmp(&key(b)));
+        data.sort_by_key(|a| key(a));
         return;
     }
 

@@ -12,7 +12,7 @@ where
     K: IntegerKey,
     F: Fn(&T) -> K,
 {
-    data.sort_by(|a, b| key(a).to_ordered_u64().cmp(&key(b).to_ordered_u64()));
+    data.sort_by_key(|a| key(a).to_ordered_u64());
 }
 
 /// Unstable sequential sort (std's pattern-defeating quicksort).
@@ -22,7 +22,7 @@ where
     K: IntegerKey,
     F: Fn(&T) -> K,
 {
-    data.sort_unstable_by(|a, b| key(a).to_ordered_u64().cmp(&key(b).to_ordered_u64()));
+    data.sort_unstable_by_key(|a| key(a).to_ordered_u64());
 }
 
 /// Stable parallel sort (rayon's parallel merge sort).
@@ -53,9 +53,7 @@ mod tests {
     #[test]
     fn all_wrappers_sort() {
         let rng = Rng::new(1);
-        let input: Vec<(i64, u32)> = (0..30_000)
-            .map(|i| (rng.ith(i) as i64, i as u32))
-            .collect();
+        let input: Vec<(i64, u32)> = (0..30_000).map(|i| (rng.ith(i) as i64, i as u32)).collect();
         let mut want = input.clone();
         want.sort_by_key(|&(k, _)| k);
         let want_keys: Vec<i64> = want.iter().map(|r| r.0).collect();

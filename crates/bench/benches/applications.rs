@@ -5,8 +5,8 @@
 //! Run with `cargo bench -p bench --bench applications`.
 
 use bench::SorterKind;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use workloads::graphs::{knn_like_graph, power_law_graph, Csr};
 use workloads::points::{varden_points_2d, VardenConfig};
 

@@ -5,10 +5,10 @@
 //!
 //! Run with `cargo bench -p bench --bench components`.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use dtsort::config::SortConfig;
 use parlay::random::Rng;
+use std::time::Duration;
 
 const N: usize = 500_000;
 
@@ -42,7 +42,9 @@ fn bench_counting_sort(c: &mut Criterion) {
 fn bench_merge(c: &mut Criterion) {
     let rng = Rng::new(2);
     let mut a: Vec<(u64, u32)> = (0..N).map(|i| (rng.ith(i as u64), i as u32)).collect();
-    let mut bb: Vec<(u64, u32)> = (0..N).map(|i| (rng.fork(1).ith(i as u64), i as u32)).collect();
+    let mut bb: Vec<(u64, u32)> = (0..N)
+        .map(|i| (rng.fork(1).ith(i as u64), i as u32))
+        .collect();
     a.sort_unstable();
     bb.sort_unstable();
     let mut group = c.benchmark_group("merge");
@@ -84,13 +86,7 @@ fn bench_sampling(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.bench_function("sample_and_detect", |b| {
         b.iter(|| {
-            dtsort::sampling::sample_and_detect(
-                input.len(),
-                |i| input[i].0,
-                10,
-                &cfg,
-                Rng::new(9),
-            )
+            dtsort::sampling::sample_and_detect(input.len(), |i| input[i].0, 10, &cfg, Rng::new(9))
         })
     });
     group.finish();
@@ -110,7 +106,9 @@ fn bench_primitives(c: &mut Criterion) {
         )
     });
     let data: Vec<u64> = (0..N as u64).collect();
-    group.bench_function("par_max", |b| b.iter(|| parlay::reduce::par_max(&data, |&x| x)));
+    group.bench_function("par_max", |b| {
+        b.iter(|| parlay::reduce::par_max(&data, |&x| x))
+    });
     group.bench_function("par_reverse", |b| {
         b.iter_batched(
             || data.clone(),

@@ -7,16 +7,18 @@
 //!
 //! Run with `cargo bench -p bench --bench merge_strategies`.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dtsort::{MergeStrategy, SortConfig};
+use std::time::Duration;
 use workloads::dist::{generate_pairs_u32, Distribution};
 
 const N: usize = 200_000;
 
 fn bench_heavy_detection(c: &mut Criterion) {
     let instances = vec![
-        Distribution::Uniform { distinct: 1_000_000_000 },
+        Distribution::Uniform {
+            distinct: 1_000_000_000,
+        },
         Distribution::Uniform { distinct: 10 },
         Distribution::Zipfian { s: 1.5 },
         Distribution::BitExponential { t: 300.0 },
@@ -27,7 +29,10 @@ fn bench_heavy_detection(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     for dist in &instances {
         let input = generate_pairs_u32(dist, N, 42);
-        for (label, cfg) in [("DTSort", SortConfig::default()), ("Plain", SortConfig::plain())] {
+        for (label, cfg) in [
+            ("DTSort", SortConfig::default()),
+            ("Plain", SortConfig::plain()),
+        ] {
             group.bench_with_input(BenchmarkId::new(label, dist.label()), &input, |b, input| {
                 b.iter_batched(
                     || input.clone(),

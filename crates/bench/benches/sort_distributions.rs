@@ -6,15 +6,17 @@
 //! measurement many times); use the `table3` binary for paper-scale runs.
 
 use bench::SorterKind;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use workloads::dist::{generate_pairs_u32, generate_pairs_u64, Distribution};
 
 const N: usize = 200_000;
 
 fn bench_distributions_32(c: &mut Criterion) {
     let instances = vec![
-        Distribution::Uniform { distinct: 1_000_000_000 },
+        Distribution::Uniform {
+            distinct: 1_000_000_000,
+        },
         Distribution::Uniform { distinct: 10 },
         Distribution::Exponential { lambda: 10.0 },
         Distribution::Zipfian { s: 1.2 },
@@ -45,7 +47,9 @@ fn bench_distributions_32(c: &mut Criterion) {
 
 fn bench_distributions_64(c: &mut Criterion) {
     let instances = vec![
-        Distribution::Uniform { distinct: 1_000_000_000 },
+        Distribution::Uniform {
+            distinct: 1_000_000_000,
+        },
         Distribution::Zipfian { s: 1.5 },
         Distribution::BitExponential { t: 30.0 },
     ];

@@ -10,8 +10,10 @@ use bench::{Args, Table};
 use workloads::dist::ablation_instances;
 
 fn run(bits: u32, args: &Args) {
-    println!("\n=== Heavy-key detection ablation, {bits}-bit keys (Fig. 4{}) ===",
-        if bits == 32 { "a" } else { "b" });
+    println!(
+        "\n=== Heavy-key detection ablation, {bits}-bit keys (Fig. 4{}) ===",
+        if bits == 32 { "a" } else { "b" }
+    );
     let mut table = Table::new(vec!["Instance", "DTSort(s)", "Plain(s)", "Speedup"]);
     let mut speedups = Vec::new();
     for dist in ablation_instances() {

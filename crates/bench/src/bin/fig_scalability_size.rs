@@ -30,7 +30,9 @@ fn main() {
     let sorters = SorterKind::table3_lineup();
     let sizes = size_steps(args.n);
     let instances = vec![
-        Distribution::Uniform { distinct: 10_000_000 },
+        Distribution::Uniform {
+            distinct: 10_000_000,
+        },
         Distribution::Uniform { distinct: 1_000 },
         Distribution::Exponential { lambda: 2.0 },
         Distribution::Exponential { lambda: 7.0 },

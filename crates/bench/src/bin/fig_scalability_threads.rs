@@ -26,12 +26,14 @@ fn main() {
     let max_threads = if args.threads > 0 {
         args.threads
     } else {
-        num_cpus::get()
+        std::thread::available_parallelism().map_or(1, |n| n.get())
     };
     let counts = thread_counts(max_threads);
     let sorters = SorterKind::table3_lineup();
     let instances = vec![
-        Distribution::Uniform { distinct: 10_000_000 },
+        Distribution::Uniform {
+            distinct: 10_000_000,
+        },
         Distribution::Uniform { distinct: 1_000 },
         Distribution::Exponential { lambda: 2.0 },
         Distribution::Exponential { lambda: 7.0 },
@@ -44,7 +46,7 @@ fn main() {
         "Figs. 4(e), 5-20 reproduction — self-speedup vs thread count (n = {}, {}-bit keys, host has {} logical CPUs)",
         args.n,
         args.bits,
-        num_cpus::get()
+        std::thread::available_parallelism().map_or(1, |n| n.get())
     );
     for dist in &instances {
         println!("\n=== {} ===", dist.label());
@@ -54,8 +56,7 @@ fn main() {
         let mut speedup_table = Table::new(headers);
         let mut base: Vec<f64> = Vec::new();
         for &t in &counts {
-            let times =
-                measure_with_threads(dist, args.n, args.bits, args.reps, t, &sorters, 42);
+            let times = measure_with_threads(dist, args.n, args.bits, args.reps, t, &sorters, 42);
             if base.is_empty() {
                 base = times.clone();
             }

@@ -1,0 +1,159 @@
+//! Streaming-sorter throughput: records/sec of `stream::StreamSorter` as
+//! the memory budget shrinks (forcing more spilled runs), against the
+//! in-memory DovetailSort baseline on the same input.
+//!
+//! Beyond the console table, results are appended as machine-readable JSON
+//! to `BENCH_stream.json` in the current directory so successive PRs can
+//! track the perf trajectory.
+//!
+//! Usage: `cargo run -p bench --release --bin fig_stream_throughput -- [--n 2e6] [--reps 3]`
+
+use bench::{median_time_secs, Args, Table};
+use dtsort::StreamConfig;
+use std::io::Write;
+use stream::StreamSorter;
+use workloads::dist::Distribution;
+
+struct Measurement {
+    dist: String,
+    budget_bytes: usize,
+    runs: usize,
+    spilled_bytes: u64,
+    secs: f64,
+    records_per_sec: f64,
+}
+
+/// Pushes the input in batches and drains the merged stream; returns the
+/// run count and spilled bytes of the last repetition via `out_stats`.
+fn stream_sort_once(
+    input: &[(u32, u32)],
+    budget: usize,
+    batch: usize,
+    out_stats: &mut (usize, u64),
+) {
+    let mut sorter: StreamSorter<u32, u32> =
+        StreamSorter::with_config(StreamConfig::with_memory_budget(budget));
+    for chunk in input.chunks(batch) {
+        sorter.push(chunk).expect("push failed");
+    }
+    *out_stats = (sorter.run_count(), sorter.stats().spilled_bytes);
+    let mut last = 0u32;
+    for (k, _) in sorter.finish().expect("finish failed") {
+        debug_assert!(k >= last);
+        last = k;
+        std::hint::black_box(k);
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measurement]) {
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!(
+        "  \"bench\": \"stream_throughput\",\n  \"n\": {n},\n  \"batch\": {batch},\n  \"threads\": {threads},\n  \"results\": [\n"
+    ));
+    for (i, m) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"dist\": \"{}\", \"budget_bytes\": {}, \"runs\": {}, \"spilled_bytes\": {}, \"secs\": {:.6}, \"records_per_sec\": {:.1}}}{}\n",
+            json_escape(&m.dist),
+            m.budget_bytes,
+            m.runs,
+            m.spilled_bytes,
+            m.secs,
+            m.records_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(body.as_bytes())) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    args.apply_thread_limit();
+    let n = if args.n == 10_000_000 {
+        2_000_000
+    } else {
+        args.n
+    };
+    let batch = 64 * 1024;
+    let record_bytes = std::mem::size_of::<(u32, u32)>();
+    let data_bytes = n * record_bytes;
+    // From "everything in memory" down to an eighth of the dataset.  Half
+    // the budget is sort scratch and a buffer exactly at capacity spills,
+    // so 4·data is the comfortably spill-free configuration.
+    let budgets = [
+        ("mem", 4 * data_bytes),
+        ("1/2", data_bytes / 2),
+        ("1/4", data_bytes / 4),
+        ("1/8", data_bytes / 8),
+    ];
+    let instances = vec![
+        Distribution::Uniform {
+            distinct: 1_000_000_000,
+        },
+        Distribution::Zipfian { s: 1.2 },
+        Distribution::Uniform { distinct: 10 },
+    ];
+    println!(
+        "Streaming sorter throughput — n = {n}, batch = {batch}, {} threads",
+        rayon::current_num_threads()
+    );
+    let mut all = Vec::new();
+    for dist in &instances {
+        println!("\n=== {} ===", dist.label());
+        let input = workloads::dist::generate_pairs_u32(dist, n, 42);
+        let mut table = Table::new(vec![
+            "budget".to_string(),
+            "runs".to_string(),
+            "spill MiB".to_string(),
+            "sec".to_string(),
+            "Mrec/s".to_string(),
+        ]);
+        // In-memory baseline for context.
+        let base = median_time_secs(&input, args.reps, |v| dtsort::sort_pairs(v));
+        table.add_row(vec![
+            "dtsort".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            format!("{base:.4}"),
+            format!("{:.2}", n as f64 / base / 1e6),
+        ]);
+        for &(label, budget) in &budgets {
+            let mut stats = (0usize, 0u64);
+            let secs = median_time_secs(&input, args.reps, |v| {
+                stream_sort_once(v, budget, batch, &mut stats)
+            });
+            let rps = n as f64 / secs;
+            table.add_row(vec![
+                label.to_string(),
+                format!("{}", stats.0),
+                format!("{:.1}", stats.1 as f64 / (1 << 20) as f64),
+                format!("{secs:.4}"),
+                format!("{:.2}", rps / 1e6),
+            ]);
+            all.push(Measurement {
+                dist: dist.label(),
+                budget_bytes: budget,
+                runs: stats.0,
+                spilled_bytes: stats.1,
+                secs,
+                records_per_sec: rps,
+            });
+        }
+        table.print();
+    }
+    write_json(
+        "BENCH_stream.json",
+        n,
+        batch,
+        rayon::current_num_threads(),
+        &all,
+    );
+}

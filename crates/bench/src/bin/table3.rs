@@ -21,7 +21,8 @@ fn run_block(
     let mut table = Table::new(headers);
     let mut per_sorter: Vec<Vec<f64>> = vec![Vec::new(); sorters.len()];
     for dist in dists {
-        let times = measure_distribution(dist, args.n, args.bits, args.reps, sorters, args.verify, 42);
+        let times =
+            measure_distribution(dist, args.n, args.bits, args.reps, sorters, args.verify, 42);
         for (i, &t) in times.iter().enumerate() {
             per_sorter[i].push(t);
         }
@@ -40,7 +41,12 @@ fn main() {
         "Table 3 reproduction — {} threads, fastest entry per row marked with '*'",
         rayon::current_num_threads()
     );
-    run_block("Standard distributions", &paper_instances(), &args, &sorters);
+    run_block(
+        "Standard distributions",
+        &paper_instances(),
+        &args,
+        &sorters,
+    );
     run_block(
         "Adversarial Bit-Exponential distributions",
         &bexp_instances(),

@@ -37,9 +37,15 @@ fn run_morton(args: &Args, sorters: &[SorterKind]) {
     println!("\n=== Morton order (scale {:.2}) ===", args.scale);
     let base = (2_000_000.0 * args.scale) as usize;
     let instances: Vec<(String, Vec<workloads::points::Point2>)> = vec![
-        ("GL-like (GPS traces)".into(), trace_points_2d(base, base / 500 + 1, 1)),
+        (
+            "GL-like (GPS traces)".into(),
+            trace_points_2d(base, base / 500 + 1, 1),
+        ),
         ("CM-like (uniform sim)".into(), uniform_points_2d(base, 2)),
-        ("OSM-like (GPS traces)".into(), trace_points_2d(2 * base, base / 250 + 1, 3)),
+        (
+            "OSM-like (GPS traces)".into(),
+            trace_points_2d(2 * base, base / 250 + 1, 3),
+        ),
         (
             "Varden SS2d".into(),
             varden_points_2d(base, &VardenConfig::default(), 4),

@@ -22,12 +22,29 @@ fn main() {
     let args = Args::parse();
     args.apply_thread_limit();
     let instances = vec![
-        ("few distinct (Thm 4.7)", Distribution::Uniform { distinct: 10 }),
-        ("few distinct (Thm 4.7)", Distribution::Uniform { distinct: 1_000 }),
-        ("exponential (Thm 4.6)", Distribution::Exponential { lambda: 10.0 }),
-        ("exponential (Thm 4.6)", Distribution::Exponential { lambda: 1.0 }),
+        (
+            "few distinct (Thm 4.7)",
+            Distribution::Uniform { distinct: 10 },
+        ),
+        (
+            "few distinct (Thm 4.7)",
+            Distribution::Uniform { distinct: 1_000 },
+        ),
+        (
+            "exponential (Thm 4.6)",
+            Distribution::Exponential { lambda: 10.0 },
+        ),
+        (
+            "exponential (Thm 4.6)",
+            Distribution::Exponential { lambda: 1.0 },
+        ),
         ("zipfian heavy", Distribution::Zipfian { s: 1.5 }),
-        ("uniform distinct (worst case)", Distribution::Uniform { distinct: 1_000_000_000 }),
+        (
+            "uniform distinct (worst case)",
+            Distribution::Uniform {
+                distinct: 1_000_000_000,
+            },
+        ),
         ("adversarial", Distribution::BitExponential { t: 100.0 }),
     ];
     println!(

@@ -132,8 +132,20 @@ mod tests {
     #[test]
     fn parses_flags() {
         let a = parse(&[
-            "--n", "1e6", "--bits", "64", "--reps", "5", "--threads", "4", "--scale", "0.5",
-            "--app", "transpose", "--verify", "--extra",
+            "--n",
+            "1e6",
+            "--bits",
+            "64",
+            "--reps",
+            "5",
+            "--threads",
+            "4",
+            "--scale",
+            "0.5",
+            "--app",
+            "transpose",
+            "--verify",
+            "--extra",
         ]);
         assert_eq!(a.n, 1_000_000);
         assert_eq!(a.bits, 64);

@@ -12,7 +12,7 @@
 
 use crate::config::SortConfig;
 use crate::key::IntegerKey;
-use crate::recurse::dtsort_impl;
+use crate::recurse::{dtsort_impl, dtsort_run_impl};
 use crate::stats::{SortStats, StatsSnapshot};
 
 /// Sorts a slice of integer keys in non-decreasing order.
@@ -107,6 +107,52 @@ where
     let keyfn = move |r: &T| key(r).to_ordered_u64();
     dtsort_impl(data, &keyfn, K::BITS, cfg, &stats);
     stats.snapshot()
+}
+
+/// Report from sorting one *run* of a streamed input
+/// ([`sort_run_pairs_with`] / [`sort_run_by_key_with`]).
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Root-level heavy keys confirmed by this run's bucket counts, in the
+    /// ordered-`u64` key domain ([`IntegerKey::to_ordered_u64`]), ordered by
+    /// decreasing frequency in this run (so truncating keeps the heaviest).
+    /// Feed them as `carry` into the next run's sort so duplicate-dominated
+    /// streams keep their `O(n)` fast path across run boundaries.
+    pub heavy_keys: Vec<u64>,
+}
+
+/// Stably sorts one run of `(key, value)` records, seeding heavy-key
+/// detection with `carry` (heavy keys reported by earlier runs, in the
+/// ordered-`u64` domain), and reports this run's confirmed heavy keys.
+///
+/// This is the per-chunk entry point of the streaming sorter: carrying the
+/// report across runs means a key that is heavy across the whole stream is
+/// treated as heavy in every run, even when a single run's sample would
+/// miss it.
+pub fn sort_run_pairs_with<K: IntegerKey, V: Copy + Send + Sync>(
+    data: &mut [(K, V)],
+    cfg: &SortConfig,
+    carry: &[u64],
+) -> RunReport {
+    sort_run_by_key_with(data, |r| r.0, cfg, carry)
+}
+
+/// [`sort_run_pairs_with`] for arbitrary records with a key projection.
+pub fn sort_run_by_key_with<T, K, F>(
+    data: &mut [T],
+    key: F,
+    cfg: &SortConfig,
+    carry: &[u64],
+) -> RunReport
+where
+    T: Copy + Send + Sync,
+    K: IntegerKey,
+    F: Fn(&T) -> K + Sync,
+{
+    let stats = SortStats::new();
+    let keyfn = move |r: &T| key(r).to_ordered_u64();
+    let heavy_keys = dtsort_run_impl(data, &keyfn, K::BITS, cfg, &stats, carry);
+    RunReport { heavy_keys }
 }
 
 /// Unstable integer sort.
@@ -205,7 +251,7 @@ mod tests {
         let input: Vec<Rec> = (0..40_000)
             .map(|i| Rec {
                 key: rng.ith_in(i, 1 << 40),
-                payload: (i as u64).to_le_bytes(),
+                payload: i.to_le_bytes(),
             })
             .collect();
         let mut got = input.clone();

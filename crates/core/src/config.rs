@@ -68,7 +68,7 @@ impl Default for SortConfig {
             merge_strategy: MergeStrategy::Dovetail,
             overflow_bucket: true,
             sample_factor: 1,
-            seed: 0x5EED_D7_50_27,
+            seed: 0x005E_EDD7_5027,
         }
     }
 }
@@ -102,7 +102,7 @@ impl SortConfig {
             Some(g) => g,
             None => {
                 // log2(n)/3, the paper's variable radix width.
-                let log_n = (usize::BITS - n.max(2).leading_zeros()) as u32;
+                let log_n = usize::BITS - n.max(2).leading_zeros();
                 (log_n / 3).clamp(self.min_radix_bits, self.max_radix_bits)
             }
         };
@@ -126,6 +126,62 @@ impl SortConfig {
     /// subsamples are declared heavy (Section 2.5).
     pub fn subsample_stride(&self, n: usize) -> usize {
         ((usize::BITS - n.max(2).leading_zeros()) as usize).max(1)
+    }
+}
+
+/// Configuration of a bounded-memory streaming sort (the `stream` crate).
+///
+/// Lives beside [`SortConfig`] so every layer that tunes the in-memory sort
+/// can tune its streaming wrapper the same way.  The streaming sorter
+/// accumulates pushed records in a buffer sized from `memory_budget_bytes`,
+/// sorts each full buffer into a *run* with DovetailSort (seeding heavy-key
+/// detection with keys carried from earlier runs), spills runs to
+/// `spill_dir`, and k-way merges all runs at the end.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Total working-set budget in bytes.  Half buffers incoming records,
+    /// the other half is the sort's ping-pong scratch, so one run holds
+    /// about `memory_budget_bytes / (2 · record_size)` records.
+    pub memory_budget_bytes: usize,
+    /// Upper bound on the number of heavy keys carried from one run's
+    /// sampling into the next (each carried key costs one bucket in the
+    /// next run's root distribution).
+    pub max_carried_heavy_keys: usize,
+    /// Directory for spilled runs; `None` uses the system temp directory.
+    /// Each sorter creates (and removes on drop) a unique subdirectory.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Total bytes of read buffering shared by all runs during the final
+    /// streaming merge.
+    pub merge_read_buffer_bytes: usize,
+    /// Configuration of the per-run in-memory DovetailSort.
+    pub sort: SortConfig,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            memory_budget_bytes: 256 << 20,
+            max_carried_heavy_keys: 1024,
+            spill_dir: None,
+            merge_read_buffer_bytes: 8 << 20,
+            sort: SortConfig::default(),
+        }
+    }
+}
+
+impl StreamConfig {
+    /// A config with the given memory budget and defaults elsewhere.
+    pub fn with_memory_budget(bytes: usize) -> Self {
+        Self {
+            memory_budget_bytes: bytes,
+            ..Self::default()
+        }
+    }
+
+    /// Number of records of `record_size` bytes one run may hold (at least
+    /// 64, so degenerate budgets still make progress).
+    pub fn run_capacity(&self, record_size: usize) -> usize {
+        (self.memory_budget_bytes / (2 * record_size.max(1))).max(64)
     }
 }
 
@@ -192,5 +248,15 @@ mod tests {
             SortConfig::with_parallel_merge().merge_strategy,
             MergeStrategy::ParallelMerge
         );
+    }
+
+    #[test]
+    fn stream_config_run_capacity() {
+        let cfg = StreamConfig::with_memory_budget(1 << 20);
+        // 8-byte records: half the budget buffers records.
+        assert_eq!(cfg.run_capacity(8), (1 << 20) / 16);
+        // Degenerate budgets clamp to a workable floor.
+        assert_eq!(StreamConfig::with_memory_budget(0).run_capacity(8), 64);
+        assert!(StreamConfig::default().memory_budget_bytes > 0);
     }
 }

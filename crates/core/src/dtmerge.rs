@@ -291,10 +291,9 @@ mod tests {
         all
     }
 
-    fn make_zone(
-        light_keys: &[u64],
-        heavy_spec: &[(u64, usize)],
-    ) -> (Vec<(u64, u32)>, Vec<(u64, Vec<(u64, u32)>)>) {
+    type Zone = (Vec<(u64, u32)>, Vec<(u64, Vec<(u64, u32)>)>);
+
+    fn make_zone(light_keys: &[u64], heavy_spec: &[(u64, usize)]) -> Zone {
         let mut tag = 0u32;
         let light: Vec<(u64, u32)> = light_keys
             .iter()
@@ -362,10 +361,7 @@ mod tests {
         assert_eq!(dst, reference_zone(&light, &heavy));
     }
 
-    fn run_in_place(
-        light: &[(u64, u32)],
-        heavy: &[(u64, Vec<(u64, u32)>)],
-    ) -> Vec<(u64, u32)> {
+    fn run_in_place(light: &[(u64, u32)], heavy: &[(u64, Vec<(u64, u32)>)]) -> Vec<(u64, u32)> {
         let mut zone: Vec<(u64, u32)> = light.to_vec();
         let mut lens = Vec::new();
         for (_, h) in heavy {
@@ -419,7 +415,9 @@ mod tests {
             let m = r.ith_in(1, 6) as usize;
             // Light keys: even numbers (sorted); heavy keys: odd numbers so
             // the key sets are disjoint, as guaranteed by the algorithm.
-            let mut light_keys: Vec<u64> = (0..n_light).map(|i| r.ith_in(2 + i as u64, 500) * 2).collect();
+            let mut light_keys: Vec<u64> = (0..n_light)
+                .map(|i| r.ith_in(2 + i as u64, 500) * 2)
+                .collect();
             light_keys.sort_unstable();
             let mut heavy_keys: Vec<u64> = (0..m)
                 .map(|i| r.ith_in(1000 + i as u64, 500) * 2 + 1)
@@ -440,7 +438,8 @@ mod tests {
             // Cross-buffer variant on the same zone.
             let heavy_slices: Vec<(u64, &[(u64, u32)])> =
                 heavy.iter().map(|(k, v)| (*k, v.as_slice())).collect();
-            let total: usize = light.len() + heavy_slices.iter().map(|(_, s)| s.len()).sum::<usize>();
+            let total: usize =
+                light.len() + heavy_slices.iter().map(|(_, s)| s.len()).sum::<usize>();
             let mut dst = vec![(0u64, 0u32); total];
             dovetail_merge_across(&light, &heavy_slices, &mut dst, &keyf);
             assert_eq!(dst, reference_zone(&light, &heavy), "across case {case}");

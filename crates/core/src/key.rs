@@ -84,7 +84,7 @@ mod tests {
         }
         assert!(3u64.to_ordered_u64() < 4u64.to_ordered_u64());
         assert_eq!(u8::BITS, 8);
-        assert_eq!(usize::BITS as u32, <usize as IntegerKey>::BITS);
+        assert_eq!(usize::BITS, <usize as IntegerKey>::BITS);
     }
 
     #[test]

@@ -53,8 +53,9 @@ pub mod verify;
 
 pub use api::{
     is_sorted_by_key, sort, sort_by_key, sort_by_key_with, sort_by_key_with_stats, sort_pairs,
-    sort_pairs_with, sort_pairs_with_stats, sort_unstable, sort_with, sort_with_stats,
+    sort_pairs_with, sort_pairs_with_stats, sort_run_by_key_with, sort_run_pairs_with,
+    sort_unstable, sort_with, sort_with_stats, RunReport,
 };
-pub use config::{MergeStrategy, SortConfig};
+pub use config::{MergeStrategy, SortConfig, StreamConfig};
 pub use key::IntegerKey;
 pub use stats::{SortStats, StatsSnapshot};

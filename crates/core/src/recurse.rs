@@ -37,7 +37,7 @@ where
 {
     SortStats::add(&stats.base_case_calls, 1);
     SortStats::add(&stats.base_case_records, data.len() as u64);
-    data.sort_by(|a, b| key(a).cmp(&key(b)));
+    data.sort_by_key(|a| key(a));
 }
 
 /// Sorts `data` by the low `total_bits` bits of `key`, using a freshly
@@ -52,21 +52,49 @@ pub(crate) fn dtsort_impl<T, F>(
     T: Copy + Send + Sync,
     F: Fn(&T) -> u64 + Sync,
 {
+    dtsort_run_impl(data, key, total_bits, cfg, stats, &[]);
+}
+
+/// [`dtsort_impl`] for one *run* of a streamed input: heavy keys carried
+/// from earlier runs seed the root sampling (`hints`, in the masked/ordered
+/// key domain, sorted or not), and the root-level heavy keys *confirmed by
+/// this run's bucket counts* are returned for carry-over to the next run.
+///
+/// Runs below the base-case threshold are comparison sorted and report no
+/// heavy keys (there is no sampling step to confirm them).
+pub(crate) fn dtsort_run_impl<T, F>(
+    data: &mut [T],
+    key: &F,
+    total_bits: u32,
+    cfg: &SortConfig,
+    stats: &SortStats,
+    hints: &[u64],
+) -> Vec<u64>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u64 + Sync,
+{
     let n = data.len();
     if n <= 1 {
-        return;
+        return Vec::new();
     }
     if n <= cfg.base_case_threshold.max(1) || total_bits == 0 {
         base_case(data, key, stats);
-        return;
+        return Vec::new();
     }
     let mut buf = data.to_vec();
     let rng = Rng::new(cfg.seed);
-    recurse(data, &mut buf, key, total_bits, cfg, stats, rng, 1);
+    recurse(data, &mut buf, key, total_bits, cfg, stats, rng, 1, hints)
 }
 
 /// One recursive DTSort call.  The sorted result ends in `data`; `scratch`
 /// is a same-length buffer whose contents are clobbered.
+///
+/// `root_hints` (only consulted at `depth == 1`) are externally supplied
+/// heavy-key candidates merged into the root sampling result; the returned
+/// vector (non-empty only at the root, when heavy detection ran) holds the
+/// heavy keys confirmed by this call's bucket counts — the carry-over
+/// plumbing of the streaming sorter.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn recurse<T, F>(
     data: &mut [T],
@@ -77,18 +105,20 @@ pub(crate) fn recurse<T, F>(
     stats: &SortStats,
     rng: Rng,
     depth: u64,
-) where
+    root_hints: &[u64],
+) -> Vec<u64>
+where
     T: Copy + Send + Sync,
     F: Fn(&T) -> u64 + Sync,
 {
     let n = data.len();
     debug_assert_eq!(n, scratch.len());
     if n <= 1 {
-        return;
+        return Vec::new();
     }
     if n <= cfg.base_case_threshold.max(1) || bits == 0 {
         base_case(data, key, stats);
-        return;
+        return Vec::new();
     }
     SortStats::add(&stats.recursive_calls, 1);
     SortStats::max(&stats.max_depth, depth);
@@ -99,7 +129,7 @@ pub(crate) fn recurse<T, F>(
     let t0 = Instant::now();
     let gamma_pre = cfg.radix_bits(n, bits);
     let need_sampling = cfg.heavy_detection || cfg.overflow_bucket;
-    let sample_res = if need_sampling {
+    let mut sample_res = if need_sampling {
         sample_and_detect(n, |i| key(&data[i]) & mask, gamma_pre, cfg, rng)
     } else {
         crate::sampling::SampleResult {
@@ -108,6 +138,20 @@ pub(crate) fn recurse<T, F>(
             num_samples: 0,
         }
     };
+    if is_root && cfg.heavy_detection && !root_hints.is_empty() {
+        // Union carried heavy keys into the sampled set.  Raising the sample
+        // maximum keeps every hint inside the effective key range, so hinted
+        // keys never land in the overflow bucket.
+        let mut merged = sample_res.heavy_keys;
+        merged.extend(root_hints.iter().map(|&h| h & mask));
+        merged.sort_unstable();
+        merged.dedup();
+        if let Some(&top) = merged.last() {
+            sample_res.max_sample = sample_res.max_sample.max(top);
+        }
+        sample_res.heavy_keys = merged;
+    }
+    let sample_res = sample_res;
     SortStats::add(&stats.samples_drawn, sample_res.num_samples as u64);
     SortStats::add(&stats.heavy_keys, sample_res.heavy_keys.len() as u64);
 
@@ -143,6 +187,25 @@ pub(crate) fn recurse<T, F>(
     if let Some(of) = table.overflow_id {
         SortStats::add(&stats.overflow_records, plan.bucket_len(of as usize) as u64);
     }
+    // Carry-over report: a root heavy key is confirmed when its bucket holds
+    // a non-trivial share of the run (`n / 2^{γ+2}`); carried keys that have
+    // fallen light are dropped here and must be re-detected by sampling to
+    // return, so stale hints cannot accumulate across a long stream.  The
+    // report is ordered by decreasing bucket count so a downstream cap on
+    // carried keys keeps the heaviest ones.
+    let confirmed_heavy: Vec<u64> = if is_root && cfg.heavy_detection {
+        let threshold = ((n >> (gamma + 2)).max(2)) as u64;
+        let mut counted: Vec<(u64, u64)> = table
+            .heavy
+            .iter()
+            .map(|h| (plan.bucket_len(h.id as usize) as u64, h.key))
+            .filter(|&(count, _)| count >= threshold)
+            .collect();
+        counted.sort_unstable_by(|a, b| b.cmp(a));
+        counted.into_iter().map(|(_, key)| key).collect()
+    } else {
+        Vec::new()
+    };
     if is_root {
         SortStats::add(&stats.root_distribute_ns, t1.elapsed().as_nanos() as u64);
     }
@@ -176,6 +239,7 @@ pub(crate) fn recurse<T, F>(
                     stats,
                     rng.fork(1 + z as u64),
                     depth + 1,
+                    &[],
                 );
             } else {
                 // Overflow bucket: comparison sort (Section 5).
@@ -271,6 +335,7 @@ pub(crate) fn recurse<T, F>(
     if is_root {
         SortStats::add(&stats.root_merge_ns, t3.elapsed().as_nanos() as u64);
     }
+    confirmed_heavy
 }
 
 #[cfg(test)]

@@ -78,10 +78,8 @@ pub fn detect_heavy_from_sorted_samples(sorted_samples: &[u64], stride: usize) -
     let mut idx = 0;
     while idx < sorted_samples.len() {
         let k = sorted_samples[idx];
-        if prev == Some(k) {
-            if heavy.last() != Some(&k) {
-                heavy.push(k);
-            }
+        if prev == Some(k) && heavy.last() != Some(&k) {
+            heavy.push(k);
         }
         prev = Some(k);
         idx += stride;
@@ -130,7 +128,11 @@ mod tests {
             }
         };
         let res = sample_and_detect(n, keyfn, 8, &cfg, Rng::new(3));
-        assert!(res.heavy_keys.contains(&42), "heavy keys: {:?}", res.heavy_keys);
+        assert!(
+            res.heavy_keys.contains(&42),
+            "heavy keys: {:?}",
+            res.heavy_keys
+        );
         assert!(res.num_samples > 0);
         assert!(res.max_sample >= 42);
     }
@@ -171,7 +173,11 @@ mod tests {
         // close to it.
         let res = sample_and_detect(50_000, |i| (i % 1000) as u64, 8, &cfg, Rng::new(2));
         assert!(res.max_sample < 1000);
-        assert!(res.max_sample > 900, "max sample {} too small", res.max_sample);
+        assert!(
+            res.max_sample > 900,
+            "max sample {} too small",
+            res.max_sample
+        );
     }
 
     #[test]

@@ -79,7 +79,9 @@ mod tests {
 
     #[test]
     fn matches_std_partition_point_on_random_inputs() {
-        let mut v: Vec<u32> = (0..5000).map(|i| (i * 2654435761u64 % 997) as u32).collect();
+        let mut v: Vec<u32> = (0..5000)
+            .map(|i| (i * 2654435761u64 % 997) as u32)
+            .collect();
         v.sort_unstable();
         for probe in 0..1000u32 {
             let lb = lower_bound(&v, &probe);

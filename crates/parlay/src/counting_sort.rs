@@ -158,7 +158,11 @@ where
 /// Stable counting sort that leaves the result in `data`, using a freshly
 /// allocated buffer internally.  Convenience wrapper for callers that do not
 /// manage their own ping-pong buffers.
-pub fn counting_sort_inplace_by<T, F>(data: &mut [T], num_buckets: usize, key: F) -> CountingSortPlan
+pub fn counting_sort_inplace_by<T, F>(
+    data: &mut [T],
+    num_buckets: usize,
+    key: F,
+) -> CountingSortPlan
 where
     T: Copy + Send + Sync,
     F: Fn(&T) -> usize + Sync,

@@ -1,0 +1,409 @@
+//! Parallel k-way merge of sorted sequences.
+//!
+//! The primitive behind the streaming sorter's final pass
+//! (`crates/stream`): `k` sorted runs are merged into one sorted output.
+//! Two layers are provided:
+//!
+//! * [`LoserTree`] — a classic tournament *loser tree* over `k` cursors.
+//!   Each `pop` performs exactly `⌈log2 k⌉` comparisons (replay of one
+//!   leaf-to-root path), the optimal comparison count for k-way merging.
+//!   It works over any [`RunSource`], so out-of-core callers can plug in
+//!   buffered file readers and merge runs much larger than RAM.
+//! * [`kway_merge_into`] / [`kway_merge_by`] — a parallel in-memory merge:
+//!   the output is recursively split by *stable multi-sequence selection*
+//!   (pick the midpoint of the largest run as pivot, split every run around
+//!   it with the tie-breaking rule below) and the two halves merge in
+//!   parallel via [`rayon::join`]; small pieces fall back to a sequential
+//!   loser tree.
+//!
+//! **Stability.** Ties always resolve toward the run with the smaller
+//! index, and order within a run is preserved.  If run `i` holds records
+//! that arrived before run `i + 1`'s (as in the streaming sorter, where
+//! runs are created in arrival order), the merge is a stable sort of the
+//! concatenated input.
+
+use crate::binsearch::{lower_bound_by, upper_bound_by};
+use std::cmp::Ordering;
+
+/// A cursor over one sorted run: peek at the head, pop to advance.
+///
+/// Implemented here for in-memory slices ([`SliceSource`]); the streaming
+/// crate implements it for buffered spill-file readers.
+pub trait RunSource {
+    type Item;
+    /// The current head of the run, or `None` when exhausted.
+    fn peek(&self) -> Option<&Self::Item>;
+    /// Removes and returns the head.
+    fn pop(&mut self) -> Option<Self::Item>;
+}
+
+/// [`RunSource`] over a sorted slice.
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+    pos: usize,
+}
+
+impl<'a, T> SliceSource<'a, T> {
+    pub fn new(slice: &'a [T]) -> Self {
+        Self { slice, pos: 0 }
+    }
+}
+
+impl<T: Copy> RunSource for SliceSource<'_, T> {
+    type Item = T;
+
+    #[inline]
+    fn peek(&self) -> Option<&T> {
+        self.slice.get(self.pos)
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<T> {
+        let item = self.slice.get(self.pos).copied();
+        self.pos += usize::from(item.is_some());
+        item
+    }
+}
+
+/// Tournament loser tree over `k` run sources.
+///
+/// The tree stores, at every internal node, the *loser* of the match played
+/// there; the overall winner sits at the root.  Popping the winner replays
+/// only its leaf-to-root path: `⌈log2 k⌉` comparisons per output record.
+/// Exhausted runs lose every match, so the merge finishes cleanly without
+/// sentinel keys.  Ties favour the smaller run index (stability).
+pub struct LoserTree<S, F> {
+    sources: Vec<S>,
+    /// `tree[0]` is the current winner; `tree[1..k2]` hold match losers.
+    tree: Vec<usize>,
+    /// Number of leaves (k rounded up to a power of two).
+    k2: usize,
+    lt: F,
+}
+
+impl<S, F> LoserTree<S, F>
+where
+    S: RunSource,
+    F: Fn(&S::Item, &S::Item) -> bool,
+{
+    pub fn new(sources: Vec<S>, lt: F) -> Self {
+        let k2 = sources.len().next_power_of_two().max(1);
+        let mut this = Self {
+            sources,
+            tree: vec![usize::MAX; k2],
+            k2,
+            lt,
+        };
+        if !this.sources.is_empty() {
+            this.tree[0] = this.init_winner(1);
+        }
+        this
+    }
+
+    /// `true` if run `i`'s head wins against run `j`'s (ties favour the
+    /// smaller index; exhausted runs always lose).
+    ///
+    /// One comparator call per match: since the tie rule is index-based,
+    /// for `i < j` run `i` wins exactly when `j`'s head is not strictly
+    /// smaller — no second call needed to distinguish ties.
+    fn beats(&self, i: usize, j: usize) -> bool {
+        match (self.head(i), self.head(j)) {
+            (Some(a), Some(b)) => {
+                if i < j {
+                    !(self.lt)(b, a)
+                } else {
+                    (self.lt)(a, b)
+                }
+            }
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => i < j,
+        }
+    }
+
+    fn head(&self, i: usize) -> Option<&S::Item> {
+        self.sources.get(i).and_then(|s| s.peek())
+    }
+
+    /// Plays the tournament below internal node `node`, storing losers,
+    /// returning the winner (a run index, possibly of a phantom leaf).
+    fn init_winner(&mut self, node: usize) -> usize {
+        if node >= self.k2 {
+            return node - self.k2;
+        }
+        let left = self.init_winner(2 * node);
+        let right = self.init_winner(2 * node + 1);
+        let (winner, loser) = if self.beats(left, right) {
+            (left, right)
+        } else {
+            (right, left)
+        };
+        self.tree[node] = loser;
+        winner
+    }
+
+    /// Removes and returns the globally smallest head record.
+    pub fn pop(&mut self) -> Option<S::Item> {
+        let winner = self.tree[0];
+        if winner == usize::MAX {
+            return None;
+        }
+        let item = self.sources[winner].pop()?;
+        // Replay the winner's path: at each ancestor, the stored loser may
+        // now beat the advanced run.
+        let mut current = winner;
+        let mut node = (self.k2 + winner) / 2;
+        while node >= 1 {
+            let rival = self.tree[node];
+            if self.beats(rival, current) {
+                self.tree[node] = current;
+                current = rival;
+            }
+            node /= 2;
+        }
+        self.tree[0] = current;
+        Some(item)
+    }
+}
+
+impl<S, F> Iterator for LoserTree<S, F>
+where
+    S: RunSource,
+    F: Fn(&S::Item, &S::Item) -> bool,
+{
+    type Item = S::Item;
+
+    fn next(&mut self) -> Option<S::Item> {
+        self.pop()
+    }
+}
+
+/// Output size below which the parallel merge runs a sequential loser tree.
+const KWAY_GRAIN: usize = 8192;
+
+/// Merges `k` sorted runs into `out`, in parallel, stably (ties favour the
+/// run with the smaller index).
+///
+/// # Panics
+/// Panics if `out.len()` differs from the total length of the runs.
+pub fn kway_merge_into<T, F>(runs: &[&[T]], out: &mut [T], lt: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> bool + Sync,
+{
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    assert_eq!(
+        out.len(),
+        total,
+        "kway_merge_into: output length must equal total run length"
+    );
+    kway_rec(runs.to_vec(), out, lt);
+}
+
+/// Merges `k` sorted runs into a fresh vector (stable, parallel).
+pub fn kway_merge_by<T, F>(runs: &[&[T]], lt: &F) -> Vec<T>
+where
+    T: Copy + Send + Sync + Default,
+    F: Fn(&T, &T) -> bool + Sync,
+{
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut out = vec![T::default(); total];
+    kway_merge_into(runs, &mut out, lt);
+    out
+}
+
+fn kway_rec<T, F>(runs: Vec<&[T]>, out: &mut [T], lt: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> bool + Sync,
+{
+    // Dropping exhausted runs keeps the relative order of the rest, so the
+    // smaller-index-wins tie rule still encodes arrival order.
+    let runs: Vec<&[T]> = runs.into_iter().filter(|r| !r.is_empty()).collect();
+    match runs.len() {
+        0 => return,
+        1 => {
+            out.copy_from_slice(runs[0]);
+            return;
+        }
+        2 => {
+            crate::merge::par_merge_into(runs[0], runs[1], out, lt);
+            return;
+        }
+        _ => {}
+    }
+    if out.len() <= KWAY_GRAIN {
+        seq_loser_merge(&runs, out, lt);
+        return;
+    }
+
+    // Stable multi-sequence selection: take the midpoint record of the
+    // largest run as pivot and split every run around it.  A record x of
+    // run i belongs left of the pivot (from run j, position p) iff
+    // x < pivot, or x == pivot and i < j, or i == j and pos < p — exactly
+    // the stable merge order.
+    let j = (0..runs.len())
+        .max_by_key(|&i| runs[i].len())
+        .expect("non-empty run set");
+    let p = runs[j].len() / 2;
+    let pivot = &runs[j][p];
+
+    let mut left: Vec<&[T]> = Vec::with_capacity(runs.len());
+    let mut right: Vec<&[T]> = Vec::with_capacity(runs.len());
+    let mut left_total = 0usize;
+    for (i, run) in runs.iter().enumerate() {
+        let split = match i.cmp(&j) {
+            Ordering::Equal => p,
+            // Earlier runs: ties precede the pivot.
+            Ordering::Less => upper_bound_by(run, |x| {
+                if (lt)(pivot, x) {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }),
+            // Later runs: ties follow the pivot.
+            Ordering::Greater => lower_bound_by(run, |x| {
+                if (lt)(x, pivot) {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }),
+        };
+        left.push(&run[..split]);
+        right.push(&run[split..]);
+        left_total += split;
+    }
+
+    let (out_left, out_right) = out.split_at_mut(left_total);
+    rayon::join(
+        || kway_rec(left, out_left, lt),
+        || kway_rec(right, out_right, lt),
+    );
+}
+
+fn seq_loser_merge<T, F>(runs: &[&[T]], out: &mut [T], lt: &F)
+where
+    T: Copy,
+    F: Fn(&T, &T) -> bool,
+{
+    let sources: Vec<SliceSource<'_, T>> = runs.iter().map(|r| SliceSource::new(r)).collect();
+    let mut tree = LoserTree::new(sources, lt);
+    for slot in out.iter_mut() {
+        *slot = tree.pop().expect("loser tree exhausted early");
+    }
+    debug_assert!(tree.pop().is_none(), "loser tree has leftover records");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::Rng;
+
+    fn lt_u64(a: &u64, b: &u64) -> bool {
+        a < b
+    }
+
+    #[test]
+    fn merges_three_small_runs() {
+        let runs: Vec<&[u64]> = vec![&[1, 4, 7], &[2, 5, 8], &[0, 3, 6, 9]];
+        let got = kway_merge_by(&runs, &lt_u64);
+        assert_eq!(got, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single_runs() {
+        let empty: &[u64] = &[];
+        assert!(kway_merge_by::<u64, _>(&[], &lt_u64).is_empty());
+        assert!(kway_merge_by(&[empty, empty], &lt_u64).is_empty());
+        let single: Vec<&[u64]> = vec![&[1, 2, 3], empty];
+        assert_eq!(kway_merge_by(&single, &lt_u64), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn merges_many_large_random_runs() {
+        let rng = Rng::new(7);
+        let k = 9;
+        let mut runs: Vec<Vec<u64>> = Vec::new();
+        for r in 0..k {
+            let len = 20_000 + (r * 1733) % 9000;
+            let mut v: Vec<u64> = (0..len)
+                .map(|i| rng.fork(r as u64).ith_in(i as u64, 1 << 40))
+                .collect();
+            v.sort_unstable();
+            runs.push(v);
+        }
+        let slices: Vec<&[u64]> = runs.iter().map(|v| v.as_slice()).collect();
+        let got = kway_merge_by(&slices, &lt_u64);
+        let mut want: Vec<u64> = runs.concat();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stability_ties_favour_earlier_runs() {
+        // Records (key, tag); tags encode (run, position) so the stable
+        // order is fully determined.
+        let k = 5;
+        let per = 400;
+        let mut runs: Vec<Vec<(u32, u32)>> = Vec::new();
+        for r in 0..k {
+            // Keys drawn from a tiny universe => masses of cross-run ties.
+            let mut v: Vec<(u32, u32)> = (0..per)
+                .map(|i| (((i * 37 + r * 11) % 7) as u32, (r * per + i) as u32))
+                .collect();
+            v.sort_by_key(|&(key, _)| key);
+            runs.push(v);
+        }
+        let slices: Vec<&[(u32, u32)]> = runs.iter().map(|v| v.as_slice()).collect();
+        let got = kway_merge_by(&slices, &|a, b| a.0 < b.0);
+        // Reference: stable sort of run-0 ++ run-1 ++ ... by key.
+        let mut want: Vec<(u32, u32)> = runs.concat();
+        want.sort_by_key(|&(key, _)| key);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn loser_tree_pops_in_order_over_sources() {
+        let a = [1u64, 5, 9];
+        let b = [2u64, 6];
+        let c = [0u64, 7, 8, 10];
+        let sources = vec![
+            SliceSource::new(&a[..]),
+            SliceSource::new(&b[..]),
+            SliceSource::new(&c[..]),
+        ];
+        let tree = LoserTree::new(sources, |x: &u64, y: &u64| x < y);
+        let got: Vec<u64> = tree.collect();
+        assert_eq!(got, vec![0, 1, 2, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn loser_tree_on_empty_and_tiny_inputs() {
+        let mut empty: LoserTree<SliceSource<'_, u64>, _> =
+            LoserTree::new(Vec::new(), |x: &u64, y: &u64| x < y);
+        assert_eq!(empty.pop(), None);
+
+        let one = [3u64];
+        let mut single = LoserTree::new(vec![SliceSource::new(&one[..])], |x: &u64, y: &u64| x < y);
+        assert_eq!(single.pop(), Some(3));
+        assert_eq!(single.pop(), None);
+    }
+
+    #[test]
+    fn kway_merge_into_checks_length() {
+        let runs: Vec<&[u64]> = vec![&[1, 2], &[3]];
+        let mut out = vec![0u64; 3];
+        kway_merge_into(&runs, &mut out, &lt_u64);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "output length")]
+    fn kway_merge_into_wrong_length_panics() {
+        let runs: Vec<&[u64]> = vec![&[1, 2], &[3]];
+        let mut out = vec![0u64; 2];
+        kway_merge_into(&runs, &mut out, &lt_u64);
+    }
+}

@@ -139,7 +139,9 @@ mod tests {
     fn merges_large_random_slices() {
         let rng = Rng::new(5);
         let mut a: Vec<u64> = (0..60_000).map(|i| rng.ith_in(i, 1 << 20)).collect();
-        let mut b: Vec<u64> = (0..80_000).map(|i| rng.fork(1).ith_in(i, 1 << 20)).collect();
+        let mut b: Vec<u64> = (0..80_000)
+            .map(|i| rng.fork(1).ith_in(i, 1 << 20))
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         let got = par_merge_by(&a, &b, &|x, y| x < y);

@@ -60,11 +60,7 @@ pub fn parallel_for_grained<F: Fn(usize) + Sync>(start: usize, end: usize, grain
 
 /// Runs `f` over every chunk of `data` of length at most `grain` in parallel,
 /// passing the chunk index and the chunk itself.
-pub fn parallel_chunks<T: Send, F: Fn(usize, &mut [T]) + Sync>(
-    data: &mut [T],
-    grain: usize,
-    f: F,
-) {
+pub fn parallel_chunks<T: Send, F: Fn(usize, &mut [T]) + Sync>(data: &mut [T], grain: usize, f: F) {
     use rayon::prelude::*;
     let grain = grain.max(1);
     data.par_chunks_mut(grain)

@@ -42,7 +42,10 @@ impl Rng {
     /// The `i`-th 64-bit pseudo-random number of this generator.
     #[inline]
     pub fn ith(self, i: u64) -> u64 {
-        hash64(self.seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        hash64(
+            self.seed
+                .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
     }
 
     /// The `i`-th pseudo-random number reduced to `0..bound` (bound > 0).

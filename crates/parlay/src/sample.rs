@@ -13,7 +13,9 @@ pub fn sample_indices(rng: Rng, n: usize, count: usize) -> Vec<usize> {
     if n == 0 || count == 0 {
         return Vec::new();
     }
-    (0..count).map(|i| rng.ith_in(i as u64, n as u64) as usize).collect()
+    (0..count)
+        .map(|i| rng.ith_in(i as u64, n as u64) as usize)
+        .collect()
 }
 
 /// Copies `count` sampled records out of `data` (with replacement).
@@ -56,7 +58,10 @@ mod tests {
         for i in samples {
             seen[i] = true;
         }
-        assert!(seen.iter().all(|&s| s), "5000 draws should hit all 50 values");
+        assert!(
+            seen.iter().all(|&s| s),
+            "5000 draws should hit all 50 values"
+        );
     }
 
     #[test]

@@ -84,7 +84,9 @@ mod tests {
 
     #[test]
     fn flatten_preserves_order() {
-        let chunks: Vec<Vec<u32>> = (0..100).map(|c| (0..c).map(|x| c * 1000 + x).collect()).collect();
+        let chunks: Vec<Vec<u32>> = (0..100)
+            .map(|c| (0..c).map(|x| c * 1000 + x).collect())
+            .collect();
         let flat = flatten(&chunks);
         let want: Vec<u32> = chunks.iter().flatten().copied().collect();
         assert_eq!(flat, want);

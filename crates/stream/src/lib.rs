@@ -1,0 +1,65 @@
+//! # stream — bounded-memory, out-of-core sorting on top of DovetailSort
+//!
+//! The core `dtsort` crate sorts fully in-memory slices.  This crate opens
+//! the two scenario families the in-memory API cannot serve:
+//!
+//! * **Larger-than-memory inputs** — datasets that exceed the configured
+//!   memory budget are sorted with the classic external-sort shape:
+//!   sorted *runs* are spilled to disk and k-way merged at the end.
+//! * **Pipelined ingestion** — records arrive as pushed batches (network
+//!   shards, log segments, generator output) and the sorter overlaps
+//!   run-sorting with ingestion instead of requiring the full dataset up
+//!   front.
+//!
+//! ## How it works
+//!
+//! [`StreamSorter`] buffers pushed records up to the run capacity derived
+//! from [`dtsort::StreamConfig::memory_budget_bytes`] (half the budget
+//! buffers records; the other half is DovetailSort's ping-pong scratch).
+//! Each full buffer is stably sorted with the paper's DovetailSort and
+//! written to a spill file; the final partial buffer stays in memory.
+//! [`StreamSorter::finish`] merges all runs with a tournament loser tree
+//! ([`parlay::kway::LoserTree`]) behind a streaming iterator whose
+//! footprint stays within the budget, while [`StreamSorter::finish_into`]
+//! uses the parallel k-way merge ([`parlay::kway::kway_merge_into`]) when
+//! the caller wants the result materialized in a slice.  Both merges break
+//! ties toward earlier runs, so the end-to-end sort is **stable** with
+//! respect to push order.
+//!
+//! ## Heavy-key carry-over and the dovetail merge
+//!
+//! DovetailSort's `O(n)` behaviour on duplicate-dominated inputs comes
+//! from *heavy keys*: sampling detects keys with `Ω(n/2^γ)` occurrences,
+//! each heavy key gets a dedicated bucket that skips all further radix
+//! recursion, and the *dovetail merge* re-interleaves those buckets with
+//! the sorted light records.  Chunking a stream into runs would normally
+//! re-randomize that detection per run — a key that is heavy over the
+//! whole stream but borderline within one run might be missed, sending
+//! its records down the full radix recursion of that run.
+//!
+//! The streaming sorter closes this gap by **carrying heavy keys across
+//! runs** ([`dtsort::sort_run_pairs_with`]): the heavy keys confirmed by
+//! run `i`'s bucket counts are injected into run `i+1`'s root sampling, so
+//! a stream-wide heavy key is dovetailed in *every* subsequent run, paying
+//! `O(1)` per record from the second run on.  Carried keys that have
+//! fallen light are dropped by the per-run confirmation (bucket count
+//! below `n/2^{γ+2}`), so a drifting key distribution cannot bloat the
+//! bucket table.  The dovetail merge itself is unchanged — carried keys
+//! enter it exactly as natively sampled heavy keys do — and the final
+//! k-way merge sees one sorted sequence per run, so heavy records cost
+//! `log(runs)` comparisons there like everything else.
+//!
+//! ## Choosing an API
+//!
+//! | Need | Call |
+//! |---|---|
+//! | Stream the sorted result, bounded memory | [`StreamSorter::finish`] |
+//! | Materialize into a caller-owned slice, parallel merge | [`StreamSorter::finish_into`] |
+//! | Materialize into a fresh vector | [`StreamSorter::finish_vec`] |
+
+mod sorter;
+mod spill;
+
+pub use dtsort::{SortConfig, StreamConfig};
+pub use sorter::{SortedStream, StreamSorter, StreamStats};
+pub use spill::PodValue;

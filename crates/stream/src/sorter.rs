@@ -1,0 +1,508 @@
+//! The bounded-memory streaming sorter.
+
+use crate::spill::{pod_zeroed, write_run, PodValue, RunReader, SpilledRun};
+use dtsort::{sort_run_pairs_with, IntegerKey, StreamConfig};
+use parlay::kway::{kway_merge_into, LoserTree, RunSource};
+use std::io;
+use std::marker::PhantomData;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing what a [`StreamSorter`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Records accepted by `push` / `push_record` so far.
+    pub records_pushed: u64,
+    /// Runs spilled to disk so far.
+    pub spilled_runs: usize,
+    /// Bytes written to spill files so far.
+    pub spilled_bytes: u64,
+    /// Heavy keys currently carried into the next run's sampling.
+    pub carried_heavy_keys: usize,
+}
+
+/// A unique, self-deleting directory holding this sorter's spill files.
+#[derive(Debug)]
+struct SpillSpace {
+    dir: PathBuf,
+}
+
+static SPILL_SPACE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl SpillSpace {
+    fn create(base: Option<&PathBuf>) -> io::Result<Self> {
+        let base = base.cloned().unwrap_or_else(std::env::temp_dir);
+        let unique = format!(
+            "pisort-stream-{}-{}",
+            std::process::id(),
+            SPILL_SPACE_COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let dir = base.join(unique);
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+}
+
+impl Drop for SpillSpace {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// A bounded-memory, out-of-core stable sorter over pushed record batches.
+///
+/// Records are buffered up to the run capacity derived from
+/// [`StreamConfig::memory_budget_bytes`]; each full buffer is stably sorted
+/// with DovetailSort into a *run* and spilled to disk.  Heavy keys
+/// confirmed by one run seed the next run's heavy-key detection
+/// ([`dtsort::sort_run_pairs_with`]), so duplicate-dominated streams keep
+/// DovetailSort's `O(n)` fast path in every run regardless of how the
+/// stream is chunked.  [`StreamSorter::finish`] k-way merges all runs with
+/// a loser tree into a sorted iterator; [`StreamSorter::finish_into`]
+/// merges in parallel into a caller-provided slice.
+///
+/// ```
+/// use stream::StreamSorter;
+/// use dtsort::StreamConfig;
+///
+/// // A tiny budget forces several spilled runs even for small inputs.
+/// let mut sorter: StreamSorter<u32, u32> =
+///     StreamSorter::with_config(StreamConfig::with_memory_budget(16 << 10));
+/// for batch in 0..10u32 {
+///     let records: Vec<(u32, u32)> =
+///         (0..1000u32).map(|i| (i.wrapping_mul(2654435761).rotate_left(7), batch * 1000 + i)).collect();
+///     sorter.push(&records).unwrap();
+/// }
+/// let sorted: Vec<(u32, u32)> = sorter.finish().unwrap().collect();
+/// assert_eq!(sorted.len(), 10_000);
+/// assert!(sorted.windows(2).all(|w| w[0].0 <= w[1].0));
+/// ```
+pub struct StreamSorter<K: IntegerKey, V: PodValue = ()> {
+    cfg: StreamConfig,
+    run_capacity: usize,
+    buffer: Vec<(K, V)>,
+    runs: Vec<SpilledRun>,
+    carry: Vec<u64>,
+    space: Option<SpillSpace>,
+    stats: StreamStats,
+}
+
+impl<K: IntegerKey, V: PodValue> Default for StreamSorter<K, V> {
+    fn default() -> Self {
+        Self::with_config(StreamConfig::default())
+    }
+}
+
+impl<K: IntegerKey, V: PodValue> StreamSorter<K, V> {
+    /// Sorter with the default [`StreamConfig`] (256 MiB budget).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_config(cfg: StreamConfig) -> Self {
+        let run_capacity = cfg.run_capacity(std::mem::size_of::<(K, V)>());
+        Self {
+            cfg,
+            run_capacity,
+            buffer: Vec::new(),
+            runs: Vec::new(),
+            carry: Vec::new(),
+            space: None,
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// Total records accepted so far.
+    pub fn len(&self) -> usize {
+        self.runs.iter().map(|r| r.len).sum::<usize>() + self.buffer.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of runs the final merge will see: spilled runs plus the
+    /// in-memory tail, if any records are currently buffered.
+    pub fn run_count(&self) -> usize {
+        self.runs.len() + usize::from(!self.buffer.is_empty())
+    }
+
+    /// Counters (spills, carried heavy keys, ...).
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Heavy keys (ordered-`u64` domain) carried into the next run.
+    pub fn carried_heavy_keys(&self) -> &[u64] {
+        &self.carry
+    }
+
+    /// Appends a batch of records, spilling full runs to disk as needed.
+    pub fn push(&mut self, records: &[(K, V)]) -> io::Result<()> {
+        let mut rest = records;
+        while !rest.is_empty() {
+            let space = self.run_capacity - self.buffer.len();
+            let take = space.min(rest.len());
+            self.buffer.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buffer.len() >= self.run_capacity {
+                self.spill_run()?;
+            }
+        }
+        self.stats.records_pushed += records.len() as u64;
+        Ok(())
+    }
+
+    /// Appends a single record.
+    pub fn push_record(&mut self, key: K, value: V) -> io::Result<()> {
+        self.push(&[(key, value)])
+    }
+
+    /// Sorts the buffered run (seeding detection with the carried heavy
+    /// keys) and updates the carry from its report.
+    fn sort_buffer(&mut self) {
+        let report = sort_run_pairs_with(&mut self.buffer, &self.cfg.sort, &self.carry);
+        self.carry = report.heavy_keys;
+        self.carry.truncate(self.cfg.max_carried_heavy_keys);
+        self.stats.carried_heavy_keys = self.carry.len();
+    }
+
+    fn spill_run(&mut self) -> io::Result<()> {
+        self.sort_buffer();
+        if self.space.is_none() {
+            self.space = Some(SpillSpace::create(self.cfg.spill_dir.as_ref())?);
+        }
+        let dir = &self.space.as_ref().expect("spill space just created").dir;
+        let path = dir.join(format!("run-{:06}.bin", self.runs.len()));
+        let bytes = write_run(&path, &self.buffer)?;
+        self.runs.push(SpilledRun {
+            path,
+            len: self.buffer.len(),
+        });
+        self.stats.spilled_runs += 1;
+        self.stats.spilled_bytes += bytes;
+        self.buffer.clear();
+        Ok(())
+    }
+
+    /// Read-buffer bytes granted to each spilled run during the merge.
+    fn reader_budget(&self) -> usize {
+        (self.cfg.merge_read_buffer_bytes / self.runs.len().max(1)).clamp(4096, 8 << 20)
+    }
+
+    /// Finishes the sort, returning a streaming sorted iterator.
+    ///
+    /// The iterator holds one read buffer per spilled run (bounded by
+    /// [`StreamConfig::merge_read_buffer_bytes`]) plus the final in-memory
+    /// run, so its footprint stays within the configured budget no matter
+    /// how large the dataset grew.
+    pub fn finish(mut self) -> io::Result<SortedStream<K, V>> {
+        self.sort_buffer();
+        let total = self.len();
+        let reader_budget = self.reader_budget();
+        let mut cursors: Vec<RunCursor<V>> = Vec::with_capacity(self.runs.len() + 1);
+        for run in &self.runs {
+            cursors.push(RunCursor::open_disk(run, reader_budget)?);
+        }
+        if !self.buffer.is_empty() {
+            let mem: Vec<(u64, V)> = self
+                .buffer
+                .drain(..)
+                .map(|(k, v)| (k.to_ordered_u64(), v))
+                .collect();
+            cursors.push(RunCursor::from_memory(mem));
+        }
+        Ok(SortedStream {
+            tree: LoserTree::new(cursors, lt_by_ordered_key::<V>),
+            remaining: total,
+            _space: self.space.take(),
+            _key: PhantomData,
+        })
+    }
+
+    /// Finishes the sort by merging every run, in parallel, into `out`.
+    ///
+    /// All runs are loaded back into memory for the parallel merge, so
+    /// `out` (which the caller sized to the full dataset) dominates the
+    /// footprint.  Use [`StreamSorter::finish`] when the result must not be
+    /// materialized.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.len()`.
+    pub fn finish_into(mut self, out: &mut [(K, V)]) -> io::Result<()> {
+        assert_eq!(
+            out.len(),
+            self.len(),
+            "finish_into: output slice must hold exactly the pushed records"
+        );
+        self.sort_buffer();
+        if self.runs.is_empty() {
+            out.copy_from_slice(&self.buffer);
+            return Ok(());
+        }
+        let reader_budget = self.reader_budget();
+        let mut loaded: Vec<Vec<(K, V)>> = Vec::with_capacity(self.runs.len());
+        for run in &self.runs {
+            loaded.push(RunReader::<V>::open(run, reader_budget)?.read_all()?);
+        }
+        let mut slices: Vec<&[(K, V)]> = loaded.iter().map(|r| r.as_slice()).collect();
+        slices.push(&self.buffer);
+        kway_merge_into(&slices, out, &|a: &(K, V), b: &(K, V)| a.0 < b.0);
+        Ok(())
+    }
+
+    /// [`StreamSorter::finish_into`] allocating the output vector.
+    pub fn finish_vec(self) -> io::Result<Vec<(K, V)>> {
+        let total = self.len();
+        let mut out = vec![(K::from_ordered_u64(0), pod_zeroed::<V>()); total];
+        self.finish_into(&mut out)?;
+        Ok(out)
+    }
+}
+
+fn lt_by_ordered_key<V>(a: &(u64, V), b: &(u64, V)) -> bool {
+    a.0 < b.0
+}
+
+enum CursorInner<V: PodValue> {
+    Disk(RunReader<V>),
+    Memory(std::vec::IntoIter<(u64, V)>),
+}
+
+/// One run's cursor in the final merge ([`parlay::kway::RunSource`]).
+struct RunCursor<V: PodValue> {
+    inner: CursorInner<V>,
+    current: Option<(u64, V)>,
+}
+
+impl<V: PodValue> RunCursor<V> {
+    fn open_disk(run: &SpilledRun, buffer_bytes: usize) -> io::Result<Self> {
+        let mut reader = RunReader::open(run, buffer_bytes)?;
+        let current = reader.next_record()?;
+        Ok(Self {
+            inner: CursorInner::Disk(reader),
+            current,
+        })
+    }
+
+    fn from_memory(records: Vec<(u64, V)>) -> Self {
+        let mut iter = records.into_iter();
+        let current = iter.next();
+        Self {
+            inner: CursorInner::Memory(iter),
+            current,
+        }
+    }
+}
+
+impl<V: PodValue> RunSource for RunCursor<V> {
+    type Item = (u64, V);
+
+    fn peek(&self) -> Option<&(u64, V)> {
+        self.current.as_ref()
+    }
+
+    fn pop(&mut self) -> Option<(u64, V)> {
+        let item = self.current.take()?;
+        self.current = match &mut self.inner {
+            CursorInner::Memory(iter) => iter.next(),
+            // The merge happens mid-iteration where no Result channel
+            // exists; a read failure on a spill file we just wrote is an
+            // environment fault, reported by panic (documented on
+            // `SortedStream`).
+            CursorInner::Disk(reader) => reader
+                .next_record()
+                .unwrap_or_else(|e| panic!("I/O error reading spilled run: {e}")),
+        };
+        Some(item)
+    }
+}
+
+/// Streaming sorted output of a [`StreamSorter`] (ascending, stable).
+///
+/// Holds the spill directory alive until dropped; the directory and its
+/// run files are deleted on drop.  Open/initial-read errors surface from
+/// [`StreamSorter::finish`]; an I/O error in the middle of iteration
+/// panics (the spill files live in a directory this process just wrote).
+pub struct SortedStream<K: IntegerKey, V: PodValue> {
+    tree: MergeTree<V>,
+    remaining: usize,
+    _space: Option<SpillSpace>,
+    _key: PhantomData<K>,
+}
+
+type MergeTree<V> = LoserTree<RunCursor<V>, fn(&(u64, V), &(u64, V)) -> bool>;
+
+impl<K: IntegerKey, V: PodValue> Iterator for SortedStream<K, V> {
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        let (key, value) = self.tree.pop()?;
+        self.remaining -= 1;
+        Some((K::from_ordered_u64(key), value))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<K: IntegerKey, V: PodValue> ExactSizeIterator for SortedStream<K, V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlay::random::Rng;
+
+    fn tiny_cfg(budget: usize) -> StreamConfig {
+        StreamConfig {
+            memory_budget_bytes: budget,
+            sort: dtsort::SortConfig {
+                base_case_threshold: 64,
+                ..Default::default()
+            },
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn in_memory_only_path() {
+        let mut sorter: StreamSorter<u32, u32> = StreamSorter::new();
+        let input: Vec<(u32, u32)> = vec![(5, 0), (3, 1), (5, 2), (1, 3)];
+        sorter.push(&input).unwrap();
+        assert_eq!(sorter.len(), 4);
+        assert_eq!(sorter.stats().spilled_runs, 0);
+        let got: Vec<(u32, u32)> = sorter.finish().unwrap().collect();
+        assert_eq!(got, vec![(1, 3), (3, 1), (5, 0), (5, 2)]);
+    }
+
+    #[test]
+    fn spills_and_merges_more_data_than_budget() {
+        let n = 50_000usize;
+        let rng = Rng::new(11);
+        let input: Vec<(u32, u32)> = (0..n)
+            .map(|i| (rng.ith_in(i as u64, 1 << 20) as u32, i as u32))
+            .collect();
+        // 8-byte records, ~2k records per run => ~25 spilled runs.
+        let mut sorter: StreamSorter<u32, u32> = StreamSorter::with_config(tiny_cfg(32 << 10));
+        for batch in input.chunks(997) {
+            sorter.push(batch).unwrap();
+        }
+        assert!(
+            sorter.stats().spilled_runs > 5,
+            "expected spills, got {:?}",
+            sorter.stats()
+        );
+        let got: Vec<(u32, u32)> = sorter.finish().unwrap().collect();
+        let mut want = input;
+        want.sort_by_key(|r| r.0);
+        assert_eq!(got, want, "stable sorted permutation expected");
+    }
+
+    #[test]
+    fn finish_into_and_finish_vec_match_iterator() {
+        let n = 20_000usize;
+        let rng = Rng::new(12);
+        let input: Vec<(u64, u64)> = (0..n)
+            .map(|i| (rng.ith_in(i as u64, 500), i as u64))
+            .collect();
+        let mk = || {
+            let mut s: StreamSorter<u64, u64> = StreamSorter::with_config(tiny_cfg(64 << 10));
+            s.push(&input).unwrap();
+            s
+        };
+        let via_iter: Vec<(u64, u64)> = mk().finish().unwrap().collect();
+        let via_vec = mk().finish_vec().unwrap();
+        let mut via_slice = vec![(0u64, 0u64); n];
+        mk().finish_into(&mut via_slice).unwrap();
+        let mut want = input;
+        want.sort_by_key(|r| r.0);
+        assert_eq!(via_iter, want);
+        assert_eq!(via_vec, want);
+        assert_eq!(via_slice, want);
+    }
+
+    #[test]
+    fn heavy_keys_are_carried_across_runs() {
+        // 70% of every batch is key 42: after the first spilled run the
+        // carry must contain 42's ordered image.
+        let rng = Rng::new(13);
+        let mut sorter: StreamSorter<u32, u32> = StreamSorter::with_config(tiny_cfg(64 << 10));
+        let mut pushed = 0u32;
+        while sorter.stats().spilled_runs < 3 {
+            let batch: Vec<(u32, u32)> = (0..1024u32)
+                .map(|i| {
+                    let k = if rng.ith_f64((pushed + i) as u64) < 0.7 {
+                        42
+                    } else {
+                        rng.ith((pushed + i) as u64) as u32
+                    };
+                    (k, pushed + i)
+                })
+                .collect();
+            sorter.push(&batch).unwrap();
+            pushed += 1024;
+        }
+        assert!(
+            sorter.carried_heavy_keys().contains(&42),
+            "carry: {:?}",
+            sorter.carried_heavy_keys()
+        );
+        let got: Vec<(u32, u32)> = sorter.finish().unwrap().collect();
+        assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn unit_values_and_signed_keys() {
+        let rng = Rng::new(14);
+        let mut sorter: StreamSorter<i64> = StreamSorter::with_config(tiny_cfg(32 << 10));
+        let keys: Vec<i64> = (0..30_000).map(|i| rng.ith(i) as i64).collect();
+        for k in &keys {
+            sorter.push_record(*k, ()).unwrap();
+        }
+        assert!(sorter.stats().spilled_runs > 0);
+        let got: Vec<i64> = sorter.finish().unwrap().map(|(k, ())| k).collect();
+        let mut want = keys;
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let sorter: StreamSorter<u32, u32> = StreamSorter::new();
+        assert!(sorter.is_empty());
+        assert_eq!(sorter.finish().unwrap().count(), 0);
+
+        let mut one: StreamSorter<u32, u32> = StreamSorter::new();
+        one.push_record(9, 1).unwrap();
+        assert_eq!(one.finish_vec().unwrap(), vec![(9, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "output slice")]
+    fn finish_into_length_mismatch_panics() {
+        let mut sorter: StreamSorter<u32, u32> = StreamSorter::new();
+        sorter.push_record(1, 1).unwrap();
+        let mut out = vec![(0u32, 0u32); 5];
+        sorter.finish_into(&mut out).unwrap();
+    }
+
+    #[test]
+    fn spill_directory_is_removed_on_drop() {
+        let base = std::env::temp_dir().join(format!("pisort-droptest-{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        let cfg = StreamConfig {
+            spill_dir: Some(base.clone()),
+            ..tiny_cfg(16 << 10)
+        };
+        let mut sorter: StreamSorter<u32, u32> = StreamSorter::with_config(cfg);
+        let batch: Vec<(u32, u32)> = (0..20_000u32).map(|i| (i % 100, i)).collect();
+        sorter.push(&batch).unwrap();
+        assert!(sorter.stats().spilled_runs > 0);
+        let stream = sorter.finish().unwrap();
+        assert!(std::fs::read_dir(&base).unwrap().count() > 0);
+        drop(stream);
+        assert_eq!(std::fs::read_dir(&base).unwrap().count(), 0);
+        std::fs::remove_dir_all(&base).ok();
+    }
+}

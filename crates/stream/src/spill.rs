@@ -1,0 +1,220 @@
+//! On-disk run format and buffered run readers.
+//!
+//! A spilled run is a flat sequence of fixed-size records:
+//!
+//! ```text
+//! ┌────────────────────────┬───────────────────┐
+//! │ key (8 bytes, LE)      │ value (V bytes)   │  × run length
+//! └────────────────────────┴───────────────────┘
+//! ```
+//!
+//! Keys are stored in the ordered-`u64` domain
+//! ([`dtsort::IntegerKey::to_ordered_u64`]), so the merge compares raw
+//! `u64`s and the original key type is reconstructed only on output.
+//! Values are written as their in-memory bytes, which is why they must
+//! implement the padding-free [`PodValue`] contract.
+
+use dtsort::IntegerKey;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::marker::PhantomData;
+use std::mem::size_of;
+use std::path::{Path, PathBuf};
+
+/// Marker for values that can be spilled by their in-memory byte image.
+///
+/// # Safety
+///
+/// Implementors must be `Copy` types with **no padding bytes** (every byte
+/// of the in-memory representation is initialized) for which every byte
+/// pattern written from a valid value reads back as that same valid value.
+/// All primitive numeric types and fixed-size arrays of them qualify;
+/// structs/tuples with padding do not.
+pub unsafe trait PodValue: Copy + Send + Sync + 'static {}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => {$( unsafe impl PodValue for $t {} )*};
+}
+impl_pod!(
+    (),
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool
+);
+unsafe impl<T: PodValue, const N: usize> PodValue for [T; N] {}
+
+/// A value every bit of which is zero (valid for any [`PodValue`]).
+pub(crate) fn pod_zeroed<V: PodValue>() -> V {
+    // SAFETY: PodValue admits every initialized byte pattern, including
+    // all-zeros.
+    unsafe { std::mem::zeroed() }
+}
+
+fn value_bytes<V: PodValue>(v: &V) -> &[u8] {
+    // SAFETY: PodValue guarantees no padding, so all size_of::<V>() bytes
+    // are initialized.
+    unsafe { std::slice::from_raw_parts((v as *const V).cast::<u8>(), size_of::<V>()) }
+}
+
+fn value_from_bytes<V: PodValue>(bytes: &[u8]) -> V {
+    debug_assert_eq!(bytes.len(), size_of::<V>());
+    // SAFETY: the buffer holds size_of::<V>() initialized bytes previously
+    // produced by `value_bytes` for a valid value of V.
+    unsafe { std::ptr::read_unaligned(bytes.as_ptr().cast::<V>()) }
+}
+
+/// Size in bytes of one on-disk record of value type `V`.
+pub(crate) fn record_size<V: PodValue>() -> usize {
+    8 + size_of::<V>()
+}
+
+/// Writes a sorted run to `path`; returns the bytes written.
+pub(crate) fn write_run<K: IntegerKey, V: PodValue>(
+    path: &Path,
+    records: &[(K, V)],
+) -> io::Result<u64> {
+    let file = File::create(path)?;
+    let mut writer = BufWriter::with_capacity(1 << 20, file);
+    for &(key, value) in records {
+        writer.write_all(&key.to_ordered_u64().to_le_bytes())?;
+        writer.write_all(value_bytes(&value))?;
+    }
+    writer.flush()?;
+    Ok((record_size::<V>() * records.len()) as u64)
+}
+
+/// Metadata of one spilled run.
+#[derive(Debug)]
+pub(crate) struct SpilledRun {
+    pub path: PathBuf,
+    pub len: usize,
+}
+
+/// Buffered sequential reader over one spilled run.
+pub(crate) struct RunReader<V: PodValue> {
+    reader: BufReader<File>,
+    remaining: usize,
+    scratch: Vec<u8>,
+    _value: PhantomData<V>,
+}
+
+impl<V: PodValue> RunReader<V> {
+    pub fn open(run: &SpilledRun, buffer_bytes: usize) -> io::Result<Self> {
+        let file = File::open(&run.path)?;
+        Ok(Self {
+            reader: BufReader::with_capacity(buffer_bytes.max(4096), file),
+            remaining: run.len,
+            scratch: vec![0u8; size_of::<V>()],
+            _value: PhantomData,
+        })
+    }
+
+    /// Reads the next record, or `None` at end of run.
+    pub fn next_record(&mut self) -> io::Result<Option<(u64, V)>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let mut key_bytes = [0u8; 8];
+        self.reader.read_exact(&mut key_bytes)?;
+        self.reader.read_exact(&mut self.scratch)?;
+        self.remaining -= 1;
+        Ok(Some((
+            u64::from_le_bytes(key_bytes),
+            value_from_bytes(&self.scratch),
+        )))
+    }
+
+    /// Reads all remaining records, reconstructing the key type.
+    pub fn read_all<K: IntegerKey>(&mut self) -> io::Result<Vec<(K, V)>> {
+        let mut out = Vec::with_capacity(self.remaining);
+        while let Some((key, value)) = self.next_record()? {
+            out.push((K::from_ordered_u64(key), value));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pisort-spill-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_u32_keys_u32_values() {
+        let path = tmp_path("u32u32.bin");
+        let records: Vec<(u32, u32)> = (0..1000u32).map(|i| (i * 3, i)).collect();
+        let bytes = write_run(&path, &records).unwrap();
+        assert_eq!(bytes, 12 * 1000);
+        let run = SpilledRun {
+            path: path.clone(),
+            len: records.len(),
+        };
+        let mut reader = RunReader::<u32>::open(&run, 4096).unwrap();
+        let got: Vec<(u32, u32)> = reader.read_all().unwrap();
+        assert_eq!(got, records);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn roundtrip_signed_keys_and_unit_values() {
+        let path = tmp_path("i64unit.bin");
+        let records: Vec<(i64, ())> = vec![(i64::MIN, ()), (-1, ()), (0, ()), (i64::MAX, ())];
+        write_run(&path, &records).unwrap();
+        let run = SpilledRun {
+            path: path.clone(),
+            len: records.len(),
+        };
+        let mut reader = RunReader::<()>::open(&run, 4096).unwrap();
+        let got: Vec<(i64, ())> = reader.read_all().unwrap();
+        assert_eq!(got, records);
+        // Ordered-u64 images on disk must be monotone for signed keys.
+        let mut reader = RunReader::<()>::open(&run, 4096).unwrap();
+        let mut ordered = Vec::new();
+        while let Some((k, ())) = reader.next_record().unwrap() {
+            ordered.push(k);
+        }
+        assert!(ordered.windows(2).all(|w| w[0] < w[1]));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn roundtrip_array_values() {
+        let path = tmp_path("arr.bin");
+        let records: Vec<(u16, [u8; 5])> = (0..100u16).map(|i| (i, [i as u8; 5])).collect();
+        write_run(&path, &records).unwrap();
+        let run = SpilledRun {
+            path: path.clone(),
+            len: records.len(),
+        };
+        let got: Vec<(u16, [u8; 5])> = RunReader::<[u8; 5]>::open(&run, 4096)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert_eq!(got, records);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn zeroed_pod_values() {
+        assert_eq!(pod_zeroed::<u64>(), 0);
+        assert_eq!(pod_zeroed::<[u32; 3]>(), [0, 0, 0]);
+        pod_zeroed::<()>();
+    }
+}

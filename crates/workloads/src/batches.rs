@@ -1,0 +1,145 @@
+//! Streaming batch generators over the paper's key distributions.
+//!
+//! The streaming sorter (`crates/stream`) consumes records in pushed
+//! batches; these generators produce such batches lazily, in bounded
+//! memory, over any [`Distribution`].  Each batch is generated with a seed
+//! forked from the base seed and the batch index, so a stream is fully
+//! deterministic for a fixed `(seed, batch_size)` — note that changing the
+//! batch size changes the generated key sequence, not just its chunking.
+//! Values record the *global* record index, so stability of a downstream
+//! sort can be checked exactly as with the one-shot generators.
+
+use crate::dist::{generate_keys, Distribution};
+
+/// Lazy iterator over batches of `(u64 key, u64 global-index)` records.
+#[derive(Debug, Clone)]
+pub struct BatchStream {
+    dist: Distribution,
+    bits: u32,
+    seed: u64,
+    batch_size: usize,
+    remaining: usize,
+    next_index: u64,
+    next_batch: u64,
+}
+
+impl BatchStream {
+    /// A stream of `n` records of `bits`-wide keys (32 or 64), delivered in
+    /// batches of at most `batch_size` records.
+    pub fn new(dist: &Distribution, n: usize, bits: u32, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        Self {
+            dist: dist.clone(),
+            bits,
+            seed,
+            batch_size,
+            remaining: n,
+            next_index: 0,
+            next_batch: 0,
+        }
+    }
+
+    /// Total records not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl Iterator for BatchStream {
+    type Item = Vec<(u64, u64)>;
+
+    fn next(&mut self) -> Option<Vec<(u64, u64)>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let take = self.batch_size.min(self.remaining);
+        // Forked per-batch seed: deterministic for a fixed (seed, batch_size).
+        let batch_seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.next_batch);
+        let keys = generate_keys(&self.dist, take, self.bits, batch_seed);
+        let base = self.next_index;
+        let batch: Vec<(u64, u64)> = keys
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, base + i as u64))
+            .collect();
+        self.remaining -= take;
+        self.next_index += take as u64;
+        self.next_batch += 1;
+        Some(batch)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let batches = self.remaining.div_ceil(self.batch_size);
+        (batches, Some(batches))
+    }
+}
+
+/// [`BatchStream`] narrowed to `(u32 key, u32 global-index)` records
+/// (the common evaluation shape).  Requires 32-bit keys and fewer than
+/// `2^32` records.
+pub fn batches_u32(
+    dist: &Distribution,
+    n: usize,
+    batch_size: usize,
+    seed: u64,
+) -> impl Iterator<Item = Vec<(u32, u32)>> {
+    assert!(n < (1usize << 32), "u32 values cannot index 2^32 records");
+    BatchStream::new(dist, n, 32, batch_size, seed).map(|batch| {
+        batch
+            .into_iter()
+            .map(|(k, v)| (k as u32, v as u32))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_cover_n_records_with_global_indices() {
+        let dist = Distribution::Zipfian { s: 1.0 };
+        let n = 10_000;
+        let all: Vec<(u64, u64)> = BatchStream::new(&dist, n, 32, 1024, 1).flatten().collect();
+        assert_eq!(all.len(), n);
+        assert!(all.iter().enumerate().all(|(i, &(_, v))| v == i as u64));
+    }
+
+    #[test]
+    fn batch_sizes_are_respected() {
+        let dist = Distribution::Uniform { distinct: 100 };
+        let sizes: Vec<usize> = BatchStream::new(&dist, 2500, 32, 1000, 2)
+            .map(|b| b.len())
+            .collect();
+        assert_eq!(sizes, vec![1000, 1000, 500]);
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_sensitive_to_it() {
+        let dist = Distribution::Exponential { lambda: 5.0 };
+        let a: Vec<Vec<(u64, u64)>> = BatchStream::new(&dist, 5000, 64, 512, 7).collect();
+        let b: Vec<Vec<(u64, u64)>> = BatchStream::new(&dist, 5000, 64, 512, 7).collect();
+        let c: Vec<Vec<(u64, u64)>> = BatchStream::new(&dist, 5000, 64, 512, 8).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn u32_batches_fit_width() {
+        let dist = Distribution::Uniform { distinct: 1 << 30 };
+        let all: Vec<(u32, u32)> = batches_u32(&dist, 5000, 777, 3).flatten().collect();
+        assert_eq!(all.len(), 5000);
+        assert!(all.iter().enumerate().all(|(i, &(_, v))| v == i as u32));
+    }
+
+    #[test]
+    fn size_hint_counts_batches() {
+        let dist = Distribution::Uniform { distinct: 10 };
+        let s = BatchStream::new(&dist, 2500, 32, 1000, 1);
+        assert_eq!(s.size_hint(), (3, Some(3)));
+        assert_eq!(s.remaining(), 2500);
+    }
+}

@@ -56,7 +56,11 @@ impl Distribution {
 /// range so that the sorts exercise all digit levels; multiplying by a fixed
 /// stride preserves both the order and the duplicate structure.
 fn spread(key: u64, max_key: u64, bits: u32) -> u64 {
-    let range_top = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let range_top = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     if max_key == 0 {
         return 0;
     }
@@ -66,7 +70,10 @@ fn spread(key: u64, max_key: u64, bits: u32) -> u64 {
 
 /// Generates `n` keys of width `bits` (32 or 64) from the distribution.
 pub fn generate_keys(dist: &Distribution, n: usize, bits: u32, seed: u64) -> Vec<u64> {
-    assert!(bits == 32 || bits == 64, "the evaluation uses 32- or 64-bit keys");
+    assert!(
+        bits == 32 || bits == 64,
+        "the evaluation uses 32- or 64-bit keys"
+    );
     let rng = Rng::new(seed);
     let mut out = vec![0u64; n];
     let cell = UnsafeSliceCell::new(&mut out);
@@ -107,7 +114,11 @@ pub fn generate_keys(dist: &Distribution, n: usize, bits: u32, seed: u64) -> Vec
                 let mut key = 0u64;
                 let base = (i as u64) * 64;
                 for b in 0..bits {
-                    let bit = if rng.ith_f64(base + b as u64) < p_zero { 0 } else { 1 };
+                    let bit = if rng.ith_f64(base + b as u64) < p_zero {
+                        0
+                    } else {
+                        1
+                    };
                     key |= bit << b;
                 }
                 unsafe { cell.write(i, key) };
@@ -164,7 +175,9 @@ pub fn bexp_instances() -> Vec<Distribution> {
 /// (lightest and heaviest case of each distribution family).
 pub fn ablation_instances() -> Vec<Distribution> {
     vec![
-        Distribution::Uniform { distinct: 1_000_000_000 },
+        Distribution::Uniform {
+            distinct: 1_000_000_000,
+        },
         Distribution::Uniform { distinct: 10 },
         Distribution::Exponential { lambda: 1.0 },
         Distribution::Exponential { lambda: 10.0 },
@@ -216,16 +229,18 @@ mod tests {
         // the most frequent single keys are the small ones; at least the key
         // multiset must contain many duplicates.
         let distinct: HashSet<u64> = keys.iter().copied().collect();
-        assert!(distinct.len() < keys.len(), "exponential input should contain duplicates");
+        assert!(
+            distinct.len() < keys.len(),
+            "exponential input should contain duplicates"
+        );
     }
 
     #[test]
     fn exponential_lighter_lambda_has_more_distinct_keys() {
         let n = 100_000;
-        let d1: HashSet<u64> =
-            generate_keys(&Distribution::Exponential { lambda: 1.0 }, n, 32, 4)
-                .into_iter()
-                .collect();
+        let d1: HashSet<u64> = generate_keys(&Distribution::Exponential { lambda: 1.0 }, n, 32, 4)
+            .into_iter()
+            .collect();
         let d10: HashSet<u64> =
             generate_keys(&Distribution::Exponential { lambda: 10.0 }, n, 32, 4)
                 .into_iter()
@@ -255,7 +270,10 @@ mod tests {
         let keys = generate_keys(&Distribution::BitExponential { t: 300.0 }, 5_000, 32, 6);
         let total_zero_bits: u32 = keys.iter().map(|&k| 32 - (k as u32).count_ones()).sum();
         let frac = total_zero_bits as f64 / (keys.len() as f64 * 32.0);
-        assert!((frac - 1.0 / 300.0).abs() < 0.005, "zero-bit fraction {frac}");
+        assert!(
+            (frac - 1.0 / 300.0).abs() < 0.005,
+            "zero-bit fraction {frac}"
+        );
     }
 
     #[test]
@@ -281,8 +299,14 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let d = Distribution::Zipfian { s: 1.2 };
-        assert_eq!(generate_keys(&d, 10_000, 64, 9), generate_keys(&d, 10_000, 64, 9));
-        assert_ne!(generate_keys(&d, 10_000, 64, 9), generate_keys(&d, 10_000, 64, 10));
+        assert_eq!(
+            generate_keys(&d, 10_000, 64, 9),
+            generate_keys(&d, 10_000, 64, 9)
+        );
+        assert_ne!(
+            generate_keys(&d, 10_000, 64, 9),
+            generate_keys(&d, 10_000, 64, 10)
+        );
     }
 
     #[test]
@@ -291,7 +315,10 @@ mod tests {
         assert_eq!(pairs.len(), 1_000);
         assert!(pairs.iter().enumerate().all(|(i, &(_, v))| v as usize == i));
         let pairs64 = generate_pairs_u64(&Distribution::Uniform { distinct: 100 }, 500, 11);
-        assert!(pairs64.iter().enumerate().all(|(i, &(_, v))| v as usize == i));
+        assert!(pairs64
+            .iter()
+            .enumerate()
+            .all(|(i, &(_, v))| v as usize == i));
     }
 
     #[test]
@@ -301,7 +328,10 @@ mod tests {
         assert_eq!(ablation_instances().len(), 8);
         assert_eq!(merge_ablation_instances().len(), 7);
         assert_eq!(
-            Distribution::Uniform { distinct: 10_000_000 }.label(),
+            Distribution::Uniform {
+                distinct: 10_000_000
+            }
+            .label(),
             "Unif-1e7"
         );
         assert_eq!(Distribution::Zipfian { s: 1.2 }.label(), "Zipf-1.2");

@@ -115,10 +115,7 @@ pub fn power_law_graph(num_vertices: usize, num_edges: usize, s: f64, seed: u64)
         // Zipf rank 1 is the most popular destination; permute ranks with a
         // hash so popular vertices are spread over the id space like in real
         // graphs.
-        let rank = sampler.sample(
-            rng.ith_f64(3 * i as u64 + 1),
-            rng.ith_f64(3 * i as u64 + 2),
-        ) - 1;
+        let rank = sampler.sample(rng.ith_f64(3 * i as u64 + 1), rng.ith_f64(3 * i as u64 + 2)) - 1;
         let to = (parlay::random::hash64(rank) % num_vertices as u64) as u32;
         unsafe { cell.write(i, (from, to)) };
     });
@@ -209,7 +206,10 @@ mod tests {
     fn power_law_graph_has_skewed_in_degrees() {
         let g = power_law_graph(10_000, 200_000, 1.2, 1);
         assert_eq!(g.edges.len(), 200_000);
-        assert!(g.edges.iter().all(|&(u, v)| (u as usize) < 10_000 && (v as usize) < 10_000));
+        assert!(g
+            .edges
+            .iter()
+            .all(|&(u, v)| (u as usize) < 10_000 && (v as usize) < 10_000));
         let mut indeg: HashMap<u32, usize> = HashMap::new();
         for &(_, v) in &g.edges {
             *indeg.entry(v).or_default() += 1;
@@ -234,7 +234,10 @@ mod tests {
         }
         assert!(outdeg.iter().all(|&d| d == 8));
         let max_in = *indeg.iter().max().unwrap();
-        assert!(max_in < 80, "kNN-like in-degrees should be near-uniform, max {max_in}");
+        assert!(
+            max_in < 80,
+            "kNN-like in-degrees should be near-uniform, max {max_in}"
+        );
     }
 
     #[test]

@@ -20,12 +20,17 @@
 //! All generators take an explicit seed and are deterministic, so every
 //! experiment in `EXPERIMENTS.md` is exactly reproducible.
 
+pub mod batches;
 pub mod dist;
 pub mod graphs;
 pub mod points;
 pub mod zipf;
 
-pub use dist::{bexp_instances, generate_keys, generate_pairs_u32, generate_pairs_u64, paper_instances, Distribution};
+pub use batches::{batches_u32, BatchStream};
+pub use dist::{
+    bexp_instances, generate_keys, generate_pairs_u32, generate_pairs_u64, paper_instances,
+    Distribution,
+};
 pub use graphs::{Csr, EdgeList};
 pub use points::{Point2, Point3};
 pub use zipf::ZipfSampler;

@@ -234,7 +234,9 @@ mod tests {
         let set: HashSet<(u32, u32)> = pts.iter().map(|p| (p.x, p.y)).collect();
         assert!(set.len() > 49_000);
         let pts3 = uniform_points_3d(10_000, 2);
-        assert!(pts3.iter().all(|p| p.x < (1 << 21) && p.y < (1 << 21) && p.z < (1 << 21)));
+        assert!(pts3
+            .iter()
+            .all(|p| p.x < (1 << 21) && p.y < (1 << 21) && p.z < (1 << 21)));
     }
 
     #[test]
@@ -258,7 +260,9 @@ mod tests {
         let a = varden_points_3d(20_000, &cfg, 4);
         let b = varden_points_3d(20_000, &cfg, 4);
         assert_eq!(a, b);
-        assert!(a.iter().all(|p| p.x < (1 << 21) && p.y < (1 << 21) && p.z < (1 << 21)));
+        assert!(a
+            .iter()
+            .all(|p| p.x < (1 << 21) && p.y < (1 << 21) && p.z < (1 << 21)));
     }
 
     #[test]

@@ -23,12 +23,14 @@ impl ZipfSampler {
     /// Creates a sampler over ranks `1..=n` (n ≥ 1) with exponent `s ≥ 0`.
     pub fn new(n: u64, s: f64) -> Self {
         assert!(n >= 1, "ZipfSampler requires at least one rank");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and non-negative"
+        );
         let dense = s == 0.0;
         let h_x1 = Self::h_static(1.5, s) - 1.0;
         let h_n = Self::h_static(n as f64 + 0.5, s);
-        let accept_threshold =
-            2.0 - Self::h_inv_static(Self::h_static(2.5, s) - 2f64.powf(-s), s);
+        let accept_threshold = 2.0 - Self::h_inv_static(Self::h_static(2.5, s) - 2f64.powf(-s), s);
         Self {
             n,
             s,
@@ -159,7 +161,11 @@ mod tests {
         assert!(ones < 0.05, "rank-1 frequency {ones} too high for s=0.6");
         // Should hit many distinct ranks.
         let distinct: std::collections::HashSet<u64> = v.iter().copied().collect();
-        assert!(distinct.len() > 3_000, "only {} distinct ranks", distinct.len());
+        assert!(
+            distinct.len() > 3_000,
+            "only {} distinct ranks",
+            distinct.len()
+        );
     }
 
     #[test]

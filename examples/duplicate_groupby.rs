@@ -38,7 +38,11 @@ fn main() {
     );
 
     // The underlying sort: with vs without heavy-key detection.
-    let input: Vec<(u64, u32)> = pages.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect();
+    let input: Vec<(u64, u32)> = pages
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i as u32))
+        .collect();
     let mut a = input.clone();
     let t1 = Instant::now();
     let stats = pisort::sort_pairs_with_stats(&mut a, &SortConfig::default());
@@ -47,7 +51,10 @@ fn main() {
     let t2 = Instant::now();
     pisort::sort_pairs_with(&mut b, &SortConfig::plain());
     let plain_time = t2.elapsed();
-    assert_eq!(a, b, "both configurations must produce the same stable order");
+    assert_eq!(
+        a, b,
+        "both configurations must produce the same stable order"
+    );
     println!(
         "DovetailSort: {dt_time:?} ({} heavy keys, {:.1}% of records bypassed recursion)",
         stats.heavy_keys,

@@ -36,14 +36,17 @@ fn main() {
     println!("DovetailSort-based transpose: {dt:?}");
 
     let t1 = Instant::now();
-    let gt_plis = transpose_with_sorter(&g, |e| baselines::plis::sort_pairs(e));
+    let gt_plis = transpose_with_sorter(&g, baselines::plis::sort_pairs);
     println!("plain-radix-sort transpose:   {:?}", t1.elapsed());
 
     let t2 = Instant::now();
     let gt_ref = transpose_reference(&g);
     println!("reference (bucket) transpose: {:?}", t2.elapsed());
 
-    assert_eq!(gt, gt_ref, "sorting-based transpose must match the reference");
+    assert_eq!(
+        gt, gt_ref,
+        "sorting-based transpose must match the reference"
+    );
     assert_eq!(gt_plis, gt_ref);
     println!(
         "transpose verified: {} vertices, {} edges, max out-degree of G^T = {max_indeg}",

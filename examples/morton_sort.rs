@@ -32,7 +32,7 @@ fn main() {
     println!("DovetailSort Morton sort: {:?}", t0.elapsed());
 
     let t1 = Instant::now();
-    let sorted_ss = morton_sort_2d_with(&points, |c| baselines::samplesort::sort_pairs(c));
+    let sorted_ss = morton_sort_2d_with(&points, baselines::samplesort::sort_pairs);
     println!("samplesort Morton sort:   {:?}", t1.elapsed());
 
     // Verify: the z-values of the output are non-decreasing and the two

@@ -25,9 +25,18 @@ fn main() {
         user: u32,
     }
     let mut events = vec![
-        Event { timestamp: 1_700_000_300, user: 2 },
-        Event { timestamp: 1_700_000_100, user: 7 },
-        Event { timestamp: 1_700_000_200, user: 4 },
+        Event {
+            timestamp: 1_700_000_300,
+            user: 2,
+        },
+        Event {
+            timestamp: 1_700_000_100,
+            user: 7,
+        },
+        Event {
+            timestamp: 1_700_000_200,
+            user: 4,
+        },
     ];
     pisort::sort_by_key(&mut events, |e| e.timestamp);
     println!("sorted events: {events:?}");

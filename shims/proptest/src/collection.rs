@@ -1,0 +1,53 @@
+//! Collection strategies (subset of proptest's `collection` module).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy for `Vec`s whose length is drawn from `len` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = self.len.end.saturating_sub(self.len.start).max(1) as u64;
+        let n = self.len.start + rng.next_below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_respects_length_range() {
+        let mut rng = TestRng::from_name("veclen");
+        let s = vec(any::<u8>(), 3..9);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((3..9).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn empty_capable_range_can_produce_empty() {
+        let mut rng = TestRng::from_name("vecempty");
+        let s = vec(any::<u8>(), 0..3);
+        let mut saw_empty = false;
+        for _ in 0..100 {
+            saw_empty |= s.generate(&mut rng).is_empty();
+        }
+        assert!(saw_empty);
+    }
+}

@@ -1,0 +1,129 @@
+//! Offline stand-in for [proptest](https://docs.rs/proptest).
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset of the proptest API the workspace's property tests use: the
+//! [`proptest!`] macro over `pattern in strategy` arguments, range / `any` /
+//! tuple / [`collection::vec`] strategies, [`prelude::ProptestConfig`] and
+//! the `prop_assert*` macros.
+//!
+//! Inputs are generated from a deterministic splitmix64 stream seeded by the
+//! test name, so failures are reproducible run-to-run (the real proptest's
+//! shrinking machinery is intentionally out of scope — on failure the full
+//! offending case is printed by the assertion itself).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property test (shim: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test (shim: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test (shim: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ...)`
+/// item becomes a normal test that runs its body for `config.cases`
+/// deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::Config::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 3u32..17,
+            y in -5i64..5,
+            f in 0.25f64..0.75,
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_and_tuples(
+            v in vec(any::<u16>(), 2..50),
+            pairs in vec((0u8..4, any::<u32>()), 0..10),
+        ) {
+            prop_assert!((2..50).contains(&v.len()));
+            prop_assert!(pairs.len() < 10);
+            prop_assert!(pairs.iter().all(|&(a, _)| a < 4));
+        }
+
+        #[test]
+        fn mut_bindings_work(mut v in vec(any::<u32>(), 0..20)) {
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::from_name("t");
+        let mut b = crate::test_runner::TestRng::from_name("t");
+        let s = vec(any::<u64>(), 5..6);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline stand-in for [rayon](https://docs.rs/rayon).
+//!
+//! The build environment has no access to crates.io, so this in-repo shim
+//! provides the small rayon surface the workspace uses — [`join`],
+//! [`current_num_threads`], [`ThreadPoolBuilder`] / [`ThreadPool::install`]
+//! and the slice methods of [`prelude`] — with real parallelism:
+//!
+//! * A *pool* is a token budget (`threads - 1` tokens).  [`join`] grabs a
+//!   token when one is available and runs its first closure on a scoped OS
+//!   thread, otherwise it degrades to sequential execution.  Recursive
+//!   fork-join code therefore keeps at most `threads` runnable threads
+//!   alive, mirroring rayon's behaviour closely enough for a correctness
+//!   and laptop-scale-performance reproduction.
+//! * The current pool propagates into spawned workers, so
+//!   [`ThreadPool::install`] bounds the parallelism of everything running
+//!   inside it (used by the scalability experiments).
+//!
+//! Swapping back to the real rayon is a one-line change in the workspace
+//! manifest; no source file mentions the shim by name.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+pub mod prelude;
+
+struct PoolInner {
+    threads: usize,
+    /// Tokens for *extra* concurrent workers (threads - 1).
+    tokens: AtomicIsize,
+}
+
+impl PoolInner {
+    fn new(threads: usize) -> Arc<Self> {
+        let threads = threads.max(1);
+        Arc::new(PoolInner {
+            threads,
+            tokens: AtomicIsize::new(threads as isize - 1),
+        })
+    }
+
+    fn try_acquire(&self) -> bool {
+        let mut cur = self.tokens.load(Ordering::Relaxed);
+        while cur > 0 {
+            match self.tokens.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(c) => cur = c,
+            }
+        }
+        false
+    }
+
+    fn release(&self) {
+        self.tokens.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Releases a pool token when dropped, even if the worker panics.
+struct Token<'p>(&'p PoolInner);
+
+impl Drop for Token<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+thread_local! {
+    static CURRENT_POOL: RefCell<Option<Arc<PoolInner>>> = const { RefCell::new(None) };
+}
+
+static GLOBAL_POOL: OnceLock<Arc<PoolInner>> = OnceLock::new();
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn current_pool() -> Arc<PoolInner> {
+    CURRENT_POOL
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(|| {
+            Arc::clone(GLOBAL_POOL.get_or_init(|| PoolInner::new(default_threads())))
+        })
+}
+
+/// Number of worker threads of the current (installed or global) pool.
+pub fn current_num_threads() -> usize {
+    current_pool().threads
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+///
+/// Exactly rayon's contract: `a` may run on another thread while `b` runs on
+/// the current one; panics are propagated after both complete.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = current_pool();
+    if !pool.try_acquire() {
+        return (a(), b());
+    }
+    let worker_pool = Arc::clone(&pool);
+    std::thread::scope(move |s| {
+        let handle = s.spawn(move || {
+            CURRENT_POOL.with(|c| *c.borrow_mut() = Some(Arc::clone(&worker_pool)));
+            let _token = Token(&worker_pool);
+            a()
+        });
+        let rb = b();
+        match handle.join() {
+            Ok(ra) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+/// Builder for a [`ThreadPool`] (or the global pool).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` means "all available cores".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        }
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            inner: PoolInner::new(self.resolved_threads()),
+        })
+    }
+
+    /// Installs the pool globally.  Fails if the global pool was already
+    /// initialized (first parallel call or an earlier `build_global`).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let pool = PoolInner::new(self.resolved_threads());
+        GLOBAL_POOL
+            .set(pool)
+            .map_err(|_| ThreadPoolBuildError::GlobalPoolAlreadyInitialized)
+    }
+}
+
+/// A bounded-parallelism scope; see [`ThreadPool::install`].
+pub struct ThreadPool {
+    inner: Arc<PoolInner>,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool as the ambient pool: all [`join`] calls
+    /// (transitively) respect this pool's thread budget.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let inner = Arc::clone(&self.inner);
+        std::thread::scope(move |s| {
+            let handle = s.spawn(move || {
+                CURRENT_POOL.with(|c| *c.borrow_mut() = Some(inner));
+                op()
+            });
+            match handle.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        })
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.inner.threads
+    }
+}
+
+#[derive(Debug)]
+pub enum ThreadPoolBuildError {
+    GlobalPoolAlreadyInitialized,
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadPoolBuildError::GlobalPoolAlreadyInitialized => {
+                write!(f, "the global thread pool has already been initialized")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn join_nests_deeply() {
+        fn sum(lo: usize, hi: usize) -> usize {
+            if hi - lo <= 64 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        let n = 100_000;
+        assert_eq!(sum(0, n), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn join_actually_runs_concurrently_when_tokens_allow() {
+        // With >= 2 threads the two sides can overlap; verify both run.
+        let hits = AtomicUsize::new(0);
+        join(
+            || hits.fetch_add(1, Ordering::SeqCst),
+            || hits.fetch_add(1, Ordering::SeqCst),
+        );
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn install_bounds_num_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 2);
+        assert_eq!(pool.current_num_threads(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn join_propagates_panics() {
+        join(|| panic!("boom"), || ());
+    }
+}

@@ -1,0 +1,169 @@
+//! The slice-parallelism subset of `rayon::prelude` used by the workspace:
+//! `par_chunks_mut(..).enumerate().for_each(..)`, `par_sort_by` and
+//! `par_sort_unstable_by`.
+
+use std::cmp::Ordering;
+
+/// Parallel extensions on slices (subset of rayon's `ParallelSliceMut`).
+pub trait ParallelSliceMut<T> {
+    /// Disjoint mutable chunks of at most `chunk_size` elements, processable
+    /// in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>
+    where
+        T: Send;
+
+    /// Stable parallel sort (parallel merge sort).
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        T: Copy + Send,
+        F: Fn(&T, &T) -> Ordering + Sync;
+
+    /// Unstable parallel sort.  Implemented with the same parallel merge
+    /// sort (a stable sort is a valid unstable sort).
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        T: Copy + Send,
+        F: Fn(&T, &T) -> Ordering + Sync;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>
+    where
+        T: Send,
+    {
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size.max(1)).collect(),
+        }
+    }
+
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        T: Copy + Send,
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        par_merge_sort(self, &cmp);
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        T: Copy + Send,
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        par_merge_sort(self, &cmp);
+    }
+}
+
+const SORT_GRAIN: usize = 8192;
+
+fn par_merge_sort<T, F>(data: &mut [T], cmp: &F)
+where
+    T: Copy + Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    if data.len() <= SORT_GRAIN {
+        data.sort_by(|a, b| cmp(a, b));
+        return;
+    }
+    let mid = data.len() / 2;
+    {
+        let (lo, hi) = data.split_at_mut(mid);
+        crate::join(|| par_merge_sort(lo, cmp), || par_merge_sort(hi, cmp));
+    }
+    // Stable merge of the two sorted halves through a temporary buffer.
+    let mut tmp = Vec::with_capacity(data.len());
+    let (mut i, mut j) = (0, mid);
+    while i < mid && j < data.len() {
+        if cmp(&data[j], &data[i]) == Ordering::Less {
+            tmp.push(data[j]);
+            j += 1;
+        } else {
+            tmp.push(data[i]);
+            i += 1;
+        }
+    }
+    tmp.extend_from_slice(&data[i..mid]);
+    tmp.extend_from_slice(&data[j..]);
+    data.copy_from_slice(&tmp);
+}
+
+/// Lazy parallel iterator over disjoint mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> EnumeratedParChunksMut<'a, T> {
+        EnumeratedParChunksMut {
+            items: self.chunks.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        run_items(self.chunks, &|chunk| f(chunk));
+    }
+}
+
+/// `par_chunks_mut(..).enumerate()`.
+pub struct EnumeratedParChunksMut<'a, T> {
+    items: Vec<(usize, &'a mut [T])>,
+}
+
+impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        run_items(self.items, &f);
+    }
+}
+
+fn run_items<I, F>(mut items: Vec<I>, f: &F)
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    if items.len() <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let right = items.split_off(items.len() / 2);
+    crate::join(|| run_items(items, f), || run_items(right, f));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_chunks_mut_enumerate_covers_everything() {
+        let mut v: Vec<usize> = vec![0; 10_000];
+        v.par_chunks_mut(128).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i / 128);
+        }
+    }
+
+    #[test]
+    fn par_sorts_sort_and_stable_variant_is_stable() {
+        let input: Vec<(u32, u32)> = (0..50_000u32).map(|i| ((i * 7919) % 100, i)).collect();
+
+        let mut a = input.clone();
+        a.par_sort_by(|x, y| x.0.cmp(&y.0));
+        let mut want = input.clone();
+        want.sort_by_key(|r| r.0);
+        assert_eq!(a, want, "par_sort_by must be stable");
+
+        let mut b = input;
+        b.par_sort_unstable_by(|x, y| x.0.cmp(&y.0));
+        assert!(b.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

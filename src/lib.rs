@@ -9,6 +9,9 @@
 //! * [`baselines`] — the comparison sorting algorithms of the evaluation.
 //! * [`workloads`] — synthetic key distributions, graphs and point clouds.
 //! * [`apps`] — graph transpose, Morton sort and group-by applications.
+//! * [`stream`] — bounded-memory streaming / out-of-core sorting
+//!   ([`StreamSorter`]): pushed batches become spilled sorted runs that are
+//!   k-way merged, with heavy keys carried across runs.
 //!
 //! ```
 //! // The most common entry point: stably sort key-value records.
@@ -21,11 +24,13 @@ pub use apps;
 pub use baselines;
 pub use dtsort;
 pub use parlay;
+pub use stream;
 pub use workloads;
 
 // Convenience re-exports of the primary API.
 pub use dtsort::{
     sort, sort_by_key, sort_by_key_with, sort_by_key_with_stats, sort_pairs, sort_pairs_with,
     sort_pairs_with_stats, sort_with, sort_with_stats, IntegerKey, MergeStrategy, SortConfig,
-    StatsSnapshot,
+    StatsSnapshot, StreamConfig,
 };
+pub use stream::{SortedStream, StreamSorter};

@@ -46,8 +46,14 @@ fn morton_sort_all_point_generators() {
     ];
     for (label, pts) in clouds2d {
         let sorted = apps::morton::morton_sort_2d(&pts);
-        let zs: Vec<u64> = sorted.iter().map(|p| apps::morton::morton2(p.x, p.y)).collect();
-        assert!(zs.windows(2).all(|w| w[0] <= w[1]), "{label} not in z-order");
+        let zs: Vec<u64> = sorted
+            .iter()
+            .map(|p| apps::morton::morton2(p.x, p.y))
+            .collect();
+        assert!(
+            zs.windows(2).all(|w| w[0] <= w[1]),
+            "{label} not in z-order"
+        );
         assert_eq!(sorted.len(), pts.len());
     }
     let pts3 = uniform_points_3d(30_000, 3);
@@ -64,10 +70,10 @@ fn all_sorters_give_identical_transposes() {
     let e = power_law_graph(3_000, 50_000, 1.2, 4);
     let g = Csr::from_unsorted_edges(e.num_vertices, &e.edges);
     let reference = transpose_reference(&g);
-    let via_dtsort = transpose_with_sorter(&g, |p| dtsort::sort_pairs(p));
-    let via_plis = transpose_with_sorter(&g, |p| baselines::plis::sort_pairs(p));
-    let via_lsd = transpose_with_sorter(&g, |p| baselines::lsd::sort_pairs(p));
-    let via_samplesort = transpose_with_sorter(&g, |p| baselines::samplesort::sort_pairs(p));
+    let via_dtsort = transpose_with_sorter(&g, dtsort::sort_pairs);
+    let via_plis = transpose_with_sorter(&g, baselines::plis::sort_pairs);
+    let via_lsd = transpose_with_sorter(&g, baselines::lsd::sort_pairs);
+    let via_samplesort = transpose_with_sorter(&g, baselines::samplesort::sort_pairs);
     assert_eq!(via_dtsort, reference);
     assert_eq!(via_plis, reference);
     assert_eq!(via_lsd, reference);
