@@ -1,19 +1,20 @@
-//! Sort-based parallel deduplication.
+//! Semisort-based parallel deduplication.
 //!
-//! Removing duplicate keys (or keeping the first record per key) is another
-//! standard consumer of stable integer sorting: sort by key, then keep the
-//! first element of every equal-key run.  Stability matters — "first record
-//! per key" must mean first *in input order*, which is exactly what a stable
-//! sort plus run-head selection gives.
-
-use parlay::pack::pack_index;
+//! Removing duplicate keys (or keeping the first record per key) never
+//! needed a total order — only that equal keys meet.  The semisort engine
+//! delivers exactly that: heavy duplicate keys collapse into dedicated
+//! buckets in one pass, so dedup on duplicate-heavy inputs is `O(n)` work
+//! plus a sort over the (much smaller) distinct-key set for the ordered
+//! result.  Stability matters — "first record per key" must mean first *in
+//! input order*, which the stable semisort plus group-head selection gives.
 
 /// Returns the distinct keys of `keys`, in increasing order.
 pub fn distinct_keys(keys: &[u64]) -> Vec<u64> {
-    let mut sorted = keys.to_vec();
-    dtsort::sort(&mut sorted);
-    let heads = pack_index(sorted.len(), |i| i == 0 || sorted[i] != sorted[i - 1]);
-    heads.into_iter().map(|i| sorted[i]).collect()
+    let mut work = keys.to_vec();
+    let groups = semisort::semisort_keys(&mut work);
+    let mut distinct: Vec<u64> = groups.into_iter().map(|g| g.key).collect();
+    dtsort::sort(&mut distinct);
+    distinct
 }
 
 /// Keeps, for every distinct key, the *first* record (in input order) with
@@ -24,14 +25,14 @@ pub fn first_record_per_key<V: Copy + Send + Sync>(records: &[(u64, V)]) -> Vec<
         .enumerate()
         .map(|(i, &(k, _))| (k, i as u32))
         .collect();
-    dtsort::sort_pairs(&mut tagged);
-    let heads = pack_index(tagged.len(), |i| i == 0 || tagged[i].0 != tagged[i - 1].0);
-    heads
+    let groups = semisort::semisort_pairs(&mut tagged);
+    // Stability: the head of each group is the first occurrence in input
+    // order.
+    let mut firsts: Vec<(u64, u32)> = groups.into_iter().map(|g| tagged[g.start]).collect();
+    dtsort::sort_pairs(&mut firsts);
+    firsts
         .into_iter()
-        .map(|i| {
-            let (k, tag) = tagged[i];
-            (k, records[tag as usize].1)
-        })
+        .map(|(k, tag)| (k, records[tag as usize].1))
         .collect()
 }
 
@@ -53,6 +54,25 @@ mod tests {
     }
 
     #[test]
+    fn distinct_keys_on_heavy_duplicates() {
+        // 90% one key: the heavy path must still yield each key once.
+        let rng = Rng::new(3);
+        let keys: Vec<u64> = (0..60_000)
+            .map(|i| {
+                if rng.ith_f64(i) < 0.9 {
+                    7
+                } else {
+                    rng.ith_in(i, 1000)
+                }
+            })
+            .collect();
+        let got = distinct_keys(&keys);
+        let want: HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(got.len(), want.len());
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
     fn first_record_per_key_respects_input_order() {
         let records = vec![(5u64, 'x'), (3, 'a'), (5, 'y'), (3, 'b'), (9, 'z')];
         let got = first_record_per_key(&records);
@@ -71,6 +91,7 @@ mod tests {
             want.entry(k).or_insert(v);
         }
         assert_eq!(got.len(), want.len());
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
         for &(k, v) in &got {
             assert_eq!(want[&k], v, "key {k}");
         }

@@ -1,17 +1,24 @@
-//! Semisort-style group-by built on stable integer sorting.
+//! Group-by built on the heavy-key **semisort** engine.
 //!
 //! The paper motivates heavy-key handling with semisort-like workloads
 //! (Section 2.5): grouping records by key is the canonical consumer of
-//! duplicate-heavy sorting.  This module groups `(key, value)` records by
-//! key using DovetailSort and exposes per-group aggregates.
+//! duplicate-heavy sorting — and it never needed a total order.  This
+//! module groups `(key, value)` records with [`semisort`], which routes
+//! heavy keys into dedicated collision-free buckets and light keys into
+//! hashed buckets, skipping the full sort's recursion and dovetail merge.
+//!
+//! After [`group_by_key`] the record array is *grouped* (each distinct key
+//! contiguous, input order preserved within a group) but **not sorted**;
+//! the returned group list is sorted by key, so ordered consumers pay a
+//! sort over distinct keys instead of one over all records.
 
 /// One group of the result: the key, and the half-open range of its records
-/// in the sorted record array.
+/// in the grouped record array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Group {
     /// The common key of the group.
     pub key: u64,
-    /// Start index of the group in the sorted record array.
+    /// Start index of the group in the grouped record array.
     pub start: usize,
     /// One past the last index of the group.
     pub end: usize,
@@ -29,22 +36,24 @@ impl Group {
     }
 }
 
-/// Groups records by key: sorts `records` stably by key (in place) and
-/// returns one [`Group`] per distinct key, in increasing key order.
+/// Groups records by key: semisorts `records` in place (equal keys become
+/// contiguous, keeping input order within each group) and returns one
+/// [`Group`] per distinct key, in increasing key order.
+///
+/// The record array itself is grouped, not sorted — iterate the returned
+/// groups for key-ordered traversal.
 pub fn group_by_key<V: Copy + Send + Sync>(records: &mut [(u64, V)]) -> Vec<Group> {
-    dtsort::sort_pairs(records);
-    let mut groups = Vec::new();
-    let mut start = 0usize;
-    for i in 1..=records.len() {
-        if i == records.len() || records[i].0 != records[start].0 {
-            groups.push(Group {
-                key: records[start].0,
-                start,
-                end: i,
-            });
-            start = i;
-        }
-    }
+    let mut groups: Vec<Group> = semisort::semisort_pairs(records)
+        .into_iter()
+        .map(|g| Group {
+            key: g.key,
+            start: g.start,
+            end: g.end,
+        })
+        .collect();
+    // Distinct keys are typically far fewer than records; sorting the group
+    // list restores the ordered contract cheaply.
+    dtsort::sort_by_key(&mut groups, |g| g.key);
     groups
 }
 
@@ -105,6 +114,24 @@ mod tests {
         let counts = count_by_key(&keys);
         assert!(counts.len() <= 3);
         assert_eq!(counts.iter().map(|&(_, c)| c).sum::<usize>(), 30_000);
+    }
+
+    #[test]
+    fn groups_tile_the_array() {
+        // The array is grouped (contiguous per key) even though it is not
+        // sorted: groups ordered by start index must tile 0..n exactly.
+        let rng = Rng::new(3);
+        let mut records: Vec<(u64, u32)> = (0..40_000)
+            .map(|i| (rng.ith_in(i, 500), i as u32))
+            .collect();
+        let mut groups = group_by_key(&mut records);
+        groups.sort_by_key(|g| g.start);
+        let mut expect = 0usize;
+        for g in &groups {
+            assert_eq!(g.start, expect);
+            expect = g.end;
+        }
+        assert_eq!(expect, records.len());
     }
 
     #[test]

@@ -4,14 +4,16 @@
 //! representative applications; this crate implements both (plus a
 //! semisort-style group-by that motivates heavy-key handling):
 //!
-//! * [`transpose`] — directed-graph transposition: the transposed CSR is
+//! * [`mod@transpose`] — directed-graph transposition: the transposed CSR is
 //!   obtained by *stably* integer-sorting all edges by their destination
 //!   vertex.  Skewed in-degree distributions turn high-degree vertices into
 //!   heavy keys.
 //! * [`morton`] — Morton (z-order) sort of 2D/3D point sets: coordinates are
 //!   bit-interleaved into a z-value and the points are integer-sorted by it.
-//! * [`groupby`] — a semisort-style group-by (count records per key), the
-//!   classic consumer of duplicate-friendly sorting.
+//! * [`groupby`] — group-by (count records per key), the classic consumer
+//!   of duplicate-friendly grouping.  Together with [`dedup`] and [`topk`]
+//!   it runs on the `semisort` engine rather than the full sort: equal keys
+//!   only need to meet, not to be totally ordered.
 //!
 //! Every application is parameterized by the sorter so the benchmark harness
 //! can compare DovetailSort against every baseline inside the same

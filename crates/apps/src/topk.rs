@@ -1,20 +1,21 @@
-//! Top-k most frequent keys, a classic consumer of duplicate-aware sorting.
+//! Top-k most frequent keys, a classic consumer of duplicate-aware grouping.
 //!
-//! Two implementations are provided: one on top of the sort-based group-by
-//! (works for arbitrary 64-bit key universes) and one on top of the parallel
-//! histogram (for small key ranges).  They are cross-checked in the tests
-//! and used by the harness to characterize how duplicate-heavy a workload is.
+//! Two implementations are provided: one on top of the semisort group-by
+//! engine (works for arbitrary 64-bit key universes) and one on top of the
+//! parallel histogram (for small key ranges).  They are cross-checked in
+//! the tests and used by the harness to characterize how duplicate-heavy a
+//! workload is.
 
-use crate::groupby::group_by_key;
+use semisort::GroupBy;
 
 /// Returns the `k` most frequent keys with their counts, most frequent
 /// first; ties are broken toward the smaller key.
+///
+/// Counting needs no key order at all, so this runs on the semisort
+/// group-by directly — duplicate-heavy inputs collapse in one pass.
 pub fn top_k_by_sort(keys: &[u64], k: usize) -> Vec<(u64, usize)> {
-    let mut records: Vec<(u64, ())> = keys.iter().map(|&x| (x, ())).collect();
-    let mut counts: Vec<(u64, usize)> = group_by_key(&mut records)
-        .into_iter()
-        .map(|g| (g.key, g.len()))
-        .collect();
+    let records: Vec<(u64, ())> = keys.iter().map(|&x| (x, ())).collect();
+    let mut counts = GroupBy::new(records).counts();
     counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     counts.truncate(k);
     counts

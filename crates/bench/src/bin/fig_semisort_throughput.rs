@@ -1,0 +1,149 @@
+//! Semisort vs sort-then-scan throughput on the paper's key distributions.
+//!
+//! A group-by only needs equal keys to meet, not a total order; this
+//! benchmark quantifies what dropping the order requirement buys.  For each
+//! distribution it measures:
+//!
+//! * `sort+scan` — the classic pipeline: full DovetailSort of the records,
+//!   then a linear scan for group boundaries;
+//! * `semisort`  — the `semisort` engine: heavy keys to dedicated buckets,
+//!   light keys to hashed buckets, per-bucket grouping only.
+//!
+//! Beyond the console table, results are appended as machine-readable JSON
+//! to `BENCH_semisort.json` in the current directory so successive PRs can
+//! track the perf trajectory.
+//!
+//! Usage: `cargo run -p bench --release --bin fig_semisort_throughput -- [--n 2e6] [--reps 3]`
+
+use bench::{median_time_secs, Args, Table};
+use std::io::Write;
+use workloads::dist::Distribution;
+
+struct Measurement {
+    dist: String,
+    method: &'static str,
+    groups: usize,
+    secs: f64,
+    records_per_sec: f64,
+    speedup_vs_sort: f64,
+}
+
+/// Full sort, then scan for group boundaries (the baseline pipeline).
+fn sort_then_scan(records: &mut [(u64, u64)]) -> usize {
+    dtsort::sort_pairs(records);
+    let mut groups = 0usize;
+    for i in 0..records.len() {
+        if i == 0 || records[i].0 != records[i - 1].0 {
+            groups += 1;
+        }
+    }
+    groups
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &str, n: usize, threads: usize, rows: &[Measurement]) {
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!(
+        "  \"bench\": \"semisort_throughput\",\n  \"n\": {n},\n  \"threads\": {threads},\n  \"results\": [\n"
+    ));
+    for (i, m) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"dist\": \"{}\", \"method\": \"{}\", \"groups\": {}, \"secs\": {:.6}, \"records_per_sec\": {:.1}, \"speedup_vs_sort\": {:.3}}}{}\n",
+            json_escape(&m.dist),
+            m.method,
+            m.groups,
+            m.secs,
+            m.records_per_sec,
+            m.speedup_vs_sort,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(body.as_bytes())) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    args.apply_thread_limit();
+    let n = if args.n == 10_000_000 {
+        2_000_000
+    } else {
+        args.n
+    };
+    // Duplicate-heavy instances (where semisort should win) plus a
+    // mostly-distinct control (where the two should be comparable).
+    let instances = vec![
+        Distribution::Uniform { distinct: 10 },
+        Distribution::Uniform { distinct: 1_000 },
+        Distribution::Uniform { distinct: 100_000 },
+        Distribution::Zipfian { s: 1.0 },
+        Distribution::Zipfian { s: 1.5 },
+        Distribution::Exponential { lambda: 10.0 },
+        Distribution::Uniform {
+            distinct: 1_000_000_000,
+        },
+    ];
+    println!(
+        "Semisort vs sort-then-scan — n = {n}, {} threads",
+        rayon::current_num_threads()
+    );
+    let mut all = Vec::new();
+    let mut table = Table::new(vec![
+        "distribution".to_string(),
+        "groups".to_string(),
+        "sort+scan Mrec/s".to_string(),
+        "semisort Mrec/s".to_string(),
+        "speedup".to_string(),
+    ]);
+    for dist in &instances {
+        let input = workloads::dist::generate_pairs_u64(dist, n, 42);
+
+        let mut groups_sort = 0usize;
+        let sort_secs = median_time_secs(&input, args.reps, |v| {
+            groups_sort = sort_then_scan(v);
+        });
+        let mut groups_semi = 0usize;
+        let semi_secs = median_time_secs(&input, args.reps, |v| {
+            groups_semi = semisort::semisort_pairs(v).len();
+        });
+        assert_eq!(
+            groups_sort,
+            groups_semi,
+            "group counts must agree on {}",
+            dist.label()
+        );
+        let speedup = sort_secs / semi_secs;
+        table.add_row(vec![
+            dist.label(),
+            format!("{groups_semi}"),
+            format!("{:.2}", n as f64 / sort_secs / 1e6),
+            format!("{:.2}", n as f64 / semi_secs / 1e6),
+            format!("{speedup:.2}x"),
+        ]);
+        all.push(Measurement {
+            dist: dist.label(),
+            method: "sort_then_scan",
+            groups: groups_sort,
+            secs: sort_secs,
+            records_per_sec: n as f64 / sort_secs,
+            speedup_vs_sort: 1.0,
+        });
+        all.push(Measurement {
+            dist: dist.label(),
+            method: "semisort",
+            groups: groups_semi,
+            secs: semi_secs,
+            records_per_sec: n as f64 / semi_secs,
+            speedup_vs_sort: speedup,
+        });
+    }
+    table.print();
+    write_json("BENCH_semisort.json", n, rayon::current_num_threads(), &all);
+}

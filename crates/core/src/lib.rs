@@ -37,6 +37,8 @@
 //! * [`sampling`], [`buckets`], [`dtmerge`], [`recurse`] — the four steps of
 //!   Algorithm 2 (sampling, bucket assignment, distribution + recursion,
 //!   dovetail merging).
+//! * [`model`] — the stable [`HeavyKeyModel`] view of heavy-key detection,
+//!   consumed by the `semisort` and `stream` crates.
 //! * [`stats`] — instrumentation used by the evaluation harness.
 //! * [`key`] — the [`IntegerKey`] abstraction over `u8..u64`, `usize` and
 //!   the signed integer types.
@@ -46,6 +48,7 @@ pub mod buckets;
 pub mod config;
 pub mod dtmerge;
 pub mod key;
+pub mod model;
 pub mod recurse;
 pub mod sampling;
 pub mod stats;
@@ -58,4 +61,5 @@ pub use api::{
 };
 pub use config::{MergeStrategy, SortConfig, StreamConfig};
 pub use key::IntegerKey;
+pub use model::HeavyKeyModel;
 pub use stats::{SortStats, StatsSnapshot};

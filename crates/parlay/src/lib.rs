@@ -22,9 +22,12 @@
 //! * [`random`] — a deterministic splittable hash-based RNG, so that all
 //!   sampling in the sorts is reproducible (Appendix A: determinacy-race
 //!   freedom and internal determinism).
-//! * [`sample`], [`pack`], [`binsearch`], [`slice`] — sampling, parallel
-//!   pack/filter, branchless binary search, and the unsafe-but-checked
-//!   disjoint-write slice cell that underpins parallel scatters.
+//! * [`sample`], [`mod@pack`], [`binsearch`], [`mod@slice`] — sampling,
+//!   parallel pack/filter, branchless binary search, and the
+//!   unsafe-but-checked disjoint-write slice cell that underpins parallel
+//!   scatters.
+//! * [`scatter`] — stable parallel scatter by arbitrary or hashed bucket
+//!   ids, the distribution primitive of the semisort engine.
 
 pub mod binsearch;
 pub mod counting_sort;
@@ -38,6 +41,7 @@ pub mod random;
 pub mod reduce;
 pub mod sample;
 pub mod scan;
+pub mod scatter;
 pub mod seq;
 pub mod slice;
 
@@ -47,12 +51,13 @@ pub use flip::{par_reverse, par_rotate_left};
 pub use histogram::{histogram, top_k_frequent};
 pub use kway::{kway_merge_by, kway_merge_into, LoserTree, RunSource, SliceSource};
 pub use merge::{par_merge_by, par_merge_into};
-pub use pack::{pack, pack_index};
+pub use pack::{pack, pack_index, pack_ranges};
 pub use par::{num_threads, parallel_for, parallel_for_grained, with_threads};
 pub use random::Rng;
 pub use reduce::{par_max, par_min, par_reduce, par_sum};
 pub use sample::sample_indices;
 pub use scan::{scan_exclusive, scan_exclusive_in_place, scan_inclusive};
+pub use scatter::{hash_scatter_into, scatter_by};
 pub use slice::UnsafeSliceCell;
 
 /// Default granularity (number of elements handled sequentially by one task)

@@ -70,9 +70,45 @@ where
     out
 }
 
+/// Splits `0..n` into the contiguous chunks delimited by the head flags:
+/// `head(i)` marks position `i` as the first element of a new chunk
+/// (`head(0)` is implied).  Returns the chunks as half-open ranges, in
+/// order — the "chunked pack" used to turn a grouped array into its groups.
+pub fn pack_ranges<F>(n: usize, head: F) -> Vec<std::ops::Range<usize>>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let heads = pack_index(n, |i| i == 0 || head(i));
+    let mut out = Vec::with_capacity(heads.len());
+    for (j, &start) in heads.iter().enumerate() {
+        let end = heads.get(j + 1).copied().unwrap_or(n);
+        out.push(start..end);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pack_ranges_splits_runs() {
+        let data = [3u32, 3, 3, 1, 7, 7, 2];
+        let ranges = pack_ranges(data.len(), |i| data[i] != data[i - 1]);
+        assert_eq!(ranges, vec![0..3, 3..4, 4..6, 6..7]);
+    }
+
+    #[test]
+    fn pack_ranges_edge_cases() {
+        assert!(pack_ranges(0, |_| true).is_empty());
+        // No interior heads: one chunk covering everything.
+        assert_eq!(pack_ranges(5, |_| false), vec![0..5]);
+        // Every position a head: singleton chunks.
+        assert_eq!(pack_ranges(3, |_| true), vec![0..1, 1..2, 2..3]);
+    }
 
     #[test]
     fn pack_index_matches_filter() {

@@ -1,0 +1,519 @@
+//! Streaming group-by: bounded-memory aggregation over pushed records.
+//!
+//! [`StreamGroupBy`] is the group-by counterpart of [`crate::StreamSorter`]
+//! and the streaming face of the `semisort` engine.  Where the sorter
+//! spills every *record* of a run, the group-by **aggregates each run
+//! before spilling**: a full buffer is semisorted (heavy duplicate keys
+//! collapse into dedicated buckets in one pass), each group is folded into
+//! one `(key, partial-aggregate)` record, and only those partials — one per
+//! distinct key per run — reach disk.  A key that dominates the stream
+//! therefore costs one spilled record per run no matter how many million
+//! occurrences it has: heavy-key streams never materialize their
+//! duplicates.
+//!
+//! At read time the per-run partials (each run spilled sorted by key) are
+//! k-way merged with a loser tree and equal-key partials are combined on
+//! the fly, so the output is one `(key, aggregate)` pair per distinct key,
+//! in increasing key order, produced with a footprint bounded by the read
+//! buffers.
+//!
+//! ```
+//! use stream::{CountAgg, StreamGroupBy};
+//! use dtsort::StreamConfig;
+//!
+//! // A tiny budget forces several aggregated runs.
+//! let mut gb: StreamGroupBy<u32, CountAgg> =
+//!     StreamGroupBy::with_config(CountAgg, StreamConfig::with_memory_budget(16 << 10));
+//! for i in 0..30_000u32 {
+//!     gb.push_record(i % 100, ()).unwrap();
+//! }
+//! let counts: Vec<(u32, u64)> = gb.finish().unwrap().collect();
+//! assert_eq!(counts.len(), 100);
+//! assert!(counts.iter().all(|&(_, c)| c == 300));
+//! assert!(counts.windows(2).all(|w| w[0].0 < w[1].0), "key-ordered output");
+//! ```
+
+use crate::sorter::{lt_by_ordered_key, RunCursor};
+use crate::spill::{write_run, PodValue, SpillSpace, SpilledRun};
+use dtsort::{IntegerKey, StreamConfig};
+use parlay::kway::LoserTree;
+use semisort::{semisort_pairs_with, SemisortConfig};
+use std::io;
+use std::marker::PhantomData;
+
+/// A streaming aggregation: how one value becomes a partial aggregate, and
+/// how two partial aggregates merge.
+///
+/// `combine` must be associative; partials are combined in push order, so
+/// commutativity is not required.  The accumulator is spilled to disk
+/// between runs, hence the [`PodValue`] bound.
+pub trait Aggregator: Send + Sync {
+    /// The pushed value type.
+    type Input: PodValue;
+    /// The partial-aggregate type (spilled to disk between runs).
+    type Acc: PodValue;
+    /// Lifts one value into a partial aggregate.
+    fn lift(&self, v: Self::Input) -> Self::Acc;
+    /// Merges two partial aggregates (earlier-pushed partial first).
+    fn combine(&self, a: Self::Acc, b: Self::Acc) -> Self::Acc;
+}
+
+/// Counts records per key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountAgg;
+
+impl Aggregator for CountAgg {
+    type Input = ();
+    type Acc = u64;
+    fn lift(&self, _: ()) -> u64 {
+        1
+    }
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a + b
+    }
+}
+
+/// Sums `u64` values per key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumAgg;
+
+impl Aggregator for SumAgg {
+    type Input = u64;
+    type Acc = u64;
+    fn lift(&self, v: u64) -> u64 {
+        v
+    }
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a + b
+    }
+}
+
+/// Minimum `u64` value per key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinAgg;
+
+impl Aggregator for MinAgg {
+    type Input = u64;
+    type Acc = u64;
+    fn lift(&self, v: u64) -> u64 {
+        v
+    }
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a.min(b)
+    }
+}
+
+/// Maximum `u64` value per key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxAgg;
+
+impl Aggregator for MaxAgg {
+    type Input = u64;
+    type Acc = u64;
+    fn lift(&self, v: u64) -> u64 {
+        v
+    }
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a.max(b)
+    }
+}
+
+/// A custom fold built from two closures: `lift` turns a value into a
+/// partial aggregate, `combine` merges two partials.
+pub struct FoldAgg<I, A, L, C> {
+    lift: L,
+    combine: C,
+    _marker: PhantomData<fn(I) -> A>,
+}
+
+impl<I, A, L, C> FoldAgg<I, A, L, C>
+where
+    I: PodValue,
+    A: PodValue,
+    L: Fn(I) -> A + Send + Sync,
+    C: Fn(A, A) -> A + Send + Sync,
+{
+    /// Builds the aggregator; `combine` must be associative.
+    pub fn new(lift: L, combine: C) -> Self {
+        Self {
+            lift,
+            combine,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<I, A, L, C> Aggregator for FoldAgg<I, A, L, C>
+where
+    I: PodValue,
+    A: PodValue,
+    L: Fn(I) -> A + Send + Sync,
+    C: Fn(A, A) -> A + Send + Sync,
+{
+    type Input = I;
+    type Acc = A;
+    fn lift(&self, v: I) -> A {
+        (self.lift)(v)
+    }
+    fn combine(&self, a: A, b: A) -> A {
+        (self.combine)(a, b)
+    }
+}
+
+/// Counters describing what a [`StreamGroupBy`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupByStats {
+    /// Records accepted by `push` / `push_record` so far.
+    pub records_pushed: u64,
+    /// Aggregated runs spilled to disk so far.
+    pub spilled_runs: usize,
+    /// Bytes of partial aggregates written to spill files so far.
+    pub spilled_bytes: u64,
+    /// Partial-aggregate records produced so far (spilled runs + tail);
+    /// `records_pushed − partial_aggregates` records were collapsed before
+    /// ever reaching disk.
+    pub partial_aggregates: u64,
+}
+
+/// Bounded-memory streaming group-by over pushed `(key, value)` records.
+///
+/// See the module docs for the design; in short: buffer → semisort
+/// → fold per group → spill one partial per distinct key → merge-combine
+/// partials at read time.
+pub struct StreamGroupBy<K: IntegerKey, G: Aggregator> {
+    cfg: StreamConfig,
+    agg: G,
+    run_capacity: usize,
+    buffer: Vec<(K, G::Input)>,
+    runs: Vec<SpilledRun>,
+    space: Option<SpillSpace>,
+    stats: GroupByStats,
+}
+
+impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
+    /// Group-by with the default [`StreamConfig`] (256 MiB budget).
+    pub fn new(agg: G) -> Self {
+        Self::with_config(agg, StreamConfig::default())
+    }
+
+    pub fn with_config(agg: G, cfg: StreamConfig) -> Self {
+        // Peak transient footprint per buffered record: the pushed record
+        // itself, plus the lifted `(u64, Acc)` image, plus semisort's scratch
+        // copy of that image.  Sizing the run from that sum (not just the
+        // input record) keeps aggregation within the configured budget.
+        let record_footprint =
+            std::mem::size_of::<(K, G::Input)>() + 2 * std::mem::size_of::<(u64, G::Acc)>();
+        let run_capacity = (cfg.memory_budget_bytes / record_footprint.max(1)).max(64);
+        Self {
+            cfg,
+            agg,
+            run_capacity,
+            buffer: Vec::new(),
+            runs: Vec::new(),
+            space: None,
+            stats: GroupByStats::default(),
+        }
+    }
+
+    /// Counters (spills, collapse ratio, ...).
+    pub fn stats(&self) -> &GroupByStats {
+        &self.stats
+    }
+
+    /// Number of runs the final merge will see.
+    pub fn run_count(&self) -> usize {
+        self.runs.len() + usize::from(!self.buffer.is_empty())
+    }
+
+    /// Appends a batch of records, aggregating and spilling full runs.
+    pub fn push(&mut self, records: &[(K, G::Input)]) -> io::Result<()> {
+        let mut rest = records;
+        while !rest.is_empty() {
+            let space = self.run_capacity - self.buffer.len();
+            let take = space.min(rest.len());
+            self.buffer.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buffer.len() >= self.run_capacity {
+                self.spill_partial_run()?;
+            }
+        }
+        self.stats.records_pushed += records.len() as u64;
+        Ok(())
+    }
+
+    /// Appends a single record.
+    pub fn push_record(&mut self, key: K, value: G::Input) -> io::Result<()> {
+        self.push(&[(key, value)])
+    }
+
+    /// Semisorts the buffered run and folds each group into one partial
+    /// aggregate, returned sorted by (ordered) key.
+    fn aggregate_run(&mut self) -> Vec<(u64, G::Acc)> {
+        let agg = &self.agg;
+        let mut recs: Vec<(u64, G::Acc)> = self
+            .buffer
+            .drain(..)
+            .map(|(k, v)| (k.to_ordered_u64(), agg.lift(v)))
+            .collect();
+        let semi_cfg = SemisortConfig {
+            sort: self.cfg.sort.clone(),
+            light_bucket_bits: None,
+        };
+        let groups = semisort_pairs_with(&mut recs, &semi_cfg);
+        let mut out: Vec<(u64, G::Acc)> = groups
+            .iter()
+            .map(|g| {
+                let mut acc = recs[g.start].1;
+                for &(_, a) in &recs[g.start + 1..g.end] {
+                    acc = agg.combine(acc, a);
+                }
+                (g.key, acc)
+            })
+            .collect();
+        // Runs must be spilled sorted by key for the k-way merge; only the
+        // distinct keys of the run are sorted, not its records.
+        dtsort::sort_by_key(&mut out, |r| r.0);
+        self.stats.partial_aggregates += out.len() as u64;
+        out
+    }
+
+    fn spill_partial_run(&mut self) -> io::Result<()> {
+        let partial = self.aggregate_run();
+        if self.space.is_none() {
+            self.space = Some(SpillSpace::create(self.cfg.spill_dir.as_ref())?);
+        }
+        let dir = &self.space.as_ref().expect("spill space just created").dir;
+        let path = dir.join(format!("agg-{:06}.bin", self.runs.len()));
+        let bytes = write_run(&path, &partial)?;
+        self.runs.push(SpilledRun {
+            path,
+            len: partial.len(),
+        });
+        self.stats.spilled_runs += 1;
+        self.stats.spilled_bytes += bytes;
+        Ok(())
+    }
+
+    /// Finishes the group-by: merges all per-run partials, combining equal
+    /// keys, into a stream of `(key, aggregate)` pairs in increasing key
+    /// order (one pair per distinct key of the whole stream).
+    pub fn finish(mut self) -> io::Result<GroupedStream<K, G>> {
+        let tail = self.aggregate_run();
+        let reader_budget =
+            (self.cfg.merge_read_buffer_bytes / self.runs.len().max(1)).clamp(4096, 8 << 20);
+        let mut cursors: Vec<RunCursor<G::Acc>> = Vec::with_capacity(self.runs.len() + 1);
+        for run in &self.runs {
+            cursors.push(RunCursor::open_disk(run, reader_budget)?);
+        }
+        if !tail.is_empty() {
+            cursors.push(RunCursor::from_memory(tail));
+        }
+        Ok(GroupedStream {
+            tree: LoserTree::new(cursors, lt_by_ordered_key::<G::Acc>),
+            agg: self.agg,
+            pending: None,
+            _space: self.space.take(),
+            _key: PhantomData,
+        })
+    }
+
+    /// [`StreamGroupBy::finish`], materialized into a vector.
+    pub fn finish_vec(self) -> io::Result<Vec<(K, G::Acc)>> {
+        Ok(self.finish()?.collect())
+    }
+}
+
+type AggMergeTree<A> = LoserTree<RunCursor<A>, fn(&(u64, A), &(u64, A)) -> bool>;
+
+/// Streaming output of a [`StreamGroupBy`]: `(key, aggregate)` pairs in
+/// increasing key order.  Holds the spill directory alive until dropped.
+pub struct GroupedStream<K: IntegerKey, G: Aggregator> {
+    tree: AggMergeTree<G::Acc>,
+    agg: G,
+    /// The first partial of the *next* key, already popped from the tree.
+    pending: Option<(u64, G::Acc)>,
+    _space: Option<SpillSpace>,
+    _key: PhantomData<K>,
+}
+
+impl<K: IntegerKey, G: Aggregator> Iterator for GroupedStream<K, G> {
+    type Item = (K, G::Acc);
+
+    fn next(&mut self) -> Option<(K, G::Acc)> {
+        let (key, mut acc) = self.pending.take().or_else(|| self.tree.pop())?;
+        loop {
+            match self.tree.pop() {
+                // The loser tree yields equal keys in run order, so partials
+                // combine in push order.
+                Some((k, a)) if k == key => acc = self.agg.combine(acc, a),
+                other => {
+                    self.pending = other;
+                    break;
+                }
+            }
+        }
+        Some((K::from_ordered_u64(key), acc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlay::random::Rng;
+    use std::collections::HashMap;
+
+    fn tiny_cfg(budget: usize) -> StreamConfig {
+        StreamConfig {
+            memory_budget_bytes: budget,
+            sort: dtsort::SortConfig {
+                base_case_threshold: 64,
+                ..Default::default()
+            },
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn counts_match_hashmap_across_spilled_runs() {
+        let rng = Rng::new(1);
+        let n = 40_000usize;
+        let keys: Vec<u64> = (0..n).map(|i| rng.ith_in(i as u64, 777)).collect();
+        let mut gb: StreamGroupBy<u64, CountAgg> =
+            StreamGroupBy::with_config(CountAgg, tiny_cfg(16 << 10));
+        for chunk in keys.chunks(997) {
+            let recs: Vec<(u64, ())> = chunk.iter().map(|&k| (k, ())).collect();
+            gb.push(&recs).unwrap();
+        }
+        assert!(gb.stats().spilled_runs > 2, "stats: {:?}", gb.stats());
+        let mut want: HashMap<u64, u64> = HashMap::new();
+        for &k in &keys {
+            *want.entry(k).or_default() += 1;
+        }
+        let got = gb.finish_vec().unwrap();
+        assert_eq!(got.len(), want.len());
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "key-ordered");
+        for &(k, c) in &got {
+            assert_eq!(c, want[&k], "key {k}");
+        }
+    }
+
+    #[test]
+    fn heavy_key_stream_never_materializes_duplicates() {
+        // 80% of the stream is one key; each run spills at most one partial
+        // for it, so the spilled volume collapses.
+        let rng = Rng::new(2);
+        let n = 60_000usize;
+        let mut gb: StreamGroupBy<u32, CountAgg> =
+            StreamGroupBy::with_config(CountAgg, tiny_cfg(16 << 10));
+        for i in 0..n {
+            let k = if rng.ith_f64(i as u64) < 0.8 {
+                7
+            } else {
+                rng.ith_in(i as u64, 200) as u32
+            };
+            gb.push_record(k, ()).unwrap();
+        }
+        let stats = gb.stats().clone();
+        assert!(stats.spilled_runs > 2);
+        assert!(
+            stats.partial_aggregates < stats.records_pushed / 4,
+            "duplicates must collapse before spilling: {stats:?}"
+        );
+        let got = gb.finish_vec().unwrap();
+        let seven = got.iter().find(|&&(k, _)| k == 7).unwrap();
+        assert!(seven.1 >= (n as u64) * 7 / 10);
+        assert_eq!(got.iter().map(|&(_, c)| c).sum::<u64>(), n as u64);
+    }
+
+    #[test]
+    fn sum_min_max_aggregations() {
+        let rng = Rng::new(3);
+        let n = 30_000usize;
+        let records: Vec<(u32, u64)> = (0..n)
+            .map(|i| {
+                (
+                    rng.ith_in(i as u64, 50) as u32,
+                    rng.fork(9).ith_in(i as u64, 1000),
+                )
+            })
+            .collect();
+        let mut want_sum: HashMap<u32, u64> = HashMap::new();
+        let mut want_min: HashMap<u32, u64> = HashMap::new();
+        let mut want_max: HashMap<u32, u64> = HashMap::new();
+        for &(k, v) in &records {
+            *want_sum.entry(k).or_default() += v;
+            want_min
+                .entry(k)
+                .and_modify(|m| *m = (*m).min(v))
+                .or_insert(v);
+            want_max
+                .entry(k)
+                .and_modify(|m| *m = (*m).max(v))
+                .or_insert(v);
+        }
+        let run = |agg: &dyn Fn() -> Vec<(u32, u64)>| agg();
+        let sums = run(&|| {
+            let mut gb = StreamGroupBy::with_config(SumAgg, tiny_cfg(16 << 10));
+            gb.push(&records).unwrap();
+            gb.finish_vec().unwrap()
+        });
+        let mins = run(&|| {
+            let mut gb = StreamGroupBy::with_config(MinAgg, tiny_cfg(16 << 10));
+            gb.push(&records).unwrap();
+            gb.finish_vec().unwrap()
+        });
+        let maxs = run(&|| {
+            let mut gb = StreamGroupBy::with_config(MaxAgg, tiny_cfg(16 << 10));
+            gb.push(&records).unwrap();
+            gb.finish_vec().unwrap()
+        });
+        for &(k, s) in &sums {
+            assert_eq!(s, want_sum[&k]);
+        }
+        for &(k, m) in &mins {
+            assert_eq!(m, want_min[&k]);
+        }
+        for &(k, m) in &maxs {
+            assert_eq!(m, want_max[&k]);
+        }
+    }
+
+    #[test]
+    fn custom_fold_aggregator() {
+        // Track (count, sum) pairs through a custom fold.
+        let agg = FoldAgg::new(
+            |v: u64| [1u64, v],
+            |a: [u64; 2], b: [u64; 2]| [a[0] + b[0], a[1] + b[1]],
+        );
+        let mut gb: StreamGroupBy<u64, _> = StreamGroupBy::with_config(agg, tiny_cfg(16 << 10));
+        for i in 0..20_000u64 {
+            gb.push_record(i % 10, i).unwrap();
+        }
+        let got = gb.finish_vec().unwrap();
+        assert_eq!(got.len(), 10);
+        for &(k, [cnt, sum]) in &got {
+            assert_eq!(cnt, 2000);
+            // Sum of the arithmetic progression k, k+10, ..., k+19990.
+            let want: u64 = (0..2000u64).map(|j| k + 10 * j).sum();
+            assert_eq!(sum, want, "key {k}");
+        }
+    }
+
+    #[test]
+    fn signed_keys_and_in_memory_only() {
+        let mut gb: StreamGroupBy<i32, CountAgg> = StreamGroupBy::new(CountAgg);
+        for &k in &[-5i32, 3, -5, 0, 3, -5] {
+            gb.push_record(k, ()).unwrap();
+        }
+        assert_eq!(gb.stats().spilled_runs, 0);
+        let got = gb.finish_vec().unwrap();
+        assert_eq!(got, vec![(-5, 3), (0, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn empty_group_by_stream() {
+        let gb: StreamGroupBy<u64, CountAgg> = StreamGroupBy::new(CountAgg);
+        assert_eq!(gb.run_count(), 0);
+        assert_eq!(gb.finish().unwrap().count(), 0);
+    }
+}

@@ -49,6 +49,15 @@
 //! k-way merge sees one sorted sequence per run, so heavy records cost
 //! `log(runs)` comparisons there like everything else.
 //!
+//! ## Streaming group-by
+//!
+//! When the consumer wants *aggregates per key* rather than the sorted
+//! records themselves, [`StreamGroupBy`] does strictly less work: each run
+//! is semisorted (heavy duplicate keys collapse in one pass), folded into
+//! one partial aggregate per distinct key, and only those partials are
+//! spilled; the final merge combines equal-key partials while streaming.
+//! Duplicate-dominated streams never materialize their duplicates on disk.
+//!
 //! ## Choosing an API
 //!
 //! | Need | Call |
@@ -56,10 +65,16 @@
 //! | Stream the sorted result, bounded memory | [`StreamSorter::finish`] |
 //! | Materialize into a caller-owned slice, parallel merge | [`StreamSorter::finish_into`] |
 //! | Materialize into a fresh vector | [`StreamSorter::finish_vec`] |
+//! | Per-key aggregates of a stream, bounded memory | [`StreamGroupBy::finish`] |
 
+mod groupby;
 mod sorter;
 mod spill;
 
 pub use dtsort::{SortConfig, StreamConfig};
+pub use groupby::{
+    Aggregator, CountAgg, FoldAgg, GroupByStats, GroupedStream, MaxAgg, MinAgg, StreamGroupBy,
+    SumAgg,
+};
 pub use sorter::{SortedStream, StreamSorter, StreamStats};
 pub use spill::PodValue;

@@ -1,12 +1,10 @@
 //! The bounded-memory streaming sorter.
 
-use crate::spill::{pod_zeroed, write_run, PodValue, RunReader, SpilledRun};
+use crate::spill::{pod_zeroed, write_run, PodValue, RunReader, SpillSpace, SpilledRun};
 use dtsort::{sort_run_pairs_with, IntegerKey, StreamConfig};
 use parlay::kway::{kway_merge_into, LoserTree, RunSource};
 use std::io;
 use std::marker::PhantomData;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters describing what a [`StreamSorter`] did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -19,34 +17,6 @@ pub struct StreamStats {
     pub spilled_bytes: u64,
     /// Heavy keys currently carried into the next run's sampling.
     pub carried_heavy_keys: usize,
-}
-
-/// A unique, self-deleting directory holding this sorter's spill files.
-#[derive(Debug)]
-struct SpillSpace {
-    dir: PathBuf,
-}
-
-static SPILL_SPACE_COUNTER: AtomicU64 = AtomicU64::new(0);
-
-impl SpillSpace {
-    fn create(base: Option<&PathBuf>) -> io::Result<Self> {
-        let base = base.cloned().unwrap_or_else(std::env::temp_dir);
-        let unique = format!(
-            "pisort-stream-{}-{}",
-            std::process::id(),
-            SPILL_SPACE_COUNTER.fetch_add(1, Ordering::Relaxed)
-        );
-        let dir = base.join(unique);
-        std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
-    }
-}
-
-impl Drop for SpillSpace {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.dir);
-    }
 }
 
 /// A bounded-memory, out-of-core stable sorter over pushed record batches.
@@ -260,7 +230,7 @@ impl<K: IntegerKey, V: PodValue> StreamSorter<K, V> {
     }
 }
 
-fn lt_by_ordered_key<V>(a: &(u64, V), b: &(u64, V)) -> bool {
+pub(crate) fn lt_by_ordered_key<V>(a: &(u64, V), b: &(u64, V)) -> bool {
     a.0 < b.0
 }
 
@@ -270,13 +240,14 @@ enum CursorInner<V: PodValue> {
 }
 
 /// One run's cursor in the final merge ([`parlay::kway::RunSource`]).
-struct RunCursor<V: PodValue> {
+/// Shared with the streaming group-by merge ([`crate::groupby`]).
+pub(crate) struct RunCursor<V: PodValue> {
     inner: CursorInner<V>,
     current: Option<(u64, V)>,
 }
 
 impl<V: PodValue> RunCursor<V> {
-    fn open_disk(run: &SpilledRun, buffer_bytes: usize) -> io::Result<Self> {
+    pub(crate) fn open_disk(run: &SpilledRun, buffer_bytes: usize) -> io::Result<Self> {
         let mut reader = RunReader::open(run, buffer_bytes)?;
         let current = reader.next_record()?;
         Ok(Self {
@@ -285,7 +256,7 @@ impl<V: PodValue> RunCursor<V> {
         })
     }
 
-    fn from_memory(records: Vec<(u64, V)>) -> Self {
+    pub(crate) fn from_memory(records: Vec<(u64, V)>) -> Self {
         let mut iter = records.into_iter();
         let current = iter.next();
         Self {

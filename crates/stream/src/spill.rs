@@ -20,6 +20,36 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::marker::PhantomData;
 use std::mem::size_of;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique, self-deleting directory holding one consumer's spill files
+/// (used by both the streaming sorter and the streaming group-by).
+#[derive(Debug)]
+pub(crate) struct SpillSpace {
+    pub(crate) dir: PathBuf,
+}
+
+static SPILL_SPACE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl SpillSpace {
+    pub(crate) fn create(base: Option<&PathBuf>) -> io::Result<Self> {
+        let base = base.cloned().unwrap_or_else(std::env::temp_dir);
+        let unique = format!(
+            "pisort-stream-{}-{}",
+            std::process::id(),
+            SPILL_SPACE_COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let dir = base.join(unique);
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+}
+
+impl Drop for SpillSpace {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
 
 /// Marker for values that can be spilled by their in-memory byte image.
 ///
@@ -113,6 +143,24 @@ pub(crate) struct RunReader<V: PodValue> {
 impl<V: PodValue> RunReader<V> {
     pub fn open(run: &SpilledRun, buffer_bytes: usize) -> io::Result<Self> {
         let file = File::open(&run.path)?;
+        // Validate the file length eagerly: a truncated spill file must
+        // surface as an I/O error here, at open time, rather than as a
+        // mid-merge failure (or, worse, a silently shorter output if a
+        // caller ever trusted the byte stream over `run.len`).
+        let expected = (run.len as u64) * record_size::<V>() as u64;
+        let actual = file.metadata()?.len();
+        if actual < expected {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "truncated spilled run {}: expected {} bytes for {} records, found {}",
+                    run.path.display(),
+                    expected,
+                    run.len,
+                    actual
+                ),
+            ));
+        }
         Ok(Self {
             reader: BufReader::with_capacity(buffer_bytes.max(4096), file),
             remaining: run.len,
@@ -204,6 +252,63 @@ mod tests {
             len: records.len(),
         };
         let got: Vec<(u16, [u8; 5])> = RunReader::<[u8; 5]>::open(&run, 4096)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert_eq!(got, records);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_run_is_an_io_error_not_a_short_read() {
+        let path = tmp_path("truncated.bin");
+        let records: Vec<(u32, u32)> = (0..500u32).map(|i| (i, i * 2)).collect();
+        write_run(&path, &records).unwrap();
+        let run = SpilledRun {
+            path: path.clone(),
+            len: records.len(),
+        };
+        let full_bytes = (record_size::<u32>() * records.len()) as u64;
+        // Truncation mid-record and exactly at a record boundary must both
+        // fail at open — never yield fewer records than `run.len`.
+        for cut in [full_bytes - 5, full_bytes - record_size::<u32>() as u64, 0] {
+            let f = File::options().write(true).open(&path).unwrap();
+            f.set_len(cut).unwrap();
+            drop(f);
+            let err = match RunReader::<u32>::open(&run, 4096) {
+                Err(e) => e,
+                Ok(mut reader) => reader
+                    .read_all::<u32>()
+                    .expect_err("short file must not read back successfully"),
+            };
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn overcounted_run_length_is_an_io_error() {
+        // A run whose metadata claims more records than the file holds is
+        // the dual failure: the reader must refuse it rather than serve a
+        // shorter stream.
+        let path = tmp_path("overcount.bin");
+        let records: Vec<(u64, ())> = (0..100u64).map(|i| (i, ())).collect();
+        write_run(&path, &records).unwrap();
+        let run = SpilledRun {
+            path: path.clone(),
+            len: records.len() + 1,
+        };
+        let err = match RunReader::<()>::open(&run, 4096) {
+            Err(e) => e,
+            Ok(_) => panic!("overcount must fail"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // The correct length still reads fine.
+        let ok = SpilledRun {
+            path: path.clone(),
+            len: records.len(),
+        };
+        let got: Vec<(u64, ())> = RunReader::<()>::open(&ok, 4096)
             .unwrap()
             .read_all()
             .unwrap();

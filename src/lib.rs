@@ -9,9 +9,13 @@
 //! * [`baselines`] — the comparison sorting algorithms of the evaluation.
 //! * [`workloads`] — synthetic key distributions, graphs and point clouds.
 //! * [`apps`] — graph transpose, Morton sort and group-by applications.
+//! * [`semisort`] — the heavy-key semisort / group-by engine: equal keys
+//!   grouped contiguously without a total order, plus the [`GroupBy`]
+//!   aggregation API.
 //! * [`stream`] — bounded-memory streaming / out-of-core sorting
 //!   ([`StreamSorter`]): pushed batches become spilled sorted runs that are
-//!   k-way merged, with heavy keys carried across runs.
+//!   k-way merged, with heavy keys carried across runs — and streaming
+//!   group-by ([`StreamGroupBy`]), which aggregates runs before spilling.
 //!
 //! ```
 //! // The most common entry point: stably sort key-value records.
@@ -24,6 +28,7 @@ pub use apps;
 pub use baselines;
 pub use dtsort;
 pub use parlay;
+pub use semisort;
 pub use stream;
 pub use workloads;
 
@@ -33,4 +38,5 @@ pub use dtsort::{
     sort_pairs_with_stats, sort_with, sort_with_stats, IntegerKey, MergeStrategy, SortConfig,
     StatsSnapshot, StreamConfig,
 };
-pub use stream::{SortedStream, StreamSorter};
+pub use semisort::{semisort_by_key, semisort_pairs, GroupBy, SemisortConfig};
+pub use stream::{SortedStream, StreamGroupBy, StreamSorter};
