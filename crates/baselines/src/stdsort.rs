@@ -28,7 +28,7 @@ where
 /// Stable parallel sort (rayon's parallel merge sort).
 pub fn par_stable_by_key<T, K, F>(data: &mut [T], key: F)
 where
-    T: Copy + Send,
+    T: Copy + Send + Sync,
     K: IntegerKey,
     F: Fn(&T) -> K + Sync,
 {
@@ -38,7 +38,7 @@ where
 /// Unstable parallel sort (rayon's parallel quicksort).
 pub fn par_unstable_by_key<T, K, F>(data: &mut [T], key: F)
 where
-    T: Copy + Send,
+    T: Copy + Send + Sync,
     K: IntegerKey,
     F: Fn(&T) -> K + Sync,
 {

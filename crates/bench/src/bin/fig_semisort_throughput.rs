@@ -15,8 +15,7 @@
 //!
 //! Usage: `cargo run -p bench --release --bin fig_semisort_throughput -- [--n 2e6] [--reps 3]`
 
-use bench::{median_time_secs, Args, Table};
-use std::io::Write;
+use bench::{json_escape, median_time_secs, write_bench_json, Args, Table};
 use workloads::dist::Distribution;
 
 struct Measurement {
@@ -40,33 +39,27 @@ fn sort_then_scan(records: &mut [(u64, u64)]) -> usize {
     groups
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 fn write_json(path: &str, n: usize, threads: usize, rows: &[Measurement]) {
-    let mut body = String::new();
-    body.push_str("{\n");
-    body.push_str(&format!(
-        "  \"bench\": \"semisort_throughput\",\n  \"n\": {n},\n  \"threads\": {threads},\n  \"results\": [\n"
-    ));
-    for (i, m) in rows.iter().enumerate() {
-        body.push_str(&format!(
-            "    {{\"dist\": \"{}\", \"method\": \"{}\", \"groups\": {}, \"secs\": {:.6}, \"records_per_sec\": {:.1}, \"speedup_vs_sort\": {:.3}}}{}\n",
-            json_escape(&m.dist),
-            m.method,
-            m.groups,
-            m.secs,
-            m.records_per_sec,
-            m.speedup_vs_sort,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    body.push_str("  ]\n}\n");
-    match std::fs::File::create(path).and_then(|mut f| f.write_all(body.as_bytes())) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"dist\": \"{}\", \"method\": \"{}\", \"groups\": {}, \"secs\": {:.6}, \"records_per_sec\": {:.1}, \"speedup_vs_sort\": {:.3}}}",
+                json_escape(&m.dist),
+                m.method,
+                m.groups,
+                m.secs,
+                m.records_per_sec,
+                m.speedup_vs_sort,
+            )
+        })
+        .collect();
+    write_bench_json(
+        path,
+        "semisort_throughput",
+        &[("n", n.to_string()), ("threads", threads.to_string())],
+        &rendered,
+    );
 }
 
 fn main() {

@@ -8,9 +8,8 @@
 //!
 //! Usage: `cargo run -p bench --release --bin fig_stream_throughput -- [--n 2e6] [--reps 3]`
 
-use bench::{median_time_secs, Args, Table};
+use bench::{json_escape, median_time_secs, write_bench_json, Args, Table};
 use dtsort::StreamConfig;
-use std::io::Write;
 use stream::StreamSorter;
 use workloads::dist::Distribution;
 
@@ -45,33 +44,31 @@ fn stream_sort_once(
     }
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measurement]) {
-    let mut body = String::new();
-    body.push_str("{\n");
-    body.push_str(&format!(
-        "  \"bench\": \"stream_throughput\",\n  \"n\": {n},\n  \"batch\": {batch},\n  \"threads\": {threads},\n  \"results\": [\n"
-    ));
-    for (i, m) in rows.iter().enumerate() {
-        body.push_str(&format!(
-            "    {{\"dist\": \"{}\", \"budget_bytes\": {}, \"runs\": {}, \"spilled_bytes\": {}, \"secs\": {:.6}, \"records_per_sec\": {:.1}}}{}\n",
-            json_escape(&m.dist),
-            m.budget_bytes,
-            m.runs,
-            m.spilled_bytes,
-            m.secs,
-            m.records_per_sec,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    body.push_str("  ]\n}\n");
-    match std::fs::File::create(path).and_then(|mut f| f.write_all(body.as_bytes())) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"dist\": \"{}\", \"budget_bytes\": {}, \"runs\": {}, \"spilled_bytes\": {}, \"secs\": {:.6}, \"records_per_sec\": {:.1}}}",
+                json_escape(&m.dist),
+                m.budget_bytes,
+                m.runs,
+                m.spilled_bytes,
+                m.secs,
+                m.records_per_sec,
+            )
+        })
+        .collect();
+    write_bench_json(
+        path,
+        "stream_throughput",
+        &[
+            ("n", n.to_string()),
+            ("batch", batch.to_string()),
+            ("threads", threads.to_string()),
+        ],
+        &rendered,
+    );
 }
 
 fn main() {

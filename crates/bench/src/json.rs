@@ -1,0 +1,73 @@
+//! Machine-readable benchmark output shared by the `BENCH_*.json` writers.
+//!
+//! Every throughput/scalability binary appends its results to a JSON file
+//! in the current directory so successive PRs can track the perf
+//! trajectory; this module holds the one escaping + envelope writer they
+//! all use, so the file format cannot silently diverge between benches.
+
+use std::io::Write;
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes the standard bench envelope to `path`:
+///
+/// ```json
+/// { "bench": <name>, <scalars...>, "results": [ <rows...> ] }
+/// ```
+///
+/// `scalars` are emitted in order as raw JSON values (callers pass
+/// pre-formatted numbers); each element of `rows` must be one complete
+/// JSON object literal.  Logs the outcome to stdout/stderr like every
+/// bench binary always has.
+pub fn write_bench_json(path: &str, bench: &str, scalars: &[(&str, String)], rows: &[String]) {
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(bench)));
+    for (key, value) in scalars {
+        body.push_str(&format!("  \"{}\": {},\n", json_escape(key), value));
+    }
+    body.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        body.push_str("    ");
+        body.push_str(row);
+        body.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(body.as_bytes())) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_backslashes() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn envelope_is_valid_shape() {
+        let dir = std::env::temp_dir().join(format!("pisort-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        write_bench_json(
+            path.to_str().unwrap(),
+            "demo",
+            &[("n", "5".to_string())],
+            &[r#"{"x": 1}"#.to_string(), r#"{"x": 2}"#.to_string()],
+        );
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"bench\": \"demo\""));
+        assert!(body.contains("\"n\": 5"));
+        assert!(body.contains("{\"x\": 1},"));
+        assert!(body.ends_with("  ]\n}\n"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -8,9 +8,11 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod json;
 pub mod runner;
 pub mod table;
 
 pub use cli::Args;
+pub use json::{json_escape, write_bench_json};
 pub use runner::{median_time_secs, SorterKind};
 pub use table::{format_row, geo_mean, print_heatmap_cell, Table};

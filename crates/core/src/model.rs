@@ -34,6 +34,8 @@ pub struct HeavyKeyModel {
     max_sample: u64,
     /// Number of samples the detection drew.
     num_samples: usize,
+    /// Number of distinct values among the samples.
+    distinct_samples: usize,
 }
 
 impl HeavyKeyModel {
@@ -48,7 +50,12 @@ impl HeavyKeyModel {
         F: Fn(usize) -> u64 + Sync,
     {
         let res = sample_and_detect(n, key, gamma, cfg, Rng::new(cfg.seed));
-        Self::from_parts(res.heavy_keys, res.max_sample, res.num_samples)
+        Self::from_parts(
+            res.heavy_keys,
+            res.max_sample,
+            res.num_samples,
+            res.distinct_samples,
+        )
     }
 
     /// Builds a model from an externally supplied heavy-key set (e.g. keys
@@ -57,10 +64,15 @@ impl HeavyKeyModel {
         keys.sort_unstable();
         keys.dedup();
         let max = keys.last().copied().unwrap_or(0);
-        Self::from_parts(keys, max, 0)
+        Self::from_parts(keys, max, 0, 0)
     }
 
-    fn from_parts(keys: Vec<u64>, max_sample: u64, num_samples: usize) -> Self {
+    fn from_parts(
+        keys: Vec<u64>,
+        max_sample: u64,
+        num_samples: usize,
+        distinct_samples: usize,
+    ) -> Self {
         let mut map = HeavyMap::with_capacity(keys.len());
         for (i, &k) in keys.iter().enumerate() {
             map.insert(k, i as u32);
@@ -70,6 +82,7 @@ impl HeavyKeyModel {
             map,
             max_sample,
             num_samples,
+            distinct_samples,
         }
     }
 
@@ -112,6 +125,16 @@ impl HeavyKeyModel {
     /// [`from_keys`]: HeavyKeyModel::from_keys
     pub fn num_samples(&self) -> usize {
         self.num_samples
+    }
+
+    /// Number of distinct values among the samples (0 for [`from_keys`]
+    /// models).  `distinct_samples() == num_samples()` means the sample
+    /// saw every key exactly once — the signature of a fully distinct
+    /// input, regardless of how wide the key *values* are spread.
+    ///
+    /// [`from_keys`]: HeavyKeyModel::from_keys
+    pub fn distinct_samples(&self) -> usize {
+        self.distinct_samples
     }
 }
 

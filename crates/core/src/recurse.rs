@@ -136,6 +136,7 @@ where
             heavy_keys: Vec::new(),
             max_sample: mask,
             num_samples: 0,
+            distinct_samples: 0,
         }
     };
     if is_root && cfg.heavy_detection && !root_hints.is_empty() {

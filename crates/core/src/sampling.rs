@@ -22,6 +22,11 @@ pub struct SampleResult {
     pub max_sample: u64,
     /// Number of samples drawn.
     pub num_samples: usize,
+    /// Number of *distinct* values among the samples — the sample-level
+    /// duplicate-structure estimate (`distinct_samples == num_samples`
+    /// means the sample saw no duplicate at all, i.e. the input looks
+    /// fully distinct).
+    pub distinct_samples: usize,
 }
 
 /// Draws samples from `data`, detects heavy keys and the sample maximum.
@@ -45,6 +50,7 @@ where
             heavy_keys: Vec::new(),
             max_sample: 0,
             num_samples: 0,
+            distinct_samples: 0,
         };
     }
 
@@ -55,6 +61,7 @@ where
         .collect();
     samples.sort_unstable();
     let max_sample = *samples.last().expect("non-empty samples");
+    let distinct_samples = 1 + samples.windows(2).filter(|w| w[0] != w[1]).count();
 
     let heavy_keys = if cfg.heavy_detection {
         detect_heavy_from_sorted_samples(&samples, cfg.subsample_stride(n))
@@ -66,6 +73,7 @@ where
         heavy_keys,
         max_sample,
         num_samples,
+        distinct_samples,
     }
 }
 

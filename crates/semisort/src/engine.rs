@@ -33,7 +33,7 @@ impl<K> Group<K> {
 }
 
 /// Tuning knobs of the semisort engine.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SemisortConfig {
     /// Sampling / heavy-key-detection knobs and the base-case threshold,
     /// shared with the full sort.  Only the sampling fields and
@@ -42,6 +42,23 @@ pub struct SemisortConfig {
     /// If set, use exactly this many bits of hashed light buckets
     /// (`2^bits` buckets) instead of the sort's `log2(∛n)` radix rule.
     pub light_bucket_bits: Option<u32>,
+    /// Adaptive fallback (on by default): when sampling finds **no** heavy
+    /// keys and the estimated key range is much larger than the input — a
+    /// mostly-distinct dataset like the `Unif-1e9` control — the hashed
+    /// scatter cannot beat the MSD sort's locality, so the engine delegates
+    /// to [`dtsort`] and reads the groups off the sorted array (which then
+    /// come out in ascending key order).
+    pub adaptive_sort_fallback: bool,
+}
+
+impl Default for SemisortConfig {
+    fn default() -> Self {
+        Self {
+            sort: SortConfig::default(),
+            light_bucket_bits: None,
+            adaptive_sort_fallback: true,
+        }
+    }
 }
 
 impl SemisortConfig {
@@ -53,9 +70,25 @@ impl SemisortConfig {
                 base_case_threshold: threshold,
                 ..SortConfig::default()
             },
-            light_bucket_bits: None,
+            ..Self::default()
         }
     }
+}
+
+/// The adaptive-fallback routing decision: `true` when `model` found no
+/// heavy keys **and** at least 95% of its samples were distinct values.
+///
+/// Near-total sample distinctness is the operational "large key range"
+/// signal: a key universe much larger than the sample size (Unif-1e9 at
+/// a few thousand samples) yields essentially no sample collisions, while
+/// any duplicate structure worth grouping by hash (Unif-1e3: every sample
+/// value repeats) collapses the distinct count far below the sample count.
+/// The sample *maximum* cannot serve here — the paper's generators spread
+/// even a 1000-value universe across the full 64-bit range.
+pub fn delegates_to_sort(model: &HeavyKeyModel) -> bool {
+    model.is_empty()
+        && model.num_samples() > 0
+        && model.distinct_samples() * 20 >= model.num_samples() * 19
 }
 
 /// Semisorts `data` in place by an integer key projection: after the call,
@@ -99,6 +132,15 @@ where
         .unwrap_or_else(|| cfg.sort.radix_bits(n, 64))
         .clamp(1, 24);
     let model = HeavyKeyModel::detect(n, |i| okey(&data[i]), gamma, &cfg.sort);
+
+    // Adaptive fallback (ROADMAP): a fully-distinct-looking input gains
+    // nothing from hashed grouping — the MSD sort's locality wins — so
+    // delegate and read the groups off the totally ordered result.
+    if cfg.adaptive_sort_fallback && delegates_to_sort(&model) {
+        dtsort::sort_by_key_with(data, |r| okey(r), &cfg.sort);
+        return extract_groups(data, &key);
+    }
+
     let num_heavy = model.len();
     let num_light = 1usize << gamma;
     let shift = 64 - gamma;
@@ -388,6 +430,112 @@ mod tests {
         let gb = semisort_pairs_with(&mut b, &small_cfg());
         assert_eq!(a, b);
         assert_eq!(ga, gb);
+    }
+
+    /// The `Unif-1e9` control: keys drawn from a universe vastly larger
+    /// than `n`, spread over the full 64-bit range — the distribution
+    /// where hashed grouping loses to the MSD sort (ROADMAP regression).
+    fn unif_1e9_input(n: usize) -> Vec<(u64, u32)> {
+        workloads::dist::generate_pairs_u64(
+            &workloads::dist::Distribution::Uniform {
+                distinct: 1_000_000_000,
+            },
+            n,
+            42,
+        )
+        .into_iter()
+        .map(|(k, v)| (k, v as u32))
+        .collect()
+    }
+
+    #[test]
+    fn adaptive_fallback_routes_unif_1e9_to_sort() {
+        let n = 60_000;
+        let input = unif_1e9_input(n);
+        let cfg = small_cfg();
+        let okey = |r: &(u64, u32)| r.0;
+        let gamma = cfg
+            .light_bucket_bits
+            .unwrap_or_else(|| cfg.sort.radix_bits(n, 64))
+            .clamp(1, 24);
+        let model = HeavyKeyModel::detect(n, |i| okey(&input[i]), gamma, &cfg.sort);
+        assert!(
+            delegates_to_sort(&model),
+            "Unif-1e9 must route to the sort fallback \
+             (heavy = {}, distinct = {}/{})",
+            model.len(),
+            model.distinct_samples(),
+            model.num_samples()
+        );
+        // Observable effect of the delegation: the groups come back in
+        // ascending key order (the hashed engine scrambles them), and the
+        // full semisort contract still holds.
+        let mut data = input.clone();
+        let groups = semisort_pairs_with(&mut data, &cfg);
+        assert!(
+            groups.windows(2).all(|w| w[0].key < w[1].key),
+            "fallback output must be totally ordered"
+        );
+        check_grouping(&input, &cfg);
+    }
+
+    #[test]
+    fn adaptive_fallback_leaves_duplicate_heavy_inputs_alone() {
+        // Unif-1e3 over the full 64-bit range: no heavy keys either, but
+        // every sample value repeats ~samples/1000 times — the engine must
+        // keep the hashed path (this is where semisort beats the sort).
+        let n = 60_000;
+        let rng = Rng::new(21);
+        let input: Vec<(u64, u32)> = (0..n)
+            .map(|i| {
+                let v = rng.ith_in(i as u64, 1000);
+                (v * (u64::MAX / 1000), i as u32)
+            })
+            .collect();
+        let cfg = small_cfg();
+        let gamma = cfg.sort.radix_bits(n, 64).clamp(1, 24);
+        let model = HeavyKeyModel::detect(n, |i| input[i].0, gamma, &cfg.sort);
+        assert!(
+            !delegates_to_sort(&model),
+            "duplicate-heavy input must stay on the hashed engine \
+             (distinct = {}/{})",
+            model.distinct_samples(),
+            model.num_samples()
+        );
+        check_grouping(&input, &cfg);
+    }
+
+    #[test]
+    #[ignore = "bench-scale input; run explicitly with --ignored --release"]
+    fn adaptive_fallback_routes_unif_1e9_at_bench_scale() {
+        // The routing decision at the benchmark's exact operating point
+        // (n = 2e6, default config): guards against a sample-size change
+        // silently flipping the control distribution off the fallback.
+        let n = 2_000_000;
+        let input = unif_1e9_input(n);
+        let cfg = SemisortConfig::default();
+        let gamma = cfg.sort.radix_bits(n, 64).clamp(1, 24);
+        let model = HeavyKeyModel::detect(n, |i| input[i].0, gamma, &cfg.sort);
+        assert!(
+            delegates_to_sort(&model),
+            "heavy = {}, distinct = {}/{}",
+            model.len(),
+            model.distinct_samples(),
+            model.num_samples()
+        );
+    }
+
+    #[test]
+    fn fallback_can_be_disabled() {
+        let n = 50_000;
+        let input = unif_1e9_input(n);
+        let cfg = SemisortConfig {
+            adaptive_sort_fallback: false,
+            ..SemisortConfig::with_base_case(64)
+        };
+        // The hashed engine must still produce a correct grouping on the
+        // distribution it is slowest on.
+        check_grouping(&input, &cfg);
     }
 
     #[test]

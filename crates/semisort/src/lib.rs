@@ -63,7 +63,7 @@ mod engine;
 mod groupby;
 
 pub use engine::{
-    semisort_by_key, semisort_by_key_with, semisort_keys, semisort_pairs, semisort_pairs_with,
-    Group, SemisortConfig,
+    delegates_to_sort, semisort_by_key, semisort_by_key_with, semisort_keys, semisort_pairs,
+    semisort_pairs_with, Group, SemisortConfig,
 };
 pub use groupby::GroupBy;

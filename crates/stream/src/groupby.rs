@@ -257,7 +257,7 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             .collect();
         let semi_cfg = SemisortConfig {
             sort: self.cfg.sort.clone(),
-            light_bucket_bits: None,
+            ..SemisortConfig::default()
         };
         let groups = semisort_pairs_with(&mut recs, &semi_cfg);
         let mut out: Vec<(u64, G::Acc)> = groups

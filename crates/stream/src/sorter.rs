@@ -211,9 +211,23 @@ impl<K: IntegerKey, V: PodValue> StreamSorter<K, V> {
             return Ok(());
         }
         let reader_budget = self.reader_budget();
+        // Load all spilled runs back in parallel: each run is its own file,
+        // so reads are independent and the deserialization fans out across
+        // the pool.  Errors are surfaced after the barrier (first one wins).
+        let mut results: Vec<io::Result<Vec<(K, V)>>> =
+            (0..self.runs.len()).map(|_| Ok(Vec::new())).collect();
+        {
+            let cell = parlay::slice::UnsafeSliceCell::new(&mut results);
+            let runs = &self.runs;
+            parlay::par::parallel_for_grained(0, runs.len(), 1, &|i| {
+                let res =
+                    RunReader::<V>::open(&runs[i], reader_budget).and_then(|mut r| r.read_all());
+                unsafe { cell.write(i, res) };
+            });
+        }
         let mut loaded: Vec<Vec<(K, V)>> = Vec::with_capacity(self.runs.len());
-        for run in &self.runs {
-            loaded.push(RunReader::<V>::open(run, reader_budget)?.read_all()?);
+        for res in results {
+            loaded.push(res?);
         }
         let mut slices: Vec<&[(K, V)]> = loaded.iter().map(|r| r.as_slice()).collect();
         slices.push(&self.buffer);

@@ -1,0 +1,255 @@
+//! A Chase–Lev work-stealing deque specialized to [`JobRef`]s.
+//!
+//! The owning worker pushes and pops at the *bottom* (LIFO — newest task
+//! first, which keeps the working set cache-hot and makes nested `join`
+//! unwind like ordinary recursion); thieves steal from the *top* (FIFO —
+//! oldest, typically largest task first).  The implementation follows the
+//! dynamic circular deque of Chase & Lev with the memory-ordering fixes of
+//! Lê et al. ("Correct and Efficient Work-Stealing for Weak Memory
+//! Models", PPoPP 2013).
+//!
+//! Two simplifications versus a general-purpose implementation:
+//!
+//! * Elements are [`JobRef`]s — two plain words, `Copy`, no drop glue —
+//!   stored as a pair of **relaxed atomics** per slot.  A stalled thief
+//!   can race the owner's wrap-around `push` on the same slot, so the
+//!   loads/stores must be atomic to be defined behaviour; a *torn* pair
+//!   (one old word, one new) can only be observed by a thief whose
+//!   validating CAS on `top` is guaranteed to fail (the owner only
+//!   overwrites index `i` after `top` has advanced past `i`, and `top`
+//!   never goes backwards), so torn values are always discarded.
+//! * Buffer growth **retires** the old buffer instead of freeing it (a
+//!   stalled thief may still read a slot from it; the value it reads is
+//!   identical in old and new buffers, and its CAS on `top` arbitrates
+//!   ownership).  Retired buffers are freed when the deque drops.  Total
+//!   overhead is bounded: capacities double, so all retired buffers
+//!   together are smaller than the live one.
+
+use std::ptr;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::job::JobRef;
+
+const INITIAL_CAPACITY: usize = 64;
+
+/// Outcome of a steal attempt.
+pub(crate) enum Steal {
+    /// Nothing to steal.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// Got a job.
+    Success(JobRef),
+}
+
+/// One deque slot: the two words of a [`JobRef`] as independent relaxed
+/// atomics (see the module docs for why a torn pair is harmless).
+struct Slot {
+    pointer: AtomicPtr<()>,
+    execute_fn: AtomicPtr<()>,
+}
+
+struct Buffer {
+    mask: usize,
+    slots: Box<[Slot]>,
+}
+
+impl Buffer {
+    fn alloc(capacity: usize) -> Box<Buffer> {
+        debug_assert!(capacity.is_power_of_two());
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                pointer: AtomicPtr::new(ptr::null_mut()),
+                execute_fn: AtomicPtr::new(ptr::null_mut()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::new(Buffer {
+            mask: capacity - 1,
+            slots,
+        })
+    }
+
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Publishes a job into the slot for `index` (owner only; visibility
+    /// to thieves is carried by the subsequent `bottom` release store).
+    #[inline]
+    fn put(&self, index: isize, job: JobRef) {
+        let (pointer, execute_fn) = job.raw_parts();
+        let slot = &self.slots[index as usize & self.mask];
+        slot.pointer.store(pointer, Ordering::Relaxed);
+        slot.execute_fn.store(execute_fn, Ordering::Relaxed);
+    }
+
+    /// Reads the slot for `index`.
+    ///
+    /// # Safety
+    /// The value may be torn by a concurrent wrap-around `put` and must
+    /// only be *used* after winning the validating CAS on `top` (which is
+    /// guaranteed to fail whenever a tear was possible).
+    #[inline]
+    unsafe fn get(&self, index: isize) -> JobRef {
+        let slot = &self.slots[index as usize & self.mask];
+        JobRef::from_raw_parts(
+            slot.pointer.load(Ordering::Relaxed),
+            slot.execute_fn.load(Ordering::Relaxed),
+        )
+    }
+}
+
+struct Inner {
+    /// Next index a thief will steal from.
+    top: AtomicIsize,
+    /// Next index the owner will push to.
+    bottom: AtomicIsize,
+    /// Current circular buffer; swapped on growth.
+    buffer: AtomicPtr<Buffer>,
+    /// Old buffer *allocations* kept alive until drop (see module docs):
+    /// a stalled thief may still hold a pointer into one, so they must not
+    /// be freed while the deque lives.
+    retired: Mutex<Vec<*mut Buffer>>,
+}
+
+// SAFETY: all cross-thread access to the slot array is mediated by the
+// Chase–Lev protocol on `top`/`bottom`; `JobRef` is `Send`.
+unsafe impl Send for Inner {}
+unsafe impl Sync for Inner {}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Reconstruct and free the live buffer and every retired one.  Any
+        // JobRefs still in the deque are plain words (leaked heap jobs
+        // would be a caller bug: the pool only terminates quiescent).
+        let buf = self.buffer.load(Ordering::Relaxed);
+        if !buf.is_null() {
+            drop(unsafe { Box::from_raw(buf) });
+        }
+        for &old in self
+            .retired
+            .lock()
+            .expect("deque retired-list poisoned")
+            .iter()
+        {
+            drop(unsafe { Box::from_raw(old) });
+        }
+    }
+}
+
+/// The owner's handle: push/pop at the bottom.
+pub(crate) struct WorkerDeque {
+    inner: Arc<Inner>,
+}
+
+/// A thief's handle: steal from the top.
+#[derive(Clone)]
+pub(crate) struct Stealer {
+    inner: Arc<Inner>,
+}
+
+/// Creates a deque, returning the owner handle and a stealer.
+pub(crate) fn deque() -> (WorkerDeque, Stealer) {
+    let inner = Arc::new(Inner {
+        top: AtomicIsize::new(0),
+        bottom: AtomicIsize::new(0),
+        buffer: AtomicPtr::new(Box::into_raw(Buffer::alloc(INITIAL_CAPACITY))),
+        retired: Mutex::new(Vec::new()),
+    });
+    (
+        WorkerDeque {
+            inner: Arc::clone(&inner),
+        },
+        Stealer { inner },
+    )
+}
+
+impl WorkerDeque {
+    /// Pushes a job at the bottom (owner only).
+    pub(crate) fn push(&self, job: JobRef) {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        let mut buf = inner.buffer.load(Ordering::Relaxed);
+        if b - t >= unsafe { (*buf).capacity() } as isize {
+            buf = self.grow(t, b, buf);
+        }
+        unsafe { (*buf).put(b, job) };
+        // Release: the slot write must be visible before the new bottom.
+        inner.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Doubles the buffer, copying live indices `t..b`; retires the old one.
+    fn grow(&self, t: isize, b: isize, old: *mut Buffer) -> *mut Buffer {
+        let inner = &*self.inner;
+        let new = Buffer::alloc(unsafe { (*old).capacity() } * 2);
+        for i in t..b {
+            unsafe { new.put(i, (*old).get(i)) };
+        }
+        let new_ptr = Box::into_raw(new);
+        inner.buffer.store(new_ptr, Ordering::Release);
+        inner
+            .retired
+            .lock()
+            .expect("deque retired-list poisoned")
+            .push(old);
+        new_ptr
+    }
+
+    /// Pops the newest job from the bottom (owner only; LIFO).
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf = inner.buffer.load(Ordering::Relaxed);
+        inner.bottom.store(b, Ordering::Relaxed);
+        // The fence orders our bottom decrement against the thief's top
+        // read: either the thief sees the decrement or we see its CAS.
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+        if t <= b {
+            let job = unsafe { (*buf).get(b) };
+            if t == b {
+                // Single element left: race a concurrent thief for it.
+                let won = inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+                won.then_some(job)
+            } else {
+                Some(job)
+            }
+        } else {
+            // Already empty; restore bottom.
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+impl Stealer {
+    /// Tries to steal the oldest job from the top.
+    pub(crate) fn steal(&self) -> Steal {
+        let inner = &*self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t < b {
+            let buf = inner.buffer.load(Ordering::Acquire);
+            let job = unsafe { (*buf).get(t) };
+            if inner
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                Steal::Success(job)
+            } else {
+                Steal::Retry
+            }
+        } else {
+            Steal::Empty
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Type-erased units of work for the work-stealing pool.
+//!
+//! A *job* is "a closure somebody will run exactly once, possibly on another
+//! thread".  [`join`](crate::join) allocates its deferred closure on the
+//! **caller's stack** ([`StackJob`]) — the fork-join discipline guarantees
+//! the frame outlives the job — while `scope` spawns outlive their spawning
+//! frame and therefore live on the heap ([`HeapJob`]).  Both are reached
+//! through the two-word [`JobRef`], which is what actually sits in the
+//! deques and the injector.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+
+use crate::latch::Latch;
+
+/// A type-erased, copyable handle to a job: a data pointer plus the
+/// monomorphized function that executes it.
+///
+/// # Safety contract
+/// The pointee must stay alive until the job has executed (stack jobs rely
+/// on the fork-join protocol for this; heap jobs own themselves and are
+/// freed by their `execute`).  A `JobRef` must be executed **exactly once**.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is just a pointer pair; the execution contract above is
+// what makes moving it across threads sound, and every construction site
+// upholds it.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Wraps a pointer to a [`Job`] implementor.
+    ///
+    /// # Safety
+    /// `data` must outlive the job's execution (see the type-level contract).
+    pub(crate) unsafe fn new<T: Job>(data: *const T) -> JobRef {
+        JobRef {
+            pointer: data as *const (),
+            execute_fn: <T as Job>::execute,
+        }
+    }
+
+    /// Runs the job.
+    ///
+    /// # Safety
+    /// Must be called exactly once, while the pointee is still alive.
+    #[inline]
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.pointer)
+    }
+
+    /// Do the two refs denote the same job instance?  (Pointer identity;
+    /// function pointers are not compared — they need not be unique.)
+    #[inline]
+    pub(crate) fn same_job(&self, other: &JobRef) -> bool {
+        std::ptr::eq(self.pointer, other.pointer)
+    }
+
+    /// Decomposes into two plain words for atomic storage in deque slots.
+    #[inline]
+    pub(crate) fn raw_parts(&self) -> (*mut (), *mut ()) {
+        (self.pointer.cast_mut(), self.execute_fn as *mut ())
+    }
+
+    /// Recomposes a ref stored via [`JobRef::raw_parts`].
+    ///
+    /// # Safety
+    /// Both words must come from the same `raw_parts` call (the deque's
+    /// CAS-on-`top` protocol guarantees a *used* pair was never torn).
+    #[inline]
+    pub(crate) unsafe fn from_raw_parts(pointer: *mut (), execute_fn: *mut ()) -> JobRef {
+        JobRef {
+            pointer,
+            execute_fn: std::mem::transmute::<*mut (), unsafe fn(*const ())>(execute_fn),
+        }
+    }
+}
+
+/// Implemented by every concrete job representation.
+pub(crate) trait Job {
+    /// Runs the job behind the erased pointer.
+    ///
+    /// # Safety
+    /// `this` must point to a live instance of the implementing type, and
+    /// the call must happen at most once.
+    unsafe fn execute(this: *const ());
+}
+
+/// Either the closure's return value or the panic it unwound with.
+pub(crate) enum JobResult<R> {
+    /// The job has not finished yet (or was never run).
+    None,
+    /// The closure returned normally.
+    Ok(R),
+    /// The closure panicked; the payload is re-thrown at the join point.
+    Panic(Box<dyn Any + Send>),
+}
+
+/// A job whose closure and result slot live on the stack of the thread that
+/// created it — the representation behind [`join`](crate::join) and the
+/// inject-and-wait entry path.
+///
+/// The owner pushes `as_job_ref()` somewhere, waits for `latch`, then calls
+/// [`StackJob::into_result`].  The latch being set is the happens-before
+/// edge that makes the result slot readable.
+pub(crate) struct StackJob<L: Latch, F, R>
+where
+    F: FnOnce() -> R,
+{
+    /// Set (by whoever executes the job) once `result` is written.
+    pub(crate) latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+impl<L: Latch, F, R> StackJob<L, F, R>
+where
+    F: FnOnce() -> R,
+{
+    pub(crate) fn new(func: F, latch: L) -> Self {
+        Self {
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::None),
+        }
+    }
+
+    /// Type-erased handle to this job.
+    ///
+    /// # Safety
+    /// The returned ref must be executed before `self` is dropped, and at
+    /// most once.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef::new(self)
+    }
+
+    /// Takes the result, re-throwing the closure's panic if it had one.
+    ///
+    /// Must only be called after the latch was observed set.
+    pub(crate) fn into_result(self) -> R {
+        match self.result.into_inner() {
+            JobResult::Ok(r) => r,
+            JobResult::Panic(p) => panic::resume_unwind(p),
+            JobResult::None => unreachable!("StackJob::into_result before execution"),
+        }
+    }
+}
+
+impl<L: Latch, F, R> Job for StackJob<L, F, R>
+where
+    F: FnOnce() -> R,
+{
+    unsafe fn execute(this: *const ()) {
+        let this = &*(this as *const Self);
+        let func = (*this.func.get()).take().expect("StackJob executed twice");
+        let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(r) => JobResult::Ok(r),
+            Err(payload) => JobResult::Panic(payload),
+        };
+        *this.result.get() = result;
+        // The set must be the final access: once the owner observes it, the
+        // job's stack frame may be popped.  Latch implementations guarantee
+        // `set` itself never touches latch memory after publishing.
+        this.latch.set();
+    }
+}
+
+/// A heap-allocated fire-and-forget job, used by `scope` spawns whose
+/// closures outlive the frame that spawned them.  Owns itself: `execute`
+/// reconstructs the `Box` and frees it.
+pub(crate) struct HeapJob<F>
+where
+    F: FnOnce(),
+{
+    func: F,
+}
+
+impl<F> HeapJob<F>
+where
+    F: FnOnce(),
+{
+    pub(crate) fn new(func: F) -> Box<Self> {
+        Box::new(Self { func })
+    }
+
+    /// Consumes the box into an erased ref; the job frees itself on
+    /// execution.
+    ///
+    /// # Safety
+    /// The returned ref must be executed exactly once, or the job leaks.
+    pub(crate) unsafe fn into_job_ref(self: Box<Self>) -> JobRef {
+        JobRef::new(Box::into_raw(self))
+    }
+}
+
+impl<F> Job for HeapJob<F>
+where
+    F: FnOnce(),
+{
+    unsafe fn execute(this: *const ()) {
+        let this = Box::from_raw(this as *mut Self);
+        (this.func)();
+    }
+}

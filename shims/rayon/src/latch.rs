@@ -1,0 +1,135 @@
+//! Completion signals between forked work and whoever waits on it.
+//!
+//! Three implementations for three waiting styles:
+//!
+//! * [`SpinLatch`] — probed by a **pool worker** that keeps stealing while
+//!   it waits (`join` with a stolen second half).  Setting it wakes the
+//!   pool's sleepers so a parked waiter notices promptly.
+//! * [`CountLatch`] — a [`SpinLatch`] with a counter, for `scope`: set once
+//!   per spawned job, "ready" when all of them (plus the scope body) are
+//!   done.
+//! * [`LockLatch`] — mutex + condvar, for **external threads** blocked on
+//!   the pool (`ThreadPool::install`, `join` called off-pool).  External
+//!   threads have no deque, so they block instead of stealing.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::registry::Registry;
+
+/// A one-shot "this work is done" flag.
+///
+/// Implementations must guarantee that `set` performs no access to the
+/// latch's memory after the point where a `probe` on another thread can
+/// return `true` — the prober may free the latch immediately (it lives in a
+/// [`StackJob`](crate::job::StackJob) on a stack frame that is about to be
+/// popped).
+pub(crate) trait Latch {
+    /// Has the latch been set?
+    fn probe(&self) -> bool;
+    /// Sets the latch, waking any waiter.
+    fn set(&self);
+}
+
+/// Latch probed by a stealing worker; setting it pokes the pool's sleep
+/// protocol so a parked prober wakes.
+pub(crate) struct SpinLatch {
+    flag: AtomicBool,
+    registry: Arc<Registry>,
+}
+
+impl SpinLatch {
+    pub(crate) fn new(registry: Arc<Registry>) -> Self {
+        Self {
+            flag: AtomicBool::new(false),
+            registry,
+        }
+    }
+}
+
+impl Latch for SpinLatch {
+    #[inline]
+    fn probe(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    fn set(&self) {
+        // Clone the registry handle BEFORE publishing: the instant the flag
+        // reads true, the prober may pop the stack frame holding this latch,
+        // so the wake-up must go through a reference we already own.
+        let registry = Arc::clone(&self.registry);
+        self.flag.store(true, Ordering::Release);
+        registry.wake_all();
+    }
+}
+
+/// Counting latch for `scope`: ready when the count returns to zero.
+pub(crate) struct CountLatch {
+    count: AtomicUsize,
+    registry: Arc<Registry>,
+}
+
+impl CountLatch {
+    /// Starts at 1: the scope body itself counts as one outstanding unit.
+    pub(crate) fn new(registry: Arc<Registry>) -> Self {
+        Self {
+            count: AtomicUsize::new(1),
+            registry,
+        }
+    }
+
+    pub(crate) fn increment(&self) {
+        self.count.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+impl Latch for CountLatch {
+    #[inline]
+    fn probe(&self) -> bool {
+        self.count.load(Ordering::SeqCst) == 0
+    }
+
+    fn set(&self) {
+        let registry = Arc::clone(&self.registry);
+        if self.count.fetch_sub(1, Ordering::SeqCst) == 1 {
+            registry.wake_all();
+        }
+    }
+}
+
+/// Blocking latch for threads outside the pool.
+pub(crate) struct LockLatch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        Self {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks the calling thread until the latch is set.
+    pub(crate) fn wait(&self) {
+        let mut done = self.done.lock().expect("LockLatch poisoned");
+        while !*done {
+            done = self.cv.wait(done).expect("LockLatch poisoned");
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn probe(&self) -> bool {
+        *self.done.lock().expect("LockLatch poisoned")
+    }
+
+    fn set(&self) {
+        let mut done = self.done.lock().expect("LockLatch poisoned");
+        *done = true;
+        // Notify while holding the lock: the waiter cannot observe `done`
+        // and free the latch between our store and the notify.
+        self.cv.notify_all();
+    }
+}

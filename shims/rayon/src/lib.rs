@@ -1,104 +1,67 @@
-//! Offline stand-in for [rayon](https://docs.rs/rayon).
+//! Offline stand-in for [rayon](https://docs.rs/rayon) with a real
+//! work-stealing fork-join pool.
 //!
 //! The build environment has no access to crates.io, so this in-repo shim
-//! provides the small rayon surface the workspace uses — [`join`],
+//! provides the rayon surface the workspace uses — [`join`], [`scope`],
 //! [`current_num_threads`], [`ThreadPoolBuilder`] / [`ThreadPool::install`]
-//! and the slice methods of [`prelude`] — with real parallelism:
+//! and the slice methods of [`prelude`] — implemented the way rayon itself
+//! is:
 //!
-//! * A *pool* is a token budget (`threads - 1` tokens).  [`join`] grabs a
-//!   token when one is available and runs its first closure on a scoped OS
-//!   thread, otherwise it degrades to sequential execution.  Recursive
-//!   fork-join code therefore keeps at most `threads` runnable threads
-//!   alive, mirroring rayon's behaviour closely enough for a correctness
-//!   and laptop-scale-performance reproduction.
-//! * The current pool propagates into spawned workers, so
-//!   [`ThreadPool::install`] bounds the parallelism of everything running
-//!   inside it (used by the scalability experiments).
+//! * Each pool worker owns a **Chase–Lev deque** (`src/deque.rs`): it pushes
+//!   and pops forked work LIFO at the bottom, while idle siblings steal
+//!   FIFO from the top.  External threads submit through a global
+//!   *injector* queue.
+//! * [`join`] pushes its second closure onto the local deque and runs the
+//!   first inline.  If the second half is still local afterwards it is
+//!   popped and run inline (so a 1-thread pool degenerates to plain
+//!   recursion); if a thief took it, the worker **steals other work while
+//!   waiting** instead of blocking the OS thread.
+//! * Idle workers **park** on an eventcount (mutex + condvar) and are
+//!   unparked by pushes and latch completions; a bounded park timeout
+//!   serves as a liveness backstop.
+//! * Panics propagate exactly like rayon's: a join waits for both halves
+//!   before unwinding, a scope waits for all spawned tasks, and the pool
+//!   survives (and is reusable after) any panic in user code.
 //!
-//! Swapping back to the real rayon is a one-line change in the workspace
-//! manifest; no source file mentions the shim by name.
+//! The worker count of the implicit global pool honours the
+//! **`RAYON_NUM_THREADS`** environment variable (a positive integer), else
+//! the number of available cores.  Swapping the real rayon back in is a
+//! one-line change in the workspace manifest; no source file mentions the
+//! shim by name.
 
-use std::cell::RefCell;
 use std::fmt;
-use std::sync::atomic::{AtomicIsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
 
+mod deque;
+mod job;
+mod latch;
 pub mod prelude;
+mod registry;
+mod scope;
 
-struct PoolInner {
-    threads: usize,
-    /// Tokens for *extra* concurrent workers (threads - 1).
-    tokens: AtomicIsize,
-}
+pub use scope::{scope, Scope};
 
-impl PoolInner {
-    fn new(threads: usize) -> Arc<Self> {
-        let threads = threads.max(1);
-        Arc::new(PoolInner {
-            threads,
-            tokens: AtomicIsize::new(threads as isize - 1),
-        })
-    }
+use job::StackJob;
+use latch::{Latch, SpinLatch};
+use registry::{current_registry, Registry, WorkerThread};
 
-    fn try_acquire(&self) -> bool {
-        let mut cur = self.tokens.load(Ordering::Relaxed);
-        while cur > 0 {
-            match self.tokens.compare_exchange_weak(
-                cur,
-                cur - 1,
-                Ordering::Acquire,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return true,
-                Err(c) => cur = c,
-            }
-        }
-        false
-    }
-
-    fn release(&self) {
-        self.tokens.fetch_add(1, Ordering::Release);
-    }
-}
-
-/// Releases a pool token when dropped, even if the worker panics.
-struct Token<'p>(&'p PoolInner);
-
-impl Drop for Token<'_> {
-    fn drop(&mut self) {
-        self.0.release();
-    }
-}
-
-thread_local! {
-    static CURRENT_POOL: RefCell<Option<Arc<PoolInner>>> = const { RefCell::new(None) };
-}
-
-static GLOBAL_POOL: OnceLock<Arc<PoolInner>> = OnceLock::new();
-
-fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-fn current_pool() -> Arc<PoolInner> {
-    CURRENT_POOL
-        .with(|c| c.borrow().clone())
-        .unwrap_or_else(|| {
-            Arc::clone(GLOBAL_POOL.get_or_init(|| PoolInner::new(default_threads())))
-        })
-}
-
-/// Number of worker threads of the current (installed or global) pool.
+/// Number of worker threads of the current pool: the pool this thread
+/// belongs to when called on a pool worker (e.g. inside
+/// [`ThreadPool::install`]), else the global pool (creating it on first
+/// use).
 pub fn current_num_threads() -> usize {
-    current_pool().threads
+    current_registry().num_threads()
 }
 
 /// Runs both closures, potentially in parallel, and returns both results.
 ///
-/// Exactly rayon's contract: `a` may run on another thread while `b` runs on
-/// the current one; panics are propagated after both complete.
+/// Rayon's exact contract: `b` is made available for other workers to
+/// steal while `a` runs on the current thread.  If nobody stole `b`, it
+/// runs here too (LIFO pop), so the sequential fallback is ordinary
+/// recursion.  If either closure panics, the panic is re-thrown only after
+/// **both** have come to a halt — required because the closures may borrow
+/// from the caller's stack frame.  When both panic, `a`'s payload wins.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -106,23 +69,62 @@ where
     RA: Send,
     RB: Send,
 {
-    let pool = current_pool();
-    if !pool.try_acquire() {
-        return (a(), b());
+    let worker = WorkerThread::current();
+    if worker.is_null() {
+        // Off-pool: move the whole join onto a pool worker and block.
+        return current_registry().in_worker(move |_| join(a, b));
     }
-    let worker_pool = Arc::clone(&pool);
-    std::thread::scope(move |s| {
-        let handle = s.spawn(move || {
-            CURRENT_POOL.with(|c| *c.borrow_mut() = Some(Arc::clone(&worker_pool)));
-            let _token = Token(&worker_pool);
-            a()
-        });
-        let rb = b();
-        match handle.join() {
-            Ok(ra) => (ra, rb),
-            Err(payload) => std::panic::resume_unwind(payload),
+    // SAFETY: `worker` points into the live stack frame of this thread's
+    // worker main loop.
+    join_on_worker(unsafe { &*worker }, a, b)
+}
+
+fn join_on_worker<A, B, RA, RB>(worker: &WorkerThread, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(b, SpinLatch::new(Arc::clone(&worker.registry)));
+    // SAFETY: this frame outlives the job — we do not return (or unwind)
+    // before the latch confirms execution.
+    let job_b_ref = unsafe { job_b.as_job_ref() };
+    worker.push(job_b_ref);
+
+    let result_a = panic::catch_unwind(AssertUnwindSafe(a));
+
+    // Wait for b: pop local work (running b inline if we get to it before
+    // any thief), and once the deque is exhausted, steal elsewhere until
+    // b's latch trips.
+    while !job_b.latch.probe() {
+        match worker.take_local_job() {
+            Some(job) => {
+                // LIFO order: anything above b in the deque was pushed
+                // during `a` (e.g. scope spawns) and is safe to run here.
+                let was_b = job.same_job(&job_b_ref);
+                unsafe { job.execute() };
+                if was_b {
+                    break;
+                }
+            }
+            None => {
+                worker.wait_until(&job_b.latch);
+                break;
+            }
         }
-    })
+    }
+
+    match result_a {
+        Ok(ra) => (ra, job_b.into_result()),
+        Err(payload) => {
+            // `a` panicked; `b` has completed (we waited), so unwinding
+            // past the shared frame is now safe.  If b also panicked, its
+            // payload is dropped — a's came first.
+            drop(job_b);
+            panic::resume_unwind(payload)
+        }
+    }
 }
 
 /// Builder for a [`ThreadPool`] (or the global pool).
@@ -136,7 +138,8 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Sets the worker count; `0` means "all available cores".
+    /// Sets the worker count; `0` means "all available cores" (or
+    /// `RAYON_NUM_THREADS` when set).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
@@ -144,56 +147,69 @@ impl ThreadPoolBuilder {
 
     fn resolved_threads(&self) -> usize {
         if self.num_threads == 0 {
-            default_threads()
+            registry::default_num_threads()
         } else {
             self.num_threads
         }
     }
 
+    /// Builds a dedicated pool with its own worker threads.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         Ok(ThreadPool {
-            inner: PoolInner::new(self.resolved_threads()),
+            registry: Registry::new(self.resolved_threads()),
         })
     }
 
     /// Installs the pool globally.  Fails if the global pool was already
     /// initialized (first parallel call or an earlier `build_global`).
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
-        let pool = PoolInner::new(self.resolved_threads());
-        GLOBAL_POOL
-            .set(pool)
-            .map_err(|_| ThreadPoolBuildError::GlobalPoolAlreadyInitialized)
+        let registry = Registry::new(self.resolved_threads());
+        registry::set_global_registry(registry).map_err(|rejected| {
+            // The freshly built pool lost the race; shut its workers down.
+            rejected.terminate_and_join();
+            ThreadPoolBuildError::GlobalPoolAlreadyInitialized
+        })
     }
 }
 
-/// A bounded-parallelism scope; see [`ThreadPool::install`].
+/// A dedicated work-stealing pool; see [`ThreadPool::install`].
+///
+/// Dropping the pool shuts its workers down (it must be quiescent: every
+/// `install` has returned).
 pub struct ThreadPool {
-    inner: Arc<PoolInner>,
+    registry: Arc<Registry>,
 }
 
 impl ThreadPool {
-    /// Runs `op` with this pool as the ambient pool: all [`join`] calls
-    /// (transitively) respect this pool's thread budget.
+    /// Runs `op` on a worker of this pool and returns its result: all
+    /// [`join`]/[`scope`] calls inside run on this pool's workers and
+    /// therefore respect its thread budget.  Nested `install` on the same
+    /// pool runs inline.
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R + Send,
         R: Send,
     {
-        let inner = Arc::clone(&self.inner);
-        std::thread::scope(move |s| {
-            let handle = s.spawn(move || {
-                CURRENT_POOL.with(|c| *c.borrow_mut() = Some(inner));
-                op()
-            });
-            match handle.join() {
-                Ok(r) => r,
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        })
+        self.registry.in_worker(|_| op())
     }
 
+    /// Number of worker threads of this pool.
     pub fn current_num_threads(&self) -> usize {
-        self.inner.threads
+        self.registry.num_threads()
+    }
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.registry.num_threads())
+            .finish()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate_and_join();
     }
 }
 
@@ -217,7 +233,7 @@ impl std::error::Error for ThreadPoolBuildError {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn join_returns_both_results() {
@@ -242,8 +258,7 @@ mod tests {
     }
 
     #[test]
-    fn join_actually_runs_concurrently_when_tokens_allow() {
-        // With >= 2 threads the two sides can overlap; verify both run.
+    fn join_actually_runs_both_closures() {
         let hits = AtomicUsize::new(0);
         join(
             || hits.fetch_add(1, Ordering::SeqCst),
@@ -264,5 +279,18 @@ mod tests {
     #[should_panic(expected = "boom")]
     fn join_propagates_panics() {
         join(|| panic!("boom"), || ());
+    }
+
+    #[test]
+    fn scope_spawns_run_before_scope_returns() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 64);
     }
 }

@@ -1,6 +1,13 @@
 //! The slice-parallelism subset of `rayon::prelude` used by the workspace:
 //! `par_chunks_mut(..).enumerate().for_each(..)`, `par_sort_by` and
 //! `par_sort_unstable_by`.
+//!
+//! `par_sort_by` is a fully parallel merge sort on top of the
+//! work-stealing [`join`](crate::join): both the recursive *sorting* and
+//! the *merging* fork, giving `O(n log n)` work and `O(log³ n)` span —
+//! a sequential merge would cap the speedup at the top-level `O(n)` merge
+//! pass.  Halves ping-pong between the data slice and one scratch buffer,
+//! so each level moves every element exactly once.
 
 use std::cmp::Ordering;
 
@@ -12,17 +19,17 @@ pub trait ParallelSliceMut<T> {
     where
         T: Send;
 
-    /// Stable parallel sort (parallel merge sort).
+    /// Stable parallel sort (parallel merge sort with parallel merges).
     fn par_sort_by<F>(&mut self, cmp: F)
     where
-        T: Copy + Send,
+        T: Copy + Send + Sync,
         F: Fn(&T, &T) -> Ordering + Sync;
 
     /// Unstable parallel sort.  Implemented with the same parallel merge
     /// sort (a stable sort is a valid unstable sort).
     fn par_sort_unstable_by<F>(&mut self, cmp: F)
     where
-        T: Copy + Send,
+        T: Copy + Send + Sync,
         F: Fn(&T, &T) -> Ordering + Sync;
 }
 
@@ -38,7 +45,7 @@ impl<T> ParallelSliceMut<T> for [T] {
 
     fn par_sort_by<F>(&mut self, cmp: F)
     where
-        T: Copy + Send,
+        T: Copy + Send + Sync,
         F: Fn(&T, &T) -> Ordering + Sync,
     {
         par_merge_sort(self, &cmp);
@@ -46,44 +53,131 @@ impl<T> ParallelSliceMut<T> for [T] {
 
     fn par_sort_unstable_by<F>(&mut self, cmp: F)
     where
-        T: Copy + Send,
+        T: Copy + Send + Sync,
         F: Fn(&T, &T) -> Ordering + Sync,
     {
         par_merge_sort(self, &cmp);
     }
 }
 
-const SORT_GRAIN: usize = 8192;
+/// Below this length a slice is sorted sequentially.
+const SORT_GRAIN: usize = 4096;
+/// Below this combined length two runs are merged sequentially.
+const MERGE_GRAIN: usize = 8192;
 
 fn par_merge_sort<T, F>(data: &mut [T], cmp: &F)
 where
-    T: Copy + Send,
+    T: Copy + Send + Sync,
     F: Fn(&T, &T) -> Ordering + Sync,
 {
     if data.len() <= SORT_GRAIN {
         data.sort_by(|a, b| cmp(a, b));
         return;
     }
-    let mid = data.len() / 2;
-    {
-        let (lo, hi) = data.split_at_mut(mid);
-        crate::join(|| par_merge_sort(lo, cmp), || par_merge_sort(hi, cmp));
-    }
-    // Stable merge of the two sorted halves through a temporary buffer.
-    let mut tmp = Vec::with_capacity(data.len());
-    let (mut i, mut j) = (0, mid);
-    while i < mid && j < data.len() {
-        if cmp(&data[j], &data[i]) == Ordering::Less {
-            tmp.push(data[j]);
-            j += 1;
-        } else {
-            tmp.push(data[i]);
-            i += 1;
+    let mut scratch = data.to_vec();
+    sort_to(data, &mut scratch, cmp, false);
+}
+
+/// Sorts `src`; the result lands in `dst` when `into_dst`, else in `src`.
+/// The other slice is clobbered.  Parity alternates down the recursion so
+/// the final merge writes directly where the result belongs.
+fn sort_to<T, F>(src: &mut [T], dst: &mut [T], cmp: &F, into_dst: bool)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    debug_assert_eq!(src.len(), dst.len());
+    if src.len() <= SORT_GRAIN {
+        src.sort_by(|a, b| cmp(a, b));
+        if into_dst {
+            dst.copy_from_slice(src);
         }
+        return;
     }
-    tmp.extend_from_slice(&data[i..mid]);
-    tmp.extend_from_slice(&data[j..]);
-    data.copy_from_slice(&tmp);
+    let mid = src.len() / 2;
+    let (src_lo, src_hi) = src.split_at_mut(mid);
+    let (dst_lo, dst_hi) = dst.split_at_mut(mid);
+    crate::join(
+        || sort_to(src_lo, dst_lo, cmp, !into_dst),
+        || sort_to(src_hi, dst_hi, cmp, !into_dst),
+    );
+    // The children left their sorted halves in the *other* array; merge
+    // them into the one the result belongs in.
+    if into_dst {
+        par_merge(src_lo, src_hi, dst, cmp);
+    } else {
+        par_merge(dst_lo, dst_hi, src, cmp);
+    }
+}
+
+/// Stable parallel merge of sorted `a` and `b` into `out`
+/// (`out.len() == a.len() + b.len()`): split `a` at its midpoint, binary
+/// search the split key in `b`, and recurse on the two independent halves.
+/// On ties, elements of `a` precede elements of `b`.
+fn par_merge<T, F>(a: &[T], b: &[T], out: &mut [T], cmp: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    if a.len() + b.len() <= MERGE_GRAIN {
+        seq_merge(a, b, out, cmp);
+        return;
+    }
+    // Split the longer run at its midpoint for balanced recursion.
+    let (a, b, a_first) = if a.len() >= b.len() {
+        (a, b, true)
+    } else {
+        (b, a, false)
+    };
+    let ia = a.len() / 2;
+    let pivot = &a[ia];
+    // Stability: when `a` is really the first run, equal keys of `b` must
+    // come after the pivot (strictly-less partition); when the runs are
+    // swapped, equal keys of `b` (the true first run) must come before it.
+    let ib = if a_first {
+        b.partition_point(|x| cmp(x, pivot) == Ordering::Less)
+    } else {
+        b.partition_point(|x| cmp(x, pivot) != Ordering::Greater)
+    };
+    let (out_lo, out_hi) = out.split_at_mut(ia + ib);
+    let (a_lo, a_hi) = a.split_at(ia);
+    let (b_lo, b_hi) = b.split_at(ib);
+    crate::join(
+        || {
+            if a_first {
+                par_merge(a_lo, b_lo, out_lo, cmp)
+            } else {
+                par_merge(b_lo, a_lo, out_lo, cmp)
+            }
+        },
+        || {
+            if a_first {
+                par_merge(a_hi, b_hi, out_hi, cmp)
+            } else {
+                par_merge(b_hi, a_hi, out_hi, cmp)
+            }
+        },
+    );
+}
+
+/// Sequential stable merge: on ties, `a`'s element first.
+fn seq_merge<T, F>(a: &[T], b: &[T], out: &mut [T], cmp: &F)
+where
+    T: Copy,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        *slot = if i < a.len() && (j >= b.len() || cmp(&b[j], &a[i]) != Ordering::Less) {
+            i += 1;
+            a[i - 1]
+        } else {
+            j += 1;
+            b[j - 1]
+        };
+    }
+    debug_assert!(i == a.len() && j == b.len());
 }
 
 /// Lazy parallel iterator over disjoint mutable chunks.
@@ -120,6 +214,7 @@ impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
     }
 }
 
+/// Binary fork-join fan-out over a vector of work items.
 fn run_items<I, F>(mut items: Vec<I>, f: &F)
 where
     I: Send,
@@ -165,5 +260,36 @@ mod tests {
         let mut b = input;
         b.par_sort_unstable_by(|x, y| x.0.cmp(&y.0));
         assert!(b.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn par_sort_is_stable_across_merge_splits() {
+        // Few distinct keys and a large n force ties to straddle every
+        // parallel-merge split point.
+        let input: Vec<(u8, u32)> = (0..200_000u32).map(|i| ((i % 3) as u8, i)).collect();
+        let mut got = input.clone();
+        got.par_sort_by(|x, y| x.0.cmp(&y.0));
+        let mut want = input;
+        want.sort_by_key(|r| r.0);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_sort_handles_tiny_and_presorted() {
+        let mut empty: Vec<u32> = vec![];
+        empty.par_sort_by(|a, b| a.cmp(b));
+        assert!(empty.is_empty());
+
+        let mut one = vec![7u32];
+        one.par_sort_by(|a, b| a.cmp(b));
+        assert_eq!(one, vec![7]);
+
+        let mut sorted: Vec<u32> = (0..100_000).collect();
+        sorted.par_sort_by(|a, b| a.cmp(b));
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+
+        let mut reversed: Vec<u32> = (0..100_000).rev().collect();
+        reversed.par_sort_by(|a, b| a.cmp(b));
+        assert!(reversed.windows(2).all(|w| w[0] <= w[1]));
     }
 }

@@ -1,0 +1,429 @@
+//! The thread pool itself: worker threads, their deques, the global
+//! injector, and the park/unpark protocol.
+//!
+//! # Structure
+//!
+//! A [`Registry`] owns `num_threads` OS worker threads.  Each worker has a
+//! Chase–Lev deque ([`crate::deque`]); everyone can steal from everyone via
+//! the shared [`Stealer`] array.  Threads **outside** the pool submit work
+//! through the *injector*, a mutex-protected FIFO, and block on a
+//! [`LockLatch`] until it completes ([`Registry::in_worker`]).
+//!
+//! # Finding work
+//!
+//! A worker looks for work in priority order: its own deque (LIFO), the
+//! injector, then stealing from siblings starting at a random victim.  A
+//! worker that finds nothing parks on the [`Sleep`] eventcount; every push
+//! (deque or injector) and every latch set wakes sleepers when any are
+//! registered.  Parks use a bounded timeout as a liveness backstop: a push
+//! racing a sleeper's registration may skip the wakeup, costing at most
+//! one park-timeout of latency, never a stranded job.
+//!
+//! # Waiting without blocking
+//!
+//! A worker whose `join` lost its second half to a thief must not block the
+//! OS thread — it *becomes* a thief itself ([`WorkerThread::wait_until`]),
+//! executing other jobs until its latch trips.  This is what makes the pool
+//! a real fork-join scheduler rather than a thread-per-task scheme.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::deque::{deque, Steal, Stealer, WorkerDeque};
+use crate::job::{JobRef, StackJob};
+use crate::latch::{Latch, LockLatch};
+
+/// How many times a waiter yields before parking on the eventcount.
+const YIELDS_BEFORE_SLEEP: u32 = 32;
+/// Park timeout: pure liveness backstop against weak-memory corner cases,
+/// not the wake mechanism — long enough that idle pools are effectively
+/// silent (~10 wakeups/s per worker), short enough to bound any stall.
+const PARK_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// An eventcount.  A sleeper (1) snapshots the epoch, (2) **registers**
+/// itself, (3) re-checks for work one final time, and only then (4) parks
+/// while the epoch is unchanged.  A waker makes its work visible, then
+/// skips entirely when no sleeper is registered — safe because the
+/// register (a SeqCst RMW) precedes the sleeper's final work re-check: if
+/// the waker missed the registration, the sleeper's re-check is ordered
+/// after the push and finds the work itself.
+pub(crate) struct Sleep {
+    epoch: AtomicUsize,
+    sleepers: AtomicUsize,
+    mutex: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Sleep {
+    fn new() -> Self {
+        Self {
+            epoch: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            mutex: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Step 1: snapshot the epoch.
+    fn prepare(&self) -> usize {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Step 2: announce intent to sleep.  Must be followed by one more
+    /// work re-check, then either [`Sleep::sleep`] or [`Sleep::cancel`].
+    fn register(&self) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Withdraws a registration because the final re-check found work.
+    fn cancel(&self) {
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Step 4: parks until the epoch moves past `epoch` (or the backstop
+    /// timeout).  Consumes the registration.
+    fn sleep(&self, epoch: usize) {
+        let mut guard = self.mutex.lock().expect("sleep mutex poisoned");
+        while self.epoch.load(Ordering::SeqCst) == epoch {
+            let (g, timeout) = self
+                .cv
+                .wait_timeout(guard, PARK_TIMEOUT)
+                .expect("sleep mutex poisoned");
+            guard = g;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        drop(guard);
+        self.cancel();
+    }
+
+    /// Publishes "new work exists" and wakes all sleepers.
+    ///
+    /// Fast path: with no registered sleeper this is a single load — no
+    /// RMW, no lock — so the per-`join` cost on a busy pool is negligible.
+    /// See the type docs for why skipping is race-free.
+    fn notify_all(&self) {
+        if self.sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        // Taking the mutex orders us against a sleeper between its epoch
+        // re-check and its wait.
+        drop(self.mutex.lock().expect("sleep mutex poisoned"));
+        self.cv.notify_all();
+    }
+}
+
+/// Shared state of one thread pool.
+pub(crate) struct Registry {
+    num_threads: usize,
+    stealers: Vec<Stealer>,
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Lock-free emptiness hint for the injector.
+    injector_len: AtomicUsize,
+    sleep: Sleep,
+    terminating: AtomicBool,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Registry {
+    /// Builds a pool with `num_threads` workers (min 1) and starts them.
+    pub(crate) fn new(num_threads: usize) -> Arc<Registry> {
+        let num_threads = num_threads.max(1);
+        let (workers, stealers): (Vec<WorkerDeque>, Vec<Stealer>) =
+            (0..num_threads).map(|_| deque()).unzip();
+        let registry = Arc::new(Registry {
+            num_threads,
+            stealers,
+            injector: Mutex::new(VecDeque::new()),
+            injector_len: AtomicUsize::new(0),
+            sleep: Sleep::new(),
+            terminating: AtomicBool::new(false),
+            handles: Mutex::new(Vec::with_capacity(num_threads)),
+        });
+        let mut handles = registry.handles.lock().expect("handles poisoned");
+        for (index, worker_deque) in workers.into_iter().enumerate() {
+            let registry = Arc::clone(&registry);
+            let handle = std::thread::Builder::new()
+                .name(format!("dtsort-worker-{index}"))
+                .spawn(move || worker_main(registry, index, worker_deque))
+                .expect("failed to spawn pool worker thread");
+            handles.push(handle);
+        }
+        drop(handles);
+        registry
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Wakes every parked worker (new work or a latch tripped).
+    pub(crate) fn wake_all(&self) {
+        self.sleep.notify_all();
+    }
+
+    /// Queues a job from outside the pool (or for pool-wide fan-out).
+    pub(crate) fn inject(&self, job: JobRef) {
+        {
+            let mut q = self.injector.lock().expect("injector poisoned");
+            q.push_back(job);
+            self.injector_len.fetch_add(1, Ordering::SeqCst);
+        }
+        self.sleep.notify_all();
+    }
+
+    fn pop_injected(&self) -> Option<JobRef> {
+        if self.injector_len.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let mut q = self.injector.lock().expect("injector poisoned");
+        let job = q.pop_front();
+        if job.is_some() {
+            self.injector_len.fetch_sub(1, Ordering::SeqCst);
+        }
+        job
+    }
+
+    /// Runs `op` on a worker of **this** pool and returns its result.
+    ///
+    /// If the current thread already is such a worker, runs inline.
+    /// Otherwise injects a stack job and blocks the calling thread on a
+    /// [`LockLatch`] — this is the bridge every external entry point
+    /// (`install`, off-pool `join`/`scope`) goes through.
+    pub(crate) fn in_worker<OP, R>(self: &Arc<Self>, op: OP) -> R
+    where
+        OP: FnOnce(&WorkerThread) -> R + Send,
+        R: Send,
+    {
+        unsafe {
+            let worker = WorkerThread::current();
+            if !worker.is_null() && Arc::ptr_eq(&(*worker).registry, self) {
+                return op(&*worker);
+            }
+            let job = StackJob::new(
+                || {
+                    let worker = WorkerThread::current();
+                    debug_assert!(!worker.is_null(), "injected job ran off-pool");
+                    // Deref covered by the enclosing unsafe block: an
+                    // injected job only ever runs on a pool worker.
+                    op(&*worker)
+                },
+                LockLatch::new(),
+            );
+            self.inject(job.as_job_ref());
+            job.latch.wait();
+            job.into_result()
+        }
+    }
+
+    /// Asks workers to exit once the pool is quiescent.
+    fn terminate(&self) {
+        self.terminating.store(true, Ordering::SeqCst);
+        self.sleep.notify_all();
+    }
+
+    /// Terminates and joins all workers.  Called from `ThreadPool::drop`;
+    /// must not run on a worker of this pool.
+    pub(crate) fn terminate_and_join(&self) {
+        self.terminate();
+        let handles = std::mem::take(&mut *self.handles.lock().expect("handles poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+thread_local! {
+    /// Points at the `WorkerThread` living on this thread's stack, while a
+    /// worker main loop is running; null on non-pool threads.
+    static WORKER: Cell<*const WorkerThread> = const { Cell::new(ptr::null()) };
+}
+
+/// Per-worker state, allocated on the worker thread's own stack.
+pub(crate) struct WorkerThread {
+    pub(crate) registry: Arc<Registry>,
+    index: usize,
+    deque: WorkerDeque,
+    /// xorshift state for random victim selection.
+    rng: Cell<u64>,
+}
+
+impl WorkerThread {
+    /// The current thread's worker state, or null off-pool.
+    #[inline]
+    pub(crate) fn current() -> *const WorkerThread {
+        WORKER.with(Cell::get)
+    }
+
+    /// Pushes a locally forked job and advertises it to sleeping siblings.
+    #[inline]
+    pub(crate) fn push(&self, job: JobRef) {
+        self.deque.push(job);
+        self.registry.wake_all();
+    }
+
+    /// Pops the most recently pushed local job, if any.
+    #[inline]
+    pub(crate) fn take_local_job(&self) -> Option<JobRef> {
+        self.deque.pop()
+    }
+
+    fn next_rand(&self) -> u64 {
+        let mut x = self.rng.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.set(x);
+        x
+    }
+
+    /// One full work-finding round: local deque, injector, then stealing.
+    fn find_work(&self) -> Option<JobRef> {
+        if let Some(job) = self.deque.pop() {
+            return Some(job);
+        }
+        if let Some(job) = self.registry.pop_injected() {
+            return Some(job);
+        }
+        self.steal()
+    }
+
+    /// Sweeps the other workers' deques starting at a random victim,
+    /// retrying as long as some victim reports a lost race.
+    fn steal(&self) -> Option<JobRef> {
+        let stealers = &self.registry.stealers;
+        let n = stealers.len();
+        if n <= 1 {
+            return None;
+        }
+        loop {
+            let start = (self.next_rand() % n as u64) as usize;
+            let mut contended = false;
+            for k in 0..n {
+                let victim = (start + k) % n;
+                if victim == self.index {
+                    continue;
+                }
+                match stealers[victim].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Retry => contended = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !contended {
+                return None;
+            }
+        }
+    }
+
+    /// Keeps this worker busy until `latch` trips: executes local jobs,
+    /// injected jobs and stolen jobs; parks (with the eventcount) only when
+    /// there is nothing to do anywhere.
+    pub(crate) fn wait_until<L: Latch>(&self, latch: &L) {
+        let mut yields = 0u32;
+        while !latch.probe() {
+            if let Some(job) = self.find_work() {
+                unsafe { job.execute() };
+                yields = 0;
+                continue;
+            }
+            if yields < YIELDS_BEFORE_SLEEP {
+                yields += 1;
+                std::thread::yield_now();
+                continue;
+            }
+            let epoch = self.registry.sleep.prepare();
+            self.registry.sleep.register();
+            if latch.probe() {
+                self.registry.sleep.cancel();
+                return;
+            }
+            if let Some(job) = self.find_work() {
+                self.registry.sleep.cancel();
+                unsafe { job.execute() };
+                yields = 0;
+                continue;
+            }
+            self.registry.sleep.sleep(epoch);
+        }
+    }
+}
+
+/// Body of every pool worker thread.
+fn worker_main(registry: Arc<Registry>, index: usize, deque: WorkerDeque) {
+    let worker = WorkerThread {
+        registry: Arc::clone(&registry),
+        index,
+        deque,
+        rng: Cell::new(
+            0x9E37_79B9_7F4A_7C15 ^ (index as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+        ),
+    };
+    WORKER.with(|w| w.set(&worker));
+    loop {
+        if let Some(job) = worker.find_work() {
+            unsafe { job.execute() };
+            continue;
+        }
+        if registry.terminating.load(Ordering::SeqCst) {
+            break;
+        }
+        let epoch = registry.sleep.prepare();
+        registry.sleep.register();
+        if let Some(job) = worker.find_work() {
+            registry.sleep.cancel();
+            unsafe { job.execute() };
+            continue;
+        }
+        if registry.terminating.load(Ordering::SeqCst) {
+            registry.sleep.cancel();
+            break;
+        }
+        registry.sleep.sleep(epoch);
+    }
+    WORKER.with(|w| w.set(ptr::null()));
+}
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// Worker count for the global pool: `RAYON_NUM_THREADS` if set and
+/// positive, else the number of available cores.
+pub(crate) fn default_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The global pool, built on first use.
+pub(crate) fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| Registry::new(default_num_threads()))
+}
+
+/// Installs `registry` as the global pool; fails if one already exists.
+pub(crate) fn set_global_registry(registry: Arc<Registry>) -> Result<(), Arc<Registry>> {
+    GLOBAL.set(registry)
+}
+
+/// The registry the current thread belongs to: its own pool's on a worker,
+/// the global one elsewhere.
+pub(crate) fn current_registry() -> Arc<Registry> {
+    let worker = WorkerThread::current();
+    if worker.is_null() {
+        Arc::clone(global_registry())
+    } else {
+        unsafe { Arc::clone(&(*worker).registry) }
+    }
+}

@@ -1,0 +1,160 @@
+//! Structured fork-join scopes: spawn any number of tasks that may borrow
+//! from the enclosing stack frame; the scope does not return until all of
+//! them finished.
+//!
+//! `scope` moves the calling thread onto a pool worker (injecting if called
+//! off-pool), runs the body, then *steals while waiting* for the spawn
+//! counter to return to zero — the same non-blocking wait as `join`.
+//! Panics (from the body or any spawned task) are deferred until every task
+//! has completed, then the first one is resumed; this keeps borrowed stack
+//! data alive for exactly as long as tasks may touch it.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
+
+use crate::job::HeapJob;
+use crate::latch::{CountLatch, Latch};
+use crate::registry::{current_registry, Registry, WorkerThread};
+
+/// The kind of closure a scope accepts; used only as a variance marker.
+type ScopeBody<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+/// A fork-join scope handed to the closure of [`scope`]; lets it spawn
+/// tasks that borrow anything outliving `'scope`.
+pub struct Scope<'scope> {
+    registry: Arc<Registry>,
+    /// Outstanding units: the body itself plus every live spawn.
+    pending: CountLatch,
+    /// First panic from a spawned task, if any (the body's own panic is
+    /// handled separately and wins).
+    panic: AtomicPtr<Box<dyn Any + Send + 'static>>,
+    /// Invariant over `'scope`: spawned closures may borrow from the frame
+    /// that created the scope.
+    marker: PhantomData<ScopeBody<'scope>>,
+}
+
+/// Creates a scope on the current (or global) pool and runs `op` in it.
+///
+/// Every task spawned via [`Scope::spawn`] is guaranteed to have finished
+/// when `scope` returns, which is what makes the `'scope` borrows sound.
+///
+/// ```
+/// let mut parts = [0usize; 3];
+/// let (a, rest) = parts.split_at_mut(1);
+/// let (b, c) = rest.split_at_mut(1);
+/// rayon::scope(|s| {
+///     s.spawn(|_| a[0] = 1);
+///     s.spawn(|_| b[0] = 2);
+///     s.spawn(|_| c[0] = 3);
+/// });
+/// assert_eq!(parts, [1, 2, 3]);
+/// ```
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let registry = current_registry();
+    registry.in_worker(|worker| {
+        let scope = Scope {
+            registry: Arc::clone(&worker.registry),
+            pending: CountLatch::new(Arc::clone(&worker.registry)),
+            panic: AtomicPtr::new(std::ptr::null_mut()),
+            marker: PhantomData,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+        // The body is done (one way or the other): drop its unit and wait —
+        // stealing, not blocking — for the spawned tasks.
+        scope.pending.set();
+        worker.wait_until(&scope.pending);
+        match result {
+            Ok(r) => {
+                scope.maybe_propagate_panic();
+                r
+            }
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    })
+}
+
+/// `Send`-able raw pointer to a scope; the scope is guaranteed alive until
+/// its pending count reaches zero, which every spawned job decrements only
+/// as its last action.
+struct ScopePtr(*const ());
+
+// SAFETY: see above — lifetime is protected by the pending counter.
+unsafe impl Send for ScopePtr {}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `body` into the scope; it may run on any pool worker, at any
+    /// time before `scope` returns.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.increment();
+        let scope_ptr = ScopePtr(self as *const Scope<'scope> as *const ());
+        let job = HeapJob::new(move || {
+            // SAFETY: the pending counter keeps the scope alive; we only
+            // decrement it (below) after the last use of `scope`.
+            let scope = unsafe { &*(scope_ptr.0 as *const Scope<'scope>) };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(scope))) {
+                scope.store_panic(payload);
+            }
+            scope.pending.set();
+        });
+        // SAFETY: HeapJob owns itself; executed exactly once by the pool.
+        // The 'scope lifetime is erased here and re-established by the
+        // wait in `scope` before the borrowed frame is popped.
+        let job_ref = unsafe { job.into_job_ref() };
+        let worker = WorkerThread::current();
+        unsafe {
+            if !worker.is_null() && Arc::ptr_eq(&(*worker).registry, &self.registry) {
+                (*worker).push(job_ref);
+            } else {
+                self.registry.inject(job_ref);
+            }
+        }
+    }
+
+    /// Records the first spawned-task panic; later ones are dropped (they
+    /// cannot all be rethrown).
+    fn store_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+        let boxed = Box::into_raw(Box::new(payload));
+        if self
+            .panic
+            .compare_exchange(
+                std::ptr::null_mut(),
+                boxed,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_err()
+        {
+            // Someone else already stored a panic; free ours.
+            drop(unsafe { Box::from_raw(boxed) });
+        }
+    }
+
+    fn maybe_propagate_panic(&self) {
+        let ptr = self.panic.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if !ptr.is_null() {
+            let payload = *unsafe { Box::from_raw(ptr) };
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Scope<'_> {
+    fn drop(&mut self) {
+        // If the scope unwound via the body's panic, a spawned-task panic
+        // may still be parked here; free it.
+        let ptr = self.panic.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if !ptr.is_null() {
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+    }
+}

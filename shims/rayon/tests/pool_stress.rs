@@ -1,0 +1,246 @@
+//! Stress and property tests for the work-stealing pool: deep nesting,
+//! panic propagation and recovery, nested `install`, and a property test
+//! that random fork-join trees compute thread-count-independent results.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+use rayon::{current_num_threads, join, scope, ThreadPoolBuilder};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Perfect binary fork-join tree of the given depth; every leaf increments
+/// the counter once and contributes its path index to the sum.
+fn fork_tree(depth: u32, path: u64, leaves: &AtomicUsize) -> u64 {
+    if depth == 0 {
+        leaves.fetch_add(1, Ordering::Relaxed);
+        return path;
+    }
+    let (l, r) = join(
+        || fork_tree(depth - 1, path * 2, leaves),
+        || fork_tree(depth - 1, path * 2 + 1, leaves),
+    );
+    l.wrapping_add(r)
+}
+
+#[test]
+fn nested_join_depth_16() {
+    // 2^16 leaves; the sum over all leaf paths of a perfect tree of depth d
+    // is sum(0..2^d) = 2^d * (2^d - 1) / 2.
+    let depth = 16u32;
+    let leaves = AtomicUsize::new(0);
+    let sum = fork_tree(depth, 0, &leaves);
+    let n = 1u64 << depth;
+    assert_eq!(leaves.load(Ordering::Relaxed), n as usize);
+    assert_eq!(sum, n * (n - 1) / 2);
+}
+
+#[test]
+fn nested_join_depth_16_on_small_pool() {
+    // The same tree on a 2-worker pool: exercises steal-while-waiting hard
+    // (every level can lose its second half to the other worker).
+    let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    let depth = 16u32;
+    let leaves = AtomicUsize::new(0);
+    let n = 1u64 << depth;
+    let sum = pool.install(|| fork_tree(depth, 0, &leaves));
+    assert_eq!(leaves.load(Ordering::Relaxed), n as usize);
+    assert_eq!(sum, n * (n - 1) / 2);
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string payload>")
+}
+
+#[test]
+fn panic_in_first_closure_propagates() {
+    let err = catch_unwind(|| join(|| panic!("left boom"), || 7)).unwrap_err();
+    assert_eq!(panic_message(&*err), "left boom");
+}
+
+#[test]
+fn panic_in_second_closure_propagates() {
+    let err = catch_unwind(|| join(|| 7, || panic!("right boom"))).unwrap_err();
+    assert_eq!(panic_message(&*err), "right boom");
+}
+
+#[test]
+fn both_closures_panicking_propagates_first() {
+    // Rayon's contract: when both halves panic, the first closure's payload
+    // is the one re-thrown (the second's is dropped).
+    let err = catch_unwind(|| join(|| panic!("first wins"), || panic!("second is swallowed")))
+        .unwrap_err();
+    assert_eq!(panic_message(&*err), "first wins");
+}
+
+#[test]
+fn completed_half_survives_sibling_panic() {
+    // The non-panicking half must have fully run (fork-join may not abandon
+    // work), observable through the side effect.
+    let done = AtomicUsize::new(0);
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        join(
+            || {
+                done.fetch_add(1, Ordering::SeqCst);
+            },
+            || panic!("sibling"),
+        )
+    }))
+    .unwrap_err();
+    assert_eq!(panic_message(&*err), "sibling");
+    assert_eq!(done.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn pool_is_reusable_after_panics() {
+    let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    for round in 0..8 {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                join(
+                    || panic!("round {round}"),
+                    || fork_tree(6, 0, &AtomicUsize::new(0)),
+                )
+            })
+        }))
+        .unwrap_err();
+        assert!(panic_message(&*err).starts_with("round"));
+        // The same pool must still schedule real work correctly.
+        let leaves = AtomicUsize::new(0);
+        let sum = pool.install(|| fork_tree(8, 0, &leaves));
+        assert_eq!(leaves.load(Ordering::Relaxed), 256);
+        assert_eq!(sum, 256 * 255 / 2);
+    }
+}
+
+#[test]
+fn global_pool_survives_scope_panic() {
+    let err = catch_unwind(|| {
+        scope(|s| {
+            s.spawn(|_| panic!("spawned boom"));
+        })
+    })
+    .unwrap_err();
+    assert_eq!(panic_message(&*err), "spawned boom");
+    // Global pool still works.
+    let (a, b) = join(|| 1, || 2);
+    assert_eq!(a + b, 3);
+}
+
+#[test]
+fn install_inside_install_same_pool_runs_inline() {
+    let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+    let nested = pool.install(|| {
+        assert_eq!(current_num_threads(), 3);
+        // Re-entrant install on the same pool must not deadlock (it runs
+        // inline on the current worker).
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            fork_tree(8, 0, &AtomicUsize::new(0))
+        })
+    });
+    assert_eq!(nested, 256 * 255 / 2);
+}
+
+#[test]
+fn install_inside_install_across_pools() {
+    let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    let inner = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    let (seen_outer, seen_inner, sum) = outer.install(|| {
+        let seen_outer = current_num_threads();
+        let (seen_inner, sum) = inner.install(|| {
+            (
+                current_num_threads(),
+                fork_tree(10, 0, &AtomicUsize::new(0)),
+            )
+        });
+        // Back on the outer pool's worker after the inner install returns.
+        assert_eq!(current_num_threads(), 2);
+        (seen_outer, seen_inner, sum)
+    });
+    assert_eq!(seen_outer, 2);
+    assert_eq!(seen_inner, 4);
+    assert_eq!(sum, 1024 * 1023 / 2);
+}
+
+#[test]
+fn scope_spawns_from_spawns() {
+    // Spawns that spawn: the scope must wait for transitively spawned work.
+    let hits = AtomicUsize::new(0);
+    scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|s| {
+                hits.fetch_add(1, Ordering::SeqCst);
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        }
+    });
+    assert_eq!(hits.load(Ordering::SeqCst), 16);
+}
+
+#[test]
+fn rayon_num_threads_env_var_sets_default_pool_size() {
+    // `num_threads(0)` means "use the default", which honours the env var.
+    std::env::set_var("RAYON_NUM_THREADS", "3");
+    let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(pool.current_num_threads(), 3);
+    // An explicit count always wins over the env var.
+    let explicit = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    assert_eq!(explicit.current_num_threads(), 2);
+}
+
+/// A deterministic "computation" over a fork-join tree whose shape is
+/// driven by the input data: result must not depend on scheduling.
+fn tree_reduce(data: &[u64]) -> u64 {
+    if data.len() <= 3 {
+        return data.iter().fold(0x9E37_79B9u64, |acc, &x| {
+            acc.rotate_left(7) ^ x.wrapping_mul(0x100_0000_01B3)
+        });
+    }
+    // Data-dependent split point: uneven trees stress the deque harder.
+    let split = 1 + (data[0] as usize % (data.len() - 1));
+    let (l, r) = join(
+        || tree_reduce(&data[..split]),
+        || tree_reduce(&data[split..]),
+    );
+    l.rotate_left(13).wrapping_add(r.rotate_right(17)) ^ (data.len() as u64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_fork_join_trees_are_thread_count_independent(
+        data in proptest::collection::vec(0u64..u64::MAX, 1..512),
+    ) {
+        let mut results = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            results.push(pool.install(|| tree_reduce(&data)));
+        }
+        prop_assert_eq!(results[0], results[1]);
+        prop_assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn par_sort_identical_across_thread_counts(
+        keys in proptest::collection::vec(0u32..64, 1..2000),
+    ) {
+        let records: Vec<(u32, u32)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        let mut expected = records.clone();
+        expected.sort_by_key(|r| r.0);
+        for threads in [1usize, 2, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let mut got = records.clone();
+            pool.install(|| got.par_sort_by(|a, b| a.0.cmp(&b.0)));
+            prop_assert_eq!(&got, &expected, "threads = {}", threads);
+        }
+    }
+}
