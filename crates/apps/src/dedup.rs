@@ -8,6 +8,9 @@
 //! result.  Stability matters — "first record per key" must mean first *in
 //! input order*, which the stable semisort plus group-head selection gives.
 
+use dtsort::StreamConfig;
+use stream::{FirstAgg, StreamGroupBy};
+
 /// Returns the distinct keys of `keys`, in increasing order.
 pub fn distinct_keys(keys: &[u64]) -> Vec<u64> {
     let mut work = keys.to_vec();
@@ -34,6 +37,34 @@ pub fn first_record_per_key<V: Copy + Send + Sync>(records: &[(u64, V)]) -> Vec<
         .into_iter()
         .map(|(k, tag)| (k, records[tag as usize].1))
         .collect()
+}
+
+/// Streaming dedup over **variable-length payloads**: keeps, for every
+/// distinct key, the *first* payload pushed (in stream order), under the
+/// bounded memory budget of `cfg`; the result is ordered by key.
+///
+/// This is [`first_record_per_key`] for inputs that arrive in batches, do
+/// not fit in memory, or carry string payloads (URLs, log lines): each run
+/// is aggregated down to one payload per distinct key before it is spilled
+/// (`stream::FirstAgg`), so duplicate-heavy streams never materialize
+/// their duplicates on disk.
+pub fn first_payload_per_key_streaming<I>(
+    batches: I,
+    cfg: StreamConfig,
+) -> std::io::Result<Vec<(u64, String)>>
+where
+    I: IntoIterator<Item = Vec<(u64, String)>>,
+{
+    let mut gb: StreamGroupBy<u64, FirstAgg<String>> =
+        StreamGroupBy::with_config(FirstAgg::new(), cfg);
+    for batch in batches {
+        // The batches are owned, so payloads move into the group-by
+        // without the per-record clone `push(&batch)` would pay.
+        for (key, payload) in batch {
+            gb.push_record(key, payload)?;
+        }
+    }
+    gb.finish_vec()
 }
 
 #[cfg(test)]
@@ -102,5 +133,46 @@ mod tests {
         assert!(distinct_keys(&[]).is_empty());
         let empty: Vec<(u64, u8)> = vec![];
         assert!(first_record_per_key(&empty).is_empty());
+        assert!(
+            first_payload_per_key_streaming(Vec::new(), StreamConfig::default())
+                .unwrap()
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn streaming_payload_dedup_matches_in_memory_dedup() {
+        // The streaming dedup over string payloads must agree with the
+        // in-memory semisort dedup over the same records (payload tagged by
+        // first-occurrence index), across spilled runs.
+        let rng = Rng::new(5);
+        let n = 30_000usize;
+        let records: Vec<(u64, String)> = (0..n)
+            .map(|i| (rng.ith_in(i as u64, 250), format!("payload-{i}")))
+            .collect();
+        let batches: Vec<Vec<(u64, String)>> = records.chunks(997).map(|c| c.to_vec()).collect();
+        let cfg = StreamConfig::with_memory_budget(16 << 10);
+        let got = first_payload_per_key_streaming(batches, cfg).unwrap();
+
+        let mut want: HashMap<u64, &str> = HashMap::new();
+        for (k, v) in &records {
+            want.entry(*k).or_insert(v.as_str());
+        }
+        assert_eq!(got.len(), want.len());
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "key-ordered");
+        for (k, v) in &got {
+            assert_eq!(v, want[k], "key {k}");
+        }
+        // Cross-check against the in-memory path on the same input.
+        let tagged: Vec<(u64, u32)> = records
+            .iter()
+            .enumerate()
+            .map(|(i, (k, _))| (*k, i as u32))
+            .collect();
+        let in_memory = first_record_per_key(&tagged);
+        assert!(in_memory
+            .iter()
+            .zip(&got)
+            .all(|(&(k1, tag), (k2, v))| k1 == *k2 && v == &records[tag as usize].1));
     }
 }

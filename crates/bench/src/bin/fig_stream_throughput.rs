@@ -74,10 +74,12 @@ fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measur
 fn main() {
     let args = Args::parse();
     args.apply_thread_limit();
-    let n = if args.n == 10_000_000 {
-        2_000_000
-    } else {
+    // Checking for the flag itself (not the default value) keeps an
+    // explicit `--n 10000000` honest.
+    let n = if std::env::args().any(|a| a == "--n") {
         args.n
+    } else {
+        2_000_000
     };
     let batch = 64 * 1024;
     let record_bytes = std::mem::size_of::<(u32, u32)>();

@@ -1,0 +1,192 @@
+//! Variable-length value streaming throughput: records/sec and payload
+//! MB/sec of `stream::StreamSorter<u64, String>` across payload-size
+//! classes and memory budgets, against the fixed-size pod-value sorter on
+//! the same keys (which isolates the cost of the length-prefixed format).
+//!
+//! Beyond the console table, results are appended as machine-readable JSON
+//! to `BENCH_varlen.json` in the current directory so successive PRs can
+//! track the perf trajectory.
+//!
+//! Usage: `cargo run -p bench --release --bin fig_varlen_throughput -- [--n 3e5] [--reps 3]`
+
+use bench::{json_escape, median_time_secs, write_bench_json, Args, Table};
+use dtsort::StreamConfig;
+use stream::StreamSorter;
+use workloads::dist::Distribution;
+use workloads::generate_string_pairs;
+
+struct Measurement {
+    dist: String,
+    payload: String,
+    budget_label: String,
+    budget_bytes: usize,
+    runs: usize,
+    spilled_bytes: u64,
+    secs: f64,
+    records_per_sec: f64,
+    payload_mb_per_sec: f64,
+}
+
+/// Pushes the string input in batches and drains the merged stream;
+/// returns the run count and spilled bytes of the last repetition.
+fn stream_sort_strings_once(
+    input: &[(u64, String)],
+    budget: usize,
+    batch: usize,
+    out_stats: &mut (usize, u64),
+) {
+    let mut sorter: StreamSorter<u64, String> =
+        StreamSorter::with_config(StreamConfig::with_memory_budget(budget));
+    for chunk in input.chunks(batch) {
+        sorter.push(chunk).expect("push failed");
+    }
+    *out_stats = (sorter.run_count(), sorter.stats().spilled_bytes);
+    let mut last = 0u64;
+    for (k, v) in sorter.finish().expect("finish failed") {
+        debug_assert!(k >= last);
+        last = k;
+        std::hint::black_box(v.len());
+    }
+}
+
+fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measurement]) {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"dist\": \"{}\", \"payload\": \"{}\", \"budget\": \"{}\", \"budget_bytes\": {}, \"runs\": {}, \"spilled_bytes\": {}, \"secs\": {:.6}, \"records_per_sec\": {:.1}, \"payload_mb_per_sec\": {:.2}}}",
+                json_escape(&m.dist),
+                json_escape(&m.payload),
+                json_escape(&m.budget_label),
+                m.budget_bytes,
+                m.runs,
+                m.spilled_bytes,
+                m.secs,
+                m.records_per_sec,
+                m.payload_mb_per_sec,
+            )
+        })
+        .collect();
+    write_bench_json(
+        path,
+        "varlen_throughput",
+        &[
+            ("n", n.to_string()),
+            ("batch", batch.to_string()),
+            ("threads", threads.to_string()),
+        ],
+        &rendered,
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    args.apply_thread_limit();
+    // Strings are far heavier per record than pod values; default to a
+    // smaller instance than the pod-value benches.  Checking for the flag
+    // itself (not the default value) keeps an explicit `--n 10000000`
+    // honest.
+    let n = if std::env::args().any(|a| a == "--n") {
+        args.n
+    } else {
+        300_000
+    };
+    let batch = 16 * 1024;
+    // Payload-size classes: short tags, URL-ish, log-line-ish.
+    let payloads = [
+        ("8-16B", 8usize, 16usize),
+        ("32-128B", 32, 128),
+        ("256-1KiB", 256, 1024),
+    ];
+    let instances = vec![
+        Distribution::Uniform {
+            distinct: 1_000_000_000,
+        },
+        Distribution::Zipfian { s: 1.2 },
+    ];
+    println!(
+        "Variable-length streaming sorter throughput — n = {n}, batch = {batch}, {} threads",
+        rayon::current_num_threads()
+    );
+    let mut all = Vec::new();
+    for dist in &instances {
+        for &(plabel, min_len, max_len) in &payloads {
+            let input = generate_string_pairs(dist, n, 32, 42, min_len, max_len);
+            let payload_bytes: usize = input.iter().map(|(_, v)| v.len()).sum();
+            let data_bytes = payload_bytes + input.len() * 12;
+            println!(
+                "\n=== {} · payload {plabel} ({} MiB on disk) ===",
+                dist.label(),
+                data_bytes >> 20
+            );
+            let mut table = Table::new(vec![
+                "budget".to_string(),
+                "runs".to_string(),
+                "spill MiB".to_string(),
+                "sec".to_string(),
+                "Mrec/s".to_string(),
+                "MB/s".to_string(),
+            ]);
+            // Pod-value baseline on the same keys: the varlen overhead is
+            // the gap between this row and the in-memory string row.
+            let keys: Vec<(u64, u64)> = input.iter().map(|(k, _)| (*k, 0u64)).collect();
+            let base = median_time_secs(&keys, args.reps, |v| {
+                let mut s: StreamSorter<u64, u64> =
+                    StreamSorter::with_config(StreamConfig::with_memory_budget(4 * data_bytes));
+                s.push(v).expect("push");
+                for r in s.finish().expect("finish") {
+                    std::hint::black_box(r);
+                }
+            });
+            table.add_row(vec![
+                "pod-keys".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                format!("{base:.4}"),
+                format!("{:.2}", n as f64 / base / 1e6),
+                "-".to_string(),
+            ]);
+            // From "everything in memory" down to an eighth of the dataset.
+            let budgets = [
+                ("mem", 4 * data_bytes),
+                ("1/4", data_bytes / 4),
+                ("1/8", data_bytes / 8),
+            ];
+            for &(blabel, budget) in &budgets {
+                let mut stats = (0usize, 0u64);
+                let secs = median_time_secs(&input, args.reps, |v| {
+                    stream_sort_strings_once(v, budget, batch, &mut stats)
+                });
+                let rps = n as f64 / secs;
+                let mbps = payload_bytes as f64 / secs / 1e6;
+                table.add_row(vec![
+                    blabel.to_string(),
+                    format!("{}", stats.0),
+                    format!("{:.1}", stats.1 as f64 / (1 << 20) as f64),
+                    format!("{secs:.4}"),
+                    format!("{:.2}", rps / 1e6),
+                    format!("{mbps:.1}"),
+                ]);
+                all.push(Measurement {
+                    dist: dist.label(),
+                    payload: plabel.to_string(),
+                    budget_label: blabel.to_string(),
+                    budget_bytes: budget,
+                    runs: stats.0,
+                    spilled_bytes: stats.1,
+                    secs,
+                    records_per_sec: rps,
+                    payload_mb_per_sec: mbps,
+                });
+            }
+            table.print();
+        }
+    }
+    write_json(
+        "BENCH_varlen.json",
+        n,
+        batch,
+        rayon::current_num_threads(),
+        &all,
+    );
+}

@@ -142,6 +142,13 @@ pub struct StreamConfig {
     /// Total working-set budget in bytes.  Half buffers incoming records,
     /// the other half is the sort's ping-pong scratch, so one run holds
     /// about `memory_budget_bytes / (2 · record_size)` records.
+    ///
+    /// `record_size` is the *inline* struct size (`size_of::<(K, V)>()`).
+    /// For variable-length values (`String`, `Vec<u8>`, `Box<[u8]>`) the
+    /// heap payload is not part of that size, so the streaming sorter and
+    /// the streaming group-by additionally track the buffered payload
+    /// bytes and spill a run early once they reach
+    /// `memory_budget_bytes / 2`.
     pub memory_budget_bytes: usize,
     /// Upper bound on the number of heavy keys carried from one run's
     /// sampling into the next (each carried key costs one bucket in the

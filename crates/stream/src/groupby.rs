@@ -17,6 +17,11 @@
 //! in increasing key order, produced with a footprint bounded by the read
 //! buffers.
 //!
+//! Accumulators may be variable-length ([`crate::VarValue`]: `String`,
+//! `Vec<u8>`, `Box<[u8]>`) as well as fixed-size pods; the semisort always
+//! runs over `(key, index)` tags, so owned payloads are moved, never
+//! copied, through the grouping pass.
+//!
 //! ```
 //! use stream::{CountAgg, StreamGroupBy};
 //! use dtsort::StreamConfig;
@@ -34,7 +39,10 @@
 //! ```
 
 use crate::sorter::{lt_by_ordered_key, RunCursor};
-use crate::spill::{write_run, PodValue, SpillSpace, SpilledRun};
+use crate::spill::{
+    per_run_reader_budget, var_payload_bytes, var_payload_should_spill, write_run, SpillSpace,
+    SpillValue, SpilledRun,
+};
 use dtsort::{IntegerKey, StreamConfig};
 use parlay::kway::LoserTree;
 use semisort::{semisort_pairs_with, SemisortConfig};
@@ -46,12 +54,15 @@ use std::marker::PhantomData;
 ///
 /// `combine` must be associative; partials are combined in push order, so
 /// commutativity is not required.  The accumulator is spilled to disk
-/// between runs, hence the [`PodValue`] bound.
+/// between runs, hence the [`SpillValue`] bound (fixed-size pods and
+/// variable-length `String` / `Vec<u8>` / `Box<[u8]>` all qualify).
 pub trait Aggregator: Send + Sync {
-    /// The pushed value type.
-    type Input: PodValue;
+    /// The pushed value type.  The [`SpillValue`] bound exists so the
+    /// group-by can meter buffered variable-length payload *bytes* (not
+    /// just record count) and spill early, like the streaming sorter.
+    type Input: SpillValue;
     /// The partial-aggregate type (spilled to disk between runs).
-    type Acc: PodValue;
+    type Acc: SpillValue;
     /// Lifts one value into a partial aggregate.
     fn lift(&self, v: Self::Input) -> Self::Acc;
     /// Merges two partial aggregates (earlier-pushed partial first).
@@ -118,6 +129,47 @@ impl Aggregator for MaxAgg {
     }
 }
 
+/// Keeps the *first* value pushed for each key (streaming dedup).
+///
+/// Works for any spillable value type, including variable-length payloads:
+/// `FirstAgg<String>` turns the group-by into a bounded-memory
+/// first-payload-per-key dedup.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstAgg<V>(PhantomData<fn() -> V>);
+
+impl<V> FirstAgg<V> {
+    pub fn new() -> Self {
+        Self(PhantomData)
+    }
+}
+
+impl<V: SpillValue> Aggregator for FirstAgg<V> {
+    type Input = V;
+    type Acc = V;
+    fn lift(&self, v: V) -> V {
+        v
+    }
+    fn combine(&self, a: V, _b: V) -> V {
+        a
+    }
+}
+
+/// Concatenates `Vec<u8>` payloads per key, in push order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConcatAgg;
+
+impl Aggregator for ConcatAgg {
+    type Input = Vec<u8>;
+    type Acc = Vec<u8>;
+    fn lift(&self, v: Vec<u8>) -> Vec<u8> {
+        v
+    }
+    fn combine(&self, mut a: Vec<u8>, b: Vec<u8>) -> Vec<u8> {
+        a.extend_from_slice(&b);
+        a
+    }
+}
+
 /// A custom fold built from two closures: `lift` turns a value into a
 /// partial aggregate, `combine` merges two partials.
 pub struct FoldAgg<I, A, L, C> {
@@ -128,8 +180,8 @@ pub struct FoldAgg<I, A, L, C> {
 
 impl<I, A, L, C> FoldAgg<I, A, L, C>
 where
-    I: PodValue,
-    A: PodValue,
+    I: SpillValue,
+    A: SpillValue,
     L: Fn(I) -> A + Send + Sync,
     C: Fn(A, A) -> A + Send + Sync,
 {
@@ -145,8 +197,8 @@ where
 
 impl<I, A, L, C> Aggregator for FoldAgg<I, A, L, C>
 where
-    I: PodValue,
-    A: PodValue,
+    I: SpillValue,
+    A: SpillValue,
     L: Fn(I) -> A + Send + Sync,
     C: Fn(A, A) -> A + Send + Sync,
 {
@@ -163,7 +215,9 @@ where
 /// Counters describing what a [`StreamGroupBy`] did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GroupByStats {
-    /// Records accepted by `push` / `push_record` so far.
+    /// Records accepted by `push` / `push_record` so far.  Counted per
+    /// accepted chunk, so a failed spill mid-push leaves every record the
+    /// group-by still owns counted.
     pub records_pushed: u64,
     /// Aggregated runs spilled to disk so far.
     pub spilled_runs: usize,
@@ -185,6 +239,13 @@ pub struct StreamGroupBy<K: IntegerKey, G: Aggregator> {
     agg: G,
     run_capacity: usize,
     buffer: Vec<(K, G::Input)>,
+    /// Spilled payload bytes of the buffered inputs (tracked only for
+    /// variable-length inputs; always 0 on the pod path).
+    buffered_value_bytes: usize,
+    /// An aggregated run whose spill *write* failed: kept so the error
+    /// path loses no data — the next spill retries it, and `finish`
+    /// merges it like any other run.
+    pending_partial: Option<Vec<(u64, G::Acc)>>,
     runs: Vec<SpilledRun>,
     space: Option<SpillSpace>,
     stats: GroupByStats,
@@ -198,17 +259,23 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
 
     pub fn with_config(agg: G, cfg: StreamConfig) -> Self {
         // Peak transient footprint per buffered record: the pushed record
-        // itself, plus the lifted `(u64, Acc)` image, plus semisort's scratch
-        // copy of that image.  Sizing the run from that sum (not just the
-        // input record) keeps aggregation within the configured budget.
-        let record_footprint =
-            std::mem::size_of::<(K, G::Input)>() + 2 * std::mem::size_of::<(u64, G::Acc)>();
+        // itself, plus the `(key, index)` tag pair the semisort moves (and
+        // the scratch copy of it the semisort engine allocates), plus the
+        // lifted accumulator slot.  Sizing the run from that sum (not just
+        // the input record) keeps aggregation within the configured
+        // budget.  Variable-length payloads count their inline struct size
+        // only (see `StreamConfig`).
+        let record_footprint = std::mem::size_of::<(K, G::Input)>()
+            + 2 * std::mem::size_of::<(u64, u64)>()
+            + std::mem::size_of::<Option<G::Acc>>();
         let run_capacity = (cfg.memory_budget_bytes / record_footprint.max(1)).max(64);
         Self {
             cfg,
             agg,
             run_capacity,
             buffer: Vec::new(),
+            buffered_value_bytes: 0,
+            pending_partial: None,
             runs: Vec::new(),
             space: None,
             stats: GroupByStats::default(),
@@ -220,74 +287,138 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         &self.stats
     }
 
-    /// Number of runs the final merge will see.
+    /// Number of runs the final merge will see (spilled runs, a pending
+    /// run whose spill write failed, and the in-memory tail).
     pub fn run_count(&self) -> usize {
-        self.runs.len() + usize::from(!self.buffer.is_empty())
+        self.runs.len()
+            + usize::from(self.pending_partial.is_some())
+            + usize::from(!self.buffer.is_empty())
+    }
+
+    /// Spills are due when a stashed run awaits its retry, the record
+    /// count hits capacity, or buffered variable-length input payloads
+    /// reach the shared byte threshold (without which large payloads could
+    /// pile up un-aggregated far past the budget).
+    fn should_spill(&self) -> bool {
+        self.pending_partial.is_some()
+            || (!self.buffer.is_empty()
+                && (self.buffer.len() >= self.run_capacity
+                    || var_payload_should_spill::<G::Input>(
+                        self.buffered_value_bytes,
+                        self.cfg.memory_budget_bytes,
+                    )))
     }
 
     /// Appends a batch of records, aggregating and spilling full runs.
     pub fn push(&mut self, records: &[(K, G::Input)]) -> io::Result<()> {
         let mut rest = records;
-        while !rest.is_empty() {
-            let space = self.run_capacity - self.buffer.len();
-            let take = space.min(rest.len());
-            self.buffer.extend_from_slice(&rest[..take]);
-            rest = &rest[take..];
-            if self.buffer.len() >= self.run_capacity {
+        loop {
+            if self.should_spill() {
                 self.spill_partial_run()?;
             }
+            if rest.is_empty() {
+                return Ok(());
+            }
+            let space = self.run_capacity - self.buffer.len();
+            let take = space.min(rest.len());
+            let (chunk, tail) = rest.split_at(take);
+            self.buffer.extend_from_slice(chunk);
+            self.buffered_value_bytes += var_payload_bytes(chunk);
+            // Count per accepted chunk (not per whole batch) so a failed
+            // spill leaves the records already buffered counted.
+            self.stats.records_pushed += take as u64;
+            rest = tail;
         }
-        self.stats.records_pushed += records.len() as u64;
-        Ok(())
     }
 
-    /// Appends a single record.
+    /// Appends a single record (no clone of the value).
     pub fn push_record(&mut self, key: K, value: G::Input) -> io::Result<()> {
-        self.push(&[(key, value)])
+        // Buffer the record *before* any spill attempt: on a spill error
+        // the caller's (possibly only) copy of the value is then owned by
+        // the group-by rather than dropped on the error return.
+        if G::Input::SPILL_FIXED_SIZE.is_none() {
+            self.buffered_value_bytes += value.spill_size();
+        }
+        self.buffer.push((key, value));
+        self.stats.records_pushed += 1;
+        if self.should_spill() {
+            self.spill_partial_run()?;
+        }
+        Ok(())
     }
 
     /// Semisorts the buffered run and folds each group into one partial
     /// aggregate, returned sorted by (ordered) key.
+    ///
+    /// The semisort moves only `(ordered key, index)` tags; lifted
+    /// accumulators sit in index-addressed slots and are *moved* into the
+    /// fold, so variable-length accumulators are never copied here.
     fn aggregate_run(&mut self) -> Vec<(u64, G::Acc)> {
         let agg = &self.agg;
-        let mut recs: Vec<(u64, G::Acc)> = self
-            .buffer
-            .drain(..)
-            .map(|(k, v)| (k.to_ordered_u64(), agg.lift(v)))
-            .collect();
+        let mut tags: Vec<(u64, u64)> = Vec::with_capacity(self.buffer.len());
+        let mut accs: Vec<Option<G::Acc>> = Vec::with_capacity(self.buffer.len());
+        for (i, (k, v)) in self.buffer.drain(..).enumerate() {
+            tags.push((k.to_ordered_u64(), i as u64));
+            accs.push(Some(agg.lift(v)));
+        }
+        self.buffered_value_bytes = 0;
         let semi_cfg = SemisortConfig {
             sort: self.cfg.sort.clone(),
             ..SemisortConfig::default()
         };
-        let groups = semisort_pairs_with(&mut recs, &semi_cfg);
-        let mut out: Vec<(u64, G::Acc)> = groups
+        let mut groups = semisort_pairs_with(&mut tags, &semi_cfg);
+        // Runs must be spilled sorted by key for the k-way merge; only the
+        // distinct keys of the run are sorted, not its records.
+        dtsort::sort_by_key(&mut groups, |g| g.key);
+        let out: Vec<(u64, G::Acc)> = groups
             .iter()
             .map(|g| {
-                let mut acc = recs[g.start].1;
-                for &(_, a) in &recs[g.start + 1..g.end] {
-                    acc = agg.combine(acc, a);
+                let mut tag_iter = tags[g.start..g.end].iter();
+                let first = tag_iter.next().expect("groups are never empty");
+                let mut acc = accs[first.1 as usize].take().expect("slot folded once");
+                for &(_, idx) in tag_iter {
+                    // Tags keep push order within a group (stable semisort),
+                    // so partials combine in push order.
+                    acc = agg.combine(acc, accs[idx as usize].take().expect("slot folded once"));
                 }
                 (g.key, acc)
             })
             .collect();
-        // Runs must be spilled sorted by key for the k-way merge; only the
-        // distinct keys of the run are sorted, not its records.
-        dtsort::sort_by_key(&mut out, |r| r.0);
         self.stats.partial_aggregates += out.len() as u64;
         out
     }
 
     fn spill_partial_run(&mut self) -> io::Result<()> {
-        let partial = self.aggregate_run();
+        // Secure the spill directory *before* draining the buffer into
+        // partials: if directory creation fails, the records stay buffered
+        // (and counted) instead of being aggregated into a vector that the
+        // error path would drop.
         if self.space.is_none() {
             self.space = Some(SpillSpace::create(self.cfg.spill_dir.as_ref())?);
         }
+        // A run whose write failed earlier is retried before the buffer is
+        // aggregated again (the push loop spills once per iteration, so a
+        // refilled buffer follows on the next iteration).
+        let partial = match self.pending_partial.take() {
+            Some(p) => p,
+            None => self.aggregate_run(),
+        };
         let dir = &self.space.as_ref().expect("spill space just created").dir;
         let path = dir.join(format!("agg-{:06}.bin", self.runs.len()));
-        let bytes = write_run(&path, &partial)?;
+        let bytes = match write_run(&path, &partial) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                // Keep the only copy of this run's aggregates for a retry
+                // (or for `finish`, which merges it from memory).
+                std::fs::remove_file(&path).ok();
+                self.pending_partial = Some(partial);
+                return Err(e);
+            }
+        };
         self.runs.push(SpilledRun {
             path,
             len: partial.len(),
+            bytes,
         });
         self.stats.spilled_runs += 1;
         self.stats.spilled_bytes += bytes;
@@ -298,12 +429,19 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
     /// keys, into a stream of `(key, aggregate)` pairs in increasing key
     /// order (one pair per distinct key of the whole stream).
     pub fn finish(mut self) -> io::Result<GroupedStream<K, G>> {
+        let pending = self.pending_partial.take();
         let tail = self.aggregate_run();
         let reader_budget =
-            (self.cfg.merge_read_buffer_bytes / self.runs.len().max(1)).clamp(4096, 8 << 20);
-        let mut cursors: Vec<RunCursor<G::Acc>> = Vec::with_capacity(self.runs.len() + 1);
+            per_run_reader_budget(self.cfg.merge_read_buffer_bytes, self.runs.len());
+        let mut cursors: Vec<RunCursor<G::Acc>> = Vec::with_capacity(self.runs.len() + 2);
         for run in &self.runs {
             cursors.push(RunCursor::open_disk(run, reader_budget)?);
+        }
+        // A run whose spill write failed merges from memory; it was
+        // aggregated before the current tail, so its cursor precedes the
+        // tail's (equal-key partials combine in push order).
+        if let Some(p) = pending {
+            cursors.push(RunCursor::from_memory(p));
         }
         if !tail.is_empty() {
             cursors.push(RunCursor::from_memory(tail));
@@ -515,5 +653,131 @@ mod tests {
         let gb: StreamGroupBy<u64, CountAgg> = StreamGroupBy::new(CountAgg);
         assert_eq!(gb.run_count(), 0);
         assert_eq!(gb.finish().unwrap().count(), 0);
+    }
+
+    #[test]
+    fn first_agg_keeps_first_string_payload_per_key() {
+        let rng = Rng::new(4);
+        let n = 25_000usize;
+        let records: Vec<(u64, String)> = (0..n)
+            .map(|i| (rng.ith_in(i as u64, 400), format!("payload-{i}")))
+            .collect();
+        let mut gb: StreamGroupBy<u64, FirstAgg<String>> =
+            StreamGroupBy::with_config(FirstAgg::new(), tiny_cfg(16 << 10));
+        for chunk in records.chunks(997) {
+            gb.push(chunk).unwrap();
+        }
+        assert!(gb.stats().spilled_runs > 2, "stats: {:?}", gb.stats());
+        let mut want: HashMap<u64, &str> = HashMap::new();
+        for (k, v) in &records {
+            want.entry(*k).or_insert(v.as_str());
+        }
+        let got = gb.finish_vec().unwrap();
+        assert_eq!(got.len(), want.len());
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "key-ordered");
+        for (k, v) in &got {
+            assert_eq!(v, want[k], "key {k}: first payload in push order");
+        }
+    }
+
+    #[test]
+    fn concat_agg_preserves_push_order_across_runs() {
+        // Few keys, many records: per-key concatenations grow to multi-KB
+        // variable-length accumulators that are spilled and re-merged, and
+        // the final bytes must equal the push-order concatenation.
+        let n = 9_000usize;
+        let records: Vec<(u32, Vec<u8>)> = (0..n)
+            .map(|i| ((i % 5) as u32, format!("[{i}]").into_bytes()))
+            .collect();
+        let mut gb: StreamGroupBy<u32, ConcatAgg> =
+            StreamGroupBy::with_config(ConcatAgg, tiny_cfg(16 << 10));
+        for chunk in records.chunks(613) {
+            gb.push(chunk).unwrap();
+        }
+        assert!(gb.stats().spilled_runs > 1, "stats: {:?}", gb.stats());
+        let mut want: HashMap<u32, Vec<u8>> = HashMap::new();
+        for (k, v) in &records {
+            want.entry(*k).or_default().extend_from_slice(v);
+        }
+        let got = gb.finish_vec().unwrap();
+        assert_eq!(got.len(), 5);
+        for (k, v) in &got {
+            assert!(v.len() > 1 << 10, "accumulators must grow multi-KB");
+            assert_eq!(v, &want[k], "key {k}: push-order concatenation");
+        }
+    }
+
+    #[test]
+    fn pending_partial_from_failed_spill_merges_in_finish() {
+        // Simulate a run whose spill *write* failed (ENOSPC-style): the
+        // aggregates were stashed in `pending_partial`.  `finish` must
+        // merge them from memory, before the current tail.
+        let mut gb: StreamGroupBy<u64, SumAgg> = StreamGroupBy::new(SumAgg);
+        gb.push(&[(2, 10), (4, 1)]).unwrap();
+        gb.pending_partial = Some(vec![(1, 5), (2, 7)]);
+        assert_eq!(gb.run_count(), 2, "pending run counts toward the merge");
+        let got = gb.finish_vec().unwrap();
+        assert_eq!(got, vec![(1, 5), (2, 17), (4, 1)]);
+    }
+
+    #[test]
+    fn pending_partial_is_retried_by_the_next_push() {
+        let mut gb: StreamGroupBy<u64, SumAgg> =
+            StreamGroupBy::with_config(SumAgg, tiny_cfg(16 << 10));
+        gb.pending_partial = Some(vec![(9, 3)]);
+        gb.push_record(9, 2).unwrap();
+        assert_eq!(
+            gb.stats().spilled_runs,
+            1,
+            "the stashed run must be written to disk by the next push"
+        );
+        let got = gb.finish_vec().unwrap();
+        assert_eq!(got, vec![(9, 5)]);
+    }
+
+    #[test]
+    fn large_var_inputs_spill_by_bytes_not_record_count() {
+        // 120 distinct-keyed records fit the record-count capacity many
+        // times over, but their multi-KiB payloads exceed half the budget;
+        // the byte tracker must force aggregated spills anyway.
+        let mut gb: StreamGroupBy<u64, FirstAgg<String>> =
+            StreamGroupBy::with_config(FirstAgg::new(), tiny_cfg(64 << 10));
+        assert!(gb.run_capacity > 120, "premise: count would not spill");
+        for i in 0..120u64 {
+            gb.push_record(i, "q".repeat(2 << 10)).unwrap();
+        }
+        assert!(
+            gb.stats().spilled_runs > 3,
+            "payload bytes must trigger spills: {:?}",
+            gb.stats()
+        );
+        let got = gb.finish_vec().unwrap();
+        assert_eq!(got.len(), 120);
+    }
+
+    #[test]
+    fn records_pushed_counts_accepted_records_when_spill_fails() {
+        // Same regression as the sorter: a spill failure mid-push must not
+        // leave buffered records uncounted.
+        let base = std::env::temp_dir().join(format!("pisort-gbfailtest-{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        let blocker = base.join("not-a-directory");
+        std::fs::write(&blocker, b"x").unwrap();
+        let cfg = StreamConfig {
+            spill_dir: Some(blocker.clone()),
+            ..tiny_cfg(16 << 10)
+        };
+        let mut gb: StreamGroupBy<u64, SumAgg> = StreamGroupBy::with_config(SumAgg, cfg);
+        let batch: Vec<(u64, u64)> = (0..20_000u64).map(|i| (i, i)).collect();
+        let err = gb.push(&batch).expect_err("spill into a file must fail");
+        assert_ne!(err.kind(), io::ErrorKind::NotFound);
+        // Regression (stats drift): the records accepted before the failed
+        // spill stay counted — and stay *buffered*, because the spill
+        // directory is secured before the buffer is drained.
+        assert!(gb.stats().records_pushed > 0);
+        assert_eq!(gb.stats().spilled_runs, 0);
+        assert_eq!(gb.stats().partial_aggregates, 0, "buffer must survive");
+        assert_eq!(gb.run_count(), 1, "the failed run is still buffered");
+        std::fs::remove_dir_all(&base).ok();
     }
 }

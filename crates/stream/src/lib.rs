@@ -58,6 +58,27 @@
 //! spilled; the final merge combines equal-key partials while streaming.
 //! Duplicate-dominated streams never materialize their duplicates on disk.
 //!
+//! ## Variable-length values
+//!
+//! Spilled values come in two families, unified by the sealed
+//! [`SpillValue`] abstraction:
+//!
+//! * [`PodValue`] — fixed-size `Copy` types spilled as their raw byte
+//!   image (`key | value`), read back with zero-copy scratch.  This is
+//!   the original fast path and its on-disk format and in-memory sort are
+//!   unchanged.
+//! * [`VarValue`] — `Vec<u8>`, `String` and `Box<[u8]>`, spilled
+//!   length-prefixed (`key | value_len (u32 LE) | value bytes`) and
+//!   streamed through a reusable side buffer.  In memory, DovetailSort
+//!   moves only `(key, index)` tags and the owned payloads are permuted
+//!   once per run, so strings are never copied through the sort.
+//!
+//! `StreamSorter<u64, String>` therefore spills URLs or log lines as
+//! naturally as pod records, and the sorter additionally spills early when
+//! buffered payload *bytes* (not just record count) reach half the memory
+//! budget.  [`FirstAgg`] turns [`StreamGroupBy`] into a bounded-memory
+//! first-payload-per-key dedup over such values.
+//!
 //! ## Choosing an API
 //!
 //! | Need | Call |
@@ -66,6 +87,7 @@
 //! | Materialize into a caller-owned slice, parallel merge | [`StreamSorter::finish_into`] |
 //! | Materialize into a fresh vector | [`StreamSorter::finish_vec`] |
 //! | Per-key aggregates of a stream, bounded memory | [`StreamGroupBy::finish`] |
+//! | Dedup variable-length payloads per key | [`StreamGroupBy`] + [`FirstAgg`] |
 
 mod groupby;
 mod sorter;
@@ -73,8 +95,8 @@ mod spill;
 
 pub use dtsort::{SortConfig, StreamConfig};
 pub use groupby::{
-    Aggregator, CountAgg, FoldAgg, GroupByStats, GroupedStream, MaxAgg, MinAgg, StreamGroupBy,
-    SumAgg,
+    Aggregator, ConcatAgg, CountAgg, FirstAgg, FoldAgg, GroupByStats, GroupedStream, MaxAgg,
+    MinAgg, StreamGroupBy, SumAgg,
 };
 pub use sorter::{SortedStream, StreamSorter, StreamStats};
-pub use spill::PodValue;
+pub use spill::{PodValue, SpillValue, VarValue};

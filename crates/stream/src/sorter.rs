@@ -1,7 +1,10 @@
 //! The bounded-memory streaming sorter.
 
-use crate::spill::{pod_zeroed, write_run, PodValue, RunReader, SpillSpace, SpilledRun};
-use dtsort::{sort_run_pairs_with, IntegerKey, StreamConfig};
+use crate::spill::{
+    per_run_reader_budget, var_payload_bytes, var_payload_should_spill, write_run, PodValue,
+    RunReader, SpillSpace, SpillValue, SpilledRun, VarValue,
+};
+use dtsort::{sort_run_pairs_with, IntegerKey, RunReport, SortConfig, StreamConfig};
 use parlay::kway::{kway_merge_into, LoserTree, RunSource};
 use std::io;
 use std::marker::PhantomData;
@@ -9,7 +12,10 @@ use std::marker::PhantomData;
 /// Counters describing what a [`StreamSorter`] did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StreamStats {
-    /// Records accepted by `push` / `push_record` so far.
+    /// Records accepted by `push` / `push_record` so far.  Counted per
+    /// accepted chunk, so a failed spill mid-push leaves every record the
+    /// sorter still owns counted (`records_pushed` always equals
+    /// [`StreamSorter::len`]).
     pub records_pushed: u64,
     /// Runs spilled to disk so far.
     pub spilled_runs: usize,
@@ -31,6 +37,13 @@ pub struct StreamStats {
 /// a loser tree into a sorted iterator; [`StreamSorter::finish_into`]
 /// merges in parallel into a caller-provided slice.
 ///
+/// Values may be fixed-size [`PodValue`]s (spilled as raw byte images) or
+/// variable-length [`VarValue`]s such as `String` and `Vec<u8>` (spilled
+/// length-prefixed); see [`SpillValue`].  For variable-length values the
+/// sorter additionally tracks the buffered payload bytes and spills early
+/// once they reach half the memory budget, so a stream of large values
+/// cannot overshoot the budget through the record-count heuristic.
+///
 /// ```
 /// use stream::StreamSorter;
 /// use dtsort::StreamConfig;
@@ -47,23 +60,26 @@ pub struct StreamStats {
 /// assert_eq!(sorted.len(), 10_000);
 /// assert!(sorted.windows(2).all(|w| w[0].0 <= w[1].0));
 /// ```
-pub struct StreamSorter<K: IntegerKey, V: PodValue = ()> {
+pub struct StreamSorter<K: IntegerKey, V: SpillValue = ()> {
     cfg: StreamConfig,
     run_capacity: usize,
     buffer: Vec<(K, V)>,
+    /// Spilled payload bytes currently buffered (tracked only for
+    /// variable-length values; always 0 on the pod path).
+    buffered_value_bytes: usize,
     runs: Vec<SpilledRun>,
     carry: Vec<u64>,
     space: Option<SpillSpace>,
     stats: StreamStats,
 }
 
-impl<K: IntegerKey, V: PodValue> Default for StreamSorter<K, V> {
+impl<K: IntegerKey, V: SpillValue> Default for StreamSorter<K, V> {
     fn default() -> Self {
         Self::with_config(StreamConfig::default())
     }
 }
 
-impl<K: IntegerKey, V: PodValue> StreamSorter<K, V> {
+impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
     /// Sorter with the default [`StreamConfig`] (256 MiB budget).
     pub fn new() -> Self {
         Self::default()
@@ -75,6 +91,7 @@ impl<K: IntegerKey, V: PodValue> StreamSorter<K, V> {
             cfg,
             run_capacity,
             buffer: Vec::new(),
+            buffered_value_bytes: 0,
             runs: Vec::new(),
             carry: Vec::new(),
             space: None,
@@ -107,31 +124,59 @@ impl<K: IntegerKey, V: PodValue> StreamSorter<K, V> {
         &self.carry
     }
 
+    fn should_spill(&self) -> bool {
+        !self.buffer.is_empty()
+            && (self.buffer.len() >= self.run_capacity
+                || var_payload_should_spill::<V>(
+                    self.buffered_value_bytes,
+                    self.cfg.memory_budget_bytes,
+                ))
+    }
+
     /// Appends a batch of records, spilling full runs to disk as needed.
     pub fn push(&mut self, records: &[(K, V)]) -> io::Result<()> {
         let mut rest = records;
-        while !rest.is_empty() {
-            let space = self.run_capacity - self.buffer.len();
-            let take = space.min(rest.len());
-            self.buffer.extend_from_slice(&rest[..take]);
-            rest = &rest[take..];
-            if self.buffer.len() >= self.run_capacity {
+        loop {
+            if self.should_spill() {
                 self.spill_run()?;
             }
+            if rest.is_empty() {
+                return Ok(());
+            }
+            let space = self.run_capacity - self.buffer.len();
+            let take = space.min(rest.len());
+            let (chunk, tail) = rest.split_at(take);
+            self.buffer.extend_from_slice(chunk);
+            self.buffered_value_bytes += var_payload_bytes(chunk);
+            // Count per accepted chunk, not per whole batch: if the spill
+            // above fails on a later iteration, the records already moved
+            // into the buffer stay owned by the sorter and must stay
+            // counted (`records_pushed == len()` even on error paths).
+            self.stats.records_pushed += take as u64;
+            rest = tail;
         }
-        self.stats.records_pushed += records.len() as u64;
-        Ok(())
     }
 
-    /// Appends a single record.
+    /// Appends a single record (no clone of the value).
     pub fn push_record(&mut self, key: K, value: V) -> io::Result<()> {
-        self.push(&[(key, value)])
+        // Buffer the record *before* any spill attempt: on a spill error
+        // the caller's (possibly only) copy of the value is then owned by
+        // the sorter rather than dropped on the error return.
+        if V::SPILL_FIXED_SIZE.is_none() {
+            self.buffered_value_bytes += value.spill_size();
+        }
+        self.buffer.push((key, value));
+        self.stats.records_pushed += 1;
+        if self.should_spill() {
+            self.spill_run()?;
+        }
+        Ok(())
     }
 
     /// Sorts the buffered run (seeding detection with the carried heavy
     /// keys) and updates the carry from its report.
     fn sort_buffer(&mut self) {
-        let report = sort_run_pairs_with(&mut self.buffer, &self.cfg.sort, &self.carry);
+        let report = V::sort_spill_run(&mut self.buffer, &self.cfg.sort, &self.carry);
         self.carry = report.heavy_keys;
         self.carry.truncate(self.cfg.max_carried_heavy_keys);
         self.stats.carried_heavy_keys = self.carry.len();
@@ -148,16 +193,13 @@ impl<K: IntegerKey, V: PodValue> StreamSorter<K, V> {
         self.runs.push(SpilledRun {
             path,
             len: self.buffer.len(),
+            bytes,
         });
         self.stats.spilled_runs += 1;
         self.stats.spilled_bytes += bytes;
         self.buffer.clear();
+        self.buffered_value_bytes = 0;
         Ok(())
-    }
-
-    /// Read-buffer bytes granted to each spilled run during the merge.
-    fn reader_budget(&self) -> usize {
-        (self.cfg.merge_read_buffer_bytes / self.runs.len().max(1)).clamp(4096, 8 << 20)
     }
 
     /// Finishes the sort, returning a streaming sorted iterator.
@@ -169,7 +211,8 @@ impl<K: IntegerKey, V: PodValue> StreamSorter<K, V> {
     pub fn finish(mut self) -> io::Result<SortedStream<K, V>> {
         self.sort_buffer();
         let total = self.len();
-        let reader_budget = self.reader_budget();
+        let reader_budget =
+            per_run_reader_budget(self.cfg.merge_read_buffer_bytes, self.runs.len());
         let mut cursors: Vec<RunCursor<V>> = Vec::with_capacity(self.runs.len() + 1);
         for run in &self.runs {
             cursors.push(RunCursor::open_disk(run, reader_budget)?);
@@ -207,10 +250,13 @@ impl<K: IntegerKey, V: PodValue> StreamSorter<K, V> {
         );
         self.sort_buffer();
         if self.runs.is_empty() {
-            out.copy_from_slice(&self.buffer);
+            for (slot, rec) in out.iter_mut().zip(self.buffer.drain(..)) {
+                *slot = rec;
+            }
             return Ok(());
         }
-        let reader_budget = self.reader_budget();
+        let reader_budget =
+            per_run_reader_budget(self.cfg.merge_read_buffer_bytes, self.runs.len());
         // Load all spilled runs back in parallel: each run is its own file,
         // so reads are independent and the deserialization fans out across
         // the pool.  Errors are surfaced after the barrier (first one wins).
@@ -229,16 +275,15 @@ impl<K: IntegerKey, V: PodValue> StreamSorter<K, V> {
         for res in results {
             loaded.push(res?);
         }
-        let mut slices: Vec<&[(K, V)]> = loaded.iter().map(|r| r.as_slice()).collect();
-        slices.push(&self.buffer);
-        kway_merge_into(&slices, out, &|a: &(K, V), b: &(K, V)| a.0 < b.0);
+        let tail = std::mem::take(&mut self.buffer);
+        V::merge_spill_runs_into(loaded, tail, out);
         Ok(())
     }
 
     /// [`StreamSorter::finish_into`] allocating the output vector.
     pub fn finish_vec(self) -> io::Result<Vec<(K, V)>> {
         let total = self.len();
-        let mut out = vec![(K::from_ordered_u64(0), pod_zeroed::<V>()); total];
+        let mut out = vec![(K::from_ordered_u64(0), V::spill_placeholder()); total];
         self.finish_into(&mut out)?;
         Ok(out)
     }
@@ -248,19 +293,105 @@ pub(crate) fn lt_by_ordered_key<V>(a: &(u64, V), b: &(u64, V)) -> bool {
     a.0 < b.0
 }
 
-enum CursorInner<V: PodValue> {
+/// Pod-path run sort: records move through DovetailSort directly (the
+/// pre-variable-length fast path, byte-for-byte).
+pub(crate) fn pod_sort_run<K: IntegerKey, V: PodValue>(
+    buffer: &mut [(K, V)],
+    cfg: &SortConfig,
+    carry: &[u64],
+) -> RunReport {
+    sort_run_pairs_with(buffer, cfg, carry)
+}
+
+/// Var-path run sort: DovetailSort moves only `(ordered key, index)` tags;
+/// the owned values are permuted once afterwards.  Stable because the sort
+/// is stable and tags are unique.  The permutation goes through a
+/// transient slot vector (one extra inline-size copy of the run) rather
+/// than in-place cycle-following: two straight-line passes beat chased
+/// cycles on large runs, and the inline records are a small fraction of a
+/// var-length run's footprint.
+pub(crate) fn var_sort_run<K: IntegerKey, V: VarValue>(
+    buffer: &mut Vec<(K, V)>,
+    cfg: &SortConfig,
+    carry: &[u64],
+) -> RunReport {
+    let mut tags: Vec<(u64, u64)> = buffer
+        .iter()
+        .enumerate()
+        .map(|(i, (k, _))| (k.to_ordered_u64(), i as u64))
+        .collect();
+    let report = sort_run_pairs_with(&mut tags, cfg, carry);
+    let mut slots: Vec<Option<(K, V)>> = buffer.drain(..).map(Some).collect();
+    buffer.extend(
+        tags.iter()
+            .map(|&(_, i)| slots[i as usize].take().expect("each slot moved once")),
+    );
+    report
+}
+
+/// Pod-path final merge: the parallel k-way merge over the records
+/// themselves (the pre-variable-length fast path, byte-for-byte).
+pub(crate) fn pod_merge_runs_into<K: IntegerKey, V: PodValue>(
+    runs: Vec<Vec<(K, V)>>,
+    tail: Vec<(K, V)>,
+    out: &mut [(K, V)],
+) {
+    let mut slices: Vec<&[(K, V)]> = runs.iter().map(|r| r.as_slice()).collect();
+    slices.push(&tail);
+    kway_merge_into(&slices, out, &|a: &(K, V), b: &(K, V)| a.0 < b.0);
+}
+
+/// Var-path final merge: the parallel k-way merge runs over pod
+/// `(ordered key, slot)` tags, then the owned records are gathered by tag.
+/// Ties favour earlier runs and slots increase within a run, so stability
+/// matches the pod path exactly.
+pub(crate) fn var_merge_runs_into<K: IntegerKey, V: VarValue>(
+    runs: Vec<Vec<(K, V)>>,
+    tail: Vec<(K, V)>,
+    out: &mut [(K, V)],
+) {
+    let mut key_runs: Vec<Vec<(u64, u64)>> = Vec::with_capacity(runs.len() + 1);
+    let mut base = 0u64;
+    for run in runs.iter().chain(std::iter::once(&tail)) {
+        key_runs.push(
+            run.iter()
+                .enumerate()
+                .map(|(i, (k, _))| (k.to_ordered_u64(), base + i as u64))
+                .collect(),
+        );
+        base += run.len() as u64;
+    }
+    debug_assert_eq!(base as usize, out.len());
+    let slices: Vec<&[(u64, u64)]> = key_runs.iter().map(|r| r.as_slice()).collect();
+    let mut merged = vec![(0u64, 0u64); out.len()];
+    kway_merge_into(&slices, &mut merged, &|a: &(u64, u64), b: &(u64, u64)| {
+        a.0 < b.0
+    });
+    let mut slots: Vec<Option<(K, V)>> = Vec::with_capacity(out.len());
+    for run in runs {
+        slots.extend(run.into_iter().map(Some));
+    }
+    slots.extend(tail.into_iter().map(Some));
+    for (slot, &(_, tag)) in out.iter_mut().zip(merged.iter()) {
+        *slot = slots[tag as usize]
+            .take()
+            .expect("each record gathered once");
+    }
+}
+
+enum CursorInner<V: SpillValue> {
     Disk(RunReader<V>),
     Memory(std::vec::IntoIter<(u64, V)>),
 }
 
 /// One run's cursor in the final merge ([`parlay::kway::RunSource`]).
 /// Shared with the streaming group-by merge ([`crate::groupby`]).
-pub(crate) struct RunCursor<V: PodValue> {
+pub(crate) struct RunCursor<V: SpillValue> {
     inner: CursorInner<V>,
     current: Option<(u64, V)>,
 }
 
-impl<V: PodValue> RunCursor<V> {
+impl<V: SpillValue> RunCursor<V> {
     pub(crate) fn open_disk(run: &SpilledRun, buffer_bytes: usize) -> io::Result<Self> {
         let mut reader = RunReader::open(run, buffer_bytes)?;
         let current = reader.next_record()?;
@@ -280,7 +411,7 @@ impl<V: PodValue> RunCursor<V> {
     }
 }
 
-impl<V: PodValue> RunSource for RunCursor<V> {
+impl<V: SpillValue> RunSource for RunCursor<V> {
     type Item = (u64, V);
 
     fn peek(&self) -> Option<&(u64, V)> {
@@ -309,7 +440,7 @@ impl<V: PodValue> RunSource for RunCursor<V> {
 /// run files are deleted on drop.  Open/initial-read errors surface from
 /// [`StreamSorter::finish`]; an I/O error in the middle of iteration
 /// panics (the spill files live in a directory this process just wrote).
-pub struct SortedStream<K: IntegerKey, V: PodValue> {
+pub struct SortedStream<K: IntegerKey, V: SpillValue> {
     tree: MergeTree<V>,
     remaining: usize,
     _space: Option<SpillSpace>,
@@ -318,7 +449,7 @@ pub struct SortedStream<K: IntegerKey, V: PodValue> {
 
 type MergeTree<V> = LoserTree<RunCursor<V>, fn(&(u64, V), &(u64, V)) -> bool>;
 
-impl<K: IntegerKey, V: PodValue> Iterator for SortedStream<K, V> {
+impl<K: IntegerKey, V: SpillValue> Iterator for SortedStream<K, V> {
     type Item = (K, V);
 
     fn next(&mut self) -> Option<(K, V)> {
@@ -332,7 +463,7 @@ impl<K: IntegerKey, V: PodValue> Iterator for SortedStream<K, V> {
     }
 }
 
-impl<K: IntegerKey, V: PodValue> ExactSizeIterator for SortedStream<K, V> {}
+impl<K: IntegerKey, V: SpillValue> ExactSizeIterator for SortedStream<K, V> {}
 
 #[cfg(test)]
 mod tests {
@@ -488,6 +619,135 @@ mod tests {
         assert!(std::fs::read_dir(&base).unwrap().count() > 0);
         drop(stream);
         assert_eq!(std::fs::read_dir(&base).unwrap().count(), 0);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    /// Deterministic variable-length payload embedding the record index.
+    fn payload(i: usize) -> String {
+        let filler = "abcdefghijklmnop"
+            .chars()
+            .cycle()
+            .take((i * 37) % 120)
+            .collect::<String>();
+        format!("v{i:06}-{filler}")
+    }
+
+    #[test]
+    fn string_values_spill_and_merge_stably() {
+        let n = 30_000usize;
+        let rng = Rng::new(21);
+        let input: Vec<(u64, String)> = (0..n)
+            .map(|i| (rng.ith_in(i as u64, 300), payload(i)))
+            .collect();
+        let mut sorter: StreamSorter<u64, String> = StreamSorter::with_config(tiny_cfg(64 << 10));
+        for chunk in input.chunks(997) {
+            sorter.push(chunk).unwrap();
+        }
+        assert!(
+            sorter.stats().spilled_runs > 2,
+            "stats: {:?}",
+            sorter.stats()
+        );
+        let got: Vec<(u64, String)> = sorter.finish().unwrap().collect();
+        let mut want = input;
+        want.sort_by_key(|r| r.0);
+        assert_eq!(got, want, "stable sorted permutation of string records");
+    }
+
+    #[test]
+    fn string_finish_paths_agree() {
+        let n = 12_000usize;
+        let rng = Rng::new(22);
+        let input: Vec<(u32, String)> = (0..n)
+            .map(|i| (rng.ith_in(i as u64, 64) as u32, payload(i)))
+            .collect();
+        let mk = || {
+            let mut s: StreamSorter<u32, String> = StreamSorter::with_config(tiny_cfg(32 << 10));
+            s.push(&input).unwrap();
+            assert!(s.stats().spilled_runs > 0);
+            s
+        };
+        let via_iter: Vec<(u32, String)> = mk().finish().unwrap().collect();
+        let via_vec = mk().finish_vec().unwrap();
+        let mut via_slice = vec![(0u32, String::new()); n];
+        mk().finish_into(&mut via_slice).unwrap();
+        let mut want = input;
+        want.sort_by_key(|r| r.0);
+        assert_eq!(via_iter, want);
+        assert_eq!(via_vec, want);
+        assert_eq!(via_slice, want);
+    }
+
+    #[test]
+    fn byte_vec_values_roundtrip_including_empty_and_multi_kb() {
+        let rng = Rng::new(23);
+        let input: Vec<(u32, Vec<u8>)> = (0..4_000usize)
+            .map(|i| {
+                let len = match i % 3 {
+                    0 => 0,
+                    1 => (i * 13) % 200,
+                    _ => 2048 + (i % 1024),
+                };
+                let payload = (0..len).map(|j| (i + j) as u8).collect();
+                (rng.ith_in(i as u64, 40) as u32, payload)
+            })
+            .collect();
+        let mut sorter: StreamSorter<u32, Vec<u8>> = StreamSorter::with_config(tiny_cfg(64 << 10));
+        sorter.push(&input).unwrap();
+        assert!(sorter.stats().spilled_runs > 0);
+        let got = sorter.finish_vec().unwrap();
+        let mut want = input;
+        want.sort_by_key(|r| r.0);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn large_var_values_spill_by_bytes_not_record_count() {
+        // 100 records fit the record-count capacity comfortably, but their
+        // multi-KiB payloads exceed half the budget many times over; the
+        // byte tracker must force spills anyway.
+        let mut sorter: StreamSorter<u64, String> = StreamSorter::with_config(tiny_cfg(64 << 10));
+        assert!(sorter.run_capacity > 100, "premise: count would not spill");
+        for i in 0..100u64 {
+            sorter.push_record(i % 7, "z".repeat(2 << 10)).unwrap();
+        }
+        assert!(
+            sorter.stats().spilled_runs > 3,
+            "payload bytes must trigger spills: {:?}",
+            sorter.stats()
+        );
+        let got = sorter.finish_vec().unwrap();
+        assert_eq!(got.len(), 100);
+        assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn records_pushed_counts_accepted_records_when_spill_fails() {
+        // Point the spill directory below a regular *file*: creating the
+        // unique spill subdirectory fails, so the first spill errors out.
+        let base = std::env::temp_dir().join(format!("pisort-failtest-{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        let blocker = base.join("not-a-directory");
+        std::fs::write(&blocker, b"x").unwrap();
+        let cfg = StreamConfig {
+            spill_dir: Some(blocker.clone()),
+            ..tiny_cfg(16 << 10)
+        };
+        let mut sorter: StreamSorter<u32, u32> = StreamSorter::with_config(cfg);
+        let batch: Vec<(u32, u32)> = (0..20_000u32).map(|i| (i, i)).collect();
+        let err = sorter
+            .push(&batch)
+            .expect_err("spill into a file must fail");
+        assert_ne!(err.kind(), io::ErrorKind::NotFound);
+        // Regression (stats drift): every record the sorter still owns is
+        // counted, even though the batch failed part-way.
+        assert!(sorter.stats().records_pushed > 0);
+        assert_eq!(
+            sorter.stats().records_pushed,
+            sorter.len() as u64,
+            "records_pushed must track exactly the records the sorter holds"
+        );
+        assert_eq!(sorter.stats().spilled_runs, 0);
         std::fs::remove_dir_all(&base).ok();
     }
 }

@@ -1,6 +1,10 @@
-//! On-disk run format and buffered run readers.
+//! On-disk run formats and buffered run readers.
 //!
-//! A spilled run is a flat sequence of fixed-size records:
+//! A spilled run is a flat sequence of records in one of two formats,
+//! chosen statically by the value type ([`SpillValue`]):
+//!
+//! **Fixed** — for [`PodValue`] types, whose in-memory byte image is the
+//! record payload:
 //!
 //! ```text
 //! ┌────────────────────────┬───────────────────┐
@@ -8,13 +12,28 @@
 //! └────────────────────────┴───────────────────┘
 //! ```
 //!
+//! **Variable-length** — for [`VarValue`] types (`Vec<u8>`, `String`,
+//! `Box<[u8]>`), whose payload is length-prefixed:
+//!
+//! ```text
+//! ┌────────────────────────┬────────────────────┬───────────────────┐
+//! │ key (8 bytes, LE)      │ value_len (u32 LE) │ value bytes       │  × run length
+//! └────────────────────────┴────────────────────┴───────────────────┘
+//! ```
+//!
 //! Keys are stored in the ordered-`u64` domain
 //! ([`dtsort::IntegerKey::to_ordered_u64`]), so the merge compares raw
 //! `u64`s and the original key type is reconstructed only on output.
-//! Values are written as their in-memory bytes, which is why they must
-//! implement the padding-free [`PodValue`] contract.
+//! Fixed-format values are written as their in-memory bytes, which is why
+//! they must implement the padding-free [`PodValue`] contract; var-format
+//! values stream through a reusable side buffer sized to the largest value
+//! seen, never through `size_of::<V>()` scratch.
+//!
+//! Every [`SpilledRun`] records both its record count and its exact byte
+//! size, so truncated spill files are rejected at open time in either
+//! format, and a corrupted length prefix can never read past the run.
 
-use dtsort::IntegerKey;
+use dtsort::{IntegerKey, RunReport, SortConfig};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::marker::PhantomData;
@@ -51,7 +70,12 @@ impl Drop for SpillSpace {
     }
 }
 
-/// Marker for values that can be spilled by their in-memory byte image.
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// Marker for values that can be spilled by their in-memory byte image
+/// (the *fixed* on-disk record format).
 ///
 /// # Safety
 ///
@@ -62,28 +86,113 @@ impl Drop for SpillSpace {
 /// structs/tuples with padding do not.
 pub unsafe trait PodValue: Copy + Send + Sync + 'static {}
 
-macro_rules! impl_pod {
-    ($($t:ty),*) => {$( unsafe impl PodValue for $t {} )*};
+/// Values spilled through the *variable-length* on-disk record format:
+/// anything serializable to (and from) a byte slice.
+///
+/// Implemented for `Vec<u8>`, `String` and `Box<[u8]>`.  `from_spill_bytes`
+/// may fail with [`io::ErrorKind::InvalidData`] when the bytes violate the
+/// type's invariants (e.g. non-UTF-8 bytes read back as a `String`), which
+/// surfaces file corruption instead of panicking mid-merge.
+pub trait VarValue: Clone + Send + Sync + 'static {
+    /// The serialized payload of this value.
+    fn as_spill_bytes(&self) -> &[u8];
+    /// Reconstructs a value from a payload previously produced by
+    /// [`VarValue::as_spill_bytes`].
+    fn from_spill_bytes(bytes: &[u8]) -> io::Result<Self>;
 }
-impl_pod!(
-    (),
-    u8,
-    u16,
-    u32,
-    u64,
-    u128,
-    usize,
-    i8,
-    i16,
-    i32,
-    i64,
-    i128,
-    isize,
-    f32,
-    f64,
-    bool
-);
-unsafe impl<T: PodValue, const N: usize> PodValue for [T; N] {}
+
+impl VarValue for Vec<u8> {
+    fn as_spill_bytes(&self) -> &[u8] {
+        self
+    }
+    fn from_spill_bytes(bytes: &[u8]) -> io::Result<Self> {
+        Ok(bytes.to_vec())
+    }
+}
+
+impl VarValue for Box<[u8]> {
+    fn as_spill_bytes(&self) -> &[u8] {
+        self
+    }
+    fn from_spill_bytes(bytes: &[u8]) -> io::Result<Self> {
+        Ok(bytes.to_vec().into_boxed_slice())
+    }
+}
+
+impl VarValue for String {
+    fn as_spill_bytes(&self) -> &[u8] {
+        self.as_bytes()
+    }
+    fn from_spill_bytes(bytes: &[u8]) -> io::Result<Self> {
+        String::from_utf8(bytes.to_vec()).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("spilled String payload is not UTF-8: {e}"),
+            )
+        })
+    }
+}
+
+/// A value the streaming sorter and group-by can spill to disk: either a
+/// [`PodValue`] (fixed-size records, zero-copy byte images) or a
+/// [`VarValue`] (`Vec<u8>`, `String`, `Box<[u8]>`; length-prefixed
+/// records).
+///
+/// This trait is **sealed**: the two families have different on-disk
+/// formats and different in-memory sort/merge strategies, and each listed
+/// type is wired to the right one here.  User code only ever names the
+/// trait in bounds (`StreamSorter<u64, String>` just works).
+pub trait SpillValue: Clone + Send + Sync + 'static + sealed::Sealed {
+    /// `Some(n)` for fixed `n`-byte payloads, `None` for length-prefixed
+    /// payloads.
+    #[doc(hidden)]
+    const SPILL_FIXED_SIZE: Option<usize>;
+
+    /// On-disk payload bytes of this value (length prefix included).
+    #[doc(hidden)]
+    fn spill_size(&self) -> usize;
+
+    /// Writes this value's payload (length prefix included).
+    #[doc(hidden)]
+    fn spill_write(&self, w: &mut BufWriter<File>) -> io::Result<()>;
+
+    /// Reads one payload; `payload_budget` is the number of bytes left in
+    /// the run after the record's key, bounding length prefixes so a
+    /// corrupted prefix cannot read past the run (or allocate unboundedly).
+    #[doc(hidden)]
+    fn spill_read(
+        r: &mut BufReader<File>,
+        scratch: &mut Vec<u8>,
+        payload_budget: u64,
+    ) -> io::Result<Self>
+    where
+        Self: Sized;
+
+    /// A cheap placeholder value for pre-sized output buffers.
+    #[doc(hidden)]
+    fn spill_placeholder() -> Self;
+
+    /// Stably sorts one buffered run by key, seeding heavy-key detection
+    /// with `carry` (see [`dtsort::sort_run_pairs_with`]).
+    #[doc(hidden)]
+    fn sort_spill_run<K: IntegerKey>(
+        buffer: &mut Vec<(K, Self)>,
+        cfg: &SortConfig,
+        carry: &[u64],
+    ) -> RunReport
+    where
+        Self: Sized;
+
+    /// Stably k-way merges the sorted `runs` plus the sorted in-memory
+    /// `tail` into `out` (ties favour earlier runs; the tail is last).
+    #[doc(hidden)]
+    fn merge_spill_runs_into<K: IntegerKey>(
+        runs: Vec<Vec<(K, Self)>>,
+        tail: Vec<(K, Self)>,
+        out: &mut [(K, Self)],
+    ) where
+        Self: Sized;
+}
 
 /// A value every bit of which is zero (valid for any [`PodValue`]).
 pub(crate) fn pod_zeroed<V: PodValue>() -> V {
@@ -105,57 +214,275 @@ fn value_from_bytes<V: PodValue>(bytes: &[u8]) -> V {
     unsafe { std::ptr::read_unaligned(bytes.as_ptr().cast::<V>()) }
 }
 
-/// Size in bytes of one on-disk record of value type `V`.
-pub(crate) fn record_size<V: PodValue>() -> usize {
-    8 + size_of::<V>()
+fn short_run_err(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, what.to_string())
 }
 
+fn pod_spill_read<V: PodValue>(
+    r: &mut BufReader<File>,
+    scratch: &mut Vec<u8>,
+    payload_budget: u64,
+) -> io::Result<V> {
+    let n = size_of::<V>();
+    if (n as u64) > payload_budget {
+        return Err(short_run_err("spilled run ended mid-value"));
+    }
+    scratch.resize(n, 0);
+    r.read_exact(scratch)?;
+    Ok(value_from_bytes(scratch))
+}
+
+fn var_spill_write<V: VarValue>(v: &V, w: &mut BufWriter<File>) -> io::Result<()> {
+    let bytes = v.as_spill_bytes();
+    let len = u32::try_from(bytes.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "value of {} bytes exceeds the u32 spill length prefix",
+                bytes.len()
+            ),
+        )
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(bytes)
+}
+
+fn var_spill_read<V: VarValue>(
+    r: &mut BufReader<File>,
+    scratch: &mut Vec<u8>,
+    payload_budget: u64,
+) -> io::Result<V> {
+    if payload_budget < 4 {
+        return Err(short_run_err("spilled run ended mid-length-prefix"));
+    }
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u64::from(u32::from_le_bytes(len_bytes));
+    if len > payload_budget - 4 {
+        return Err(short_run_err(
+            "value length prefix exceeds the bytes remaining in the spilled run",
+        ));
+    }
+    scratch.resize(len as usize, 0);
+    r.read_exact(scratch)?;
+    V::from_spill_bytes(scratch)
+}
+
+macro_rules! impl_pod_spill {
+    ($($t:ty),* $(,)?) => {$(
+        unsafe impl PodValue for $t {}
+        impl sealed::Sealed for $t {}
+        impl SpillValue for $t {
+            const SPILL_FIXED_SIZE: Option<usize> = Some(size_of::<$t>());
+            fn spill_size(&self) -> usize {
+                size_of::<$t>()
+            }
+            fn spill_write(&self, w: &mut BufWriter<File>) -> io::Result<()> {
+                w.write_all(value_bytes(self))
+            }
+            fn spill_read(
+                r: &mut BufReader<File>,
+                scratch: &mut Vec<u8>,
+                payload_budget: u64,
+            ) -> io::Result<Self> {
+                pod_spill_read(r, scratch, payload_budget)
+            }
+            fn spill_placeholder() -> Self {
+                pod_zeroed()
+            }
+            fn sort_spill_run<K: IntegerKey>(
+                buffer: &mut Vec<(K, Self)>,
+                cfg: &SortConfig,
+                carry: &[u64],
+            ) -> RunReport {
+                crate::sorter::pod_sort_run(buffer, cfg, carry)
+            }
+            fn merge_spill_runs_into<K: IntegerKey>(
+                runs: Vec<Vec<(K, Self)>>,
+                tail: Vec<(K, Self)>,
+                out: &mut [(K, Self)],
+            ) {
+                crate::sorter::pod_merge_runs_into(runs, tail, out)
+            }
+        }
+    )*};
+}
+impl_pod_spill!(
+    (),
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+);
+
+unsafe impl<T: PodValue, const N: usize> PodValue for [T; N] {}
+impl<T: PodValue, const N: usize> sealed::Sealed for [T; N] {}
+impl<T: PodValue, const N: usize> SpillValue for [T; N] {
+    const SPILL_FIXED_SIZE: Option<usize> = Some(size_of::<[T; N]>());
+    fn spill_size(&self) -> usize {
+        size_of::<Self>()
+    }
+    fn spill_write(&self, w: &mut BufWriter<File>) -> io::Result<()> {
+        w.write_all(value_bytes(self))
+    }
+    fn spill_read(
+        r: &mut BufReader<File>,
+        scratch: &mut Vec<u8>,
+        payload_budget: u64,
+    ) -> io::Result<Self> {
+        pod_spill_read(r, scratch, payload_budget)
+    }
+    fn spill_placeholder() -> Self {
+        pod_zeroed()
+    }
+    fn sort_spill_run<K: IntegerKey>(
+        buffer: &mut Vec<(K, Self)>,
+        cfg: &SortConfig,
+        carry: &[u64],
+    ) -> RunReport {
+        crate::sorter::pod_sort_run(buffer, cfg, carry)
+    }
+    fn merge_spill_runs_into<K: IntegerKey>(
+        runs: Vec<Vec<(K, Self)>>,
+        tail: Vec<(K, Self)>,
+        out: &mut [(K, Self)],
+    ) {
+        crate::sorter::pod_merge_runs_into(runs, tail, out)
+    }
+}
+
+macro_rules! impl_var_spill {
+    ($($t:ty),* $(,)?) => {$(
+        impl sealed::Sealed for $t {}
+        impl SpillValue for $t {
+            const SPILL_FIXED_SIZE: Option<usize> = None;
+            fn spill_size(&self) -> usize {
+                4 + self.as_spill_bytes().len()
+            }
+            fn spill_write(&self, w: &mut BufWriter<File>) -> io::Result<()> {
+                var_spill_write(self, w)
+            }
+            fn spill_read(
+                r: &mut BufReader<File>,
+                scratch: &mut Vec<u8>,
+                payload_budget: u64,
+            ) -> io::Result<Self> {
+                var_spill_read(r, scratch, payload_budget)
+            }
+            fn spill_placeholder() -> Self {
+                <$t as VarValue>::from_spill_bytes(&[]).expect("empty payload is valid")
+            }
+            fn sort_spill_run<K: IntegerKey>(
+                buffer: &mut Vec<(K, Self)>,
+                cfg: &SortConfig,
+                carry: &[u64],
+            ) -> RunReport {
+                crate::sorter::var_sort_run(buffer, cfg, carry)
+            }
+            fn merge_spill_runs_into<K: IntegerKey>(
+                runs: Vec<Vec<(K, Self)>>,
+                tail: Vec<(K, Self)>,
+                out: &mut [(K, Self)],
+            ) {
+                crate::sorter::var_merge_runs_into(runs, tail, out)
+            }
+        }
+    )*};
+}
+impl_var_spill!(Vec<u8>, String, Box<[u8]>);
+
 /// Writes a sorted run to `path`; returns the bytes written.
-pub(crate) fn write_run<K: IntegerKey, V: PodValue>(
+pub(crate) fn write_run<K: IntegerKey, V: SpillValue>(
     path: &Path,
     records: &[(K, V)],
 ) -> io::Result<u64> {
     let file = File::create(path)?;
     let mut writer = BufWriter::with_capacity(1 << 20, file);
-    for &(key, value) in records {
+    let mut bytes = 0u64;
+    for (key, value) in records {
         writer.write_all(&key.to_ordered_u64().to_le_bytes())?;
-        writer.write_all(value_bytes(&value))?;
+        value.spill_write(&mut writer)?;
+        bytes += 8 + value.spill_size() as u64;
     }
     writer.flush()?;
-    Ok((record_size::<V>() * records.len()) as u64)
+    Ok(bytes)
 }
 
-/// Metadata of one spilled run.
+/// Metadata of one spilled run: record count *and* exact byte size, so
+/// readers can reject truncated or overcounted runs in either format.
 #[derive(Debug)]
 pub(crate) struct SpilledRun {
     pub path: PathBuf,
     pub len: usize,
+    pub bytes: u64,
+}
+
+/// Read-buffer bytes granted to each of `runs` spilled runs during a
+/// merge: one shared pool of `total_bytes`, clamped per run to
+/// `[4 KiB, 8 MiB]`.  The single clamp shared by the sorter and the
+/// group-by, so the two paths cannot drift.
+pub(crate) fn per_run_reader_budget(total_bytes: usize, runs: usize) -> usize {
+    (total_bytes / runs.max(1)).clamp(4096, 8 << 20)
+}
+
+/// Whether `buffered_bytes` of variable-length payloads justify spilling a
+/// run: half the memory budget (the rest is sort/aggregation working
+/// space).  Always false for fixed-size values, whose footprint the
+/// record-count capacity already bounds.  One policy shared by the sorter
+/// and the group-by, so the two engines cannot drift.
+pub(crate) fn var_payload_should_spill<V: SpillValue>(
+    buffered_bytes: usize,
+    memory_budget_bytes: usize,
+) -> bool {
+    V::SPILL_FIXED_SIZE.is_none() && buffered_bytes >= memory_budget_bytes / 2
+}
+
+/// Spilled payload bytes of `chunk`, or 0 for fixed-size values (whose
+/// byte meter is never consulted).
+pub(crate) fn var_payload_bytes<K, V: SpillValue>(chunk: &[(K, V)]) -> usize {
+    if V::SPILL_FIXED_SIZE.is_some() {
+        return 0;
+    }
+    chunk.iter().map(|(_, v)| v.spill_size()).sum()
 }
 
 /// Buffered sequential reader over one spilled run.
-pub(crate) struct RunReader<V: PodValue> {
+pub(crate) struct RunReader<V: SpillValue> {
     reader: BufReader<File>,
     remaining: usize,
+    bytes_remaining: u64,
+    /// Side buffer values stream through; for var-format runs it grows to
+    /// the largest value of the run and is reused across records.
     scratch: Vec<u8>,
     _value: PhantomData<V>,
 }
 
-impl<V: PodValue> RunReader<V> {
+impl<V: SpillValue> RunReader<V> {
     pub fn open(run: &SpilledRun, buffer_bytes: usize) -> io::Result<Self> {
         let file = File::open(&run.path)?;
         // Validate the file length eagerly: a truncated spill file must
         // surface as an I/O error here, at open time, rather than as a
         // mid-merge failure (or, worse, a silently shorter output if a
-        // caller ever trusted the byte stream over `run.len`).
-        let expected = (run.len as u64) * record_size::<V>() as u64;
+        // caller ever trusted the byte stream over the run metadata).
         let actual = file.metadata()?.len();
-        if actual < expected {
+        if actual < run.bytes {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 format!(
                     "truncated spilled run {}: expected {} bytes for {} records, found {}",
                     run.path.display(),
-                    expected,
+                    run.bytes,
                     run.len,
                     actual
                 ),
@@ -164,7 +491,8 @@ impl<V: PodValue> RunReader<V> {
         Ok(Self {
             reader: BufReader::with_capacity(buffer_bytes.max(4096), file),
             remaining: run.len,
-            scratch: vec![0u8; size_of::<V>()],
+            bytes_remaining: run.bytes,
+            scratch: Vec::new(),
             _value: PhantomData,
         })
     }
@@ -174,14 +502,20 @@ impl<V: PodValue> RunReader<V> {
         if self.remaining == 0 {
             return Ok(None);
         }
+        if self.bytes_remaining < 8 {
+            // The run claims more records than its bytes can hold; refuse
+            // to read past the end rather than serve garbage.
+            return Err(short_run_err(
+                "spilled run record count exceeds its byte size",
+            ));
+        }
         let mut key_bytes = [0u8; 8];
         self.reader.read_exact(&mut key_bytes)?;
-        self.reader.read_exact(&mut self.scratch)?;
+        let payload_budget = self.bytes_remaining - 8;
+        let value = V::spill_read(&mut self.reader, &mut self.scratch, payload_budget)?;
+        self.bytes_remaining = payload_budget - value.spill_size() as u64;
         self.remaining -= 1;
-        Ok(Some((
-            u64::from_le_bytes(key_bytes),
-            value_from_bytes(&self.scratch),
-        )))
+        Ok(Some((u64::from_le_bytes(key_bytes), value)))
     }
 
     /// Reads all remaining records, reconstructing the key type.
@@ -204,16 +538,26 @@ mod tests {
         dir.join(name)
     }
 
+    fn fixed_record_size<V: PodValue>() -> u64 {
+        8 + size_of::<V>() as u64
+    }
+
+    /// Writes `records` and returns run metadata matching the file.
+    fn spill<K: IntegerKey, V: SpillValue>(path: &Path, records: &[(K, V)]) -> SpilledRun {
+        let bytes = write_run(path, records).unwrap();
+        SpilledRun {
+            path: path.to_path_buf(),
+            len: records.len(),
+            bytes,
+        }
+    }
+
     #[test]
     fn roundtrip_u32_keys_u32_values() {
         let path = tmp_path("u32u32.bin");
         let records: Vec<(u32, u32)> = (0..1000u32).map(|i| (i * 3, i)).collect();
-        let bytes = write_run(&path, &records).unwrap();
-        assert_eq!(bytes, 12 * 1000);
-        let run = SpilledRun {
-            path: path.clone(),
-            len: records.len(),
-        };
+        let run = spill(&path, &records);
+        assert_eq!(run.bytes, 12 * 1000);
         let mut reader = RunReader::<u32>::open(&run, 4096).unwrap();
         let got: Vec<(u32, u32)> = reader.read_all().unwrap();
         assert_eq!(got, records);
@@ -224,11 +568,7 @@ mod tests {
     fn roundtrip_signed_keys_and_unit_values() {
         let path = tmp_path("i64unit.bin");
         let records: Vec<(i64, ())> = vec![(i64::MIN, ()), (-1, ()), (0, ()), (i64::MAX, ())];
-        write_run(&path, &records).unwrap();
-        let run = SpilledRun {
-            path: path.clone(),
-            len: records.len(),
-        };
+        let run = spill(&path, &records);
         let mut reader = RunReader::<()>::open(&run, 4096).unwrap();
         let got: Vec<(i64, ())> = reader.read_all().unwrap();
         assert_eq!(got, records);
@@ -246,11 +586,7 @@ mod tests {
     fn roundtrip_array_values() {
         let path = tmp_path("arr.bin");
         let records: Vec<(u16, [u8; 5])> = (0..100u16).map(|i| (i, [i as u8; 5])).collect();
-        write_run(&path, &records).unwrap();
-        let run = SpilledRun {
-            path: path.clone(),
-            len: records.len(),
-        };
+        let run = spill(&path, &records);
         let got: Vec<(u16, [u8; 5])> = RunReader::<[u8; 5]>::open(&run, 4096)
             .unwrap()
             .read_all()
@@ -260,18 +596,72 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_string_values_incl_empty_and_multi_kb() {
+        let path = tmp_path("varstr.bin");
+        let big = "x".repeat(5 << 10);
+        let records: Vec<(u64, String)> = vec![
+            (3, String::new()),
+            (5, "hello".to_string()),
+            (7, big.clone()),
+            (9, "naïve-ütf8-τ".to_string()),
+            (11, String::new()),
+            (13, big),
+        ];
+        let run = spill(&path, &records);
+        let payload: usize = records.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(run.bytes, (records.len() * 12 + payload) as u64);
+        let got: Vec<(u64, String)> = RunReader::<String>::open(&run, 4096)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert_eq!(got, records);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn roundtrip_byte_vec_and_boxed_slice_values() {
+        let path = tmp_path("varbytes.bin");
+        let records: Vec<(u32, Vec<u8>)> = (0..200u32)
+            .map(|i| {
+                (
+                    i,
+                    (0..(i as usize * 13) % 2048)
+                        .map(|j| (i + j as u32) as u8)
+                        .collect(),
+                )
+            })
+            .collect();
+        let run = spill(&path, &records);
+        let got: Vec<(u32, Vec<u8>)> = RunReader::<Vec<u8>>::open(&run, 4096)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert_eq!(got, records);
+        // The same payloads round-trip as Box<[u8]> (same on-disk format).
+        let boxed: Vec<(u32, Box<[u8]>)> = records
+            .iter()
+            .map(|(k, v)| (*k, v.clone().into_boxed_slice()))
+            .collect();
+        let path2 = tmp_path("varboxed.bin");
+        let run2 = spill(&path2, &boxed);
+        assert_eq!(run2.bytes, run.bytes);
+        let got2: Vec<(u32, Box<[u8]>)> = RunReader::<Box<[u8]>>::open(&run2, 4096)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert_eq!(got2, boxed);
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(path2).ok();
+    }
+
+    #[test]
     fn truncated_run_is_an_io_error_not_a_short_read() {
         let path = tmp_path("truncated.bin");
         let records: Vec<(u32, u32)> = (0..500u32).map(|i| (i, i * 2)).collect();
-        write_run(&path, &records).unwrap();
-        let run = SpilledRun {
-            path: path.clone(),
-            len: records.len(),
-        };
-        let full_bytes = (record_size::<u32>() * records.len()) as u64;
+        let run = spill(&path, &records);
         // Truncation mid-record and exactly at a record boundary must both
         // fail at open — never yield fewer records than `run.len`.
-        for cut in [full_bytes - 5, full_bytes - record_size::<u32>() as u64, 0] {
+        for cut in [run.bytes - 5, run.bytes - fixed_record_size::<u32>(), 0] {
             let f = File::options().write(true).open(&path).unwrap();
             f.set_len(cut).unwrap();
             drop(f);
@@ -287,28 +677,60 @@ mod tests {
     }
 
     #[test]
+    fn truncated_varlen_run_is_an_io_error() {
+        let path = tmp_path("var-truncated.bin");
+        let records: Vec<(u64, String)> = (0..100u64)
+            .map(|i| {
+                (
+                    i,
+                    format!("payload-{i}-{}", "y".repeat((i as usize * 7) % 90)),
+                )
+            })
+            .collect();
+        let run = spill(&path, &records);
+        let last_payload = records.last().unwrap().1.len() as u64;
+        let last_record = 8 + 4 + last_payload;
+        // Mid-value, mid-length-prefix, exactly at a record boundary, empty.
+        for cut in [
+            run.bytes - 1,
+            run.bytes - last_payload - 2,
+            run.bytes - last_record,
+            0,
+        ] {
+            let f = File::options().write(true).open(&path).unwrap();
+            f.set_len(cut).unwrap();
+            drop(f);
+            let err = match RunReader::<String>::open(&run, 4096) {
+                Err(e) => e,
+                Ok(mut reader) => reader
+                    .read_all::<u64>()
+                    .expect_err("short file must not read back successfully"),
+            };
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
     fn overcounted_run_length_is_an_io_error() {
         // A run whose metadata claims more records than the file holds is
         // the dual failure: the reader must refuse it rather than serve a
         // shorter stream.
         let path = tmp_path("overcount.bin");
         let records: Vec<(u64, ())> = (0..100u64).map(|i| (i, ())).collect();
-        write_run(&path, &records).unwrap();
+        let good = spill(&path, &records);
         let run = SpilledRun {
             path: path.clone(),
             len: records.len() + 1,
+            bytes: good.bytes + fixed_record_size::<()>(),
         };
         let err = match RunReader::<()>::open(&run, 4096) {
             Err(e) => e,
             Ok(_) => panic!("overcount must fail"),
         };
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
-        // The correct length still reads fine.
-        let ok = SpilledRun {
-            path: path.clone(),
-            len: records.len(),
-        };
-        let got: Vec<(u64, ())> = RunReader::<()>::open(&ok, 4096)
+        // The correct metadata still reads fine.
+        let got: Vec<(u64, ())> = RunReader::<()>::open(&good, 4096)
             .unwrap()
             .read_all()
             .unwrap();
@@ -317,9 +739,81 @@ mod tests {
     }
 
     #[test]
+    fn overcounted_varlen_record_count_is_an_io_error() {
+        // Var-format dual failure: byte size matches the file but the
+        // record count claims one more record than the bytes hold.  Open
+        // cannot catch this (the byte size is honest), so the reader must
+        // refuse at the point the counts disagree.
+        let path = tmp_path("var-overcount.bin");
+        let records: Vec<(u64, Vec<u8>)> = (0..50u64).map(|i| (i, vec![i as u8; 10])).collect();
+        let good = spill(&path, &records);
+        let run = SpilledRun {
+            path: path.clone(),
+            len: records.len() + 1,
+            bytes: good.bytes,
+        };
+        let mut reader = RunReader::<Vec<u8>>::open(&run, 4096).unwrap();
+        let err = reader
+            .read_all::<u64>()
+            .expect_err("overcounted record count must fail");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupted_length_prefix_cannot_read_past_the_run() {
+        let path = tmp_path("var-badprefix.bin");
+        let records: Vec<(u64, Vec<u8>)> = (0..10u64).map(|i| (i, vec![7u8; 16])).collect();
+        let run = spill(&path, &records);
+        // Overwrite the first record's length prefix (offset 8) with a huge
+        // value; the file size is unchanged, so only the in-stream budget
+        // check can catch it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let mut reader = RunReader::<Vec<u8>>::open(&run, 4096).unwrap();
+        let err = reader
+            .read_all::<u64>()
+            .expect_err("corrupted length prefix must fail");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn non_utf8_string_payload_is_invalid_data() {
+        // Write raw bytes, read back as String: the var formats are
+        // identical, so this models on-disk corruption of a String run.
+        let path = tmp_path("var-badutf8.bin");
+        let records: Vec<(u64, Vec<u8>)> = vec![(1, vec![0xFF, 0xFE, 0xFD])];
+        let run = spill(&path, &records);
+        let mut reader = RunReader::<String>::open(&run, 4096).unwrap();
+        let err = reader
+            .read_all::<u64>()
+            .expect_err("non-UTF-8 String payload must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn reader_budget_is_clamped_and_shared() {
+        assert_eq!(per_run_reader_budget(8 << 20, 2), 4 << 20);
+        assert_eq!(per_run_reader_budget(8 << 20, 0), 8 << 20);
+        assert_eq!(per_run_reader_budget(1 << 10, 4), 4096);
+        assert_eq!(per_run_reader_budget(usize::MAX, 1), 8 << 20);
+    }
+
+    #[test]
     fn zeroed_pod_values() {
         assert_eq!(pod_zeroed::<u64>(), 0);
         assert_eq!(pod_zeroed::<[u32; 3]>(), [0, 0, 0]);
         pod_zeroed::<()>();
+    }
+
+    #[test]
+    fn spill_placeholders_are_empty() {
+        assert_eq!(String::spill_placeholder(), "");
+        assert_eq!(Vec::<u8>::spill_placeholder(), Vec::<u8>::new());
+        assert_eq!(u64::spill_placeholder(), 0);
+        assert_eq!(Box::<[u8]>::spill_placeholder().len(), 0);
     }
 }

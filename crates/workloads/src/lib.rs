@@ -16,6 +16,9 @@
 //!   Table 4, plus a CSR representation.
 //! * [`points`] — 2D/3D point-cloud generators including a Varden-style
 //!   variable-density generator, used by the Morton-sort experiments.
+//! * [`strings`] — deterministic variable-length string payloads paired
+//!   with the key distributions, for the streaming sorter's and group-by's
+//!   `VarValue` paths.
 //!
 //! All generators take an explicit seed and are deterministic, so every
 //! experiment in `EXPERIMENTS.md` is exactly reproducible.
@@ -24,6 +27,7 @@ pub mod batches;
 pub mod dist;
 pub mod graphs;
 pub mod points;
+pub mod strings;
 pub mod zipf;
 
 pub use batches::{batches_u32, BatchStream};
@@ -33,4 +37,5 @@ pub use dist::{
 };
 pub use graphs::{Csr, EdgeList};
 pub use points::{Point2, Point3};
+pub use strings::{generate_string_pairs, payload_for, StringBatchStream};
 pub use zipf::ZipfSampler;

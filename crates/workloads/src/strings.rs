@@ -1,0 +1,175 @@
+//! Deterministic variable-length string payloads for the streaming
+//! scenarios.
+//!
+//! The streaming sorter and group-by now spill variable-length values
+//! (`String` / `Vec<u8>`); these generators pair the paper's key
+//! distributions with deterministic string payloads so those paths can be
+//! exercised (and benchmarked) exactly like the pod-value paths.
+//!
+//! Each payload is a pure function of `(seed, global index)`: a short
+//! index tag followed by pseudo-random ASCII filler whose length is drawn
+//! uniformly from `[min_len, max_len]`.  The tag makes every payload
+//! distinct, so byte-identical-output assertions (e.g. the thread-count
+//! determinism matrix) are as strict as possible.
+
+use crate::batches::BatchStream;
+use crate::dist::Distribution;
+use parlay::random::Rng;
+
+const FILLER: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-._~";
+
+/// The deterministic payload of record `index`: `"v{index:08x}:"` followed
+/// by filler, with total filler length drawn uniformly from
+/// `[min_len, max_len]`.
+pub fn payload_for(seed: u64, index: u64, min_len: usize, max_len: usize) -> String {
+    let rng = Rng::new(seed ^ 0x7061_796C_6F61_6421).fork(index);
+    let span = max_len.saturating_sub(min_len) as u64 + 1;
+    let len = min_len + rng.ith_in(0, span) as usize;
+    let mut out = String::with_capacity(11 + len);
+    out.push('v');
+    out.push_str(&format!("{index:08x}:"));
+    for j in 0..len {
+        out.push(FILLER[rng.ith_in(1 + j as u64, FILLER.len() as u64) as usize] as char);
+    }
+    out
+}
+
+/// Lazy iterator over batches of `(u64 key, String payload)` records:
+/// keys follow `dist` exactly as [`BatchStream`] generates them, payloads
+/// come from [`payload_for`] on the global record index.
+#[derive(Debug, Clone)]
+pub struct StringBatchStream {
+    inner: BatchStream,
+    seed: u64,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl StringBatchStream {
+    /// A stream of `n` records of `bits`-wide keys with payloads of
+    /// `[min_len, max_len]` filler bytes, delivered in batches of at most
+    /// `batch_size` records.
+    pub fn new(
+        dist: &Distribution,
+        n: usize,
+        bits: u32,
+        batch_size: usize,
+        seed: u64,
+        min_len: usize,
+        max_len: usize,
+    ) -> Self {
+        assert!(min_len <= max_len, "min_len must not exceed max_len");
+        Self {
+            inner: BatchStream::new(dist, n, bits, batch_size, seed),
+            seed,
+            min_len,
+            max_len,
+        }
+    }
+
+    /// Total records not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.inner.remaining()
+    }
+}
+
+impl Iterator for StringBatchStream {
+    type Item = Vec<(u64, String)>;
+
+    fn next(&mut self) -> Option<Vec<(u64, String)>> {
+        let batch = self.inner.next()?;
+        Some(
+            batch
+                .into_iter()
+                .map(|(k, index)| (k, payload_for(self.seed, index, self.min_len, self.max_len)))
+                .collect(),
+        )
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// One-shot variant of [`StringBatchStream`]: all `n` records at once.
+pub fn generate_string_pairs(
+    dist: &Distribution,
+    n: usize,
+    bits: u32,
+    seed: u64,
+    min_len: usize,
+    max_len: usize,
+) -> Vec<(u64, String)> {
+    StringBatchStream::new(dist, n, bits, n.max(1), seed, min_len, max_len)
+        .flatten()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payloads_are_deterministic_and_seed_sensitive() {
+        let a = payload_for(7, 42, 10, 50);
+        let b = payload_for(7, 42, 10, 50);
+        let c = payload_for(8, 42, 10, 50);
+        let d = payload_for(7, 43, 10, 50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn payload_lengths_stay_in_range_and_vary() {
+        let lens: Vec<usize> = (0..500u64)
+            .map(|i| payload_for(1, i, 5, 40).len() - 10)
+            .collect();
+        assert!(
+            lens.iter().all(|&l| (5..=40).contains(&l)),
+            "lens: {lens:?}"
+        );
+        assert!(lens.iter().any(|&l| l != lens[0]), "lengths must vary");
+        // Zero-width span is allowed (all-equal lengths).
+        assert_eq!(payload_for(1, 0, 8, 8).len(), 18);
+    }
+
+    #[test]
+    fn payloads_embed_the_index_and_are_distinct() {
+        let p = payload_for(3, 0xABCD, 4, 8);
+        assert!(p.starts_with("v0000abcd:"), "payload: {p}");
+        let mut seen: Vec<String> = (0..1000).map(|i| payload_for(3, i, 0, 4)).collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 1000, "index tag makes payloads distinct");
+    }
+
+    #[test]
+    fn string_batches_cover_n_records_deterministically() {
+        let dist = Distribution::Zipfian { s: 1.2 };
+        let a: Vec<Vec<(u64, String)>> =
+            StringBatchStream::new(&dist, 5000, 32, 512, 9, 4, 64).collect();
+        let b: Vec<Vec<(u64, String)>> =
+            StringBatchStream::new(&dist, 5000, 32, 512, 9, 4, 64).collect();
+        assert_eq!(a, b);
+        let flat: Vec<(u64, String)> = a.into_iter().flatten().collect();
+        assert_eq!(flat.len(), 5000);
+        // Keys must match the pod-value batch generator exactly.
+        let keys: Vec<u64> = BatchStream::new(&dist, 5000, 32, 512, 9)
+            .flatten()
+            .map(|(k, _)| k)
+            .collect();
+        assert!(flat.iter().map(|(k, _)| *k).eq(keys));
+    }
+
+    #[test]
+    fn one_shot_matches_batched() {
+        let dist = Distribution::Uniform { distinct: 100 };
+        let one = generate_string_pairs(&dist, 1000, 32, 5, 0, 32);
+        assert_eq!(one.len(), 1000);
+        assert!(one
+            .iter()
+            .enumerate()
+            .all(|(i, (_, v))| { v.starts_with(&format!("v{i:08x}:")) }));
+    }
+}

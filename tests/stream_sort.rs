@@ -144,3 +144,56 @@ fn heavy_duplicate_stream_carries_keys_and_stays_stable() {
     let got: Vec<(u32, u32)> = sorter.finish().expect("finish").collect();
     assert_eq!(got, reference(&input));
 }
+
+#[test]
+fn string_payload_stream_matches_std_stable_sort() {
+    // Public-API end-to-end check of the variable-length path: a
+    // larger-than-budget stream of (key, String) records must come back as
+    // exactly std's stable sort of the concatenated batches, through both
+    // finish paths.
+    let dist = Distribution::Zipfian { s: 1.2 };
+    let n = 25_000usize;
+    let mut input: Vec<(u64, String)> = Vec::with_capacity(n);
+    let mk = || StreamSorter::<u64, String>::with_config(small_cfg(32 << 10));
+    let mut sorter = mk();
+    let mut sorter2 = mk();
+    for batch in pisort::workloads::StringBatchStream::new(&dist, n, 32, 1333, 7, 0, 120) {
+        sorter.push(&batch).expect("push");
+        sorter2.push(&batch).expect("push");
+        input.extend(batch);
+    }
+    assert!(
+        sorter.stats().spilled_runs > 2,
+        "stats: {:?}",
+        sorter.stats()
+    );
+    let got: Vec<(u64, String)> = sorter.finish().expect("finish").collect();
+    let via_vec = sorter2.finish_vec().expect("finish_vec");
+    let mut want = input;
+    want.sort_by_key(|r| r.0);
+    assert_eq!(got, want, "streamed string sort must be std's stable sort");
+    assert_eq!(via_vec, want, "parallel merge path must agree");
+}
+
+#[test]
+fn streaming_string_dedup_keeps_first_payload() {
+    use pisort::stream::{FirstAgg, StreamGroupBy};
+    let dist = Distribution::Uniform { distinct: 300 };
+    let n = 20_000usize;
+    let mut gb: StreamGroupBy<u64, FirstAgg<String>> =
+        StreamGroupBy::with_config(FirstAgg::new(), small_cfg(16 << 10));
+    let mut first = std::collections::HashMap::new();
+    for batch in pisort::workloads::StringBatchStream::new(&dist, n, 32, 997, 8, 4, 64) {
+        for (k, v) in &batch {
+            first.entry(*k).or_insert_with(|| v.clone());
+        }
+        gb.push(&batch).expect("push");
+    }
+    assert!(gb.stats().spilled_runs > 1, "stats: {:?}", gb.stats());
+    let got = gb.finish_vec().expect("finish");
+    assert_eq!(got.len(), first.len());
+    assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "key-ordered");
+    for (k, v) in &got {
+        assert_eq!(v, &first[k], "key {k}: first payload in stream order");
+    }
+}

@@ -174,6 +174,67 @@ fn group_by_aggregation_is_thread_count_invariant() {
 }
 
 #[test]
+fn varlen_stream_sort_and_group_by_are_thread_count_invariant() {
+    use stream::{FirstAgg, StreamGroupBy, StreamSorter};
+    use workloads::generate_string_pairs;
+    // Variable-length values route through the tag-sort + permutation and
+    // tag-merge + gather paths, both of which fan out across the pool; the
+    // output (keys AND payload bytes) must still be byte-identical at
+    // every thread count.
+    let picks = [
+        Distribution::Uniform {
+            distinct: 1_000_000_000,
+        },
+        Distribution::Zipfian { s: 1.2 },
+    ];
+    for (di, dist) in picks.iter().enumerate() {
+        let input = generate_string_pairs(dist, N, 32, 0xD00D + di as u64, 0, 96);
+        let ctx = format!("dist={}", dist.label());
+        let mut want_sort: Option<Vec<(u64, String)>> = None;
+        let mut want_vec: Option<Vec<(u64, String)>> = None;
+        let mut want_dedup: Option<Vec<(u64, String)>> = None;
+        for &t in &THREADS {
+            let (via_iter, via_vec, dedup) = with_threads(t, || {
+                let mk = || {
+                    let mut s: StreamSorter<u64, String> = StreamSorter::with_config(
+                        dtsort::StreamConfig::with_memory_budget(64 << 10),
+                    );
+                    for chunk in input.chunks(777) {
+                        s.push(chunk).unwrap();
+                    }
+                    assert!(s.stats().spilled_runs > 1, "expected spills [{ctx}]");
+                    s
+                };
+                let via_iter: Vec<(u64, String)> = mk().finish().unwrap().collect();
+                let via_vec = mk().finish_vec().unwrap();
+                let mut g: StreamGroupBy<u64, FirstAgg<String>> = StreamGroupBy::with_config(
+                    FirstAgg::new(),
+                    dtsort::StreamConfig::with_memory_budget(64 << 10),
+                );
+                for chunk in input.chunks(777) {
+                    g.push(chunk).unwrap();
+                }
+                (via_iter, via_vec, g.finish_vec().unwrap())
+            });
+            match (&want_sort, &want_vec, &want_dedup) {
+                (None, _, _) => {
+                    assert_eq!(via_iter, via_vec, "varlen finish paths disagree [{ctx}]");
+                    want_sort = Some(via_iter);
+                    want_vec = Some(via_vec);
+                    want_dedup = Some(dedup);
+                }
+                (Some(ws), Some(wv), Some(wd)) => {
+                    assert_eq!(&via_iter, ws, "varlen sort differs at {t} threads [{ctx}]");
+                    assert_eq!(&via_vec, wv, "varlen vec differs at {t} threads [{ctx}]");
+                    assert_eq!(&dedup, wd, "varlen dedup differs at {t} threads [{ctx}]");
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+#[test]
 fn kway_and_boundary_shapes_are_thread_count_invariant() {
     // Edge-suite shapes: many short runs, empty runs interleaved, all-equal
     // keys — merged under each thread count.
