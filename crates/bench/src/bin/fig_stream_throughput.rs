@@ -1,6 +1,16 @@
 //! Streaming-sorter throughput: records/sec of `stream::StreamSorter` as
 //! the memory budget shrinks (forcing more spilled runs), against the
-//! in-memory DovetailSort baseline on the same input.
+//! in-memory DovetailSort baseline on the same input — measured in both
+//! spill modes, **pipelined** (background spill writer + merge read-ahead,
+//! the default) and **synchronous** (`StreamConfig::synchronous_spill`,
+//! the pre-pipelining behavior), so every run re-baselines the overlap
+//! win on the current host.
+//!
+//! Each row reports the spill-phase wall time (pushing, sorting and
+//! writing every run, i.e. `push` loop + `flush_spills`) and the merge
+//! wall time (`finish` + drain) separately, plus the bytes written to
+//! spill files — the pipelining win lives in the spill phase, where disk
+//! time hides behind sort time.
 //!
 //! Beyond the console table, results are appended as machine-readable JSON
 //! to `BENCH_stream.json` in the current directory so successive PRs can
@@ -10,38 +20,101 @@
 
 use bench::{json_escape, median_time_secs, write_bench_json, Args, Table};
 use dtsort::StreamConfig;
+use std::time::Instant;
 use stream::StreamSorter;
 use workloads::dist::Distribution;
 
 struct Measurement {
     dist: String,
+    mode: &'static str,
+    budget_label: String,
     budget_bytes: usize,
     runs: usize,
     spilled_bytes: u64,
+    spill_secs: f64,
+    merge_secs: f64,
     secs: f64,
     records_per_sec: f64,
+    /// Median of paired pipelined-vs-synchronous speedups (pipelined rows
+    /// only).
+    pipe_sync_ratio: Option<f64>,
 }
 
-/// Pushes the input in batches and drains the merged stream; returns the
-/// run count and spilled bytes of the last repetition via `out_stats`.
-fn stream_sort_once(
-    input: &[(u32, u32)],
-    budget: usize,
-    batch: usize,
-    out_stats: &mut (usize, u64),
-) {
-    let mut sorter: StreamSorter<u32, u32> =
-        StreamSorter::with_config(StreamConfig::with_memory_budget(budget));
+struct Phases {
+    spill_secs: f64,
+    merge_secs: f64,
+    runs: usize,
+    spilled_bytes: u64,
+}
+
+/// One full streaming sort, phase-timed: returns the spill-phase wall time
+/// (pushes + flush) and the merge wall time (finish + drain) separately.
+fn stream_sort_phases(input: &[(u32, u32)], budget: usize, batch: usize, sync: bool) -> Phases {
+    let cfg = StreamConfig {
+        memory_budget_bytes: budget,
+        synchronous_spill: sync,
+        ..StreamConfig::default()
+    };
+    let mut sorter: StreamSorter<u32, u32> = StreamSorter::with_config(cfg);
+    let spill_start = Instant::now();
     for chunk in input.chunks(batch) {
         sorter.push(chunk).expect("push failed");
     }
-    *out_stats = (sorter.run_count(), sorter.stats().spilled_bytes);
+    // Waiting for the writer here charges residual in-flight writes to the
+    // spill phase, so the two modes' phase splits are comparable.
+    sorter.flush_spills().expect("flush failed");
+    let spill_secs = spill_start.elapsed().as_secs_f64();
+    let runs = sorter.run_count();
+    let spilled_bytes = sorter.stats().spilled_bytes;
+    let merge_start = Instant::now();
     let mut last = 0u32;
     for (k, _) in sorter.finish().expect("finish failed") {
         debug_assert!(k >= last);
         last = k;
         std::hint::black_box(k);
     }
+    let merge_secs = merge_start.elapsed().as_secs_f64();
+    Phases {
+        spill_secs,
+        merge_secs,
+        runs,
+        spilled_bytes,
+    }
+}
+
+/// Measures both modes `reps` times, **interleaved** (sync, pipelined,
+/// sync, ...) so drifting background load on a shared host hits both modes
+/// alike, and returns the per-mode median-total reps plus the median of
+/// the per-pair speedup ratios — the statistically meaningful overlap
+/// estimate under noisy timing.
+fn median_mode_pair(
+    input: &[(u32, u32)],
+    budget: usize,
+    batch: usize,
+    reps: usize,
+) -> (Phases, Phases, f64) {
+    let reps = reps.max(1);
+    let mut sync_runs: Vec<Phases> = Vec::with_capacity(reps);
+    let mut pipe_runs: Vec<Phases> = Vec::with_capacity(reps);
+    let mut ratios: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let s = stream_sort_phases(input, budget, batch, true);
+        let p = stream_sort_phases(input, budget, batch, false);
+        ratios.push((s.spill_secs + s.merge_secs) / (p.spill_secs + p.merge_secs));
+        sync_runs.push(s);
+        pipe_runs.push(p);
+    }
+    let median = |mut v: Vec<Phases>| -> Phases {
+        v.sort_by(|a, b| {
+            (a.spill_secs + a.merge_secs)
+                .partial_cmp(&(b.spill_secs + b.merge_secs))
+                .unwrap()
+        });
+        v.swap_remove(v.len() / 2)
+    };
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let ratio = ratios[ratios.len() / 2];
+    (median(sync_runs), median(pipe_runs), ratio)
 }
 
 fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measurement]) {
@@ -49,13 +122,21 @@ fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measur
         .iter()
         .map(|m| {
             format!(
-                "{{\"dist\": \"{}\", \"budget_bytes\": {}, \"runs\": {}, \"spilled_bytes\": {}, \"secs\": {:.6}, \"records_per_sec\": {:.1}}}",
+                "{{\"dist\": \"{}\", \"mode\": \"{}\", \"budget\": \"{}\", \"budget_bytes\": {}, \"runs\": {}, \"spilled_bytes\": {}, \"spill_secs\": {:.6}, \"merge_secs\": {:.6}, \"secs\": {:.6}, \"records_per_sec\": {:.1}{}}}",
                 json_escape(&m.dist),
+                m.mode,
+                json_escape(&m.budget_label),
                 m.budget_bytes,
                 m.runs,
                 m.spilled_bytes,
+                m.spill_secs,
+                m.merge_secs,
                 m.secs,
                 m.records_per_sec,
+                match m.pipe_sync_ratio {
+                    Some(r) => format!(", \"pipe_sync_ratio\": {r:.3}"),
+                    None => String::new(),
+                },
             )
         })
         .collect();
@@ -84,11 +165,11 @@ fn main() {
     let batch = 64 * 1024;
     let record_bytes = std::mem::size_of::<(u32, u32)>();
     let data_bytes = n * record_bytes;
-    // From "everything in memory" down to an eighth of the dataset.  Half
-    // the budget is sort scratch and a buffer exactly at capacity spills,
-    // so 4·data is the comfortably spill-free configuration.
+    // From "everything in memory" down to an eighth of the dataset.  The
+    // budget is split into spill shares (buffer, scratch, in-flight runs),
+    // so 8·data is the comfortably spill-free configuration in both modes.
     let budgets = [
-        ("mem", 4 * data_bytes),
+        ("mem", 8 * data_bytes),
         ("1/2", data_bytes / 2),
         ("1/4", data_bytes / 4),
         ("1/8", data_bytes / 8),
@@ -110,10 +191,14 @@ fn main() {
         let input = workloads::dist::generate_pairs_u32(dist, n, 42);
         let mut table = Table::new(vec![
             "budget".to_string(),
+            "mode".to_string(),
             "runs".to_string(),
             "spill MiB".to_string(),
+            "spill s".to_string(),
+            "merge s".to_string(),
             "sec".to_string(),
             "Mrec/s".to_string(),
+            "pipe/sync".to_string(),
         ]);
         // In-memory baseline for context.
         let base = median_time_secs(&input, args.reps, |v| dtsort::sort_pairs(v));
@@ -121,30 +206,50 @@ fn main() {
             "dtsort".to_string(),
             "-".to_string(),
             "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
             format!("{base:.4}"),
             format!("{:.2}", n as f64 / base / 1e6),
+            "-".to_string(),
         ]);
         for &(label, budget) in &budgets {
-            let mut stats = (0usize, 0u64);
-            let secs = median_time_secs(&input, args.reps, |v| {
-                stream_sort_once(v, budget, batch, &mut stats)
-            });
-            let rps = n as f64 / secs;
-            table.add_row(vec![
-                label.to_string(),
-                format!("{}", stats.0),
-                format!("{:.1}", stats.1 as f64 / (1 << 20) as f64),
-                format!("{secs:.4}"),
-                format!("{:.2}", rps / 1e6),
-            ]);
-            all.push(Measurement {
-                dist: dist.label(),
-                budget_bytes: budget,
-                runs: stats.0,
-                spilled_bytes: stats.1,
-                secs,
-                records_per_sec: rps,
-            });
+            let (sync_p, pipe_p, ratio) = median_mode_pair(&input, budget, batch, args.reps);
+            for (mode, p, pair_ratio) in [
+                ("synchronous", &sync_p, None),
+                ("pipelined", &pipe_p, Some(ratio)),
+            ] {
+                let ratio_cell = match pair_ratio {
+                    Some(r) => format!("{r:.2}x"),
+                    None => "-".to_string(),
+                };
+                let secs = p.spill_secs + p.merge_secs;
+                let rps = n as f64 / secs;
+                table.add_row(vec![
+                    label.to_string(),
+                    mode.to_string(),
+                    format!("{}", p.runs),
+                    format!("{:.1}", p.spilled_bytes as f64 / (1 << 20) as f64),
+                    format!("{:.4}", p.spill_secs),
+                    format!("{:.4}", p.merge_secs),
+                    format!("{secs:.4}"),
+                    format!("{:.2}", rps / 1e6),
+                    ratio_cell,
+                ]);
+                all.push(Measurement {
+                    dist: dist.label(),
+                    mode,
+                    budget_label: label.to_string(),
+                    budget_bytes: budget,
+                    runs: p.runs,
+                    spilled_bytes: p.spilled_bytes,
+                    spill_secs: p.spill_secs,
+                    merge_secs: p.merge_secs,
+                    secs,
+                    records_per_sec: rps,
+                    pipe_sync_ratio: pair_ratio,
+                });
+            }
         }
         table.print();
     }

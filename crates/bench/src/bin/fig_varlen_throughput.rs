@@ -2,6 +2,10 @@
 //! MB/sec of `stream::StreamSorter<u64, String>` across payload-size
 //! classes and memory budgets, against the fixed-size pod-value sorter on
 //! the same keys (which isolates the cost of the length-prefixed format).
+//! Spill-bound rows are measured in both spill modes — **pipelined**
+//! (background writer + read-ahead, the default) and **synchronous**
+//! (`StreamConfig::synchronous_spill`) — with the spill-phase wall time
+//! and bytes written reported per row.
 //!
 //! Beyond the console table, results are appended as machine-readable JSON
 //! to `BENCH_varlen.json` in the current directory so successive PRs can
@@ -11,6 +15,7 @@
 
 use bench::{json_escape, median_time_secs, write_bench_json, Args, Table};
 use dtsort::StreamConfig;
+use std::time::Instant;
 use stream::StreamSorter;
 use workloads::dist::Distribution;
 use workloads::generate_string_pairs;
@@ -18,35 +23,97 @@ use workloads::generate_string_pairs;
 struct Measurement {
     dist: String,
     payload: String,
+    mode: &'static str,
     budget_label: String,
     budget_bytes: usize,
     runs: usize,
     spilled_bytes: u64,
+    spill_secs: f64,
+    merge_secs: f64,
     secs: f64,
     records_per_sec: f64,
     payload_mb_per_sec: f64,
+    /// Median of paired pipelined-vs-synchronous speedups (pipelined rows
+    /// only).
+    pipe_sync_ratio: Option<f64>,
 }
 
-/// Pushes the string input in batches and drains the merged stream;
-/// returns the run count and spilled bytes of the last repetition.
-fn stream_sort_strings_once(
+struct Phases {
+    spill_secs: f64,
+    merge_secs: f64,
+    runs: usize,
+    spilled_bytes: u64,
+}
+
+/// One full string streaming sort, phase-timed (pushes + flush vs finish +
+/// drain).
+fn stream_sort_strings_phases(
     input: &[(u64, String)],
     budget: usize,
     batch: usize,
-    out_stats: &mut (usize, u64),
-) {
-    let mut sorter: StreamSorter<u64, String> =
-        StreamSorter::with_config(StreamConfig::with_memory_budget(budget));
+    sync: bool,
+) -> Phases {
+    let cfg = StreamConfig {
+        memory_budget_bytes: budget,
+        synchronous_spill: sync,
+        ..StreamConfig::default()
+    };
+    let mut sorter: StreamSorter<u64, String> = StreamSorter::with_config(cfg);
+    let spill_start = Instant::now();
     for chunk in input.chunks(batch) {
         sorter.push(chunk).expect("push failed");
     }
-    *out_stats = (sorter.run_count(), sorter.stats().spilled_bytes);
+    sorter.flush_spills().expect("flush failed");
+    let spill_secs = spill_start.elapsed().as_secs_f64();
+    let runs = sorter.run_count();
+    let spilled_bytes = sorter.stats().spilled_bytes;
+    let merge_start = Instant::now();
     let mut last = 0u64;
     for (k, v) in sorter.finish().expect("finish failed") {
         debug_assert!(k >= last);
         last = k;
         std::hint::black_box(v.len());
     }
+    let merge_secs = merge_start.elapsed().as_secs_f64();
+    Phases {
+        spill_secs,
+        merge_secs,
+        runs,
+        spilled_bytes,
+    }
+}
+
+/// Measures both modes `reps` times, interleaved (so drifting background
+/// load hits both alike), returning the per-mode median-total reps and the
+/// median of the per-pair speedup ratios.
+fn median_mode_pair(
+    input: &[(u64, String)],
+    budget: usize,
+    batch: usize,
+    reps: usize,
+) -> (Phases, Phases, f64) {
+    let reps = reps.max(1);
+    let mut sync_runs: Vec<Phases> = Vec::with_capacity(reps);
+    let mut pipe_runs: Vec<Phases> = Vec::with_capacity(reps);
+    let mut ratios: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let s = stream_sort_strings_phases(input, budget, batch, true);
+        let p = stream_sort_strings_phases(input, budget, batch, false);
+        ratios.push((s.spill_secs + s.merge_secs) / (p.spill_secs + p.merge_secs));
+        sync_runs.push(s);
+        pipe_runs.push(p);
+    }
+    let median = |mut v: Vec<Phases>| -> Phases {
+        v.sort_by(|a, b| {
+            (a.spill_secs + a.merge_secs)
+                .partial_cmp(&(b.spill_secs + b.merge_secs))
+                .unwrap()
+        });
+        v.swap_remove(v.len() / 2)
+    };
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let ratio = ratios[ratios.len() / 2];
+    (median(sync_runs), median(pipe_runs), ratio)
 }
 
 fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measurement]) {
@@ -54,16 +121,23 @@ fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measur
         .iter()
         .map(|m| {
             format!(
-                "{{\"dist\": \"{}\", \"payload\": \"{}\", \"budget\": \"{}\", \"budget_bytes\": {}, \"runs\": {}, \"spilled_bytes\": {}, \"secs\": {:.6}, \"records_per_sec\": {:.1}, \"payload_mb_per_sec\": {:.2}}}",
+                "{{\"dist\": \"{}\", \"payload\": \"{}\", \"mode\": \"{}\", \"budget\": \"{}\", \"budget_bytes\": {}, \"runs\": {}, \"spilled_bytes\": {}, \"spill_secs\": {:.6}, \"merge_secs\": {:.6}, \"secs\": {:.6}, \"records_per_sec\": {:.1}, \"payload_mb_per_sec\": {:.2}{}}}",
                 json_escape(&m.dist),
                 json_escape(&m.payload),
+                m.mode,
                 json_escape(&m.budget_label),
                 m.budget_bytes,
                 m.runs,
                 m.spilled_bytes,
+                m.spill_secs,
+                m.merge_secs,
                 m.secs,
                 m.records_per_sec,
                 m.payload_mb_per_sec,
+                match m.pipe_sync_ratio {
+                    Some(r) => format!(", \"pipe_sync_ratio\": {r:.3}"),
+                    None => String::new(),
+                },
             )
         })
         .collect();
@@ -121,18 +195,21 @@ fn main() {
             );
             let mut table = Table::new(vec![
                 "budget".to_string(),
+                "mode".to_string(),
                 "runs".to_string(),
                 "spill MiB".to_string(),
+                "spill s".to_string(),
                 "sec".to_string(),
                 "Mrec/s".to_string(),
                 "MB/s".to_string(),
+                "pipe/sync".to_string(),
             ]);
             // Pod-value baseline on the same keys: the varlen overhead is
             // the gap between this row and the in-memory string row.
             let keys: Vec<(u64, u64)> = input.iter().map(|(k, _)| (*k, 0u64)).collect();
             let base = median_time_secs(&keys, args.reps, |v| {
                 let mut s: StreamSorter<u64, u64> =
-                    StreamSorter::with_config(StreamConfig::with_memory_budget(4 * data_bytes));
+                    StreamSorter::with_config(StreamConfig::with_memory_budget(8 * data_bytes));
                 s.push(v).expect("push");
                 for r in s.finish().expect("finish") {
                     std::hint::black_box(r);
@@ -142,42 +219,59 @@ fn main() {
                 "pod-keys".to_string(),
                 "-".to_string(),
                 "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
                 format!("{base:.4}"),
                 format!("{:.2}", n as f64 / base / 1e6),
+                "-".to_string(),
                 "-".to_string(),
             ]);
             // From "everything in memory" down to an eighth of the dataset.
             let budgets = [
-                ("mem", 4 * data_bytes),
+                ("mem", 8 * data_bytes),
                 ("1/4", data_bytes / 4),
                 ("1/8", data_bytes / 8),
             ];
             for &(blabel, budget) in &budgets {
-                let mut stats = (0usize, 0u64);
-                let secs = median_time_secs(&input, args.reps, |v| {
-                    stream_sort_strings_once(v, budget, batch, &mut stats)
-                });
-                let rps = n as f64 / secs;
-                let mbps = payload_bytes as f64 / secs / 1e6;
-                table.add_row(vec![
-                    blabel.to_string(),
-                    format!("{}", stats.0),
-                    format!("{:.1}", stats.1 as f64 / (1 << 20) as f64),
-                    format!("{secs:.4}"),
-                    format!("{:.2}", rps / 1e6),
-                    format!("{mbps:.1}"),
-                ]);
-                all.push(Measurement {
-                    dist: dist.label(),
-                    payload: plabel.to_string(),
-                    budget_label: blabel.to_string(),
-                    budget_bytes: budget,
-                    runs: stats.0,
-                    spilled_bytes: stats.1,
-                    secs,
-                    records_per_sec: rps,
-                    payload_mb_per_sec: mbps,
-                });
+                let (sync_p, pipe_p, ratio) = median_mode_pair(&input, budget, batch, args.reps);
+                for (mode, p, pair_ratio) in [
+                    ("synchronous", &sync_p, None),
+                    ("pipelined", &pipe_p, Some(ratio)),
+                ] {
+                    let ratio_cell = match pair_ratio {
+                        Some(r) => format!("{r:.2}x"),
+                        None => "-".to_string(),
+                    };
+                    let secs = p.spill_secs + p.merge_secs;
+                    let rps = n as f64 / secs;
+                    let mbps = payload_bytes as f64 / secs / 1e6;
+                    table.add_row(vec![
+                        blabel.to_string(),
+                        mode.to_string(),
+                        format!("{}", p.runs),
+                        format!("{:.1}", p.spilled_bytes as f64 / (1 << 20) as f64),
+                        format!("{:.4}", p.spill_secs),
+                        format!("{secs:.4}"),
+                        format!("{:.2}", rps / 1e6),
+                        format!("{mbps:.1}"),
+                        ratio_cell,
+                    ]);
+                    all.push(Measurement {
+                        dist: dist.label(),
+                        payload: plabel.to_string(),
+                        mode,
+                        budget_label: blabel.to_string(),
+                        budget_bytes: budget,
+                        runs: p.runs,
+                        spilled_bytes: p.spilled_bytes,
+                        spill_secs: p.spill_secs,
+                        merge_secs: p.merge_secs,
+                        secs,
+                        records_per_sec: rps,
+                        payload_mb_per_sec: mbps,
+                        pipe_sync_ratio: pair_ratio,
+                    });
+                }
             }
             table.print();
         }

@@ -137,18 +137,27 @@ impl SortConfig {
 /// sorts each full buffer into a *run* with DovetailSort (seeding heavy-key
 /// detection with keys carried from earlier runs), spills runs to
 /// `spill_dir`, and k-way merges all runs at the end.
+///
+/// Spill I/O is **pipelined** by default: sorted runs are handed to a
+/// dedicated writer thread (so run `N + 1` is sorted while run `N` streams
+/// to disk) and the final merge reads ahead of the loser tree through
+/// bounded channels.  `synchronous_spill` turns both stages off.
 #[derive(Debug, Clone)]
 pub struct StreamConfig {
-    /// Total working-set budget in bytes.  Half buffers incoming records,
-    /// the other half is the sort's ping-pong scratch, so one run holds
-    /// about `memory_budget_bytes / (2 · record_size)` records.
+    /// Total working-set budget in bytes, split into
+    /// [`StreamConfig::spill_shares`] equal shares: one buffers incoming
+    /// records, one is the sort's ping-pong scratch, and (when spilling is
+    /// pipelined) `spill_pipeline_depth` shares bound the sorted runs in
+    /// flight to the writer thread.  One run therefore holds about
+    /// `memory_budget_bytes / (spill_shares · record_size)` records.
     ///
     /// `record_size` is the *inline* struct size (`size_of::<(K, V)>()`).
     /// For variable-length values (`String`, `Vec<u8>`, `Box<[u8]>`) the
     /// heap payload is not part of that size, so the streaming sorter and
     /// the streaming group-by additionally track the buffered payload
     /// bytes and spill a run early once they reach
-    /// `memory_budget_bytes / 2`.
+    /// `memory_budget_bytes / spill_shares` — with in-flight runs counted
+    /// against the budget exactly like buffered ones.
     pub memory_budget_bytes: usize,
     /// Upper bound on the number of heavy keys carried from one run's
     /// sampling into the next (each carried key costs one bucket in the
@@ -160,6 +169,35 @@ pub struct StreamConfig {
     /// Total bytes of read buffering shared by all runs during the final
     /// streaming merge.
     pub merge_read_buffer_bytes: usize,
+    /// Disable the spill pipeline: `push` sorts *and* writes each run
+    /// inline on the calling thread, and the final merge issues blocking
+    /// reads from inside the loser tree — the pre-pipelining behavior,
+    /// kept as an escape hatch (and as the reference side of the
+    /// pipelined-vs-synchronous differential tests).
+    pub synchronous_spill: bool,
+    /// Maximum number of sorted runs in flight to the spill-writer thread
+    /// (queued plus being written), each counting one budget share; the
+    /// producer blocks once the pipeline is full (backpressure).  Clamped
+    /// to at least 1.  Ignored when `synchronous_spill` is set.
+    ///
+    /// The default of 1 is classic double buffering: run `N + 1` sorts
+    /// while run `N` writes.  Each extra unit of depth smooths over
+    /// burstier disk latency but shrinks the run capacity by one budget
+    /// share — and smaller runs mean a wider final merge fan-in, which is
+    /// usually the worse trade.
+    pub spill_pipeline_depth: usize,
+    /// Prefetch decoded record blocks ahead of the final k-way merge, one
+    /// reader thread per spilled run, through a channel bounded by the
+    /// per-run share of `merge_read_buffer_bytes` — so the loser tree
+    /// never blocks on a cold read.
+    ///
+    /// `None` (the default) auto-tunes: read-ahead engages when the host
+    /// reports more than one unit of available parallelism, because on a
+    /// single CPU the decode thread cannot run concurrently with the merge
+    /// and page-cache-warm reads make it pure overhead.  `Some(true)` /
+    /// `Some(false)` force it.  Ignored (off) when `synchronous_spill` is
+    /// set.
+    pub merge_read_ahead: Option<bool>,
     /// Configuration of the per-run in-memory DovetailSort.
     pub sort: SortConfig,
 }
@@ -171,6 +209,9 @@ impl Default for StreamConfig {
             max_carried_heavy_keys: 1024,
             spill_dir: None,
             merge_read_buffer_bytes: 8 << 20,
+            synchronous_spill: false,
+            spill_pipeline_depth: 1,
+            merge_read_ahead: None,
             sort: SortConfig::default(),
         }
     }
@@ -185,10 +226,44 @@ impl StreamConfig {
         }
     }
 
+    /// [`StreamConfig::with_memory_budget`] with the spill pipeline and
+    /// merge read-ahead disabled (the pre-pipelining behavior).
+    pub fn synchronous_with_memory_budget(bytes: usize) -> Self {
+        Self {
+            memory_budget_bytes: bytes,
+            synchronous_spill: true,
+            ..Self::default()
+        }
+    }
+
+    /// Number of equal budget shares the record memory is split into: one
+    /// filling buffer + one sort scratch, plus one per possible in-flight
+    /// run when spilling is pipelined.  In-flight runs buffer real bytes,
+    /// so they must be paid for out of the same budget.
+    pub fn spill_shares(&self) -> usize {
+        if self.synchronous_spill {
+            2
+        } else {
+            2 + self.spill_pipeline_depth.max(1)
+        }
+    }
+
     /// Number of records of `record_size` bytes one run may hold (at least
-    /// 64, so degenerate budgets still make progress).
+    /// 64, so degenerate budgets still make progress).  Accounts for
+    /// pipelined in-flight runs via [`StreamConfig::spill_shares`].
     pub fn run_capacity(&self, record_size: usize) -> usize {
-        (self.memory_budget_bytes / (2 * record_size.max(1))).max(64)
+        (self.memory_budget_bytes / (self.spill_shares() * record_size.max(1))).max(64)
+    }
+
+    /// Whether the final merge should read ahead of the loser tree:
+    /// [`StreamConfig::merge_read_ahead`] resolved against the host's
+    /// available parallelism (see that field for the auto rule).
+    pub fn wants_merge_read_ahead(&self) -> bool {
+        if self.synchronous_spill {
+            return false;
+        }
+        self.merge_read_ahead
+            .unwrap_or_else(|| std::thread::available_parallelism().is_ok_and(|p| p.get() > 1))
     }
 }
 
@@ -259,11 +334,56 @@ mod tests {
 
     #[test]
     fn stream_config_run_capacity() {
-        let cfg = StreamConfig::with_memory_budget(1 << 20);
-        // 8-byte records: half the budget buffers records.
-        assert_eq!(cfg.run_capacity(8), (1 << 20) / 16);
-        // Degenerate budgets clamp to a workable floor.
+        // Synchronous: half the budget buffers records (the rest is sort
+        // scratch).
+        let sync = StreamConfig::synchronous_with_memory_budget(1 << 20);
+        assert_eq!(sync.spill_shares(), 2);
+        assert_eq!(sync.run_capacity(8), (1 << 20) / 16);
+        // Pipelined (default depth 1, double buffering): one more share
+        // pays for the run in flight to the writer thread.
+        let piped = StreamConfig::with_memory_budget(1 << 20);
+        assert!(!piped.synchronous_spill);
+        assert_eq!(piped.spill_shares(), 3);
+        assert_eq!(piped.run_capacity(8), (1 << 20) / 24);
+        // A degenerate depth clamps to 1 in-flight run; deeper pipelines
+        // pay one share each; degenerate budgets clamp to a record floor.
+        let shallow = StreamConfig {
+            spill_pipeline_depth: 0,
+            ..StreamConfig::default()
+        };
+        assert_eq!(shallow.spill_shares(), 3);
+        let deep = StreamConfig {
+            spill_pipeline_depth: 2,
+            ..StreamConfig::default()
+        };
+        assert_eq!(deep.spill_shares(), 4);
         assert_eq!(StreamConfig::with_memory_budget(0).run_capacity(8), 64);
         assert!(StreamConfig::default().memory_budget_bytes > 0);
+    }
+
+    #[test]
+    fn merge_read_ahead_resolution() {
+        // Forced settings win regardless of host parallelism.
+        let forced_on = StreamConfig {
+            merge_read_ahead: Some(true),
+            ..StreamConfig::default()
+        };
+        assert!(forced_on.wants_merge_read_ahead());
+        let forced_off = StreamConfig {
+            merge_read_ahead: Some(false),
+            ..StreamConfig::default()
+        };
+        assert!(!forced_off.wants_merge_read_ahead());
+        // Synchronous mode disables read-ahead even when forced on.
+        let sync = StreamConfig {
+            synchronous_spill: true,
+            merge_read_ahead: Some(true),
+            ..StreamConfig::default()
+        };
+        assert!(!sync.wants_merge_read_ahead());
+        // Auto mode follows the host's available parallelism.
+        let auto = StreamConfig::default();
+        let multicore = std::thread::available_parallelism().is_ok_and(|p| p.get() > 1);
+        assert_eq!(auto.wants_merge_read_ahead(), multicore);
     }
 }

@@ -10,7 +10,10 @@
 ///
 /// The mapping [`IntegerKey::to_ordered_u64`] must be injective and strictly
 /// monotone: `a < b  ⇔  a.to_ordered_u64() < b.to_ordered_u64()`.
-pub trait IntegerKey: Copy + Send + Sync + Ord + std::fmt::Debug {
+///
+/// Keys are plain values (`'static`), so records can move to background
+/// spill-writer and prefetch threads in the streaming engine.
+pub trait IntegerKey: Copy + Send + Sync + Ord + std::fmt::Debug + 'static {
     /// Number of significant bits of the key type (the `log r` of the paper).
     const BITS: u32;
 

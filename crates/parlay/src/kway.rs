@@ -65,6 +65,66 @@ impl<T: Copy> RunSource for SliceSource<'_, T> {
     }
 }
 
+/// [`RunSource`] over a run delivered as a sequence of record *blocks* by a
+/// refill callback — the cursor shape of read-ahead merging: a prefetcher
+/// decodes blocks of a spilled run into a bounded channel on its own
+/// thread, and the merge-side cursor refills from that channel only when
+/// its current block runs dry.
+///
+/// `refill` returns the next block or `None` when the run is exhausted;
+/// `None` is terminal (the callback is not invoked again).  Empty blocks
+/// are skipped.  The source eagerly refills whenever its block empties so
+/// that [`RunSource::peek`] always sees the true head of the run — the
+/// invariant the loser tree relies on.
+pub struct BlockSource<T, F> {
+    block: std::vec::IntoIter<T>,
+    refill: F,
+    exhausted: bool,
+}
+
+impl<T, F: FnMut() -> Option<Vec<T>>> BlockSource<T, F> {
+    pub fn new(mut refill: F) -> Self {
+        let mut exhausted = false;
+        let block = Self::next_block(&mut refill, &mut exhausted);
+        Self {
+            block,
+            refill,
+            exhausted,
+        }
+    }
+
+    /// Pulls blocks until a non-empty one arrives or the run ends.
+    fn next_block(refill: &mut F, exhausted: &mut bool) -> std::vec::IntoIter<T> {
+        loop {
+            match refill() {
+                Some(block) if !block.is_empty() => return block.into_iter(),
+                Some(_) => continue,
+                None => {
+                    *exhausted = true;
+                    return Vec::new().into_iter();
+                }
+            }
+        }
+    }
+}
+
+impl<T, F: FnMut() -> Option<Vec<T>>> RunSource for BlockSource<T, F> {
+    type Item = T;
+
+    #[inline]
+    fn peek(&self) -> Option<&T> {
+        self.block.as_slice().first()
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        let item = self.block.next()?;
+        if self.block.as_slice().is_empty() && !self.exhausted {
+            self.block = Self::next_block(&mut self.refill, &mut self.exhausted);
+        }
+        Some(item)
+    }
+}
+
 /// Tournament loser tree over `k` run sources.
 ///
 /// The tree stores, at every internal node, the *loser* of the match played
@@ -389,6 +449,67 @@ mod tests {
         let mut single = LoserTree::new(vec![SliceSource::new(&one[..])], |x: &u64, y: &u64| x < y);
         assert_eq!(single.pop(), Some(3));
         assert_eq!(single.pop(), None);
+    }
+
+    #[test]
+    fn block_source_refills_and_skips_empty_blocks() {
+        let blocks: Vec<Vec<u64>> = vec![vec![1, 2], vec![], vec![3], vec![], vec![], vec![4, 5]];
+        let mut iter = blocks.into_iter();
+        let mut src = BlockSource::new(move || iter.next());
+        let mut got = Vec::new();
+        while let Some(x) = src.pop() {
+            // peek must always agree with the next pop across refills.
+            let peeked = src.peek().copied();
+            got.push(x);
+            if let Some(p) = peeked {
+                assert_eq!(src.pop(), Some(p));
+                got.push(p);
+            }
+        }
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+        assert_eq!(src.pop(), None);
+        assert!(src.peek().is_none());
+    }
+
+    #[test]
+    fn block_source_merges_like_a_slice_source() {
+        // Three runs delivered in uneven blocks must merge exactly like
+        // their flat concatenation.
+        let runs: Vec<Vec<u64>> = vec![
+            (0..300).map(|i| i * 3).collect(),
+            (0..200).map(|i| i * 5).collect(),
+            (0..100).map(|i| i * 7 + 1).collect(),
+        ];
+        let sources: Vec<_> = runs
+            .iter()
+            .enumerate()
+            .map(|(r, run)| {
+                let chunk = 2 * r + 3;
+                let blocks: Vec<Vec<u64>> = run.chunks(chunk).map(|c| c.to_vec()).collect();
+                let mut iter = blocks.into_iter();
+                BlockSource::new(move || iter.next())
+            })
+            .collect();
+        let tree = LoserTree::new(sources, |a: &u64, b: &u64| a < b);
+        let got: Vec<u64> = tree.collect();
+        let mut want: Vec<u64> = runs.concat();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_block_source_is_exhausted_immediately() {
+        let mut calls = 0usize;
+        let mut src: BlockSource<u64, _> = BlockSource::new(|| {
+            calls += 1;
+            None
+        });
+        assert!(src.peek().is_none());
+        assert_eq!(src.pop(), None);
+        assert_eq!(src.pop(), None);
+        // `None` is terminal: the callback ran exactly once.
+        drop(src);
+        assert_eq!(calls, 1);
     }
 
     #[test]

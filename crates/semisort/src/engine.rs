@@ -49,6 +49,16 @@ pub struct SemisortConfig {
     /// to [`dtsort`] and reads the groups off the sorted array (which then
     /// come out in ascending key order).
     pub adaptive_sort_fallback: bool,
+    /// Minimum fraction of *distinct* sample values (in `[0, 1]`) at which
+    /// the adaptive fallback fires, given no heavy keys (default `0.95`).
+    ///
+    /// The interesting operating region is the boundary: `Unif-1e5` inputs
+    /// sample ~98–99% distinct and sit at rough parity between the two
+    /// engines, so raising the threshold above that keeps them on the
+    /// hashed path while `Unif-1e9` (essentially 100% distinct) still
+    /// delegates.  Values above 1 disable the fallback entirely; 0 makes
+    /// every heavy-key-free input delegate.
+    pub sort_delegation_min_distinct: f64,
 }
 
 impl Default for SemisortConfig {
@@ -57,6 +67,7 @@ impl Default for SemisortConfig {
             sort: SortConfig::default(),
             light_bucket_bits: None,
             adaptive_sort_fallback: true,
+            sort_delegation_min_distinct: 0.95,
         }
     }
 }
@@ -76,7 +87,9 @@ impl SemisortConfig {
 }
 
 /// The adaptive-fallback routing decision: `true` when `model` found no
-/// heavy keys **and** at least 95% of its samples were distinct values.
+/// heavy keys **and** at least `min_distinct` (a fraction in `[0, 1]`,
+/// [`SemisortConfig::sort_delegation_min_distinct`]) of its samples were
+/// distinct values.
 ///
 /// Near-total sample distinctness is the operational "large key range"
 /// signal: a key universe much larger than the sample size (Unif-1e9 at
@@ -85,10 +98,10 @@ impl SemisortConfig {
 /// value repeats) collapses the distinct count far below the sample count.
 /// The sample *maximum* cannot serve here — the paper's generators spread
 /// even a 1000-value universe across the full 64-bit range.
-pub fn delegates_to_sort(model: &HeavyKeyModel) -> bool {
+pub fn delegates_to_sort(model: &HeavyKeyModel, min_distinct: f64) -> bool {
     model.is_empty()
         && model.num_samples() > 0
-        && model.distinct_samples() * 20 >= model.num_samples() * 19
+        && model.distinct_samples() as f64 >= min_distinct * model.num_samples() as f64
 }
 
 /// Semisorts `data` in place by an integer key projection: after the call,
@@ -136,7 +149,7 @@ where
     // Adaptive fallback (ROADMAP): a fully-distinct-looking input gains
     // nothing from hashed grouping — the MSD sort's locality wins — so
     // delegate and read the groups off the totally ordered result.
-    if cfg.adaptive_sort_fallback && delegates_to_sort(&model) {
+    if cfg.adaptive_sort_fallback && delegates_to_sort(&model, cfg.sort_delegation_min_distinct) {
         dtsort::sort_by_key_with(data, |r| okey(r), &cfg.sort);
         return extract_groups(data, &key);
     }
@@ -460,7 +473,7 @@ mod tests {
             .clamp(1, 24);
         let model = HeavyKeyModel::detect(n, |i| okey(&input[i]), gamma, &cfg.sort);
         assert!(
-            delegates_to_sort(&model),
+            delegates_to_sort(&model, cfg.sort_delegation_min_distinct),
             "Unif-1e9 must route to the sort fallback \
              (heavy = {}, distinct = {}/{})",
             model.len(),
@@ -496,7 +509,7 @@ mod tests {
         let gamma = cfg.sort.radix_bits(n, 64).clamp(1, 24);
         let model = HeavyKeyModel::detect(n, |i| input[i].0, gamma, &cfg.sort);
         assert!(
-            !delegates_to_sort(&model),
+            !delegates_to_sort(&model, cfg.sort_delegation_min_distinct),
             "duplicate-heavy input must stay on the hashed engine \
              (distinct = {}/{})",
             model.distinct_samples(),
@@ -517,7 +530,7 @@ mod tests {
         let gamma = cfg.sort.radix_bits(n, 64).clamp(1, 24);
         let model = HeavyKeyModel::detect(n, |i| input[i].0, gamma, &cfg.sort);
         assert!(
-            delegates_to_sort(&model),
+            delegates_to_sort(&model, cfg.sort_delegation_min_distinct),
             "heavy = {}, distinct = {}/{}",
             model.len(),
             model.distinct_samples(),
@@ -536,6 +549,64 @@ mod tests {
         // The hashed engine must still produce a correct grouping on the
         // distribution it is slowest on.
         check_grouping(&input, &cfg);
+    }
+
+    #[test]
+    fn delegation_threshold_is_configurable_at_the_unif_1e5_boundary() {
+        // Unif-1e5 is the boundary distribution of the routing decision:
+        // a 1e5-value universe sampled a few thousand times comes back
+        // ~98–99% distinct — above the default 95% threshold (so it
+        // delegates to the sort, at rough parity) but below full
+        // distinctness.  The threshold is a config field, so a micro-sweep
+        // can move the boundary without editing engine code.
+        let n = 60_000;
+        let input: Vec<(u64, u32)> = workloads::dist::generate_pairs_u64(
+            &workloads::dist::Distribution::Uniform { distinct: 100_000 },
+            n,
+            42,
+        )
+        .into_iter()
+        .map(|(k, v)| (k, v as u32))
+        .collect();
+        let cfg = small_cfg();
+        let gamma = cfg.sort.radix_bits(n, 64).clamp(1, 24);
+        let model = HeavyKeyModel::detect(n, |i| input[i].0, gamma, &cfg.sort);
+        let distinct_frac = model.distinct_samples() as f64 / model.num_samples() as f64;
+        assert!(
+            (0.95..1.0).contains(&distinct_frac),
+            "premise: Unif-1e5 must sit between the default threshold and \
+             full distinctness (distinct = {}/{})",
+            model.distinct_samples(),
+            model.num_samples()
+        );
+        // Default 95%: delegates.  Raised above the observed fraction:
+        // stays on the hashed engine.  Zero: everything heavy-key-free
+        // delegates.  (Same model, different knob — no re-sampling.)
+        assert!(delegates_to_sort(&model, cfg.sort_delegation_min_distinct));
+        assert!(!delegates_to_sort(&model, 0.999));
+        assert!(delegates_to_sort(&model, 0.0));
+        // End-to-end: both routes must produce a correct grouping, and the
+        // raised threshold observably changes the route (the sort fallback
+        // returns groups in ascending key order; the hashed engine
+        // scrambles them).
+        check_grouping(&input, &cfg);
+        let hashed_cfg = SemisortConfig {
+            sort_delegation_min_distinct: 0.999,
+            ..small_cfg()
+        };
+        check_grouping(&input, &hashed_cfg);
+        let mut delegated = input.clone();
+        let delegated_groups = semisort_pairs_with(&mut delegated, &cfg);
+        assert!(
+            delegated_groups.windows(2).all(|w| w[0].key < w[1].key),
+            "default threshold must route Unif-1e5 to the sort fallback"
+        );
+        let mut hashed = input.clone();
+        let hashed_groups = semisort_pairs_with(&mut hashed, &hashed_cfg);
+        assert!(
+            !hashed_groups.windows(2).all(|w| w[0].key < w[1].key),
+            "raised threshold must keep Unif-1e5 on the hashed engine"
+        );
     }
 
     #[test]

@@ -38,14 +38,15 @@
 //! assert!(counts.windows(2).all(|w| w[0].0 < w[1].0), "key-ordered output");
 //! ```
 
-use crate::sorter::{lt_by_ordered_key, RunCursor};
+use crate::pipeline::SpillPipeline;
+use crate::sorter::{lt_by_ordered_key, open_run_cursors, RunCursor};
 use crate::spill::{
-    per_run_reader_budget, var_payload_bytes, var_payload_should_spill, write_run, SpillSpace,
-    SpillValue, SpilledRun,
+    var_payload_bytes, var_payload_should_spill, write_run, SpillSpace, SpillValue, SpilledRun,
 };
 use dtsort::{IntegerKey, StreamConfig};
 use parlay::kway::LoserTree;
 use semisort::{semisort_pairs_with, SemisortConfig};
+use std::collections::VecDeque;
 use std::io;
 use std::marker::PhantomData;
 
@@ -242,11 +243,22 @@ pub struct StreamGroupBy<K: IntegerKey, G: Aggregator> {
     /// Spilled payload bytes of the buffered inputs (tracked only for
     /// variable-length inputs; always 0 on the pod path).
     buffered_value_bytes: usize,
-    /// An aggregated run whose spill *write* failed: kept so the error
-    /// path loses no data — the next spill retries it, and `finish`
-    /// merges it like any other run.
-    pending_partial: Option<Vec<(u64, G::Acc)>>,
+    /// Aggregated runs whose spill *write* failed, in run order: kept so
+    /// the error path loses no data — the next spill retries them, and
+    /// `finish` merges them like any other run.
+    pending_partials: VecDeque<Vec<(u64, G::Acc)>>,
     runs: Vec<SpilledRun>,
+    /// Aggregated runs currently in flight to the spill-writer thread.
+    in_flight_runs: usize,
+    /// Distinct name counter for synchronously written run files (the
+    /// pipelined writer numbers its own `agg-p*` namespace).
+    sync_run_seq: usize,
+    /// Set after a writer-side error surfaced: fall back to synchronous
+    /// spilling for the rest of this group-by's life.
+    pipeline_broken: bool,
+    // Field order matters: the pipeline must drop (joining its writer)
+    // before the spill space deletes the directory under it.
+    pipeline: Option<SpillPipeline<u64, G::Acc>>,
     space: Option<SpillSpace>,
     stats: GroupByStats,
 }
@@ -261,13 +273,22 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         // Peak transient footprint per buffered record: the pushed record
         // itself, plus the `(key, index)` tag pair the semisort moves (and
         // the scratch copy of it the semisort engine allocates), plus the
-        // lifted accumulator slot.  Sizing the run from that sum (not just
-        // the input record) keeps aggregation within the configured
-        // budget.  Variable-length payloads count their inline struct size
-        // only (see `StreamConfig`).
+        // lifted accumulator slot — plus, when spilling is pipelined, one
+        // in-flight partial-aggregate slot per pipeline-depth unit (an
+        // aggregated run in flight to the writer holds at most one
+        // `(u64, Acc)` record per buffered record).  Sizing the run from
+        // that sum (not just the input record) keeps aggregation within
+        // the configured budget.  Variable-length payloads count their
+        // inline struct size only (see `StreamConfig`).
+        let in_flight_footprint = if cfg.synchronous_spill {
+            0
+        } else {
+            cfg.spill_pipeline_depth.max(1) * std::mem::size_of::<(u64, G::Acc)>()
+        };
         let record_footprint = std::mem::size_of::<(K, G::Input)>()
             + 2 * std::mem::size_of::<(u64, u64)>()
-            + std::mem::size_of::<Option<G::Acc>>();
+            + std::mem::size_of::<Option<G::Acc>>()
+            + in_flight_footprint;
         let run_capacity = (cfg.memory_budget_bytes / record_footprint.max(1)).max(64);
         Self {
             cfg,
@@ -275,23 +296,44 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             run_capacity,
             buffer: Vec::new(),
             buffered_value_bytes: 0,
-            pending_partial: None,
+            pending_partials: VecDeque::new(),
             runs: Vec::new(),
+            in_flight_runs: 0,
+            sync_run_seq: 0,
+            pipeline_broken: false,
+            pipeline: None,
             space: None,
             stats: GroupByStats::default(),
         }
     }
 
     /// Counters (spills, collapse ratio, ...).
+    ///
+    /// With pipelined spilling, `spilled_runs` / `spilled_bytes` count runs
+    /// confirmed durable, reconciled at every `push`; call
+    /// [`StreamGroupBy::flush_spills`] first for exact values.
     pub fn stats(&self) -> &GroupByStats {
         &self.stats
     }
 
-    /// Number of runs the final merge will see (spilled runs, a pending
-    /// run whose spill write failed, and the in-memory tail).
+    /// Blocks until every aggregated run handed to the background spill
+    /// writer is durable on disk, surfacing any writer-side error.
+    /// Afterwards [`StreamGroupBy::stats`] is exact.  A no-op under
+    /// [`StreamConfig::synchronous_spill`].
+    pub fn flush_spills(&mut self) -> io::Result<()> {
+        if let Some(pipeline) = &self.pipeline {
+            pipeline.flush();
+        }
+        self.reconcile_pipeline()
+    }
+
+    /// Number of runs the final merge will see (spilled runs, runs in
+    /// flight to the writer, pending runs whose spill write failed, and
+    /// the in-memory tail).
     pub fn run_count(&self) -> usize {
         self.runs.len()
-            + usize::from(self.pending_partial.is_some())
+            + self.in_flight_runs
+            + self.pending_partials.len()
             + usize::from(!self.buffer.is_empty())
     }
 
@@ -299,14 +341,18 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
     /// count hits capacity, or buffered variable-length input payloads
     /// reach the shared byte threshold (without which large payloads could
     /// pile up un-aggregated far past the budget).
+    fn buffer_needs_spill(&self) -> bool {
+        !self.buffer.is_empty()
+            && (self.buffer.len() >= self.run_capacity
+                || var_payload_should_spill::<G::Input>(
+                    self.buffered_value_bytes,
+                    self.cfg.memory_budget_bytes,
+                    self.cfg.spill_shares(),
+                ))
+    }
+
     fn should_spill(&self) -> bool {
-        self.pending_partial.is_some()
-            || (!self.buffer.is_empty()
-                && (self.buffer.len() >= self.run_capacity
-                    || var_payload_should_spill::<G::Input>(
-                        self.buffered_value_bytes,
-                        self.cfg.memory_budget_bytes,
-                    )))
+        !self.pending_partials.is_empty() || self.buffer_needs_spill()
     }
 
     /// Appends a batch of records, aggregating and spilling full runs.
@@ -370,20 +416,24 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         // Runs must be spilled sorted by key for the k-way merge; only the
         // distinct keys of the run are sorted, not its records.
         dtsort::sort_by_key(&mut groups, |g| g.key);
-        let out: Vec<(u64, G::Acc)> = groups
-            .iter()
-            .map(|g| {
-                let mut tag_iter = tags[g.start..g.end].iter();
-                let first = tag_iter.next().expect("groups are never empty");
-                let mut acc = accs[first.1 as usize].take().expect("slot folded once");
-                for &(_, idx) in tag_iter {
-                    // Tags keep push order within a group (stable semisort),
-                    // so partials combine in push order.
-                    acc = agg.combine(acc, accs[idx as usize].take().expect("slot folded once"));
-                }
-                (g.key, acc)
-            })
-            .collect();
+        // Reuse a buffer recycled from an already-written run, if the
+        // pipeline has one pooled.
+        let mut out: Vec<(u64, G::Acc)> = self
+            .pipeline
+            .as_ref()
+            .and_then(|p| p.recycled_buffer())
+            .unwrap_or_default();
+        out.extend(groups.iter().map(|g| {
+            let mut tag_iter = tags[g.start..g.end].iter();
+            let first = tag_iter.next().expect("groups are never empty");
+            let mut acc = accs[first.1 as usize].take().expect("slot folded once");
+            for &(_, idx) in tag_iter {
+                // Tags keep push order within a group (stable semisort),
+                // so partials combine in push order.
+                acc = agg.combine(acc, accs[idx as usize].take().expect("slot folded once"));
+            }
+            (g.key, acc)
+        }));
         self.stats.partial_aggregates += out.len() as u64;
         out
     }
@@ -396,25 +446,52 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         if self.space.is_none() {
             self.space = Some(SpillSpace::create(self.cfg.spill_dir.as_ref())?);
         }
-        // A run whose write failed earlier is retried before the buffer is
+        // Runs whose write failed earlier are retried before the buffer is
         // aggregated again (the push loop spills once per iteration, so a
         // refilled buffer follows on the next iteration).
-        let partial = match self.pending_partial.take() {
-            Some(p) => p,
-            None => self.aggregate_run(),
-        };
-        let dir = &self.space.as_ref().expect("spill space just created").dir;
-        let path = dir.join(format!("agg-{:06}.bin", self.runs.len()));
-        let bytes = match write_run(&path, &partial) {
+        self.retry_pending_partials()?;
+        if !self.buffer_needs_spill() {
+            return Ok(());
+        }
+        if self.cfg.synchronous_spill || self.pipeline_broken {
+            let partial = self.aggregate_run();
+            self.write_partial_sync(partial)
+        } else {
+            self.spill_partial_pipelined()
+        }
+    }
+
+    fn retry_pending_partials(&mut self) -> io::Result<()> {
+        while let Some(partial) = self.pending_partials.pop_front() {
+            if let Err(e) = self.write_partial_sync_inner(&partial) {
+                self.pending_partials.push_front(partial);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    fn write_partial_sync(&mut self, partial: Vec<(u64, G::Acc)>) -> io::Result<()> {
+        if let Err(e) = self.write_partial_sync_inner(&partial) {
+            // Keep the only copy of this run's aggregates for a retry
+            // (or for `finish`, which merges it from memory).
+            self.pending_partials.push_back(partial);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn write_partial_sync_inner(&mut self, partial: &[(u64, G::Acc)]) -> io::Result<()> {
+        let dir = &self.space.as_ref().expect("spill space secured").dir;
+        let path = dir.join(format!("agg-s{:06}.bin", self.sync_run_seq));
+        let bytes = match write_run(&path, partial) {
             Ok(bytes) => bytes,
             Err(e) => {
-                // Keep the only copy of this run's aggregates for a retry
-                // (or for `finish`, which merges it from memory).
                 std::fs::remove_file(&path).ok();
-                self.pending_partial = Some(partial);
                 return Err(e);
             }
         };
+        self.sync_run_seq += 1;
         self.runs.push(SpilledRun {
             path,
             len: partial.len(),
@@ -425,22 +502,86 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         Ok(())
     }
 
+    /// Hands the aggregated run to the background writer: the next run
+    /// buffers and semisorts while this one streams to disk.
+    fn spill_partial_pipelined(&mut self) -> io::Result<()> {
+        if self.pipeline.is_none() {
+            let dir = self
+                .space
+                .as_ref()
+                .expect("spill space secured")
+                .dir
+                .clone();
+            self.pipeline = Some(SpillPipeline::start(
+                dir,
+                self.cfg.spill_pipeline_depth,
+                "agg-p",
+            ));
+        }
+        let partial = self.aggregate_run();
+        self.in_flight_runs += 1;
+        self.pipeline
+            .as_mut()
+            .expect("pipeline just started")
+            .submit(partial); // blocks while the pipeline is at depth
+        self.reconcile_pipeline()
+    }
+
+    /// Accounts runs the writer has completed and surfaces any writer-side
+    /// error; on error the pipeline is torn down, its unwritten runs are
+    /// reclaimed as pending, and the group-by falls back to synchronous
+    /// spilling.
+    fn reconcile_pipeline(&mut self) -> io::Result<()> {
+        let (completed, error) = match &self.pipeline {
+            None => return Ok(()),
+            Some(p) => (p.drain_completed(), p.poll_error()),
+        };
+        self.account_completed(completed);
+        if let Some(e) = error {
+            self.teardown_pipeline();
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn account_completed(&mut self, completed: Vec<SpilledRun>) {
+        for run in completed {
+            self.in_flight_runs -= 1;
+            self.stats.spilled_runs += 1;
+            self.stats.spilled_bytes += run.bytes;
+            self.runs.push(run);
+        }
+    }
+
+    fn teardown_pipeline(&mut self) -> Option<io::Error> {
+        let pipeline = self.pipeline.take()?;
+        let closed = pipeline.close();
+        self.account_completed(closed.completed);
+        for partial in closed.failed {
+            self.in_flight_runs -= 1;
+            self.pending_partials.push_back(partial);
+        }
+        self.pipeline_broken = true;
+        closed.error
+    }
+
     /// Finishes the group-by: merges all per-run partials, combining equal
     /// keys, into a stream of `(key, aggregate)` pairs in increasing key
     /// order (one pair per distinct key of the whole stream).
+    ///
+    /// A writer-side spill error that has not surfaced on a `push` yet
+    /// surfaces here.
     pub fn finish(mut self) -> io::Result<GroupedStream<K, G>> {
-        let pending = self.pending_partial.take();
-        let tail = self.aggregate_run();
-        let reader_budget =
-            per_run_reader_budget(self.cfg.merge_read_buffer_bytes, self.runs.len());
-        let mut cursors: Vec<RunCursor<G::Acc>> = Vec::with_capacity(self.runs.len() + 2);
-        for run in &self.runs {
-            cursors.push(RunCursor::open_disk(run, reader_budget)?);
+        if let Some(e) = self.teardown_pipeline() {
+            return Err(e);
         }
-        // A run whose spill write failed merges from memory; it was
-        // aggregated before the current tail, so its cursor precedes the
+        let pending: Vec<Vec<(u64, G::Acc)>> = self.pending_partials.drain(..).collect();
+        let tail = self.aggregate_run();
+        let mut cursors = open_run_cursors::<G::Acc>(&self.runs, &self.cfg)?;
+        // Runs whose spill write failed merge from memory; they were
+        // aggregated before the current tail, so their cursors precede the
         // tail's (equal-key partials combine in push order).
-        if let Some(p) = pending {
+        for p in pending {
             cursors.push(RunCursor::from_memory(p));
         }
         if !tail.is_empty() {
@@ -503,6 +644,9 @@ mod tests {
     fn tiny_cfg(budget: usize) -> StreamConfig {
         StreamConfig {
             memory_budget_bytes: budget,
+            // Force the read-ahead merge path so it is exercised even on
+            // single-CPU CI hosts (where auto mode would disable it).
+            merge_read_ahead: Some(true),
             sort: dtsort::SortConfig {
                 base_case_threshold: 64,
                 ..Default::default()
@@ -714,7 +858,7 @@ mod tests {
         // merge them from memory, before the current tail.
         let mut gb: StreamGroupBy<u64, SumAgg> = StreamGroupBy::new(SumAgg);
         gb.push(&[(2, 10), (4, 1)]).unwrap();
-        gb.pending_partial = Some(vec![(1, 5), (2, 7)]);
+        gb.pending_partials.push_back(vec![(1, 5), (2, 7)]);
         assert_eq!(gb.run_count(), 2, "pending run counts toward the merge");
         let got = gb.finish_vec().unwrap();
         assert_eq!(got, vec![(1, 5), (2, 17), (4, 1)]);
@@ -724,7 +868,7 @@ mod tests {
     fn pending_partial_is_retried_by_the_next_push() {
         let mut gb: StreamGroupBy<u64, SumAgg> =
             StreamGroupBy::with_config(SumAgg, tiny_cfg(16 << 10));
-        gb.pending_partial = Some(vec![(9, 3)]);
+        gb.pending_partials.push_back(vec![(9, 3)]);
         gb.push_record(9, 2).unwrap();
         assert_eq!(
             gb.stats().spilled_runs,

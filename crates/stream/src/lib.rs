@@ -14,8 +14,10 @@
 //! ## How it works
 //!
 //! [`StreamSorter`] buffers pushed records up to the run capacity derived
-//! from [`dtsort::StreamConfig::memory_budget_bytes`] (half the budget
-//! buffers records; the other half is DovetailSort's ping-pong scratch).
+//! from [`dtsort::StreamConfig::memory_budget_bytes`], which is split
+//! into equal shares ([`dtsort::StreamConfig::spill_shares`]): one
+//! buffers records, one is DovetailSort's ping-pong scratch, and one per
+//! unit of pipeline depth pays for runs in flight to the spill writer.
 //! Each full buffer is stably sorted with the paper's DovetailSort and
 //! written to a spill file; the final partial buffer stays in memory.
 //! [`StreamSorter::finish`] merges all runs with a tournament loser tree
@@ -49,6 +51,23 @@
 //! k-way merge sees one sorted sequence per run, so heavy records cost
 //! `log(runs)` comparisons there like everything else.
 //!
+//! ## Pipelined spill I/O
+//!
+//! Spilling is pipelined by default (the crate-private `pipeline`
+//! module): each
+//! sorted run is handed to a dedicated **writer thread** through a
+//! bounded channel, so run `N + 1` sorts while run `N` streams to disk
+//! (fsync included — a run recorded as spilled is durably on disk), and
+//! the final merge **reads ahead** of the loser tree with one block
+//! prefetcher per spilled run.  The memory budget is split into *spill
+//! shares* ([`dtsort::StreamConfig::spill_shares`]) so in-flight runs are
+//! paid for out of the same budget; the bounded channel is the
+//! backpressure.  Writer-side errors surface on the next `push` or on
+//! `finish` — never dropped, never a hang — with the failed runs'
+//! records reclaimed and the engine falling back to synchronous
+//! spilling.  [`dtsort::StreamConfig::synchronous_spill`] turns the
+//! whole stage off (the reference behavior for the differential tests).
+//!
 //! ## Streaming group-by
 //!
 //! When the consumer wants *aggregates per key* rather than the sorted
@@ -75,8 +94,8 @@
 //!
 //! `StreamSorter<u64, String>` therefore spills URLs or log lines as
 //! naturally as pod records, and the sorter additionally spills early when
-//! buffered payload *bytes* (not just record count) reach half the memory
-//! budget.  [`FirstAgg`] turns [`StreamGroupBy`] into a bounded-memory
+//! buffered payload *bytes* (not just record count) reach one budget
+//! share.  [`FirstAgg`] turns [`StreamGroupBy`] into a bounded-memory
 //! first-payload-per-key dedup over such values.
 //!
 //! ## Choosing an API
@@ -90,6 +109,7 @@
 //! | Dedup variable-length payloads per key | [`StreamGroupBy`] + [`FirstAgg`] |
 
 mod groupby;
+mod pipeline;
 mod sorter;
 mod spill;
 

@@ -1,13 +1,21 @@
 //! The bounded-memory streaming sorter.
 
+use crate::pipeline::{RunPrefetcher, SpillPipeline};
 use crate::spill::{
     per_run_reader_budget, var_payload_bytes, var_payload_should_spill, write_run, PodValue,
     RunReader, SpillSpace, SpillValue, SpilledRun, VarValue,
 };
 use dtsort::{sort_run_pairs_with, IntegerKey, RunReport, SortConfig, StreamConfig};
-use parlay::kway::{kway_merge_into, LoserTree, RunSource};
+use parlay::kway::{kway_merge_into, BlockSource, LoserTree, RunSource};
+use std::collections::VecDeque;
 use std::io;
 use std::marker::PhantomData;
+use std::sync::mpsc::Receiver;
+
+/// Above this merge fan-in the read-ahead stage is skipped (one prefetch
+/// thread per run would be a thread explosion; the per-run buffer shares
+/// are tiny at that point anyway) and the merge reads synchronously.
+pub(crate) const MAX_PREFETCH_RUNS: usize = 64;
 
 /// Counters describing what a [`StreamSorter`] did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -41,8 +49,9 @@ pub struct StreamStats {
 /// variable-length [`VarValue`]s such as `String` and `Vec<u8>` (spilled
 /// length-prefixed); see [`SpillValue`].  For variable-length values the
 /// sorter additionally tracks the buffered payload bytes and spills early
-/// once they reach half the memory budget, so a stream of large values
-/// cannot overshoot the budget through the record-count heuristic.
+/// once they reach one budget share
+/// ([`StreamConfig::spill_shares`]), so a stream of large values cannot
+/// overshoot the budget through the record-count heuristic.
 ///
 /// ```
 /// use stream::StreamSorter;
@@ -68,7 +77,25 @@ pub struct StreamSorter<K: IntegerKey, V: SpillValue = ()> {
     /// variable-length values; always 0 on the pod path).
     buffered_value_bytes: usize,
     runs: Vec<SpilledRun>,
+    /// Sorted runs whose spill write failed, reclaimed with their records
+    /// intact (in run order): retried by the next spill, merged from
+    /// memory by `finish` otherwise.
+    pending_runs: VecDeque<Vec<(K, V)>>,
+    /// Records currently in flight to the spill-writer thread.
+    in_flight_records: usize,
+    /// Runs currently in flight to the spill-writer thread.
+    in_flight_runs: usize,
+    /// Distinct name counter for synchronously written run files (the
+    /// pipelined writer numbers its own `run-p*` namespace).
+    sync_run_seq: usize,
+    /// Set after a writer-side error surfaced: the sorter falls back to
+    /// synchronous spilling for the rest of its life (the error path
+    /// converges onto one code path instead of restarting the pipeline).
+    pipeline_broken: bool,
     carry: Vec<u64>,
+    // Field order matters: the pipeline must drop (joining its writer)
+    // before the spill space deletes the directory under it.
+    pipeline: Option<SpillPipeline<K, V>>,
     space: Option<SpillSpace>,
     stats: StreamStats,
 }
@@ -93,30 +120,59 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
             buffer: Vec::new(),
             buffered_value_bytes: 0,
             runs: Vec::new(),
+            pending_runs: VecDeque::new(),
+            in_flight_records: 0,
+            in_flight_runs: 0,
+            sync_run_seq: 0,
+            pipeline_broken: false,
             carry: Vec::new(),
+            pipeline: None,
             space: None,
             stats: StreamStats::default(),
         }
     }
 
-    /// Total records accepted so far.
+    /// Total records accepted so far (buffered, in flight to the writer,
+    /// pending retry, or spilled).
     pub fn len(&self) -> usize {
-        self.runs.iter().map(|r| r.len).sum::<usize>() + self.buffer.len()
+        self.runs.iter().map(|r| r.len).sum::<usize>()
+            + self.in_flight_records
+            + self.pending_runs.iter().map(|r| r.len()).sum::<usize>()
+            + self.buffer.len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Number of runs the final merge will see: spilled runs plus the
-    /// in-memory tail, if any records are currently buffered.
+    /// Number of runs the final merge will see: spilled runs (including
+    /// those still in flight to the writer), runs pending a spill retry,
+    /// plus the in-memory tail, if any records are currently buffered.
     pub fn run_count(&self) -> usize {
-        self.runs.len() + usize::from(!self.buffer.is_empty())
+        self.runs.len()
+            + self.in_flight_runs
+            + self.pending_runs.len()
+            + usize::from(!self.buffer.is_empty())
     }
 
     /// Counters (spills, carried heavy keys, ...).
+    ///
+    /// With pipelined spilling, `spilled_runs` / `spilled_bytes` count runs
+    /// confirmed durable, reconciled at every `push`; call
+    /// [`StreamSorter::flush_spills`] first for exact values.
     pub fn stats(&self) -> &StreamStats {
         &self.stats
+    }
+
+    /// Blocks until every run handed to the background spill writer is
+    /// durable on disk, surfacing any writer-side error.  Afterwards
+    /// [`StreamSorter::stats`] is exact.  A no-op under
+    /// [`StreamConfig::synchronous_spill`].
+    pub fn flush_spills(&mut self) -> io::Result<()> {
+        if let Some(pipeline) = &self.pipeline {
+            pipeline.flush();
+        }
+        self.reconcile_pipeline()
     }
 
     /// Heavy keys (ordered-`u64` domain) carried into the next run.
@@ -124,13 +180,18 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
         &self.carry
     }
 
-    fn should_spill(&self) -> bool {
+    fn buffer_needs_spill(&self) -> bool {
         !self.buffer.is_empty()
             && (self.buffer.len() >= self.run_capacity
                 || var_payload_should_spill::<V>(
                     self.buffered_value_bytes,
                     self.cfg.memory_budget_bytes,
+                    self.cfg.spill_shares(),
                 ))
+    }
+
+    fn should_spill(&self) -> bool {
+        !self.pending_runs.is_empty() || self.buffer_needs_spill()
     }
 
     /// Appends a batch of records, spilling full runs to disk as needed.
@@ -182,24 +243,156 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
         self.stats.carried_heavy_keys = self.carry.len();
     }
 
-    fn spill_run(&mut self) -> io::Result<()> {
-        self.sort_buffer();
+    /// Secures the spill directory, creating it on first use.
+    fn ensure_space(&mut self) -> io::Result<()> {
         if self.space.is_none() {
             self.space = Some(SpillSpace::create(self.cfg.spill_dir.as_ref())?);
         }
-        let dir = &self.space.as_ref().expect("spill space just created").dir;
-        let path = dir.join(format!("run-{:06}.bin", self.runs.len()));
-        let bytes = write_run(&path, &self.buffer)?;
+        Ok(())
+    }
+
+    fn spill_run(&mut self) -> io::Result<()> {
+        // The directory is secured before the buffer is touched, so a
+        // failure here leaves every record buffered (and counted).
+        self.ensure_space()?;
+        // Runs reclaimed from a failed write are retried first, in run
+        // order, so the merge's smaller-index-wins tie rule keeps encoding
+        // push order.
+        self.retry_pending_runs()?;
+        if !self.buffer_needs_spill() {
+            return Ok(());
+        }
+        if self.cfg.synchronous_spill || self.pipeline_broken {
+            self.sort_buffer();
+            let run = std::mem::take(&mut self.buffer);
+            self.buffered_value_bytes = 0;
+            self.write_run_sync(run)
+        } else {
+            self.spill_run_pipelined()
+        }
+    }
+
+    /// Retries runs whose earlier spill write failed (synchronously: the
+    /// pipeline is torn down by the time pending runs exist).
+    fn retry_pending_runs(&mut self) -> io::Result<()> {
+        while let Some(run) = self.pending_runs.pop_front() {
+            if let Err(e) = self.write_run_sync_inner(&run) {
+                self.pending_runs.push_front(run);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes one sorted run inline on the calling thread; on failure the
+    /// run's records are reclaimed into the pending queue.
+    fn write_run_sync(&mut self, run: Vec<(K, V)>) -> io::Result<()> {
+        if let Err(e) = self.write_run_sync_inner(&run) {
+            self.pending_runs.push_back(run);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn write_run_sync_inner(&mut self, run: &[(K, V)]) -> io::Result<()> {
+        let dir = &self.space.as_ref().expect("spill space secured").dir;
+        let path = dir.join(format!("run-s{:06}.bin", self.sync_run_seq));
+        let bytes = match write_run(&path, run) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                std::fs::remove_file(&path).ok();
+                return Err(e);
+            }
+        };
+        self.sync_run_seq += 1;
         self.runs.push(SpilledRun {
             path,
-            len: self.buffer.len(),
+            len: run.len(),
             bytes,
         });
         self.stats.spilled_runs += 1;
         self.stats.spilled_bytes += bytes;
-        self.buffer.clear();
-        self.buffered_value_bytes = 0;
         Ok(())
+    }
+
+    /// Hands the sorted buffer to the background writer and keeps going
+    /// with a recycled buffer: run `N + 1` is sorted while run `N` streams
+    /// to disk.
+    fn spill_run_pipelined(&mut self) -> io::Result<()> {
+        if self.pipeline.is_none() {
+            let dir = self
+                .space
+                .as_ref()
+                .expect("spill space secured")
+                .dir
+                .clone();
+            self.pipeline = Some(SpillPipeline::start(
+                dir,
+                self.cfg.spill_pipeline_depth,
+                "run-p",
+            ));
+        }
+        self.sort_buffer();
+        let pipeline = self.pipeline.as_mut().expect("pipeline just started");
+        let replacement = pipeline.recycled_buffer().unwrap_or_default();
+        let run = std::mem::replace(&mut self.buffer, replacement);
+        self.buffered_value_bytes = 0;
+        self.in_flight_records += run.len();
+        self.in_flight_runs += 1;
+        pipeline.submit(run); // blocks while the pipeline is at depth
+        self.reconcile_pipeline()
+    }
+
+    /// Accounts runs the writer has completed and surfaces any writer-side
+    /// error; on error the pipeline is torn down, its unwritten runs are
+    /// reclaimed as pending, and the sorter falls back to synchronous
+    /// spilling.
+    fn reconcile_pipeline(&mut self) -> io::Result<()> {
+        let (completed, error) = match &self.pipeline {
+            None => return Ok(()),
+            Some(p) => (p.drain_completed(), p.poll_error()),
+        };
+        self.account_completed(completed);
+        if let Some(e) = error {
+            self.teardown_pipeline();
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn account_completed(&mut self, completed: Vec<SpilledRun>) {
+        for run in completed {
+            self.in_flight_records -= run.len;
+            self.in_flight_runs -= 1;
+            self.stats.spilled_runs += 1;
+            self.stats.spilled_bytes += run.bytes;
+            self.runs.push(run);
+        }
+    }
+
+    /// Joins the writer, reclaims everything it did not write, and switches
+    /// to synchronous spilling.  Returns the writer's error if one was
+    /// still unreported.
+    fn teardown_pipeline(&mut self) -> Option<io::Error> {
+        let pipeline = self.pipeline.take()?;
+        let closed = pipeline.close();
+        self.account_completed(closed.completed);
+        for run in closed.failed {
+            self.in_flight_records -= run.len();
+            self.in_flight_runs -= 1;
+            self.pending_runs.push_back(run);
+        }
+        self.pipeline_broken = true;
+        closed.error
+    }
+
+    /// Waits out the spill pipeline before a final merge; a writer error
+    /// that never got the chance to surface on a `push` surfaces here.
+    fn close_pipeline(&mut self) -> io::Result<()> {
+        match self.teardown_pipeline() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Finishes the sort, returning a streaming sorted iterator.
@@ -207,15 +400,22 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
     /// The iterator holds one read buffer per spilled run (bounded by
     /// [`StreamConfig::merge_read_buffer_bytes`]) plus the final in-memory
     /// run, so its footprint stays within the configured budget no matter
-    /// how large the dataset grew.
+    /// how large the dataset grew.  Unless
+    /// [`StreamConfig::synchronous_spill`] is set, each spilled run is
+    /// decoded ahead of the merge by a read-ahead thread
+    /// ([`StreamConfig::merge_read_ahead`]), so the loser tree pops from
+    /// prefetched blocks instead of blocking on cold reads.
     pub fn finish(mut self) -> io::Result<SortedStream<K, V>> {
+        self.close_pipeline()?;
         self.sort_buffer();
         let total = self.len();
-        let reader_budget =
-            per_run_reader_budget(self.cfg.merge_read_buffer_bytes, self.runs.len());
-        let mut cursors: Vec<RunCursor<V>> = Vec::with_capacity(self.runs.len() + 1);
-        for run in &self.runs {
-            cursors.push(RunCursor::open_disk(run, reader_budget)?);
+        let mut cursors = open_run_cursors::<V>(&self.runs, &self.cfg)?;
+        for run in self.pending_runs.drain(..) {
+            let mem: Vec<(u64, V)> = run
+                .into_iter()
+                .map(|(k, v)| (k.to_ordered_u64(), v))
+                .collect();
+            cursors.push(RunCursor::from_memory(mem));
         }
         if !self.buffer.is_empty() {
             let mem: Vec<(u64, V)> = self
@@ -248,8 +448,9 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
             self.len(),
             "finish_into: output slice must hold exactly the pushed records"
         );
+        self.close_pipeline()?;
         self.sort_buffer();
-        if self.runs.is_empty() {
+        if self.runs.is_empty() && self.pending_runs.is_empty() {
             for (slot, rec) in out.iter_mut().zip(self.buffer.drain(..)) {
                 *slot = rec;
             }
@@ -271,10 +472,14 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
                 unsafe { cell.write(i, res) };
             });
         }
-        let mut loaded: Vec<Vec<(K, V)>> = Vec::with_capacity(self.runs.len());
+        let mut loaded: Vec<Vec<(K, V)>> =
+            Vec::with_capacity(self.runs.len() + self.pending_runs.len());
         for res in results {
             loaded.push(res?);
         }
+        // Runs reclaimed from failed writes are already in memory; they
+        // follow the disk runs in run order.
+        loaded.extend(self.pending_runs.drain(..));
         let tail = std::mem::take(&mut self.buffer);
         V::merge_spill_runs_into(loaded, tail, out);
         Ok(())
@@ -379,9 +584,43 @@ pub(crate) fn var_merge_runs_into<K: IntegerKey, V: VarValue>(
     }
 }
 
+/// Opens one merge cursor per spilled run, splitting
+/// [`StreamConfig::merge_read_buffer_bytes`] across them.  With read-ahead
+/// resolved on ([`StreamConfig::wants_merge_read_ahead`]) and a sane
+/// fan-in, each run gets a read-ahead thread decoding blocks ahead of the
+/// merge; otherwise the cursors read synchronously.  Shared by the sorter
+/// and the group-by so the two merge paths cannot drift.
+pub(crate) fn open_run_cursors<V: SpillValue>(
+    runs: &[SpilledRun],
+    cfg: &StreamConfig,
+) -> io::Result<Vec<RunCursor<V>>> {
+    let reader_budget = per_run_reader_budget(cfg.merge_read_buffer_bytes, runs.len());
+    let prefetch = cfg.wants_merge_read_ahead() && runs.len() <= MAX_PREFETCH_RUNS;
+    let mut cursors: Vec<RunCursor<V>> = Vec::with_capacity(runs.len() + 2);
+    if prefetch {
+        // Spawn every reader thread before priming any cursor, so all the
+        // first blocks decode in parallel.
+        let prefetchers: Vec<RunPrefetcher<V>> = runs
+            .iter()
+            .map(|run| RunPrefetcher::spawn(run, reader_budget))
+            .collect::<io::Result<_>>()?;
+        for p in prefetchers {
+            cursors.push(RunCursor::from_prefetch(p.into_receiver())?);
+        }
+    } else {
+        for run in runs {
+            cursors.push(RunCursor::open_disk(run, reader_budget)?);
+        }
+    }
+    Ok(cursors)
+}
+
+type Refill<V> = Box<dyn FnMut() -> Option<Vec<(u64, V)>> + Send>;
+
 enum CursorInner<V: SpillValue> {
     Disk(RunReader<V>),
     Memory(std::vec::IntoIter<(u64, V)>),
+    Blocks(BlockSource<(u64, V), Refill<V>>),
 }
 
 /// One run's cursor in the final merge ([`parlay::kway::RunSource`]).
@@ -409,6 +648,33 @@ impl<V: SpillValue> RunCursor<V> {
             current,
         }
     }
+
+    /// A cursor fed by a [`RunPrefetcher`]'s block channel.  The first
+    /// block is received here, so early read errors surface as a `Result`
+    /// exactly like [`RunCursor::open_disk`]'s eager first read; errors in
+    /// later blocks panic mid-merge (documented on [`SortedStream`]).
+    pub(crate) fn from_prefetch(rx: Receiver<io::Result<Vec<(u64, V)>>>) -> io::Result<Self> {
+        let mut first = match rx.recv() {
+            Ok(res) => Some(res?),
+            Err(_) => None, // producer exited: empty run
+        };
+        let refill: Refill<V> = Box::new(move || {
+            if let Some(block) = first.take() {
+                return Some(block);
+            }
+            match rx.recv() {
+                Ok(Ok(block)) => Some(block),
+                Ok(Err(e)) => panic!("I/O error reading spilled run: {e}"),
+                Err(_) => None, // clean end of run
+            }
+        });
+        let mut source = BlockSource::new(refill);
+        let current = source.pop();
+        Ok(Self {
+            inner: CursorInner::Blocks(source),
+            current,
+        })
+    }
 }
 
 impl<V: SpillValue> RunSource for RunCursor<V> {
@@ -429,6 +695,7 @@ impl<V: SpillValue> RunSource for RunCursor<V> {
             CursorInner::Disk(reader) => reader
                 .next_record()
                 .unwrap_or_else(|e| panic!("I/O error reading spilled run: {e}")),
+            CursorInner::Blocks(source) => source.pop(),
         };
         Some(item)
     }
@@ -473,6 +740,9 @@ mod tests {
     fn tiny_cfg(budget: usize) -> StreamConfig {
         StreamConfig {
             memory_budget_bytes: budget,
+            // Force the read-ahead merge path so it is exercised even on
+            // single-CPU CI hosts (where auto mode would disable it).
+            merge_read_ahead: Some(true),
             sort: dtsort::SortConfig {
                 base_case_threshold: 64,
                 ..Default::default()
@@ -749,5 +1019,202 @@ mod tests {
         );
         assert_eq!(sorter.stats().spilled_runs, 0);
         std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn flush_spills_makes_stats_exact() {
+        let mut sorter: StreamSorter<u32, u32> = StreamSorter::with_config(tiny_cfg(32 << 10));
+        let batch: Vec<(u32, u32)> = (0..40_000u32).map(|i| (i.rotate_left(16), i)).collect();
+        sorter.push(&batch).unwrap();
+        sorter.flush_spills().unwrap();
+        // After a flush nothing is in flight: every spilled run is durable
+        // and counted, and the byte meter matches the files on disk.
+        assert_eq!(sorter.in_flight_records, 0);
+        assert_eq!(sorter.in_flight_runs, 0);
+        let on_disk: u64 = sorter.runs.iter().map(|r| r.bytes).sum();
+        assert_eq!(sorter.stats().spilled_bytes, on_disk);
+        assert_eq!(sorter.stats().spilled_runs, sorter.runs.len());
+        for run in &sorter.runs {
+            assert_eq!(std::fs::metadata(&run.path).unwrap().len(), run.bytes);
+        }
+        let got = sorter.finish_vec().unwrap();
+        let mut want = batch;
+        want.sort_by_key(|r| r.0);
+        assert_eq!(got, want);
+    }
+
+    // -----------------------------------------------------------------
+    // Failure injection: a value whose serializer panics after a chosen
+    // number of writes, modelling a mid-spill crash.
+    // -----------------------------------------------------------------
+
+    use crate::spill::sealed::Sealed;
+    use std::fs::File;
+    use std::io::{BufReader, BufWriter};
+    use std::sync::atomic::{AtomicI64, Ordering};
+    use std::sync::Arc;
+
+    /// A var-length value that panics inside `spill_write` when its shared
+    /// fuse counts down to zero (exactly once).
+    #[derive(Debug, Clone)]
+    struct Grenade {
+        fuse: Arc<AtomicI64>,
+        payload: Vec<u8>,
+    }
+
+    impl Grenade {
+        fn new(fuse: &Arc<AtomicI64>, i: u64) -> Self {
+            Self {
+                fuse: Arc::clone(fuse),
+                payload: format!("payload-{i:06}-{}", "g".repeat((i as usize * 11) % 64))
+                    .into_bytes(),
+            }
+        }
+    }
+
+    impl VarValue for Grenade {
+        fn as_spill_bytes(&self) -> &[u8] {
+            &self.payload
+        }
+        fn from_spill_bytes(bytes: &[u8]) -> io::Result<Self> {
+            Ok(Self {
+                fuse: Arc::new(AtomicI64::new(i64::MAX)),
+                payload: bytes.to_vec(),
+            })
+        }
+    }
+
+    impl Sealed for Grenade {}
+    impl SpillValue for Grenade {
+        const SPILL_FIXED_SIZE: Option<usize> = None;
+        fn spill_size(&self) -> usize {
+            4 + self.payload.len()
+        }
+        fn spill_write(&self, w: &mut BufWriter<File>) -> io::Result<()> {
+            if self.fuse.fetch_sub(1, Ordering::SeqCst) == 1 {
+                panic!("injected spill-write failure");
+            }
+            self.payload.spill_write(w)
+        }
+        fn spill_read(
+            r: &mut BufReader<File>,
+            scratch: &mut Vec<u8>,
+            payload_budget: u64,
+        ) -> io::Result<Self> {
+            Vec::<u8>::spill_read(r, scratch, payload_budget).map(|payload| Self {
+                fuse: Arc::new(AtomicI64::new(i64::MAX)),
+                payload,
+            })
+        }
+        fn spill_placeholder() -> Self {
+            Self {
+                fuse: Arc::new(AtomicI64::new(i64::MAX)),
+                payload: Vec::new(),
+            }
+        }
+        fn sort_spill_run<K: IntegerKey>(
+            buffer: &mut Vec<(K, Self)>,
+            cfg: &SortConfig,
+            carry: &[u64],
+        ) -> RunReport {
+            var_sort_run(buffer, cfg, carry)
+        }
+        fn merge_spill_runs_into<K: IntegerKey>(
+            runs: Vec<Vec<(K, Self)>>,
+            tail: Vec<(K, Self)>,
+            out: &mut [(K, Self)],
+        ) {
+            var_merge_runs_into(runs, tail, out)
+        }
+    }
+
+    #[test]
+    fn panic_mid_spill_leaves_every_recorded_run_complete_on_disk() {
+        // Synchronous mode: the injected panic unwinds straight through
+        // `write_run`'s `BufWriter`, the classic silent-truncation shape.
+        // The invariant under test: a run the sorter *recorded* as spilled
+        // is fully on disk — only the never-recorded run may be partial.
+        let cfg = StreamConfig {
+            synchronous_spill: true,
+            ..tiny_cfg(16 << 10)
+        };
+        let mut sorter: StreamSorter<u64, Grenade> = StreamSorter::with_config(cfg);
+        let capacity = sorter.run_capacity;
+        // Detonate in the middle of the second run's write.
+        let fuse = Arc::new(AtomicI64::new(capacity as i64 + (capacity / 2) as i64));
+        let n = 4 * capacity;
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for i in 0..n as u64 {
+                sorter.push_record(i % 97, Grenade::new(&fuse, i)).unwrap();
+            }
+        }))
+        .is_err();
+        assert!(panicked, "the fuse must have gone off mid-write");
+        assert_eq!(sorter.stats().spilled_runs, 1, "one run recorded");
+        assert_eq!(sorter.runs.len(), 1);
+        // The recorded run reads back completely — byte size, record count
+        // and payloads all intact.
+        let run = &sorter.runs[0];
+        assert_eq!(std::fs::metadata(&run.path).unwrap().len(), run.bytes);
+        let records: Vec<(u64, Grenade)> = RunReader::<Grenade>::open(run, 4096)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert_eq!(records.len(), run.len);
+        assert!(records
+            .iter()
+            .all(|(_, g)| g.payload.starts_with(b"payload-")));
+        // The panicking run's file is the partial one: it was never
+        // recorded, and its truncation is visible on disk.
+        let dir = run.path.parent().unwrap();
+        let partial = dir.join("run-s000001.bin");
+        assert!(partial.exists(), "the interrupted write left a file");
+        let complete_run_bytes = run.bytes;
+        assert!(
+            std::fs::metadata(&partial).unwrap().len() < complete_run_bytes,
+            "the unrecorded file must be visibly incomplete"
+        );
+    }
+
+    #[test]
+    fn writer_thread_panic_surfaces_as_error_and_loses_no_records() {
+        // Pipelined mode: the same injected panic happens on the writer
+        // thread, where it must convert to an io::Error surfaced by a
+        // later push or by finish — never a hang — and the failed run's
+        // records must still come out of the final merge.
+        let mut sorter: StreamSorter<u64, Grenade> = StreamSorter::with_config(tiny_cfg(16 << 10));
+        let capacity = sorter.run_capacity;
+        let fuse = Arc::new(AtomicI64::new(capacity as i64 + (capacity / 2) as i64));
+        let n = 6 * capacity;
+        let mut input: Vec<(u64, Grenade)> = Vec::new();
+        let mut saw_error = false;
+        for i in 0..n as u64 {
+            let record = (i % 89, Grenade::new(&fuse, i));
+            input.push(record.clone());
+            match sorter.push_record(record.0, record.1) {
+                Ok(()) => {}
+                Err(e) => {
+                    assert!(e.to_string().contains("panicked"), "unexpected error: {e}");
+                    // At the moment the error surfaces, the failed run's
+                    // records are reclaimed, none are lost in flight, and
+                    // the sorter has fallen back to synchronous spilling
+                    // (which will retry the reclaimed runs).
+                    assert!(!sorter.pending_runs.is_empty(), "records reclaimed");
+                    assert_eq!(sorter.in_flight_records, 0);
+                    assert!(sorter.pipeline_broken);
+                    saw_error = true;
+                }
+            }
+        }
+        assert!(saw_error, "the writer panic must surface on a push");
+        // The fuse only fires once, so the sorter (now in synchronous
+        // fallback) finishes the sort with zero data loss.
+        let got = sorter.finish_vec().unwrap();
+        assert_eq!(got.len(), input.len());
+        let mut want = input;
+        want.sort_by_key(|r| r.0);
+        let got_payloads: Vec<&[u8]> = got.iter().map(|(_, g)| g.payload.as_slice()).collect();
+        let want_payloads: Vec<&[u8]> = want.iter().map(|(_, g)| g.payload.as_slice()).collect();
+        assert_eq!(got_payloads, want_payloads, "stable, lossless recovery");
     }
 }

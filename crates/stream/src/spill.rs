@@ -70,7 +70,7 @@ impl Drop for SpillSpace {
     }
 }
 
-mod sealed {
+pub(crate) mod sealed {
     pub trait Sealed {}
 }
 
@@ -402,7 +402,14 @@ macro_rules! impl_var_spill {
 }
 impl_var_spill!(Vec<u8>, String, Box<[u8]>);
 
-/// Writes a sorted run to `path`; returns the bytes written.
+/// Writes a sorted run to `path` and syncs it to disk; returns the bytes
+/// written.
+///
+/// The final `sync_data` is part of the spill contract: a run is recorded
+/// as spilled (and its buffered records dropped) only after this returns,
+/// so a run the stats report as spilled is fully on disk — a panic or
+/// crash later can never leave a recorded run truncated the way a dropped
+/// `BufWriter` silently would.
 pub(crate) fn write_run<K: IntegerKey, V: SpillValue>(
     path: &Path,
     records: &[(K, V)],
@@ -416,6 +423,7 @@ pub(crate) fn write_run<K: IntegerKey, V: SpillValue>(
         bytes += 8 + value.spill_size() as u64;
     }
     writer.flush()?;
+    writer.get_ref().sync_data()?;
     Ok(bytes)
 }
 
@@ -437,15 +445,18 @@ pub(crate) fn per_run_reader_budget(total_bytes: usize, runs: usize) -> usize {
 }
 
 /// Whether `buffered_bytes` of variable-length payloads justify spilling a
-/// run: half the memory budget (the rest is sort/aggregation working
-/// space).  Always false for fixed-size values, whose footprint the
+/// run: one budget share out of `shares`
+/// ([`dtsort::StreamConfig::spill_shares`] — the rest is sort/aggregation
+/// working space plus, when pipelining, the payload bytes of in-flight
+/// runs).  Always false for fixed-size values, whose footprint the
 /// record-count capacity already bounds.  One policy shared by the sorter
 /// and the group-by, so the two engines cannot drift.
 pub(crate) fn var_payload_should_spill<V: SpillValue>(
     buffered_bytes: usize,
     memory_budget_bytes: usize,
+    shares: usize,
 ) -> bool {
-    V::SPILL_FIXED_SIZE.is_none() && buffered_bytes >= memory_budget_bytes / 2
+    V::SPILL_FIXED_SIZE.is_none() && buffered_bytes >= memory_budget_bytes / shares.max(2)
 }
 
 /// Spilled payload bytes of `chunk`, or 0 for fixed-size values (whose
