@@ -18,7 +18,10 @@
 //!
 //! Usage: `cargo run -p bench --release --bin fig_stream_throughput -- [--n 2e6] [--reps 3]`
 
-use bench::{json_escape, median_time_secs, write_bench_json, Args, Table};
+use bench::{
+    json_escape, median_time_secs, obs_json_fields, write_bench_json, write_obs_artifacts, Args,
+    ObsPhaseDeltas, ObsProbe, Table,
+};
 use dtsort::StreamConfig;
 use std::time::Instant;
 use stream::StreamSorter;
@@ -38,6 +41,8 @@ struct Measurement {
     /// Median of paired pipelined-vs-synchronous speedups (pipelined rows
     /// only).
     pipe_sync_ratio: Option<f64>,
+    /// Phase-time deltas from the obs registry (zero unless `OBS_TRACE=1`).
+    obs: ObsPhaseDeltas,
 }
 
 struct Phases {
@@ -45,6 +50,7 @@ struct Phases {
     merge_secs: f64,
     runs: usize,
     spilled_bytes: u64,
+    obs: ObsPhaseDeltas,
 }
 
 /// One full streaming sort, phase-timed: returns the spill-phase wall time
@@ -56,6 +62,7 @@ fn stream_sort_phases(input: &[(u32, u32)], budget: usize, batch: usize, sync: b
         ..StreamConfig::default()
     };
     let mut sorter: StreamSorter<u32, u32> = StreamSorter::with_config(cfg);
+    let probe = ObsProbe::start();
     let spill_start = Instant::now();
     for chunk in input.chunks(batch) {
         sorter.push(chunk).expect("push failed");
@@ -79,6 +86,7 @@ fn stream_sort_phases(input: &[(u32, u32)], budget: usize, batch: usize, sync: b
         merge_secs,
         runs,
         spilled_bytes,
+        obs: probe.finish(),
     }
 }
 
@@ -121,6 +129,14 @@ fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measur
     let rendered: Vec<String> = rows
         .iter()
         .map(|m| {
+            let extra = format!(
+                "{}{}",
+                match m.pipe_sync_ratio {
+                    Some(r) => format!(", \"pipe_sync_ratio\": {r:.3}"),
+                    None => String::new(),
+                },
+                obs_json_fields(&m.obs),
+            );
             format!(
                 "{{\"dist\": \"{}\", \"mode\": \"{}\", \"budget\": \"{}\", \"budget_bytes\": {}, \"runs\": {}, \"spilled_bytes\": {}, \"spill_secs\": {:.6}, \"merge_secs\": {:.6}, \"secs\": {:.6}, \"records_per_sec\": {:.1}{}}}",
                 json_escape(&m.dist),
@@ -133,10 +149,7 @@ fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measur
                 m.merge_secs,
                 m.secs,
                 m.records_per_sec,
-                match m.pipe_sync_ratio {
-                    Some(r) => format!(", \"pipe_sync_ratio\": {r:.3}"),
-                    None => String::new(),
-                },
+                extra,
             )
         })
         .collect();
@@ -248,6 +261,7 @@ fn main() {
                     secs,
                     records_per_sec: rps,
                     pipe_sync_ratio: pair_ratio,
+                    obs: p.obs,
                 });
             }
         }
@@ -260,4 +274,5 @@ fn main() {
         rayon::current_num_threads(),
         &all,
     );
+    write_obs_artifacts("stream");
 }

@@ -13,7 +13,10 @@
 //!
 //! Usage: `cargo run -p bench --release --bin fig_varlen_throughput -- [--n 3e5] [--reps 3]`
 
-use bench::{json_escape, median_time_secs, write_bench_json, Args, Table};
+use bench::{
+    json_escape, median_time_secs, obs_json_fields, write_bench_json, write_obs_artifacts, Args,
+    ObsPhaseDeltas, ObsProbe, Table,
+};
 use dtsort::StreamConfig;
 use std::time::Instant;
 use stream::StreamSorter;
@@ -36,6 +39,8 @@ struct Measurement {
     /// Median of paired pipelined-vs-synchronous speedups (pipelined rows
     /// only).
     pipe_sync_ratio: Option<f64>,
+    /// Phase-time deltas from the obs registry (zero unless `OBS_TRACE=1`).
+    obs: ObsPhaseDeltas,
 }
 
 struct Phases {
@@ -43,6 +48,7 @@ struct Phases {
     merge_secs: f64,
     runs: usize,
     spilled_bytes: u64,
+    obs: ObsPhaseDeltas,
 }
 
 /// One full string streaming sort, phase-timed (pushes + flush vs finish +
@@ -59,6 +65,7 @@ fn stream_sort_strings_phases(
         ..StreamConfig::default()
     };
     let mut sorter: StreamSorter<u64, String> = StreamSorter::with_config(cfg);
+    let probe = ObsProbe::start();
     let spill_start = Instant::now();
     for chunk in input.chunks(batch) {
         sorter.push(chunk).expect("push failed");
@@ -80,6 +87,7 @@ fn stream_sort_strings_phases(
         merge_secs,
         runs,
         spilled_bytes,
+        obs: probe.finish(),
     }
 }
 
@@ -120,6 +128,14 @@ fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measur
     let rendered: Vec<String> = rows
         .iter()
         .map(|m| {
+            let extra = format!(
+                "{}{}",
+                match m.pipe_sync_ratio {
+                    Some(r) => format!(", \"pipe_sync_ratio\": {r:.3}"),
+                    None => String::new(),
+                },
+                obs_json_fields(&m.obs),
+            );
             format!(
                 "{{\"dist\": \"{}\", \"payload\": \"{}\", \"mode\": \"{}\", \"budget\": \"{}\", \"budget_bytes\": {}, \"runs\": {}, \"spilled_bytes\": {}, \"spill_secs\": {:.6}, \"merge_secs\": {:.6}, \"secs\": {:.6}, \"records_per_sec\": {:.1}, \"payload_mb_per_sec\": {:.2}{}}}",
                 json_escape(&m.dist),
@@ -134,10 +150,7 @@ fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measur
                 m.secs,
                 m.records_per_sec,
                 m.payload_mb_per_sec,
-                match m.pipe_sync_ratio {
-                    Some(r) => format!(", \"pipe_sync_ratio\": {r:.3}"),
-                    None => String::new(),
-                },
+                extra,
             )
         })
         .collect();
@@ -270,6 +283,7 @@ fn main() {
                         records_per_sec: rps,
                         payload_mb_per_sec: mbps,
                         pipe_sync_ratio: pair_ratio,
+                        obs: p.obs,
                     });
                 }
             }
@@ -283,4 +297,5 @@ fn main() {
         rayon::current_num_threads(),
         &all,
     );
+    write_obs_artifacts("varlen");
 }

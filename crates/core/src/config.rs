@@ -198,6 +198,18 @@ pub struct StreamConfig {
     /// `Some(false)` force it.  Ignored (off) when `synchronous_spill` is
     /// set.
     pub merge_read_ahead: Option<bool>,
+    /// Turn on the `obs` tracing/metrics layer when the engine is built:
+    /// the streaming sorter and group-by call `obs::enable()` during
+    /// construction so their spans (`sort_run`, `spill_write`,
+    /// `prefetch`, `merge`) and registry metrics are recorded.
+    ///
+    /// The switch is **global and sticky** — `obs`'s enable state is one
+    /// process-wide static, so tracing stays on after this engine is
+    /// dropped (turn it off with `obs::disable()`).  The `OBS_TRACE`
+    /// environment variable enables the same machinery without touching
+    /// configs; this knob exists for embedders that construct configs
+    /// programmatically.
+    pub trace: bool,
     /// Configuration of the per-run in-memory DovetailSort.
     pub sort: SortConfig,
 }
@@ -212,6 +224,7 @@ impl Default for StreamConfig {
             synchronous_spill: false,
             spill_pipeline_depth: 1,
             merge_read_ahead: None,
+            trace: false,
             sort: SortConfig::default(),
         }
     }

@@ -107,6 +107,38 @@ impl StatsSnapshot {
     pub fn records_moved(&self) -> u64 {
         self.distributed_records + self.merged_records
     }
+
+    /// Publishes this snapshot into an [`obs::MetricsRegistry`] as
+    /// `sort.*` gauges (set semantics: the registry view reflects the
+    /// *last published* sort, since each invocation's `SortStats` starts
+    /// from zero).  No-op while `obs` recording is disabled.
+    ///
+    /// This is the registry *view* of the per-invocation stats: the
+    /// counters themselves stay plain relaxed atomics owned by the sort
+    /// call, so nothing about the existing `*_with_stats` API changes.
+    pub fn publish(&self, reg: &obs::MetricsRegistry) {
+        if !obs::enabled() {
+            return;
+        }
+        let set = |name: &str, v: u64| {
+            reg.gauge(name).set(i64::try_from(v).unwrap_or(i64::MAX));
+        };
+        set("sort.recursive_calls", self.recursive_calls);
+        set("sort.base_case_calls", self.base_case_calls);
+        set("sort.base_case_records", self.base_case_records);
+        set("sort.heavy_keys", self.heavy_keys);
+        set("sort.heavy_records", self.heavy_records);
+        set("sort.overflow_records", self.overflow_records);
+        set("sort.distributed_records", self.distributed_records);
+        set("sort.merged_records", self.merged_records);
+        set("sort.samples_drawn", self.samples_drawn);
+        set("sort.max_depth", self.max_depth);
+        let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        set("sort.root_sample_ns", ns(self.root_sample_time));
+        set("sort.root_distribute_ns", ns(self.root_distribute_time));
+        set("sort.root_recurse_ns", ns(self.root_recurse_time));
+        set("sort.root_merge_ns", ns(self.root_merge_time));
+    }
 }
 
 #[cfg(test)]
@@ -130,5 +162,27 @@ mod tests {
     fn snapshot_default_is_zero() {
         let snap = SortStats::new().snapshot();
         assert_eq!(snap, StatsSnapshot::default());
+    }
+
+    #[test]
+    fn publish_mirrors_snapshot_into_registry_gauges() {
+        let was = obs::enabled();
+        obs::enable();
+        let s = SortStats::new();
+        SortStats::add(&s.heavy_keys, 11);
+        SortStats::add(&s.distributed_records, 500);
+        SortStats::max(&s.max_depth, 3);
+        let reg = obs::MetricsRegistry::new();
+        s.snapshot().publish(&reg);
+        let view = reg.snapshot();
+        assert_eq!(view.gauge("sort.heavy_keys"), 11);
+        assert_eq!(view.gauge("sort.distributed_records"), 500);
+        assert_eq!(view.gauge("sort.max_depth"), 3);
+        // Set semantics: republishing a fresh sort overwrites.
+        SortStats::new().snapshot().publish(&reg);
+        assert_eq!(reg.snapshot().gauge("sort.heavy_keys"), 0);
+        if !was {
+            obs::disable();
+        }
     }
 }

@@ -1,0 +1,202 @@
+//! # obs — zero-dependency tracing and metrics for the pisort workspace
+//!
+//! The paper's performance study (Section 6.3, the Theorem 4.6/4.7 checks)
+//! is entirely about *observing what the algorithm did*.  This crate is the
+//! shared substrate for that observation at runtime: every subsystem — the
+//! streaming engines, the spill pipeline, the merge prefetchers, the
+//! work-stealing pool — records into one process-wide [`MetricsRegistry`]
+//! and one span timeline, and anything (tests, benches, a future sort
+//! server) can snapshot or export them without touching the subsystems.
+//!
+//! The crate is deliberately **shim-style**: no dependencies, hand-rolled
+//! JSON (the same style the `BENCH_*.json` writers use), and a disabled
+//! path that costs a single relaxed atomic load and a predictable branch.
+//!
+//! ## The three pieces
+//!
+//! * **Metrics** ([`MetricsRegistry`]) — named counters, gauges and
+//!   fixed-bucket power-of-two latency histograms.  Handles ([`Counter`],
+//!   [`Gauge`], [`Histogram`]) are cheap `Arc` clones; *recording* is
+//!   lock-free (relaxed atomics), only *registration* takes a lock.
+//!   [`MetricsRegistry::snapshot`] returns a plain-value
+//!   [`MetricsSnapshot`] that serializes to JSON.
+//! * **Spans** ([`span!`], [`SpanGuard`]) — wall-clock intervals recorded
+//!   into per-thread ring buffers on guard drop.  [`drain_spans`] collects
+//!   them across all threads (including threads that have since exited).
+//! * **Export** ([`chrome_trace_json`], [`timeline_json`],
+//!   [`write_chrome_trace`]) — the collected spans as a
+//!   `chrome://tracing` / Perfetto-compatible trace file, or as a flat
+//!   per-run pipeline timeline.
+//!
+//! ## Enabling
+//!
+//! Everything is **off by default**.  The master switch is one static,
+//! resolved in priority order:
+//!
+//! 1. [`enable`] / [`disable`] — programmatic, wins over the environment.
+//!    `dtsort::StreamConfig::trace` calls [`enable`] at engine
+//!    construction.
+//! 2. `OBS_TRACE` environment variable — any value except `0` or the
+//!    empty string enables at first use.
+//!
+//! When disabled, [`Counter::add`] and friends return without touching
+//! the registry (see [`MetricsRegistry::touches`], which the overhead
+//! guard test pins to zero) and [`span!`] returns an inert guard.
+//!
+//! ```
+//! let was = obs::enabled();
+//! obs::enable();
+//! let reg = obs::MetricsRegistry::new();
+//! let c = reg.counter("demo.events");
+//! let h = reg.histogram("demo.latency_ns");
+//! c.add(3);
+//! h.record(1500);
+//! {
+//!     let _span = obs::span!("demo_phase", run = 1);
+//!     // ... timed work ...
+//! }
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("demo.events"), 3);
+//! assert!(snap.to_json().contains("\"demo.events\": 3"));
+//! if !was {
+//!     obs::disable();
+//! }
+//! ```
+
+mod registry;
+mod span;
+mod trace;
+
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+pub use span::{drain_spans, now_ns, SpanEvent, SpanGuard};
+pub use trace::{chrome_trace_json, timeline_json, write_chrome_trace};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+const STATE_UNINIT: u8 = 0;
+const STATE_ON: u8 = 1;
+const STATE_OFF: u8 = 2;
+
+/// The master switch.  `UNINIT` until the first [`enabled`] call resolves
+/// the `OBS_TRACE` environment variable (or [`enable`]/[`disable`] forces
+/// a state); after that, every check is a single relaxed load.
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+
+/// Whether metrics recording and span capture are on.
+///
+/// This is **the** gate every hot path checks: one relaxed atomic load
+/// plus a branch when the state is resolved, which it is after the first
+/// call in the process.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => resolve_from_env(),
+    }
+}
+
+/// Cold path of [`enabled`]: resolve the initial state from `OBS_TRACE`.
+#[cold]
+fn resolve_from_env() -> bool {
+    let on = std::env::var("OBS_TRACE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let want = if on { STATE_ON } else { STATE_OFF };
+    // Racing first calls agree on the value; a concurrent enable()/
+    // disable() wins over the environment default.
+    let _ = STATE.compare_exchange(STATE_UNINIT, want, Ordering::Relaxed, Ordering::Relaxed);
+    STATE.load(Ordering::Relaxed) == STATE_ON
+}
+
+/// Turns metrics recording and span capture on, process-wide.
+pub fn enable() {
+    STATE.store(STATE_ON, Ordering::Relaxed);
+}
+
+/// Turns metrics recording and span capture off, process-wide.
+pub fn disable() {
+    STATE.store(STATE_OFF, Ordering::Relaxed);
+}
+
+/// The process-wide registry every instrumented subsystem records into.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Escapes a string for embedding in a JSON string literal (the same
+/// minimal escaping the bench JSON writers use: metric and span names are
+/// ASCII identifiers by convention).
+pub(crate) fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Starts a [`SpanGuard`] recording a named wall-clock interval, with an
+/// optional `key = value` integer argument (e.g. a run number):
+///
+/// ```
+/// obs::enable();
+/// {
+///     let _g = obs::span!("spill_write", run = 3);
+///     // ... the write ...
+/// } // recorded here
+/// let _ = obs::span!("flush"); // un-bound guard: records immediately
+/// ```
+///
+/// When [`enabled`] is false the guard is inert: no clock read, no ring
+/// touch.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::start($name, None)
+    };
+    ($name:expr, $key:ident = $val:expr) => {
+        $crate::SpanGuard::start($name, Some((stringify!($key), $val as u64)))
+    };
+}
+
+#[cfg(test)]
+pub(crate) mod test_lock {
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Serializes tests that flip the global [`super::STATE`] or rely on
+    /// exact global-registry deltas.
+    pub fn lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enable_disable_flip_the_static() {
+        let _g = test_lock::lock();
+        let was = enabled();
+        enable();
+        assert!(enabled());
+        disable();
+        assert!(!enabled());
+        if was {
+            enable();
+        }
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = global() as *const MetricsRegistry;
+        let b = global() as *const MetricsRegistry;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_escape_handles_quotes() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+    }
+}

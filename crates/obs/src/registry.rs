@@ -1,0 +1,539 @@
+//! Named metrics: counters, gauges and power-of-two latency histograms.
+//!
+//! Registration (name → handle) takes a lock; *recording* through a handle
+//! is a relaxed atomic RMW, so hot paths (the spill writer, the pool's
+//! steal loop) can record without synchronization that would distort the
+//! very timings being measured — the same discipline
+//! `dtsort::SortStats` has always used, generalized to named metrics.
+//!
+//! Every recording first checks the global [`crate::enabled`] static and
+//! returns without touching anything when it is off; the registry counts
+//! its enabled-path touches ([`MetricsRegistry::touches`]) so the
+//! disabled-overhead guarantee is testable, not aspirational.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of power-of-two histogram buckets: bucket `i` holds values `v`
+/// with `floor(log2(max(v, 1))) == i`, so the full `u64` range is covered.
+const BUCKETS: usize = 64;
+
+fn bucket_index(v: u64) -> usize {
+    (63 - (v | 1).leading_zeros()) as usize
+}
+
+/// Lock-free core of one histogram.
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+/// A registry of named metrics.  One process-wide instance lives behind
+/// [`crate::global`]; tests may create private ones.
+///
+/// Requesting a name that already exists returns a handle to the same
+/// underlying metric (so independently instrumented subsystems may share a
+/// metric by name); requesting it as a *different kind* panics — that is a
+/// programming error, caught loudly.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+    /// Enabled-path recordings through this registry's handles: stays at
+    /// exactly 0 while [`crate::enabled`] is false (the overhead guard).
+    touches: Arc<AtomicU64>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Gets or creates the named monotonic counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.lock();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))));
+        match metric {
+            Metric::Counter(cell) => Counter {
+                cell: Arc::clone(cell),
+                touches: Arc::clone(&self.touches),
+            },
+            _ => panic!("metric {name:?} already registered with another kind"),
+        }
+    }
+
+    /// Gets or creates the named gauge (a settable signed level, e.g. a
+    /// queue depth).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.lock();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(AtomicI64::new(0))));
+        match metric {
+            Metric::Gauge(cell) => Gauge {
+                cell: Arc::clone(cell),
+                touches: Arc::clone(&self.touches),
+            },
+            _ => panic!("metric {name:?} already registered with another kind"),
+        }
+    }
+
+    /// Gets or creates the named power-of-two-bucket histogram (typically
+    /// of nanosecond latencies).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut metrics = self.lock();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(HistogramCore::new())));
+        match metric {
+            Metric::Histogram(core) => Histogram {
+                core: Arc::clone(core),
+                touches: Arc::clone(&self.touches),
+            },
+            _ => panic!("metric {name:?} already registered with another kind"),
+        }
+    }
+
+    /// Total enabled-path recordings through this registry's handles so
+    /// far.  The disabled path performs none — the overhead guard test
+    /// hammers handles with recording off and asserts this stays put.
+    pub fn touches(&self) -> u64 {
+        self.touches.load(Ordering::Relaxed)
+    }
+
+    /// A plain-value snapshot of every registered metric, names sorted.
+    ///
+    /// Concurrent recording keeps going while the snapshot reads (relaxed
+    /// loads); totals are exact once the recording threads are quiescent.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.lock();
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(cell) => snap
+                    .counters
+                    .push((name.clone(), cell.load(Ordering::Relaxed))),
+                Metric::Gauge(cell) => snap
+                    .gauges
+                    .push((name.clone(), cell.load(Ordering::Relaxed))),
+                Metric::Histogram(core) => {
+                    let buckets: Vec<u64> = core
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect();
+                    snap.histograms.push((
+                        name.clone(),
+                        HistogramSnapshot {
+                            count: core.count.load(Ordering::Relaxed),
+                            sum: core.sum.load(Ordering::Relaxed),
+                            max: core.max.load(Ordering::Relaxed),
+                            buckets,
+                        },
+                    ));
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Handle to a monotonic counter.  Cheap to clone; recording is one
+/// relaxed `fetch_add` when [`crate::enabled`], a branch otherwise.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+    touches: Arc<AtomicU64>,
+}
+
+impl Counter {
+    #[inline]
+    pub fn add(&self, v: u64) {
+        if crate::enabled() {
+            self.touches.fetch_add(1, Ordering::Relaxed);
+            self.cell.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a gauge: a signed level that can be set or adjusted (queue
+/// depths, buffer occupancy).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+    touches: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.touches.fetch_add(1, Ordering::Relaxed);
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if crate::enabled() {
+            self.touches.fetch_add(1, Ordering::Relaxed);
+            self.cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a power-of-two-bucket histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+    touches: Arc<AtomicU64>,
+}
+
+impl Histogram {
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::enabled() {
+            self.touches.fetch_add(1, Ordering::Relaxed);
+            self.core.record(v);
+        }
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+}
+
+/// Plain-value snapshot of one histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    /// Power-of-two bucket counts: `buckets[i]` values fell in
+    /// `[2^i, 2^(i+1))` (bucket 0 additionally holds 0).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Upper bound of the bucket containing the `q`-quantile (`q` in
+    /// `[0, 1]`), clamped to the observed maximum; 0 when empty.  An
+    /// estimate with power-of-two resolution — exactly what latency
+    /// baselining needs, with fixed memory.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of the recorded values; 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Plain-value snapshot of a whole [`MetricsRegistry`], sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The named counter's value; 0 when absent (so deltas against an
+    /// earlier snapshot that predates the counter's registration work).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The named gauge's value; 0 when absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The named histogram, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Sum of the named histogram's recorded values; 0 when absent.  The
+    /// bench phase breakdowns are deltas of these sums.
+    pub fn histogram_sum(&self, name: &str) -> u64 {
+        self.histogram(name).map_or(0, |h| h.sum)
+    }
+
+    /// Serializes the snapshot as a JSON object, in the same hand-rolled
+    /// style as the `BENCH_*.json` writers:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"stream.spilled_runs": 12},
+    ///   "gauges": {"spill.queue_depth": 0},
+    ///   "histograms": {
+    ///     "spill.fsync_ns": {"count": 12, "sum": 840000, "mean": 70000,
+    ///                        "p50": 65535, "p99": 131071, "max": 90121}
+    ///   }
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_entries(&mut out, &self.counters, |v| v.to_string());
+        out.push_str("},\n  \"gauges\": {");
+        push_entries(&mut out, &self.gauges, |v| v.to_string());
+        out.push_str("},\n  \"histograms\": {");
+        push_entries(&mut out, &self.histograms, |h| {
+            format!(
+                "{{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}}",
+                h.count,
+                h.sum,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.max
+            )
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn push_entries<V>(out: &mut String, entries: &[(String, V)], render: impl Fn(&V) -> String) {
+    for (i, (name, v)) in entries.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    \"{}\": {}",
+            crate::json_escape(name),
+            render(v)
+        ));
+    }
+    if !entries.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn bucket_index_is_floor_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_record_and_snapshot() {
+        let _g = test_lock::lock();
+        let was = crate::enabled();
+        crate::enable();
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c.events");
+        let g = reg.gauge("g.depth");
+        let h = reg.histogram("h.lat_ns");
+        c.add(5);
+        c.incr();
+        g.set(3);
+        g.add(-1);
+        for v in [10u64, 100, 1000, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("c.events"), 6);
+        assert_eq!(snap.gauge("g.depth"), 2);
+        let hist = snap.histogram("h.lat_ns").unwrap();
+        assert_eq!(hist.count, 5);
+        assert_eq!(hist.sum, 1_002_110);
+        assert_eq!(hist.max, 1_000_000);
+        assert!(hist.quantile(0.5) >= 100 && hist.quantile(0.5) < 2048);
+        assert_eq!(hist.quantile(1.0), 1_000_000);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.histogram_sum("missing"), 0);
+        if !was {
+            crate::disable();
+        }
+    }
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let _g = test_lock::lock();
+        let was = crate::enabled();
+        crate::enable();
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("shared");
+        let b = reg.counter("shared");
+        a.add(2);
+        b.add(3);
+        assert_eq!(reg.snapshot().counter("shared"), 5);
+        if !was {
+            crate::disable();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _c = reg.counter("twice");
+        let _g = reg.gauge("twice");
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let _g = test_lock::lock();
+        let was = crate::enabled();
+        crate::enable();
+        let reg = MetricsRegistry::new();
+        reg.counter("a.count").add(7);
+        reg.gauge("b.level").set(-2);
+        reg.histogram("c.ns").record(1 << 20);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"a.count\": 7"), "{json}");
+        assert!(json.contains("\"b.level\": -2"), "{json}");
+        assert!(json.contains("\"c.ns\": {\"count\": 1"), "{json}");
+        if !was {
+            crate::disable();
+        }
+    }
+
+    #[test]
+    fn disabled_recording_never_touches_the_registry() {
+        let _g = test_lock::lock();
+        let was = crate::enabled();
+        crate::disable();
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("quiet");
+        let h = reg.histogram("quiet.ns");
+        let gauge = reg.gauge("quiet.depth");
+        for i in 0..10_000u64 {
+            c.add(1);
+            h.record(i);
+            gauge.set(i as i64);
+        }
+        assert_eq!(reg.touches(), 0, "disabled path must not record");
+        assert_eq!(c.get(), 0);
+        assert_eq!(gauge.get(), 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("quiet"), 0);
+        assert_eq!(snap.histogram("quiet.ns").unwrap().count, 0);
+        if was {
+            crate::enable();
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_totals_are_exact() {
+        let _g = test_lock::lock();
+        let was = crate::enabled();
+        crate::enable();
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        let threads = 4;
+        let per_thread = 50_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let reg = std::sync::Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let c = reg.counter("hammer.count");
+                    let h = reg.histogram("hammer.ns");
+                    let g = reg.gauge("hammer.net");
+                    for i in 0..per_thread {
+                        c.add(1);
+                        h.record(i + t);
+                        g.add(1);
+                        g.add(-1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        let total = threads * per_thread;
+        assert_eq!(snap.counter("hammer.count"), total);
+        let hist = snap.histogram("hammer.ns").unwrap();
+        assert_eq!(hist.count, total);
+        let want_sum: u64 = (0..threads)
+            .map(|t| (0..per_thread).map(|i| i + t).sum::<u64>())
+            .sum();
+        assert_eq!(hist.sum, want_sum, "lock-free recording must lose nothing");
+        assert_eq!(hist.buckets.iter().sum::<u64>(), total);
+        assert_eq!(snap.gauge("hammer.net"), 0);
+        if !was {
+            crate::disable();
+        }
+    }
+}

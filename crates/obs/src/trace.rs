@@ -1,0 +1,144 @@
+//! Span export: chrome://tracing JSON and flat per-run timelines.
+//!
+//! The chrome format is the Trace Event Format's JSON-array-of-objects
+//! flavor with complete (`"ph": "X"`) events — open the file at
+//! `chrome://tracing` or <https://ui.perfetto.dev> and the per-thread
+//! lanes show the sort ∥ write ∥ prefetch ∥ merge pipeline directly.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::span::SpanEvent;
+
+/// Renders spans as a chrome://tracing-compatible JSON document
+/// (`{"traceEvents": [...]}`, timestamps and durations in microseconds).
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\": [");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        out.push_str(&format!(
+            "\"name\": \"{}\", \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}",
+            crate::json_escape(ev.name),
+            ev.tid,
+            ev.start_ns / 1_000,
+            ev.duration_ns().div_ceil(1_000).max(1)
+        ));
+        if let Some((key, val)) = ev.arg {
+            out.push_str(&format!(
+                ", \"args\": {{\"{}\": {}}}",
+                crate::json_escape(key),
+                val
+            ));
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders spans as a flat JSON array of rows sorted by start time — the
+/// per-run pipeline timeline, convenient for scripted analysis where the
+/// chrome format's envelope is in the way:
+///
+/// ```json
+/// [
+///   {"name": "sort_run", "run": 0, "tid": 1, "start_ns": 120, "end_ns": 89000},
+///   {"name": "spill_write", "run": 0, "tid": 2, "start_ns": 90100, "end_ns": 240000}
+/// ]
+/// ```
+pub fn timeline_json(events: &[SpanEvent]) -> String {
+    let mut rows: Vec<&SpanEvent> = events.iter().collect();
+    rows.sort_by_key(|e| (e.start_ns, e.tid));
+    let mut out = String::from("[");
+    for (i, ev) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        out.push_str(&format!("\"name\": \"{}\"", crate::json_escape(ev.name)));
+        if let Some((key, val)) = ev.arg {
+            out.push_str(&format!(", \"{}\": {}", crate::json_escape(key), val));
+        }
+        out.push_str(&format!(
+            ", \"tid\": {}, \"start_ns\": {}, \"end_ns\": {}}}",
+            ev.tid, ev.start_ns, ev.end_ns
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Writes [`chrome_trace_json`] to `path`.
+pub fn write_chrome_trace(path: &Path, events: &[SpanEvent]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(chrome_trace_json(events).as_bytes())?;
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent {
+                name: "sort_run",
+                arg: Some(("run", 0)),
+                tid: 1,
+                start_ns: 2_000,
+                end_ns: 9_000,
+            },
+            SpanEvent {
+                name: "spill_write",
+                arg: Some(("run", 0)),
+                tid: 2,
+                start_ns: 9_500,
+                end_ns: 20_000,
+            },
+            SpanEvent {
+                name: "merge",
+                arg: None,
+                tid: 1,
+                start_ns: 21_000,
+                end_ns: 21_001,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_has_complete_events_in_micros() {
+        let json = chrome_trace_json(&sample());
+        assert!(json.starts_with("{\"traceEvents\": ["), "{json}");
+        assert!(json.contains("\"name\": \"sort_run\""), "{json}");
+        assert!(json.contains("\"ph\": \"X\""), "{json}");
+        assert!(json.contains("\"ts\": 2, \"dur\": 7"), "{json}");
+        assert!(json.contains("\"args\": {\"run\": 0}"), "{json}");
+        // Sub-microsecond spans round up to 1µs so they stay visible.
+        assert!(json.contains("\"name\": \"merge\", \"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"ts\": 21, \"dur\": 1"),
+            "{json}");
+    }
+
+    #[test]
+    fn timeline_is_sorted_and_flat() {
+        let mut events = sample();
+        events.reverse();
+        let json = timeline_json(&events);
+        let sort_pos = json.find("sort_run").unwrap();
+        let write_pos = json.find("spill_write").unwrap();
+        assert!(sort_pos < write_pos, "rows must sort by start: {json}");
+        assert!(json.contains("\"run\": 0, \"tid\": 2"), "{json}");
+        assert!(json.contains("\"start_ns\": 9500"), "{json}");
+    }
+
+    #[test]
+    fn write_chrome_trace_roundtrip() {
+        let path = std::env::temp_dir().join(format!("obs-trace-{}.json", std::process::id()));
+        write_chrome_trace(&path, &sample()).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, chrome_trace_json(&sample()));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -214,7 +214,15 @@ where
 }
 
 /// Counters describing what a [`StreamGroupBy`] did.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// `records_pushed` and `partial_aggregates` are always exact.  With
+/// pipelined spilling, `spilled_runs` / `spilled_bytes` count only runs
+/// *confirmed durable*, reconciled lazily at each `push`; [`is_settled`]
+/// reports whether that lag currently exists, and
+/// [`StreamGroupBy::flush_spills`] drains it.
+///
+/// [`is_settled`]: GroupByStats::is_settled
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupByStats {
     /// Records accepted by `push` / `push_record` so far.  Counted per
     /// accepted chunk, so a failed spill mid-push leaves every record the
@@ -228,6 +236,25 @@ pub struct GroupByStats {
     /// `records_pushed − partial_aggregates` records were collapsed before
     /// ever reaching disk.
     pub partial_aggregates: u64,
+    /// Whether the spill counters are exact right now: `false` while
+    /// aggregated runs are in flight to the background spill writer,
+    /// `true` once reconciliation has caught up.  Always `true` under
+    /// [`StreamConfig::synchronous_spill`];
+    /// [`StreamGroupBy::flush_spills`] forces it back to `true`.
+    pub is_settled: bool,
+}
+
+impl Default for GroupByStats {
+    fn default() -> Self {
+        Self {
+            records_pushed: 0,
+            spilled_runs: 0,
+            spilled_bytes: 0,
+            partial_aggregates: 0,
+            // Nothing in flight before the first pipelined spill.
+            is_settled: true,
+        }
+    }
 }
 
 /// Bounded-memory streaming group-by over pushed `(key, value)` records.
@@ -256,6 +283,8 @@ pub struct StreamGroupBy<K: IntegerKey, G: Aggregator> {
     /// Set after a writer-side error surfaced: fall back to synchronous
     /// spilling for the rest of this group-by's life.
     pipeline_broken: bool,
+    /// Runs aggregated so far (labels the `aggregate_run` trace spans).
+    runs_aggregated: usize,
     // Field order matters: the pipeline must drop (joining its writer)
     // before the spill space deletes the directory under it.
     pipeline: Option<SpillPipeline<u64, G::Acc>>,
@@ -270,6 +299,9 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
     }
 
     pub fn with_config(agg: G, cfg: StreamConfig) -> Self {
+        if cfg.trace {
+            obs::enable();
+        }
         // Peak transient footprint per buffered record: the pushed record
         // itself, plus the `(key, index)` tag pair the semisort moves (and
         // the scratch copy of it the semisort engine allocates), plus the
@@ -301,6 +333,7 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             in_flight_runs: 0,
             sync_run_seq: 0,
             pipeline_broken: false,
+            runs_aggregated: 0,
             pipeline: None,
             space: None,
             stats: GroupByStats::default(),
@@ -310,8 +343,9 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
     /// Counters (spills, collapse ratio, ...).
     ///
     /// With pipelined spilling, `spilled_runs` / `spilled_bytes` count runs
-    /// confirmed durable, reconciled at every `push`; call
-    /// [`StreamGroupBy::flush_spills`] first for exact values.
+    /// confirmed durable, reconciled at every `push`;
+    /// [`GroupByStats::is_settled`] tells whether they are exact right
+    /// now, and [`StreamGroupBy::flush_spills`] makes them exact.
     pub fn stats(&self) -> &GroupByStats {
         &self.stats
     }
@@ -373,6 +407,9 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             // Count per accepted chunk (not per whole batch) so a failed
             // spill leaves the records already buffered counted.
             self.stats.records_pushed += take as u64;
+            if obs::enabled() {
+                crate::metrics::m().gb_records_pushed.add(take as u64);
+            }
             rest = tail;
         }
     }
@@ -387,6 +424,9 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         }
         self.buffer.push((key, value));
         self.stats.records_pushed += 1;
+        if obs::enabled() {
+            crate::metrics::m().gb_records_pushed.incr();
+        }
         if self.should_spill() {
             self.spill_partial_run()?;
         }
@@ -400,6 +440,12 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
     /// accumulators sit in index-addressed slots and are *moved* into the
     /// fold, so variable-length accumulators are never copied here.
     fn aggregate_run(&mut self) -> Vec<(u64, G::Acc)> {
+        let traced = obs::enabled() && !self.buffer.is_empty();
+        let start = traced.then(std::time::Instant::now);
+        let _span = traced.then(|| obs::span!("aggregate_run", run = self.runs_aggregated));
+        if !self.buffer.is_empty() {
+            self.runs_aggregated += 1;
+        }
         let agg = &self.agg;
         let mut tags: Vec<(u64, u64)> = Vec::with_capacity(self.buffer.len());
         let mut accs: Vec<Option<G::Acc>> = Vec::with_capacity(self.buffer.len());
@@ -435,6 +481,11 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             (g.key, acc)
         }));
         self.stats.partial_aggregates += out.len() as u64;
+        if let Some(start) = start {
+            let metrics = crate::metrics::m();
+            metrics.gb_aggregate_ns.record_duration(start.elapsed());
+            metrics.gb_partial_aggregates.add(out.len() as u64);
+        }
         out
     }
 
@@ -484,6 +535,7 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
     fn write_partial_sync_inner(&mut self, partial: &[(u64, G::Acc)]) -> io::Result<()> {
         let dir = &self.space.as_ref().expect("spill space secured").dir;
         let path = dir.join(format!("agg-s{:06}.bin", self.sync_run_seq));
+        let _span = obs::enabled().then(|| obs::span!("spill_write", run = self.sync_run_seq));
         let bytes = match write_run(&path, partial) {
             Ok(bytes) => bytes,
             Err(e) => {
@@ -499,6 +551,11 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         });
         self.stats.spilled_runs += 1;
         self.stats.spilled_bytes += bytes;
+        if obs::enabled() {
+            let metrics = crate::metrics::m();
+            metrics.gb_spilled_runs.incr();
+            metrics.gb_spilled_bytes.add(bytes);
+        }
         Ok(())
     }
 
@@ -520,6 +577,9 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         }
         let partial = self.aggregate_run();
         self.in_flight_runs += 1;
+        // The run's bytes will not reach the spill counters until the
+        // writer confirms them durable.
+        self.stats.is_settled = false;
         self.pipeline
             .as_mut()
             .expect("pipeline just started")
@@ -549,7 +609,15 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             self.in_flight_runs -= 1;
             self.stats.spilled_runs += 1;
             self.stats.spilled_bytes += run.bytes;
+            if obs::enabled() {
+                let metrics = crate::metrics::m();
+                metrics.gb_spilled_runs.incr();
+                metrics.gb_spilled_bytes.add(run.bytes);
+            }
             self.runs.push(run);
+        }
+        if self.in_flight_runs == 0 {
+            self.stats.is_settled = true;
         }
     }
 
@@ -561,6 +629,9 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             self.in_flight_runs -= 1;
             self.pending_partials.push_back(partial);
         }
+        // Nothing is in flight any more: completed runs were accounted
+        // above and failed ones reclaimed as pending.
+        self.stats.is_settled = true;
         self.pipeline_broken = true;
         closed.error
     }
@@ -592,6 +663,7 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             agg: self.agg,
             pending: None,
             _space: self.space.take(),
+            _merge_span: obs::enabled().then(|| obs::span!("merge")),
             _key: PhantomData,
         })
     }
@@ -612,6 +684,9 @@ pub struct GroupedStream<K: IntegerKey, G: Aggregator> {
     /// The first partial of the *next* key, already popped from the tree.
     pending: Option<(u64, G::Acc)>,
     _space: Option<SpillSpace>,
+    /// Open `merge` span covering the stream's lifetime (None when
+    /// tracing is disabled); recorded when the stream is dropped.
+    _merge_span: Option<obs::SpanGuard>,
     _key: PhantomData<K>,
 }
 

@@ -109,6 +109,9 @@
 //! | Dedup variable-length payloads per key | [`StreamGroupBy`] + [`FirstAgg`] |
 
 mod groupby;
+mod metrics;
+#[cfg(test)]
+mod obs_tests;
 mod pipeline;
 mod sorter;
 mod spill;

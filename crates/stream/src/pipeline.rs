@@ -32,6 +32,7 @@
 //! poisoned value serializer) are caught and converted to errors with the
 //! same guarantees.
 
+use crate::metrics::m;
 use crate::spill::{write_run, RunReader, SpillValue, SpilledRun};
 use dtsort::IntegerKey;
 use std::io;
@@ -131,9 +132,27 @@ impl<K: IntegerKey, V: SpillValue> SpillPipeline<K, V> {
     /// [`SpillPipeline::close`]; call [`SpillPipeline::poll_error`]
     /// afterwards to learn about failures.
     pub fn submit(&mut self, run: Vec<(K, V)>) {
-        self.shared.state.lock().expect("spill state").submitted += 1;
+        {
+            let mut st = self.shared.state.lock().expect("spill state");
+            st.submitted += 1;
+            if obs::enabled() {
+                m().queue_depth.set((st.submitted - st.finished) as i64);
+            }
+        }
         let tx = self.tx.as_ref().expect("pipeline already closed");
-        if let Err(send) = tx.send(run) {
+        // The bounded send is the backpressure point: it blocks while the
+        // pipeline is at depth.  Record the wait so budget tuning can see
+        // when the producer outruns the disk.
+        let send_result = if obs::enabled() {
+            let start = std::time::Instant::now();
+            let _bp = obs::span!("backpressure");
+            let r = tx.send(run);
+            m().backpressure_ns.record_duration(start.elapsed());
+            r
+        } else {
+            tx.send(run)
+        };
+        if let Err(send) = send_result {
             // The writer thread is gone without draining the channel —
             // only possible if it aborted outside `catch_unwind`.  Keep
             // the records and surface an error rather than losing either.
@@ -243,7 +262,15 @@ fn writer_loop<K: IntegerKey, V: SpillValue>(
         // A panic inside a value serializer must neither kill the channel
         // (hanging the producer's bounded send) nor drop the run's records:
         // convert it to an error with the run stashed like any I/O failure.
-        let result = catch_unwind(AssertUnwindSafe(|| write_run(&path, &buf)));
+        let result = if obs::enabled() {
+            let start = std::time::Instant::now();
+            let _span = obs::span!("spill_write", run = seq);
+            let r = catch_unwind(AssertUnwindSafe(|| write_run(&path, &buf)));
+            m().write_ns.record_duration(start.elapsed());
+            r
+        } else {
+            catch_unwind(AssertUnwindSafe(|| write_run(&path, &buf)))
+        };
         let mut st = shared.state.lock().expect("spill state");
         match result {
             Ok(Ok(bytes)) => {
@@ -282,6 +309,9 @@ fn writer_loop<K: IntegerKey, V: SpillValue>(
             }
         }
         st.finished += 1;
+        if obs::enabled() {
+            m().queue_depth.set((st.submitted - st.finished) as i64);
+        }
         shared.idle.notify_all();
     }
 }
@@ -303,41 +333,58 @@ impl<V: SpillValue> RunPrefetcher<V> {
     /// share of the merge read budget, split so the total stays within
     /// the share: half for the underlying `BufReader`, the rest for the
     /// decoded blocks — of which up to three are alive at once (one
-    /// queued, one decoding, one being consumed), hence sixths.
-    pub fn spawn(run: &SpilledRun, reader_budget: usize) -> io::Result<Self> {
+    /// queued, one decoding, one being consumed), hence sixths.  `index`
+    /// is the run's position in the merge, used only to label the
+    /// prefetcher's trace spans.
+    pub fn spawn(run: &SpilledRun, reader_budget: usize, index: usize) -> io::Result<Self> {
         let mut reader: RunReader<V> = RunReader::open(run, (reader_budget / 2).max(4096))?;
         let block_bytes = (reader_budget / 6).max(4096);
         let (tx, rx) = sync_channel::<io::Result<Vec<(u64, V)>>>(1);
         std::thread::Builder::new()
             .name("pisort-run-prefetch".to_string())
-            .spawn(move || loop {
-                let mut block: Vec<(u64, V)> = Vec::new();
-                let mut bytes = 0usize;
-                let mut end_of_run = false;
+            .spawn(move || {
+                // One span covering the prefetcher's whole life: overlap
+                // with the consumer's `merge` span is the read-ahead
+                // actually running ahead.
+                let _run_span = obs::span!("prefetch", run = index);
                 loop {
-                    match reader.next_record() {
-                        Ok(Some((key, value))) => {
-                            bytes += 8 + value.spill_size();
-                            block.push((key, value));
-                            if bytes >= block_bytes {
+                    let refill_start = obs::enabled().then(std::time::Instant::now);
+                    let mut block: Vec<(u64, V)> = Vec::new();
+                    let mut bytes = 0usize;
+                    let mut end_of_run = false;
+                    loop {
+                        match reader.next_record() {
+                            Ok(Some((key, value))) => {
+                                bytes += 8 + value.spill_size();
+                                block.push((key, value));
+                                if bytes >= block_bytes {
+                                    break;
+                                }
+                            }
+                            Ok(None) => {
+                                end_of_run = true;
                                 break;
                             }
-                        }
-                        Ok(None) => {
-                            end_of_run = true;
-                            break;
-                        }
-                        Err(e) => {
-                            let _ = tx.send(Err(e));
-                            return;
+                            Err(e) => {
+                                let _ = tx.send(Err(e));
+                                return;
+                            }
                         }
                     }
-                }
-                if !block.is_empty() && tx.send(Ok(block)).is_err() {
-                    return; // consumer hung up (merge stream dropped early)
-                }
-                if end_of_run {
-                    return; // dropping tx signals a clean end of run
+                    if let Some(start) = refill_start {
+                        m().prefetch_refill_ns.record_duration(start.elapsed());
+                    }
+                    if !block.is_empty() {
+                        if obs::enabled() {
+                            m().blocks_prefetched.incr();
+                        }
+                        if tx.send(Ok(block)).is_err() {
+                            return; // consumer hung up (stream dropped early)
+                        }
+                    }
+                    if end_of_run {
+                        return; // dropping tx signals a clean end of run
+                    }
                 }
             })
             .expect("failed to spawn prefetch thread");
@@ -443,7 +490,7 @@ mod tests {
             bytes,
         };
         // A tiny budget forces many small blocks through the channel.
-        let rx = RunPrefetcher::<u64>::spawn(&run, 8 << 10)
+        let rx = RunPrefetcher::<u64>::spawn(&run, 8 << 10, 0)
             .unwrap()
             .into_receiver();
         let mut got: Vec<(u64, u64)> = Vec::new();
@@ -470,7 +517,7 @@ mod tests {
             len: records.len() + 1,
             bytes: bytes + 16,
         };
-        match RunPrefetcher::<u64>::spawn(&run, 4096) {
+        match RunPrefetcher::<u64>::spawn(&run, 4096, 0) {
             Err(e) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
             Ok(p) => {
                 let rx = p.into_receiver();

@@ -18,7 +18,17 @@ use std::sync::mpsc::Receiver;
 pub(crate) const MAX_PREFETCH_RUNS: usize = 64;
 
 /// Counters describing what a [`StreamSorter`] did.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// `records_pushed` and `carried_heavy_keys` are always exact.  With
+/// pipelined spilling, `spilled_runs` / `spilled_bytes` count only runs
+/// *confirmed durable*, reconciled lazily at each `push`: a run still in
+/// flight to the background writer is not yet counted.  [`is_settled`]
+/// reports whether that lag currently exists; calling
+/// [`StreamSorter::flush_spills`] drains it, after which every counter is
+/// exact (and `is_settled` is `true`).
+///
+/// [`is_settled`]: StreamStats::is_settled
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamStats {
     /// Records accepted by `push` / `push_record` so far.  Counted per
     /// accepted chunk, so a failed spill mid-push leaves every record the
@@ -31,6 +41,26 @@ pub struct StreamStats {
     pub spilled_bytes: u64,
     /// Heavy keys currently carried into the next run's sampling.
     pub carried_heavy_keys: usize,
+    /// Whether the spill counters are exact right now: `false` while runs
+    /// are in flight to the background spill writer (their bytes are not
+    /// yet in `spilled_runs` / `spilled_bytes`), `true` once reconciliation
+    /// has caught up.  Always `true` under
+    /// [`StreamConfig::synchronous_spill`];
+    /// [`StreamSorter::flush_spills`] forces it back to `true`.
+    pub is_settled: bool,
+}
+
+impl Default for StreamStats {
+    fn default() -> Self {
+        Self {
+            records_pushed: 0,
+            spilled_runs: 0,
+            spilled_bytes: 0,
+            carried_heavy_keys: 0,
+            // Nothing in flight before the first pipelined spill.
+            is_settled: true,
+        }
+    }
 }
 
 /// A bounded-memory, out-of-core stable sorter over pushed record batches.
@@ -71,7 +101,7 @@ pub struct StreamStats {
 /// ```
 pub struct StreamSorter<K: IntegerKey, V: SpillValue = ()> {
     cfg: StreamConfig,
-    run_capacity: usize,
+    pub(crate) run_capacity: usize,
     buffer: Vec<(K, V)>,
     /// Spilled payload bytes currently buffered (tracked only for
     /// variable-length values; always 0 on the pod path).
@@ -92,6 +122,8 @@ pub struct StreamSorter<K: IntegerKey, V: SpillValue = ()> {
     /// synchronous spilling for the rest of its life (the error path
     /// converges onto one code path instead of restarting the pipeline).
     pipeline_broken: bool,
+    /// Runs sorted so far (labels the `sort_run` trace spans).
+    runs_sorted: usize,
     carry: Vec<u64>,
     // Field order matters: the pipeline must drop (joining its writer)
     // before the spill space deletes the directory under it.
@@ -113,6 +145,9 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
     }
 
     pub fn with_config(cfg: StreamConfig) -> Self {
+        if cfg.trace {
+            obs::enable();
+        }
         let run_capacity = cfg.run_capacity(std::mem::size_of::<(K, V)>());
         Self {
             cfg,
@@ -125,6 +160,7 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
             in_flight_runs: 0,
             sync_run_seq: 0,
             pipeline_broken: false,
+            runs_sorted: 0,
             carry: Vec::new(),
             pipeline: None,
             space: None,
@@ -158,8 +194,9 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
     /// Counters (spills, carried heavy keys, ...).
     ///
     /// With pipelined spilling, `spilled_runs` / `spilled_bytes` count runs
-    /// confirmed durable, reconciled at every `push`; call
-    /// [`StreamSorter::flush_spills`] first for exact values.
+    /// confirmed durable, reconciled at every `push`;
+    /// [`StreamStats::is_settled`] tells whether they are exact right now,
+    /// and [`StreamSorter::flush_spills`] makes them exact.
     pub fn stats(&self) -> &StreamStats {
         &self.stats
     }
@@ -214,6 +251,9 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
             // into the buffer stay owned by the sorter and must stay
             // counted (`records_pushed == len()` even on error paths).
             self.stats.records_pushed += take as u64;
+            if obs::enabled() {
+                crate::metrics::m().records_pushed.add(take as u64);
+            }
             rest = tail;
         }
     }
@@ -228,6 +268,9 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
         }
         self.buffer.push((key, value));
         self.stats.records_pushed += 1;
+        if obs::enabled() {
+            crate::metrics::m().records_pushed.incr();
+        }
         if self.should_spill() {
             self.spill_run()?;
         }
@@ -237,7 +280,22 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
     /// Sorts the buffered run (seeding detection with the carried heavy
     /// keys) and updates the carry from its report.
     fn sort_buffer(&mut self) {
-        let report = V::sort_spill_run(&mut self.buffer, &self.cfg.sort, &self.carry);
+        let traced = obs::enabled() && !self.buffer.is_empty();
+        let start = traced.then(std::time::Instant::now);
+        let report = {
+            let _span = traced.then(|| obs::span!("sort_run", run = self.runs_sorted));
+            V::sort_spill_run(&mut self.buffer, &self.cfg.sort, &self.carry)
+        };
+        if let Some(start) = start {
+            let metrics = crate::metrics::m();
+            metrics.sort_ns.record_duration(start.elapsed());
+            metrics
+                .run_fill_pct
+                .record((self.buffer.len() * 100 / self.run_capacity.max(1)) as u64);
+        }
+        if !self.buffer.is_empty() {
+            self.runs_sorted += 1;
+        }
         self.carry = report.heavy_keys;
         self.carry.truncate(self.cfg.max_carried_heavy_keys);
         self.stats.carried_heavy_keys = self.carry.len();
@@ -297,6 +355,7 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
     fn write_run_sync_inner(&mut self, run: &[(K, V)]) -> io::Result<()> {
         let dir = &self.space.as_ref().expect("spill space secured").dir;
         let path = dir.join(format!("run-s{:06}.bin", self.sync_run_seq));
+        let _span = obs::enabled().then(|| obs::span!("spill_write", run = self.sync_run_seq));
         let bytes = match write_run(&path, run) {
             Ok(bytes) => bytes,
             Err(e) => {
@@ -312,6 +371,11 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
         });
         self.stats.spilled_runs += 1;
         self.stats.spilled_bytes += bytes;
+        if obs::enabled() {
+            let metrics = crate::metrics::m();
+            metrics.spilled_runs.incr();
+            metrics.spilled_bytes.add(bytes);
+        }
         Ok(())
     }
 
@@ -339,6 +403,9 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
         self.buffered_value_bytes = 0;
         self.in_flight_records += run.len();
         self.in_flight_runs += 1;
+        // The run's bytes will not reach the spill counters until the
+        // writer confirms them durable.
+        self.stats.is_settled = false;
         pipeline.submit(run); // blocks while the pipeline is at depth
         self.reconcile_pipeline()
     }
@@ -366,7 +433,15 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
             self.in_flight_runs -= 1;
             self.stats.spilled_runs += 1;
             self.stats.spilled_bytes += run.bytes;
+            if obs::enabled() {
+                let metrics = crate::metrics::m();
+                metrics.spilled_runs.incr();
+                metrics.spilled_bytes.add(run.bytes);
+            }
             self.runs.push(run);
+        }
+        if self.in_flight_runs == 0 {
+            self.stats.is_settled = true;
         }
     }
 
@@ -382,6 +457,9 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
             self.in_flight_runs -= 1;
             self.pending_runs.push_back(run);
         }
+        // Nothing is in flight any more: completed runs were accounted
+        // above and failed ones reclaimed as pending.
+        self.stats.is_settled = true;
         self.pipeline_broken = true;
         closed.error
     }
@@ -428,6 +506,10 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
         Ok(SortedStream {
             tree: LoserTree::new(cursors, lt_by_ordered_key::<V>),
             remaining: total,
+            // Records the merge phase as one span from here until the
+            // stream is dropped, so prefetch spans can be shown (and
+            // asserted) to overlap it.
+            _merge_span: obs::enabled().then(|| obs::span!("merge")),
             _space: self.space.take(),
             _key: PhantomData,
         })
@@ -448,6 +530,9 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
             self.len(),
             "finish_into: output slice must hold exactly the pushed records"
         );
+        // One merge span over run loading + the parallel merge, matching
+        // the span the streaming [`StreamSorter::finish`] path records.
+        let _merge_span = obs::enabled().then(|| obs::span!("merge"));
         self.close_pipeline()?;
         self.sort_buffer();
         if self.runs.is_empty() && self.pending_runs.is_empty() {
@@ -602,7 +687,8 @@ pub(crate) fn open_run_cursors<V: SpillValue>(
         // first blocks decode in parallel.
         let prefetchers: Vec<RunPrefetcher<V>> = runs
             .iter()
-            .map(|run| RunPrefetcher::spawn(run, reader_budget))
+            .enumerate()
+            .map(|(i, run)| RunPrefetcher::spawn(run, reader_budget, i))
             .collect::<io::Result<_>>()?;
         for p in prefetchers {
             cursors.push(RunCursor::from_prefetch(p.into_receiver())?);
@@ -660,10 +746,28 @@ impl<V: SpillValue> RunCursor<V> {
         };
         let refill: Refill<V> = Box::new(move || {
             if let Some(block) = first.take() {
+                if obs::enabled() {
+                    crate::metrics::m().blocks_consumed.incr();
+                }
                 return Some(block);
             }
-            match rx.recv() {
-                Ok(Ok(block)) => Some(block),
+            // The receive is where the merge stalls when the read-ahead
+            // is not actually ahead; record the wait so the prefetch
+            // stage's effectiveness is measurable.
+            let stall_start = obs::enabled().then(std::time::Instant::now);
+            let received = rx.recv();
+            if let Some(start) = stall_start {
+                crate::metrics::m()
+                    .prefetch_stall_ns
+                    .record_duration(start.elapsed());
+            }
+            match received {
+                Ok(Ok(block)) => {
+                    if obs::enabled() {
+                        crate::metrics::m().blocks_consumed.incr();
+                    }
+                    Some(block)
+                }
                 Ok(Err(e)) => panic!("I/O error reading spilled run: {e}"),
                 Err(_) => None, // clean end of run
             }
@@ -710,6 +814,8 @@ impl<V: SpillValue> RunSource for RunCursor<V> {
 pub struct SortedStream<K: IntegerKey, V: SpillValue> {
     tree: MergeTree<V>,
     remaining: usize,
+    /// Open `merge` trace span; recorded when the stream is dropped.
+    _merge_span: Option<obs::SpanGuard>,
     _space: Option<SpillSpace>,
     _key: PhantomData<K>,
 }

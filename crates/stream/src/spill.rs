@@ -422,8 +422,17 @@ pub(crate) fn write_run<K: IntegerKey, V: SpillValue>(
         value.spill_write(&mut writer)?;
         bytes += 8 + value.spill_size() as u64;
     }
-    writer.flush()?;
-    writer.get_ref().sync_data()?;
+    if obs::enabled() {
+        let start = std::time::Instant::now();
+        writer.flush()?;
+        writer.get_ref().sync_data()?;
+        let metrics = crate::metrics::m();
+        metrics.fsync_ns.record_duration(start.elapsed());
+        metrics.bytes_written.add(bytes);
+    } else {
+        writer.flush()?;
+        writer.get_ref().sync_data()?;
+    }
     Ok(bytes)
 }
 

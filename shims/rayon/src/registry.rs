@@ -102,21 +102,39 @@ impl Sleep {
         self.cancel();
     }
 
-    /// Publishes "new work exists" and wakes all sleepers.
+    /// Publishes "new work exists" and wakes all sleepers.  Returns
+    /// whether any sleeper was registered (i.e. a real wakeup happened).
     ///
     /// Fast path: with no registered sleeper this is a single load — no
     /// RMW, no lock — so the per-`join` cost on a busy pool is negligible.
     /// See the type docs for why skipping is race-free.
-    fn notify_all(&self) {
+    fn notify_all(&self) -> bool {
         if self.sleepers.load(Ordering::SeqCst) == 0 {
-            return;
+            return false;
         }
         self.epoch.fetch_add(1, Ordering::SeqCst);
         // Taking the mutex orders us against a sleeper between its epoch
         // re-check and its wait.
         drop(self.mutex.lock().expect("sleep mutex poisoned"));
         self.cv.notify_all();
+        true
     }
+}
+
+/// Handles into the global [`obs`] registry for scheduler metrics,
+/// registered lazily the first time the pool runs with tracing enabled.
+///
+/// Metric names are global, so two pools with the same worker index share
+/// a counter; values aggregate across pools.
+struct PoolMetrics {
+    /// `pool.w{i}.steals` — successful steals *by* worker `i`.
+    steals: Vec<obs::Counter>,
+    /// `pool.parks` — times any worker parked on the eventcount.
+    parks: obs::Counter,
+    /// `pool.wakes` — notifies that found at least one registered sleeper.
+    wakes: obs::Counter,
+    /// `pool.injector_depth` — jobs currently queued in the injector.
+    injector_depth: obs::Gauge,
 }
 
 /// Shared state of one thread pool.
@@ -129,6 +147,8 @@ pub(crate) struct Registry {
     sleep: Sleep,
     terminating: AtomicBool,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Scheduler metric handles; empty until tracing is first enabled.
+    metrics: OnceLock<PoolMetrics>,
 }
 
 impl Registry {
@@ -145,6 +165,7 @@ impl Registry {
             sleep: Sleep::new(),
             terminating: AtomicBool::new(false),
             handles: Mutex::new(Vec::with_capacity(num_threads)),
+            metrics: OnceLock::new(),
         });
         let mut handles = registry.handles.lock().expect("handles poisoned");
         for (index, worker_deque) in workers.into_iter().enumerate() {
@@ -163,9 +184,33 @@ impl Registry {
         self.num_threads
     }
 
+    /// Scheduler metrics, or `None` when tracing is disabled.  Handles
+    /// register into the global registry on first enabled call.
+    #[inline]
+    fn metrics(&self) -> Option<&PoolMetrics> {
+        if !obs::enabled() {
+            return None;
+        }
+        Some(self.metrics.get_or_init(|| {
+            let reg = obs::global();
+            PoolMetrics {
+                steals: (0..self.num_threads)
+                    .map(|i| reg.counter(&format!("pool.w{i}.steals")))
+                    .collect(),
+                parks: reg.counter("pool.parks"),
+                wakes: reg.counter("pool.wakes"),
+                injector_depth: reg.gauge("pool.injector_depth"),
+            }
+        }))
+    }
+
     /// Wakes every parked worker (new work or a latch tripped).
     pub(crate) fn wake_all(&self) {
-        self.sleep.notify_all();
+        if self.sleep.notify_all() {
+            if let Some(m) = self.metrics() {
+                m.wakes.incr();
+            }
+        }
     }
 
     /// Queues a job from outside the pool (or for pool-wide fan-out).
@@ -173,9 +218,12 @@ impl Registry {
         {
             let mut q = self.injector.lock().expect("injector poisoned");
             q.push_back(job);
-            self.injector_len.fetch_add(1, Ordering::SeqCst);
+            let depth = self.injector_len.fetch_add(1, Ordering::SeqCst) + 1;
+            if let Some(m) = self.metrics() {
+                m.injector_depth.set(depth as i64);
+            }
         }
-        self.sleep.notify_all();
+        self.wake_all();
     }
 
     fn pop_injected(&self) -> Option<JobRef> {
@@ -185,7 +233,10 @@ impl Registry {
         let mut q = self.injector.lock().expect("injector poisoned");
         let job = q.pop_front();
         if job.is_some() {
-            self.injector_len.fetch_sub(1, Ordering::SeqCst);
+            let depth = self.injector_len.fetch_sub(1, Ordering::SeqCst) - 1;
+            if let Some(m) = self.metrics() {
+                m.injector_depth.set(depth as i64);
+            }
         }
         job
     }
@@ -311,7 +362,12 @@ impl WorkerThread {
                     continue;
                 }
                 match stealers[victim].steal() {
-                    Steal::Success(job) => return Some(job),
+                    Steal::Success(job) => {
+                        if let Some(m) = self.registry.metrics() {
+                            m.steals[self.index].incr();
+                        }
+                        return Some(job);
+                    }
                     Steal::Retry => contended = true,
                     Steal::Empty => {}
                 }
@@ -350,6 +406,9 @@ impl WorkerThread {
                 yields = 0;
                 continue;
             }
+            if let Some(m) = self.registry.metrics() {
+                m.parks.incr();
+            }
             self.registry.sleep.sleep(epoch);
         }
     }
@@ -384,6 +443,9 @@ fn worker_main(registry: Arc<Registry>, index: usize, deque: WorkerDeque) {
         if registry.terminating.load(Ordering::SeqCst) {
             registry.sleep.cancel();
             break;
+        }
+        if let Some(m) = registry.metrics() {
+            m.parks.incr();
         }
         registry.sleep.sleep(epoch);
     }

@@ -12,6 +12,10 @@
 //! * [`semisort`] — the heavy-key semisort / group-by engine: equal keys
 //!   grouped contiguously without a total order, plus the [`GroupBy`]
 //!   aggregation API.
+//! * [`obs`] — zero-dependency tracing and metrics: named counters /
+//!   gauges / latency histograms in a global registry, plus lightweight
+//!   spans exportable as a chrome://tracing file.  Off by default; enabled
+//!   by [`StreamConfig::trace`](dtsort::StreamConfig) or `OBS_TRACE=1`.
 //! * [`stream`] — bounded-memory streaming / out-of-core sorting
 //!   ([`StreamSorter`]): pushed batches become spilled sorted runs that are
 //!   k-way merged, with heavy keys carried across runs — and streaming
@@ -27,6 +31,7 @@
 pub use apps;
 pub use baselines;
 pub use dtsort;
+pub use obs;
 pub use parlay;
 pub use semisort;
 pub use stream;

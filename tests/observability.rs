@@ -1,0 +1,186 @@
+//! End-to-end tests of the observability layer through the public API:
+//! the global metrics registry must mirror the engines' inline stats
+//! exactly, `is_settled` must describe the pipelined spill accounting
+//! window, tracing must cost nothing when disabled, and the JSON exports
+//! must have the documented shape.
+//!
+//! The obs enable state and registry are process-global, so every test
+//! here serializes on one mutex and measures counter *deltas* around its
+//! own workload.
+
+use pisort::dtsort::{SortConfig, StreamConfig};
+use pisort::obs;
+use pisort::stream::{CountAgg, StreamGroupBy, StreamSorter};
+use std::sync::{Mutex, OnceLock};
+
+fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    // A panicking sibling test must not cascade into poison errors here.
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// A budget small enough that the workloads below spill several runs.
+fn spilling_cfg(trace: bool) -> StreamConfig {
+    StreamConfig {
+        memory_budget_bytes: 32 << 10,
+        trace,
+        // Exercise the read-ahead merge path even on single-CPU hosts.
+        merge_read_ahead: Some(true),
+        sort: SortConfig {
+            base_case_threshold: 64,
+            ..SortConfig::default()
+        },
+        ..StreamConfig::default()
+    }
+}
+
+fn input(n: u32) -> Vec<(u32, u32)> {
+    (0..n).map(|i| (i.rotate_left(16), i)).collect()
+}
+
+#[test]
+fn metrics_mirror_stream_sorter_stats_exactly() {
+    let _guard = obs_lock();
+    obs::enable();
+    let before = obs::global().snapshot();
+    let mut sorter: StreamSorter<u32, u32> = StreamSorter::with_config(spilling_cfg(true));
+    let data = input(60_000);
+    for chunk in data.chunks(997) {
+        sorter.push(chunk).unwrap();
+    }
+    // Settle the pipelined writer so the inline stats are exact, then
+    // the registry deltas must match them number for number.
+    sorter.flush_spills().unwrap();
+    let stats = sorter.stats().clone();
+    assert!(stats.is_settled);
+    assert!(stats.spilled_runs > 0, "workload must spill");
+    let after = obs::global().snapshot();
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+    assert_eq!(delta("stream.records_pushed"), stats.records_pushed);
+    assert_eq!(delta("stream.spilled_runs"), stats.spilled_runs as u64);
+    assert_eq!(delta("stream.spilled_bytes"), stats.spilled_bytes);
+    let got: Vec<(u32, u32)> = sorter.finish().unwrap().collect();
+    let mut want = data;
+    want.sort_by_key(|r| r.0);
+    assert_eq!(got, want);
+}
+
+#[test]
+fn metrics_mirror_groupby_stats_exactly() {
+    let _guard = obs_lock();
+    obs::enable();
+    let before = obs::global().snapshot();
+    let mut gb: StreamGroupBy<u32, CountAgg> =
+        StreamGroupBy::with_config(CountAgg, spilling_cfg(true));
+    let n = 4096 * 30u32;
+    for i in 0..n {
+        gb.push_record(i % 4096, ()).unwrap();
+    }
+    gb.flush_spills().unwrap();
+    let stats = gb.stats().clone();
+    assert!(stats.is_settled);
+    assert!(stats.spilled_runs > 0, "workload must spill");
+    let after = obs::global().snapshot();
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+    assert_eq!(delta("groupby.records_pushed"), stats.records_pushed);
+    assert_eq!(delta("groupby.spilled_runs"), stats.spilled_runs as u64);
+    assert_eq!(delta("groupby.spilled_bytes"), stats.spilled_bytes);
+    assert_eq!(
+        delta("groupby.partial_aggregates"),
+        stats.partial_aggregates
+    );
+    let got: Vec<(u32, u64)> = gb.finish().unwrap().collect();
+    assert_eq!(got.len(), 4096);
+    assert!(got.iter().all(|&(_, c)| c == u64::from(n) / 4096));
+}
+
+#[test]
+fn stats_settle_only_after_flush() {
+    let _guard = obs_lock();
+    // Pipelined mode: right after a push that submitted a run to the
+    // background writer, the spill counters lag and `is_settled` says so.
+    let mut sorter: StreamSorter<u32, u32> = StreamSorter::with_config(spilling_cfg(false));
+    assert!(sorter.stats().is_settled, "nothing in flight initially");
+    let data = input(60_000);
+    sorter.push(&data).unwrap();
+    assert!(
+        !sorter.stats().is_settled,
+        "a just-submitted run must be reported as in flight"
+    );
+    sorter.flush_spills().unwrap();
+    assert!(sorter.stats().is_settled, "flush_spills settles the stats");
+    assert_eq!(sorter.stats().records_pushed, data.len() as u64);
+    drop(sorter);
+
+    // Synchronous mode never has anything in flight.
+    let cfg = StreamConfig {
+        synchronous_spill: true,
+        ..spilling_cfg(false)
+    };
+    let mut sync_sorter: StreamSorter<u32, u32> = StreamSorter::with_config(cfg);
+    sync_sorter.push(&data).unwrap();
+    assert!(sync_sorter.stats().is_settled);
+    assert!(sync_sorter.stats().spilled_runs > 0);
+}
+
+#[test]
+fn disabled_tracing_records_nothing() {
+    let _guard = obs_lock();
+    obs::disable();
+    // Give detached read-ahead threads of a previously finished test a
+    // moment to exit before measuring, then start from a clean slate.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let _ = obs::drain_spans();
+    let touches_before = obs::global().touches();
+    let mut sorter: StreamSorter<u32, u32> = StreamSorter::with_config(spilling_cfg(false));
+    let data = input(60_000);
+    for chunk in data.chunks(997) {
+        sorter.push(chunk).unwrap();
+    }
+    let got: Vec<(u32, u32)> = sorter.finish().unwrap().collect();
+    assert_eq!(got.len(), data.len());
+    // A full spilling sort must not have recorded a single metric sample
+    // or span while tracing is off.
+    assert_eq!(obs::global().touches(), touches_before);
+    let (events, dropped) = obs::drain_spans();
+    // A straggling `prefetch` span guard from an earlier (enabled) test may
+    // still close during this window; everything else must be silent.
+    let stray: Vec<_> = events.iter().filter(|e| e.name != "prefetch").collect();
+    assert!(stray.is_empty(), "unexpected spans: {stray:?}");
+    assert_eq!(dropped, 0);
+}
+
+#[test]
+fn trace_exports_have_documented_shape() {
+    let _guard = obs_lock();
+    obs::enable();
+    let _ = obs::drain_spans();
+    let mut sorter: StreamSorter<u32, u32> = StreamSorter::with_config(spilling_cfg(true));
+    let data = input(60_000);
+    for chunk in data.chunks(997) {
+        sorter.push(chunk).unwrap();
+    }
+    let got: Vec<(u32, u32)> = sorter.finish().unwrap().collect();
+    assert_eq!(got.len(), data.len());
+    let (events, _) = obs::drain_spans();
+    for name in ["sort_run", "spill_write", "merge"] {
+        assert!(
+            events.iter().any(|e| e.name == name),
+            "expected a {name:?} span in {:?}",
+            events.iter().map(|e| e.name).collect::<Vec<_>>()
+        );
+    }
+    let chrome = obs::chrome_trace_json(&events);
+    assert!(chrome.starts_with("{\"traceEvents\": ["));
+    assert!(chrome.contains("\"ph\": \"X\""));
+    assert!(chrome.contains("\"name\": \"sort_run\""));
+    let timeline = obs::timeline_json(&events);
+    assert!(timeline.starts_with('['));
+    assert!(timeline.contains("\"start_ns\""));
+    let metrics = obs::global().snapshot().to_json();
+    assert!(metrics.contains("\"counters\""));
+    assert!(metrics.contains("\"stream.records_pushed\""));
+    assert!(metrics.contains("\"histograms\""));
+}
