@@ -1,16 +1,19 @@
 //! Streaming-sorter throughput: records/sec of `stream::StreamSorter` as
 //! the memory budget shrinks (forcing more spilled runs), against the
-//! in-memory DovetailSort baseline on the same input — measured in both
-//! spill modes, **pipelined** (background spill writer + merge read-ahead,
-//! the default) and **synchronous** (`StreamConfig::synchronous_spill`,
-//! the pre-pipelining behavior), so every run re-baselines the overlap
-//! win on the current host.
+//! in-memory DovetailSort baseline on the same input — measured in three
+//! spill modes: **synchronous** (`StreamConfig::synchronous_spill`, the
+//! pre-pipelining behavior), **pipelined** (background spill writer +
+//! merge read-ahead, the default), and **compressed** (pipelined +
+//! `SpillCompression::DeltaLz` delta/LZ spill blocks), so every run
+//! re-baselines both the overlap win and the compression trade on the
+//! current host.
 //!
 //! Each row reports the spill-phase wall time (pushing, sorting and
 //! writing every run, i.e. `push` loop + `flush_spills`) and the merge
 //! wall time (`finish` + drain) separately, plus the bytes written to
 //! spill files — the pipelining win lives in the spill phase, where disk
-//! time hides behind sort time.
+//! time hides behind sort time.  Compressed rows additionally report the
+//! pre-compression byte count and the achieved on-disk ratio.
 //!
 //! Beyond the console table, results are appended as machine-readable JSON
 //! to `BENCH_stream.json` in the current directory so successive PRs can
@@ -22,7 +25,7 @@ use bench::{
     json_escape, median_time_secs, obs_json_fields, write_bench_json, write_obs_artifacts, Args,
     ObsPhaseDeltas, ObsProbe, Table,
 };
-use dtsort::StreamConfig;
+use dtsort::{SpillCompression, StreamConfig};
 use std::time::Instant;
 use stream::StreamSorter;
 use workloads::dist::Distribution;
@@ -34,6 +37,7 @@ struct Measurement {
     budget_bytes: usize,
     runs: usize,
     spilled_bytes: u64,
+    spilled_raw_bytes: u64,
     spill_secs: f64,
     merge_secs: f64,
     secs: f64,
@@ -45,20 +49,48 @@ struct Measurement {
     obs: ObsPhaseDeltas,
 }
 
+/// One spill mode of the measurement matrix.
+#[derive(Clone, Copy)]
+struct Mode {
+    name: &'static str,
+    sync: bool,
+    compression: SpillCompression,
+}
+
+const MODES: [Mode; 3] = [
+    Mode {
+        name: "synchronous",
+        sync: true,
+        compression: SpillCompression::Off,
+    },
+    Mode {
+        name: "pipelined",
+        sync: false,
+        compression: SpillCompression::Off,
+    },
+    Mode {
+        name: "compressed",
+        sync: false,
+        compression: SpillCompression::DeltaLz,
+    },
+];
+
 struct Phases {
     spill_secs: f64,
     merge_secs: f64,
     runs: usize,
     spilled_bytes: u64,
+    spilled_raw_bytes: u64,
     obs: ObsPhaseDeltas,
 }
 
 /// One full streaming sort, phase-timed: returns the spill-phase wall time
 /// (pushes + flush) and the merge wall time (finish + drain) separately.
-fn stream_sort_phases(input: &[(u32, u32)], budget: usize, batch: usize, sync: bool) -> Phases {
+fn stream_sort_phases(input: &[(u32, u32)], budget: usize, batch: usize, mode: Mode) -> Phases {
     let cfg = StreamConfig {
         memory_budget_bytes: budget,
-        synchronous_spill: sync,
+        synchronous_spill: mode.sync,
+        spill_compression: mode.compression,
         ..StreamConfig::default()
     };
     let mut sorter: StreamSorter<u32, u32> = StreamSorter::with_config(cfg);
@@ -73,6 +105,7 @@ fn stream_sort_phases(input: &[(u32, u32)], budget: usize, batch: usize, sync: b
     let spill_secs = spill_start.elapsed().as_secs_f64();
     let runs = sorter.run_count();
     let spilled_bytes = sorter.stats().spilled_bytes;
+    let spilled_raw_bytes = sorter.stats().spilled_raw_bytes;
     let merge_start = Instant::now();
     let mut last = 0u32;
     for (k, _) in sorter.finish().expect("finish failed") {
@@ -86,31 +119,32 @@ fn stream_sort_phases(input: &[(u32, u32)], budget: usize, batch: usize, sync: b
         merge_secs,
         runs,
         spilled_bytes,
+        spilled_raw_bytes,
         obs: probe.finish(),
     }
 }
 
-/// Measures both modes `reps` times, **interleaved** (sync, pipelined,
-/// sync, ...) so drifting background load on a shared host hits both modes
-/// alike, and returns the per-mode median-total reps plus the median of
-/// the per-pair speedup ratios — the statistically meaningful overlap
-/// estimate under noisy timing.
-fn median_mode_pair(
+/// Measures every mode `reps` times, **interleaved** (sync, pipelined,
+/// compressed, sync, ...) so drifting background load on a shared host
+/// hits all modes alike, and returns the per-mode median-total reps plus
+/// the median of the per-pair pipelined-vs-synchronous speedup ratios —
+/// the statistically meaningful overlap estimate under noisy timing.
+fn median_modes(
     input: &[(u32, u32)],
     budget: usize,
     batch: usize,
     reps: usize,
-) -> (Phases, Phases, f64) {
+) -> (Vec<Phases>, f64) {
     let reps = reps.max(1);
-    let mut sync_runs: Vec<Phases> = Vec::with_capacity(reps);
-    let mut pipe_runs: Vec<Phases> = Vec::with_capacity(reps);
+    let mut mode_runs: Vec<Vec<Phases>> = MODES.iter().map(|_| Vec::with_capacity(reps)).collect();
     let mut ratios: Vec<f64> = Vec::with_capacity(reps);
     for _ in 0..reps {
-        let s = stream_sort_phases(input, budget, batch, true);
-        let p = stream_sort_phases(input, budget, batch, false);
+        for (mi, &mode) in MODES.iter().enumerate() {
+            mode_runs[mi].push(stream_sort_phases(input, budget, batch, mode));
+        }
+        let s = mode_runs[0].last().unwrap();
+        let p = mode_runs[1].last().unwrap();
         ratios.push((s.spill_secs + s.merge_secs) / (p.spill_secs + p.merge_secs));
-        sync_runs.push(s);
-        pipe_runs.push(p);
     }
     let median = |mut v: Vec<Phases>| -> Phases {
         v.sort_by(|a, b| {
@@ -122,7 +156,7 @@ fn median_mode_pair(
     };
     ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let ratio = ratios[ratios.len() / 2];
-    (median(sync_runs), median(pipe_runs), ratio)
+    (mode_runs.into_iter().map(median).collect(), ratio)
 }
 
 fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measurement]) {
@@ -137,14 +171,20 @@ fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measur
                 },
                 obs_json_fields(&m.obs),
             );
+            let comp_ratio = if m.spilled_bytes > 0 {
+                m.spilled_raw_bytes as f64 / m.spilled_bytes as f64
+            } else {
+                1.0
+            };
             format!(
-                "{{\"dist\": \"{}\", \"mode\": \"{}\", \"budget\": \"{}\", \"budget_bytes\": {}, \"runs\": {}, \"spilled_bytes\": {}, \"spill_secs\": {:.6}, \"merge_secs\": {:.6}, \"secs\": {:.6}, \"records_per_sec\": {:.1}{}}}",
+                "{{\"dist\": \"{}\", \"mode\": \"{}\", \"budget\": \"{}\", \"budget_bytes\": {}, \"runs\": {}, \"spilled_bytes\": {}, \"spilled_raw_bytes\": {}, \"comp_ratio\": {comp_ratio:.3}, \"spill_secs\": {:.6}, \"merge_secs\": {:.6}, \"secs\": {:.6}, \"records_per_sec\": {:.1}{}}}",
                 json_escape(&m.dist),
                 m.mode,
                 json_escape(&m.budget_label),
                 m.budget_bytes,
                 m.runs,
                 m.spilled_bytes,
+                m.spilled_raw_bytes,
                 m.spill_secs,
                 m.merge_secs,
                 m.secs,
@@ -207,6 +247,7 @@ fn main() {
             "mode".to_string(),
             "runs".to_string(),
             "spill MiB".to_string(),
+            "comp".to_string(),
             "spill s".to_string(),
             "merge s".to_string(),
             "sec".to_string(),
@@ -222,27 +263,35 @@ fn main() {
             "-".to_string(),
             "-".to_string(),
             "-".to_string(),
+            "-".to_string(),
             format!("{base:.4}"),
             format!("{:.2}", n as f64 / base / 1e6),
             "-".to_string(),
         ]);
         for &(label, budget) in &budgets {
-            let (sync_p, pipe_p, ratio) = median_mode_pair(&input, budget, batch, args.reps);
-            for (mode, p, pair_ratio) in [
-                ("synchronous", &sync_p, None),
-                ("pipelined", &pipe_p, Some(ratio)),
-            ] {
+            let (medians, ratio) = median_modes(&input, budget, batch, args.reps);
+            for (mode, p) in MODES.iter().zip(&medians) {
+                let pair_ratio = (mode.name == "pipelined").then_some(ratio);
                 let ratio_cell = match pair_ratio {
                     Some(r) => format!("{r:.2}x"),
                     None => "-".to_string(),
+                };
+                let comp_cell = if p.spilled_bytes > 0 && p.spilled_raw_bytes != p.spilled_bytes {
+                    format!(
+                        "{:.2}x",
+                        p.spilled_raw_bytes as f64 / p.spilled_bytes as f64
+                    )
+                } else {
+                    "-".to_string()
                 };
                 let secs = p.spill_secs + p.merge_secs;
                 let rps = n as f64 / secs;
                 table.add_row(vec![
                     label.to_string(),
-                    mode.to_string(),
+                    mode.name.to_string(),
                     format!("{}", p.runs),
                     format!("{:.1}", p.spilled_bytes as f64 / (1 << 20) as f64),
+                    comp_cell,
                     format!("{:.4}", p.spill_secs),
                     format!("{:.4}", p.merge_secs),
                     format!("{secs:.4}"),
@@ -251,11 +300,12 @@ fn main() {
                 ]);
                 all.push(Measurement {
                     dist: dist.label(),
-                    mode,
+                    mode: mode.name,
                     budget_label: label.to_string(),
                     budget_bytes: budget,
                     runs: p.runs,
                     spilled_bytes: p.spilled_bytes,
+                    spilled_raw_bytes: p.spilled_raw_bytes,
                     spill_secs: p.spill_secs,
                     merge_secs: p.merge_secs,
                     secs,

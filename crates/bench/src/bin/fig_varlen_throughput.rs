@@ -2,10 +2,18 @@
 //! MB/sec of `stream::StreamSorter<u64, String>` across payload-size
 //! classes and memory budgets, against the fixed-size pod-value sorter on
 //! the same keys (which isolates the cost of the length-prefixed format).
-//! Spill-bound rows are measured in both spill modes — **pipelined**
-//! (background writer + read-ahead, the default) and **synchronous**
-//! (`StreamConfig::synchronous_spill`) — with the spill-phase wall time
-//! and bytes written reported per row.
+//! Spill-bound rows are measured in three spill modes — **synchronous**
+//! (`StreamConfig::synchronous_spill`), **pipelined** (background writer +
+//! read-ahead, the default) and **compressed** (pipelined +
+//! `SpillCompression::DeltaLz`) — with the spill-phase wall time, bytes
+//! written and achieved compression ratio reported per row.
+//!
+//! A final **web-log sessionization** section exercises the string-*key*
+//! engines end to end: a synthetic web log (`workloads::strings`) is
+//! sorted by session key (`StringStreamSorter`) and aggregated into
+//! per-session byte totals (`StringStreamGroupBy`), under both spill
+//! encodings, reporting the on-disk reduction the prefix-heavy keys get
+//! from the delta/LZ block format.
 //!
 //! Beyond the console table, results are appended as machine-readable JSON
 //! to `BENCH_varlen.json` in the current directory so successive PRs can
@@ -17,11 +25,11 @@ use bench::{
     json_escape, median_time_secs, obs_json_fields, write_bench_json, write_obs_artifacts, Args,
     ObsPhaseDeltas, ObsProbe, Table,
 };
-use dtsort::StreamConfig;
+use dtsort::{SpillCompression, StreamConfig};
 use std::time::Instant;
-use stream::StreamSorter;
+use stream::{StreamSorter, StringStreamGroupBy, StringStreamSorter, SumAgg};
 use workloads::dist::Distribution;
-use workloads::generate_string_pairs;
+use workloads::{generate_string_pairs, generate_weblog_records};
 
 struct Measurement {
     dist: String,
@@ -31,6 +39,7 @@ struct Measurement {
     budget_bytes: usize,
     runs: usize,
     spilled_bytes: u64,
+    spilled_raw_bytes: u64,
     spill_secs: f64,
     merge_secs: f64,
     secs: f64,
@@ -43,11 +52,38 @@ struct Measurement {
     obs: ObsPhaseDeltas,
 }
 
+/// One spill mode of the measurement matrix.
+#[derive(Clone, Copy)]
+struct Mode {
+    name: &'static str,
+    sync: bool,
+    compression: SpillCompression,
+}
+
+const MODES: [Mode; 3] = [
+    Mode {
+        name: "synchronous",
+        sync: true,
+        compression: SpillCompression::Off,
+    },
+    Mode {
+        name: "pipelined",
+        sync: false,
+        compression: SpillCompression::Off,
+    },
+    Mode {
+        name: "compressed",
+        sync: false,
+        compression: SpillCompression::DeltaLz,
+    },
+];
+
 struct Phases {
     spill_secs: f64,
     merge_secs: f64,
     runs: usize,
     spilled_bytes: u64,
+    spilled_raw_bytes: u64,
     obs: ObsPhaseDeltas,
 }
 
@@ -57,11 +93,12 @@ fn stream_sort_strings_phases(
     input: &[(u64, String)],
     budget: usize,
     batch: usize,
-    sync: bool,
+    mode: Mode,
 ) -> Phases {
     let cfg = StreamConfig {
         memory_budget_bytes: budget,
-        synchronous_spill: sync,
+        synchronous_spill: mode.sync,
+        spill_compression: mode.compression,
         ..StreamConfig::default()
     };
     let mut sorter: StreamSorter<u64, String> = StreamSorter::with_config(cfg);
@@ -74,6 +111,7 @@ fn stream_sort_strings_phases(
     let spill_secs = spill_start.elapsed().as_secs_f64();
     let runs = sorter.run_count();
     let spilled_bytes = sorter.stats().spilled_bytes;
+    let spilled_raw_bytes = sorter.stats().spilled_raw_bytes;
     let merge_start = Instant::now();
     let mut last = 0u64;
     for (k, v) in sorter.finish().expect("finish failed") {
@@ -87,29 +125,30 @@ fn stream_sort_strings_phases(
         merge_secs,
         runs,
         spilled_bytes,
+        spilled_raw_bytes,
         obs: probe.finish(),
     }
 }
 
-/// Measures both modes `reps` times, interleaved (so drifting background
-/// load hits both alike), returning the per-mode median-total reps and the
-/// median of the per-pair speedup ratios.
-fn median_mode_pair(
+/// Measures every mode `reps` times, interleaved (so drifting background
+/// load hits all alike), returning the per-mode median-total reps and the
+/// median of the per-pair pipelined-vs-synchronous speedup ratios.
+fn median_modes(
     input: &[(u64, String)],
     budget: usize,
     batch: usize,
     reps: usize,
-) -> (Phases, Phases, f64) {
+) -> (Vec<Phases>, f64) {
     let reps = reps.max(1);
-    let mut sync_runs: Vec<Phases> = Vec::with_capacity(reps);
-    let mut pipe_runs: Vec<Phases> = Vec::with_capacity(reps);
+    let mut mode_runs: Vec<Vec<Phases>> = MODES.iter().map(|_| Vec::with_capacity(reps)).collect();
     let mut ratios: Vec<f64> = Vec::with_capacity(reps);
     for _ in 0..reps {
-        let s = stream_sort_strings_phases(input, budget, batch, true);
-        let p = stream_sort_strings_phases(input, budget, batch, false);
+        for (mi, &mode) in MODES.iter().enumerate() {
+            mode_runs[mi].push(stream_sort_strings_phases(input, budget, batch, mode));
+        }
+        let s = mode_runs[0].last().unwrap();
+        let p = mode_runs[1].last().unwrap();
         ratios.push((s.spill_secs + s.merge_secs) / (p.spill_secs + p.merge_secs));
-        sync_runs.push(s);
-        pipe_runs.push(p);
     }
     let median = |mut v: Vec<Phases>| -> Phases {
         v.sort_by(|a, b| {
@@ -121,7 +160,7 @@ fn median_mode_pair(
     };
     ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let ratio = ratios[ratios.len() / 2];
-    (median(sync_runs), median(pipe_runs), ratio)
+    (mode_runs.into_iter().map(median).collect(), ratio)
 }
 
 fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measurement]) {
@@ -136,8 +175,13 @@ fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measur
                 },
                 obs_json_fields(&m.obs),
             );
+            let comp_ratio = if m.spilled_bytes > 0 {
+                m.spilled_raw_bytes as f64 / m.spilled_bytes as f64
+            } else {
+                1.0
+            };
             format!(
-                "{{\"dist\": \"{}\", \"payload\": \"{}\", \"mode\": \"{}\", \"budget\": \"{}\", \"budget_bytes\": {}, \"runs\": {}, \"spilled_bytes\": {}, \"spill_secs\": {:.6}, \"merge_secs\": {:.6}, \"secs\": {:.6}, \"records_per_sec\": {:.1}, \"payload_mb_per_sec\": {:.2}{}}}",
+                "{{\"dist\": \"{}\", \"payload\": \"{}\", \"mode\": \"{}\", \"budget\": \"{}\", \"budget_bytes\": {}, \"runs\": {}, \"spilled_bytes\": {}, \"spilled_raw_bytes\": {}, \"comp_ratio\": {comp_ratio:.3}, \"spill_secs\": {:.6}, \"merge_secs\": {:.6}, \"secs\": {:.6}, \"records_per_sec\": {:.1}, \"payload_mb_per_sec\": {:.2}{}}}",
                 json_escape(&m.dist),
                 json_escape(&m.payload),
                 m.mode,
@@ -145,6 +189,7 @@ fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measur
                 m.budget_bytes,
                 m.runs,
                 m.spilled_bytes,
+                m.spilled_raw_bytes,
                 m.spill_secs,
                 m.merge_secs,
                 m.secs,
@@ -246,11 +291,9 @@ fn main() {
                 ("1/8", data_bytes / 8),
             ];
             for &(blabel, budget) in &budgets {
-                let (sync_p, pipe_p, ratio) = median_mode_pair(&input, budget, batch, args.reps);
-                for (mode, p, pair_ratio) in [
-                    ("synchronous", &sync_p, None),
-                    ("pipelined", &pipe_p, Some(ratio)),
-                ] {
+                let (medians, ratio) = median_modes(&input, budget, batch, args.reps);
+                for (mode, p) in MODES.iter().zip(&medians) {
+                    let pair_ratio = (mode.name == "pipelined").then_some(ratio);
                     let ratio_cell = match pair_ratio {
                         Some(r) => format!("{r:.2}x"),
                         None => "-".to_string(),
@@ -260,7 +303,7 @@ fn main() {
                     let mbps = payload_bytes as f64 / secs / 1e6;
                     table.add_row(vec![
                         blabel.to_string(),
-                        mode.to_string(),
+                        mode.name.to_string(),
                         format!("{}", p.runs),
                         format!("{:.1}", p.spilled_bytes as f64 / (1 << 20) as f64),
                         format!("{:.4}", p.spill_secs),
@@ -272,11 +315,12 @@ fn main() {
                     all.push(Measurement {
                         dist: dist.label(),
                         payload: plabel.to_string(),
-                        mode,
+                        mode: mode.name,
                         budget_label: blabel.to_string(),
                         budget_bytes: budget,
                         runs: p.runs,
                         spilled_bytes: p.spilled_bytes,
+                        spilled_raw_bytes: p.spilled_raw_bytes,
                         spill_secs: p.spill_secs,
                         merge_secs: p.merge_secs,
                         secs,
@@ -290,6 +334,7 @@ fn main() {
             table.print();
         }
     }
+    all.extend(weblog_sessionization(n, batch, args.reps));
     write_json(
         "BENCH_varlen.json",
         n,
@@ -298,4 +343,129 @@ fn main() {
         &all,
     );
     write_obs_artifacts("varlen");
+}
+
+/// Web-log sessionization on the string-key engines: sort the log by
+/// session key, and aggregate per-session payload bytes — under both
+/// spill encodings, at a budget that forces heavy spilling.  The
+/// prefix-heavy session keys are the reference workload for the delta/LZ
+/// spill blocks, and the `comp_ratio` of these rows is the headline
+/// bytes-on-disk reduction.
+fn weblog_sessionization(n: usize, batch: usize, reps: usize) -> Vec<Measurement> {
+    let dist = Distribution::Zipfian { s: 1.1 };
+    let log = generate_weblog_records(&dist, n, 32, 42);
+    let payload_bytes: usize = log.iter().map(|(k, v)| k.len() + v.len()).sum();
+    let budget = (payload_bytes / 8).max(64 << 10);
+    println!(
+        "\n=== web-log sessionization · {} sessions keyed by string ({} MiB of log) ===",
+        log.iter()
+            .map(|(k, _)| k)
+            .collect::<std::collections::HashSet<_>>()
+            .len(),
+        payload_bytes >> 20
+    );
+    let mut table = Table::new(vec![
+        "job".to_string(),
+        "mode".to_string(),
+        "runs".to_string(),
+        "spill MiB".to_string(),
+        "comp".to_string(),
+        "sec".to_string(),
+        "Mrec/s".to_string(),
+        "MB/s".to_string(),
+    ]);
+    let modes = [
+        ("pipelined", SpillCompression::Off),
+        ("compressed", SpillCompression::DeltaLz),
+    ];
+    let cfg = |compression| StreamConfig {
+        memory_budget_bytes: budget,
+        spill_compression: compression,
+        ..StreamConfig::default()
+    };
+    let mut rows = Vec::new();
+    for (job, runner) in [
+        ("sort", true),   // sort the raw log by session key
+        ("group", false), // per-session byte totals
+    ] {
+        for &(mode, compression) in &modes {
+            let reps = reps.max(1);
+            let mut timed: Vec<(f64, usize, u64, u64)> = (0..reps)
+                .map(|_| {
+                    let start = Instant::now();
+                    let (runs, bytes, raw) = if runner {
+                        let mut s: StringStreamSorter<String, String> =
+                            StringStreamSorter::with_config(cfg(compression));
+                        for chunk in log.chunks(batch) {
+                            s.push(chunk).expect("push failed");
+                        }
+                        let st = (
+                            s.stats().spilled_runs,
+                            s.stats().spilled_bytes,
+                            s.stats().spilled_raw_bytes,
+                        );
+                        for (k, v) in s.finish().expect("finish failed") {
+                            std::hint::black_box((k.len(), v.len()));
+                        }
+                        st
+                    } else {
+                        let mut g: StringStreamGroupBy<String, SumAgg> =
+                            StringStreamGroupBy::with_config(SumAgg, cfg(compression));
+                        for (k, v) in &log {
+                            g.push_record(k.clone(), v.len() as u64)
+                                .expect("push failed");
+                        }
+                        let st = (
+                            g.stats().spilled_runs,
+                            g.stats().spilled_bytes,
+                            g.stats().spilled_raw_bytes,
+                        );
+                        for (k, total) in g.finish().expect("finish failed") {
+                            std::hint::black_box((k.len(), total));
+                        }
+                        st
+                    };
+                    (start.elapsed().as_secs_f64(), runs, bytes, raw)
+                })
+                .collect();
+            timed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let (secs, runs, spilled_bytes, spilled_raw_bytes) = timed[timed.len() / 2];
+            let rps = n as f64 / secs;
+            let mbps = payload_bytes as f64 / secs / 1e6;
+            let comp_cell = if spilled_bytes > 0 && spilled_raw_bytes != spilled_bytes {
+                format!("{:.2}x", spilled_raw_bytes as f64 / spilled_bytes as f64)
+            } else {
+                "-".to_string()
+            };
+            table.add_row(vec![
+                job.to_string(),
+                mode.to_string(),
+                format!("{runs}"),
+                format!("{:.1}", spilled_bytes as f64 / (1 << 20) as f64),
+                comp_cell,
+                format!("{secs:.4}"),
+                format!("{:.2}", rps / 1e6),
+                format!("{mbps:.1}"),
+            ]);
+            rows.push(Measurement {
+                dist: "weblog-zipf-1.1".to_string(),
+                payload: format!("weblog-{job}"),
+                mode,
+                budget_label: "1/8".to_string(),
+                budget_bytes: budget,
+                runs,
+                spilled_bytes,
+                spilled_raw_bytes,
+                spill_secs: 0.0,
+                merge_secs: 0.0,
+                secs,
+                records_per_sec: rps,
+                payload_mb_per_sec: mbps,
+                pipe_sync_ratio: None,
+                obs: ObsPhaseDeltas::default(),
+            });
+        }
+    }
+    table.print();
+    rows
 }

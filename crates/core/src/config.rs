@@ -129,6 +129,30 @@ impl SortConfig {
     }
 }
 
+/// On-disk encoding of spilled runs (the `stream` crate).
+///
+/// Runs are written once and read once (or twice for `finish_into`), so
+/// the codec trades CPU against disk bytes on exactly one round trip.  On
+/// spill-bound workloads bytes written *is* the wall clock, which makes
+/// even a modest ratio a direct speedup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpillCompression {
+    /// The flat reference format: `key (8B LE) | value bytes`, with a
+    /// `u32 LE` length prefix for variable-length values.  This is the
+    /// format every release so far has written, and it stays the
+    /// byte-identical reference side of the compression differential
+    /// tests.
+    #[default]
+    Off,
+    /// Block format: records are grouped into independently decodable
+    /// blocks; within each block the sorted `u64` keys are delta-encoded
+    /// as LEB128 varints (monotone per run, so deltas are small) and the
+    /// concatenated value bytes are LZ-compressed (hand-rolled LZ77
+    /// codec, no dependencies), with a per-block store-raw fallback for
+    /// incompressible payloads.
+    DeltaLz,
+}
+
 /// Configuration of a bounded-memory streaming sort (the `stream` crate).
 ///
 /// Lives beside [`SortConfig`] so every layer that tunes the in-memory sort
@@ -198,6 +222,13 @@ pub struct StreamConfig {
     /// `Some(false)` force it.  Ignored (off) when `synchronous_spill` is
     /// set.
     pub merge_read_ahead: Option<bool>,
+    /// On-disk encoding of spilled runs: [`SpillCompression::Off`] (the
+    /// default) writes the flat reference format, while
+    /// [`SpillCompression::DeltaLz`] delta-encodes the sorted keys and
+    /// LZ-compresses the value payloads in independently decodable
+    /// blocks.  Both formats flow through the same writer thread and
+    /// merge read-ahead; decoding is transparent to the merge.
+    pub spill_compression: SpillCompression,
     /// Turn on the `obs` tracing/metrics layer when the engine is built:
     /// the streaming sorter and group-by call `obs::enable()` during
     /// construction so their spans (`sort_run`, `spill_write`,
@@ -224,6 +255,7 @@ impl Default for StreamConfig {
             synchronous_spill: false,
             spill_pipeline_depth: 1,
             merge_read_ahead: None,
+            spill_compression: SpillCompression::default(),
             trace: false,
             sort: SortConfig::default(),
         }
@@ -261,11 +293,19 @@ impl StreamConfig {
         }
     }
 
-    /// Number of records of `record_size` bytes one run may hold (at least
-    /// 64, so degenerate budgets still make progress).  Accounts for
-    /// pipelined in-flight runs via [`StreamConfig::spill_shares`].
+    /// Number of records of `record_size` bytes one run may hold.
+    /// Accounts for pipelined in-flight runs via
+    /// [`StreamConfig::spill_shares`].
+    ///
+    /// The floor is a single record, so a degenerate budget still makes
+    /// progress but cannot silently multiply: the worst-case resident
+    /// record memory is `max(memory_budget_bytes, spill_shares() ·
+    /// record_size)` — one record per share — never the
+    /// `64 · spill_shares() · record_size` the old `.max(64)` floor
+    /// admitted (e.g. 64 records × 5 shares × a 1 KiB record ≈ 320 KiB
+    /// against a 1 KiB budget).
     pub fn run_capacity(&self, record_size: usize) -> usize {
-        (self.memory_budget_bytes / (self.spill_shares() * record_size.max(1))).max(64)
+        (self.memory_budget_bytes / (self.spill_shares() * record_size.max(1))).max(1)
     }
 
     /// Whether the final merge should read ahead of the loser tree:
@@ -370,8 +410,43 @@ mod tests {
             ..StreamConfig::default()
         };
         assert_eq!(deep.spill_shares(), 4);
-        assert_eq!(StreamConfig::with_memory_budget(0).run_capacity(8), 64);
+        assert_eq!(StreamConfig::with_memory_budget(0).run_capacity(8), 1);
         assert!(StreamConfig::default().memory_budget_bytes > 0);
+    }
+
+    #[test]
+    fn run_capacity_never_overshoots_the_budget() {
+        // Regression: the old `.max(64)` floor admitted 64 records per
+        // budget share under a degenerate budget — buffer + scratch +
+        // in-flight runs far above `memory_budget_bytes`.  The worst case
+        // is now one record per share.
+        for record_size in [1usize, 8, 64, 1024, 64 << 10] {
+            for budget in [0usize, 1, 100, 4096, 1 << 20] {
+                for depth in [1usize, 2, 8] {
+                    let cfg = StreamConfig {
+                        memory_budget_bytes: budget,
+                        spill_pipeline_depth: depth,
+                        ..StreamConfig::default()
+                    };
+                    let resident = cfg.run_capacity(record_size) * cfg.spill_shares() * record_size;
+                    let worst = budget.max(cfg.spill_shares() * record_size);
+                    assert!(
+                        resident <= worst,
+                        "budget {budget}, record {record_size}, depth {depth}: \
+                         resident {resident} > worst-case {worst}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spill_compression_defaults_off() {
+        assert_eq!(
+            StreamConfig::default().spill_compression,
+            SpillCompression::Off
+        );
+        assert_eq!(SpillCompression::default(), SpillCompression::Off);
     }
 
     #[test]

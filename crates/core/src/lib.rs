@@ -41,7 +41,9 @@
 //!   consumed by the `semisort` and `stream` crates.
 //! * [`stats`] — instrumentation used by the evaluation harness.
 //! * [`key`] — the [`IntegerKey`] abstraction over `u8..u64`, `usize` and
-//!   the signed integer types.
+//!   the signed integer types, plus the [`StringKey`] byte-string keys
+//!   that the streaming engines map order-preservingly into the `u64`
+//!   domain via [`string_key_prefix64`].
 
 pub mod api;
 pub mod buckets;
@@ -59,7 +61,7 @@ pub use api::{
     sort_pairs_with, sort_pairs_with_stats, sort_run_by_key_with, sort_run_pairs_with,
     sort_unstable, sort_with, sort_with_stats, RunReport,
 };
-pub use config::{MergeStrategy, SortConfig, StreamConfig};
-pub use key::IntegerKey;
+pub use config::{MergeStrategy, SortConfig, SpillCompression, StreamConfig};
+pub use key::{string_key_prefix64, IntegerKey, StringKey};
 pub use model::HeavyKeyModel;
 pub use stats::{SortStats, StatsSnapshot};

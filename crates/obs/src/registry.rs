@@ -269,6 +269,13 @@ impl HistogramSnapshot {
     /// `[0, 1]`), clamped to the observed maximum; 0 when empty.  An
     /// estimate with power-of-two resolution — exactly what latency
     /// baselining needs, with fixed memory.
+    ///
+    /// Note this is a bucket **upper bound**, not an interpolated value:
+    /// the `p50` / `p99` fields in [`MetricsSnapshot::to_json`] exports
+    /// are values of the form `2^k - 1` (e.g. `65535`, `131071`), and the
+    /// true quantile lies somewhere in `[2^(k-1), 2^k)`.  Two quantiles
+    /// landing in the same bucket render identically — compare them as
+    /// order-of-magnitude bands, not point estimates.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -332,7 +339,9 @@ impl MetricsSnapshot {
     }
 
     /// Serializes the snapshot as a JSON object, in the same hand-rolled
-    /// style as the `BENCH_*.json` writers:
+    /// style as the `BENCH_*.json` writers.  `p50` / `p99` are
+    /// power-of-two bucket upper bounds (`2^k - 1`), not interpolated
+    /// quantiles — see [`HistogramSnapshot::quantile`]:
     ///
     /// ```json
     /// {

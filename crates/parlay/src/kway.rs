@@ -132,6 +132,16 @@ impl<T, F: FnMut() -> Option<Vec<T>>> RunSource for BlockSource<T, F> {
 /// only its leaf-to-root path: `⌈log2 k⌉` comparisons per output record.
 /// Exhausted runs lose every match, so the merge finishes cleanly without
 /// sentinel keys.  Ties favour the smaller run index (stability).
+///
+/// The comparator may be **any strict weak ordering** over the record
+/// type, not only a key projection: the index tie rule (`i < j` wins on
+/// `!(lt)(b, a)`) only assumes that "neither strictly smaller" means
+/// *equivalent under `lt`*, which every strict weak ordering guarantees.
+/// Composite comparators — e.g. ordering spilled string records by
+/// `(u64 prefix, full key bytes)` so equal prefixes tie-break on the
+/// embedded key — therefore merge stably with no extra comparator calls:
+/// records the comparator cannot distinguish still come out in run-index
+/// (arrival) order.
 pub struct LoserTree<S, F> {
     sources: Vec<S>,
     /// `tree[0]` is the current winner; `tree[1..k2]` hold match losers.
@@ -422,6 +432,44 @@ mod tests {
         let mut want: Vec<(u32, u32)> = runs.concat();
         want.sort_by_key(|&(key, _)| key);
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tie_breaking_comparators_merge_stably() {
+        // Regression for the strict-weak-ordering claim on the tie rule:
+        // records are (prefix, full_key, tag) triples merged by the
+        // composite order (prefix, full_key) — the shape the string-key
+        // spill merge uses, where equal u64 prefixes tie-break on the
+        // embedded key bytes.  Records equal under the *composite* order
+        // must still come out in run-index order (tags prove it).
+        type Rec = (u64, &'static str, u32);
+        let keys = ["aa", "ab", "ba", "bb"];
+        let k = 4;
+        let per = 300;
+        let mut runs: Vec<Vec<Rec>> = Vec::new();
+        for r in 0..k {
+            let mut v: Vec<Rec> = (0..per)
+                .map(|i| {
+                    let prefix = ((i * 13 + r * 5) % 3) as u64;
+                    let key = keys[(i * 7 + r) % keys.len()];
+                    (prefix, key, (r * per + i) as u32)
+                })
+                .collect();
+            v.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+            runs.push(v);
+        }
+        let lt = |a: &Rec, b: &Rec| (a.0, a.1) < (b.0, b.1);
+        let sources: Vec<SliceSource<'_, Rec>> = runs
+            .iter()
+            .map(|v| SliceSource::new(v.as_slice()))
+            .collect();
+        let got: Vec<Rec> = LoserTree::new(sources, lt).collect();
+        let mut want: Vec<Rec> = runs.concat();
+        want.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        assert_eq!(got, want, "composite comparator must merge stably");
+        // Same records through the parallel materializing merge.
+        let slices: Vec<&[Rec]> = runs.iter().map(|v| v.as_slice()).collect();
+        assert_eq!(kway_merge_by(&slices, &lt), want);
     }
 
     #[test]

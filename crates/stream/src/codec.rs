@@ -1,0 +1,336 @@
+//! Zero-dependency codecs for the compressed spill-run format.
+//!
+//! Two primitives, both hand-rolled so the workspace stays free of
+//! external crates:
+//!
+//! * **LEB128 varints** — the sorted `u64` keys of a run are monotone, so
+//!   each block stores the first key absolute and the rest as unsigned
+//!   deltas; small deltas encode in one byte.
+//! * **A mini-LZ77 byte compressor** (`lz_compress` / `lz_decompress`) in
+//!   the LZ4 block style: greedy hash-table matching, token bytes packing
+//!   literal/match lengths in two nibbles with 255-chained extensions,
+//!   `u16 LE` match offsets, minimum match length 4, and a literals-only
+//!   final sequence.  The decompressor is bounded by the caller's
+//!   expected output size, so corrupt input cannot over-allocate.
+//!
+//! Neither primitive knows about records or blocks; framing lives in
+//! `spill.rs`.
+
+use std::io;
+
+/// Minimum match length the compressor emits (and the bias added to the
+/// token's match nibble on decode).
+const MIN_MATCH: usize = 4;
+/// Size of the match-candidate hash table, as a power of two.
+const HASH_BITS: u32 = 13;
+/// Largest back-reference distance an offset can express.
+const MAX_OFFSET: usize = u16::MAX as usize;
+
+fn corrupt(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt block: {what}"))
+}
+
+/// Append `x` as an unsigned LEB128 varint (1–10 bytes).
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut x: u64) {
+    while x >= 0x80 {
+        out.push((x as u8) | 0x80);
+        x >>= 7;
+    }
+    out.push(x as u8);
+}
+
+/// Read an unsigned LEB128 varint from the front of `src`, advancing it.
+pub(crate) fn read_varint(src: &mut &[u8]) -> io::Result<u64> {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = src.first().ok_or_else(|| corrupt("truncated varint"))?;
+        *src = &src[1..];
+        if shift == 63 && byte > 1 {
+            return Err(corrupt("varint overflows u64"));
+        }
+        x |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(x);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(corrupt("varint longer than 10 bytes"));
+        }
+    }
+}
+
+#[inline]
+fn hash4(v: u32) -> usize {
+    (v.wrapping_mul(2_654_435_761) >> (32 - HASH_BITS)) as usize
+}
+
+#[inline]
+fn load4(src: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes(src[i..i + 4].try_into().unwrap())
+}
+
+/// Emit one LZ sequence: `lit` literals followed by a match of `len`
+/// bytes at back-distance `offset` (`offset == 0` means final
+/// literals-only sequence, no match part).
+fn emit_sequence(out: &mut Vec<u8>, lit: &[u8], offset: usize, len: usize) {
+    let mlen = if offset == 0 { 0 } else { len - MIN_MATCH };
+    let token = ((lit.len().min(15) as u8) << 4) | (mlen.min(15) as u8);
+    out.push(token);
+    if lit.len() >= 15 {
+        let mut rest = lit.len() - 15;
+        while rest >= 255 {
+            out.push(255);
+            rest -= 255;
+        }
+        out.push(rest as u8);
+    }
+    out.extend_from_slice(lit);
+    if offset == 0 {
+        return;
+    }
+    out.extend_from_slice(&(offset as u16).to_le_bytes());
+    if mlen >= 15 {
+        let mut rest = mlen - 15;
+        while rest >= 255 {
+            out.push(255);
+            rest -= 255;
+        }
+        out.push(rest as u8);
+    }
+}
+
+/// Compress `src` into `out` (appending).  Always succeeds; worst case
+/// the output is slightly larger than the input (the caller falls back
+/// to storing raw when that happens).
+pub(crate) fn lz_compress(src: &[u8], out: &mut Vec<u8>) {
+    let mut table = vec![0u32; 1 << HASH_BITS]; // position + 1; 0 = empty
+    let mut i = 0usize;
+    let mut anchor = 0usize;
+    while i + MIN_MATCH <= src.len() {
+        let h = hash4(load4(src, i));
+        let cand = table[h] as usize;
+        table[h] = (i + 1) as u32;
+        if cand > 0 {
+            let c = cand - 1;
+            if i - c <= MAX_OFFSET && src[c..c + MIN_MATCH] == src[i..i + MIN_MATCH] {
+                let mut len = MIN_MATCH;
+                while i + len < src.len() && src[c + len] == src[i + len] {
+                    len += 1;
+                }
+                emit_sequence(out, &src[anchor..i], i - c, len);
+                i += len;
+                anchor = i;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    emit_sequence(out, &src[anchor..], 0, 0);
+}
+
+/// Decompress `src` into `out` (appending), producing exactly
+/// `expected_len` new bytes.  Any framing violation — truncated input,
+/// an offset reaching before the block, or a length that would overshoot
+/// `expected_len` — is `InvalidData`, never a panic or an unbounded
+/// allocation.
+pub(crate) fn lz_decompress(
+    mut src: &[u8],
+    out: &mut Vec<u8>,
+    expected_len: usize,
+) -> io::Result<()> {
+    let base = out.len();
+    let limit = base + expected_len;
+    out.reserve(expected_len);
+    let read_ext = |src: &mut &[u8]| -> io::Result<usize> {
+        let mut total = 0usize;
+        loop {
+            let &b = src.first().ok_or_else(|| corrupt("truncated length"))?;
+            *src = &src[1..];
+            total += b as usize;
+            if b != 255 {
+                return Ok(total);
+            }
+        }
+    };
+    while !src.is_empty() {
+        let token = src[0];
+        src = &src[1..];
+        let mut lit_len = (token >> 4) as usize;
+        if lit_len == 15 {
+            lit_len += read_ext(&mut src)?;
+        }
+        if lit_len > src.len() {
+            return Err(corrupt("literal run past end of input"));
+        }
+        if out.len() + lit_len > limit {
+            return Err(corrupt("literal run past expected output size"));
+        }
+        out.extend_from_slice(&src[..lit_len]);
+        src = &src[lit_len..];
+        if src.is_empty() {
+            break; // final literals-only sequence
+        }
+        if src.len() < 2 {
+            return Err(corrupt("truncated match offset"));
+        }
+        let offset = u16::from_le_bytes([src[0], src[1]]) as usize;
+        src = &src[2..];
+        let mut mlen = (token & 0x0F) as usize;
+        if mlen == 15 {
+            mlen += read_ext(&mut src)?;
+        }
+        mlen += MIN_MATCH;
+        if offset == 0 || offset > out.len() - base {
+            return Err(corrupt("match offset outside the block"));
+        }
+        if out.len() + mlen > limit {
+            return Err(corrupt("match run past expected output size"));
+        }
+        // Overlapping copies (offset < mlen) are how the format expresses
+        // runs, so copy byte-wise from the already-written output.
+        let start = out.len() - offset;
+        for j in 0..mlen {
+            let b = out[start + j];
+            out.push(b);
+        }
+    }
+    if out.len() != limit {
+        return Err(corrupt("decompressed size mismatch"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> (usize, Vec<u8>) {
+        let mut enc = Vec::new();
+        lz_compress(data, &mut enc);
+        let mut dec = Vec::new();
+        lz_decompress(&enc, &mut dec, data.len()).expect("decompress");
+        assert_eq!(dec, data);
+        (enc.len(), enc)
+    }
+
+    #[test]
+    fn varint_roundtrip_and_boundaries() {
+        let vals = [
+            0u64,
+            1,
+            0x7F,
+            0x80,
+            0x3FFF,
+            0x4000,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &vals {
+            write_varint(&mut buf, v);
+        }
+        let mut cur = buf.as_slice();
+        for &v in &vals {
+            assert_eq!(read_varint(&mut cur).unwrap(), v);
+        }
+        assert!(cur.is_empty());
+        // One byte per value below 128.
+        let mut small = Vec::new();
+        write_varint(&mut small, 127);
+        assert_eq!(small.len(), 1);
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut cur: &[u8] = &[0x80, 0x80];
+        assert!(read_varint(&mut cur).is_err(), "truncated continuation");
+        // 10 bytes with a final byte carrying bits beyond 2^64.
+        let mut cur: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02];
+        assert!(read_varint(&mut cur).is_err(), "overflowing final byte");
+        let mut cur: &[u8] = &[0x80; 11];
+        assert!(read_varint(&mut cur).is_err(), "too many bytes");
+    }
+
+    #[test]
+    fn lz_roundtrips_representative_payloads() {
+        roundtrip(b"");
+        roundtrip(b"abc");
+        roundtrip(&[0u8; 100_000]);
+        roundtrip(
+            "the quick brown fox jumps over the lazy dog "
+                .repeat(500)
+                .as_bytes(),
+        );
+        // Log-line-ish payload with shared structure.
+        let log: Vec<u8> = (0..2000)
+            .flat_map(|i| {
+                format!("GET /api/v1/users/{i} HTTP/1.1 200 {}\n", i * 37 % 1000).into_bytes()
+            })
+            .collect();
+        let (enc_len, _) = roundtrip(&log);
+        assert!(
+            enc_len < log.len() / 2,
+            "structured text must compress well"
+        );
+        // Pseudo-random (incompressible) bytes still round-trip.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let rnd: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        roundtrip(&rnd);
+    }
+
+    #[test]
+    fn lz_handles_overlapping_matches() {
+        // Period-1 and period-3 repetitions force offset < match length.
+        roundtrip(&b"a".repeat(300));
+        roundtrip(&b"xyz".repeat(300));
+    }
+
+    #[test]
+    fn lz_decompress_rejects_corruption() {
+        let mut enc = Vec::new();
+        lz_compress(&b"hello world hello world hello world".repeat(4), &mut enc);
+        let good_len = 35 * 4;
+        // Wrong expected length: both directions must fail, not panic.
+        let mut out = Vec::new();
+        assert!(lz_decompress(&enc, &mut out, good_len - 1).is_err());
+        let mut out = Vec::new();
+        assert!(lz_decompress(&enc, &mut out, good_len + 1).is_err());
+        // Truncated stream.
+        let mut out = Vec::new();
+        assert!(lz_decompress(&enc[..enc.len() / 2], &mut out, good_len).is_err());
+        // An offset pointing before the start of the block.
+        let bad = [0x04u8, b'a', b'b', b'c', b'd', 0xFF, 0xFF];
+        let mut out = Vec::new();
+        assert!(lz_decompress(&bad, &mut out, 100).is_err());
+        // A zero offset.
+        let bad = [0x14u8, b'a', 0x00, 0x00];
+        let mut out = Vec::new();
+        assert!(lz_decompress(&bad, &mut out, 100).is_err());
+    }
+
+    #[test]
+    fn lz_output_is_bounded_by_expected_len() {
+        // A malicious stream claiming huge match runs must stop at the
+        // caller's cap instead of allocating without bound.
+        let mut enc = Vec::new();
+        // 4 literals then an enormous chained match length.
+        enc.push(0x4F);
+        enc.extend_from_slice(b"abcd");
+        enc.extend_from_slice(&1u16.to_le_bytes());
+        enc.extend_from_slice(&[255u8; 64]);
+        enc.push(0);
+        let mut out = Vec::new();
+        let err = lz_decompress(&enc, &mut out, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(out.capacity() < 1 << 20, "no unbounded allocation");
+    }
+}

@@ -39,7 +39,7 @@
 //! ```
 
 use crate::pipeline::SpillPipeline;
-use crate::sorter::{lt_by_ordered_key, open_run_cursors, RunCursor};
+use crate::sorter::{open_run_cursors, RunCursor};
 use crate::spill::{
     var_payload_bytes, var_payload_should_spill, write_run, SpillSpace, SpillValue, SpilledRun,
 };
@@ -230,8 +230,13 @@ pub struct GroupByStats {
     pub records_pushed: u64,
     /// Aggregated runs spilled to disk so far.
     pub spilled_runs: usize,
-    /// Bytes of partial aggregates written to spill files so far.
+    /// Bytes of partial aggregates written to spill files so far (on-disk,
+    /// post-compression).
     pub spilled_bytes: u64,
+    /// Bytes the same runs would have occupied in the uncompressed (flat)
+    /// spill encoding; see
+    /// [`crate::StreamStats::spilled_raw_bytes`].
+    pub spilled_raw_bytes: u64,
     /// Partial-aggregate records produced so far (spilled runs + tail);
     /// `records_pushed − partial_aggregates` records were collapsed before
     /// ever reaching disk.
@@ -250,6 +255,7 @@ impl Default for GroupByStats {
             records_pushed: 0,
             spilled_runs: 0,
             spilled_bytes: 0,
+            spilled_raw_bytes: 0,
             partial_aggregates: 0,
             // Nothing in flight before the first pipelined spill.
             is_settled: true,
@@ -321,7 +327,11 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             + 2 * std::mem::size_of::<(u64, u64)>()
             + std::mem::size_of::<Option<G::Acc>>()
             + in_flight_footprint;
-        let run_capacity = (cfg.memory_budget_bytes / record_footprint.max(1)).max(64);
+        // Floor of 1 (not some larger convenience floor): any higher floor
+        // would admit `floor × record_footprint` resident bytes under a
+        // degenerate budget, silently overshooting it (the same fix as
+        // `StreamConfig::run_capacity`).
+        let run_capacity = (cfg.memory_budget_bytes / record_footprint.max(1)).max(1);
         Self {
             cfg,
             agg,
@@ -469,22 +479,64 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             .as_ref()
             .and_then(|p| p.recycled_buffer())
             .unwrap_or_default();
-        out.extend(groups.iter().map(|g| {
-            let mut tag_iter = tags[g.start..g.end].iter();
-            let first = tag_iter.next().expect("groups are never empty");
-            let mut acc = accs[first.1 as usize].take().expect("slot folded once");
-            for &(_, idx) in tag_iter {
-                // Tags keep push order within a group (stable semisort),
-                // so partials combine in push order.
-                acc = agg.combine(acc, accs[idx as usize].take().expect("slot folded once"));
+        let recycled = out.len();
+        for g in &groups {
+            let group_tags = &tags[g.start..g.end];
+            // An ordered-`u64` key need not be injective: a string key's
+            // 8-byte prefix collides for keys sharing their first 8 bytes.
+            // Accumulators that embed the full key
+            // ([`SpillValue::spill_embedded_key`]) are therefore
+            // sub-grouped by those bytes before folding; plain integer
+            // keys (no embedded key) fold the whole group at once.
+            let has_embedded = accs[group_tags[0].1 as usize]
+                .as_ref()
+                .expect("slot folded once")
+                .spill_embedded_key()
+                .is_some();
+            if !has_embedded {
+                let mut tag_iter = group_tags.iter();
+                let first = tag_iter.next().expect("groups are never empty");
+                let mut acc = accs[first.1 as usize].take().expect("slot folded once");
+                for &(_, idx) in tag_iter {
+                    // Tags keep push order within a group (stable
+                    // semisort), so partials combine in push order.
+                    acc = agg.combine(acc, accs[idx as usize].take().expect("slot folded once"));
+                }
+                out.push((g.key, acc));
+                continue;
             }
-            (g.key, acc)
-        }));
-        self.stats.partial_aggregates += out.len() as u64;
+            // Stable sort by embedded key: sub-groups come out in the
+            // order the merge's tie-break expects, and push order is kept
+            // within each sub-group.
+            fn embedded_of<A: SpillValue>(accs: &[Option<A>], i: u64) -> &[u8] {
+                accs[i as usize]
+                    .as_ref()
+                    .expect("slot folded once")
+                    .spill_embedded_key()
+                    .unwrap_or(&[])
+            }
+            let mut idxs: Vec<u64> = group_tags.iter().map(|&(_, i)| i).collect();
+            idxs.sort_by(|&a, &b| embedded_of(&accs, a).cmp(embedded_of(&accs, b)));
+            let mut s = 0usize;
+            while s < idxs.len() {
+                let mut e = s + 1;
+                while e < idxs.len() && embedded_of(&accs, idxs[e]) == embedded_of(&accs, idxs[s]) {
+                    e += 1;
+                }
+                let mut acc = accs[idxs[s] as usize].take().expect("slot folded once");
+                for &idx in &idxs[s + 1..e] {
+                    acc = agg.combine(acc, accs[idx as usize].take().expect("slot folded once"));
+                }
+                out.push((g.key, acc));
+                s = e;
+            }
+        }
+        let produced = (out.len() - recycled) as u64;
+        self.stats.partial_aggregates += produced;
         if let Some(start) = start {
             let metrics = crate::metrics::m();
             metrics.gb_aggregate_ns.record_duration(start.elapsed());
-            metrics.gb_partial_aggregates.add(out.len() as u64);
+            metrics.gb_partial_aggregates.add(produced);
         }
         out
     }
@@ -536,26 +588,23 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         let dir = &self.space.as_ref().expect("spill space secured").dir;
         let path = dir.join(format!("agg-s{:06}.bin", self.sync_run_seq));
         let _span = obs::enabled().then(|| obs::span!("spill_write", run = self.sync_run_seq));
-        let bytes = match write_run(&path, partial) {
-            Ok(bytes) => bytes,
+        let spilled = match write_run(&path, partial, self.cfg.spill_compression) {
+            Ok(spilled) => spilled,
             Err(e) => {
                 std::fs::remove_file(&path).ok();
                 return Err(e);
             }
         };
         self.sync_run_seq += 1;
-        self.runs.push(SpilledRun {
-            path,
-            len: partial.len(),
-            bytes,
-        });
         self.stats.spilled_runs += 1;
-        self.stats.spilled_bytes += bytes;
+        self.stats.spilled_bytes += spilled.bytes;
+        self.stats.spilled_raw_bytes += spilled.raw_bytes;
         if obs::enabled() {
             let metrics = crate::metrics::m();
             metrics.gb_spilled_runs.incr();
-            metrics.gb_spilled_bytes.add(bytes);
+            metrics.gb_spilled_bytes.add(spilled.bytes);
         }
+        self.runs.push(spilled);
         Ok(())
     }
 
@@ -573,6 +622,7 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
                 dir,
                 self.cfg.spill_pipeline_depth,
                 "agg-p",
+                self.cfg.spill_compression,
             ));
         }
         let partial = self.aggregate_run();
@@ -609,6 +659,7 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             self.in_flight_runs -= 1;
             self.stats.spilled_runs += 1;
             self.stats.spilled_bytes += run.bytes;
+            self.stats.spilled_raw_bytes += run.raw_bytes;
             if obs::enabled() {
                 let metrics = crate::metrics::m();
                 metrics.gb_spilled_runs.incr();
@@ -648,7 +699,7 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         }
         let pending: Vec<Vec<(u64, G::Acc)>> = self.pending_partials.drain(..).collect();
         let tail = self.aggregate_run();
-        let mut cursors = open_run_cursors::<G::Acc>(&self.runs, &self.cfg)?;
+        let (mut cursors, read_ahead_disabled) = open_run_cursors::<G::Acc>(&self.runs, &self.cfg)?;
         // Runs whose spill write failed merge from memory; they were
         // aggregated before the current tail, so their cursors precede the
         // tail's (equal-key partials combine in push order).
@@ -659,9 +710,10 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             cursors.push(RunCursor::from_memory(tail));
         }
         Ok(GroupedStream {
-            tree: LoserTree::new(cursors, lt_by_ordered_key::<G::Acc>),
+            tree: LoserTree::new(cursors, G::Acc::spill_record_lt),
             agg: self.agg,
             pending: None,
+            read_ahead_disabled,
             _space: self.space.take(),
             _merge_span: obs::enabled().then(|| obs::span!("merge")),
             _key: PhantomData,
@@ -683,11 +735,20 @@ pub struct GroupedStream<K: IntegerKey, G: Aggregator> {
     agg: G,
     /// The first partial of the *next* key, already popped from the tree.
     pending: Option<(u64, G::Acc)>,
+    read_ahead_disabled: bool,
     _space: Option<SpillSpace>,
     /// Open `merge` span covering the stream's lifetime (None when
     /// tracing is disabled); recorded when the stream is dropped.
     _merge_span: Option<obs::SpanGuard>,
     _key: PhantomData<K>,
+}
+
+impl<K: IntegerKey, G: Aggregator> GroupedStream<K, G> {
+    /// Whether the final merge wanted read-ahead but ran synchronously;
+    /// see [`crate::SortedStream::read_ahead_disabled`].
+    pub fn read_ahead_disabled(&self) -> bool {
+        self.read_ahead_disabled
+    }
 }
 
 impl<K: IntegerKey, G: Aggregator> Iterator for GroupedStream<K, G> {
@@ -698,8 +759,13 @@ impl<K: IntegerKey, G: Aggregator> Iterator for GroupedStream<K, G> {
         loop {
             match self.tree.pop() {
                 // The loser tree yields equal keys in run order, so partials
-                // combine in push order.
-                Some((k, a)) if k == key => acc = self.agg.combine(acc, a),
+                // combine in push order.  Accumulators carrying an embedded
+                // full key (string-keyed streams, where the ordered `u64`
+                // is only an 8-byte prefix) must also agree on those bytes:
+                // prefix-colliding keys are distinct groups.
+                Some((k, a)) if k == key && a.spill_embedded_key() == acc.spill_embedded_key() => {
+                    acc = self.agg.combine(acc, a)
+                }
                 other => {
                     self.pending = other;
                     break;

@@ -98,6 +98,31 @@
 //! share.  [`FirstAgg`] turns [`StreamGroupBy`] into a bounded-memory
 //! first-payload-per-key dedup over such values.
 //!
+//! ## String keys
+//!
+//! Byte-string *keys* (not just values) are supported end to end by
+//! [`StringStreamSorter`] and [`StringStreamGroupBy`]: a key's 8-byte
+//! big-endian prefix rides the ordered-`u64` merge domain
+//! ([`dtsort::string_key_prefix64`] is monotone in lexicographic order)
+//! and the full key bytes travel in the spilled record, tie-breaking
+//! equal prefixes at sort, merge, and group time.  The output order is
+//! exactly lexicographic over the key bytes and the sort stays stable.
+//! See the `strkey` module docs for the collision analysis.
+//!
+//! ## Compressed spill runs
+//!
+//! [`dtsort::StreamConfig::spill_compression`] switches spilled runs from
+//! the flat record encoding to delta-compressed blocks
+//! ([`SpillCompression::DeltaLz`]): sorted keys are varint-delta encoded
+//! and payloads are compressed with a built-in LZ codec (independently
+//! decodable 64 KiB blocks, store-raw fallback for incompressible data).
+//! Both encodings decode through the same reader, flow through the same
+//! background writer thread and merge read-ahead, and yield
+//! byte-identical output — the uncompressed format stays the
+//! differential reference.  [`StreamStats::spilled_raw_bytes`] /
+//! [`GroupByStats::spilled_raw_bytes`] expose the achieved on-disk
+//! ratio.
+//!
 //! ## Choosing an API
 //!
 //! | Need | Call |
@@ -108,6 +133,7 @@
 //! | Per-key aggregates of a stream, bounded memory | [`StreamGroupBy::finish`] |
 //! | Dedup variable-length payloads per key | [`StreamGroupBy`] + [`FirstAgg`] |
 
+mod codec;
 mod groupby;
 mod metrics;
 #[cfg(test)]
@@ -115,11 +141,16 @@ mod obs_tests;
 mod pipeline;
 mod sorter;
 mod spill;
+mod strkey;
 
-pub use dtsort::{SortConfig, StreamConfig};
+pub use dtsort::{SortConfig, SpillCompression, StreamConfig, StringKey};
 pub use groupby::{
     Aggregator, ConcatAgg, CountAgg, FirstAgg, FoldAgg, GroupByStats, GroupedStream, MaxAgg,
     MinAgg, StreamGroupBy, SumAgg,
 };
 pub use sorter::{SortedStream, StreamSorter, StreamStats};
 pub use spill::{PodValue, SpillValue, VarValue};
+pub use strkey::{
+    StringAggAdapter, StringGroupedStream, StringKeyed, StringSortedStream, StringStreamGroupBy,
+    StringStreamSorter,
+};

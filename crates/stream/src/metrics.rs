@@ -24,12 +24,14 @@
 //! | `spill.backpressure_ns` | histogram | producer wait on the full pipeline |
 //! | `spill.write_ns` | histogram | per-run write (encode + flush + fsync) |
 //! | `spill.fsync_ns` | histogram | per-run flush + `sync_data` alone |
-//! | `spill.bytes_written` | counter | bytes through `write_run` (both engines, sync + pipelined) |
+//! | `spill.bytes_written` | counter | bytes through `write_run` (both engines, sync + pipelined; post-compression) |
+//! | `spill.raw_bytes` | counter | pre-compression (flat-encoding) bytes through `write_run`; the ratio against `spill.bytes_written` is the compression win |
 //! | `spill.queue_depth` | gauge | runs in flight to the writer thread |
 //! | `prefetch.refill_ns` | histogram | per-block decode latency (reader thread) |
 //! | `prefetch.stall_ns` | histogram | merge-side wait for the next block |
 //! | `prefetch.blocks_prefetched` | counter | blocks decoded ahead of the merge |
 //! | `prefetch.blocks_consumed` | counter | blocks the merge actually took |
+//! | `prefetch.disabled_merges` | counter | merges that wanted read-ahead but ran without it (fan-in above `MAX_PREFETCH_RUNS`, or per-run budget below `MIN_PREFETCH_RUN_BUDGET`) |
 
 use std::sync::OnceLock;
 
@@ -50,12 +52,14 @@ pub(crate) struct StreamMetrics {
     pub write_ns: obs::Histogram,
     pub fsync_ns: obs::Histogram,
     pub bytes_written: obs::Counter,
+    pub raw_bytes_spilled: obs::Counter,
     pub queue_depth: obs::Gauge,
 
     pub prefetch_refill_ns: obs::Histogram,
     pub prefetch_stall_ns: obs::Histogram,
     pub blocks_prefetched: obs::Counter,
     pub blocks_consumed: obs::Counter,
+    pub prefetch_disabled_merges: obs::Counter,
 }
 
 /// The handle bundle, registered in [`obs::global`] on first use.  Call
@@ -79,11 +83,13 @@ pub(crate) fn m() -> &'static StreamMetrics {
             write_ns: reg.histogram("spill.write_ns"),
             fsync_ns: reg.histogram("spill.fsync_ns"),
             bytes_written: reg.counter("spill.bytes_written"),
+            raw_bytes_spilled: reg.counter("spill.raw_bytes"),
             queue_depth: reg.gauge("spill.queue_depth"),
             prefetch_refill_ns: reg.histogram("prefetch.refill_ns"),
             prefetch_stall_ns: reg.histogram("prefetch.stall_ns"),
             blocks_prefetched: reg.counter("prefetch.blocks_prefetched"),
             blocks_consumed: reg.counter("prefetch.blocks_consumed"),
+            prefetch_disabled_merges: reg.counter("prefetch.disabled_merges"),
         }
     })
 }

@@ -7,8 +7,7 @@ use crate::sorter::{var_merge_runs_into, var_sort_run, StreamSorter};
 use crate::spill::sealed::Sealed;
 use crate::spill::{SpillValue, VarValue};
 use dtsort::{IntegerKey, RunReport, SortConfig, StreamConfig};
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, Read, Write};
 use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
 
@@ -56,12 +55,12 @@ impl SpillValue for SlowValue {
     fn spill_size(&self) -> usize {
         4 + self.payload.len()
     }
-    fn spill_write(&self, w: &mut BufWriter<File>) -> io::Result<()> {
+    fn spill_write(&self, w: &mut dyn Write) -> io::Result<()> {
         std::thread::sleep(WRITE_DELAY);
         self.payload.spill_write(w)
     }
     fn spill_read(
-        r: &mut BufReader<File>,
+        r: &mut dyn Read,
         scratch: &mut Vec<u8>,
         payload_budget: u64,
     ) -> io::Result<Self> {

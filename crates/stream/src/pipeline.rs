@@ -34,7 +34,7 @@
 
 use crate::metrics::m;
 use crate::spill::{write_run, RunReader, SpillValue, SpilledRun};
-use dtsort::IntegerKey;
+use dtsort::{IntegerKey, SpillCompression};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -94,10 +94,15 @@ pub(crate) struct SpillPipeline<K: IntegerKey, V: SpillValue> {
 
 impl<K: IntegerKey, V: SpillValue> SpillPipeline<K, V> {
     /// Starts the writer thread over `dir`, naming run files
-    /// `{prefix}NNNNNN.bin`.  `depth` bounds the in-flight runs (queued +
-    /// being written); the buffer pool keeps at most `depth + 1` cleared
-    /// run buffers for reuse.
-    pub fn start(dir: PathBuf, depth: usize, prefix: &'static str) -> Self {
+    /// `{prefix}NNNNNN.bin` and encoding them with `compression`.  `depth`
+    /// bounds the in-flight runs (queued + being written); the buffer pool
+    /// keeps at most `depth + 1` cleared run buffers for reuse.
+    pub fn start(
+        dir: PathBuf,
+        depth: usize,
+        prefix: &'static str,
+        compression: SpillCompression,
+    ) -> Self {
         let depth = depth.max(1);
         let (tx, rx) = sync_channel::<Vec<(K, V)>>(depth - 1);
         let shared = Arc::new(Shared {
@@ -117,7 +122,7 @@ impl<K: IntegerKey, V: SpillValue> SpillPipeline<K, V> {
         let pool_limit = depth + 1;
         let worker = std::thread::Builder::new()
             .name("pisort-spill-writer".to_string())
-            .spawn(move || writer_loop(rx, dir, prefix, worker_shared, pool_limit))
+            .spawn(move || writer_loop(rx, dir, prefix, compression, worker_shared, pool_limit))
             .expect("failed to spawn spill-writer thread");
         Self {
             tx: Some(tx),
@@ -240,6 +245,7 @@ fn writer_loop<K: IntegerKey, V: SpillValue>(
     rx: Receiver<Vec<(K, V)>>,
     dir: PathBuf,
     prefix: &'static str,
+    compression: SpillCompression,
     shared: Arc<Shared<K, V>>,
     pool_limit: usize,
 ) {
@@ -265,20 +271,16 @@ fn writer_loop<K: IntegerKey, V: SpillValue>(
         let result = if obs::enabled() {
             let start = std::time::Instant::now();
             let _span = obs::span!("spill_write", run = seq);
-            let r = catch_unwind(AssertUnwindSafe(|| write_run(&path, &buf)));
+            let r = catch_unwind(AssertUnwindSafe(|| write_run(&path, &buf, compression)));
             m().write_ns.record_duration(start.elapsed());
             r
         } else {
-            catch_unwind(AssertUnwindSafe(|| write_run(&path, &buf)))
+            catch_unwind(AssertUnwindSafe(|| write_run(&path, &buf, compression)))
         };
         let mut st = shared.state.lock().expect("spill state");
         match result {
-            Ok(Ok(bytes)) => {
-                st.completed.push(SpilledRun {
-                    path,
-                    len: buf.len(),
-                    bytes,
-                });
+            Ok(Ok(run)) => {
+                st.completed.push(run);
                 seq += 1;
                 if st.pool.len() < pool_limit {
                     let mut recycled = buf;
@@ -336,9 +338,14 @@ impl<V: SpillValue> RunPrefetcher<V> {
     /// queued, one decoding, one being consumed), hence sixths.  `index`
     /// is the run's position in the merge, used only to label the
     /// prefetcher's trace spans.
+    ///
+    /// The floors below keep the reader functional without re-inflating a
+    /// small share: merges only engage read-ahead when the per-run budget
+    /// is at least [`crate::sorter::MIN_PREFETCH_RUN_BUDGET`], so the
+    /// splits here stay within the share the caller granted.
     pub fn spawn(run: &SpilledRun, reader_budget: usize, index: usize) -> io::Result<Self> {
-        let mut reader: RunReader<V> = RunReader::open(run, (reader_budget / 2).max(4096))?;
-        let block_bytes = (reader_budget / 6).max(4096);
+        let mut reader: RunReader<V> = RunReader::open(run, (reader_budget / 2).max(64))?;
+        let block_bytes = (reader_budget / 6).max(64);
         let (tx, rx) = sync_channel::<io::Result<Vec<(u64, V)>>>(1);
         std::thread::Builder::new()
             .name("pisort-run-prefetch".to_string())
@@ -419,7 +426,8 @@ mod tests {
     #[test]
     fn writes_runs_in_submission_order_and_recycles_buffers() {
         let dir = tmp_dir("order");
-        let mut pipe: SpillPipeline<u64, u64> = SpillPipeline::start(dir.clone(), 2, "run-p");
+        let mut pipe: SpillPipeline<u64, u64> =
+            SpillPipeline::start(dir.clone(), 2, "run-p", SpillCompression::Off);
         for r in 0..6u64 {
             let run: Vec<(u64, u64)> = (0..100).map(|i| (i, r)).collect();
             pipe.submit(run);
@@ -442,7 +450,8 @@ mod tests {
     #[test]
     fn error_stops_writing_and_stashes_later_runs_in_order() {
         let dir = tmp_dir("err");
-        let mut pipe: SpillPipeline<u64, u64> = SpillPipeline::start(dir.clone(), 2, "run-p");
+        let mut pipe: SpillPipeline<u64, u64> =
+            SpillPipeline::start(dir.clone(), 2, "run-p", SpillCompression::Off);
         pipe.submit(vec![(1, 0)]);
         pipe.flush();
         // Break the spill directory under the writer: every later write
@@ -469,7 +478,8 @@ mod tests {
         let blocked = dir.join("blocked-file");
         std::fs::write(&blocked, b"x").unwrap();
         // Point the pipeline *at a file*: the very first write fails.
-        let mut pipe: SpillPipeline<u64, u64> = SpillPipeline::start(blocked.clone(), 1, "run-p");
+        let mut pipe: SpillPipeline<u64, u64> =
+            SpillPipeline::start(blocked.clone(), 1, "run-p", SpillCompression::Off);
         pipe.submit(vec![(9, 9)]);
         let closed = pipe.close();
         assert!(closed.error.is_some(), "close must never drop the error");
@@ -483,24 +493,22 @@ mod tests {
         let dir = tmp_dir("prefetch");
         let path: &Path = &dir.join("run.bin");
         let records: Vec<(u64, u64)> = (0..10_000u64).map(|i| (i, i * 3)).collect();
-        let bytes = write_run(path, &records).unwrap();
-        let run = SpilledRun {
-            path: path.to_path_buf(),
-            len: records.len(),
-            bytes,
-        };
-        // A tiny budget forces many small blocks through the channel.
-        let rx = RunPrefetcher::<u64>::spawn(&run, 8 << 10, 0)
-            .unwrap()
-            .into_receiver();
-        let mut got: Vec<(u64, u64)> = Vec::new();
-        let mut blocks = 0usize;
-        while let Ok(block) = rx.recv() {
-            got.extend(block.expect("clean run must not error"));
-            blocks += 1;
+        // Both encodings must stream identically through the prefetcher.
+        for compression in [SpillCompression::Off, SpillCompression::DeltaLz] {
+            let run = write_run(path, &records, compression).unwrap();
+            // A tiny budget forces many small blocks through the channel.
+            let rx = RunPrefetcher::<u64>::spawn(&run, 8 << 10, 0)
+                .unwrap()
+                .into_receiver();
+            let mut got: Vec<(u64, u64)> = Vec::new();
+            let mut blocks = 0usize;
+            while let Ok(block) = rx.recv() {
+                got.extend(block.expect("clean run must not error"));
+                blocks += 1;
+            }
+            assert!(blocks > 5, "expected several blocks, got {blocks}");
+            assert_eq!(got, records);
         }
-        assert!(blocks > 5, "expected several blocks, got {blocks}");
-        assert_eq!(got, records);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -509,13 +517,15 @@ mod tests {
         let dir = tmp_dir("prefetch-err");
         let path = dir.join("run.bin");
         let records: Vec<(u64, u64)> = (0..1000u64).map(|i| (i, i)).collect();
-        let bytes = write_run(&path, &records).unwrap();
+        let good = write_run(&path, &records, SpillCompression::Off).unwrap();
         // Lie about the record count: the reader must hit the in-stream
         // guard and the prefetcher must forward it (not hang or panic).
         let run = SpilledRun {
             path,
             len: records.len() + 1,
-            bytes: bytes + 16,
+            bytes: good.bytes + 16,
+            raw_bytes: good.raw_bytes + 16,
+            compression: SpillCompression::Off,
         };
         match RunPrefetcher::<u64>::spawn(&run, 4096, 0) {
             Err(e) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),

@@ -17,6 +17,14 @@ use std::sync::mpsc::Receiver;
 /// are tiny at that point anyway) and the merge reads synchronously.
 pub(crate) const MAX_PREFETCH_RUNS: usize = 64;
 
+/// Below this per-run share of [`StreamConfig::merge_read_buffer_bytes`]
+/// the read-ahead stage is also skipped: a prefetch thread double-buffers
+/// its budget, and at a few hundred bytes per buffer the channel overhead
+/// dwarfs the read it hides.  Merges that wanted read-ahead but lost it to
+/// either gate bump the `prefetch.disabled_merges` metric and are flagged
+/// on the returned stream ([`SortedStream::read_ahead_disabled`]).
+pub(crate) const MIN_PREFETCH_RUN_BUDGET: usize = 4096;
+
 /// Counters describing what a [`StreamSorter`] did.
 ///
 /// `records_pushed` and `carried_heavy_keys` are always exact.  With
@@ -37,8 +45,14 @@ pub struct StreamStats {
     pub records_pushed: u64,
     /// Runs spilled to disk so far.
     pub spilled_runs: usize,
-    /// Bytes written to spill files so far.
+    /// Bytes written to spill files so far (on-disk, post-compression).
     pub spilled_bytes: u64,
+    /// Bytes the same runs would have occupied in the uncompressed (flat)
+    /// spill encoding.  Equal to `spilled_bytes` when
+    /// [`StreamConfig::spill_compression`] is off (up to the flat format's
+    /// lack of block headers); the ratio `spilled_bytes /
+    /// spilled_raw_bytes` is the on-disk compression win.
+    pub spilled_raw_bytes: u64,
     /// Heavy keys currently carried into the next run's sampling.
     pub carried_heavy_keys: usize,
     /// Whether the spill counters are exact right now: `false` while runs
@@ -56,6 +70,7 @@ impl Default for StreamStats {
             records_pushed: 0,
             spilled_runs: 0,
             spilled_bytes: 0,
+            spilled_raw_bytes: 0,
             carried_heavy_keys: 0,
             // Nothing in flight before the first pipelined spill.
             is_settled: true,
@@ -356,26 +371,23 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
         let dir = &self.space.as_ref().expect("spill space secured").dir;
         let path = dir.join(format!("run-s{:06}.bin", self.sync_run_seq));
         let _span = obs::enabled().then(|| obs::span!("spill_write", run = self.sync_run_seq));
-        let bytes = match write_run(&path, run) {
-            Ok(bytes) => bytes,
+        let spilled = match write_run(&path, run, self.cfg.spill_compression) {
+            Ok(spilled) => spilled,
             Err(e) => {
                 std::fs::remove_file(&path).ok();
                 return Err(e);
             }
         };
         self.sync_run_seq += 1;
-        self.runs.push(SpilledRun {
-            path,
-            len: run.len(),
-            bytes,
-        });
         self.stats.spilled_runs += 1;
-        self.stats.spilled_bytes += bytes;
+        self.stats.spilled_bytes += spilled.bytes;
+        self.stats.spilled_raw_bytes += spilled.raw_bytes;
         if obs::enabled() {
             let metrics = crate::metrics::m();
             metrics.spilled_runs.incr();
-            metrics.spilled_bytes.add(bytes);
+            metrics.spilled_bytes.add(spilled.bytes);
         }
+        self.runs.push(spilled);
         Ok(())
     }
 
@@ -394,6 +406,7 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
                 dir,
                 self.cfg.spill_pipeline_depth,
                 "run-p",
+                self.cfg.spill_compression,
             ));
         }
         self.sort_buffer();
@@ -433,6 +446,7 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
             self.in_flight_runs -= 1;
             self.stats.spilled_runs += 1;
             self.stats.spilled_bytes += run.bytes;
+            self.stats.spilled_raw_bytes += run.raw_bytes;
             if obs::enabled() {
                 let metrics = crate::metrics::m();
                 metrics.spilled_runs.incr();
@@ -482,12 +496,15 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
     /// [`StreamConfig::synchronous_spill`] is set, each spilled run is
     /// decoded ahead of the merge by a read-ahead thread
     /// ([`StreamConfig::merge_read_ahead`]), so the loser tree pops from
-    /// prefetched blocks instead of blocking on cold reads.
+    /// prefetched blocks instead of blocking on cold reads.  Past 64 runs,
+    /// or once the per-run buffer share drops below 4 KiB, read-ahead
+    /// falls back to synchronous reads —
+    /// [`SortedStream::read_ahead_disabled`] reports when that happened.
     pub fn finish(mut self) -> io::Result<SortedStream<K, V>> {
         self.close_pipeline()?;
         self.sort_buffer();
         let total = self.len();
-        let mut cursors = open_run_cursors::<V>(&self.runs, &self.cfg)?;
+        let (mut cursors, read_ahead_disabled) = open_run_cursors::<V>(&self.runs, &self.cfg)?;
         for run in self.pending_runs.drain(..) {
             let mem: Vec<(u64, V)> = run
                 .into_iter()
@@ -504,8 +521,9 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
             cursors.push(RunCursor::from_memory(mem));
         }
         Ok(SortedStream {
-            tree: LoserTree::new(cursors, lt_by_ordered_key::<V>),
+            tree: LoserTree::new(cursors, V::spill_record_lt),
             remaining: total,
+            read_ahead_disabled,
             // Records the merge phase as one span from here until the
             // stream is dropped, so prefetch spans can be shown (and
             // asserted) to overlap it.
@@ -577,10 +595,6 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
         self.finish_into(&mut out)?;
         Ok(out)
     }
-}
-
-pub(crate) fn lt_by_ordered_key<V>(a: &(u64, V), b: &(u64, V)) -> bool {
-    a.0 < b.0
 }
 
 /// Pod-path run sort: records move through DovetailSort directly (the
@@ -675,12 +689,25 @@ pub(crate) fn var_merge_runs_into<K: IntegerKey, V: VarValue>(
 /// fan-in, each run gets a read-ahead thread decoding blocks ahead of the
 /// merge; otherwise the cursors read synchronously.  Shared by the sorter
 /// and the group-by so the two merge paths cannot drift.
+///
+/// Read-ahead is silently a no-op in two regimes, both reported through
+/// the returned flag (and the `prefetch.disabled_merges` metric) rather
+/// than only through slower merges: a fan-in above [`MAX_PREFETCH_RUNS`]
+/// (one thread per run would be a thread explosion), and a per-run budget
+/// share below [`MIN_PREFETCH_RUN_BUDGET`] (the double-buffered blocks
+/// would be too small to hide any read latency).
 pub(crate) fn open_run_cursors<V: SpillValue>(
     runs: &[SpilledRun],
     cfg: &StreamConfig,
-) -> io::Result<Vec<RunCursor<V>>> {
+) -> io::Result<(Vec<RunCursor<V>>, bool)> {
     let reader_budget = per_run_reader_budget(cfg.merge_read_buffer_bytes, runs.len());
-    let prefetch = cfg.wants_merge_read_ahead() && runs.len() <= MAX_PREFETCH_RUNS;
+    let wants = cfg.wants_merge_read_ahead() && !runs.is_empty();
+    let prefetch =
+        wants && runs.len() <= MAX_PREFETCH_RUNS && reader_budget >= MIN_PREFETCH_RUN_BUDGET;
+    let read_ahead_disabled = wants && !prefetch;
+    if read_ahead_disabled && obs::enabled() {
+        crate::metrics::m().prefetch_disabled_merges.incr();
+    }
     let mut cursors: Vec<RunCursor<V>> = Vec::with_capacity(runs.len() + 2);
     if prefetch {
         // Spawn every reader thread before priming any cursor, so all the
@@ -698,7 +725,7 @@ pub(crate) fn open_run_cursors<V: SpillValue>(
             cursors.push(RunCursor::open_disk(run, reader_budget)?);
         }
     }
-    Ok(cursors)
+    Ok((cursors, read_ahead_disabled))
 }
 
 type Refill<V> = Box<dyn FnMut() -> Option<Vec<(u64, V)>> + Send>;
@@ -814,6 +841,7 @@ impl<V: SpillValue> RunSource for RunCursor<V> {
 pub struct SortedStream<K: IntegerKey, V: SpillValue> {
     tree: MergeTree<V>,
     remaining: usize,
+    read_ahead_disabled: bool,
     /// Open `merge` trace span; recorded when the stream is dropped.
     _merge_span: Option<obs::SpanGuard>,
     _space: Option<SpillSpace>,
@@ -821,6 +849,20 @@ pub struct SortedStream<K: IntegerKey, V: SpillValue> {
 }
 
 type MergeTree<V> = LoserTree<RunCursor<V>, fn(&(u64, V), &(u64, V)) -> bool>;
+
+impl<K: IntegerKey, V: SpillValue> SortedStream<K, V> {
+    /// Whether this merge *wanted* read-ahead
+    /// ([`StreamConfig::wants_merge_read_ahead`]) but ran synchronously
+    /// anyway: the fan-in exceeded the prefetch thread cap (64 runs), or
+    /// the per-run share of [`StreamConfig::merge_read_buffer_bytes`] fell
+    /// below the 4 KiB floor where double-buffering stops paying.  Also
+    /// counted by the `prefetch.disabled_merges` metric.  Widen the read
+    /// buffer (or the memory budget, to get fewer, larger runs) to re-arm
+    /// the read-ahead.
+    pub fn read_ahead_disabled(&self) -> bool {
+        self.read_ahead_disabled
+    }
+}
 
 impl<K: IntegerKey, V: SpillValue> Iterator for SortedStream<K, V> {
     type Item = (K, V);
@@ -1155,8 +1197,7 @@ mod tests {
     // -----------------------------------------------------------------
 
     use crate::spill::sealed::Sealed;
-    use std::fs::File;
-    use std::io::{BufReader, BufWriter};
+    use std::io::{Read, Write};
     use std::sync::atomic::{AtomicI64, Ordering};
     use std::sync::Arc;
 
@@ -1196,14 +1237,14 @@ mod tests {
         fn spill_size(&self) -> usize {
             4 + self.payload.len()
         }
-        fn spill_write(&self, w: &mut BufWriter<File>) -> io::Result<()> {
+        fn spill_write(&self, w: &mut dyn Write) -> io::Result<()> {
             if self.fuse.fetch_sub(1, Ordering::SeqCst) == 1 {
                 panic!("injected spill-write failure");
             }
             self.payload.spill_write(w)
         }
         fn spill_read(
-            r: &mut BufReader<File>,
+            r: &mut dyn Read,
             scratch: &mut Vec<u8>,
             payload_budget: u64,
         ) -> io::Result<Self> {

@@ -1,7 +1,10 @@
 //! On-disk run formats and buffered run readers.
 //!
-//! A spilled run is a flat sequence of records in one of two formats,
-//! chosen statically by the value type ([`SpillValue`]):
+//! A spilled run is written in the **flat** encoding (the default,
+//! [`dtsort::SpillCompression::Off`]) or the **compressed block**
+//! encoding ([`dtsort::SpillCompression::DeltaLz`]).  The flat encoding
+//! is a sequence of records in one of two formats, chosen statically by
+//! the value type ([`SpillValue`]):
 //!
 //! **Fixed** — for [`PodValue`] types, whose in-memory byte image is the
 //! record payload:
@@ -29,11 +32,38 @@
 //! values stream through a reusable side buffer sized to the largest value
 //! seen, never through `size_of::<V>()` scratch.
 //!
-//! Every [`SpilledRun`] records both its record count and its exact byte
-//! size, so truncated spill files are rejected at open time in either
-//! format, and a corrupted length prefix can never read past the run.
+//! The **compressed block** encoding groups records into independently
+//! decodable blocks (at most [`BLOCK_MAX_RECORDS`] records or roughly
+//! [`BLOCK_RAW_TARGET`] payload bytes each):
+//!
+//! ```text
+//! ┌──────────────┬─────────────┬─────────────┬─────────────┬─────┐
+//! │ record_count │ key_stream  │ payload_raw │ payload_enc │ enc │
+//! │ (u32 LE)     │ _len (u32)  │ _len (u32)  │ _len (u32)  │ u8  │
+//! ├──────────────┴─────────────┴─────────────┴─────────────┴─────┤
+//! │ key stream: first key absolute, then deltas (LEB128 varints) │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ payload: concatenated record payloads, LZ-compressed when    │
+//! │ enc = 1, stored raw when enc = 0 (incompressible fallback)   │
+//! └──────────────────────────────────────────────────────────────┘  × blocks
+//! ```
+//!
+//! Keys within a run are sorted, so the deltas are non-negative and
+//! small — most encode in one byte.  The payload bytes are exactly what
+//! the flat encoding would have written after each key (length prefixes
+//! included), so one `spill_read` path decodes values from either
+//! encoding.  Decoding is transparent: [`RunReader`] yields identical
+//! records for both, which is what the compression differential tests
+//! assert end to end.
+//!
+//! Every [`SpilledRun`] records its record count, its exact on-disk byte
+//! size *and* its pre-compression byte size, so truncated spill files are
+//! rejected at open time in either encoding, and a corrupted length
+//! prefix or block header can never read past the run (or allocate more
+//! than the run's recorded raw size).
 
-use dtsort::{IntegerKey, RunReport, SortConfig};
+use crate::codec;
+use dtsort::{IntegerKey, RunReport, SortConfig, SpillCompression};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::marker::PhantomData;
@@ -152,19 +182,18 @@ pub trait SpillValue: Clone + Send + Sync + 'static + sealed::Sealed {
     #[doc(hidden)]
     fn spill_size(&self) -> usize;
 
-    /// Writes this value's payload (length prefix included).
+    /// Writes this value's payload (length prefix included).  The sink is
+    /// a `dyn Write` so the same serializer feeds both the flat spill
+    /// file and the in-memory payload buffer of a compressed block.
     #[doc(hidden)]
-    fn spill_write(&self, w: &mut BufWriter<File>) -> io::Result<()>;
+    fn spill_write(&self, w: &mut dyn Write) -> io::Result<()>;
 
     /// Reads one payload; `payload_budget` is the number of bytes left in
-    /// the run after the record's key, bounding length prefixes so a
-    /// corrupted prefix cannot read past the run (or allocate unboundedly).
+    /// the run (or decoded block) after the record's key, bounding length
+    /// prefixes so a corrupted prefix cannot read past the run (or
+    /// allocate unboundedly).
     #[doc(hidden)]
-    fn spill_read(
-        r: &mut BufReader<File>,
-        scratch: &mut Vec<u8>,
-        payload_budget: u64,
-    ) -> io::Result<Self>
+    fn spill_read(r: &mut dyn Read, scratch: &mut Vec<u8>, payload_budget: u64) -> io::Result<Self>
     where
         Self: Sized;
 
@@ -192,6 +221,28 @@ pub trait SpillValue: Clone + Send + Sync + 'static + sealed::Sealed {
         out: &mut [(K, Self)],
     ) where
         Self: Sized;
+
+    /// Strict-weak order of merge records, used by the final streaming
+    /// loser tree.  The default compares ordered-`u64` keys alone; values
+    /// with an embedded full key (string-keyed records) override it to
+    /// tie-break equal key prefixes on the full key bytes, which is what
+    /// makes the 8-byte-prefix mapping order-preserving end to end.
+    #[doc(hidden)]
+    fn spill_record_lt(a: &(u64, Self), b: &(u64, Self)) -> bool
+    where
+        Self: Sized,
+    {
+        a.0 < b.0
+    }
+
+    /// Full-key bytes embedded in the payload, for values that carry
+    /// their own key (string-keyed records).  The streaming group-by uses
+    /// this to sub-group records whose `u64` key prefixes collide and to
+    /// refuse to combine partials of different full keys.
+    #[doc(hidden)]
+    fn spill_embedded_key(&self) -> Option<&[u8]> {
+        None
+    }
 }
 
 /// A value every bit of which is zero (valid for any [`PodValue`]).
@@ -219,7 +270,7 @@ fn short_run_err(what: &str) -> io::Error {
 }
 
 fn pod_spill_read<V: PodValue>(
-    r: &mut BufReader<File>,
+    r: &mut dyn Read,
     scratch: &mut Vec<u8>,
     payload_budget: u64,
 ) -> io::Result<V> {
@@ -232,7 +283,7 @@ fn pod_spill_read<V: PodValue>(
     Ok(value_from_bytes(scratch))
 }
 
-fn var_spill_write<V: VarValue>(v: &V, w: &mut BufWriter<File>) -> io::Result<()> {
+fn var_spill_write<V: VarValue>(v: &V, w: &mut dyn Write) -> io::Result<()> {
     let bytes = v.as_spill_bytes();
     let len = u32::try_from(bytes.len()).map_err(|_| {
         io::Error::new(
@@ -248,7 +299,7 @@ fn var_spill_write<V: VarValue>(v: &V, w: &mut BufWriter<File>) -> io::Result<()
 }
 
 fn var_spill_read<V: VarValue>(
-    r: &mut BufReader<File>,
+    r: &mut dyn Read,
     scratch: &mut Vec<u8>,
     payload_budget: u64,
 ) -> io::Result<V> {
@@ -277,11 +328,11 @@ macro_rules! impl_pod_spill {
             fn spill_size(&self) -> usize {
                 size_of::<$t>()
             }
-            fn spill_write(&self, w: &mut BufWriter<File>) -> io::Result<()> {
+            fn spill_write(&self, w: &mut dyn Write) -> io::Result<()> {
                 w.write_all(value_bytes(self))
             }
             fn spill_read(
-                r: &mut BufReader<File>,
+                r: &mut dyn Read,
                 scratch: &mut Vec<u8>,
                 payload_budget: u64,
             ) -> io::Result<Self> {
@@ -333,11 +384,11 @@ impl<T: PodValue, const N: usize> SpillValue for [T; N] {
     fn spill_size(&self) -> usize {
         size_of::<Self>()
     }
-    fn spill_write(&self, w: &mut BufWriter<File>) -> io::Result<()> {
+    fn spill_write(&self, w: &mut dyn Write) -> io::Result<()> {
         w.write_all(value_bytes(self))
     }
     fn spill_read(
-        r: &mut BufReader<File>,
+        r: &mut dyn Read,
         scratch: &mut Vec<u8>,
         payload_budget: u64,
     ) -> io::Result<Self> {
@@ -370,11 +421,11 @@ macro_rules! impl_var_spill {
             fn spill_size(&self) -> usize {
                 4 + self.as_spill_bytes().len()
             }
-            fn spill_write(&self, w: &mut BufWriter<File>) -> io::Result<()> {
+            fn spill_write(&self, w: &mut dyn Write) -> io::Result<()> {
                 var_spill_write(self, w)
             }
             fn spill_read(
-                r: &mut BufReader<File>,
+                r: &mut dyn Read,
                 scratch: &mut Vec<u8>,
                 payload_budget: u64,
             ) -> io::Result<Self> {
@@ -402,8 +453,96 @@ macro_rules! impl_var_spill {
 }
 impl_var_spill!(Vec<u8>, String, Box<[u8]>);
 
-/// Writes a sorted run to `path` and syncs it to disk; returns the bytes
-/// written.
+/// Target decoded payload bytes per compressed block.  Blocks are decoded
+/// whole on the read side, so this (plus one oversized value) bounds the
+/// reader's block buffer.
+pub(crate) const BLOCK_RAW_TARGET: usize = 64 << 10;
+/// Upper bound on records per compressed block, bounding the decoded key
+/// buffer even for zero-payload values.
+pub(crate) const BLOCK_MAX_RECORDS: usize = 8192;
+/// Bytes of the fixed compressed-block header:
+/// `record_count u32 | key_stream_len u32 | payload_raw_len u32 |
+/// payload_enc_len u32 | enc u8`.
+const BLOCK_HEADER_BYTES: usize = 17;
+
+fn bad_run_data(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+/// Writes the compressed block encoding of `records`; returns
+/// `(bytes_on_disk, raw_bytes)` where `raw_bytes` is what the flat
+/// encoding would have written.
+fn write_run_blocks<K: IntegerKey, V: SpillValue>(
+    writer: &mut BufWriter<File>,
+    records: &[(K, V)],
+) -> io::Result<(u64, u64)> {
+    let mut bytes = 0u64;
+    let mut raw_bytes = 0u64;
+    let mut key_stream = Vec::new();
+    let mut payload = Vec::new();
+    let mut enc = Vec::new();
+    let mut i = 0usize;
+    while i < records.len() {
+        key_stream.clear();
+        payload.clear();
+        let mut prev_key = 0u64;
+        let mut count = 0usize;
+        while i < records.len()
+            && count < BLOCK_MAX_RECORDS
+            && (count == 0 || payload.len() < BLOCK_RAW_TARGET)
+        {
+            let (k, v) = &records[i];
+            let key = k.to_ordered_u64();
+            if count == 0 {
+                codec::write_varint(&mut key_stream, key);
+            } else {
+                let delta = key.checked_sub(prev_key).ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "compressed spill requires records sorted by ordered-u64 key",
+                    )
+                })?;
+                codec::write_varint(&mut key_stream, delta);
+            }
+            prev_key = key;
+            v.spill_write(&mut payload)?;
+            raw_bytes += 8 + v.spill_size() as u64;
+            count += 1;
+            i += 1;
+        }
+        enc.clear();
+        codec::lz_compress(&payload, &mut enc);
+        // Store-raw fallback: incompressible blocks cost 17 header bytes,
+        // never an inflated payload.
+        let (flag, body): (u8, &[u8]) = if enc.len() < payload.len() {
+            (1, &enc)
+        } else {
+            (0, &payload)
+        };
+        let too_big = |_| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "compressed block section exceeds the u32 header field",
+            )
+        };
+        writer.write_all(&(count as u32).to_le_bytes())?;
+        writer.write_all(
+            &u32::try_from(key_stream.len())
+                .map_err(too_big)?
+                .to_le_bytes(),
+        )?;
+        writer.write_all(&u32::try_from(payload.len()).map_err(too_big)?.to_le_bytes())?;
+        writer.write_all(&u32::try_from(body.len()).map_err(too_big)?.to_le_bytes())?;
+        writer.write_all(&[flag])?;
+        writer.write_all(&key_stream)?;
+        writer.write_all(body)?;
+        bytes += (BLOCK_HEADER_BYTES + key_stream.len() + body.len()) as u64;
+    }
+    Ok((bytes, raw_bytes))
+}
+
+/// Writes a sorted run to `path` in the given encoding and syncs it to
+/// disk; returns the run's full metadata.
 ///
 /// The final `sync_data` is part of the spill contract: a run is recorded
 /// as spilled (and its buffered records dropped) only after this returns,
@@ -413,15 +552,22 @@ impl_var_spill!(Vec<u8>, String, Box<[u8]>);
 pub(crate) fn write_run<K: IntegerKey, V: SpillValue>(
     path: &Path,
     records: &[(K, V)],
-) -> io::Result<u64> {
+    compression: SpillCompression,
+) -> io::Result<SpilledRun> {
     let file = File::create(path)?;
     let mut writer = BufWriter::with_capacity(1 << 20, file);
-    let mut bytes = 0u64;
-    for (key, value) in records {
-        writer.write_all(&key.to_ordered_u64().to_le_bytes())?;
-        value.spill_write(&mut writer)?;
-        bytes += 8 + value.spill_size() as u64;
-    }
+    let (bytes, raw_bytes) = match compression {
+        SpillCompression::Off => {
+            let mut bytes = 0u64;
+            for (key, value) in records {
+                writer.write_all(&key.to_ordered_u64().to_le_bytes())?;
+                value.spill_write(&mut writer)?;
+                bytes += 8 + value.spill_size() as u64;
+            }
+            (bytes, bytes)
+        }
+        SpillCompression::DeltaLz => write_run_blocks(&mut writer, records)?,
+    };
     if obs::enabled() {
         let start = std::time::Instant::now();
         writer.flush()?;
@@ -429,28 +575,47 @@ pub(crate) fn write_run<K: IntegerKey, V: SpillValue>(
         let metrics = crate::metrics::m();
         metrics.fsync_ns.record_duration(start.elapsed());
         metrics.bytes_written.add(bytes);
+        metrics.raw_bytes_spilled.add(raw_bytes);
     } else {
         writer.flush()?;
         writer.get_ref().sync_data()?;
     }
-    Ok(bytes)
+    Ok(SpilledRun {
+        path: path.to_path_buf(),
+        len: records.len(),
+        bytes,
+        raw_bytes,
+        compression,
+    })
 }
 
-/// Metadata of one spilled run: record count *and* exact byte size, so
-/// readers can reject truncated or overcounted runs in either format.
+/// Metadata of one spilled run: record count, exact on-disk byte size,
+/// pre-compression byte size and encoding, so readers can reject
+/// truncated or overcounted runs in either encoding (and bound their
+/// decode buffers by `raw_bytes`).
 #[derive(Debug)]
 pub(crate) struct SpilledRun {
     pub path: PathBuf,
     pub len: usize,
     pub bytes: u64,
+    /// Bytes the flat encoding would occupy; equals `bytes` when
+    /// `compression` is `Off`.
+    pub raw_bytes: u64,
+    pub compression: SpillCompression,
 }
 
 /// Read-buffer bytes granted to each of `runs` spilled runs during a
-/// merge: one shared pool of `total_bytes`, clamped per run to
-/// `[4 KiB, 8 MiB]`.  The single clamp shared by the sorter and the
-/// group-by, so the two paths cannot drift.
+/// merge: an equal split of `total_bytes`, capped at 8 MiB per run and
+/// floored at 64 bytes (just enough to keep `BufReader` functional).
+///
+/// The aggregate across all runs is therefore
+/// `max(total_bytes, 64 · runs)` — the old 4 KiB floor let a 64-run merge
+/// claim 256 KiB of buffers against a 16 KiB budget.  Callers that want
+/// read-ahead gate on [`crate::sorter::MIN_PREFETCH_RUN_BUDGET`] instead
+/// of relying on a generous floor here.  The single clamp shared by the
+/// sorter and the group-by, so the two paths cannot drift.
 pub(crate) fn per_run_reader_budget(total_bytes: usize, runs: usize) -> usize {
-    (total_bytes / runs.max(1)).clamp(4096, 8 << 20)
+    (total_bytes / runs.max(1)).clamp(64, 8 << 20)
 }
 
 /// Whether `buffered_bytes` of variable-length payloads justify spilling a
@@ -477,11 +642,23 @@ pub(crate) fn var_payload_bytes<K, V: SpillValue>(chunk: &[(K, V)]) -> usize {
     chunk.iter().map(|(_, v)| v.spill_size()).sum()
 }
 
-/// Buffered sequential reader over one spilled run.
+/// Buffered sequential reader over one spilled run, decoding either
+/// encoding transparently (the merge and the prefetcher never see block
+/// boundaries).
 pub(crate) struct RunReader<V: SpillValue> {
     reader: BufReader<File>,
     remaining: usize,
     bytes_remaining: u64,
+    /// Decoded (flat-equivalent) bytes left, from `SpilledRun::raw_bytes`;
+    /// bounds the block decode buffers against corrupt headers.
+    raw_remaining: u64,
+    compression: SpillCompression,
+    /// Decoded keys of the current block (`DeltaLz` only).
+    block_keys: Vec<u64>,
+    /// Decoded payload of the current block (`DeltaLz` only).
+    block_payload: Vec<u8>,
+    block_next: usize,
+    block_payload_pos: usize,
     /// Side buffer values stream through; for var-format runs it grows to
     /// the largest value of the run and is reused across records.
     scratch: Vec<u8>,
@@ -508,10 +685,19 @@ impl<V: SpillValue> RunReader<V> {
                 ),
             ));
         }
+        // The caller's budget is honored as given (64-byte floor so the
+        // BufReader stays functional) — re-inflating small budgets here
+        // would undo the aggregate cap of `per_run_reader_budget`.
         Ok(Self {
-            reader: BufReader::with_capacity(buffer_bytes.max(4096), file),
+            reader: BufReader::with_capacity(buffer_bytes.max(64), file),
             remaining: run.len,
             bytes_remaining: run.bytes,
+            raw_remaining: run.raw_bytes,
+            compression: run.compression,
+            block_keys: Vec::new(),
+            block_payload: Vec::new(),
+            block_next: 0,
+            block_payload_pos: 0,
             scratch: Vec::new(),
             _value: PhantomData,
         })
@@ -522,6 +708,13 @@ impl<V: SpillValue> RunReader<V> {
         if self.remaining == 0 {
             return Ok(None);
         }
+        match self.compression {
+            SpillCompression::Off => self.next_record_flat(),
+            SpillCompression::DeltaLz => self.next_record_block(),
+        }
+    }
+
+    fn next_record_flat(&mut self) -> io::Result<Option<(u64, V)>> {
         if self.bytes_remaining < 8 {
             // The run claims more records than its bytes can hold; refuse
             // to read past the end rather than serve garbage.
@@ -536,6 +729,99 @@ impl<V: SpillValue> RunReader<V> {
         self.bytes_remaining = payload_budget - value.spill_size() as u64;
         self.remaining -= 1;
         Ok(Some((u64::from_le_bytes(key_bytes), value)))
+    }
+
+    fn next_record_block(&mut self) -> io::Result<Option<(u64, V)>> {
+        if self.block_next == self.block_keys.len() {
+            self.read_block()?;
+        }
+        let key = self.block_keys[self.block_next];
+        let mut cursor: &[u8] = &self.block_payload[self.block_payload_pos..];
+        let budget = cursor.len() as u64;
+        let value = V::spill_read(&mut cursor, &mut self.scratch, budget)?;
+        self.block_payload_pos = self.block_payload.len() - cursor.len();
+        self.block_next += 1;
+        self.remaining -= 1;
+        self.raw_remaining = self
+            .raw_remaining
+            .saturating_sub(8 + value.spill_size() as u64);
+        Ok(Some((key, value)))
+    }
+
+    /// Decodes the next compressed block into `block_keys` /
+    /// `block_payload`.  Every size in the header is validated against
+    /// the run's recorded byte counts before it drives an allocation, so
+    /// a corrupted header cannot read past the run or balloon memory.
+    fn read_block(&mut self) -> io::Result<()> {
+        if self.bytes_remaining < BLOCK_HEADER_BYTES as u64 {
+            return Err(short_run_err("spilled run ended mid-block-header"));
+        }
+        let mut header = [0u8; BLOCK_HEADER_BYTES];
+        self.reader.read_exact(&mut header)?;
+        self.bytes_remaining -= BLOCK_HEADER_BYTES as u64;
+        let count = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+        let key_stream_len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as u64;
+        let payload_raw_len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as u64;
+        let payload_enc_len = u32::from_le_bytes(header[12..16].try_into().unwrap()) as u64;
+        let enc = header[16];
+        if count == 0 || count > self.remaining {
+            return Err(bad_run_data(
+                "block record count disagrees with the run metadata",
+            ));
+        }
+        if key_stream_len + payload_enc_len > self.bytes_remaining {
+            return Err(short_run_err(
+                "block section sizes exceed the bytes remaining in the run",
+            ));
+        }
+        if payload_raw_len > self.raw_remaining {
+            return Err(bad_run_data(
+                "block raw payload size exceeds the run's recorded raw bytes",
+            ));
+        }
+        // Key stream: absolute first key, then non-negative deltas.
+        self.scratch.resize(key_stream_len as usize, 0);
+        self.reader.read_exact(&mut self.scratch)?;
+        self.bytes_remaining -= key_stream_len;
+        self.block_keys.clear();
+        self.block_keys.reserve(count);
+        let mut cursor: &[u8] = &self.scratch;
+        let mut prev = 0u64;
+        for i in 0..count {
+            let delta = codec::read_varint(&mut cursor)?;
+            let key = if i == 0 {
+                delta
+            } else {
+                prev.checked_add(delta)
+                    .ok_or_else(|| bad_run_data("block key delta overflows u64"))?
+            };
+            self.block_keys.push(key);
+            prev = key;
+        }
+        if !cursor.is_empty() {
+            return Err(bad_run_data("trailing bytes after the block key stream"));
+        }
+        // Payload: LZ-compressed or stored raw.
+        self.scratch.resize(payload_enc_len as usize, 0);
+        self.reader.read_exact(&mut self.scratch)?;
+        self.bytes_remaining -= payload_enc_len;
+        self.block_payload.clear();
+        match enc {
+            0 => {
+                if payload_enc_len != payload_raw_len {
+                    return Err(bad_run_data("stored-raw block sizes disagree"));
+                }
+                self.block_payload.extend_from_slice(&self.scratch);
+            }
+            1 => {
+                let (scratch, payload) = (&self.scratch, &mut self.block_payload);
+                codec::lz_decompress(scratch, payload, payload_raw_len as usize)?;
+            }
+            _ => return Err(bad_run_data("unknown block payload encoding")),
+        }
+        self.block_next = 0;
+        self.block_payload_pos = 0;
+        Ok(())
     }
 
     /// Reads all remaining records, reconstructing the key type.
@@ -562,14 +848,15 @@ mod tests {
         8 + size_of::<V>() as u64
     }
 
-    /// Writes `records` and returns run metadata matching the file.
+    /// Writes `records` in the flat encoding and returns run metadata
+    /// matching the file.
     fn spill<K: IntegerKey, V: SpillValue>(path: &Path, records: &[(K, V)]) -> SpilledRun {
-        let bytes = write_run(path, records).unwrap();
-        SpilledRun {
-            path: path.to_path_buf(),
-            len: records.len(),
-            bytes,
-        }
+        write_run(path, records, SpillCompression::Off).unwrap()
+    }
+
+    /// Writes `records` in the compressed block encoding.
+    fn spill_lz<K: IntegerKey, V: SpillValue>(path: &Path, records: &[(K, V)]) -> SpilledRun {
+        write_run(path, records, SpillCompression::DeltaLz).unwrap()
     }
 
     #[test]
@@ -743,6 +1030,8 @@ mod tests {
             path: path.clone(),
             len: records.len() + 1,
             bytes: good.bytes + fixed_record_size::<()>(),
+            raw_bytes: good.raw_bytes + fixed_record_size::<()>(),
+            compression: SpillCompression::Off,
         };
         let err = match RunReader::<()>::open(&run, 4096) {
             Err(e) => e,
@@ -771,6 +1060,8 @@ mod tests {
             path: path.clone(),
             len: records.len() + 1,
             bytes: good.bytes,
+            raw_bytes: good.raw_bytes,
+            compression: SpillCompression::Off,
         };
         let mut reader = RunReader::<Vec<u8>>::open(&run, 4096).unwrap();
         let err = reader
@@ -818,8 +1109,214 @@ mod tests {
     fn reader_budget_is_clamped_and_shared() {
         assert_eq!(per_run_reader_budget(8 << 20, 2), 4 << 20);
         assert_eq!(per_run_reader_budget(8 << 20, 0), 8 << 20);
-        assert_eq!(per_run_reader_budget(1 << 10, 4), 4096);
+        assert_eq!(per_run_reader_budget(1 << 10, 4), 256);
         assert_eq!(per_run_reader_budget(usize::MAX, 1), 8 << 20);
+    }
+
+    #[test]
+    fn reader_budget_aggregate_never_exceeds_the_pool() {
+        // Regression for the 4 KiB-floor overshoot: 64 runs against a
+        // 16 KiB budget used to claim 64 × 4096 = 256 KiB of buffers.
+        // The aggregate is now capped at max(total, 64 · runs).
+        for (total, runs) in [
+            (16 << 10, 64),
+            (1 << 10, 100),
+            (0, 7),
+            (8 << 20, 3),
+            (1 << 30, 1000),
+        ] {
+            let per_run = per_run_reader_budget(total, runs);
+            let aggregate = per_run * runs;
+            let worst = total.max(64 * runs);
+            assert!(
+                aggregate <= worst,
+                "total {total}, runs {runs}: aggregate {aggregate} > {worst}"
+            );
+        }
+        // The old failure case specifically.
+        assert_eq!(per_run_reader_budget(16 << 10, 64), 256);
+    }
+
+    #[test]
+    fn compressed_pod_run_roundtrips_and_shrinks() {
+        let path = tmp_path("lz-pod.bin");
+        // Sorted, dense keys: deltas are tiny, values repeat — both codec
+        // legs should bite.
+        let records: Vec<(u32, u32)> = (0..20_000u32).map(|i| (i / 4, i % 7)).collect();
+        let run = spill_lz(&path, &records);
+        assert_eq!(run.compression, SpillCompression::DeltaLz);
+        assert_eq!(run.raw_bytes, 12 * 20_000);
+        assert!(
+            run.bytes < run.raw_bytes / 2,
+            "dense pod runs must compress: {} vs {}",
+            run.bytes,
+            run.raw_bytes
+        );
+        let got: Vec<(u32, u32)> = RunReader::<u32>::open(&run, 4096)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert_eq!(got, records);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn compressed_varlen_run_roundtrips_across_blocks() {
+        let path = tmp_path("lz-var.bin");
+        // > BLOCK_MAX_RECORDS records and > BLOCK_RAW_TARGET payload bytes,
+        // so the run spans several blocks, with empty and multi-KiB values
+        // crossing block boundaries.
+        let mut records: Vec<(u64, String)> = (0..(BLOCK_MAX_RECORDS as u64 * 2 + 17))
+            .map(|i| {
+                let v = match i % 5 {
+                    0 => String::new(),
+                    1 => format!("short-{i}"),
+                    _ => format!(
+                        "GET /api/v1/items/{i} HTTP/1.1 {}",
+                        "x".repeat(i as usize % 64)
+                    ),
+                };
+                (i * 3, v)
+            })
+            .collect();
+        records.push((u64::MAX, "final".to_string()));
+        let run = spill_lz(&path, &records);
+        assert!(run.bytes < run.raw_bytes, "structured text must compress");
+        let got: Vec<(u64, String)> = RunReader::<String>::open(&run, 4096)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert_eq!(got, records);
+        // A tiny read buffer must not change the decoded stream.
+        let got_small: Vec<(u64, String)> = RunReader::<String>::open(&run, 1)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert_eq!(got_small, records);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn compressed_and_flat_runs_decode_identically() {
+        let path_a = tmp_path("lz-vs-flat-a.bin");
+        let path_b = tmp_path("lz-vs-flat-b.bin");
+        let records: Vec<(u64, Vec<u8>)> = (0..5000u64)
+            .map(|i| {
+                (
+                    i * 7,
+                    (0..(i as usize % 40))
+                        .map(|j| (i + j as u64) as u8)
+                        .collect(),
+                )
+            })
+            .collect();
+        let flat = spill(&path_a, &records);
+        let lz = spill_lz(&path_b, &records);
+        assert_eq!(flat.raw_bytes, lz.raw_bytes);
+        let a: Vec<(u64, Vec<u8>)> = RunReader::<Vec<u8>>::open(&flat, 4096)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        let b: Vec<(u64, Vec<u8>)> = RunReader::<Vec<u8>>::open(&lz, 4096)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert_eq!(a, b, "both encodings must decode to identical records");
+        std::fs::remove_file(path_a).ok();
+        std::fs::remove_file(path_b).ok();
+    }
+
+    #[test]
+    fn incompressible_block_falls_back_to_stored_raw() {
+        let path = tmp_path("lz-raw.bin");
+        // Pseudo-random payloads: LZ cannot win, so blocks store raw and
+        // the overhead stays at the per-block header + key stream.
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        let records: Vec<(u64, Vec<u8>)> = (0..500u64)
+            .map(|i| {
+                let v = (0..64)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x as u8
+                    })
+                    .collect();
+                (i, v)
+            })
+            .collect();
+        let run = spill_lz(&path, &records);
+        // Still decodes, and never inflates past raw + headers + keys.
+        let got: Vec<(u64, Vec<u8>)> = RunReader::<Vec<u8>>::open(&run, 4096)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert_eq!(got, records);
+        assert!(
+            run.bytes <= run.raw_bytes,
+            "store-raw caps the payload; {} vs {}",
+            run.bytes,
+            run.raw_bytes
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_compressed_run_is_an_io_error() {
+        let path = tmp_path("lz-truncated.bin");
+        let records: Vec<(u64, String)> = (0..300u64)
+            .map(|i| (i, format!("value-{i}-{}", "z".repeat(i as usize % 30))))
+            .collect();
+        let run = spill_lz(&path, &records);
+        for cut in [run.bytes - 1, run.bytes / 2, 3, 0] {
+            let f = File::options().write(true).open(&path).unwrap();
+            f.set_len(cut).unwrap();
+            drop(f);
+            let err = match RunReader::<String>::open(&run, 4096) {
+                Err(e) => e,
+                Ok(mut reader) => reader
+                    .read_all::<u64>()
+                    .expect_err("short compressed file must not read back"),
+            };
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupted_block_header_cannot_read_past_the_run() {
+        let records: Vec<(u64, Vec<u8>)> = (0..100u64).map(|i| (i, vec![3u8; 20])).collect();
+        // Corrupt each u32 header field in turn (offsets 0, 4, 8, 12) and
+        // the enc flag (16); every corruption must surface as an error,
+        // never garbage records or a huge allocation.
+        for offset in [0usize, 4, 8, 12, 16] {
+            let path = tmp_path(&format!("lz-badheader-{offset}.bin"));
+            let run = spill_lz(&path, &records);
+            let mut bytes = std::fs::read(&path).unwrap();
+            for b in &mut bytes[offset..offset + 1] {
+                *b ^= 0xFF;
+            }
+            if offset < 16 {
+                bytes[offset..offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            }
+            std::fs::write(&path, &bytes).unwrap();
+            let mut reader = RunReader::<Vec<u8>>::open(&run, 4096).unwrap();
+            assert!(
+                reader.read_all::<u64>().is_err(),
+                "corrupt header field at {offset} must fail"
+            );
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn compressed_spill_rejects_unsorted_records() {
+        let path = tmp_path("lz-unsorted.bin");
+        let records: Vec<(u64, u32)> = vec![(10, 1), (5, 2)];
+        let err = write_run(&path, &records, SpillCompression::DeltaLz)
+            .expect_err("delta encoding requires sorted keys");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -37,5 +37,8 @@ pub use dist::{
 };
 pub use graphs::{Csr, EdgeList};
 pub use points::{Point2, Point3};
-pub use strings::{generate_string_pairs, payload_for, StringBatchStream};
+pub use strings::{
+    generate_string_pairs, generate_weblog_records, payload_for, session_key, weblog_line,
+    StringBatchStream,
+};
 pub use zipf::ZipfSampler;

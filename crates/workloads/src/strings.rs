@@ -91,6 +91,52 @@ impl Iterator for StringBatchStream {
     }
 }
 
+/// HTTP methods of the synthetic web log, weighted toward GET.
+const METHODS: [&str; 8] = ["GET", "GET", "GET", "GET", "GET", "POST", "PUT", "DELETE"];
+const SECTIONS: [&str; 6] = ["browse", "search", "cart", "account", "api/v2", "static"];
+
+/// The *session key* of one web-log record: the distribution-drawn `key`
+/// identifies a visitor, and all of a visitor's hits share one key string.
+///
+/// The format is deliberately prefix-heavy —
+/// `"site-{key%20:02}.example.com/sess-{key:016x}"` — so that (a) many
+/// distinct sessions collide in their first 8 bytes, exercising the
+/// string-key tie-break of the streaming engines, and (b) spilled runs of
+/// such keys compress well, making this the reference workload for the
+/// delta-LZ spill encoding.
+pub fn session_key(key: u64) -> String {
+    format!("site-{:02}.example.com/sess-{key:016x}", key % 20)
+}
+
+/// The deterministic log-line payload of record `index`: method, path,
+/// status and byte count, all pure functions of `(seed, index)`.
+pub fn weblog_line(seed: u64, index: u64) -> String {
+    let rng = Rng::new(seed ^ 0x7765_626C_6F67_2121).fork(index);
+    let method = METHODS[rng.ith_in(0, METHODS.len() as u64) as usize];
+    let section = SECTIONS[rng.ith_in(1, SECTIONS.len() as u64) as usize];
+    let page = rng.ith_in(2, 10_000);
+    let status = if rng.ith_in(3, 50) == 0 { 404 } else { 200 };
+    let bytes = 128 + rng.ith_in(4, 64 << 10);
+    format!("{method} /{section}/p{page:04} {status} {bytes} r{index:08x}")
+}
+
+/// A synthetic web log for the sessionization scenario: `n` records of
+/// `(session key, log line)`, with visitors drawn from `dist` (Zipfian
+/// visitors model the usual traffic skew) over `bits`-wide ids.  Grouping
+/// by the string session key and aggregating the lines *is* the
+/// sessionization job the streaming group-by runs in the benchmarks.
+pub fn generate_weblog_records(
+    dist: &Distribution,
+    n: usize,
+    bits: u32,
+    seed: u64,
+) -> Vec<(String, String)> {
+    BatchStream::new(dist, n, bits, n.max(1), seed)
+        .flatten()
+        .map(|(k, index)| (session_key(k), weblog_line(seed, index)))
+        .collect()
+}
+
 /// One-shot variant of [`StringBatchStream`]: all `n` records at once.
 pub fn generate_string_pairs(
     dist: &Distribution,
@@ -160,6 +206,37 @@ mod tests {
             .map(|(k, _)| k)
             .collect();
         assert!(flat.iter().map(|(k, _)| *k).eq(keys));
+    }
+
+    #[test]
+    fn weblog_records_are_deterministic_and_session_keyed() {
+        let dist = Distribution::Zipfian { s: 1.2 };
+        let a = generate_weblog_records(&dist, 2000, 32, 11);
+        let b = generate_weblog_records(&dist, 2000, 32, 11);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2000);
+        // Session keys follow the pod-value key stream exactly.
+        let keys: Vec<u64> = BatchStream::new(&dist, 2000, 32, 2000, 11)
+            .flatten()
+            .map(|(k, _)| k)
+            .collect();
+        assert!(a
+            .iter()
+            .map(|(k, _)| k.clone())
+            .eq(keys.iter().map(|&k| session_key(k))));
+        // Zipfian visitors repeat: sessions must group multiple hits.
+        let distinct: std::collections::HashSet<&String> = a.iter().map(|(k, _)| k).collect();
+        assert!(distinct.len() < a.len(), "sessions must repeat");
+        // Every key shares the prefix-heavy shape; log lines are distinct
+        // (the r{index} tag) and well-formed.
+        assert!(a
+            .iter()
+            .all(|(k, _)| k.starts_with("site-") && k.contains("/sess-")));
+        let mut lines: Vec<&String> = a.iter().map(|(_, v)| v).collect();
+        lines.sort();
+        lines.dedup();
+        assert_eq!(lines.len(), 2000, "index tag makes lines distinct");
+        assert!(a.iter().all(|(_, v)| v.split(' ').count() == 5));
     }
 
     #[test]

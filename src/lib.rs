@@ -44,4 +44,7 @@ pub use dtsort::{
     StatsSnapshot, StreamConfig,
 };
 pub use semisort::{semisort_by_key, semisort_pairs, GroupBy, SemisortConfig};
-pub use stream::{SortedStream, StreamGroupBy, StreamSorter};
+pub use stream::{
+    SortedStream, SpillCompression, StreamGroupBy, StreamSorter, StringKey, StringStreamGroupBy,
+    StringStreamSorter,
+};

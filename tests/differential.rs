@@ -186,6 +186,147 @@ fn semisort_partition_agrees_with_sorted_reference() {
     }
 }
 
+/// The four spill configurations of the format matrix: both encodings
+/// (flat reference vs delta-compressed blocks) under both spill modes
+/// (synchronous reference vs pipelined writer thread).
+fn spill_format_matrix() -> [(stream::SpillCompression, bool); 4] {
+    use stream::SpillCompression::{DeltaLz, Off};
+    [(Off, true), (Off, false), (DeltaLz, true), (DeltaLz, false)]
+}
+
+fn spill_cfg(
+    budget: usize,
+    compression: stream::SpillCompression,
+    synchronous: bool,
+) -> dtsort::StreamConfig {
+    dtsort::StreamConfig {
+        spill_compression: compression,
+        synchronous_spill: synchronous,
+        ..dtsort::StreamConfig::with_memory_budget(budget)
+    }
+}
+
+#[test]
+fn compressed_spills_are_byte_identical_to_uncompressed_pod() {
+    // Pod records through every (encoding, spill-mode) combination must
+    // reproduce the std-sort reference exactly; the uncompressed
+    // synchronous run is the differential baseline the compressed block
+    // format is held to.
+    use stream::{SpillCompression, StreamSorter};
+    let picks = [
+        Distribution::Uniform {
+            distinct: 1_000_000_000,
+        },
+        Distribution::Uniform { distinct: 10 },
+        Distribution::Zipfian { s: 1.2 },
+    ];
+    for (di, dist) in picks.iter().enumerate() {
+        let seed = case_seed(2000 + di);
+        let input = generate_pairs_u32(dist, N, seed);
+        let mut want = input.clone();
+        want.sort_by_key(|r| r.0);
+        for (compression, synchronous) in spill_format_matrix() {
+            let ctx = format!(
+                "dist={} seed={seed} compression={compression:?} sync={synchronous}",
+                dist.label()
+            );
+            let mut sorter: StreamSorter<u32, u32> =
+                StreamSorter::with_config(spill_cfg(16 << 10, compression, synchronous));
+            for chunk in input.chunks(777) {
+                sorter.push(chunk).unwrap();
+            }
+            assert!(sorter.stats().spilled_runs > 1, "expected spills [{ctx}]");
+            if compression == SpillCompression::DeltaLz {
+                let stats = sorter.stats();
+                assert!(
+                    stats.spilled_bytes < stats.spilled_raw_bytes,
+                    "delta blocks must shrink sorted pod runs: {} !< {} [{ctx}]",
+                    stats.spilled_bytes,
+                    stats.spilled_raw_bytes,
+                );
+            }
+            let got: Vec<(u32, u32)> = sorter.finish().unwrap().collect();
+            assert_eq!(got, want, "spill format divergence [{ctx}]");
+        }
+    }
+}
+
+#[test]
+fn compressed_spills_are_byte_identical_to_uncompressed_varlen() {
+    // Variable-length values: payload bytes (not just keys) must survive
+    // the block framing and LZ round trip bit-for-bit, through both the
+    // streaming loser-tree merge and the materializing parallel merge.
+    use stream::{SpillCompression, StreamSorter};
+    use workloads::generate_string_pairs;
+    let dist = Distribution::Zipfian { s: 1.2 };
+    let seed = case_seed(3000);
+    let input = generate_string_pairs(&dist, N, 32, seed, 0, 96);
+    let mut want = input.clone();
+    want.sort_by_key(|r| r.0);
+    for (compression, synchronous) in spill_format_matrix() {
+        let ctx = format!("compression={compression:?} sync={synchronous} seed={seed}");
+        let mk = || {
+            let mut sorter: StreamSorter<u64, String> =
+                StreamSorter::with_config(spill_cfg(64 << 10, compression, synchronous));
+            for chunk in input.chunks(777) {
+                sorter.push(chunk).unwrap();
+            }
+            assert!(sorter.stats().spilled_runs > 1, "expected spills [{ctx}]");
+            sorter
+        };
+        let sorter = mk();
+        if compression == SpillCompression::DeltaLz {
+            let stats = sorter.stats();
+            assert!(
+                stats.spilled_bytes < stats.spilled_raw_bytes,
+                "ASCII payloads must compress: {} !< {} [{ctx}]",
+                stats.spilled_bytes,
+                stats.spilled_raw_bytes,
+            );
+        }
+        let via_iter: Vec<(u64, String)> = sorter.finish().unwrap().collect();
+        assert_eq!(via_iter, want, "varlen spill format divergence [{ctx}]");
+        let via_vec = mk().finish_vec().unwrap();
+        assert_eq!(via_vec, want, "varlen finish_vec divergence [{ctx}]");
+    }
+}
+
+#[test]
+fn string_keyed_sorter_agrees_with_comparison_sort_across_formats() {
+    // String keys ride the u64 merge domain as 8-byte prefixes with
+    // full-key tie-breaks; the output must be the exact stable
+    // lexicographic permutation under every spill format.  Keys share
+    // long prefixes so both the tie-break and the delta encoder are
+    // genuinely exercised.
+    use stream::StringStreamSorter;
+    let seed = case_seed(4000);
+    let key_dist = Distribution::Zipfian { s: 1.0 };
+    let raw = generate_pairs_u32(&key_dist, N, seed);
+    let input: Vec<(String, u32)> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, &(k, _))| {
+            (
+                format!("t{:02}/shard-{:06}/item", k % 7, k % 4096),
+                i as u32,
+            )
+        })
+        .collect();
+    let mut want = input.clone();
+    want.sort_by(|a, b| a.0.cmp(&b.0));
+    for (compression, synchronous) in spill_format_matrix() {
+        let ctx = format!("compression={compression:?} sync={synchronous} seed={seed}");
+        let mut sorter: StringStreamSorter<String, u32> =
+            StringStreamSorter::with_config(spill_cfg(64 << 10, compression, synchronous));
+        for chunk in input.chunks(777) {
+            sorter.push(chunk).unwrap();
+        }
+        assert!(sorter.stats().spilled_runs > 1, "expected spills [{ctx}]");
+        let got: Vec<(String, u32)> = sorter.finish().unwrap().collect();
+        assert_eq!(got, want, "string-key spill format divergence [{ctx}]");
+    }
+}
+
 #[test]
 fn streaming_sorter_agrees_with_in_memory_sort() {
     // The streaming path (spilled runs + k-way merge) against the same

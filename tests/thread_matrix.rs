@@ -235,6 +235,112 @@ fn varlen_stream_sort_and_group_by_are_thread_count_invariant() {
 }
 
 #[test]
+fn compressed_spills_are_thread_count_invariant() {
+    // The delta-compressed block format through both finish paths: block
+    // encoding/decoding must be a pure function of the run contents, so
+    // the bytes coming back off disk — and the merged output — cannot
+    // depend on the worker count that sorted the runs.
+    use stream::{SpillCompression, StreamSorter};
+    use workloads::generate_string_pairs;
+    let dist = Distribution::Zipfian { s: 1.2 };
+    let input = generate_string_pairs(&dist, N, 32, 0xC0DE, 0, 96);
+    let cfg = || dtsort::StreamConfig {
+        spill_compression: SpillCompression::DeltaLz,
+        ..dtsort::StreamConfig::with_memory_budget(64 << 10)
+    };
+    let mut want_iter: Option<Vec<(u64, String)>> = None;
+    let mut want_vec: Option<Vec<(u64, String)>> = None;
+    for &t in &THREADS {
+        let (via_iter, via_vec) = with_threads(t, || {
+            let mk = || {
+                let mut s: StreamSorter<u64, String> = StreamSorter::with_config(cfg());
+                for chunk in input.chunks(777) {
+                    s.push(chunk).unwrap();
+                }
+                let stats = s.stats();
+                assert!(stats.spilled_runs > 1, "expected spills");
+                assert!(
+                    stats.spilled_bytes < stats.spilled_raw_bytes,
+                    "compression must engage"
+                );
+                s
+            };
+            let via_iter: Vec<(u64, String)> = mk().finish().unwrap().collect();
+            let via_vec = mk().finish_vec().unwrap();
+            (via_iter, via_vec)
+        });
+        match (&want_iter, &want_vec) {
+            (None, _) => {
+                assert_eq!(via_iter, via_vec, "compressed finish paths disagree");
+                want_iter = Some(via_iter);
+                want_vec = Some(via_vec);
+            }
+            (Some(wi), Some(wv)) => {
+                assert_eq!(&via_iter, wi, "compressed iter differs at {t} threads");
+                assert_eq!(&via_vec, wv, "compressed vec differs at {t} threads");
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[test]
+fn string_keyed_streams_are_thread_count_invariant() {
+    // String keys add two schedule-sensitive-looking stages — the
+    // equal-prefix tie-break re-sort and the tag-merge over full keys —
+    // and both must stay pure functions of the input.  Run under both
+    // spill encodings so the compressed block path is covered too.
+    use stream::{CountAgg, SpillCompression, StringStreamGroupBy, StringStreamSorter};
+    let raw = generate_pairs_u32(&Distribution::Zipfian { s: 1.0 }, N, 0x5EED);
+    let input: Vec<(String, u32)> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, &(k, _))| {
+            (
+                format!("t{:02}/shard-{:06}/item", k % 7, k % 4096),
+                i as u32,
+            )
+        })
+        .collect();
+    for compression in [SpillCompression::Off, SpillCompression::DeltaLz] {
+        let cfg = || dtsort::StreamConfig {
+            spill_compression: compression,
+            ..dtsort::StreamConfig::with_memory_budget(64 << 10)
+        };
+        let mut want_sort: Option<Vec<(String, u32)>> = None;
+        let mut want_counts: Option<Vec<(String, u64)>> = None;
+        for &t in &THREADS {
+            let ctx = format!("compression={compression:?}");
+            let (sorted, counts) = with_threads(t, || {
+                let mut s: StringStreamSorter<String, u32> = StringStreamSorter::with_config(cfg());
+                for chunk in input.chunks(777) {
+                    s.push(chunk).unwrap();
+                }
+                assert!(s.stats().spilled_runs > 1, "expected spills [{ctx}]");
+                let sorted: Vec<(String, u32)> = s.finish().unwrap().collect();
+                let mut g: StringStreamGroupBy<String, CountAgg> =
+                    StringStreamGroupBy::with_config(CountAgg, cfg());
+                for (k, _) in &input {
+                    g.push_record(k.clone(), ()).unwrap();
+                }
+                (sorted, g.finish_vec().unwrap())
+            });
+            match (&want_sort, &want_counts) {
+                (None, _) => {
+                    want_sort = Some(sorted);
+                    want_counts = Some(counts);
+                }
+                (Some(ws), Some(wc)) => {
+                    assert_eq!(&sorted, ws, "string sort differs at {t} threads [{ctx}]");
+                    assert_eq!(&counts, wc, "string counts differ at {t} threads [{ctx}]");
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+#[test]
 fn kway_and_boundary_shapes_are_thread_count_invariant() {
     // Edge-suite shapes: many short runs, empty runs interleaved, all-equal
     // keys — merged under each thread count.
