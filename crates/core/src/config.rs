@@ -153,6 +153,46 @@ pub enum SpillCompression {
     DeltaLz,
 }
 
+/// A shared, mutable view of a granted memory budget.
+///
+/// Budgets were per-call constants until the multi-session server made
+/// them runtime resources: a memory governor admits a session with some
+/// grant and may later *shrink* it while the session's engine is live
+/// (reclaiming bytes for a new tenant).  The handle is the channel for
+/// that: the granter keeps one clone and calls [`BudgetHandle::set`]; the
+/// engine re-reads the grant on every push chunk via
+/// [`StreamConfig::effective_budget_bytes`] and spills early instead of
+/// erroring when the grant shrank under its buffered records.
+///
+/// Reads and writes are relaxed atomics — a shrink is advisory and takes
+/// effect at the engine's next capacity check, never mid-chunk.
+#[derive(Debug, Clone, Default)]
+pub struct BudgetHandle(std::sync::Arc<std::sync::atomic::AtomicUsize>);
+
+impl BudgetHandle {
+    /// A new handle granting `bytes`.
+    pub fn new(bytes: usize) -> Self {
+        Self(std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(
+            bytes,
+        )))
+    }
+
+    /// The current grant in bytes.
+    pub fn get(&self) -> usize {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Replaces the grant (both growth and reclaim).
+    pub fn set(&self, bytes: usize) {
+        self.0.store(bytes, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Whether two handles share the same grant cell.
+    pub fn same_handle(&self, other: &Self) -> bool {
+        std::sync::Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
 /// Configuration of a bounded-memory streaming sort (the `stream` crate).
 ///
 /// Lives beside [`SortConfig`] so every layer that tunes the in-memory sort
@@ -183,6 +223,14 @@ pub struct StreamConfig {
     /// `memory_budget_bytes / spill_shares` — with in-flight runs counted
     /// against the budget exactly like buffered ones.
     pub memory_budget_bytes: usize,
+    /// Optional live override of `memory_budget_bytes`: when set, every
+    /// budget-derived quantity ([`StreamConfig::run_capacity`], the
+    /// var-length payload threshold) reads the handle's *current* value
+    /// instead of the constant, so a granter (e.g. the server's memory
+    /// governor) can shrink or grow the budget while the engine runs.
+    /// Engines re-check capacity on every push chunk, so a shrink
+    /// triggers an early spill rather than an error.
+    pub budget: Option<BudgetHandle>,
     /// Upper bound on the number of heavy keys carried from one run's
     /// sampling into the next (each carried key costs one bucket in the
     /// next run's root distribution).
@@ -229,17 +277,20 @@ pub struct StreamConfig {
     /// blocks.  Both formats flow through the same writer thread and
     /// merge read-ahead; decoding is transparent to the merge.
     pub spill_compression: SpillCompression,
-    /// Turn on the `obs` tracing/metrics layer when the engine is built:
-    /// the streaming sorter and group-by call `obs::enable()` during
-    /// construction so their spans (`sort_run`, `spill_write`,
-    /// `prefetch`, `merge`) and registry metrics are recorded.
+    /// Turn on the `obs` tracing/metrics layer for this engine's
+    /// lifetime: the streaming sorter and group-by hold an
+    /// `obs::EnableGuard` from construction until the engine (and any
+    /// stream it returned) is dropped, so their spans (`sort_run`,
+    /// `spill_write`, `prefetch`, `merge`) and registry metrics are
+    /// recorded.
     ///
-    /// The switch is **global and sticky** — `obs`'s enable state is one
-    /// process-wide static, so tracing stays on after this engine is
-    /// dropped (turn it off with `obs::disable()`).  The `OBS_TRACE`
-    /// environment variable enables the same machinery without touching
-    /// configs; this knob exists for embedders that construct configs
-    /// programmatically.
+    /// The enable state is **scoped and refcounted**: recording stays on
+    /// while *any* traced engine is alive and reverts when the last one
+    /// drops, so one traced session no longer turns tracing on for every
+    /// other tenant of the process forever.  `obs::enable()` /
+    /// `obs::disable()` still force the state process-wide, and the
+    /// `OBS_TRACE` environment variable enables the same machinery
+    /// without touching configs.
     pub trace: bool,
     /// Configuration of the per-run in-memory DovetailSort.
     pub sort: SortConfig,
@@ -249,6 +300,7 @@ impl Default for StreamConfig {
     fn default() -> Self {
         Self {
             memory_budget_bytes: 256 << 20,
+            budget: None,
             max_carried_heavy_keys: 1024,
             spill_dir: None,
             merge_read_buffer_bytes: 8 << 20,
@@ -281,6 +333,27 @@ impl StreamConfig {
         }
     }
 
+    /// [`StreamConfig::with_memory_budget`] bound to a live
+    /// [`BudgetHandle`]: the handle's current value *is* the budget, so
+    /// the granter can resize it while the engine runs.
+    pub fn with_budget_handle(handle: BudgetHandle) -> Self {
+        Self {
+            memory_budget_bytes: handle.get(),
+            budget: Some(handle),
+            ..Self::default()
+        }
+    }
+
+    /// The budget in force right now: the live [`StreamConfig::budget`]
+    /// handle's current value when one is attached, the
+    /// [`StreamConfig::memory_budget_bytes`] constant otherwise.
+    pub fn effective_budget_bytes(&self) -> usize {
+        match &self.budget {
+            Some(handle) => handle.get(),
+            None => self.memory_budget_bytes,
+        }
+    }
+
     /// Number of equal budget shares the record memory is split into: one
     /// filling buffer + one sort scratch, plus one per possible in-flight
     /// run when spilling is pipelined.  In-flight runs buffer real bytes,
@@ -305,7 +378,7 @@ impl StreamConfig {
     /// admitted (e.g. 64 records × 5 shares × a 1 KiB record ≈ 320 KiB
     /// against a 1 KiB budget).
     pub fn run_capacity(&self, record_size: usize) -> usize {
-        (self.memory_budget_bytes / (self.spill_shares() * record_size.max(1))).max(1)
+        (self.effective_budget_bytes() / (self.spill_shares() * record_size.max(1))).max(1)
     }
 
     /// Whether the final merge should read ahead of the loser tree:
@@ -438,6 +511,34 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn budget_handle_overrides_the_constant_live() {
+        let handle = BudgetHandle::new(1 << 20);
+        let cfg = StreamConfig {
+            memory_budget_bytes: 64, // must be ignored while a handle is attached
+            budget: Some(handle.clone()),
+            synchronous_spill: true,
+            ..StreamConfig::default()
+        };
+        assert_eq!(cfg.effective_budget_bytes(), 1 << 20);
+        assert_eq!(cfg.run_capacity(8), (1 << 20) / 16);
+        // A shrink through the handle is visible to an existing config
+        // (and all its clones) without rebuilding anything.
+        let cloned = cfg.clone();
+        handle.set(32 << 10);
+        assert_eq!(cfg.run_capacity(8), (32 << 10) / 16);
+        assert_eq!(cloned.run_capacity(8), (32 << 10) / 16);
+        assert!(cfg.budget.as_ref().unwrap().same_handle(&handle));
+        // Without a handle, the constant is the budget.
+        assert_eq!(
+            StreamConfig::with_memory_budget(4096).effective_budget_bytes(),
+            4096
+        );
+        let bound = StreamConfig::with_budget_handle(BudgetHandle::new(8192));
+        assert_eq!(bound.effective_budget_bytes(), 8192);
+        assert_eq!(bound.memory_budget_bytes, 8192);
     }
 
     #[test]

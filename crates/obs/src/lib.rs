@@ -30,13 +30,16 @@
 //!
 //! ## Enabling
 //!
-//! Everything is **off by default**.  The master switch is one static,
-//! resolved in priority order:
+//! Everything is **off by default**.  The master switch is one cached
+//! static, resolved in priority order:
 //!
-//! 1. [`enable`] / [`disable`] — programmatic, wins over the environment.
-//!    `dtsort::StreamConfig::trace` calls [`enable`] at engine
-//!    construction.
-//! 2. `OBS_TRACE` environment variable — any value except `0` or the
+//! 1. [`scoped_enable`] — refcounted RAII scopes; recording is on while
+//!    any [`EnableGuard`] is alive.  `dtsort::StreamConfig::trace` holds
+//!    one per traced engine, so tracing reverts when the engine drops
+//!    instead of staying on for every later tenant of the process.
+//! 2. [`enable`] / [`disable`] — the programmatic baseline, winning over
+//!    the environment (whichever was called last).
+//! 3. `OBS_TRACE` environment variable — any value except `0` or the
 //!    empty string enables at first use.
 //!
 //! When disabled, [`Counter::add`] and friends return without touching
@@ -73,17 +76,29 @@ pub use registry::{
 pub use span::{drain_spans, now_ns, SpanEvent, SpanGuard};
 pub use trace::{chrome_trace_json, timeline_json, write_chrome_trace};
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 const STATE_UNINIT: u8 = 0;
 const STATE_ON: u8 = 1;
 const STATE_OFF: u8 = 2;
 
-/// The master switch.  `UNINIT` until the first [`enabled`] call resolves
-/// the `OBS_TRACE` environment variable (or [`enable`]/[`disable`] forces
-/// a state); after that, every check is a single relaxed load.
+/// The master switch: a *cache* of the resolved enable state, kept so the
+/// disabled fast path stays one relaxed load.  `UNINIT` until the first
+/// [`enabled`] call resolves it; every state mutation ([`enable`],
+/// [`disable`], [`scoped_enable`] guard create/drop) recomputes it from
+/// the inputs below.
 static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+
+/// Explicit process-wide override set by [`enable`] / [`disable`]
+/// (`UNINIT` = neither has been called; the environment decides the
+/// baseline).
+static FORCED: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+
+/// Live [`EnableGuard`]s.  While any guard is alive, recording is on
+/// (unless nothing else — not even [`disable`] — turns it off; a scope
+/// that asked for tracing always records).
+static SCOPED: AtomicUsize = AtomicUsize::new(0);
 
 /// Whether metrics recording and span capture are on.
 ///
@@ -95,29 +110,78 @@ pub fn enabled() -> bool {
     match STATE.load(Ordering::Relaxed) {
         STATE_ON => true,
         STATE_OFF => false,
-        _ => resolve_from_env(),
+        _ => recompute(),
     }
 }
 
-/// Cold path of [`enabled`]: resolve the initial state from `OBS_TRACE`.
+/// The `OBS_TRACE` environment baseline, read once per process.
+fn env_enabled() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| std::env::var("OBS_TRACE").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
+/// Re-resolves the enable state into the [`STATE`] cache and returns it.
+/// Resolution order: a live scoped guard enables; otherwise [`enable`] /
+/// [`disable`] (whichever was called last) decides; otherwise the
+/// `OBS_TRACE` environment variable.
+///
+/// Concurrent mutations race benignly: each mutator recomputes *after*
+/// updating its input, so the cache converges to the final state — a
+/// momentarily stale read can only mis-gate an individual sample, never
+/// wedge the switch.
 #[cold]
-fn resolve_from_env() -> bool {
-    let on = std::env::var("OBS_TRACE").is_ok_and(|v| !v.is_empty() && v != "0");
-    let want = if on { STATE_ON } else { STATE_OFF };
-    // Racing first calls agree on the value; a concurrent enable()/
-    // disable() wins over the environment default.
-    let _ = STATE.compare_exchange(STATE_UNINIT, want, Ordering::Relaxed, Ordering::Relaxed);
-    STATE.load(Ordering::Relaxed) == STATE_ON
+fn recompute() -> bool {
+    let on = SCOPED.load(Ordering::Relaxed) > 0
+        || match FORCED.load(Ordering::Relaxed) {
+            STATE_ON => true,
+            STATE_OFF => false,
+            _ => env_enabled(),
+        };
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+    on
 }
 
-/// Turns metrics recording and span capture on, process-wide.
+/// Turns metrics recording and span capture on, process-wide, until
+/// [`disable`] is called.
 pub fn enable() {
-    STATE.store(STATE_ON, Ordering::Relaxed);
+    FORCED.store(STATE_ON, Ordering::Relaxed);
+    recompute();
 }
 
-/// Turns metrics recording and span capture off, process-wide.
+/// Turns the process-wide baseline off (overriding `OBS_TRACE` and any
+/// earlier [`enable`]).  Scopes that asked for tracing still record:
+/// recording stays on while any [`EnableGuard`] is alive.
 pub fn disable() {
-    STATE.store(STATE_OFF, Ordering::Relaxed);
+    FORCED.store(STATE_OFF, Ordering::Relaxed);
+    recompute();
+}
+
+/// Turns recording on for the lifetime of the returned guard (refcounted:
+/// recording stays on while *any* guard is alive and reverts to the
+/// [`enable`]/[`disable`]/`OBS_TRACE` baseline when the last one drops).
+///
+/// This is how `dtsort::StreamConfig::trace` scopes tracing to one
+/// engine's lifetime instead of flipping a sticky process-global: the
+/// engine holds the guard, and a traced session followed by an untraced
+/// one leaves the untraced one silent.
+#[must_use = "recording reverts when the guard drops"]
+pub fn scoped_enable() -> EnableGuard {
+    SCOPED.fetch_add(1, Ordering::Relaxed);
+    recompute();
+    EnableGuard { _private: () }
+}
+
+/// RAII handle from [`scoped_enable`]: keeps recording on while alive.
+#[derive(Debug)]
+pub struct EnableGuard {
+    _private: (),
+}
+
+impl Drop for EnableGuard {
+    fn drop(&mut self) {
+        SCOPED.fetch_sub(1, Ordering::Relaxed);
+        recompute();
+    }
 }
 
 /// The process-wide registry every instrumented subsystem records into.
@@ -182,6 +246,46 @@ mod tests {
         enable();
         assert!(enabled());
         disable();
+        assert!(!enabled());
+        if was {
+            enable();
+        }
+    }
+
+    #[test]
+    fn scoped_enable_is_refcounted_and_reversible() {
+        let _g = test_lock::lock();
+        let was = enabled();
+        // Baseline off: guards must turn recording on and fully revert.
+        disable();
+        assert!(!enabled());
+        let a = scoped_enable();
+        assert!(enabled(), "one live guard enables");
+        let b = scoped_enable();
+        drop(a);
+        assert!(enabled(), "recording stays on while any guard lives");
+        drop(b);
+        assert!(!enabled(), "last guard drop reverts to the baseline");
+        // A forced enable survives guard churn.
+        enable();
+        let c = scoped_enable();
+        drop(c);
+        assert!(enabled(), "guard drop must not undo an explicit enable()");
+        if !was {
+            disable();
+        }
+    }
+
+    #[test]
+    fn scoped_guard_wins_over_disabled_baseline() {
+        let _g = test_lock::lock();
+        let was = enabled();
+        disable();
+        let guard = scoped_enable();
+        // A scope that asked for tracing records even though the baseline
+        // is forced off: the scope's request is the more specific intent.
+        assert!(enabled());
+        drop(guard);
         assert!(!enabled());
         if was {
             enable();

@@ -1,0 +1,389 @@
+//! The global memory governor: one byte ceiling arbitrated across every
+//! live session.
+//!
+//! Each admitted session receives a [`BudgetLease`] wrapping a live
+//! [`dtsort::BudgetHandle`].  The streaming engines re-read that handle on
+//! every push chunk, so the governor can *reclaim* memory from a running
+//! session — shrink its grant — and the session reacts by spilling its
+//! buffered run early instead of erroring.  Grants are **proportional
+//! with a floor**: every session is guaranteed
+//! [`GovernorConfig::session_floor_bytes`], and the remaining pool is
+//! split in proportion to what each session asked for beyond the floor.
+//!
+//! Admission is controlled: a session whose floor cannot fit under
+//! [`GovernorConfig::global_budget_bytes`] either queues (blocking until
+//! a lease is released) or is rejected immediately, per
+//! [`AdmissionPolicy`].  The wait is recorded in the
+//! `governor.admission_wait_ns` histogram.
+
+use crate::metrics::m;
+use dtsort::BudgetHandle;
+use std::collections::HashMap;
+use std::io;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What [`MemoryGovernor::admit`] does when the global budget cannot fit
+/// another session floor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Block until enough leases are released (the default: bursty clients
+    /// queue instead of failing).
+    Queue,
+    /// Fail fast with [`io::ErrorKind::WouldBlock`].
+    Reject,
+}
+
+/// Tuning knobs of the [`MemoryGovernor`].
+#[derive(Debug, Clone)]
+pub struct GovernorConfig {
+    /// Byte ceiling across *all* live sessions' grants.
+    pub global_budget_bytes: usize,
+    /// Minimum grant per admitted session.  Admission guarantees
+    /// `live_sessions * floor <= global`, so every session always keeps at
+    /// least a floor-sized run buffer no matter how crowded the server is.
+    pub session_floor_bytes: usize,
+    /// Queue or reject when the floor does not fit.
+    pub admission: AdmissionPolicy,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        Self {
+            global_budget_bytes: 256 << 20,
+            session_floor_bytes: 1 << 20,
+            admission: AdmissionPolicy::Queue,
+        }
+    }
+}
+
+/// Per-tenant fairness counters ([`MemoryGovernor::fairness`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Sessions this tenant has been admitted.
+    pub sessions_admitted: u64,
+    /// Sessions rejected (only under [`AdmissionPolicy::Reject`]).
+    pub sessions_rejected: u64,
+    /// Cumulative bytes granted at admission time.
+    pub bytes_granted: u64,
+    /// Times a live grant of this tenant was shrunk to make room.
+    pub reclaims: u64,
+}
+
+struct Grant {
+    handle: BudgetHandle,
+    requested: usize,
+    tenant: String,
+}
+
+#[derive(Default)]
+struct GovState {
+    grants: HashMap<u64, Grant>,
+    next_id: u64,
+    fairness: HashMap<String, TenantCounters>,
+    total_granted: usize,
+    reclaims: u64,
+}
+
+/// The arbiter: admission control + proportional grants + live reclaim.
+/// Cheap to share (`Arc`); every [`BudgetLease`] keeps it alive.
+pub struct MemoryGovernor {
+    cfg: GovernorConfig,
+    state: Mutex<GovState>,
+    released: Condvar,
+}
+
+impl MemoryGovernor {
+    pub fn new(cfg: GovernorConfig) -> Arc<Self> {
+        Arc::new(Self {
+            cfg,
+            state: Mutex::new(GovState::default()),
+            released: Condvar::new(),
+        })
+    }
+
+    /// The guaranteed per-session floor (clamped into the global budget).
+    fn floor(&self) -> usize {
+        self.cfg
+            .session_floor_bytes
+            .min(self.cfg.global_budget_bytes)
+            .max(1)
+    }
+
+    /// Admits a session asking for `requested_bytes`, blocking or failing
+    /// per [`AdmissionPolicy`] while the global budget is full.  The
+    /// returned lease's [`BudgetHandle`] is live: later admissions may
+    /// shrink it (never below the floor), and dropping the lease returns
+    /// the grant to the pool.
+    pub fn admit(
+        self: &Arc<Self>,
+        tenant: &str,
+        requested_bytes: usize,
+    ) -> io::Result<BudgetLease> {
+        let floor = self.floor();
+        let requested = requested_bytes.clamp(floor, self.cfg.global_budget_bytes);
+        let wait_start = obs::enabled().then(std::time::Instant::now);
+        let mut state = self.state.lock().unwrap();
+        // Admission invariant: every live session can be paid its floor.
+        while (state.grants.len() + 1) * floor > self.cfg.global_budget_bytes {
+            match self.cfg.admission {
+                AdmissionPolicy::Reject => {
+                    state
+                        .fairness
+                        .entry(tenant.to_string())
+                        .or_default()
+                        .sessions_rejected += 1;
+                    if obs::enabled() {
+                        m().rejections.incr();
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        format!(
+                            "admission rejected: {} live sessions exhaust the \
+                             {}-byte global budget",
+                            state.grants.len(),
+                            self.cfg.global_budget_bytes
+                        ),
+                    ));
+                }
+                AdmissionPolicy::Queue => state = self.released.wait(state).unwrap(),
+            }
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        let handle = BudgetHandle::new(0);
+        state.grants.insert(
+            id,
+            Grant {
+                handle: handle.clone(),
+                requested,
+                tenant: tenant.to_string(),
+            },
+        );
+        self.rebalance_locked(&mut state);
+        let granted = handle.get();
+        let tc = state.fairness.entry(tenant.to_string()).or_default();
+        tc.sessions_admitted += 1;
+        tc.bytes_granted += granted as u64;
+        if obs::enabled() {
+            if let Some(start) = wait_start {
+                m().admission_wait_ns.record_duration(start.elapsed());
+            }
+            m().admissions.incr();
+        }
+        drop(state);
+        Ok(BudgetLease {
+            governor: Arc::clone(self),
+            id,
+            handle,
+        })
+    }
+
+    /// Recomputes every live grant: floor for everyone, then the remaining
+    /// pool proportional to each session's request beyond the floor
+    /// (capped at the request — the governor never grants more than was
+    /// asked for).  A grant that comes out smaller than its current value
+    /// is a **reclaim**: the handle shrinks in place and the session
+    /// spills early on its next push.
+    fn rebalance_locked(&self, state: &mut GovState) {
+        let floor = self.floor();
+        let n = state.grants.len();
+        if n == 0 {
+            state.total_granted = 0;
+            if obs::enabled() {
+                m().bytes_granted.set(0);
+                m().sessions_active.set(0);
+            }
+            return;
+        }
+        let pool = self.cfg.global_budget_bytes - n * floor;
+        let total_excess: u128 = state
+            .grants
+            .values()
+            .map(|g| (g.requested - floor) as u128)
+            .sum();
+        let mut total = 0usize;
+        let mut reclaimed = 0u64;
+        let mut reclaimed_tenants: Vec<String> = Vec::new();
+        for grant in state.grants.values() {
+            let excess = (grant.requested - floor) as u128;
+            let extra = (pool as u128 * excess)
+                .checked_div(total_excess)
+                .unwrap_or(0) as usize;
+            let target = floor + extra.min(grant.requested - floor);
+            let old = grant.handle.get();
+            if old > target {
+                reclaimed += 1;
+                reclaimed_tenants.push(grant.tenant.clone());
+            }
+            grant.handle.set(target);
+            total += target;
+        }
+        debug_assert!(total <= self.cfg.global_budget_bytes);
+        state.total_granted = total;
+        state.reclaims += reclaimed;
+        for tenant in reclaimed_tenants {
+            state.fairness.entry(tenant).or_default().reclaims += 1;
+        }
+        if obs::enabled() {
+            let metrics = m();
+            metrics.bytes_granted.set(total as i64);
+            metrics.sessions_active.set(n as i64);
+            metrics.reclaims.add(reclaimed);
+        }
+    }
+
+    fn release(&self, id: u64) {
+        let mut state = self.state.lock().unwrap();
+        state.grants.remove(&id);
+        self.rebalance_locked(&mut state);
+        drop(state);
+        self.released.notify_all();
+    }
+
+    /// Total bytes currently granted across live sessions.
+    pub fn bytes_granted(&self) -> usize {
+        self.state.lock().unwrap().total_granted
+    }
+
+    /// Live sessions holding a lease.
+    pub fn live_sessions(&self) -> usize {
+        self.state.lock().unwrap().grants.len()
+    }
+
+    /// Times any live grant was shrunk to make room for a newcomer.
+    pub fn reclaims(&self) -> u64 {
+        self.state.lock().unwrap().reclaims
+    }
+
+    /// Per-tenant fairness counters, sorted by tenant name.
+    pub fn fairness(&self) -> Vec<(String, TenantCounters)> {
+        let state = self.state.lock().unwrap();
+        let mut rows: Vec<(String, TenantCounters)> = state
+            .fairness
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+}
+
+/// RAII grant from [`MemoryGovernor::admit`]: holds the session's byte
+/// budget until dropped, at which point the bytes return to the pool and
+/// queued admissions are woken.
+pub struct BudgetLease {
+    governor: Arc<MemoryGovernor>,
+    id: u64,
+    handle: BudgetHandle,
+}
+
+impl std::fmt::Debug for BudgetLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BudgetLease")
+            .field("id", &self.id)
+            .field("granted_bytes", &self.handle.get())
+            .finish()
+    }
+}
+
+impl BudgetLease {
+    /// The live budget handle to thread into
+    /// [`dtsort::StreamConfig::with_budget_handle`].
+    pub fn handle(&self) -> BudgetHandle {
+        self.handle.clone()
+    }
+
+    /// The grant as of now (a later admission may shrink it).
+    pub fn granted_bytes(&self) -> usize {
+        self.handle.get()
+    }
+}
+
+impl Drop for BudgetLease {
+    fn drop(&mut self) {
+        self.governor.release(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gov(global: usize, floor: usize, admission: AdmissionPolicy) -> Arc<MemoryGovernor> {
+        MemoryGovernor::new(GovernorConfig {
+            global_budget_bytes: global,
+            session_floor_bytes: floor,
+            admission,
+        })
+    }
+
+    #[test]
+    fn single_session_gets_its_request_up_to_the_ceiling() {
+        let g = gov(1 << 20, 1 << 10, AdmissionPolicy::Reject);
+        let lease = g.admit("a", 256 << 10).unwrap();
+        assert_eq!(lease.granted_bytes(), 256 << 10);
+        let big = g.admit("a", 64 << 20).unwrap();
+        assert!(big.granted_bytes() <= (1 << 20) - lease.granted_bytes().min(1 << 20));
+        drop(big);
+        drop(lease);
+        assert_eq!(g.bytes_granted(), 0);
+        assert_eq!(g.live_sessions(), 0);
+    }
+
+    #[test]
+    fn grants_are_proportional_with_a_floor_and_shrink_live_handles() {
+        let g = gov(1 << 20, 64 << 10, AdmissionPolicy::Reject);
+        // One greedy session takes (almost) everything...
+        let a = g.admit("alice", 1 << 20).unwrap();
+        assert_eq!(a.granted_bytes(), 1 << 20);
+        // ...until a second one arrives: the live handle shrinks in place.
+        let b = g.admit("bob", 1 << 20).unwrap();
+        assert!(a.granted_bytes() < 1 << 20, "reclaim must shrink a's grant");
+        assert!(a.granted_bytes() >= 64 << 10, "floor holds");
+        assert!(b.granted_bytes() >= 64 << 10);
+        assert!(a.granted_bytes() + b.granted_bytes() <= 1 << 20);
+        assert_eq!(g.reclaims(), 1);
+        // A small request stays between floor and request; the total
+        // never exceeds the ceiling.
+        let c = g.admit("carol", 80 << 10).unwrap();
+        assert!(c.granted_bytes() >= 64 << 10 && c.granted_bytes() <= 80 << 10);
+        assert!(a.granted_bytes() + b.granted_bytes() + c.granted_bytes() <= 1 << 20);
+        let fair = g.fairness();
+        assert_eq!(fair.len(), 3);
+        assert!(fair.iter().all(|(_, t)| t.sessions_admitted == 1));
+        drop(b);
+        drop(c);
+        // Releases rebalance upward again.
+        assert_eq!(a.granted_bytes(), 1 << 20);
+        drop(a);
+    }
+
+    #[test]
+    fn reject_policy_fails_fast_when_floors_do_not_fit() {
+        let g = gov(256 << 10, 128 << 10, AdmissionPolicy::Reject);
+        let _a = g.admit("a", 128 << 10).unwrap();
+        let _b = g.admit("b", 128 << 10).unwrap();
+        let err = g.admit("c", 1).expect_err("third floor cannot fit");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        let fair = g.fairness();
+        let c = &fair.iter().find(|(t, _)| t == "c").unwrap().1;
+        assert_eq!(c.sessions_rejected, 1);
+        assert_eq!(c.sessions_admitted, 0);
+    }
+
+    #[test]
+    fn queue_policy_blocks_until_a_lease_releases() {
+        let g = gov(256 << 10, 128 << 10, AdmissionPolicy::Queue);
+        let a = g.admit("a", 128 << 10).unwrap();
+        let _b = g.admit("b", 128 << 10).unwrap();
+        let g2 = Arc::clone(&g);
+        let waiter =
+            std::thread::spawn(move || g2.admit("c", 128 << 10).map(|l| l.granted_bytes()));
+        // Give the waiter time to park on the condvar, then free a slot.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!waiter.is_finished(), "admission must be queued");
+        drop(a);
+        let granted = waiter.join().unwrap().unwrap();
+        assert!(granted >= 128 << 10);
+    }
+}

@@ -1,0 +1,54 @@
+//! Registry handles for the server's metrics (same pattern as
+//! `stream::metrics`: one lazily registered bundle into [`obs::global`],
+//! every call site gated on [`obs::enabled`]).
+//!
+//! Metric names are the stable external contract:
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `server.sessions_active` | gauge | live sessions holding a budget lease |
+//! | `server.sessions_opened` | counter | sessions opened over the server's life |
+//! | `server.session_ns` | histogram | open-to-finished session latency |
+//! | `governor.bytes_granted` | gauge | bytes currently granted across live sessions |
+//! | `governor.admissions` | counter | sessions admitted |
+//! | `governor.rejections` | counter | admissions rejected (Reject policy) |
+//! | `governor.reclaims` | counter | live grants shrunk to make room |
+//! | `governor.admission_wait_ns` | histogram | admit-call latency incl. queue wait |
+//! | `spillmgr.bytes_charged` | counter | durable spill bytes charged to the quota |
+//! | `spillmgr.quota_rejections` | counter | charges rejected by the quota |
+
+use std::sync::OnceLock;
+
+pub(crate) struct ServerMetrics {
+    pub sessions_active: obs::Gauge,
+    pub sessions_opened: obs::Counter,
+    pub session_ns: obs::Histogram,
+    pub bytes_granted: obs::Gauge,
+    pub admissions: obs::Counter,
+    pub rejections: obs::Counter,
+    pub reclaims: obs::Counter,
+    pub admission_wait_ns: obs::Histogram,
+    pub spill_bytes_charged: obs::Counter,
+    pub quota_rejections: obs::Counter,
+}
+
+/// The handle bundle, registered in [`obs::global`] on first use.  Call
+/// only from behind an `obs::enabled()` check.
+pub(crate) fn m() -> &'static ServerMetrics {
+    static METRICS: OnceLock<ServerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = obs::global();
+        ServerMetrics {
+            sessions_active: reg.gauge("server.sessions_active"),
+            sessions_opened: reg.counter("server.sessions_opened"),
+            session_ns: reg.histogram("server.session_ns"),
+            bytes_granted: reg.gauge("governor.bytes_granted"),
+            admissions: reg.counter("governor.admissions"),
+            rejections: reg.counter("governor.rejections"),
+            reclaims: reg.counter("governor.reclaims"),
+            admission_wait_ns: reg.histogram("governor.admission_wait_ns"),
+            spill_bytes_charged: reg.counter("spillmgr.bytes_charged"),
+            quota_rejections: reg.counter("spillmgr.quota_rejections"),
+        }
+    })
+}

@@ -1,0 +1,491 @@
+//! The session front end: one engine per session, resources leased from
+//! the shared governor and spill manager.
+
+use crate::governor::{BudgetLease, GovernorConfig, MemoryGovernor};
+use crate::metrics::m;
+use crate::spillmgr::{SpillDirLease, SpillDirManager, SpillManagerConfig};
+use dtsort::{IntegerKey, StreamConfig};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use stream::{
+    Aggregator, GroupByStats, GroupedStream, SortedStream, SpillValue, StreamGroupBy, StreamSorter,
+    StreamStats, StringKey, StringSortedStream, StringStreamSorter,
+};
+
+/// Tuning knobs of the [`SortServer`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// The global memory governor's ceiling, floor and admission policy.
+    pub governor: GovernorConfig,
+    /// The shared spill root and disk quota.
+    pub spill: SpillManagerConfig,
+    /// Template for every session's [`StreamConfig`] (compression, spill
+    /// mode, sort tuning, ...).  The budget and spill directory fields are
+    /// overridden per session by the leases.
+    pub base: StreamConfig,
+}
+
+/// A multi-session sort service over the streaming engines.
+///
+/// Each opened session owns one engine ([`StreamSorter`],
+/// [`StreamGroupBy`] or [`StringStreamSorter`]) wired to two leases: a
+/// [`BudgetLease`] from the global [`MemoryGovernor`] (a *live* grant —
+/// admitting more sessions shrinks it, and the engine reacts by spilling
+/// early) and a private spill subdirectory from the shared
+/// [`SpillDirManager`] (so sessions can never trample each other's runs).
+/// All sessions share the process-wide work-stealing pool.
+///
+/// ```no_run
+/// use server::{ServerConfig, SortServer};
+///
+/// let server = SortServer::new(ServerConfig::default()).unwrap();
+/// let mut session = server.open_sort::<u64, u64>("tenant-a", 64 << 20).unwrap();
+/// session.push(&[(3, 0), (1, 1)]).unwrap();
+/// let sorted: Vec<(u64, u64)> = session.finish().unwrap().collect();
+/// assert_eq!(sorted, vec![(1, 1), (3, 0)]);
+/// ```
+pub struct SortServer {
+    governor: Arc<MemoryGovernor>,
+    spill: Arc<SpillDirManager>,
+    base: StreamConfig,
+    session_seq: AtomicU64,
+}
+
+impl SortServer {
+    pub fn new(cfg: ServerConfig) -> io::Result<Self> {
+        Ok(Self {
+            governor: MemoryGovernor::new(cfg.governor),
+            spill: SpillDirManager::new(cfg.spill)?,
+            base: cfg.base,
+            session_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The shared memory governor (grants, reclaim and fairness counters).
+    pub fn governor(&self) -> &Arc<MemoryGovernor> {
+        &self.governor
+    }
+
+    /// The shared spill-directory manager (root, quota, charge meter).
+    pub fn spill_manager(&self) -> &Arc<SpillDirManager> {
+        &self.spill
+    }
+
+    /// Admits a session and leases its resources; blocks or fails per the
+    /// governor's admission policy.
+    fn open_core(&self, tenant: &str, requested_bytes: usize) -> io::Result<SessionCore> {
+        let lease = self.governor.admit(tenant, requested_bytes)?;
+        let dir = self
+            .spill
+            .lease(self.session_seq.fetch_add(1, Ordering::Relaxed))?;
+        if obs::enabled() {
+            m().sessions_opened.incr();
+        }
+        Ok(SessionCore {
+            lease,
+            dir,
+            charged: 0,
+            opened: Instant::now(),
+        })
+    }
+
+    /// The session's engine config: the base template with the leased
+    /// budget handle and private spill directory wired in.
+    fn session_config(&self, core: &SessionCore) -> StreamConfig {
+        let mut cfg = self.base.clone();
+        cfg.memory_budget_bytes = core.lease.handle().get();
+        cfg.budget = Some(core.lease.handle());
+        cfg.spill_dir = Some(core.dir.path().to_path_buf());
+        cfg
+    }
+
+    /// Opens a sorting session over integer keys (values may be pod or
+    /// variable-length, per [`SpillValue`]).
+    pub fn open_sort<K: IntegerKey, V: SpillValue>(
+        &self,
+        tenant: &str,
+        requested_bytes: usize,
+    ) -> io::Result<SortSession<K, V>> {
+        let core = self.open_core(tenant, requested_bytes)?;
+        let sorter = StreamSorter::with_config(self.session_config(&core));
+        Ok(SortSession { sorter, core })
+    }
+
+    /// Opens a streaming group-by session.
+    pub fn open_group<K: IntegerKey, G: Aggregator>(
+        &self,
+        tenant: &str,
+        agg: G,
+        requested_bytes: usize,
+    ) -> io::Result<GroupSession<K, G>> {
+        let core = self.open_core(tenant, requested_bytes)?;
+        let gb = StreamGroupBy::with_config(agg, self.session_config(&core));
+        Ok(GroupSession { gb, core })
+    }
+
+    /// Opens a sorting session over string keys (`String` / `Vec<u8>`).
+    pub fn open_string_sort<K: StringKey, V: SpillValue>(
+        &self,
+        tenant: &str,
+        requested_bytes: usize,
+    ) -> io::Result<StringSortSession<K, V>> {
+        let core = self.open_core(tenant, requested_bytes)?;
+        let sorter = StringStreamSorter::with_config(self.session_config(&core));
+        Ok(StringSortSession { sorter, core })
+    }
+}
+
+/// The leases + accounting every session kind shares.  Dropping it ends
+/// the session: the budget returns to the governor's pool (waking queued
+/// admissions), the spill subdirectory is removed, and the session's
+/// open-to-end latency is recorded.
+struct SessionCore {
+    lease: BudgetLease,
+    dir: SpillDirLease,
+    /// Durable spill bytes already charged against the disk quota.
+    charged: u64,
+    opened: Instant,
+}
+
+impl SessionCore {
+    /// Charges the growth of the engine's durable spill bytes against the
+    /// shared disk quota.
+    fn charge_spill(&mut self, spilled_bytes: u64) -> io::Result<()> {
+        if spilled_bytes > self.charged {
+            self.dir.charge(spilled_bytes - self.charged)?;
+            self.charged = spilled_bytes;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for SessionCore {
+    fn drop(&mut self) {
+        if obs::enabled() {
+            m().session_ns.record_duration(self.opened.elapsed());
+        }
+    }
+}
+
+/// A sorting session: a [`StreamSorter`] bound to its leases.
+pub struct SortSession<K: IntegerKey, V: SpillValue> {
+    sorter: StreamSorter<K, V>,
+    core: SessionCore,
+}
+
+impl<K: IntegerKey, V: SpillValue> SortSession<K, V> {
+    /// Appends a batch; spilled bytes are charged to the disk quota.
+    pub fn push(&mut self, records: &[(K, V)]) -> io::Result<()> {
+        self.sorter.push(records)?;
+        self.core.charge_spill(self.sorter.stats().spilled_bytes)
+    }
+
+    /// Appends one record.
+    pub fn push_record(&mut self, key: K, value: V) -> io::Result<()> {
+        self.sorter.push_record(key, value)?;
+        self.core.charge_spill(self.sorter.stats().spilled_bytes)
+    }
+
+    /// Applies a shrunk grant right now (see
+    /// [`StreamSorter::shrink_to_budget`]); `push` re-checks per chunk
+    /// anyway.
+    pub fn shrink_to_budget(&mut self) -> io::Result<()> {
+        self.sorter.shrink_to_budget()
+    }
+
+    /// The session's current grant in bytes (live: may shrink).
+    pub fn granted_bytes(&self) -> usize {
+        self.core.lease.granted_bytes()
+    }
+
+    /// Engine counters (see [`StreamStats`]).
+    pub fn stats(&self) -> &StreamStats {
+        self.sorter.stats()
+    }
+
+    /// Finishes the sort; the leases ride inside the returned stream and
+    /// are released when it drops.
+    pub fn finish(mut self) -> io::Result<SessionStream<K, V>> {
+        self.sorter.flush_spills()?;
+        self.core.charge_spill(self.sorter.stats().spilled_bytes)?;
+        Ok(SessionStream {
+            inner: self.sorter.finish()?,
+            _core: self.core,
+        })
+    }
+
+    /// [`SortSession::finish`], materialized via the parallel merge.
+    pub fn finish_vec(mut self) -> io::Result<Vec<(K, V)>> {
+        self.sorter.flush_spills()?;
+        self.core.charge_spill(self.sorter.stats().spilled_bytes)?;
+        self.sorter.finish_vec()
+    }
+}
+
+/// Sorted output of a [`SortSession`]; holds the session's leases until
+/// dropped.
+pub struct SessionStream<K: IntegerKey, V: SpillValue> {
+    inner: SortedStream<K, V>,
+    _core: SessionCore,
+}
+
+impl<K: IntegerKey, V: SpillValue> Iterator for SessionStream<K, V> {
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<K: IntegerKey, V: SpillValue> ExactSizeIterator for SessionStream<K, V> {}
+
+/// A group-by session: a [`StreamGroupBy`] bound to its leases.
+pub struct GroupSession<K: IntegerKey, G: Aggregator> {
+    gb: StreamGroupBy<K, G>,
+    core: SessionCore,
+}
+
+impl<K: IntegerKey, G: Aggregator> GroupSession<K, G> {
+    pub fn push(&mut self, records: &[(K, G::Input)]) -> io::Result<()> {
+        self.gb.push(records)?;
+        self.core.charge_spill(self.gb.stats().spilled_bytes)
+    }
+
+    pub fn push_record(&mut self, key: K, value: G::Input) -> io::Result<()> {
+        self.gb.push_record(key, value)?;
+        self.core.charge_spill(self.gb.stats().spilled_bytes)
+    }
+
+    /// See [`StreamGroupBy::shrink_to_budget`].
+    pub fn shrink_to_budget(&mut self) -> io::Result<()> {
+        self.gb.shrink_to_budget()
+    }
+
+    /// The session's current grant in bytes (live: may shrink).
+    pub fn granted_bytes(&self) -> usize {
+        self.core.lease.granted_bytes()
+    }
+
+    /// Engine counters (see [`GroupByStats`]).
+    pub fn stats(&self) -> &GroupByStats {
+        self.gb.stats()
+    }
+
+    /// Finishes the group-by; leases ride inside the returned stream.
+    pub fn finish(mut self) -> io::Result<GroupSessionStream<K, G>> {
+        self.gb.flush_spills()?;
+        self.core.charge_spill(self.gb.stats().spilled_bytes)?;
+        Ok(GroupSessionStream {
+            inner: self.gb.finish()?,
+            _core: self.core,
+        })
+    }
+
+    pub fn finish_vec(self) -> io::Result<Vec<(K, G::Acc)>> {
+        Ok(self.finish()?.collect())
+    }
+}
+
+/// Grouped output of a [`GroupSession`]; holds the session's leases until
+/// dropped.
+pub struct GroupSessionStream<K: IntegerKey, G: Aggregator> {
+    inner: GroupedStream<K, G>,
+    _core: SessionCore,
+}
+
+impl<K: IntegerKey, G: Aggregator> Iterator for GroupSessionStream<K, G> {
+    type Item = (K, G::Acc);
+
+    fn next(&mut self) -> Option<(K, G::Acc)> {
+        self.inner.next()
+    }
+}
+
+/// A string-keyed sorting session: a [`StringStreamSorter`] bound to its
+/// leases.
+pub struct StringSortSession<K: StringKey, V: SpillValue> {
+    sorter: StringStreamSorter<K, V>,
+    core: SessionCore,
+}
+
+impl<K: StringKey, V: SpillValue> StringSortSession<K, V> {
+    pub fn push(&mut self, records: &[(K, V)]) -> io::Result<()> {
+        self.sorter.push(records)?;
+        self.core.charge_spill(self.sorter.stats().spilled_bytes)
+    }
+
+    pub fn push_record(&mut self, key: K, value: V) -> io::Result<()> {
+        self.sorter.push_record(key, value)?;
+        self.core.charge_spill(self.sorter.stats().spilled_bytes)
+    }
+
+    /// See [`StringStreamSorter::shrink_to_budget`].
+    pub fn shrink_to_budget(&mut self) -> io::Result<()> {
+        self.sorter.shrink_to_budget()
+    }
+
+    /// The session's current grant in bytes (live: may shrink).
+    pub fn granted_bytes(&self) -> usize {
+        self.core.lease.granted_bytes()
+    }
+
+    pub fn stats(&self) -> &StreamStats {
+        self.sorter.stats()
+    }
+
+    /// Finishes the sort; leases ride inside the returned stream.
+    pub fn finish(mut self) -> io::Result<StringSessionStream<K, V>> {
+        self.sorter.flush_spills()?;
+        self.core.charge_spill(self.sorter.stats().spilled_bytes)?;
+        Ok(StringSessionStream {
+            inner: self.sorter.finish()?,
+            _core: self.core,
+        })
+    }
+
+    pub fn finish_vec(self) -> io::Result<Vec<(K, V)>> {
+        Ok(self.finish()?.collect())
+    }
+}
+
+/// Sorted output of a [`StringSortSession`]; holds the session's leases
+/// until dropped.
+pub struct StringSessionStream<K: StringKey, V: SpillValue> {
+    inner: StringSortedStream<K, V>,
+    _core: SessionCore,
+}
+
+impl<K: StringKey, V: SpillValue> Iterator for StringSessionStream<K, V> {
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::AdmissionPolicy;
+    use stream::SumAgg;
+
+    fn tiny_server(global: usize, floor: usize) -> SortServer {
+        SortServer::new(ServerConfig {
+            governor: GovernorConfig {
+                global_budget_bytes: global,
+                session_floor_bytes: floor,
+                admission: AdmissionPolicy::Reject,
+            },
+            spill: SpillManagerConfig::default(),
+            base: StreamConfig {
+                sort: dtsort::SortConfig {
+                    base_case_threshold: 64,
+                    ..Default::default()
+                },
+                ..StreamConfig::default()
+            },
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn interleaved_sessions_sort_spill_and_release() {
+        let server = tiny_server(64 << 10, 8 << 10);
+        let mut a = server.open_sort::<u32, u32>("alice", 64 << 10).unwrap();
+        // Admitting bob reclaims part of alice's grant; alice reacts by
+        // spilling early, not by failing.
+        let mut b = server.open_sort::<u32, u32>("bob", 64 << 10).unwrap();
+        assert!(a.granted_bytes() < 64 << 10);
+        assert_eq!(server.governor().reclaims(), 1);
+        let input_a: Vec<(u32, u32)> = (0..20_000u32).map(|i| (i.rotate_left(9), i)).collect();
+        let input_b: Vec<(u32, u32)> = (0..20_000u32).map(|i| (i.rotate_left(21), i)).collect();
+        for (ca, cb) in input_a.chunks(997).zip(input_b.chunks(997)) {
+            a.push(ca).unwrap();
+            b.push(cb).unwrap();
+        }
+        assert!(a.stats().spilled_runs > 0 && b.stats().spilled_runs > 0);
+        assert!(
+            server.spill_manager().charged_bytes() > 0,
+            "durable spill bytes must be charged to the quota"
+        );
+        let sort = |mut v: Vec<(u32, u32)>| {
+            v.sort_by_key(|r| r.0);
+            v
+        };
+        let got_a: Vec<(u32, u32)> = a.finish().unwrap().collect();
+        assert_eq!(got_a, sort(input_a));
+        let got_b = b.finish_vec().unwrap();
+        assert_eq!(got_b, sort(input_b));
+        assert_eq!(server.governor().live_sessions(), 0);
+        assert_eq!(server.governor().bytes_granted(), 0);
+        assert_eq!(server.spill_manager().charged_bytes(), 0);
+    }
+
+    #[test]
+    fn group_and_string_sessions_share_the_same_plumbing() {
+        let server = tiny_server(128 << 10, 8 << 10);
+        let mut gb = server
+            .open_group::<u32, SumAgg>("g", SumAgg, 32 << 10)
+            .unwrap();
+        for i in 0..30_000u64 {
+            gb.push_record((i % 64) as u32, i).unwrap();
+        }
+        assert!(gb.stats().spilled_runs > 0);
+        let sums = gb.finish_vec().unwrap();
+        assert_eq!(sums.len(), 64);
+
+        let mut s = server
+            .open_string_sort::<String, u32>("s", 32 << 10)
+            .unwrap();
+        for i in 0..5_000u32 {
+            s.push_record(format!("key-{:05}", i % 500), i).unwrap();
+        }
+        let got = s.finish_vec().unwrap();
+        assert_eq!(got.len(), 5_000);
+        assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(server.governor().live_sessions(), 0);
+    }
+
+    #[test]
+    fn spill_quota_surfaces_as_a_push_error() {
+        let server = SortServer::new(ServerConfig {
+            governor: GovernorConfig {
+                global_budget_bytes: 16 << 10,
+                session_floor_bytes: 8 << 10,
+                admission: AdmissionPolicy::Reject,
+            },
+            spill: SpillManagerConfig {
+                root: None,
+                quota_bytes: 4 << 10,
+            },
+            base: StreamConfig::default(),
+        })
+        .unwrap();
+        let mut s = server.open_sort::<u32, u32>("hog", 16 << 10).unwrap();
+        let batch: Vec<(u32, u32)> = (0..200_000u32).map(|i| (i.rotate_left(7), i)).collect();
+        let mut failed = false;
+        for chunk in batch.chunks(4096) {
+            if let Err(e) = s.push(chunk) {
+                assert!(e.to_string().contains("quota"), "got: {e}");
+                failed = true;
+                break;
+            }
+        }
+        // The pipelined writer reports durable bytes with a lag, so the
+        // error may surface on a later push or at finish; force the issue.
+        if !failed {
+            let err = s.finish().err().expect("quota must be enforced");
+            assert!(err.to_string().contains("quota"), "got: {err}");
+        }
+    }
+}

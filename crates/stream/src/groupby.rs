@@ -272,6 +272,9 @@ pub struct StreamGroupBy<K: IntegerKey, G: Aggregator> {
     cfg: StreamConfig,
     agg: G,
     run_capacity: usize,
+    /// Peak transient footprint per buffered record (see `with_config`);
+    /// kept so a live-budget change can recompute `run_capacity`.
+    record_footprint: usize,
     buffer: Vec<(K, G::Input)>,
     /// Spilled payload bytes of the buffered inputs (tracked only for
     /// variable-length inputs; always 0 on the pod path).
@@ -296,6 +299,9 @@ pub struct StreamGroupBy<K: IntegerKey, G: Aggregator> {
     pipeline: Option<SpillPipeline<u64, G::Acc>>,
     space: Option<SpillSpace>,
     stats: GroupByStats,
+    /// Scoped obs enable for [`StreamConfig::trace`]; transferred to the
+    /// finished stream so recording covers the merge drain too.
+    trace_guard: Option<obs::EnableGuard>,
 }
 
 impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
@@ -305,9 +311,9 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
     }
 
     pub fn with_config(agg: G, cfg: StreamConfig) -> Self {
-        if cfg.trace {
-            obs::enable();
-        }
+        // Scoped, not sticky: tracing reverts when this engine (and any
+        // stream it returns) is dropped.
+        let trace_guard = cfg.trace.then(obs::scoped_enable);
         // Peak transient footprint per buffered record: the pushed record
         // itself, plus the `(key, index)` tag pair the semisort moves (and
         // the scratch copy of it the semisort engine allocates), plus the
@@ -331,11 +337,13 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         // would admit `floor × record_footprint` resident bytes under a
         // degenerate budget, silently overshooting it (the same fix as
         // `StreamConfig::run_capacity`).
-        let run_capacity = (cfg.memory_budget_bytes / record_footprint.max(1)).max(1);
+        let record_footprint = record_footprint.max(1);
+        let run_capacity = (cfg.effective_budget_bytes() / record_footprint).max(1);
         Self {
             cfg,
             agg,
             run_capacity,
+            record_footprint,
             buffer: Vec::new(),
             buffered_value_bytes: 0,
             pending_partials: VecDeque::new(),
@@ -347,7 +355,32 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             pipeline: None,
             space: None,
             stats: GroupByStats::default(),
+            trace_guard,
         }
+    }
+
+    /// Re-reads the budget (which a live [`dtsort::BudgetHandle`] may have
+    /// resized since the last check) into the run capacity.  Called on
+    /// every push chunk, so a shrunk grant takes effect mid-stream as an
+    /// early spill instead of an over-budget buffer.
+    fn refresh_run_capacity(&mut self) {
+        if self.cfg.budget.is_some() {
+            self.run_capacity = (self.cfg.effective_budget_bytes() / self.record_footprint).max(1);
+        }
+    }
+
+    /// Applies the current budget grant immediately: re-reads the
+    /// (possibly shrunk) [`dtsort::BudgetHandle`] and aggregates + spills
+    /// the buffered run early if it no longer fits the grant.  `push`
+    /// re-checks per chunk anyway; this hook exists for granters (e.g. a
+    /// memory governor) reclaiming from a session that is idle between
+    /// pushes.
+    pub fn shrink_to_budget(&mut self) -> io::Result<()> {
+        self.refresh_run_capacity();
+        if self.should_spill() {
+            self.spill_partial_run()?;
+        }
+        Ok(())
     }
 
     /// Counters (spills, collapse ratio, ...).
@@ -390,7 +423,7 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             && (self.buffer.len() >= self.run_capacity
                 || var_payload_should_spill::<G::Input>(
                     self.buffered_value_bytes,
-                    self.cfg.memory_budget_bytes,
+                    self.cfg.effective_budget_bytes(),
                     self.cfg.spill_shares(),
                 ))
     }
@@ -403,13 +436,17 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
     pub fn push(&mut self, records: &[(K, G::Input)]) -> io::Result<()> {
         let mut rest = records;
         loop {
+            self.refresh_run_capacity();
             if self.should_spill() {
                 self.spill_partial_run()?;
             }
             if rest.is_empty() {
                 return Ok(());
             }
-            let space = self.run_capacity - self.buffer.len();
+            // A shrunk grant can put the buffer over the new capacity; the
+            // saturating space is then 0 and the spill above drains it on
+            // the next iteration.
+            let space = self.run_capacity.saturating_sub(self.buffer.len());
             let take = space.min(rest.len());
             let (chunk, tail) = rest.split_at(take);
             self.buffer.extend_from_slice(chunk);
@@ -437,6 +474,7 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         if obs::enabled() {
             crate::metrics::m().gb_records_pushed.incr();
         }
+        self.refresh_run_capacity();
         if self.should_spill() {
             self.spill_partial_run()?;
         }
@@ -716,6 +754,9 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             read_ahead_disabled,
             _space: self.space.take(),
             _merge_span: obs::enabled().then(|| obs::span!("merge")),
+            // The scoped enable moves to the stream so the merge drain
+            // records too; it reverts when the stream drops.
+            _trace: self.trace_guard.take(),
             _key: PhantomData,
         })
     }
@@ -740,6 +781,9 @@ pub struct GroupedStream<K: IntegerKey, G: Aggregator> {
     /// Open `merge` span covering the stream's lifetime (None when
     /// tracing is disabled); recorded when the stream is dropped.
     _merge_span: Option<obs::SpanGuard>,
+    /// Keeps [`StreamConfig::trace`]'s scoped enable alive through the
+    /// merge drain.
+    _trace: Option<obs::EnableGuard>,
     _key: PhantomData<K>,
 }
 

@@ -145,6 +145,9 @@ pub struct StreamSorter<K: IntegerKey, V: SpillValue = ()> {
     pipeline: Option<SpillPipeline<K, V>>,
     space: Option<SpillSpace>,
     stats: StreamStats,
+    /// Scoped obs enable for [`StreamConfig::trace`]; transferred to the
+    /// finished stream so recording covers the merge drain too.
+    trace_guard: Option<obs::EnableGuard>,
 }
 
 impl<K: IntegerKey, V: SpillValue> Default for StreamSorter<K, V> {
@@ -160,9 +163,9 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
     }
 
     pub fn with_config(cfg: StreamConfig) -> Self {
-        if cfg.trace {
-            obs::enable();
-        }
+        // Scoped, not sticky: tracing reverts when this engine (and any
+        // stream it returns) is dropped.
+        let trace_guard = cfg.trace.then(obs::scoped_enable);
         let run_capacity = cfg.run_capacity(std::mem::size_of::<(K, V)>());
         Self {
             cfg,
@@ -180,7 +183,31 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
             pipeline: None,
             space: None,
             stats: StreamStats::default(),
+            trace_guard,
         }
+    }
+
+    /// Re-reads the budget (which a live [`dtsort::BudgetHandle`] may have
+    /// resized since the last check) into the run capacity.  Called on
+    /// every push chunk, so a shrunk grant takes effect mid-stream as an
+    /// early spill instead of an over-budget buffer.
+    fn refresh_run_capacity(&mut self) {
+        if self.cfg.budget.is_some() {
+            self.run_capacity = self.cfg.run_capacity(std::mem::size_of::<(K, V)>());
+        }
+    }
+
+    /// Applies the current budget grant immediately: re-reads the
+    /// (possibly shrunk) [`dtsort::BudgetHandle`] and spills the buffered
+    /// run early if it no longer fits the grant.  `push` re-checks per
+    /// chunk anyway; this hook exists for granters (e.g. a memory
+    /// governor) reclaiming from a session that is idle between pushes.
+    pub fn shrink_to_budget(&mut self) -> io::Result<()> {
+        self.refresh_run_capacity();
+        if self.should_spill() {
+            self.spill_run()?;
+        }
+        Ok(())
     }
 
     /// Total records accepted so far (buffered, in flight to the writer,
@@ -237,7 +264,7 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
             && (self.buffer.len() >= self.run_capacity
                 || var_payload_should_spill::<V>(
                     self.buffered_value_bytes,
-                    self.cfg.memory_budget_bytes,
+                    self.cfg.effective_budget_bytes(),
                     self.cfg.spill_shares(),
                 ))
     }
@@ -250,13 +277,17 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
     pub fn push(&mut self, records: &[(K, V)]) -> io::Result<()> {
         let mut rest = records;
         loop {
+            self.refresh_run_capacity();
             if self.should_spill() {
                 self.spill_run()?;
             }
             if rest.is_empty() {
                 return Ok(());
             }
-            let space = self.run_capacity - self.buffer.len();
+            // A shrunk grant can put the buffer over the new capacity; the
+            // saturating space is then 0 and the spill above drains it on
+            // the next iteration.
+            let space = self.run_capacity.saturating_sub(self.buffer.len());
             let take = space.min(rest.len());
             let (chunk, tail) = rest.split_at(take);
             self.buffer.extend_from_slice(chunk);
@@ -286,6 +317,7 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
         if obs::enabled() {
             crate::metrics::m().records_pushed.incr();
         }
+        self.refresh_run_capacity();
         if self.should_spill() {
             self.spill_run()?;
         }
@@ -528,6 +560,9 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
             // stream is dropped, so prefetch spans can be shown (and
             // asserted) to overlap it.
             _merge_span: obs::enabled().then(|| obs::span!("merge")),
+            // The scoped enable moves to the stream so the merge drain
+            // records too; it reverts when the stream drops.
+            _trace: self.trace_guard.take(),
             _space: self.space.take(),
             _key: PhantomData,
         })
@@ -844,6 +879,10 @@ pub struct SortedStream<K: IntegerKey, V: SpillValue> {
     read_ahead_disabled: bool,
     /// Open `merge` trace span; recorded when the stream is dropped.
     _merge_span: Option<obs::SpanGuard>,
+    /// Keeps [`StreamConfig::trace`]'s scoped enable alive through the
+    /// merge drain (the span above is recorded on drop, while tracing is
+    /// still on: [`obs::SpanGuard`] captures its enable state at start).
+    _trace: Option<obs::EnableGuard>,
     _space: Option<SpillSpace>,
     _key: PhantomData<K>,
 }
@@ -1189,6 +1228,103 @@ mod tests {
         let mut want = batch;
         want.sort_by_key(|r| r.0);
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn budget_shrink_is_respected_by_every_later_push() {
+        // Regression (governor reclaim): `run_capacity` was read once at
+        // construction, so shrinking a live grant changed nothing.  Now a
+        // [`dtsort::BudgetHandle`] shrink must take effect on the next
+        // chunk: buffered + in-flight bytes never exceed the current
+        // grant once the pre-shrink backlog drains.
+        let handle = dtsort::BudgetHandle::new(64 << 10);
+        let cfg = StreamConfig {
+            merge_read_ahead: Some(true),
+            sort: dtsort::SortConfig {
+                base_case_threshold: 64,
+                ..Default::default()
+            },
+            ..StreamConfig::with_budget_handle(handle.clone())
+        };
+        let record_size = std::mem::size_of::<(u64, u64)>();
+        let mut sorter: StreamSorter<u64, u64> = StreamSorter::with_config(cfg);
+        let initial_capacity = sorter.run_capacity;
+        let rng = Rng::new(31);
+        let mut pushed: Vec<(u64, u64)> = Vec::new();
+        for step in 0..40usize {
+            if step == 15 {
+                // The governor reclaims 7/8 of the grant from a live
+                // session: the hook spills early rather than erroring,
+                // and the old in-flight backlog is drained right here.
+                handle.set(8 << 10);
+                sorter.shrink_to_budget().unwrap();
+                sorter.flush_spills().unwrap();
+                assert!(
+                    sorter.run_capacity < initial_capacity,
+                    "capacity must track the shrunk grant"
+                );
+            }
+            let batch: Vec<(u64, u64)> = (0..512u64)
+                .map(|i| {
+                    let tag = (step as u64) * 512 + i;
+                    (rng.ith(tag), tag)
+                })
+                .collect();
+            pushed.extend_from_slice(&batch);
+            sorter.push(&batch).unwrap();
+            if step >= 15 {
+                let held_bytes = (sorter.buffer.len() + sorter.in_flight_records) * record_size;
+                assert!(
+                    held_bytes <= handle.get(),
+                    "step {step}: {held_bytes} held bytes exceed the \
+                     {} byte grant",
+                    handle.get()
+                );
+            }
+        }
+        let got = sorter.finish_vec().unwrap();
+        let mut want = pushed;
+        want.sort_by_key(|r| r.0);
+        assert_eq!(got, want, "shrink must not perturb the sorted output");
+    }
+
+    #[test]
+    fn concurrent_sorters_in_one_process_use_distinct_spill_dirs() {
+        // Regression (spill-dir collision): the spill directory name was
+        // derived from the pid alone, so two live sorters in one process
+        // shared a directory and `remove_dir_all` on one stream's drop
+        // deleted the other's runs mid-merge.
+        let mk = |seed: u64| {
+            let s: StreamSorter<u32, u32> = StreamSorter::with_config(tiny_cfg(16 << 10));
+            let rng = Rng::new(seed);
+            let input: Vec<(u32, u32)> = (0..20_000usize)
+                .map(|i| (rng.ith(i as u64) as u32, i as u32))
+                .collect();
+            // Interleave pushes so both spill spaces are live at once.
+            (s, input)
+        };
+        let (mut a, input_a) = mk(41);
+        let (mut b, input_b) = mk(42);
+        for (ca, cb) in input_a.chunks(997).zip(input_b.chunks(997)) {
+            a.push(ca).unwrap();
+            b.push(cb).unwrap();
+        }
+        assert!(a.stats().spilled_runs > 0 && b.stats().spilled_runs > 0);
+        let dir_a = a.space.as_ref().unwrap().dir.clone();
+        let dir_b = b.space.as_ref().unwrap().dir.clone();
+        assert_ne!(dir_a, dir_b, "two live sorters must not share a dir");
+        // Dropping one sorter's finished stream (deleting its directory)
+        // must leave the other's runs readable.
+        let got_a: Vec<(u32, u32)> = a.finish().unwrap().collect();
+        assert!(!dir_a.exists(), "finished stream cleans its own dir");
+        assert!(dir_b.exists(), "the sibling's dir must survive");
+        let got_b: Vec<(u32, u32)> = b.finish().unwrap().collect();
+        let sort = |mut v: Vec<(u32, u32)>| {
+            v.sort_by_key(|r| r.0);
+            v
+        };
+        assert_eq!(got_a, sort(input_a));
+        assert_eq!(got_b, sort(input_b));
     }
 
     // -----------------------------------------------------------------

@@ -313,6 +313,11 @@ impl<K: StringKey, V: SpillValue> StringStreamSorter<K, V> {
         self.inner.flush_spills()
     }
 
+    /// See [`crate::StreamSorter::shrink_to_budget`].
+    pub fn shrink_to_budget(&mut self) -> io::Result<()> {
+        self.inner.shrink_to_budget()
+    }
+
     /// Finishes the sort, streaming `(key, value)` pairs in lexicographic
     /// key order (stable in push order for equal keys).
     pub fn finish(self) -> io::Result<StringSortedStream<K, V>> {
@@ -429,6 +434,11 @@ impl<K: StringKey, G: Aggregator> StringStreamGroupBy<K, G> {
     /// See [`crate::StreamGroupBy::flush_spills`].
     pub fn flush_spills(&mut self) -> io::Result<()> {
         self.inner.flush_spills()
+    }
+
+    /// See [`crate::StreamGroupBy::shrink_to_budget`].
+    pub fn shrink_to_budget(&mut self) -> io::Result<()> {
+        self.inner.shrink_to_budget()
     }
 
     /// Finishes the group-by: `(key, aggregate)` pairs in lexicographic

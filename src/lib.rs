@@ -20,6 +20,10 @@
 //!   ([`StreamSorter`]): pushed batches become spilled sorted runs that are
 //!   k-way merged, with heavy keys carried across runs — and streaming
 //!   group-by ([`StreamGroupBy`]), which aggregates runs before spilling.
+//! * [`server`] — the multi-session sort service: sessions over the
+//!   streaming engines, arbitrated by a global memory governor (admission
+//!   control, proportional grants, live reclaim) and a shared
+//!   quota-governed spill-directory manager.
 //!
 //! ```
 //! // The most common entry point: stably sort key-value records.
@@ -34,6 +38,7 @@ pub use dtsort;
 pub use obs;
 pub use parlay;
 pub use semisort;
+pub use server;
 pub use stream;
 pub use workloads;
 

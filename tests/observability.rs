@@ -153,6 +153,47 @@ fn disabled_tracing_records_nothing() {
 }
 
 #[test]
+fn traced_session_does_not_leak_tracing_into_the_next() {
+    let _guard = obs_lock();
+    // Regression (sticky trace flag): `StreamConfig::trace` used to flip a
+    // process-global that stayed on forever, so one traced session turned
+    // tracing on for every later tenant.  It is now a scoped, refcounted
+    // enable owned by the engine: once a traced session is fully dropped,
+    // an untraced session must record nothing.
+    obs::disable();
+    let run = |trace: bool| {
+        let mut sorter: StreamSorter<u32, u32> = StreamSorter::with_config(spilling_cfg(trace));
+        let data = input(60_000);
+        for chunk in data.chunks(997) {
+            sorter.push(chunk).unwrap();
+        }
+        let got: Vec<(u32, u32)> = sorter.finish().unwrap().collect();
+        assert_eq!(got.len(), data.len());
+    };
+    run(true);
+    assert!(!obs::enabled(), "tracing must revert when the session ends");
+    let (traced_events, _) = obs::drain_spans();
+    assert!(
+        traced_events.iter().any(|e| e.name == "sort_run"),
+        "the traced session must have recorded"
+    );
+    // Let the traced session's detached read-ahead threads close their
+    // last `prefetch` guards before measuring the silent window.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let _ = obs::drain_spans();
+    let touches_before = obs::global().touches();
+    run(false);
+    assert_eq!(
+        obs::global().touches(),
+        touches_before,
+        "an untraced session after a traced one must not record metrics"
+    );
+    let (events, _) = obs::drain_spans();
+    let stray: Vec<_> = events.iter().filter(|e| e.name != "prefetch").collect();
+    assert!(stray.is_empty(), "leaked spans: {stray:?}");
+}
+
+#[test]
 fn trace_exports_have_documented_shape() {
     let _guard = obs_lock();
     obs::enable();

@@ -1,0 +1,209 @@
+//! Multi-tenant differential suite: N interleaved sessions over one shared
+//! [`SortServer`] must be **byte-identical** to solo [`StreamSorter`] runs.
+//!
+//! The server changes *everything about the schedule* — sessions share the
+//! work-stealing pool, their grants shrink live as peers are admitted (so
+//! run boundaries land in different places than any solo run), and all
+//! spill files live under one managed root.  None of that may leak into
+//! the output: a stable external sort's result is a pure function of the
+//! input, never of the run partitioning or the interleaving.  Each case in
+//! this suite pushes the same inputs through (a) plain solo sorters with a
+//! fixed budget and (b) a crowded server with reclaim-inducing admissions,
+//! and asserts the outputs are identical, across the sync/pipelined spill
+//! paths and both spill codecs.
+//!
+//! Thread counts: CI re-runs this suite under `RAYON_NUM_THREADS ∈ {1, 4}`
+//! (the thread-matrix job), which covers schedule-dependence of the shared
+//! pool at both concurrency levels.
+
+use dtsort::{SortConfig, StreamConfig};
+use server::{AdmissionPolicy, GovernorConfig, ServerConfig, SortServer, SpillManagerConfig};
+use stream::{SpillCompression, StreamSorter, SumAgg};
+use workloads::dist::{generate_pairs_u32, paper_instances};
+
+/// Sessions per scenario — enough that admissions force several reclaims.
+const SESSIONS: usize = 6;
+/// Records per session.
+const N: usize = 12_000;
+/// Interleave granularity (odd, so chunk boundaries drift across runs).
+const CHUNK: usize = 499;
+
+/// The spill-path matrix: sync/pipelined × spill codec.
+fn spill_modes() -> Vec<(&'static str, bool, SpillCompression)> {
+    vec![
+        ("sync/off", true, SpillCompression::Off),
+        ("sync/delta-lz", true, SpillCompression::DeltaLz),
+        ("pipelined/off", false, SpillCompression::Off),
+        ("pipelined/delta-lz", false, SpillCompression::DeltaLz),
+    ]
+}
+
+/// One input per session, drawn from distinct paper distributions so the
+/// sessions stress different code paths (uniform, skewed, heavy keys).
+fn session_inputs() -> Vec<Vec<(u32, u32)>> {
+    let dists = paper_instances();
+    (0..SESSIONS)
+        .map(|s| {
+            let dist = &dists[s % dists.len()];
+            generate_pairs_u32(dist, N, 0xD7_5EED ^ (s as u64))
+        })
+        .collect()
+}
+
+/// A small base config that spills aggressively at test sizes.
+fn base_config(synchronous: bool, codec: SpillCompression) -> StreamConfig {
+    StreamConfig {
+        synchronous_spill: synchronous,
+        spill_compression: codec,
+        sort: SortConfig {
+            base_case_threshold: 64,
+            ..SortConfig::default()
+        },
+        ..StreamConfig::default()
+    }
+}
+
+/// Solo reference: one engine per input, fixed private budget, default
+/// (per-engine) spill directory.
+fn solo_outputs(
+    inputs: &[Vec<(u32, u32)>],
+    synchronous: bool,
+    codec: SpillCompression,
+) -> Vec<Vec<(u32, u32)>> {
+    inputs
+        .iter()
+        .map(|input| {
+            let mut cfg = base_config(synchronous, codec);
+            cfg.memory_budget_bytes = 32 << 10;
+            let mut sorter: StreamSorter<u32, u32> = StreamSorter::with_config(cfg);
+            for chunk in input.chunks(CHUNK) {
+                sorter.push(chunk).unwrap();
+            }
+            sorter.finish().unwrap().collect()
+        })
+        .collect()
+}
+
+/// Shared-server run: all sessions admitted up front (each admission
+/// reclaims budget from the live ones), pushes interleaved round-robin.
+fn server_outputs(
+    inputs: &[Vec<(u32, u32)>],
+    synchronous: bool,
+    codec: SpillCompression,
+) -> Vec<Vec<(u32, u32)>> {
+    let server = SortServer::new(ServerConfig {
+        governor: GovernorConfig {
+            // Tight ceiling: sessions are granted far less than requested
+            // and each admission shrinks every live grant.
+            global_budget_bytes: SESSIONS * (24 << 10),
+            session_floor_bytes: 8 << 10,
+            admission: AdmissionPolicy::Reject,
+        },
+        spill: SpillManagerConfig::default(),
+        base: base_config(synchronous, codec),
+    })
+    .unwrap();
+
+    let mut sessions: Vec<_> = (0..inputs.len())
+        .map(|s| {
+            server
+                .open_sort::<u32, u32>(&format!("tenant-{s}"), 64 << 10)
+                .unwrap()
+        })
+        .collect();
+    assert!(
+        server.governor().reclaims() > 0,
+        "crowding the governor must have reclaimed at least one grant"
+    );
+
+    // Round-robin interleave: session 0's chunk 0, session 1's chunk 0, …
+    let max_chunks = inputs
+        .iter()
+        .map(|i| i.len().div_ceil(CHUNK))
+        .max()
+        .unwrap();
+    for c in 0..max_chunks {
+        for (s, input) in inputs.iter().enumerate() {
+            let lo = c * CHUNK;
+            if lo < input.len() {
+                let hi = (lo + CHUNK).min(input.len());
+                sessions[s].push(&input[lo..hi]).unwrap();
+            }
+        }
+    }
+
+    let outputs: Vec<Vec<(u32, u32)>> = sessions
+        .into_iter()
+        .map(|s| s.finish().unwrap().collect())
+        .collect();
+    assert_eq!(server.governor().live_sessions(), 0);
+    assert_eq!(server.spill_manager().charged_bytes(), 0);
+    outputs
+}
+
+#[test]
+fn interleaved_sessions_match_solo_runs_across_spill_modes() {
+    let inputs = session_inputs();
+    for (mode, synchronous, codec) in spill_modes() {
+        let want = solo_outputs(&inputs, synchronous, codec);
+        let got = server_outputs(&inputs, synchronous, codec);
+        for (s, (got_s, want_s)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(
+                got_s, want_s,
+                "session {s} output differs from its solo run [{mode}]"
+            );
+        }
+    }
+}
+
+/// The same differential claim for the group-by engine: interleaved
+/// [`server::GroupSession`]s must aggregate identically to solo runs
+/// (exercised on one representative spill mode; the sorter matrix above
+/// covers the codec/pipeline axes).
+#[test]
+fn interleaved_group_sessions_match_solo_runs() {
+    let inputs = session_inputs();
+    let server = SortServer::new(ServerConfig {
+        governor: GovernorConfig {
+            global_budget_bytes: SESSIONS * (24 << 10),
+            session_floor_bytes: 8 << 10,
+            admission: AdmissionPolicy::Reject,
+        },
+        spill: SpillManagerConfig::default(),
+        base: base_config(false, SpillCompression::DeltaLz),
+    })
+    .unwrap();
+    let mut sessions: Vec<_> = (0..inputs.len())
+        .map(|s| {
+            server
+                .open_group::<u32, SumAgg>(&format!("tenant-{s}"), SumAgg, 64 << 10)
+                .unwrap()
+        })
+        .collect();
+    let max_chunks = inputs
+        .iter()
+        .map(|i| i.len().div_ceil(CHUNK))
+        .max()
+        .unwrap();
+    for c in 0..max_chunks {
+        for (s, input) in inputs.iter().enumerate() {
+            let lo = c * CHUNK;
+            if lo < input.len() {
+                let hi = (lo + CHUNK).min(input.len());
+                for &(k, v) in &input[lo..hi] {
+                    sessions[s].push_record(k, v as u64).unwrap();
+                }
+            }
+        }
+    }
+    for (s, (session, input)) in sessions.into_iter().zip(&inputs).enumerate() {
+        let got = session.finish_vec().unwrap();
+        // Solo reference: an in-memory sum per key, emitted in key order.
+        let mut want = std::collections::BTreeMap::new();
+        for &(k, v) in input {
+            *want.entry(k).or_insert(0u64) += v as u64;
+        }
+        let want: Vec<(u32, u64)> = want.into_iter().collect();
+        assert_eq!(got, want, "group session {s} differs from solo aggregation");
+    }
+}
