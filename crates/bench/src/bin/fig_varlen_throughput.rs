@@ -6,7 +6,10 @@
 //! (`StreamConfig::synchronous_spill`), **pipelined** (background writer +
 //! read-ahead, the default) and **compressed** (pipelined +
 //! `SpillCompression::DeltaLz`) — with the spill-phase wall time, bytes
-//! written and achieved compression ratio reported per row.
+//! written and achieved compression ratio reported per row.  Each mode is
+//! additionally measured under **both spill I/O backends**
+//! (`StreamConfig::spill_io`), paired per rep so the reported
+//! blocking-vs-batched ratio is a median of same-rep pairs.
 //!
 //! A final **web-log sessionization** section exercises the string-*key*
 //! engines end to end: a synthetic web log (`workloads::strings`) is
@@ -25,7 +28,7 @@ use bench::{
     json_escape, median_time_secs, obs_json_fields, write_bench_json, write_obs_artifacts, Args,
     ObsPhaseDeltas, ObsProbe, Table,
 };
-use dtsort::{SpillCompression, StreamConfig};
+use dtsort::{SpillCompression, SpillIoMode, StreamConfig};
 use std::time::Instant;
 use stream::{StreamSorter, StringStreamGroupBy, StringStreamSorter, SumAgg};
 use workloads::dist::Distribution;
@@ -35,6 +38,7 @@ struct Measurement {
     dist: String,
     payload: String,
     mode: &'static str,
+    spill_io: &'static str,
     budget_label: String,
     budget_bytes: usize,
     runs: usize,
@@ -48,35 +52,70 @@ struct Measurement {
     /// Median of paired pipelined-vs-synchronous speedups (pipelined rows
     /// only).
     pipe_sync_ratio: Option<f64>,
+    /// Median of paired blocking-vs-batched speedups for the same spill
+    /// mode (batched rows only).
+    io_ratio: Option<f64>,
     /// Phase-time deltas from the obs registry (zero unless `OBS_TRACE=1`).
     obs: ObsPhaseDeltas,
 }
 
-/// One spill mode of the measurement matrix.
+/// One (spill mode, I/O backend) cell of the measurement matrix.
 #[derive(Clone, Copy)]
 struct Mode {
     name: &'static str,
     sync: bool,
     compression: SpillCompression,
+    io: SpillIoMode,
 }
 
-const MODES: [Mode; 3] = [
+/// The three spill modes under the blocking backend first, then the same
+/// three under the batched backend; `median_modes` pairs cell `i` with
+/// cell `i + 3` for the per-rep blocking-vs-batched ratio.
+const MODES: [Mode; 6] = [
     Mode {
         name: "synchronous",
         sync: true,
         compression: SpillCompression::Off,
+        io: SpillIoMode::Blocking,
     },
     Mode {
         name: "pipelined",
         sync: false,
         compression: SpillCompression::Off,
+        io: SpillIoMode::Blocking,
     },
     Mode {
         name: "compressed",
         sync: false,
         compression: SpillCompression::DeltaLz,
+        io: SpillIoMode::Blocking,
+    },
+    Mode {
+        name: "synchronous",
+        sync: true,
+        compression: SpillCompression::Off,
+        io: SpillIoMode::Batched,
+    },
+    Mode {
+        name: "pipelined",
+        sync: false,
+        compression: SpillCompression::Off,
+        io: SpillIoMode::Batched,
+    },
+    Mode {
+        name: "compressed",
+        sync: false,
+        compression: SpillCompression::DeltaLz,
+        io: SpillIoMode::Batched,
     },
 ];
+
+fn io_label(io: SpillIoMode) -> &'static str {
+    match io {
+        SpillIoMode::Blocking => "blocking",
+        SpillIoMode::Batched => "batched",
+    }
+}
 
 struct Phases {
     spill_secs: f64,
@@ -99,6 +138,7 @@ fn stream_sort_strings_phases(
         memory_budget_bytes: budget,
         synchronous_spill: mode.sync,
         spill_compression: mode.compression,
+        spill_io: mode.io,
         ..StreamConfig::default()
     };
     let mut sorter: StreamSorter<u64, String> = StreamSorter::with_config(cfg);
@@ -138,29 +178,44 @@ fn median_modes(
     budget: usize,
     batch: usize,
     reps: usize,
-) -> (Vec<Phases>, f64) {
+) -> (Vec<Phases>, f64, [f64; 3]) {
     let reps = reps.max(1);
     let mut mode_runs: Vec<Vec<Phases>> = MODES.iter().map(|_| Vec::with_capacity(reps)).collect();
     let mut ratios: Vec<f64> = Vec::with_capacity(reps);
+    let mut io_ratios: [Vec<f64>; 3] = [
+        Vec::with_capacity(reps),
+        Vec::with_capacity(reps),
+        Vec::with_capacity(reps),
+    ];
+    let total = |p: &Phases| p.spill_secs + p.merge_secs;
     for _ in 0..reps {
         for (mi, &mode) in MODES.iter().enumerate() {
             mode_runs[mi].push(stream_sort_strings_phases(input, budget, batch, mode));
         }
         let s = mode_runs[0].last().unwrap();
         let p = mode_runs[1].last().unwrap();
-        ratios.push((s.spill_secs + s.merge_secs) / (p.spill_secs + p.merge_secs));
+        ratios.push(total(s) / total(p));
+        // Pair each blocking cell with the batched run of the same spill
+        // mode from the *same rep* (cells i and i + 3).
+        for (mi, r) in io_ratios.iter_mut().enumerate() {
+            r.push(total(mode_runs[mi].last().unwrap()) / total(mode_runs[mi + 3].last().unwrap()));
+        }
     }
     let median = |mut v: Vec<Phases>| -> Phases {
-        v.sort_by(|a, b| {
-            (a.spill_secs + a.merge_secs)
-                .partial_cmp(&(b.spill_secs + b.merge_secs))
-                .unwrap()
-        });
+        v.sort_by(|a, b| total(a).partial_cmp(&total(b)).unwrap());
         v.swap_remove(v.len() / 2)
     };
-    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let ratio = ratios[ratios.len() / 2];
-    (mode_runs.into_iter().map(median).collect(), ratio)
+    let median_f = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let ratio = median_f(ratios);
+    let io_medians = io_ratios.map(median_f);
+    (
+        mode_runs.into_iter().map(median).collect(),
+        ratio,
+        io_medians,
+    )
 }
 
 fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measurement]) {
@@ -168,9 +223,13 @@ fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measur
         .iter()
         .map(|m| {
             let extra = format!(
-                "{}{}",
+                "{}{}{}",
                 match m.pipe_sync_ratio {
                     Some(r) => format!(", \"pipe_sync_ratio\": {r:.3}"),
+                    None => String::new(),
+                },
+                match m.io_ratio {
+                    Some(r) => format!(", \"io_blk_bat_ratio\": {r:.3}"),
                     None => String::new(),
                 },
                 obs_json_fields(&m.obs),
@@ -181,10 +240,11 @@ fn write_json(path: &str, n: usize, batch: usize, threads: usize, rows: &[Measur
                 1.0
             };
             format!(
-                "{{\"dist\": \"{}\", \"payload\": \"{}\", \"mode\": \"{}\", \"budget\": \"{}\", \"budget_bytes\": {}, \"runs\": {}, \"spilled_bytes\": {}, \"spilled_raw_bytes\": {}, \"comp_ratio\": {comp_ratio:.3}, \"spill_secs\": {:.6}, \"merge_secs\": {:.6}, \"secs\": {:.6}, \"records_per_sec\": {:.1}, \"payload_mb_per_sec\": {:.2}{}}}",
+                "{{\"dist\": \"{}\", \"payload\": \"{}\", \"mode\": \"{}\", \"spill_io\": \"{}\", \"budget\": \"{}\", \"budget_bytes\": {}, \"runs\": {}, \"spilled_bytes\": {}, \"spilled_raw_bytes\": {}, \"comp_ratio\": {comp_ratio:.3}, \"spill_secs\": {:.6}, \"merge_secs\": {:.6}, \"secs\": {:.6}, \"records_per_sec\": {:.1}, \"payload_mb_per_sec\": {:.2}{}}}",
                 json_escape(&m.dist),
                 json_escape(&m.payload),
                 m.mode,
+                m.spill_io,
                 json_escape(&m.budget_label),
                 m.budget_bytes,
                 m.runs,
@@ -254,6 +314,7 @@ fn main() {
             let mut table = Table::new(vec![
                 "budget".to_string(),
                 "mode".to_string(),
+                "io".to_string(),
                 "runs".to_string(),
                 "spill MiB".to_string(),
                 "spill s".to_string(),
@@ -261,6 +322,7 @@ fn main() {
                 "Mrec/s".to_string(),
                 "MB/s".to_string(),
                 "pipe/sync".to_string(),
+                "blk/bat".to_string(),
             ]);
             // Pod-value baseline on the same keys: the varlen overhead is
             // the gap between this row and the in-memory string row.
@@ -279,8 +341,10 @@ fn main() {
                 "-".to_string(),
                 "-".to_string(),
                 "-".to_string(),
+                "-".to_string(),
                 format!("{base:.4}"),
                 format!("{:.2}", n as f64 / base / 1e6),
+                "-".to_string(),
                 "-".to_string(),
                 "-".to_string(),
             ]);
@@ -291,10 +355,17 @@ fn main() {
                 ("1/8", data_bytes / 8),
             ];
             for &(blabel, budget) in &budgets {
-                let (medians, ratio) = median_modes(&input, budget, batch, args.reps);
-                for (mode, p) in MODES.iter().zip(&medians) {
-                    let pair_ratio = (mode.name == "pipelined").then_some(ratio);
+                let (medians, ratio, io_medians) = median_modes(&input, budget, batch, args.reps);
+                for (mi, (mode, p)) in MODES.iter().zip(&medians).enumerate() {
+                    let pair_ratio = (mode.name == "pipelined" && mode.io == SpillIoMode::Blocking)
+                        .then_some(ratio);
                     let ratio_cell = match pair_ratio {
+                        Some(r) => format!("{r:.2}x"),
+                        None => "-".to_string(),
+                    };
+                    let io_ratio =
+                        (mode.io == SpillIoMode::Batched).then(|| io_medians[mi - MODES.len() / 2]);
+                    let io_ratio_cell = match io_ratio {
                         Some(r) => format!("{r:.2}x"),
                         None => "-".to_string(),
                     };
@@ -304,6 +375,7 @@ fn main() {
                     table.add_row(vec![
                         blabel.to_string(),
                         mode.name.to_string(),
+                        io_label(mode.io).to_string(),
                         format!("{}", p.runs),
                         format!("{:.1}", p.spilled_bytes as f64 / (1 << 20) as f64),
                         format!("{:.4}", p.spill_secs),
@@ -311,11 +383,13 @@ fn main() {
                         format!("{:.2}", rps / 1e6),
                         format!("{mbps:.1}"),
                         ratio_cell,
+                        io_ratio_cell,
                     ]);
                     all.push(Measurement {
                         dist: dist.label(),
                         payload: plabel.to_string(),
                         mode: mode.name,
+                        spill_io: io_label(mode.io),
                         budget_label: blabel.to_string(),
                         budget_bytes: budget,
                         runs: p.runs,
@@ -327,6 +401,7 @@ fn main() {
                         records_per_sec: rps,
                         payload_mb_per_sec: mbps,
                         pipe_sync_ratio: pair_ratio,
+                        io_ratio,
                         obs: p.obs,
                     });
                 }
@@ -381,6 +456,9 @@ fn weblog_sessionization(n: usize, batch: usize, reps: usize) -> Vec<Measurement
     let cfg = |compression| StreamConfig {
         memory_budget_bytes: budget,
         spill_compression: compression,
+        // Pinned so the rows' "blocking" label stays truthful under a
+        // `PISORT_SPILL_IO` override.
+        spill_io: SpillIoMode::Blocking,
         ..StreamConfig::default()
     };
     let mut rows = Vec::new();
@@ -451,6 +529,7 @@ fn weblog_sessionization(n: usize, batch: usize, reps: usize) -> Vec<Measurement
                 dist: "weblog-zipf-1.1".to_string(),
                 payload: format!("weblog-{job}"),
                 mode,
+                spill_io: "blocking",
                 budget_label: "1/8".to_string(),
                 budget_bytes: budget,
                 runs,
@@ -462,6 +541,7 @@ fn weblog_sessionization(n: usize, batch: usize, reps: usize) -> Vec<Measurement
                 records_per_sec: rps,
                 payload_mb_per_sec: mbps,
                 pipe_sync_ratio: None,
+                io_ratio: None,
                 obs: ObsPhaseDeltas::default(),
             });
         }

@@ -153,6 +153,51 @@ pub enum SpillCompression {
     DeltaLz,
 }
 
+/// Backend used for spill-file reads and writes (the `stream` crate's
+/// `SpillIo` trait).
+///
+/// The default resolves from the `PISORT_SPILL_IO` environment variable
+/// (`blocking` / `batched`, unset ⇒ `Blocking`) so CI can force a backend
+/// across whole test binaries; an explicitly set field always wins over
+/// the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillIoMode {
+    /// One blocking `std::fs` call per read/write on the calling thread
+    /// (buffered).  This is the code path every release so far has run,
+    /// kept byte-for-byte as the reference side of the backend
+    /// differential tests — the same role `synchronous_spill` plays for
+    /// the pipeline stage.
+    Blocking,
+    /// A fixed pool of I/O worker threads driving a bounded
+    /// submission/completion queue over pooled, recycled buffers: writes
+    /// are positioned (`write_all_at`) chunk jobs, reads are scheduled
+    /// block decodes — so the merge's read-ahead becomes "one scheduler,
+    /// N in-flight reads" instead of one thread per run, and its fan-in
+    /// cap derives from [`StreamConfig::spill_io_queue_depth`] rather
+    /// than a thread-count limit.
+    Batched,
+}
+
+impl SpillIoMode {
+    /// The environment-resolved default: `PISORT_SPILL_IO=batched` forces
+    /// [`SpillIoMode::Batched`] for configs that do not set the field
+    /// explicitly (the CI backend-matrix hook); anything else (including
+    /// unset) yields [`SpillIoMode::Blocking`].
+    pub fn env_default() -> Self {
+        static FROM_ENV: std::sync::OnceLock<SpillIoMode> = std::sync::OnceLock::new();
+        *FROM_ENV.get_or_init(|| match std::env::var("PISORT_SPILL_IO") {
+            Ok(v) if v.eq_ignore_ascii_case("batched") => SpillIoMode::Batched,
+            _ => SpillIoMode::Blocking,
+        })
+    }
+}
+
+impl Default for SpillIoMode {
+    fn default() -> Self {
+        Self::env_default()
+    }
+}
+
 /// A shared, mutable view of a granted memory budget.
 ///
 /// Budgets were per-call constants until the multi-session server made
@@ -277,6 +322,26 @@ pub struct StreamConfig {
     /// blocks.  Both formats flow through the same writer thread and
     /// merge read-ahead; decoding is transparent to the merge.
     pub spill_compression: SpillCompression,
+    /// Backend for the spill-file reads and writes themselves:
+    /// [`SpillIoMode::Blocking`] (buffered `std::fs` calls on the calling
+    /// thread — the byte-for-byte reference) or [`SpillIoMode::Batched`]
+    /// (a fixed I/O-worker pool behind a bounded submission queue; see
+    /// [`StreamConfig::spill_io_workers`] /
+    /// [`StreamConfig::spill_io_queue_depth`]).  Orthogonal to
+    /// `synchronous_spill`, which picks *who calls into* the backend, not
+    /// how the bytes move.  Defaults from the `PISORT_SPILL_IO`
+    /// environment variable ([`SpillIoMode::env_default`]).
+    pub spill_io: SpillIoMode,
+    /// Number of I/O worker threads the [`SpillIoMode::Batched`] backend
+    /// runs (clamped to at least 1).  Ignored under
+    /// [`SpillIoMode::Blocking`].
+    pub spill_io_workers: usize,
+    /// Bound of the batched backend's submission queue: at most this many
+    /// I/O jobs may be queued or in flight at once — submitters block
+    /// (backpressure) past it — and the merge read-ahead fan-in cap is
+    /// derived from it (one scheduled read per run).  Clamped to at least
+    /// 1.  Ignored under [`SpillIoMode::Blocking`].
+    pub spill_io_queue_depth: usize,
     /// Turn on the `obs` tracing/metrics layer for this engine's
     /// lifetime: the streaming sorter and group-by hold an
     /// `obs::EnableGuard` from construction until the engine (and any
@@ -308,6 +373,9 @@ impl Default for StreamConfig {
             spill_pipeline_depth: 1,
             merge_read_ahead: None,
             spill_compression: SpillCompression::default(),
+            spill_io: SpillIoMode::default(),
+            spill_io_workers: 2,
+            spill_io_queue_depth: 32,
             trace: false,
             sort: SortConfig::default(),
         }
@@ -548,6 +616,28 @@ mod tests {
             SpillCompression::Off
         );
         assert_eq!(SpillCompression::default(), SpillCompression::Off);
+    }
+
+    #[test]
+    fn spill_io_knobs_default_sanely() {
+        let cfg = StreamConfig::default();
+        // Without PISORT_SPILL_IO in the environment the default backend
+        // is Blocking; with it, the test environment opted the whole
+        // binary into Batched and the default must follow.
+        let want = match std::env::var("PISORT_SPILL_IO") {
+            Ok(v) if v.eq_ignore_ascii_case("batched") => SpillIoMode::Batched,
+            _ => SpillIoMode::Blocking,
+        };
+        assert_eq!(cfg.spill_io, want);
+        assert_eq!(cfg.spill_io, SpillIoMode::env_default());
+        assert!(cfg.spill_io_workers >= 1);
+        assert!(cfg.spill_io_queue_depth >= 1);
+        // An explicit field always wins over the environment default.
+        let forced = StreamConfig {
+            spill_io: SpillIoMode::Batched,
+            ..StreamConfig::default()
+        };
+        assert_eq!(forced.spill_io, SpillIoMode::Batched);
     }
 
     #[test]

@@ -61,7 +61,9 @@ pub use api::{
     sort_pairs_with, sort_pairs_with_stats, sort_run_by_key_with, sort_run_pairs_with,
     sort_unstable, sort_with, sort_with_stats, RunReport,
 };
-pub use config::{BudgetHandle, MergeStrategy, SortConfig, SpillCompression, StreamConfig};
+pub use config::{
+    BudgetHandle, MergeStrategy, SortConfig, SpillCompression, SpillIoMode, StreamConfig,
+};
 pub use key::{string_key_prefix64, IntegerKey, StringKey};
 pub use model::HeavyKeyModel;
 pub use stats::{SortStats, StatsSnapshot};

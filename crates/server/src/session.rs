@@ -10,8 +10,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use stream::{
-    Aggregator, GroupByStats, GroupedStream, SortedStream, SpillValue, StreamGroupBy, StreamSorter,
-    StreamStats, StringKey, StringSortedStream, StringStreamSorter,
+    Aggregator, GroupByStats, GroupedStream, SortedStream, SpillIoHandle, SpillValue,
+    StreamGroupBy, StreamSorter, StreamStats, StringKey, StringSortedStream, StringStreamSorter,
 };
 
 /// Tuning knobs of the [`SortServer`].
@@ -55,9 +55,13 @@ pub struct SortServer {
 
 impl SortServer {
     pub fn new(cfg: ServerConfig) -> io::Result<Self> {
+        // One I/O backend for the whole server: sessions share its worker
+        // pool and queue, and the spill manager re-splits the in-flight
+        // budget as sessions come and go.
+        let io = SpillIoHandle::from_config(&cfg.base);
         Ok(Self {
             governor: MemoryGovernor::new(cfg.governor),
-            spill: SpillDirManager::new(cfg.spill)?,
+            spill: SpillDirManager::new(cfg.spill, io)?,
             base: cfg.base,
             session_seq: AtomicU64::new(0),
         })
@@ -109,7 +113,8 @@ impl SortServer {
         requested_bytes: usize,
     ) -> io::Result<SortSession<K, V>> {
         let core = self.open_core(tenant, requested_bytes)?;
-        let sorter = StreamSorter::with_config(self.session_config(&core));
+        let io = core.dir.io().clone();
+        let sorter = StreamSorter::with_config_and_io(self.session_config(&core), io);
         Ok(SortSession { sorter, core })
     }
 
@@ -121,7 +126,8 @@ impl SortServer {
         requested_bytes: usize,
     ) -> io::Result<GroupSession<K, G>> {
         let core = self.open_core(tenant, requested_bytes)?;
-        let gb = StreamGroupBy::with_config(agg, self.session_config(&core));
+        let io = core.dir.io().clone();
+        let gb = StreamGroupBy::with_config_and_io(agg, self.session_config(&core), io);
         Ok(GroupSession { gb, core })
     }
 
@@ -132,7 +138,8 @@ impl SortServer {
         requested_bytes: usize,
     ) -> io::Result<StringSortSession<K, V>> {
         let core = self.open_core(tenant, requested_bytes)?;
-        let sorter = StringStreamSorter::with_config(self.session_config(&core));
+        let io = core.dir.io().clone();
+        let sorter = StringStreamSorter::with_config_and_io(self.session_config(&core), io);
         Ok(StringSortSession { sorter, core })
     }
 }
@@ -454,6 +461,48 @@ mod tests {
         assert_eq!(got.len(), 5_000);
         assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
         assert_eq!(server.governor().live_sessions(), 0);
+    }
+
+    #[test]
+    fn batched_backend_sessions_share_one_io_and_stay_correct() {
+        let server = SortServer::new(ServerConfig {
+            governor: GovernorConfig {
+                global_budget_bytes: 64 << 10,
+                session_floor_bytes: 8 << 10,
+                admission: AdmissionPolicy::Reject,
+            },
+            spill: SpillManagerConfig::default(),
+            base: StreamConfig {
+                spill_io: dtsort::SpillIoMode::Batched,
+                spill_io_workers: 2,
+                spill_io_queue_depth: 16,
+                sort: dtsort::SortConfig {
+                    base_case_threshold: 64,
+                    ..Default::default()
+                },
+                ..StreamConfig::default()
+            },
+        })
+        .unwrap();
+        let mut a = server.open_sort::<u32, u32>("alice", 32 << 10).unwrap();
+        let mut b = server.open_sort::<u32, u32>("bob", 32 << 10).unwrap();
+        assert_eq!(server.spill_manager().live_leases(), 2);
+        let input_a: Vec<(u32, u32)> = (0..15_000u32).map(|i| (i.rotate_left(11), i)).collect();
+        let input_b: Vec<(u32, u32)> = (0..15_000u32).map(|i| (i.rotate_left(5), i)).collect();
+        for (ca, cb) in input_a.chunks(1009).zip(input_b.chunks(1009)) {
+            a.push(ca).unwrap();
+            b.push(cb).unwrap();
+        }
+        assert!(a.stats().spilled_runs > 0 && b.stats().spilled_runs > 0);
+        let sort = |mut v: Vec<(u32, u32)>| {
+            v.sort_by_key(|r| r.0);
+            v
+        };
+        let got_a: Vec<(u32, u32)> = a.finish().unwrap().collect();
+        let got_b: Vec<(u32, u32)> = b.finish().unwrap().collect();
+        assert_eq!(got_a, sort(input_a));
+        assert_eq!(got_b, sort(input_b));
+        assert_eq!(server.spill_manager().live_leases(), 0);
     }
 
     #[test]

@@ -15,8 +15,9 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use stream::SpillIoHandle;
 
 /// Distinguishes concurrent managers within one process (same fix as the
 /// spill-space collision bug: a pid alone is not unique).
@@ -50,12 +51,19 @@ pub struct SpillDirManager {
     quota_bytes: u64,
     charged: AtomicU64,
     orphans_removed: usize,
+    /// The server-wide spill I/O backend every session spills through.
+    io: SpillIoHandle,
+    /// Live leases, for the cross-session I/O bandwidth split.
+    live: AtomicUsize,
 }
 
 impl SpillDirManager {
     /// Creates (or adopts) the root directory and removes orphaned
-    /// `session-*` subdirectories from previous processes.
-    pub fn new(cfg: SpillManagerConfig) -> io::Result<Arc<Self>> {
+    /// `session-*` subdirectories from previous processes.  All sessions
+    /// spill through the shared `io` backend: on the batched backend the
+    /// manager re-splits the in-flight read budget across live leases
+    /// ([`SpillIoHandle`]'s cross-session governor hook).
+    pub fn new(cfg: SpillManagerConfig, io: SpillIoHandle) -> io::Result<Arc<Self>> {
         let (root, owns_root) = match cfg.root {
             Some(root) => (root, false),
             None => (
@@ -83,7 +91,19 @@ impl SpillDirManager {
             quota_bytes: cfg.quota_bytes.max(1),
             charged: AtomicU64::new(0),
             orphans_removed,
+            io,
+            live: AtomicUsize::new(0),
         }))
+    }
+
+    /// The shared spill I/O backend (one handle for the whole server).
+    pub fn io(&self) -> &SpillIoHandle {
+        &self.io
+    }
+
+    /// Spill-directory leases currently alive.
+    pub fn live_leases(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
     }
 
     /// The managed root directory.
@@ -106,6 +126,8 @@ impl SpillDirManager {
     pub fn lease(self: &Arc<Self>, session_id: u64) -> io::Result<SpillDirLease> {
         let path = self.root.join(format!("session-{session_id:08}"));
         std::fs::create_dir(&path)?;
+        let live = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.io.rebalance_shared(live);
         Ok(SpillDirLease {
             manager: Arc::clone(self),
             path,
@@ -160,6 +182,12 @@ impl SpillDirLease {
         &self.path
     }
 
+    /// The shared spill I/O backend to hand the session's engine
+    /// (see [`SpillDirManager::io`]).
+    pub fn io(&self) -> &SpillIoHandle {
+        self.manager.io()
+    }
+
     /// Charges `delta` more durable spill bytes against the global quota,
     /// failing (without charging) past the ceiling.
     pub fn charge(&mut self, delta: u64) -> io::Result<()> {
@@ -181,6 +209,8 @@ impl Drop for SpillDirLease {
     fn drop(&mut self) {
         std::fs::remove_dir_all(&self.path).ok();
         self.manager.uncharge(self.charged);
+        let live = self.manager.live.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.manager.io.rebalance_shared(live.max(1));
     }
 }
 
@@ -188,11 +218,16 @@ impl Drop for SpillDirLease {
 mod tests {
     use super::*;
 
+    fn test_mgr(cfg: SpillManagerConfig) -> Arc<SpillDirManager> {
+        SpillDirManager::new(cfg, SpillIoHandle::blocking()).unwrap()
+    }
+
     #[test]
     fn leases_create_and_remove_private_subdirs() {
-        let mgr = SpillDirManager::new(SpillManagerConfig::default()).unwrap();
+        let mgr = test_mgr(SpillManagerConfig::default());
         let a = mgr.lease(1).unwrap();
         let b = mgr.lease(2).unwrap();
+        assert_eq!(mgr.live_leases(), 2);
         assert_ne!(a.path(), b.path());
         assert!(a.path().is_dir() && b.path().is_dir());
         std::fs::write(a.path().join("run-000001.bin"), b"data").unwrap();
@@ -201,6 +236,7 @@ mod tests {
         assert!(!pa.exists(), "lease drop removes the subdir and its runs");
         assert!(pb.exists(), "sibling lease untouched");
         drop(b);
+        assert_eq!(mgr.live_leases(), 0);
         let root = mgr.root().to_path_buf();
         assert!(root.exists());
         drop(mgr);
@@ -217,11 +253,10 @@ mod tests {
         std::fs::create_dir_all(root.join("session-00000007")).unwrap();
         std::fs::write(root.join("session-00000007/run.bin"), b"stale").unwrap();
         std::fs::create_dir_all(root.join("unrelated")).unwrap();
-        let mgr = SpillDirManager::new(SpillManagerConfig {
+        let mgr = test_mgr(SpillManagerConfig {
             root: Some(root.clone()),
             quota_bytes: u64::MAX,
-        })
-        .unwrap();
+        });
         assert_eq!(mgr.orphans_removed(), 1);
         assert!(!root.join("session-00000007").exists());
         assert!(root.join("unrelated").exists(), "only session dirs managed");
@@ -232,11 +267,10 @@ mod tests {
 
     #[test]
     fn quota_rejects_the_overflowing_charge_and_rolls_back() {
-        let mgr = SpillDirManager::new(SpillManagerConfig {
+        let mgr = test_mgr(SpillManagerConfig {
             root: None,
             quota_bytes: 1000,
-        })
-        .unwrap();
+        });
         let mut a = mgr.lease(1).unwrap();
         a.charge(600).unwrap();
         let mut b = mgr.lease(2).unwrap();

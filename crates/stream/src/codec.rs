@@ -30,6 +30,34 @@ fn corrupt(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("corrupt block: {what}"))
 }
 
+/// CRC-32 (IEEE 802.3, reflected, poly `0xEDB88320`) over `data`,
+/// continuing from `state` (pass 0 to start; chain calls to checksum a
+/// logical concatenation).  Table-driven and dependency-free, used for
+/// the per-block checksums of the compressed spill format.
+pub(crate) fn crc32_update(state: u32, data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    });
+    let mut crc = !state;
+    for &byte in data {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    !crc
+}
+
 /// Append `x` as an unsigned LEB128 varint (1–10 bytes).
 pub(crate) fn write_varint(out: &mut Vec<u8>, mut x: u64) {
     while x >= 0x80 {
@@ -212,6 +240,23 @@ mod tests {
         lz_decompress(&enc, &mut dec, data.len()).expect("decompress");
         assert_eq!(dec, data);
         (enc.len(), enc)
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors_and_chains() {
+        // The classic IEEE CRC-32 check values.
+        assert_eq!(crc32_update(0, b""), 0);
+        assert_eq!(crc32_update(0, b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32_update(0, b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+        // Chaining equals checksumming the concatenation.
+        let whole = crc32_update(0, b"123456789");
+        let chained = crc32_update(crc32_update(0, b"1234"), b"56789");
+        assert_eq!(whole, chained);
+        // A single flipped bit changes the checksum.
+        assert_ne!(crc32_update(0, b"123456789"), crc32_update(0, b"123456788"));
     }
 
     #[test]

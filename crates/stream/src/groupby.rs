@@ -43,6 +43,7 @@ use crate::sorter::{open_run_cursors, RunCursor};
 use crate::spill::{
     var_payload_bytes, var_payload_should_spill, write_run, SpillSpace, SpillValue, SpilledRun,
 };
+use crate::spillio::SpillIoHandle;
 use dtsort::{IntegerKey, StreamConfig};
 use parlay::kway::LoserTree;
 use semisort::{semisort_pairs_with, SemisortConfig};
@@ -270,6 +271,10 @@ impl Default for GroupByStats {
 /// partials at read time.
 pub struct StreamGroupBy<K: IntegerKey, G: Aggregator> {
     cfg: StreamConfig,
+    /// The spill I/O backend ([`dtsort::StreamConfig::spill_io`]);
+    /// possibly shared with sibling engines by
+    /// [`StreamGroupBy::with_config_and_io`].
+    io: SpillIoHandle,
     agg: G,
     run_capacity: usize,
     /// Peak transient footprint per buffered record (see `with_config`);
@@ -311,6 +316,14 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
     }
 
     pub fn with_config(agg: G, cfg: StreamConfig) -> Self {
+        let io = SpillIoHandle::from_config(&cfg);
+        Self::with_config_and_io(agg, cfg, io)
+    }
+
+    /// Like [`StreamGroupBy::with_config`], but spilling through a
+    /// caller-provided I/O backend — this is how a multi-session server
+    /// shares one batched worker pool across every engine.
+    pub fn with_config_and_io(agg: G, cfg: StreamConfig, io: SpillIoHandle) -> Self {
         // Scoped, not sticky: tracing reverts when this engine (and any
         // stream it returns) is dropped.
         let trace_guard = cfg.trace.then(obs::scoped_enable);
@@ -341,6 +354,7 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         let run_capacity = (cfg.effective_budget_bytes() / record_footprint).max(1);
         Self {
             cfg,
+            io,
             agg,
             run_capacity,
             record_footprint,
@@ -626,7 +640,7 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         let dir = &self.space.as_ref().expect("spill space secured").dir;
         let path = dir.join(format!("agg-s{:06}.bin", self.sync_run_seq));
         let _span = obs::enabled().then(|| obs::span!("spill_write", run = self.sync_run_seq));
-        let spilled = match write_run(&path, partial, self.cfg.spill_compression) {
+        let spilled = match write_run(&self.io, &path, partial, self.cfg.spill_compression) {
             Ok(spilled) => spilled,
             Err(e) => {
                 std::fs::remove_file(&path).ok();
@@ -657,6 +671,7 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
                 .dir
                 .clone();
             self.pipeline = Some(SpillPipeline::start(
+                self.io.clone(),
                 dir,
                 self.cfg.spill_pipeline_depth,
                 "agg-p",
@@ -737,7 +752,8 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         }
         let pending: Vec<Vec<(u64, G::Acc)>> = self.pending_partials.drain(..).collect();
         let tail = self.aggregate_run();
-        let (mut cursors, read_ahead_disabled) = open_run_cursors::<G::Acc>(&self.runs, &self.cfg)?;
+        let (mut cursors, read_ahead_disabled, prefetch_capped) =
+            open_run_cursors::<G::Acc>(&self.runs, &self.cfg, &self.io)?;
         // Runs whose spill write failed merge from memory; they were
         // aggregated before the current tail, so their cursors precede the
         // tail's (equal-key partials combine in push order).
@@ -752,6 +768,7 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             agg: self.agg,
             pending: None,
             read_ahead_disabled,
+            prefetch_capped,
             _space: self.space.take(),
             _merge_span: obs::enabled().then(|| obs::span!("merge")),
             // The scoped enable moves to the stream so the merge drain
@@ -777,6 +794,7 @@ pub struct GroupedStream<K: IntegerKey, G: Aggregator> {
     /// The first partial of the *next* key, already popped from the tree.
     pending: Option<(u64, G::Acc)>,
     read_ahead_disabled: bool,
+    prefetch_capped: bool,
     _space: Option<SpillSpace>,
     /// Open `merge` span covering the stream's lifetime (None when
     /// tracing is disabled); recorded when the stream is dropped.
@@ -792,6 +810,12 @@ impl<K: IntegerKey, G: Aggregator> GroupedStream<K, G> {
     /// see [`crate::SortedStream::read_ahead_disabled`].
     pub fn read_ahead_disabled(&self) -> bool {
         self.read_ahead_disabled
+    }
+
+    /// Whether read-ahead was disabled specifically by the backend's
+    /// fan-in cap; see [`crate::SortedStream::prefetch_capped`].
+    pub fn prefetch_capped(&self) -> bool {
+        self.prefetch_capped
     }
 }
 

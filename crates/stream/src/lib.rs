@@ -68,6 +68,28 @@
 //! spilling.  [`dtsort::StreamConfig::synchronous_spill`] turns the
 //! whole stage off (the reference behavior for the differential tests).
 //!
+//! ## Spill I/O backends
+//!
+//! All spill reads and writes go through the crate-private `SpillIo`
+//! abstraction (re-exported as the opaque [`SpillIoHandle`]), selected by
+//! [`dtsort::StreamConfig::spill_io`]:
+//!
+//! * [`SpillIoMode::Blocking`] (default) — buffered `File` I/O on the
+//!   calling thread, byte-for-byte the original path and the
+//!   differential reference.
+//! * [`SpillIoMode::Batched`] — a fixed pool of
+//!   [`dtsort::StreamConfig::spill_io_workers`] I/O threads behind a
+//!   submission queue bounded by
+//!   [`dtsort::StreamConfig::spill_io_queue_depth`], with pooled,
+//!   recycled transfer buffers.  Writes are chunked and submitted
+//!   asynchronously (`finish` still syncs before a run is recorded
+//!   durable), reads are double-buffered, and the merge read-ahead
+//!   becomes one scheduler with at most `queue_depth` in-flight
+//!   requests instead of one thread per run.
+//!
+//! Both backends produce byte-identical spill files and sorted output;
+//! the differential suites pin that equivalence.
+//!
 //! ## Streaming group-by
 //!
 //! When the consumer wants *aggregates per key* rather than the sorted
@@ -141,15 +163,17 @@ mod obs_tests;
 mod pipeline;
 mod sorter;
 mod spill;
+mod spillio;
 mod strkey;
 
-pub use dtsort::{SortConfig, SpillCompression, StreamConfig, StringKey};
+pub use dtsort::{SortConfig, SpillCompression, SpillIoMode, StreamConfig, StringKey};
 pub use groupby::{
     Aggregator, ConcatAgg, CountAgg, FirstAgg, FoldAgg, GroupByStats, GroupedStream, MaxAgg,
     MinAgg, StreamGroupBy, SumAgg,
 };
 pub use sorter::{SortedStream, StreamSorter, StreamStats};
 pub use spill::{PodValue, SpillValue, VarValue};
+pub use spillio::SpillIoHandle;
 pub use strkey::{
     StringAggAdapter, StringGroupedStream, StringKeyed, StringSortedStream, StringStreamGroupBy,
     StringStreamSorter,

@@ -31,7 +31,12 @@
 //! | `prefetch.stall_ns` | histogram | merge-side wait for the next block |
 //! | `prefetch.blocks_prefetched` | counter | blocks decoded ahead of the merge |
 //! | `prefetch.blocks_consumed` | counter | blocks the merge actually took |
-//! | `prefetch.disabled_merges` | counter | merges that wanted read-ahead but ran without it (fan-in above `MAX_PREFETCH_RUNS`, or per-run budget below `MIN_PREFETCH_RUN_BUDGET`) |
+//! | `prefetch.disabled_merges` | counter | merges that wanted read-ahead but ran without it (fan-in above the backend's cap, or per-run budget below `MIN_PREFETCH_RUN_BUDGET`) |
+//! | `prefetch.capped_merges` | counter | merges whose read-ahead was disabled *specifically* by the fan-in cap (`MAX_PREFETCH_RUNS` for `Blocking`, the in-flight cap for `Batched`) |
+//! | `spillio.jobs` | counter | jobs submitted to the batched I/O workers |
+//! | `spillio.queue_depth` | gauge | batched I/O jobs in flight (queued + running) |
+//! | `spillio.submit_wait_ns` | histogram | producer wait on the full batched submission queue |
+//! | `spillio.complete_ns` | histogram | per-job service time on the batched I/O workers |
 
 use std::sync::OnceLock;
 
@@ -60,6 +65,12 @@ pub(crate) struct StreamMetrics {
     pub blocks_prefetched: obs::Counter,
     pub blocks_consumed: obs::Counter,
     pub prefetch_disabled_merges: obs::Counter,
+    pub prefetch_capped_merges: obs::Counter,
+
+    pub spillio_jobs: obs::Counter,
+    pub spillio_queue_depth: obs::Gauge,
+    pub spillio_submit_wait_ns: obs::Histogram,
+    pub spillio_complete_ns: obs::Histogram,
 }
 
 /// The handle bundle, registered in [`obs::global`] on first use.  Call
@@ -90,6 +101,11 @@ pub(crate) fn m() -> &'static StreamMetrics {
             blocks_prefetched: reg.counter("prefetch.blocks_prefetched"),
             blocks_consumed: reg.counter("prefetch.blocks_consumed"),
             prefetch_disabled_merges: reg.counter("prefetch.disabled_merges"),
+            prefetch_capped_merges: reg.counter("prefetch.capped_merges"),
+            spillio_jobs: reg.counter("spillio.jobs"),
+            spillio_queue_depth: reg.gauge("spillio.queue_depth"),
+            spillio_submit_wait_ns: reg.histogram("spillio.submit_wait_ns"),
+            spillio_complete_ns: reg.histogram("spillio.complete_ns"),
         }
     })
 }

@@ -14,10 +14,14 @@
 //!   [`dtsort::StreamConfig::spill_pipeline_depth`] runs are in flight, and
 //!   each one is paid for by a budget share
 //!   ([`dtsort::StreamConfig::spill_shares`]).
-//! * [`RunPrefetcher`] — a **read-ahead thread per spilled run** that
-//!   decodes record blocks ahead of the k-way merge through a bounded
-//!   channel sized by the per-run share of the merge read budget, so the
-//!   loser tree pops from warm memory instead of cold `BufReader` calls.
+//! * [`RunPrefetcher`] — per-run **merge read-ahead** that decodes record
+//!   blocks ahead of the k-way merge through a bounded channel sized by
+//!   the per-run share of the merge read budget, so the loser tree pops
+//!   from warm memory instead of cold buffered reads.  Under the
+//!   `Blocking` spill-I/O backend this is one thread per run; under
+//!   `Batched` it is a [`BatchedFeed`] — resubmit-on-consume decode tasks
+//!   multiplexed onto the backend's fixed worker pool, so a k-way merge
+//!   needs `spill_io_workers` threads instead of k.
 //!
 //! ## Error and ordering contract
 //!
@@ -34,6 +38,7 @@
 
 use crate::metrics::m;
 use crate::spill::{write_run, RunReader, SpillValue, SpilledRun};
+use crate::spillio::{JobPool, SpillIoHandle};
 use dtsort::{IntegerKey, SpillCompression};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -98,6 +103,7 @@ impl<K: IntegerKey, V: SpillValue> SpillPipeline<K, V> {
     /// bounds the in-flight runs (queued + being written); the buffer pool
     /// keeps at most `depth + 1` cleared run buffers for reuse.
     pub fn start(
+        io: SpillIoHandle,
         dir: PathBuf,
         depth: usize,
         prefix: &'static str,
@@ -122,7 +128,7 @@ impl<K: IntegerKey, V: SpillValue> SpillPipeline<K, V> {
         let pool_limit = depth + 1;
         let worker = std::thread::Builder::new()
             .name("pisort-spill-writer".to_string())
-            .spawn(move || writer_loop(rx, dir, prefix, compression, worker_shared, pool_limit))
+            .spawn(move || writer_loop(io, rx, dir, prefix, compression, worker_shared, pool_limit))
             .expect("failed to spawn spill-writer thread");
         Self {
             tx: Some(tx),
@@ -242,6 +248,7 @@ impl<K: IntegerKey, V: SpillValue> Drop for SpillPipeline<K, V> {
 }
 
 fn writer_loop<K: IntegerKey, V: SpillValue>(
+    io: SpillIoHandle,
     rx: Receiver<Vec<(K, V)>>,
     dir: PathBuf,
     prefix: &'static str,
@@ -271,11 +278,15 @@ fn writer_loop<K: IntegerKey, V: SpillValue>(
         let result = if obs::enabled() {
             let start = std::time::Instant::now();
             let _span = obs::span!("spill_write", run = seq);
-            let r = catch_unwind(AssertUnwindSafe(|| write_run(&path, &buf, compression)));
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                write_run(&io, &path, &buf, compression)
+            }));
             m().write_ns.record_duration(start.elapsed());
             r
         } else {
-            catch_unwind(AssertUnwindSafe(|| write_run(&path, &buf, compression)))
+            catch_unwind(AssertUnwindSafe(|| {
+                write_run(&io, &path, &buf, compression)
+            }))
         };
         let mut st = shared.state.lock().expect("spill state");
         match result {
@@ -318,34 +329,229 @@ fn writer_loop<K: IntegerKey, V: SpillValue>(
     }
 }
 
+/// Decodes the next batch of records (roughly `block_bytes` of decoded
+/// payload) from `reader`; returns the batch and whether the run is now
+/// exhausted.  Shared by both read-ahead schedulers so the two backends
+/// produce identical batch streams.
+fn decode_one_block<V: SpillValue>(
+    reader: &mut RunReader<V>,
+    block_bytes: usize,
+) -> io::Result<(Vec<(u64, V)>, bool)> {
+    let refill_start = obs::enabled().then(std::time::Instant::now);
+    let mut block: Vec<(u64, V)> = Vec::new();
+    let mut bytes = 0usize;
+    let mut end_of_run = false;
+    loop {
+        match reader.next_record()? {
+            Some((key, value)) => {
+                bytes += 8 + value.spill_size();
+                block.push((key, value));
+                if bytes >= block_bytes {
+                    break;
+                }
+            }
+            None => {
+                end_of_run = true;
+                break;
+            }
+        }
+    }
+    if let Some(start) = refill_start {
+        m().prefetch_refill_ns.record_duration(start.elapsed());
+        if !block.is_empty() {
+            m().blocks_prefetched.incr();
+        }
+    }
+    Ok((block, end_of_run))
+}
+
+/// Where a merge cursor's read-ahead batches come from: a dedicated
+/// decode thread per run (`Blocking`), or resubmit-on-consume tasks on
+/// the shared batched I/O workers (`Batched`).
+pub(crate) enum PrefetchSource<V: SpillValue> {
+    Thread(Receiver<io::Result<Vec<(u64, V)>>>),
+    Batched(BatchedFeed<V>),
+}
+
+impl<V: SpillValue> PrefetchSource<V> {
+    /// The next decoded batch: `None` is clean end of run, `Some(Err)` a
+    /// read error (terminal — no further batches follow).
+    pub fn recv(&mut self) -> Option<io::Result<Vec<(u64, V)>>> {
+        match self {
+            PrefetchSource::Thread(rx) => rx.recv().ok(),
+            PrefetchSource::Batched(feed) => feed.recv(),
+        }
+    }
+}
+
+/// One message per decode task: the batch, and whether it is the run's
+/// last (error or end of run).
+struct FeedMsg<V> {
+    block: io::Result<Vec<(u64, V)>>,
+    last: bool,
+}
+
+/// The per-run producer state a decode task operates on.  `None` once the
+/// run is exhausted or failed.
+struct FeedWork<V: SpillValue> {
+    reader: RunReader<V>,
+    block_bytes: usize,
+    tx: SyncSender<FeedMsg<V>>,
+    index: usize,
+}
+
+/// Batched-backend read-ahead for one run: short-lived decode tasks on
+/// the shared I/O workers, **resubmitted on consume** — at most one task
+/// per run is ever in flight, and each task sends exactly one message
+/// into a capacity-1 channel, so a task can never block a worker.  That
+/// is what lets a k-way merge run with `spill_io_workers` threads total
+/// where the thread scheduler needed k.
+pub(crate) struct BatchedFeed<V: SpillValue> {
+    rx: Receiver<FeedMsg<V>>,
+    state: Arc<Mutex<Option<FeedWork<V>>>>,
+    pool: JobPool,
+    done: bool,
+}
+
+impl<V: SpillValue> BatchedFeed<V> {
+    fn start(pool: JobPool, reader: RunReader<V>, block_bytes: usize, index: usize) -> Self {
+        let (tx, rx) = sync_channel::<FeedMsg<V>>(1);
+        let state = Arc::new(Mutex::new(Some(FeedWork {
+            reader,
+            block_bytes,
+            tx,
+            index,
+        })));
+        let task_state = Arc::clone(&state);
+        pool.submit(Box::new(move || pump_feed(&task_state)));
+        Self {
+            rx,
+            state,
+            pool,
+            done: false,
+        }
+    }
+
+    fn recv(&mut self) -> Option<io::Result<Vec<(u64, V)>>> {
+        if self.done {
+            return None;
+        }
+        let msg = match self.rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => {
+                // Unreachable by construction (the work state owns the
+                // sender until the last message); surface it rather than
+                // serving a silently short run.
+                self.done = true;
+                return Some(Err(io::Error::other("spill prefetch task lost its feed")));
+            }
+        };
+        if msg.last {
+            self.done = true;
+        } else {
+            // Resubmit before handing the batch out, so the next decode
+            // overlaps with the consumer working through this one.
+            let state = Arc::clone(&self.state);
+            self.pool.submit(Box::new(move || pump_feed(&state)));
+        }
+        match msg.block {
+            Ok(block) if block.is_empty() => None, // clean end of run
+            other => Some(other),
+        }
+    }
+}
+
+/// One decode step of a [`BatchedFeed`], run on an I/O worker.  A panic
+/// inside a value deserializer is converted to an error message (the
+/// worker survives; the consumer sees `Some(Err)`).
+fn pump_feed<V: SpillValue>(state: &Mutex<Option<FeedWork<V>>>) {
+    let mut guard = state.lock().expect("prefetch feed state");
+    let Some(work) = guard.as_mut() else { return };
+    let _span = obs::span!("prefetch", run = work.index);
+    let block_bytes = work.block_bytes;
+    let decoded = catch_unwind(AssertUnwindSafe(|| {
+        decode_one_block(&mut work.reader, block_bytes)
+    }));
+    let (msg, keep) = match decoded {
+        Ok(Ok((block, end))) => (
+            FeedMsg {
+                block: Ok(block),
+                last: end,
+            },
+            !end,
+        ),
+        Ok(Err(e)) => (
+            FeedMsg {
+                block: Err(e),
+                last: true,
+            },
+            false,
+        ),
+        Err(panic) => {
+            let what = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            (
+                FeedMsg {
+                    block: Err(io::Error::other(format!("spill prefetch panicked: {what}"))),
+                    last: true,
+                },
+                false,
+            )
+        }
+    };
+    let tx = work.tx.clone();
+    if !keep {
+        *guard = None; // drop the reader: the run is finished or failed
+    }
+    drop(guard);
+    // Capacity-1 channel with exactly one task in flight per run: this
+    // send never blocks the worker.
+    let _ = tx.send(msg);
+}
+
 /// Read-ahead stage of the final merge: decodes one spilled run into
-/// record blocks on a background thread, ahead of the consumer, through a
-/// channel bounded to one block (so at most ~three blocks are in flight:
-/// one queued, one being decoded, one being consumed).
+/// record batches ahead of the consumer.  Under the `Blocking` backend
+/// this is a dedicated thread per run (bounded to one queued batch, so at
+/// most ~three are in flight: queued, decoding, being consumed); under
+/// `Batched` it is a [`BatchedFeed`] on the shared I/O workers.
 ///
-/// The producer exits when the run is exhausted, on the first read error
+/// The producer stops when the run is exhausted, on the first read error
 /// (which it forwards), or when the consumer hangs up.
 pub(crate) struct RunPrefetcher<V: SpillValue> {
-    rx: Receiver<io::Result<Vec<(u64, V)>>>,
+    source: PrefetchSource<V>,
 }
 
 impl<V: SpillValue> RunPrefetcher<V> {
-    /// Opens `run` (surfacing open-time validation errors synchronously)
-    /// and starts the read-ahead thread.  `reader_budget` is this run's
-    /// share of the merge read budget, split so the total stays within
-    /// the share: half for the underlying `BufReader`, the rest for the
-    /// decoded blocks — of which up to three are alive at once (one
-    /// queued, one decoding, one being consumed), hence sixths.  `index`
-    /// is the run's position in the merge, used only to label the
-    /// prefetcher's trace spans.
+    /// Opens `run` through `io` (surfacing open-time validation errors
+    /// synchronously) and starts the read-ahead producer.  `reader_budget`
+    /// is this run's share of the merge read budget, split so the total
+    /// stays within the share: half for the underlying buffered reader,
+    /// the rest for the decoded batches — of which up to three are alive
+    /// at once (one queued, one decoding, one being consumed), hence
+    /// sixths.  `index` is the run's position in the merge, used only to
+    /// label the prefetcher's trace spans.
     ///
     /// The floors below keep the reader functional without re-inflating a
     /// small share: merges only engage read-ahead when the per-run budget
     /// is at least [`crate::sorter::MIN_PREFETCH_RUN_BUDGET`], so the
     /// splits here stay within the share the caller granted.
-    pub fn spawn(run: &SpilledRun, reader_budget: usize, index: usize) -> io::Result<Self> {
-        let mut reader: RunReader<V> = RunReader::open(run, (reader_budget / 2).max(64))?;
+    pub fn spawn(
+        io: &SpillIoHandle,
+        run: &SpilledRun,
+        reader_budget: usize,
+        index: usize,
+    ) -> io::Result<Self> {
+        let mut reader: RunReader<V> = RunReader::open(io, run, (reader_budget / 2).max(64))?;
         let block_bytes = (reader_budget / 6).max(64);
+        if let Some(pool) = io.pool() {
+            let feed = BatchedFeed::start(pool, reader, block_bytes, index);
+            return Ok(Self {
+                source: PrefetchSource::Batched(feed),
+            });
+        }
         let (tx, rx) = sync_channel::<io::Result<Vec<(u64, V)>>>(1);
         std::thread::Builder::new()
             .name("pisort-run-prefetch".to_string())
@@ -355,53 +561,31 @@ impl<V: SpillValue> RunPrefetcher<V> {
                 // actually running ahead.
                 let _run_span = obs::span!("prefetch", run = index);
                 loop {
-                    let refill_start = obs::enabled().then(std::time::Instant::now);
-                    let mut block: Vec<(u64, V)> = Vec::new();
-                    let mut bytes = 0usize;
-                    let mut end_of_run = false;
-                    loop {
-                        match reader.next_record() {
-                            Ok(Some((key, value))) => {
-                                bytes += 8 + value.spill_size();
-                                block.push((key, value));
-                                if bytes >= block_bytes {
-                                    break;
-                                }
+                    match decode_one_block(&mut reader, block_bytes) {
+                        Ok((block, end_of_run)) => {
+                            if !block.is_empty() && tx.send(Ok(block)).is_err() {
+                                return; // consumer hung up (stream dropped early)
                             }
-                            Ok(None) => {
-                                end_of_run = true;
-                                break;
-                            }
-                            Err(e) => {
-                                let _ = tx.send(Err(e));
-                                return;
+                            if end_of_run {
+                                return; // dropping tx signals a clean end of run
                             }
                         }
-                    }
-                    if let Some(start) = refill_start {
-                        m().prefetch_refill_ns.record_duration(start.elapsed());
-                    }
-                    if !block.is_empty() {
-                        if obs::enabled() {
-                            m().blocks_prefetched.incr();
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            return;
                         }
-                        if tx.send(Ok(block)).is_err() {
-                            return; // consumer hung up (stream dropped early)
-                        }
-                    }
-                    if end_of_run {
-                        return; // dropping tx signals a clean end of run
                     }
                 }
             })
             .expect("failed to spawn prefetch thread");
-        Ok(Self { rx })
+        Ok(Self {
+            source: PrefetchSource::Thread(rx),
+        })
     }
 
-    /// The block channel; `Err(Disconnected)` on `recv` means clean end of
-    /// run.
-    pub fn into_receiver(self) -> Receiver<io::Result<Vec<(u64, V)>>> {
-        self.rx
+    /// The batch source the merge cursor pulls from.
+    pub fn into_source(self) -> PrefetchSource<V> {
+        self.source
     }
 }
 
@@ -416,8 +600,12 @@ mod tests {
         dir
     }
 
+    fn bio() -> SpillIoHandle {
+        SpillIoHandle::blocking()
+    }
+
     fn read_back(run: &SpilledRun) -> Vec<(u64, u64)> {
-        RunReader::<u64>::open(run, 4096)
+        RunReader::<u64>::open(&bio(), run, 4096)
             .unwrap()
             .read_all::<u64>()
             .unwrap()
@@ -427,7 +615,7 @@ mod tests {
     fn writes_runs_in_submission_order_and_recycles_buffers() {
         let dir = tmp_dir("order");
         let mut pipe: SpillPipeline<u64, u64> =
-            SpillPipeline::start(dir.clone(), 2, "run-p", SpillCompression::Off);
+            SpillPipeline::start(bio(), dir.clone(), 2, "run-p", SpillCompression::Off);
         for r in 0..6u64 {
             let run: Vec<(u64, u64)> = (0..100).map(|i| (i, r)).collect();
             pipe.submit(run);
@@ -451,7 +639,7 @@ mod tests {
     fn error_stops_writing_and_stashes_later_runs_in_order() {
         let dir = tmp_dir("err");
         let mut pipe: SpillPipeline<u64, u64> =
-            SpillPipeline::start(dir.clone(), 2, "run-p", SpillCompression::Off);
+            SpillPipeline::start(bio(), dir.clone(), 2, "run-p", SpillCompression::Off);
         pipe.submit(vec![(1, 0)]);
         pipe.flush();
         // Break the spill directory under the writer: every later write
@@ -479,7 +667,7 @@ mod tests {
         std::fs::write(&blocked, b"x").unwrap();
         // Point the pipeline *at a file*: the very first write fails.
         let mut pipe: SpillPipeline<u64, u64> =
-            SpillPipeline::start(blocked.clone(), 1, "run-p", SpillCompression::Off);
+            SpillPipeline::start(bio(), blocked.clone(), 1, "run-p", SpillCompression::Off);
         pipe.submit(vec![(9, 9)]);
         let closed = pipe.close();
         assert!(closed.error.is_some(), "close must never drop the error");
@@ -493,54 +681,58 @@ mod tests {
         let dir = tmp_dir("prefetch");
         let path: &Path = &dir.join("run.bin");
         let records: Vec<(u64, u64)> = (0..10_000u64).map(|i| (i, i * 3)).collect();
-        // Both encodings must stream identically through the prefetcher.
-        for compression in [SpillCompression::Off, SpillCompression::DeltaLz] {
-            let run = write_run(path, &records, compression).unwrap();
-            // A tiny budget forces many small blocks through the channel.
-            let rx = RunPrefetcher::<u64>::spawn(&run, 8 << 10, 0)
-                .unwrap()
-                .into_receiver();
-            let mut got: Vec<(u64, u64)> = Vec::new();
-            let mut blocks = 0usize;
-            while let Ok(block) = rx.recv() {
-                got.extend(block.expect("clean run must not error"));
-                blocks += 1;
+        // Both encodings × both backends must stream identical batches.
+        for io in [bio(), SpillIoHandle::batched(2, 8)] {
+            for compression in [SpillCompression::Off, SpillCompression::DeltaLz] {
+                let run = write_run(&io, path, &records, compression).unwrap();
+                // A tiny budget forces many small blocks through the channel.
+                let mut src = RunPrefetcher::<u64>::spawn(&io, &run, 8 << 10, 0)
+                    .unwrap()
+                    .into_source();
+                let mut got: Vec<(u64, u64)> = Vec::new();
+                let mut blocks = 0usize;
+                while let Some(block) = src.recv() {
+                    got.extend(block.expect("clean run must not error"));
+                    blocks += 1;
+                }
+                assert!(blocks > 5, "expected several blocks, got {blocks}");
+                assert_eq!(got, records);
             }
-            assert!(blocks > 5, "expected several blocks, got {blocks}");
-            assert_eq!(got, records);
         }
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn prefetcher_forwards_read_errors() {
-        let dir = tmp_dir("prefetch-err");
-        let path = dir.join("run.bin");
-        let records: Vec<(u64, u64)> = (0..1000u64).map(|i| (i, i)).collect();
-        let good = write_run(&path, &records, SpillCompression::Off).unwrap();
-        // Lie about the record count: the reader must hit the in-stream
-        // guard and the prefetcher must forward it (not hang or panic).
-        let run = SpilledRun {
-            path,
-            len: records.len() + 1,
-            bytes: good.bytes + 16,
-            raw_bytes: good.raw_bytes + 16,
-            compression: SpillCompression::Off,
-        };
-        match RunPrefetcher::<u64>::spawn(&run, 4096, 0) {
-            Err(e) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
-            Ok(p) => {
-                let rx = p.into_receiver();
-                let mut saw_error = false;
-                while let Ok(block) = rx.recv() {
-                    if block.is_err() {
-                        saw_error = true;
-                        break;
+        for io in [bio(), SpillIoHandle::batched(1, 4)] {
+            let dir = tmp_dir("prefetch-err");
+            let path = dir.join("run.bin");
+            let records: Vec<(u64, u64)> = (0..1000u64).map(|i| (i, i)).collect();
+            let good = write_run(&io, &path, &records, SpillCompression::Off).unwrap();
+            // Lie about the record count: the reader must hit the in-stream
+            // guard and the prefetcher must forward it (not hang or panic).
+            let run = SpilledRun {
+                path,
+                len: records.len() + 1,
+                bytes: good.bytes + 16,
+                raw_bytes: good.raw_bytes + 16,
+                compression: SpillCompression::Off,
+            };
+            match RunPrefetcher::<u64>::spawn(&io, &run, 4096, 0) {
+                Err(e) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+                Ok(p) => {
+                    let mut src = p.into_source();
+                    let mut saw_error = false;
+                    while let Some(block) = src.recv() {
+                        if block.is_err() {
+                            saw_error = true;
+                            break;
+                        }
                     }
+                    assert!(saw_error, "overcount must surface as a read error");
                 }
-                assert!(saw_error, "overcount must surface as a read error");
             }
+            std::fs::remove_dir_all(&dir).ok();
         }
-        std::fs::remove_dir_all(&dir).ok();
     }
 }

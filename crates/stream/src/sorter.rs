@@ -1,16 +1,16 @@
 //! The bounded-memory streaming sorter.
 
-use crate::pipeline::{RunPrefetcher, SpillPipeline};
+use crate::pipeline::{PrefetchSource, RunPrefetcher, SpillPipeline};
 use crate::spill::{
     per_run_reader_budget, var_payload_bytes, var_payload_should_spill, write_run, PodValue,
     RunReader, SpillSpace, SpillValue, SpilledRun, VarValue,
 };
-use dtsort::{sort_run_pairs_with, IntegerKey, RunReport, SortConfig, StreamConfig};
+use crate::spillio::SpillIoHandle;
+use dtsort::{sort_run_pairs_with, IntegerKey, RunReport, SortConfig, SpillIoMode, StreamConfig};
 use parlay::kway::{kway_merge_into, BlockSource, LoserTree, RunSource};
 use std::collections::VecDeque;
 use std::io;
 use std::marker::PhantomData;
-use std::sync::mpsc::Receiver;
 
 /// Above this merge fan-in the read-ahead stage is skipped (one prefetch
 /// thread per run would be a thread explosion; the per-run buffer shares
@@ -116,6 +116,10 @@ impl Default for StreamStats {
 /// ```
 pub struct StreamSorter<K: IntegerKey, V: SpillValue = ()> {
     cfg: StreamConfig,
+    /// The spill I/O backend every read and write goes through
+    /// ([`dtsort::StreamConfig::spill_io`]); possibly shared with sibling
+    /// engines by [`StreamSorter::with_config_and_io`].
+    io: SpillIoHandle,
     pub(crate) run_capacity: usize,
     buffer: Vec<(K, V)>,
     /// Spilled payload bytes currently buffered (tracked only for
@@ -163,12 +167,22 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
     }
 
     pub fn with_config(cfg: StreamConfig) -> Self {
+        let io = SpillIoHandle::from_config(&cfg);
+        Self::with_config_and_io(cfg, io)
+    }
+
+    /// Like [`StreamSorter::with_config`], but spilling through a
+    /// caller-provided I/O backend — this is how a multi-session server
+    /// shares one batched worker pool (and its queue-depth budget) across
+    /// every engine instead of giving each session its own pool.
+    pub fn with_config_and_io(cfg: StreamConfig, io: SpillIoHandle) -> Self {
         // Scoped, not sticky: tracing reverts when this engine (and any
         // stream it returns) is dropped.
         let trace_guard = cfg.trace.then(obs::scoped_enable);
         let run_capacity = cfg.run_capacity(std::mem::size_of::<(K, V)>());
         Self {
             cfg,
+            io,
             run_capacity,
             buffer: Vec::new(),
             buffered_value_bytes: 0,
@@ -403,7 +417,7 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
         let dir = &self.space.as_ref().expect("spill space secured").dir;
         let path = dir.join(format!("run-s{:06}.bin", self.sync_run_seq));
         let _span = obs::enabled().then(|| obs::span!("spill_write", run = self.sync_run_seq));
-        let spilled = match write_run(&path, run, self.cfg.spill_compression) {
+        let spilled = match write_run(&self.io, &path, run, self.cfg.spill_compression) {
             Ok(spilled) => spilled,
             Err(e) => {
                 std::fs::remove_file(&path).ok();
@@ -435,6 +449,7 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
                 .dir
                 .clone();
             self.pipeline = Some(SpillPipeline::start(
+                self.io.clone(),
                 dir,
                 self.cfg.spill_pipeline_depth,
                 "run-p",
@@ -526,17 +541,19 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
     /// run, so its footprint stays within the configured budget no matter
     /// how large the dataset grew.  Unless
     /// [`StreamConfig::synchronous_spill`] is set, each spilled run is
-    /// decoded ahead of the merge by a read-ahead thread
-    /// ([`StreamConfig::merge_read_ahead`]), so the loser tree pops from
-    /// prefetched blocks instead of blocking on cold reads.  Past 64 runs,
-    /// or once the per-run buffer share drops below 4 KiB, read-ahead
-    /// falls back to synchronous reads —
-    /// [`SortedStream::read_ahead_disabled`] reports when that happened.
+    /// decoded ahead of the merge ([`StreamConfig::merge_read_ahead`]), so
+    /// the loser tree pops from prefetched blocks instead of blocking on
+    /// cold reads.  Past the backend's fan-in cap (64 runs under
+    /// `Blocking`, the in-flight queue depth under `Batched`), or once the
+    /// per-run buffer share drops below 4 KiB, read-ahead falls back to
+    /// synchronous reads — [`SortedStream::read_ahead_disabled`] and
+    /// [`SortedStream::prefetch_capped`] report when that happened.
     pub fn finish(mut self) -> io::Result<SortedStream<K, V>> {
         self.close_pipeline()?;
         self.sort_buffer();
         let total = self.len();
-        let (mut cursors, read_ahead_disabled) = open_run_cursors::<V>(&self.runs, &self.cfg)?;
+        let (mut cursors, read_ahead_disabled, prefetch_capped) =
+            open_run_cursors::<V>(&self.runs, &self.cfg, &self.io)?;
         for run in self.pending_runs.drain(..) {
             let mem: Vec<(u64, V)> = run
                 .into_iter()
@@ -556,6 +573,7 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
             tree: LoserTree::new(cursors, V::spill_record_lt),
             remaining: total,
             read_ahead_disabled,
+            prefetch_capped,
             // Records the merge phase as one span from here until the
             // stream is dropped, so prefetch spans can be shown (and
             // asserted) to overlap it.
@@ -604,9 +622,10 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
         {
             let cell = parlay::slice::UnsafeSliceCell::new(&mut results);
             let runs = &self.runs;
+            let io = &self.io;
             parlay::par::parallel_for_grained(0, runs.len(), 1, &|i| {
-                let res =
-                    RunReader::<V>::open(&runs[i], reader_budget).and_then(|mut r| r.read_all());
+                let res = RunReader::<V>::open(io, &runs[i], reader_budget)
+                    .and_then(|mut r| r.read_all());
                 unsafe { cell.write(i, res) };
             });
         }
@@ -721,46 +740,63 @@ pub(crate) fn var_merge_runs_into<K: IntegerKey, V: VarValue>(
 /// Opens one merge cursor per spilled run, splitting
 /// [`StreamConfig::merge_read_buffer_bytes`] across them.  With read-ahead
 /// resolved on ([`StreamConfig::wants_merge_read_ahead`]) and a sane
-/// fan-in, each run gets a read-ahead thread decoding blocks ahead of the
-/// merge; otherwise the cursors read synchronously.  Shared by the sorter
-/// and the group-by so the two merge paths cannot drift.
+/// fan-in, each run gets a read-ahead producer decoding blocks ahead of
+/// the merge; otherwise the cursors read synchronously.  Shared by the
+/// sorter and the group-by so the two merge paths cannot drift.
 ///
 /// Read-ahead is silently a no-op in two regimes, both reported through
-/// the returned flag (and the `prefetch.disabled_merges` metric) rather
-/// than only through slower merges: a fan-in above [`MAX_PREFETCH_RUNS`]
-/// (one thread per run would be a thread explosion), and a per-run budget
-/// share below [`MIN_PREFETCH_RUN_BUDGET`] (the double-buffered blocks
-/// would be too small to hide any read latency).
+/// the returned flags (and the `prefetch.disabled_merges` /
+/// `prefetch.capped_merges` metrics) rather than only through slower
+/// merges: a fan-in above the backend's cap ([`MAX_PREFETCH_RUNS`] under
+/// `Blocking`, where one thread per run would be a thread explosion; the
+/// in-flight cap under `Batched`, where more runs than queue slots would
+/// starve each other), and a per-run budget share below
+/// [`MIN_PREFETCH_RUN_BUDGET`] (the double-buffered blocks would be too
+/// small to hide any read latency).  Returns `(cursors,
+/// read_ahead_disabled, capped_by_fan_in)`; the second flag covers both
+/// regimes, the third specifically the fan-in cap.
 pub(crate) fn open_run_cursors<V: SpillValue>(
     runs: &[SpilledRun],
     cfg: &StreamConfig,
-) -> io::Result<(Vec<RunCursor<V>>, bool)> {
+    io: &SpillIoHandle,
+) -> io::Result<(Vec<RunCursor<V>>, bool, bool)> {
     let reader_budget = per_run_reader_budget(cfg.merge_read_buffer_bytes, runs.len());
     let wants = cfg.wants_merge_read_ahead() && !runs.is_empty();
-    let prefetch =
-        wants && runs.len() <= MAX_PREFETCH_RUNS && reader_budget >= MIN_PREFETCH_RUN_BUDGET;
+    let fan_in_cap = match io.mode() {
+        SpillIoMode::Blocking => MAX_PREFETCH_RUNS,
+        // One in-flight read per run: more runs than queue slots would
+        // leave some feeds permanently starved, so cap at the depth.
+        SpillIoMode::Batched => io.max_inflight().max(1),
+    };
+    let capped = wants && runs.len() > fan_in_cap;
+    let prefetch = wants && !capped && reader_budget >= MIN_PREFETCH_RUN_BUDGET;
     let read_ahead_disabled = wants && !prefetch;
-    if read_ahead_disabled && obs::enabled() {
-        crate::metrics::m().prefetch_disabled_merges.incr();
+    if obs::enabled() {
+        if read_ahead_disabled {
+            crate::metrics::m().prefetch_disabled_merges.incr();
+        }
+        if capped {
+            crate::metrics::m().prefetch_capped_merges.incr();
+        }
     }
     let mut cursors: Vec<RunCursor<V>> = Vec::with_capacity(runs.len() + 2);
     if prefetch {
-        // Spawn every reader thread before priming any cursor, so all the
+        // Spawn every producer before priming any cursor, so all the
         // first blocks decode in parallel.
         let prefetchers: Vec<RunPrefetcher<V>> = runs
             .iter()
             .enumerate()
-            .map(|(i, run)| RunPrefetcher::spawn(run, reader_budget, i))
+            .map(|(i, run)| RunPrefetcher::spawn(io, run, reader_budget, i))
             .collect::<io::Result<_>>()?;
         for p in prefetchers {
-            cursors.push(RunCursor::from_prefetch(p.into_receiver())?);
+            cursors.push(RunCursor::from_prefetch(p.into_source())?);
         }
     } else {
         for run in runs {
-            cursors.push(RunCursor::open_disk(run, reader_budget)?);
+            cursors.push(RunCursor::open_disk(io, run, reader_budget)?);
         }
     }
-    Ok((cursors, read_ahead_disabled))
+    Ok((cursors, read_ahead_disabled, capped))
 }
 
 type Refill<V> = Box<dyn FnMut() -> Option<Vec<(u64, V)>> + Send>;
@@ -779,8 +815,12 @@ pub(crate) struct RunCursor<V: SpillValue> {
 }
 
 impl<V: SpillValue> RunCursor<V> {
-    pub(crate) fn open_disk(run: &SpilledRun, buffer_bytes: usize) -> io::Result<Self> {
-        let mut reader = RunReader::open(run, buffer_bytes)?;
+    pub(crate) fn open_disk(
+        io: &SpillIoHandle,
+        run: &SpilledRun,
+        buffer_bytes: usize,
+    ) -> io::Result<Self> {
+        let mut reader = RunReader::open(io, run, buffer_bytes)?;
         let current = reader.next_record()?;
         Ok(Self {
             inner: CursorInner::Disk(reader),
@@ -797,14 +837,14 @@ impl<V: SpillValue> RunCursor<V> {
         }
     }
 
-    /// A cursor fed by a [`RunPrefetcher`]'s block channel.  The first
+    /// A cursor fed by a [`RunPrefetcher`]'s batch source.  The first
     /// block is received here, so early read errors surface as a `Result`
     /// exactly like [`RunCursor::open_disk`]'s eager first read; errors in
     /// later blocks panic mid-merge (documented on [`SortedStream`]).
-    pub(crate) fn from_prefetch(rx: Receiver<io::Result<Vec<(u64, V)>>>) -> io::Result<Self> {
-        let mut first = match rx.recv() {
-            Ok(res) => Some(res?),
-            Err(_) => None, // producer exited: empty run
+    pub(crate) fn from_prefetch(mut src: PrefetchSource<V>) -> io::Result<Self> {
+        let mut first = match src.recv() {
+            Some(res) => Some(res?),
+            None => None, // empty run
         };
         let refill: Refill<V> = Box::new(move || {
             if let Some(block) = first.take() {
@@ -817,21 +857,21 @@ impl<V: SpillValue> RunCursor<V> {
             // is not actually ahead; record the wait so the prefetch
             // stage's effectiveness is measurable.
             let stall_start = obs::enabled().then(std::time::Instant::now);
-            let received = rx.recv();
+            let received = src.recv();
             if let Some(start) = stall_start {
                 crate::metrics::m()
                     .prefetch_stall_ns
                     .record_duration(start.elapsed());
             }
             match received {
-                Ok(Ok(block)) => {
+                Some(Ok(block)) => {
                     if obs::enabled() {
                         crate::metrics::m().blocks_consumed.incr();
                     }
                     Some(block)
                 }
-                Ok(Err(e)) => panic!("I/O error reading spilled run: {e}"),
-                Err(_) => None, // clean end of run
+                Some(Err(e)) => panic!("I/O error reading spilled run: {e}"),
+                None => None, // clean end of run
             }
         });
         let mut source = BlockSource::new(refill);
@@ -877,6 +917,7 @@ pub struct SortedStream<K: IntegerKey, V: SpillValue> {
     tree: MergeTree<V>,
     remaining: usize,
     read_ahead_disabled: bool,
+    prefetch_capped: bool,
     /// Open `merge` trace span; recorded when the stream is dropped.
     _merge_span: Option<obs::SpanGuard>,
     /// Keeps [`StreamConfig::trace`]'s scoped enable alive through the
@@ -892,14 +933,23 @@ type MergeTree<V> = LoserTree<RunCursor<V>, fn(&(u64, V), &(u64, V)) -> bool>;
 impl<K: IntegerKey, V: SpillValue> SortedStream<K, V> {
     /// Whether this merge *wanted* read-ahead
     /// ([`StreamConfig::wants_merge_read_ahead`]) but ran synchronously
-    /// anyway: the fan-in exceeded the prefetch thread cap (64 runs), or
-    /// the per-run share of [`StreamConfig::merge_read_buffer_bytes`] fell
+    /// anyway: the fan-in exceeded the backend's cap (64 runs under
+    /// `Blocking`, the in-flight queue depth under `Batched`), or the
+    /// per-run share of [`StreamConfig::merge_read_buffer_bytes`] fell
     /// below the 4 KiB floor where double-buffering stops paying.  Also
     /// counted by the `prefetch.disabled_merges` metric.  Widen the read
     /// buffer (or the memory budget, to get fewer, larger runs) to re-arm
     /// the read-ahead.
     pub fn read_ahead_disabled(&self) -> bool {
         self.read_ahead_disabled
+    }
+
+    /// Whether read-ahead was disabled *specifically* by the fan-in cap
+    /// (the first regime of [`SortedStream::read_ahead_disabled`]; also
+    /// counted by the `prefetch.capped_merges` metric).  Under `Batched`,
+    /// raise [`StreamConfig::spill_io_queue_depth`] to lift the cap.
+    pub fn prefetch_capped(&self) -> bool {
+        self.prefetch_capped
     }
 }
 
@@ -1439,10 +1489,11 @@ mod tests {
         // and payloads all intact.
         let run = &sorter.runs[0];
         assert_eq!(std::fs::metadata(&run.path).unwrap().len(), run.bytes);
-        let records: Vec<(u64, Grenade)> = RunReader::<Grenade>::open(run, 4096)
-            .unwrap()
-            .read_all()
-            .unwrap();
+        let records: Vec<(u64, Grenade)> =
+            RunReader::<Grenade>::open(&SpillIoHandle::blocking(), run, 4096)
+                .unwrap()
+                .read_all()
+                .unwrap();
         assert_eq!(records.len(), run.len);
         assert!(records
             .iter()
@@ -1499,5 +1550,161 @@ mod tests {
         let got_payloads: Vec<&[u8]> = got.iter().map(|(_, g)| g.payload.as_slice()).collect();
         let want_payloads: Vec<&[u8]> = want.iter().map(|(_, g)| g.payload.as_slice()).collect();
         assert_eq!(got_payloads, want_payloads, "stable, lossless recovery");
+    }
+
+    // -----------------------------------------------------------------
+    // Batched spill-I/O backend: fan-in capping, failure injection.
+    // -----------------------------------------------------------------
+
+    fn batched_cfg(budget: usize, workers: usize, depth: usize) -> StreamConfig {
+        StreamConfig {
+            spill_io: SpillIoMode::Batched,
+            spill_io_workers: workers,
+            spill_io_queue_depth: depth,
+            ..tiny_cfg(budget)
+        }
+    }
+
+    #[test]
+    fn batched_backend_merges_correctly_and_caps_fan_in_at_the_queue_depth() {
+        let rng = Rng::new(51);
+        let input: Vec<(u32, u32)> = (0..50_000usize)
+            .map(|i| (rng.ith(i as u64) as u32, i as u32))
+            .collect();
+        let mut want = input.clone();
+        want.sort_by_key(|r| r.0);
+        // Ample queue depth: the merge read-ahead runs as batched feeds on
+        // the shared workers, and the output matches the reference sort.
+        let mut roomy: StreamSorter<u32, u32> =
+            StreamSorter::with_config(batched_cfg(32 << 10, 2, 64));
+        for chunk in input.chunks(997) {
+            roomy.push(chunk).unwrap();
+        }
+        assert!(roomy.stats().spilled_runs > 5);
+        let stream = roomy.finish().unwrap();
+        assert!(!stream.prefetch_capped(), "fan-in fits the queue depth");
+        let got: Vec<(u32, u32)> = stream.collect();
+        assert_eq!(got, want);
+        // Queue depth below the fan-in: read-ahead must be disabled (no
+        // starved feeds), reported through both flags, output unchanged.
+        let mut narrow: StreamSorter<u32, u32> =
+            StreamSorter::with_config(batched_cfg(32 << 10, 1, 2));
+        for chunk in input.chunks(997) {
+            narrow.push(chunk).unwrap();
+        }
+        assert!(narrow.stats().spilled_runs > 2);
+        let stream = narrow.finish().unwrap();
+        assert!(stream.prefetch_capped(), "fan-in above the in-flight cap");
+        assert!(stream.read_ahead_disabled());
+        let got: Vec<(u32, u32)> = stream.collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn batched_short_write_surfaces_on_push_and_loses_no_records() {
+        // An injected short write (the full-disk shape) under the batched
+        // backend: the failing spill surfaces on a push, the run's records
+        // are reclaimed, and the final merge loses nothing.
+        let cfg = StreamConfig {
+            synchronous_spill: true,
+            ..batched_cfg(16 << 10, 2, 8)
+        };
+        let io = SpillIoHandle::batched(2, 8);
+        let mut sorter: StreamSorter<u64, u64> = StreamSorter::with_config_and_io(cfg, io.clone());
+        let capacity = sorter.run_capacity;
+        let run_bytes = (capacity * 16) as u64; // flat: 8B key + 8B value
+        io.inject_write_failure_after(run_bytes + run_bytes / 2);
+        let n = 4 * capacity;
+        let input: Vec<(u64, u64)> = (0..n as u64).map(|i| (i % 101, i)).collect();
+        let mut saw_error = false;
+        for &(k, v) in &input {
+            if let Err(e) = sorter.push_record(k, v) {
+                assert!(e.to_string().contains("injected"), "unexpected: {e}");
+                saw_error = true;
+            }
+        }
+        assert!(saw_error, "the fused write must surface on a push");
+        assert_eq!(
+            sorter.stats().records_pushed,
+            sorter.len() as u64,
+            "every accepted record stays owned and counted"
+        );
+        // The fuse stays blown, so later retries keep failing — but the
+        // merge reads the durable run and serves the reclaimed ones from
+        // memory: zero loss.
+        let got = sorter.finish_vec().unwrap();
+        let mut want = input;
+        want.sort_by_key(|r| r.0);
+        assert_eq!(got, want, "stable, lossless recovery after short write");
+    }
+
+    #[test]
+    fn batched_writer_panic_surfaces_as_error_and_loses_no_records() {
+        // The Grenade detonates inside the spill-writer thread while it is
+        // streaming into the batched backend: same error contract as the
+        // blocking run of this scenario above.
+        let mut sorter: StreamSorter<u64, Grenade> =
+            StreamSorter::with_config(batched_cfg(16 << 10, 2, 8));
+        let capacity = sorter.run_capacity;
+        let fuse = Arc::new(AtomicI64::new(capacity as i64 + (capacity / 2) as i64));
+        let n = 6 * capacity;
+        let mut input: Vec<(u64, Grenade)> = Vec::new();
+        let mut saw_error = false;
+        for i in 0..n as u64 {
+            let record = (i % 89, Grenade::new(&fuse, i));
+            input.push(record.clone());
+            match sorter.push_record(record.0, record.1) {
+                Ok(()) => {}
+                Err(e) => {
+                    assert!(e.to_string().contains("panicked"), "unexpected error: {e}");
+                    assert_eq!(sorter.in_flight_records, 0);
+                    assert!(sorter.pipeline_broken);
+                    saw_error = true;
+                }
+            }
+        }
+        assert!(saw_error, "the writer panic must surface on a push");
+        let got = sorter.finish_vec().unwrap();
+        assert_eq!(got.len(), input.len());
+        let mut want = input;
+        want.sort_by_key(|r| r.0);
+        let got_payloads: Vec<&[u8]> = got.iter().map(|(_, g)| g.payload.as_slice()).collect();
+        let want_payloads: Vec<&[u8]> = want.iter().map(|(_, g)| g.payload.as_slice()).collect();
+        assert_eq!(got_payloads, want_payloads, "stable, lossless recovery");
+    }
+
+    #[test]
+    fn batched_merge_surfaces_a_corrupted_block_checksum() {
+        // Bit rot between spill and merge, read back through the batched
+        // feeds: the block CRC must turn it into an error, never silently
+        // wrong output.
+        let cfg = StreamConfig {
+            spill_compression: dtsort::SpillCompression::DeltaLz,
+            ..batched_cfg(32 << 10, 2, 64)
+        };
+        let mut sorter: StreamSorter<u32, u32> = StreamSorter::with_config(cfg);
+        let batch: Vec<(u32, u32)> = (0..30_000u32).map(|i| (i.rotate_left(13), i)).collect();
+        sorter.push(&batch).unwrap();
+        sorter.flush_spills().unwrap();
+        assert!(sorter.stats().spilled_runs > 0);
+        let victim = sorter.runs[0].path.clone();
+        let mut bytes = std::fs::read(&victim).unwrap();
+        *bytes.last_mut().unwrap() ^= 0x40;
+        std::fs::write(&victim, &bytes).unwrap();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sorter.finish().map(|s| s.count())
+        }));
+        let message = match outcome {
+            Ok(Ok(_)) => panic!("corrupted run must not merge cleanly"),
+            Ok(Err(e)) => e.to_string(),
+            Err(panic) => panic
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "non-string panic".to_string()),
+        };
+        assert!(
+            message.contains("checksum"),
+            "corruption must be named a checksum failure, got: {message}"
+        );
     }
 }

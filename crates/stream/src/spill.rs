@@ -37,16 +37,21 @@
 //! [`BLOCK_RAW_TARGET`] payload bytes each):
 //!
 //! ```text
-//! ┌──────────────┬─────────────┬─────────────┬─────────────┬─────┐
-//! │ record_count │ key_stream  │ payload_raw │ payload_enc │ enc │
-//! │ (u32 LE)     │ _len (u32)  │ _len (u32)  │ _len (u32)  │ u8  │
-//! ├──────────────┴─────────────┴─────────────┴─────────────┴─────┤
-//! │ key stream: first key absolute, then deltas (LEB128 varints) │
-//! ├──────────────────────────────────────────────────────────────┤
-//! │ payload: concatenated record payloads, LZ-compressed when    │
-//! │ enc = 1, stored raw when enc = 0 (incompressible fallback)   │
-//! └──────────────────────────────────────────────────────────────┘  × blocks
+//! ┌──────────────┬─────────────┬─────────────┬─────────────┬───────┬─────┐
+//! │ record_count │ key_stream  │ payload_raw │ payload_enc │ crc32 │ enc │
+//! │ (u32 LE)     │ _len (u32)  │ _len (u32)  │ _len (u32)  │ (u32) │ u8  │
+//! ├──────────────┴─────────────┴─────────────┴─────────────┴───────┴─────┤
+//! │ key stream: first key absolute, then deltas (LEB128 varints)         │
+//! ├──────────────────────────────────────────────────────────────────────┤
+//! │ payload: concatenated record payloads, LZ-compressed when            │
+//! │ enc = 1, stored raw when enc = 0 (incompressible fallback)           │
+//! └──────────────────────────────────────────────────────────────────────┘  × blocks
 //! ```
+//!
+//! `crc32` is the IEEE CRC-32 of the key stream followed by the encoded
+//! payload, verified on decode **before** either section is interpreted —
+//! silent bit rot in a spill file surfaces as
+//! [`io::ErrorKind::InvalidData`] instead of wrong records.
 //!
 //! Keys within a run are sorted, so the deltas are non-negative and
 //! small — most encode in one byte.  The payload bytes are exactly what
@@ -63,9 +68,9 @@
 //! than the run's recorded raw size).
 
 use crate::codec;
+use crate::spillio::{SpillIoHandle, SpillRead, SpillWrite};
 use dtsort::{IntegerKey, RunReport, SortConfig, SpillCompression};
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, Read, Write};
 use std::marker::PhantomData;
 use std::mem::size_of;
 use std::path::{Path, PathBuf};
@@ -462,8 +467,8 @@ pub(crate) const BLOCK_RAW_TARGET: usize = 64 << 10;
 pub(crate) const BLOCK_MAX_RECORDS: usize = 8192;
 /// Bytes of the fixed compressed-block header:
 /// `record_count u32 | key_stream_len u32 | payload_raw_len u32 |
-/// payload_enc_len u32 | enc u8`.
-const BLOCK_HEADER_BYTES: usize = 17;
+/// payload_enc_len u32 | crc32 u32 | enc u8`.
+const BLOCK_HEADER_BYTES: usize = 21;
 
 fn bad_run_data(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, what.to_string())
@@ -472,8 +477,8 @@ fn bad_run_data(what: &str) -> io::Error {
 /// Writes the compressed block encoding of `records`; returns
 /// `(bytes_on_disk, raw_bytes)` where `raw_bytes` is what the flat
 /// encoding would have written.
-fn write_run_blocks<K: IntegerKey, V: SpillValue>(
-    writer: &mut BufWriter<File>,
+fn write_run_blocks<W: Write, K: IntegerKey, V: SpillValue>(
+    writer: &mut W,
     records: &[(K, V)],
 ) -> io::Result<(u64, u64)> {
     let mut bytes = 0u64;
@@ -512,13 +517,14 @@ fn write_run_blocks<K: IntegerKey, V: SpillValue>(
         }
         enc.clear();
         codec::lz_compress(&payload, &mut enc);
-        // Store-raw fallback: incompressible blocks cost 17 header bytes,
+        // Store-raw fallback: incompressible blocks cost 21 header bytes,
         // never an inflated payload.
         let (flag, body): (u8, &[u8]) = if enc.len() < payload.len() {
             (1, &enc)
         } else {
             (0, &payload)
         };
+        let crc = codec::crc32_update(codec::crc32_update(0, &key_stream), body);
         let too_big = |_| {
             io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -533,6 +539,7 @@ fn write_run_blocks<K: IntegerKey, V: SpillValue>(
         )?;
         writer.write_all(&u32::try_from(payload.len()).map_err(too_big)?.to_le_bytes())?;
         writer.write_all(&u32::try_from(body.len()).map_err(too_big)?.to_le_bytes())?;
+        writer.write_all(&crc.to_le_bytes())?;
         writer.write_all(&[flag])?;
         writer.write_all(&key_stream)?;
         writer.write_all(body)?;
@@ -541,21 +548,21 @@ fn write_run_blocks<K: IntegerKey, V: SpillValue>(
     Ok((bytes, raw_bytes))
 }
 
-/// Writes a sorted run to `path` in the given encoding and syncs it to
-/// disk; returns the run's full metadata.
+/// Writes a sorted run to `path` through the `io` backend in the given
+/// encoding and syncs it to disk; returns the run's full metadata.
 ///
-/// The final `sync_data` is part of the spill contract: a run is recorded
-/// as spilled (and its buffered records dropped) only after this returns,
-/// so a run the stats report as spilled is fully on disk — a panic or
-/// crash later can never leave a recorded run truncated the way a dropped
-/// `BufWriter` silently would.
+/// The final durability step ([`SpillWrite::finish`]) is part of the
+/// spill contract: a run is recorded as spilled (and its buffered records
+/// dropped) only after this returns, so a run the stats report as spilled
+/// is fully on disk — a panic or crash later can never leave a recorded
+/// run truncated the way a dropped buffered writer silently would.
 pub(crate) fn write_run<K: IntegerKey, V: SpillValue>(
+    io: &SpillIoHandle,
     path: &Path,
     records: &[(K, V)],
     compression: SpillCompression,
 ) -> io::Result<SpilledRun> {
-    let file = File::create(path)?;
-    let mut writer = BufWriter::with_capacity(1 << 20, file);
+    let mut writer: Box<dyn SpillWrite> = io.create(path)?;
     let (bytes, raw_bytes) = match compression {
         SpillCompression::Off => {
             let mut bytes = 0u64;
@@ -570,15 +577,13 @@ pub(crate) fn write_run<K: IntegerKey, V: SpillValue>(
     };
     if obs::enabled() {
         let start = std::time::Instant::now();
-        writer.flush()?;
-        writer.get_ref().sync_data()?;
+        writer.finish()?;
         let metrics = crate::metrics::m();
         metrics.fsync_ns.record_duration(start.elapsed());
         metrics.bytes_written.add(bytes);
         metrics.raw_bytes_spilled.add(raw_bytes);
     } else {
-        writer.flush()?;
-        writer.get_ref().sync_data()?;
+        writer.finish()?;
     }
     Ok(SpilledRun {
         path: path.to_path_buf(),
@@ -646,7 +651,7 @@ pub(crate) fn var_payload_bytes<K, V: SpillValue>(chunk: &[(K, V)]) -> usize {
 /// encoding transparently (the merge and the prefetcher never see block
 /// boundaries).
 pub(crate) struct RunReader<V: SpillValue> {
-    reader: BufReader<File>,
+    reader: Box<dyn SpillRead>,
     remaining: usize,
     bytes_remaining: u64,
     /// Decoded (flat-equivalent) bytes left, from `SpilledRun::raw_bytes`;
@@ -657,6 +662,9 @@ pub(crate) struct RunReader<V: SpillValue> {
     block_keys: Vec<u64>,
     /// Decoded payload of the current block (`DeltaLz` only).
     block_payload: Vec<u8>,
+    /// Staging buffer for the encoded payload section, so the block
+    /// checksum can be verified before anything is interpreted.
+    enc_payload: Vec<u8>,
     block_next: usize,
     block_payload_pos: usize,
     /// Side buffer values stream through; for var-format runs it grows to
@@ -666,13 +674,16 @@ pub(crate) struct RunReader<V: SpillValue> {
 }
 
 impl<V: SpillValue> RunReader<V> {
-    pub fn open(run: &SpilledRun, buffer_bytes: usize) -> io::Result<Self> {
-        let file = File::open(&run.path)?;
+    pub fn open(io: &SpillIoHandle, run: &SpilledRun, buffer_bytes: usize) -> io::Result<Self> {
+        // The caller's budget is honored as given (64-byte floor inside
+        // the backend so buffered reads stay functional) — re-inflating
+        // small budgets here would undo the aggregate cap of
+        // `per_run_reader_budget`.
+        let (reader, actual) = io.open(&run.path, buffer_bytes)?;
         // Validate the file length eagerly: a truncated spill file must
         // surface as an I/O error here, at open time, rather than as a
         // mid-merge failure (or, worse, a silently shorter output if a
         // caller ever trusted the byte stream over the run metadata).
-        let actual = file.metadata()?.len();
         if actual < run.bytes {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -685,17 +696,15 @@ impl<V: SpillValue> RunReader<V> {
                 ),
             ));
         }
-        // The caller's budget is honored as given (64-byte floor so the
-        // BufReader stays functional) — re-inflating small budgets here
-        // would undo the aggregate cap of `per_run_reader_budget`.
         Ok(Self {
-            reader: BufReader::with_capacity(buffer_bytes.max(64), file),
+            reader,
             remaining: run.len,
             bytes_remaining: run.bytes,
             raw_remaining: run.raw_bytes,
             compression: run.compression,
             block_keys: Vec::new(),
             block_payload: Vec::new(),
+            enc_payload: Vec::new(),
             block_next: 0,
             block_payload_pos: 0,
             scratch: Vec::new(),
@@ -763,7 +772,8 @@ impl<V: SpillValue> RunReader<V> {
         let key_stream_len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as u64;
         let payload_raw_len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as u64;
         let payload_enc_len = u32::from_le_bytes(header[12..16].try_into().unwrap()) as u64;
-        let enc = header[16];
+        let crc = u32::from_le_bytes(header[16..20].try_into().unwrap());
+        let enc = header[20];
         if count == 0 || count > self.remaining {
             return Err(bad_run_data(
                 "block record count disagrees with the run metadata",
@@ -779,10 +789,21 @@ impl<V: SpillValue> RunReader<V> {
                 "block raw payload size exceeds the run's recorded raw bytes",
             ));
         }
-        // Key stream: absolute first key, then non-negative deltas.
+        // Read both sections and verify the block checksum before either
+        // is interpreted: bit rot must surface as `InvalidData`, never as
+        // silently wrong keys or payload bytes.
         self.scratch.resize(key_stream_len as usize, 0);
         self.reader.read_exact(&mut self.scratch)?;
         self.bytes_remaining -= key_stream_len;
+        self.enc_payload.resize(payload_enc_len as usize, 0);
+        self.reader.read_exact(&mut self.enc_payload)?;
+        self.bytes_remaining -= payload_enc_len;
+        let actual_crc =
+            codec::crc32_update(codec::crc32_update(0, &self.scratch), &self.enc_payload);
+        if actual_crc != crc {
+            return Err(bad_run_data("block checksum mismatch"));
+        }
+        // Key stream: absolute first key, then non-negative deltas.
         self.block_keys.clear();
         self.block_keys.reserve(count);
         let mut cursor: &[u8] = &self.scratch;
@@ -802,20 +823,17 @@ impl<V: SpillValue> RunReader<V> {
             return Err(bad_run_data("trailing bytes after the block key stream"));
         }
         // Payload: LZ-compressed or stored raw.
-        self.scratch.resize(payload_enc_len as usize, 0);
-        self.reader.read_exact(&mut self.scratch)?;
-        self.bytes_remaining -= payload_enc_len;
         self.block_payload.clear();
         match enc {
             0 => {
                 if payload_enc_len != payload_raw_len {
                     return Err(bad_run_data("stored-raw block sizes disagree"));
                 }
-                self.block_payload.extend_from_slice(&self.scratch);
+                self.block_payload.extend_from_slice(&self.enc_payload);
             }
             1 => {
-                let (scratch, payload) = (&self.scratch, &mut self.block_payload);
-                codec::lz_decompress(scratch, payload, payload_raw_len as usize)?;
+                let (encoded, payload) = (&self.enc_payload, &mut self.block_payload);
+                codec::lz_decompress(encoded, payload, payload_raw_len as usize)?;
             }
             _ => return Err(bad_run_data("unknown block payload encoding")),
         }
@@ -837,11 +855,18 @@ impl<V: SpillValue> RunReader<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::File;
 
     fn tmp_path(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("pisort-spill-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name)
+    }
+
+    /// The blocking reference backend, used by every format test here
+    /// (backend differentials live in `spillio.rs` and `tests/`).
+    fn bio() -> SpillIoHandle {
+        SpillIoHandle::blocking()
     }
 
     fn fixed_record_size<V: PodValue>() -> u64 {
@@ -851,12 +876,12 @@ mod tests {
     /// Writes `records` in the flat encoding and returns run metadata
     /// matching the file.
     fn spill<K: IntegerKey, V: SpillValue>(path: &Path, records: &[(K, V)]) -> SpilledRun {
-        write_run(path, records, SpillCompression::Off).unwrap()
+        write_run(&bio(), path, records, SpillCompression::Off).unwrap()
     }
 
     /// Writes `records` in the compressed block encoding.
     fn spill_lz<K: IntegerKey, V: SpillValue>(path: &Path, records: &[(K, V)]) -> SpilledRun {
-        write_run(path, records, SpillCompression::DeltaLz).unwrap()
+        write_run(&bio(), path, records, SpillCompression::DeltaLz).unwrap()
     }
 
     #[test]
@@ -865,7 +890,7 @@ mod tests {
         let records: Vec<(u32, u32)> = (0..1000u32).map(|i| (i * 3, i)).collect();
         let run = spill(&path, &records);
         assert_eq!(run.bytes, 12 * 1000);
-        let mut reader = RunReader::<u32>::open(&run, 4096).unwrap();
+        let mut reader = RunReader::<u32>::open(&bio(), &run, 4096).unwrap();
         let got: Vec<(u32, u32)> = reader.read_all().unwrap();
         assert_eq!(got, records);
         std::fs::remove_file(path).ok();
@@ -876,11 +901,11 @@ mod tests {
         let path = tmp_path("i64unit.bin");
         let records: Vec<(i64, ())> = vec![(i64::MIN, ()), (-1, ()), (0, ()), (i64::MAX, ())];
         let run = spill(&path, &records);
-        let mut reader = RunReader::<()>::open(&run, 4096).unwrap();
+        let mut reader = RunReader::<()>::open(&bio(), &run, 4096).unwrap();
         let got: Vec<(i64, ())> = reader.read_all().unwrap();
         assert_eq!(got, records);
         // Ordered-u64 images on disk must be monotone for signed keys.
-        let mut reader = RunReader::<()>::open(&run, 4096).unwrap();
+        let mut reader = RunReader::<()>::open(&bio(), &run, 4096).unwrap();
         let mut ordered = Vec::new();
         while let Some((k, ())) = reader.next_record().unwrap() {
             ordered.push(k);
@@ -894,7 +919,7 @@ mod tests {
         let path = tmp_path("arr.bin");
         let records: Vec<(u16, [u8; 5])> = (0..100u16).map(|i| (i, [i as u8; 5])).collect();
         let run = spill(&path, &records);
-        let got: Vec<(u16, [u8; 5])> = RunReader::<[u8; 5]>::open(&run, 4096)
+        let got: Vec<(u16, [u8; 5])> = RunReader::<[u8; 5]>::open(&bio(), &run, 4096)
             .unwrap()
             .read_all()
             .unwrap();
@@ -917,7 +942,7 @@ mod tests {
         let run = spill(&path, &records);
         let payload: usize = records.iter().map(|(_, v)| v.len()).sum();
         assert_eq!(run.bytes, (records.len() * 12 + payload) as u64);
-        let got: Vec<(u64, String)> = RunReader::<String>::open(&run, 4096)
+        let got: Vec<(u64, String)> = RunReader::<String>::open(&bio(), &run, 4096)
             .unwrap()
             .read_all()
             .unwrap();
@@ -939,7 +964,7 @@ mod tests {
             })
             .collect();
         let run = spill(&path, &records);
-        let got: Vec<(u32, Vec<u8>)> = RunReader::<Vec<u8>>::open(&run, 4096)
+        let got: Vec<(u32, Vec<u8>)> = RunReader::<Vec<u8>>::open(&bio(), &run, 4096)
             .unwrap()
             .read_all()
             .unwrap();
@@ -952,7 +977,7 @@ mod tests {
         let path2 = tmp_path("varboxed.bin");
         let run2 = spill(&path2, &boxed);
         assert_eq!(run2.bytes, run.bytes);
-        let got2: Vec<(u32, Box<[u8]>)> = RunReader::<Box<[u8]>>::open(&run2, 4096)
+        let got2: Vec<(u32, Box<[u8]>)> = RunReader::<Box<[u8]>>::open(&bio(), &run2, 4096)
             .unwrap()
             .read_all()
             .unwrap();
@@ -972,7 +997,7 @@ mod tests {
             let f = File::options().write(true).open(&path).unwrap();
             f.set_len(cut).unwrap();
             drop(f);
-            let err = match RunReader::<u32>::open(&run, 4096) {
+            let err = match RunReader::<u32>::open(&bio(), &run, 4096) {
                 Err(e) => e,
                 Ok(mut reader) => reader
                     .read_all::<u32>()
@@ -1007,7 +1032,7 @@ mod tests {
             let f = File::options().write(true).open(&path).unwrap();
             f.set_len(cut).unwrap();
             drop(f);
-            let err = match RunReader::<String>::open(&run, 4096) {
+            let err = match RunReader::<String>::open(&bio(), &run, 4096) {
                 Err(e) => e,
                 Ok(mut reader) => reader
                     .read_all::<u64>()
@@ -1033,13 +1058,13 @@ mod tests {
             raw_bytes: good.raw_bytes + fixed_record_size::<()>(),
             compression: SpillCompression::Off,
         };
-        let err = match RunReader::<()>::open(&run, 4096) {
+        let err = match RunReader::<()>::open(&bio(), &run, 4096) {
             Err(e) => e,
             Ok(_) => panic!("overcount must fail"),
         };
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
         // The correct metadata still reads fine.
-        let got: Vec<(u64, ())> = RunReader::<()>::open(&good, 4096)
+        let got: Vec<(u64, ())> = RunReader::<()>::open(&bio(), &good, 4096)
             .unwrap()
             .read_all()
             .unwrap();
@@ -1063,7 +1088,7 @@ mod tests {
             raw_bytes: good.raw_bytes,
             compression: SpillCompression::Off,
         };
-        let mut reader = RunReader::<Vec<u8>>::open(&run, 4096).unwrap();
+        let mut reader = RunReader::<Vec<u8>>::open(&bio(), &run, 4096).unwrap();
         let err = reader
             .read_all::<u64>()
             .expect_err("overcounted record count must fail");
@@ -1082,7 +1107,7 @@ mod tests {
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
         std::fs::write(&path, &bytes).unwrap();
-        let mut reader = RunReader::<Vec<u8>>::open(&run, 4096).unwrap();
+        let mut reader = RunReader::<Vec<u8>>::open(&bio(), &run, 4096).unwrap();
         let err = reader
             .read_all::<u64>()
             .expect_err("corrupted length prefix must fail");
@@ -1097,7 +1122,7 @@ mod tests {
         let path = tmp_path("var-badutf8.bin");
         let records: Vec<(u64, Vec<u8>)> = vec![(1, vec![0xFF, 0xFE, 0xFD])];
         let run = spill(&path, &records);
-        let mut reader = RunReader::<String>::open(&run, 4096).unwrap();
+        let mut reader = RunReader::<String>::open(&bio(), &run, 4096).unwrap();
         let err = reader
             .read_all::<u64>()
             .expect_err("non-UTF-8 String payload must fail");
@@ -1152,7 +1177,7 @@ mod tests {
             run.bytes,
             run.raw_bytes
         );
-        let got: Vec<(u32, u32)> = RunReader::<u32>::open(&run, 4096)
+        let got: Vec<(u32, u32)> = RunReader::<u32>::open(&bio(), &run, 4096)
             .unwrap()
             .read_all()
             .unwrap();
@@ -1182,13 +1207,13 @@ mod tests {
         records.push((u64::MAX, "final".to_string()));
         let run = spill_lz(&path, &records);
         assert!(run.bytes < run.raw_bytes, "structured text must compress");
-        let got: Vec<(u64, String)> = RunReader::<String>::open(&run, 4096)
+        let got: Vec<(u64, String)> = RunReader::<String>::open(&bio(), &run, 4096)
             .unwrap()
             .read_all()
             .unwrap();
         assert_eq!(got, records);
         // A tiny read buffer must not change the decoded stream.
-        let got_small: Vec<(u64, String)> = RunReader::<String>::open(&run, 1)
+        let got_small: Vec<(u64, String)> = RunReader::<String>::open(&bio(), &run, 1)
             .unwrap()
             .read_all()
             .unwrap();
@@ -1213,11 +1238,11 @@ mod tests {
         let flat = spill(&path_a, &records);
         let lz = spill_lz(&path_b, &records);
         assert_eq!(flat.raw_bytes, lz.raw_bytes);
-        let a: Vec<(u64, Vec<u8>)> = RunReader::<Vec<u8>>::open(&flat, 4096)
+        let a: Vec<(u64, Vec<u8>)> = RunReader::<Vec<u8>>::open(&bio(), &flat, 4096)
             .unwrap()
             .read_all()
             .unwrap();
-        let b: Vec<(u64, Vec<u8>)> = RunReader::<Vec<u8>>::open(&lz, 4096)
+        let b: Vec<(u64, Vec<u8>)> = RunReader::<Vec<u8>>::open(&bio(), &lz, 4096)
             .unwrap()
             .read_all()
             .unwrap();
@@ -1247,7 +1272,7 @@ mod tests {
             .collect();
         let run = spill_lz(&path, &records);
         // Still decodes, and never inflates past raw + headers + keys.
-        let got: Vec<(u64, Vec<u8>)> = RunReader::<Vec<u8>>::open(&run, 4096)
+        let got: Vec<(u64, Vec<u8>)> = RunReader::<Vec<u8>>::open(&bio(), &run, 4096)
             .unwrap()
             .read_all()
             .unwrap();
@@ -1272,7 +1297,7 @@ mod tests {
             let f = File::options().write(true).open(&path).unwrap();
             f.set_len(cut).unwrap();
             drop(f);
-            let err = match RunReader::<String>::open(&run, 4096) {
+            let err = match RunReader::<String>::open(&bio(), &run, 4096) {
                 Err(e) => e,
                 Ok(mut reader) => reader
                     .read_all::<u64>()
@@ -1286,10 +1311,10 @@ mod tests {
     #[test]
     fn corrupted_block_header_cannot_read_past_the_run() {
         let records: Vec<(u64, Vec<u8>)> = (0..100u64).map(|i| (i, vec![3u8; 20])).collect();
-        // Corrupt each u32 header field in turn (offsets 0, 4, 8, 12) and
-        // the enc flag (16); every corruption must surface as an error,
-        // never garbage records or a huge allocation.
-        for offset in [0usize, 4, 8, 12, 16] {
+        // Corrupt each u32 header field in turn (offsets 0, 4, 8, 12 and
+        // the checksum at 16) and the enc flag (20); every corruption must
+        // surface as an error, never garbage records or a huge allocation.
+        for offset in [0usize, 4, 8, 12, 16, 20] {
             let path = tmp_path(&format!("lz-badheader-{offset}.bin"));
             let run = spill_lz(&path, &records);
             let mut bytes = std::fs::read(&path).unwrap();
@@ -1300,7 +1325,7 @@ mod tests {
                 bytes[offset..offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
             }
             std::fs::write(&path, &bytes).unwrap();
-            let mut reader = RunReader::<Vec<u8>>::open(&run, 4096).unwrap();
+            let mut reader = RunReader::<Vec<u8>>::open(&bio(), &run, 4096).unwrap();
             assert!(
                 reader.read_all::<u64>().is_err(),
                 "corrupt header field at {offset} must fail"
@@ -1310,10 +1335,31 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_block_body_fails_the_checksum() {
+        // Flip a single payload bit with every header field intact: only
+        // the per-block CRC can catch this, and it must report
+        // `InvalidData` before any record of the block is served.
+        let records: Vec<(u64, Vec<u8>)> = (0..100u64).map(|i| (i, vec![i as u8; 20])).collect();
+        let path = tmp_path("lz-bitrot.bin");
+        let run = spill_lz(&path, &records);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1; // inside the (single) block's payload
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut reader = RunReader::<Vec<u8>>::open(&bio(), &run, 4096).unwrap();
+        let err = reader
+            .read_all::<u64>()
+            .expect_err("bit rot must fail the block checksum");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "got: {err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
     fn compressed_spill_rejects_unsorted_records() {
         let path = tmp_path("lz-unsorted.bin");
         let records: Vec<(u64, u32)> = vec![(10, 1), (5, 2)];
-        let err = write_run(&path, &records, SpillCompression::DeltaLz)
+        let err = write_run(&bio(), &path, &records, SpillCompression::DeltaLz)
             .expect_err("delta encoding requires sorted keys");
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
         std::fs::remove_file(path).ok();

@@ -1,0 +1,744 @@
+//! Pluggable spill I/O backends behind the sealed [`SpillIo`] trait.
+//!
+//! Every spilled byte the streaming engines read or write flows through a
+//! [`SpillIoHandle`], so `spill.rs`, `pipeline.rs` and the engines never
+//! name `File`/`BufReader`/`BufWriter` directly.  Two backends exist,
+//! selected by [`dtsort::StreamConfig::spill_io`]:
+//!
+//! * [`SpillIoMode::Blocking`] — today's code path, byte-for-byte: a
+//!   `BufWriter` over `File::create` for runs, a `BufReader` over
+//!   `File::open` for merges.  This is the differential reference, the
+//!   same role [`dtsort::StreamConfig::synchronous_spill`] plays for the
+//!   pipeline.
+//! * [`SpillIoMode::Batched`] — a fixed pool of I/O worker threads
+//!   (`spill_io_workers`) driving one bounded submission queue
+//!   (`spill_io_queue_depth`) of positioned-I/O jobs over pooled,
+//!   recycled buffers, in the queue-pair discipline of userspace-NVMe
+//!   runtimes: bounded queue depth, poll completions, recycle buffers.
+//!   Writers chunk their stream into `pwrite` jobs and fsync on
+//!   [`SpillWrite::finish`]; readers double-buffer `pread` jobs one chunk
+//!   ahead.  The merge read-ahead scheduler in `pipeline.rs` rides the
+//!   same pool, so a k-way merge runs with at most `spill_io_workers`
+//!   I/O threads regardless of the run count.
+//!
+//! ## Error contract
+//!
+//! Batched writes complete asynchronously, but no error is ever dropped:
+//! a failed chunk is recorded in the writer's shared state and surfaces
+//! on the next [`Write::write`] or at [`SpillWrite::finish`] — which also
+//! orders the durability step (`sync_data`) strictly after every chunk
+//! has landed, preserving the fsync-before-record spill contract.  A
+//! panicking job is caught by the worker (the pool survives) and turns
+//! into an `io::Error` at the consumer.
+
+use crate::metrics::m;
+use dtsort::{SpillIoMode, StreamConfig};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::os::unix::fs::FileExt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Bytes a batched writer accumulates before handing one positioned-write
+/// job to the workers.
+const WRITE_CHUNK_BYTES: usize = 256 << 10;
+
+mod sealed_io {
+    pub trait Sealed {}
+}
+
+/// Sink for one spill run.  `Write` feeds the encoded bytes;
+/// [`SpillWrite::finish`] makes them durable.
+pub(crate) trait SpillWrite: Write + Send {
+    /// Completes the file: drains everything buffered or in flight and
+    /// syncs the data to disk.  Errors from earlier asynchronous chunk
+    /// writes surface here at the latest.
+    fn finish(self: Box<Self>) -> io::Result<()>;
+}
+
+/// Buffered sequential source over one spill run.
+pub(crate) trait SpillRead: Read + Send {}
+
+/// The sealed backend interface: open/create files for spill traffic and
+/// describe the backend's concurrency envelope.
+pub(crate) trait SpillIo: Send + Sync + sealed_io::Sealed {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn SpillWrite>>;
+    /// Opens `path` for sequential reading with roughly `buffer_bytes` of
+    /// read buffering; returns the reader and the file's current length
+    /// (for the caller's truncation check).
+    fn open(&self, path: &Path, buffer_bytes: usize) -> io::Result<(Box<dyn SpillRead>, u64)>;
+    fn mode(&self) -> SpillIoMode;
+    /// How many prefetch streams may be in flight at once (the merge
+    /// fan-in cap for read-ahead).  Unbounded for `Blocking` (the caller
+    /// applies its own thread-count cap).
+    fn max_inflight(&self) -> usize;
+    fn set_max_inflight(&self, _n: usize) {}
+    /// The shared job pool, for the batched merge read-ahead scheduler.
+    fn pool(&self) -> Option<JobPool>;
+    fn workers(&self) -> usize;
+    fn queue_depth(&self) -> usize;
+    /// Failure injection: error every write after `bytes` more bytes
+    /// (no-op on `Blocking`).  Only reachable from `#[cfg(test)]` code.
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn set_write_fuse(&self, _bytes: u64) {}
+}
+
+/// A cloneable, shareable handle to one spill I/O backend.  Engines
+/// default to [`SpillIoHandle::from_config`]; the server shares one
+/// handle across sessions so the governor can arbitrate the queue.
+#[derive(Clone)]
+pub struct SpillIoHandle {
+    inner: Arc<dyn SpillIo>,
+}
+
+impl std::fmt::Debug for SpillIoHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillIoHandle")
+            .field("mode", &self.inner.mode())
+            .finish()
+    }
+}
+
+impl SpillIoHandle {
+    /// The blocking backend (today's `BufWriter`/`BufReader` path).
+    pub fn blocking() -> Self {
+        Self {
+            inner: Arc::new(BlockingIo),
+        }
+    }
+
+    /// The batched backend: `workers` I/O threads behind one bounded
+    /// queue of `queue_depth` jobs.
+    pub fn batched(workers: usize, queue_depth: usize) -> Self {
+        Self {
+            inner: Arc::new(BatchedIo::new(workers.max(1), queue_depth.max(1))),
+        }
+    }
+
+    /// The backend `cfg` selects (`spill_io` + its worker/depth knobs).
+    pub fn from_config(cfg: &StreamConfig) -> Self {
+        match cfg.spill_io {
+            SpillIoMode::Blocking => Self::blocking(),
+            SpillIoMode::Batched => Self::batched(cfg.spill_io_workers, cfg.spill_io_queue_depth),
+        }
+    }
+
+    pub fn mode(&self) -> SpillIoMode {
+        self.inner.mode()
+    }
+
+    /// Re-splits the backend's in-flight read budget across `sessions`
+    /// concurrent sessions (the cross-session spill-bandwidth hook: each
+    /// live session's merges get an equal share of the queue depth, never
+    /// below the worker count).  No-op on `Blocking`.
+    pub fn rebalance_shared(&self, sessions: usize) {
+        let depth = self.inner.queue_depth();
+        if depth == 0 {
+            return;
+        }
+        let share = (depth / sessions.max(1)).max(self.inner.workers()).max(1);
+        self.inner.set_max_inflight(share);
+    }
+
+    pub(crate) fn create(&self, path: &Path) -> io::Result<Box<dyn SpillWrite>> {
+        self.inner.create(path)
+    }
+
+    pub(crate) fn open(
+        &self,
+        path: &Path,
+        buffer_bytes: usize,
+    ) -> io::Result<(Box<dyn SpillRead>, u64)> {
+        self.inner.open(path, buffer_bytes)
+    }
+
+    pub(crate) fn max_inflight(&self) -> usize {
+        self.inner.max_inflight()
+    }
+
+    pub(crate) fn pool(&self) -> Option<JobPool> {
+        self.inner.pool()
+    }
+
+    /// Failure injection for tests: every batched write past `bytes` more
+    /// bytes fails with an injected short write.
+    #[cfg(test)]
+    pub(crate) fn inject_write_failure_after(&self, bytes: u64) {
+        self.inner.set_write_fuse(bytes);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking backend — byte-for-byte today's path.
+// ---------------------------------------------------------------------------
+
+struct BlockingIo;
+
+impl sealed_io::Sealed for BlockingIo {}
+
+impl SpillIo for BlockingIo {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn SpillWrite>> {
+        let file = File::create(path)?;
+        Ok(Box::new(BlockingWriter {
+            writer: BufWriter::with_capacity(1 << 20, file),
+        }))
+    }
+
+    fn open(&self, path: &Path, buffer_bytes: usize) -> io::Result<(Box<dyn SpillRead>, u64)> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let reader = BufReader::with_capacity(buffer_bytes.max(64), file);
+        Ok((Box::new(BlockingReader { reader }), len))
+    }
+
+    fn mode(&self) -> SpillIoMode {
+        SpillIoMode::Blocking
+    }
+
+    fn max_inflight(&self) -> usize {
+        usize::MAX
+    }
+
+    fn pool(&self) -> Option<JobPool> {
+        None
+    }
+
+    fn workers(&self) -> usize {
+        0
+    }
+
+    fn queue_depth(&self) -> usize {
+        0
+    }
+}
+
+struct BlockingWriter {
+    writer: BufWriter<File>,
+}
+
+impl Write for BlockingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.writer.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+impl SpillWrite for BlockingWriter {
+    fn finish(self: Box<Self>) -> io::Result<()> {
+        let mut writer = self.writer;
+        writer.flush()?;
+        writer.get_ref().sync_data()
+    }
+}
+
+struct BlockingReader {
+    reader: BufReader<File>,
+}
+
+impl Read for BlockingReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.reader.read(buf)
+    }
+}
+
+impl SpillRead for BlockingReader {}
+
+// ---------------------------------------------------------------------------
+// Batched backend — a fixed worker pool over one bounded job queue.
+// ---------------------------------------------------------------------------
+
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The bounded submission queue plus its worker threads.  Cloning shares
+/// the queue; workers exit when every clone is gone.
+#[derive(Clone)]
+pub(crate) struct JobPool {
+    tx: SyncSender<Job>,
+    queued: Arc<AtomicUsize>,
+}
+
+impl JobPool {
+    fn start(workers: usize, queue_depth: usize) -> Self {
+        let (tx, rx) = sync_channel::<Job>(queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let queued = Arc::new(AtomicUsize::new(0));
+        for w in 0..workers {
+            let rx = Arc::clone(&rx);
+            let queued = Arc::clone(&queued);
+            std::thread::Builder::new()
+                .name(format!("pisort-spill-io-{w}"))
+                .spawn(move || loop {
+                    let job = {
+                        let guard = rx.lock().expect("spill io queue");
+                        guard.recv()
+                    };
+                    let Ok(job) = job else { return };
+                    let start = obs::enabled().then(Instant::now);
+                    // A panicking job must not take the worker down: the
+                    // job's owner observes the failure through its own
+                    // channel/state, and the pool keeps serving.
+                    let _ = catch_unwind(AssertUnwindSafe(job));
+                    let left = queued.fetch_sub(1, Ordering::Relaxed) - 1;
+                    if let Some(start) = start {
+                        let metrics = m();
+                        metrics.spillio_complete_ns.record_duration(start.elapsed());
+                        metrics.spillio_queue_depth.set(left as i64);
+                    }
+                })
+                .expect("failed to spawn spill-io worker");
+        }
+        Self { tx, queued }
+    }
+
+    /// Enqueues a job, blocking while the queue is at depth (the
+    /// submission-side backpressure of the queue-pair discipline).
+    pub(crate) fn submit(&self, job: Job) {
+        let depth = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        if obs::enabled() {
+            let metrics = m();
+            metrics.spillio_jobs.incr();
+            metrics.spillio_queue_depth.set(depth as i64);
+            let start = Instant::now();
+            self.tx.send(job).expect("spill io workers gone");
+            metrics
+                .spillio_submit_wait_ns
+                .record_duration(start.elapsed());
+        } else {
+            self.tx.send(job).expect("spill io workers gone");
+        }
+    }
+}
+
+/// State shared by the batched backend's writers, readers and the merge
+/// scheduler: the pool, the buffer pool and the tuning knobs.
+struct BatchedCore {
+    pool: JobPool,
+    workers: usize,
+    queue_depth: usize,
+    /// Fan-in cap for merge read-ahead; the server's rebalance hook
+    /// shrinks it while many sessions share the backend.
+    max_inflight: AtomicUsize,
+    /// Cleared chunk buffers recycled between jobs.
+    buffers: Mutex<Vec<Vec<u8>>>,
+    /// Failure injection: remaining bytes before writes start failing
+    /// (`i64::MAX` = disabled).
+    write_fuse: AtomicI64,
+}
+
+impl BatchedCore {
+    fn take_buffer(&self) -> Vec<u8> {
+        self.buffers
+            .lock()
+            .expect("spill io buffers")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn recycle_buffer(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let mut pool = self.buffers.lock().expect("spill io buffers");
+        if pool.len() < self.queue_depth + 2 {
+            pool.push(buf);
+        }
+    }
+
+    /// Writes `data` at `off`, honoring the injection fuse: once the fuse
+    /// runs out, only the allowed prefix lands and the write errors (a
+    /// short write, exactly what a full disk produces).
+    fn checked_write(&self, file: &File, data: &[u8], off: u64) -> io::Result<()> {
+        let len = data.len() as i64;
+        let allowed = self.write_fuse.fetch_sub(len, Ordering::Relaxed);
+        if allowed < len {
+            let keep = allowed.max(0) as usize;
+            file.write_all_at(&data[..keep], off)?;
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected short write",
+            ));
+        }
+        file.write_all_at(data, off)
+    }
+}
+
+struct BatchedIo {
+    core: Arc<BatchedCore>,
+}
+
+impl BatchedIo {
+    fn new(workers: usize, queue_depth: usize) -> Self {
+        Self {
+            core: Arc::new(BatchedCore {
+                pool: JobPool::start(workers, queue_depth),
+                workers,
+                queue_depth,
+                max_inflight: AtomicUsize::new(queue_depth),
+                buffers: Mutex::new(Vec::new()),
+                write_fuse: AtomicI64::new(i64::MAX),
+            }),
+        }
+    }
+}
+
+impl sealed_io::Sealed for BatchedIo {}
+
+impl SpillIo for BatchedIo {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn SpillWrite>> {
+        let file = File::create(path)?;
+        Ok(Box::new(BatchedWriter {
+            core: Arc::clone(&self.core),
+            file: Arc::new(file),
+            buf: self.core.take_buffer(),
+            offset: 0,
+            shared: Arc::new(WriteShared {
+                state: Mutex::new(WriteState {
+                    pending: 0,
+                    error: None,
+                    broken: false,
+                }),
+                done: Condvar::new(),
+            }),
+        }))
+    }
+
+    fn open(&self, path: &Path, buffer_bytes: usize) -> io::Result<(Box<dyn SpillRead>, u64)> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let mut reader = BatchedRead {
+            core: Arc::clone(&self.core),
+            file: Arc::new(file),
+            len,
+            chunk: buffer_bytes.max(64),
+            next_offset: 0,
+            cur: Vec::new(),
+            cur_pos: 0,
+            pending: None,
+        };
+        reader.submit_next(); // first chunk in flight before the first read
+        Ok((Box::new(reader), len))
+    }
+
+    fn mode(&self) -> SpillIoMode {
+        SpillIoMode::Batched
+    }
+
+    fn max_inflight(&self) -> usize {
+        self.core.max_inflight.load(Ordering::Relaxed).max(1)
+    }
+
+    fn set_max_inflight(&self, n: usize) {
+        self.core.max_inflight.store(n.max(1), Ordering::Relaxed);
+    }
+
+    fn pool(&self) -> Option<JobPool> {
+        Some(self.core.pool.clone())
+    }
+
+    fn workers(&self) -> usize {
+        self.core.workers
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.core.queue_depth
+    }
+
+    fn set_write_fuse(&self, bytes: u64) {
+        self.core
+            .write_fuse
+            .store(bytes.min(i64::MAX as u64) as i64, Ordering::Relaxed);
+    }
+}
+
+struct WriteShared {
+    state: Mutex<WriteState>,
+    done: Condvar,
+}
+
+struct WriteState {
+    /// Chunk jobs submitted but not yet completed.
+    pending: usize,
+    /// First chunk-write failure; later ones are dropped.
+    error: Option<io::Error>,
+    /// Sticky: stays set after the error is taken, so `finish` cannot
+    /// report success for a file that lost a chunk.
+    broken: bool,
+}
+
+/// Chunked positioned-write sink: fills a pooled buffer, hands full
+/// chunks to the workers as `pwrite` jobs, waits for all of them (then
+/// fsyncs) on `finish`.
+struct BatchedWriter {
+    core: Arc<BatchedCore>,
+    file: Arc<File>,
+    buf: Vec<u8>,
+    offset: u64,
+    shared: Arc<WriteShared>,
+}
+
+impl BatchedWriter {
+    /// Surfaces any recorded chunk failure, then submits the current
+    /// buffer as one positioned-write job.
+    fn submit_chunk(&mut self) -> io::Result<()> {
+        {
+            let mut st = self.shared.state.lock().expect("spill write state");
+            if let Some(e) = st.error.take() {
+                return Err(e);
+            }
+            if st.broken {
+                return Err(io::Error::other("spill write already failed"));
+            }
+            st.pending += 1;
+        }
+        let data = std::mem::replace(&mut self.buf, self.core.take_buffer());
+        if data.is_empty() {
+            let mut st = self.shared.state.lock().expect("spill write state");
+            st.pending -= 1;
+            return Ok(());
+        }
+        let off = self.offset;
+        self.offset += data.len() as u64;
+        let file = Arc::clone(&self.file);
+        let core = Arc::clone(&self.core);
+        let shared = Arc::clone(&self.shared);
+        self.core.pool.submit(Box::new(move || {
+            let result = core.checked_write(&file, &data, off);
+            core.recycle_buffer(data);
+            let mut st = shared.state.lock().expect("spill write state");
+            st.pending -= 1;
+            if let Err(e) = result {
+                if st.error.is_none() {
+                    st.error = Some(e);
+                }
+                st.broken = true;
+            }
+            shared.done.notify_all();
+        }));
+        Ok(())
+    }
+}
+
+impl Write for BatchedWriter {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        if self.buf.len() >= WRITE_CHUNK_BYTES {
+            self.submit_chunk()?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SpillWrite for BatchedWriter {
+    fn finish(mut self: Box<Self>) -> io::Result<()> {
+        self.submit_chunk()?;
+        let mut st = self.shared.state.lock().expect("spill write state");
+        while st.pending > 0 {
+            st = self.shared.done.wait(st).expect("spill write state");
+        }
+        if let Some(e) = st.error.take() {
+            return Err(e);
+        }
+        if st.broken {
+            return Err(io::Error::other("spill write already failed"));
+        }
+        drop(st);
+        // Durability strictly after every chunk has landed: the caller
+        // records the run as spilled only once this returns.
+        self.file.sync_data()
+    }
+}
+
+/// Double-buffered positioned-read source: while the consumer drains the
+/// current chunk, at most one `pread` job fetches the next.
+struct BatchedRead {
+    core: Arc<BatchedCore>,
+    file: Arc<File>,
+    len: u64,
+    chunk: usize,
+    next_offset: u64,
+    cur: Vec<u8>,
+    cur_pos: usize,
+    pending: Option<Receiver<io::Result<Vec<u8>>>>,
+}
+
+impl BatchedRead {
+    fn submit_next(&mut self) {
+        if self.pending.is_some() || self.next_offset >= self.len {
+            return;
+        }
+        let size = (self.len - self.next_offset).min(self.chunk as u64) as usize;
+        let off = self.next_offset;
+        self.next_offset += size as u64;
+        let (tx, rx) = sync_channel::<io::Result<Vec<u8>>>(1);
+        let file = Arc::clone(&self.file);
+        let mut buf = self.core.take_buffer();
+        self.core.pool.submit(Box::new(move || {
+            buf.resize(size, 0);
+            let result = file.read_exact_at(&mut buf, off).map(|()| buf);
+            let _ = tx.send(result); // capacity 1: never blocks the worker
+        }));
+        self.pending = Some(rx);
+    }
+}
+
+impl Read for BatchedRead {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        while self.cur_pos == self.cur.len() {
+            if self.pending.is_none() {
+                if self.next_offset >= self.len {
+                    return Ok(0); // end of file
+                }
+                self.submit_next();
+            }
+            let rx = self.pending.take().expect("in-flight read");
+            let chunk = rx
+                .recv()
+                .map_err(|_| io::Error::other("spill io worker lost a read job"))??;
+            let old = std::mem::replace(&mut self.cur, chunk);
+            self.core.recycle_buffer(old);
+            self.cur_pos = 0;
+            self.submit_next(); // stay one chunk ahead
+        }
+        let n = out.len().min(self.cur.len() - self.cur_pos);
+        out[..n].copy_from_slice(&self.cur[self.cur_pos..self.cur_pos + n]);
+        self.cur_pos += n;
+        Ok(n)
+    }
+}
+
+impl SpillRead for BatchedRead {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pisort-spillio-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn write_all_then_finish(io: &SpillIoHandle, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut w = io.create(path)?;
+        // Dribble in odd-sized pieces so chunk boundaries never align.
+        for piece in data.chunks(1031) {
+            w.write_all(piece)?;
+        }
+        w.finish()
+    }
+
+    fn read_back(io: &SpillIoHandle, path: &Path, buffer: usize) -> io::Result<Vec<u8>> {
+        let (mut r, len) = io.open(path, buffer)?;
+        let mut out = Vec::with_capacity(len as usize);
+        r.read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn both_backends_roundtrip_identical_bytes() {
+        let data = payload(3 * WRITE_CHUNK_BYTES + 12345);
+        let mut images = Vec::new();
+        for (name, io) in [
+            ("blocking", SpillIoHandle::blocking()),
+            ("batched", SpillIoHandle::batched(2, 4)),
+        ] {
+            let path = tmp_path(&format!("rt-{name}.bin"));
+            write_all_then_finish(&io, &path, &data).unwrap();
+            assert_eq!(std::fs::read(&path).unwrap(), data, "{name} on-disk bytes");
+            // Tiny and large read buffers must decode identically.
+            for buffer in [64, 4096, 1 << 20] {
+                assert_eq!(read_back(&io, &path, buffer).unwrap(), data, "{name}");
+            }
+            images.push(std::fs::read(&path).unwrap());
+            std::fs::remove_file(&path).ok();
+        }
+        assert_eq!(images[0], images[1], "backends must be byte-identical");
+    }
+
+    #[test]
+    fn batched_write_failure_surfaces_on_write_or_finish() {
+        let io = SpillIoHandle::batched(2, 4);
+        io.inject_write_failure_after(WRITE_CHUNK_BYTES as u64);
+        let path = tmp_path("fuse.bin");
+        let data = payload(4 * WRITE_CHUNK_BYTES);
+        let err = write_all_then_finish(&io, &path, &data)
+            .expect_err("fused write must surface an error");
+        assert!(
+            err.to_string().contains("injected") || err.to_string().contains("failed"),
+            "got: {err}"
+        );
+        // The backend stays broken for this file but a fresh handle works.
+        let io2 = SpillIoHandle::batched(2, 4);
+        write_all_then_finish(&io2, &path, &data).unwrap();
+        assert_eq!(read_back(&io2, &path, 4096).unwrap(), data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batched_read_of_missing_or_truncated_file_errors() {
+        let io = SpillIoHandle::batched(1, 2);
+        let path = tmp_path("short.bin");
+        assert!(io.open(&path, 4096).is_err(), "missing file");
+        let data = payload(10_000);
+        write_all_then_finish(&io, &path, &data).unwrap();
+        let (mut r, len) = io.open(&path, 512).unwrap();
+        assert_eq!(len, data.len() as u64);
+        // Truncate under the open reader: the positioned reads must error
+        // (short read), never return fabricated bytes.
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(100)
+            .unwrap();
+        let mut out = Vec::new();
+        assert!(r.read_to_end(&mut out).is_err(), "truncated mid-read");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rebalance_splits_the_queue_depth_across_sessions() {
+        let io = SpillIoHandle::batched(2, 32);
+        assert_eq!(io.max_inflight(), 32);
+        io.rebalance_shared(4);
+        assert_eq!(io.max_inflight(), 8);
+        io.rebalance_shared(100);
+        assert_eq!(io.max_inflight(), 2, "floored at the worker count");
+        io.rebalance_shared(1);
+        assert_eq!(io.max_inflight(), 32);
+        // Blocking: a no-op, cap stays unbounded.
+        let b = SpillIoHandle::blocking();
+        b.rebalance_shared(4);
+        assert_eq!(b.max_inflight(), usize::MAX);
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job() {
+        let io = SpillIoHandle::batched(1, 2);
+        let pool = io.pool().unwrap();
+        pool.submit(Box::new(|| panic!("boom")));
+        let (tx, rx) = sync_channel::<u32>(1);
+        pool.submit(Box::new(move || {
+            let _ = tx.send(42);
+        }));
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
+            42,
+            "worker must survive the panic and run later jobs"
+        );
+    }
+}

@@ -278,6 +278,16 @@ impl<K: StringKey, V: SpillValue> StringStreamSorter<K, V> {
         }
     }
 
+    /// Like [`StringStreamSorter::with_config`] but spilling through the
+    /// caller's (possibly shared) I/O backend; see
+    /// [`crate::StreamSorter::with_config_and_io`].
+    pub fn with_config_and_io(cfg: StreamConfig, io: crate::spillio::SpillIoHandle) -> Self {
+        Self {
+            inner: StreamSorter::with_config_and_io(cfg, io),
+            _key: PhantomData,
+        }
+    }
+
     /// Appends one record, spilling a full run if due.
     pub fn push_record(&mut self, key: K, value: V) -> io::Result<()> {
         let prefix = string_key_prefix64(key.key_bytes());
@@ -350,6 +360,11 @@ impl<K: StringKey, V: SpillValue> StringSortedStream<K, V> {
     pub fn read_ahead_disabled(&self) -> bool {
         self.inner.read_ahead_disabled()
     }
+
+    /// See [`crate::SortedStream::prefetch_capped`].
+    pub fn prefetch_capped(&self) -> bool {
+        self.inner.prefetch_capped()
+    }
 }
 
 impl<K: StringKey, V: SpillValue> Iterator for StringSortedStream<K, V> {
@@ -419,6 +434,20 @@ impl<K: StringKey, G: Aggregator> StringStreamGroupBy<K, G> {
         }
     }
 
+    /// Like [`StringStreamGroupBy::with_config`] but spilling through the
+    /// caller's (possibly shared) I/O backend; see
+    /// [`crate::StreamGroupBy::with_config_and_io`].
+    pub fn with_config_and_io(
+        agg: G,
+        cfg: StreamConfig,
+        io: crate::spillio::SpillIoHandle,
+    ) -> Self {
+        Self {
+            inner: StreamGroupBy::with_config_and_io(StringAggAdapter(agg), cfg, io),
+            _key: PhantomData,
+        }
+    }
+
     /// Appends one record, aggregating and spilling a full run if due.
     pub fn push_record(&mut self, key: K, value: G::Input) -> io::Result<()> {
         let prefix = string_key_prefix64(key.key_bytes());
@@ -466,6 +495,11 @@ impl<K: StringKey, G: Aggregator> StringGroupedStream<K, G> {
     /// See [`crate::SortedStream::read_ahead_disabled`].
     pub fn read_ahead_disabled(&self) -> bool {
         self.inner.read_ahead_disabled()
+    }
+
+    /// See [`crate::SortedStream::prefetch_capped`].
+    pub fn prefetch_capped(&self) -> bool {
+        self.inner.prefetch_capped()
     }
 }
 

@@ -13,7 +13,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use stream::{SpillCompression, StreamGroupBy, StreamSorter, SumAgg};
+use stream::{SpillCompression, SpillIoMode, StreamGroupBy, StreamSorter, SumAgg};
 
 static CASE: AtomicU64 = AtomicU64::new(0);
 
@@ -40,27 +40,43 @@ fn assert_empty_and_remove(base: &Path, ctx: &str) {
     std::fs::remove_dir_all(base).ok();
 }
 
-fn cfg(base: &Path, compression: SpillCompression, synchronous: bool) -> dtsort::StreamConfig {
+fn cfg(
+    base: &Path,
+    compression: SpillCompression,
+    synchronous: bool,
+    io: SpillIoMode,
+) -> dtsort::StreamConfig {
     dtsort::StreamConfig {
         spill_dir: Some(base.to_path_buf()),
         spill_compression: compression,
         synchronous_spill: synchronous,
+        spill_io: io,
+        spill_io_workers: 2,
+        spill_io_queue_depth: 8,
         ..dtsort::StreamConfig::with_memory_budget(16 << 10)
     }
 }
 
-/// The (compression, spill-mode) matrix every scenario below runs under.
-fn matrix() -> [(SpillCompression, bool); 4] {
+/// The (compression, spill-mode, io-backend) matrix every scenario below
+/// runs under.
+fn matrix() -> Vec<(SpillCompression, bool, SpillIoMode)> {
     use SpillCompression::{DeltaLz, Off};
-    [(Off, true), (Off, false), (DeltaLz, true), (DeltaLz, false)]
+    let mut m = Vec::new();
+    for io in [SpillIoMode::Blocking, SpillIoMode::Batched] {
+        for (c, s) in [(Off, true), (Off, false), (DeltaLz, true), (DeltaLz, false)] {
+            m.push((c, s, io));
+        }
+    }
+    m
 }
 
 fn spilled_sorter(
     base: &Path,
     compression: SpillCompression,
     sync: bool,
+    io: SpillIoMode,
 ) -> StreamSorter<u32, u32> {
-    let mut s: StreamSorter<u32, u32> = StreamSorter::with_config(cfg(base, compression, sync));
+    let mut s: StreamSorter<u32, u32> = StreamSorter::with_config(cfg(base, compression, sync, io));
     let batch: Vec<(u32, u32)> = (0..20_000u32).map(|i| (i.rotate_left(16), i)).collect();
     s.push(&batch).unwrap();
     assert!(s.stats().spilled_runs > 0, "premise: runs on disk");
@@ -71,9 +87,10 @@ fn spilled_group_by(
     base: &Path,
     compression: SpillCompression,
     sync: bool,
+    io: SpillIoMode,
 ) -> StreamGroupBy<u32, SumAgg> {
     let mut g: StreamGroupBy<u32, SumAgg> =
-        StreamGroupBy::with_config(SumAgg, cfg(base, compression, sync));
+        StreamGroupBy::with_config(SumAgg, cfg(base, compression, sync, io));
     let batch: Vec<(u32, u64)> = (0..40_000u32).map(|i| (i.rotate_left(16), 1)).collect();
     g.push(&batch).unwrap();
     assert!(g.stats().spilled_runs > 0, "premise: partials on disk");
@@ -82,10 +99,12 @@ fn spilled_group_by(
 
 #[test]
 fn sorter_cleans_up_after_full_drain() {
-    for (compression, sync) in matrix() {
-        let ctx = format!("sorter drain compression={compression:?} sync={sync}");
+    for (compression, sync, io) in matrix() {
+        let ctx = format!("sorter drain compression={compression:?} sync={sync} io={io:?}");
         let base = case_dir("sorter-drain");
-        let stream = spilled_sorter(&base, compression, sync).finish().unwrap();
+        let stream = spilled_sorter(&base, compression, sync, io)
+            .finish()
+            .unwrap();
         assert!(std::fs::read_dir(&base).unwrap().count() > 0, "[{ctx}]");
         let n = stream.count();
         assert_eq!(n, 20_000, "[{ctx}]");
@@ -95,19 +114,22 @@ fn sorter_cleans_up_after_full_drain() {
 
 #[test]
 fn sorter_cleans_up_when_dropped_before_and_mid_merge() {
-    for (compression, sync) in matrix() {
+    for (compression, sync, io) in matrix() {
         // Dropped without ever calling finish (spills possibly in flight
         // to the writer thread).
-        let ctx = format!("sorter early-drop compression={compression:?} sync={sync}");
+        let ctx = format!("sorter early-drop compression={compression:?} sync={sync} io={io:?}");
         let base = case_dir("sorter-drop");
-        drop(spilled_sorter(&base, compression, sync));
+        drop(spilled_sorter(&base, compression, sync, io));
         assert_empty_and_remove(&base, &ctx);
 
         // Dropped with the merge only partially consumed: run cursors and
         // read-ahead prefetchers are still open on the spill files.
-        let ctx = format!("sorter mid-merge-drop compression={compression:?} sync={sync}");
+        let ctx =
+            format!("sorter mid-merge-drop compression={compression:?} sync={sync} io={io:?}");
         let base = case_dir("sorter-middrop");
-        let mut stream = spilled_sorter(&base, compression, sync).finish().unwrap();
+        let mut stream = spilled_sorter(&base, compression, sync, io)
+            .finish()
+            .unwrap();
         for _ in 0..100 {
             stream.next().unwrap();
         }
@@ -118,23 +140,28 @@ fn sorter_cleans_up_when_dropped_before_and_mid_merge() {
 
 #[test]
 fn group_by_cleans_up_after_full_drain_and_early_drop() {
-    for (compression, sync) in matrix() {
-        let ctx = format!("group-by drain compression={compression:?} sync={sync}");
+    for (compression, sync, io) in matrix() {
+        let ctx = format!("group-by drain compression={compression:?} sync={sync} io={io:?}");
         let base = case_dir("groupby-drain");
-        let groups = spilled_group_by(&base, compression, sync).finish().unwrap();
+        let groups = spilled_group_by(&base, compression, sync, io)
+            .finish()
+            .unwrap();
         assert!(std::fs::read_dir(&base).unwrap().count() > 0, "[{ctx}]");
         let total: u64 = groups.map(|(_, c)| c).sum();
         assert_eq!(total, 40_000, "[{ctx}]");
         assert_empty_and_remove(&base, &ctx);
 
-        let ctx = format!("group-by early-drop compression={compression:?} sync={sync}");
+        let ctx = format!("group-by early-drop compression={compression:?} sync={sync} io={io:?}");
         let base = case_dir("groupby-drop");
-        drop(spilled_group_by(&base, compression, sync));
+        drop(spilled_group_by(&base, compression, sync, io));
         assert_empty_and_remove(&base, &ctx);
 
-        let ctx = format!("group-by mid-merge-drop compression={compression:?} sync={sync}");
+        let ctx =
+            format!("group-by mid-merge-drop compression={compression:?} sync={sync} io={io:?}");
         let base = case_dir("groupby-middrop");
-        let mut groups = spilled_group_by(&base, compression, sync).finish().unwrap();
+        let mut groups = spilled_group_by(&base, compression, sync, io)
+            .finish()
+            .unwrap();
         groups.next().unwrap();
         drop(groups);
         assert_empty_and_remove(&base, &ctx);
@@ -145,16 +172,16 @@ fn group_by_cleans_up_after_full_drain_and_early_drop() {
 fn spill_files_are_cleaned_up_during_panic_unwinding() {
     // A panic on the owning thread unwinds through the engine's drop glue,
     // which must still stop the writer thread and remove the directory.
-    for (compression, sync) in matrix() {
+    for (compression, sync, io) in matrix() {
         for engine in ["sorter", "group-by"] {
-            let ctx = format!("{engine} panic compression={compression:?} sync={sync}");
+            let ctx = format!("{engine} panic compression={compression:?} sync={sync} io={io:?}");
             let base = case_dir("panic");
             let thrown = catch_unwind(AssertUnwindSafe(|| {
                 if engine == "sorter" {
-                    let _s = spilled_sorter(&base, compression, sync);
+                    let _s = spilled_sorter(&base, compression, sync, io);
                     panic!("consumer bug [{ctx}]");
                 } else {
-                    let _g = spilled_group_by(&base, compression, sync);
+                    let _g = spilled_group_by(&base, compression, sync, io);
                     panic!("consumer bug [{ctx}]");
                 }
             }));
@@ -169,10 +196,10 @@ fn spill_files_are_cleaned_up_after_merge_io_errors() {
     // Deleting a spill file out from under the sorter makes finish() fail
     // at cursor-open time; the error path must still tear down the spill
     // directory (including the surviving runs).
-    for (compression, sync) in matrix() {
-        let ctx = format!("io-error compression={compression:?} sync={sync}");
+    for (compression, sync, io) in matrix() {
+        let ctx = format!("io-error compression={compression:?} sync={sync} io={io:?}");
         let base = case_dir("ioerr");
-        let mut sorter = spilled_sorter(&base, compression, sync);
+        let mut sorter = spilled_sorter(&base, compression, sync, io);
         sorter.flush_spills().unwrap();
         // Remove one run file from the engine's unique spill subdirectory.
         let sub = std::fs::read_dir(&base).unwrap().next().unwrap().unwrap();
