@@ -35,7 +35,7 @@
 //! | `prefetch.capped_merges` | counter | merges whose read-ahead was disabled *specifically* by the fan-in cap (`MAX_PREFETCH_RUNS` for `Blocking`, the in-flight cap for `Batched`) |
 //! | `spillio.jobs` | counter | jobs submitted to the batched I/O workers |
 //! | `spillio.queue_depth` | gauge | batched I/O jobs in flight (queued + running) |
-//! | `spillio.submit_wait_ns` | histogram | producer wait on the full batched submission queue |
+//! | `spillio.inline_jobs` | counter | jobs run inline by their submitter because the queue was at depth (submit never blocks) |
 //! | `spillio.complete_ns` | histogram | per-job service time on the batched I/O workers |
 
 use std::sync::OnceLock;
@@ -69,7 +69,7 @@ pub(crate) struct StreamMetrics {
 
     pub spillio_jobs: obs::Counter,
     pub spillio_queue_depth: obs::Gauge,
-    pub spillio_submit_wait_ns: obs::Histogram,
+    pub spillio_inline_jobs: obs::Counter,
     pub spillio_complete_ns: obs::Histogram,
 }
 
@@ -104,7 +104,7 @@ pub(crate) fn m() -> &'static StreamMetrics {
             prefetch_capped_merges: reg.counter("prefetch.capped_merges"),
             spillio_jobs: reg.counter("spillio.jobs"),
             spillio_queue_depth: reg.gauge("spillio.queue_depth"),
-            spillio_submit_wait_ns: reg.histogram("spillio.submit_wait_ns"),
+            spillio_inline_jobs: reg.counter("spillio.inline_jobs"),
             spillio_complete_ns: reg.histogram("spillio.complete_ns"),
         }
     })

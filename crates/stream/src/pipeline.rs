@@ -403,9 +403,14 @@ struct FeedWork<V: SpillValue> {
 /// Batched-backend read-ahead for one run: short-lived decode tasks on
 /// the shared I/O workers, **resubmitted on consume** — at most one task
 /// per run is ever in flight, and each task sends exactly one message
-/// into a capacity-1 channel, so a task can never block a worker.  That
-/// is what lets a k-way merge run with `spill_io_workers` threads total
-/// where the thread scheduler needed k.
+/// into a capacity-1 channel, so a task never blocks a worker on its
+/// output side.  On the input side a decode step may span several read
+/// chunks; the claimable-pread discipline in `spillio.rs` services those
+/// inline on the decoding worker (and `submit` never blocks on a full
+/// queue), so a task cannot wedge the pool waiting on I/O jobs queued
+/// behind it — even with merge fan-in at or above the worker count.
+/// That is what lets a k-way merge run with `spill_io_workers` threads
+/// total where the thread scheduler needed k.
 pub(crate) struct BatchedFeed<V: SpillValue> {
     rx: Receiver<FeedMsg<V>>,
     state: Arc<Mutex<Option<FeedWork<V>>>>,

@@ -1674,6 +1674,45 @@ mod tests {
     }
 
     #[test]
+    fn batched_deltalz_merge_survives_fan_in_above_the_worker_count() {
+        // Regression for a pool deadlock: batched decode tasks run on the
+        // same bounded workers as the preads they wait on, and with a
+        // merge read buffer this tight every DeltaLz block decode spans
+        // several read chunks, so each task needs preads submitted
+        // mid-task.  With fan-in above the worker count, every worker
+        // could once block on a queued pread no worker was free to run —
+        // the claimable-pread discipline must service them inline and
+        // finish the merge.
+        let cfg = StreamConfig {
+            spill_compression: dtsort::SpillCompression::DeltaLz,
+            merge_read_buffer_bytes: 128 << 10,
+            ..batched_cfg(32 << 10, 2, 32)
+        };
+        let mut sorter: StreamSorter<u32, u32> = StreamSorter::with_config(cfg);
+        let rng = Rng::new(87);
+        let input: Vec<(u32, u32)> = (0..30_000usize)
+            .map(|i| (rng.ith(i as u64) as u32, i as u32))
+            .collect();
+        for chunk in input.chunks(997) {
+            sorter.push(chunk).unwrap();
+        }
+        assert!(
+            sorter.stats().spilled_runs > 2,
+            "the deadlock regime needs fan-in above the 2 workers, got {}",
+            sorter.stats().spilled_runs
+        );
+        let stream = sorter.finish().unwrap();
+        assert!(
+            !stream.read_ahead_disabled(),
+            "the deadlock regime needs engaged read-ahead (widen the read buffer?)"
+        );
+        let mut want = input.clone();
+        want.sort_by_key(|r| r.0);
+        let got: Vec<(u32, u32)> = stream.collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
     fn batched_merge_surfaces_a_corrupted_block_checksum() {
         // Bit rot between spill and merge, read back through the batched
         // feeds: the block CRC must turn it into an error, never silently

@@ -662,9 +662,6 @@ pub(crate) struct RunReader<V: SpillValue> {
     block_keys: Vec<u64>,
     /// Decoded payload of the current block (`DeltaLz` only).
     block_payload: Vec<u8>,
-    /// Staging buffer for the encoded payload section, so the block
-    /// checksum can be verified before anything is interpreted.
-    enc_payload: Vec<u8>,
     block_next: usize,
     block_payload_pos: usize,
     /// Side buffer values stream through; for var-format runs it grows to
@@ -704,7 +701,6 @@ impl<V: SpillValue> RunReader<V> {
             compression: run.compression,
             block_keys: Vec::new(),
             block_payload: Vec::new(),
-            enc_payload: Vec::new(),
             block_next: 0,
             block_payload_pos: 0,
             scratch: Vec::new(),
@@ -789,21 +785,20 @@ impl<V: SpillValue> RunReader<V> {
                 "block raw payload size exceeds the run's recorded raw bytes",
             ));
         }
-        // Read both sections and verify the block checksum before either
-        // is interpreted: bit rot must surface as `InvalidData`, never as
-        // silently wrong keys or payload bytes.
+        // The chained block checksum is verified in two passes so one
+        // `scratch` buffer can stage both sections in turn — a third
+        // per-run buffer would not be accounted against the merge read
+        // budget.  No record is served before the full checksum matches:
+        // the keys decoded below are discarded with the error if the
+        // payload pass fails, so bit rot still surfaces as `InvalidData`,
+        // never as silently wrong keys or payload bytes.
         self.scratch.resize(key_stream_len as usize, 0);
         self.reader.read_exact(&mut self.scratch)?;
         self.bytes_remaining -= key_stream_len;
-        self.enc_payload.resize(payload_enc_len as usize, 0);
-        self.reader.read_exact(&mut self.enc_payload)?;
-        self.bytes_remaining -= payload_enc_len;
-        let actual_crc =
-            codec::crc32_update(codec::crc32_update(0, &self.scratch), &self.enc_payload);
-        if actual_crc != crc {
-            return Err(bad_run_data("block checksum mismatch"));
-        }
-        // Key stream: absolute first key, then non-negative deltas.
+        let key_crc = codec::crc32_update(0, &self.scratch);
+        // Key stream: absolute first key, then non-negative deltas.  The
+        // decode is bounded by the validated `count` either way, so
+        // running it ahead of the checksum cannot balloon memory.
         self.block_keys.clear();
         self.block_keys.reserve(count);
         let mut cursor: &[u8] = &self.scratch;
@@ -822,6 +817,15 @@ impl<V: SpillValue> RunReader<V> {
         if !cursor.is_empty() {
             return Err(bad_run_data("trailing bytes after the block key stream"));
         }
+        // Payload section into the (now free) scratch buffer; the chained
+        // checksum must match before a byte of it is interpreted.
+        self.scratch.resize(payload_enc_len as usize, 0);
+        self.reader.read_exact(&mut self.scratch)?;
+        self.bytes_remaining -= payload_enc_len;
+        if codec::crc32_update(key_crc, &self.scratch) != crc {
+            self.block_keys.clear();
+            return Err(bad_run_data("block checksum mismatch"));
+        }
         // Payload: LZ-compressed or stored raw.
         self.block_payload.clear();
         match enc {
@@ -829,10 +833,10 @@ impl<V: SpillValue> RunReader<V> {
                 if payload_enc_len != payload_raw_len {
                     return Err(bad_run_data("stored-raw block sizes disagree"));
                 }
-                self.block_payload.extend_from_slice(&self.enc_payload);
+                self.block_payload.extend_from_slice(&self.scratch);
             }
             1 => {
-                let (encoded, payload) = (&self.enc_payload, &mut self.block_payload);
+                let (encoded, payload) = (&self.scratch, &mut self.block_payload);
                 codec::lz_decompress(encoded, payload, payload_raw_len as usize)?;
             }
             _ => return Err(bad_run_data("unknown block payload encoding")),

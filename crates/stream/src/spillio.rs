@@ -21,6 +21,24 @@
 //!   same pool, so a k-way merge runs with at most `spill_io_workers`
 //!   I/O threads regardless of the run count.
 //!
+//! ## No pool thread ever blocks on pool work
+//!
+//! Because the merge read-ahead tasks of `pipeline.rs` run *on* the I/O
+//! workers and themselves read through [`BatchedRead`], the backend must
+//! guarantee that a pool thread never waits for a job that only another
+//! pool thread could run — with fan-in at or above the worker count that
+//! wait is a permanent deadlock.  Two rules enforce it:
+//!
+//! * `pread` jobs are **claimable**: whichever thread needs the result
+//!   first — a worker dequeuing the job or the consumer calling
+//!   [`Read::read`] — claims and services it inline.  A consumer only
+//!   ever sleeps on a read another thread is *actively executing*, and
+//!   the executing thread never blocks, so the wait is bounded.
+//! * [`JobPool::submit`] never blocks: when the bounded queue is at
+//!   depth, the submitter runs the job inline on its own thread
+//!   (backpressure by inline execution), so worker-originated
+//!   submissions cannot wedge the pool either.
+//!
 //! ## Error contract
 //!
 //! Batched writes complete asynchronously, but no error is ever dropped:
@@ -39,7 +57,7 @@ use std::os::unix::fs::FileExt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -297,21 +315,31 @@ impl JobPool {
         Self { tx, queued }
     }
 
-    /// Enqueues a job, blocking while the queue is at depth (the
-    /// submission-side backpressure of the queue-pair discipline).
+    /// Enqueues a job.  When the queue is at depth the submitter runs the
+    /// job inline on its own thread instead of blocking — the
+    /// submission-side backpressure of the queue-pair discipline, without
+    /// ever letting a pool worker (which submits preads and pump resubmits
+    /// mid-job) wait on a queue only workers drain.
     pub(crate) fn submit(&self, job: Job) {
         let depth = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
         if obs::enabled() {
             let metrics = m();
             metrics.spillio_jobs.incr();
             metrics.spillio_queue_depth.set(depth as i64);
-            let start = Instant::now();
-            self.tx.send(job).expect("spill io workers gone");
-            metrics
-                .spillio_submit_wait_ns
-                .record_duration(start.elapsed());
-        } else {
-            self.tx.send(job).expect("spill io workers gone");
+        }
+        match self.tx.try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(job)) => {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                if obs::enabled() {
+                    m().spillio_inline_jobs.incr();
+                }
+                // Same panic isolation as the workers: an inline job must
+                // not unwind into the submitter, whose owner observes the
+                // failure through the job's own channel/state.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            Err(TrySendError::Disconnected(_)) => panic!("spill io workers gone"),
         }
     }
 }
@@ -557,8 +585,88 @@ impl SpillWrite for BatchedWriter {
     }
 }
 
+/// One positioned read, claimable by whichever thread reaches it first:
+/// the pool worker that dequeues it, or the consumer that needs its
+/// result.  The consumer servicing an unstarted read *inline* (instead of
+/// sleeping on the pool) is what lets merge read-ahead tasks run on the
+/// I/O workers themselves: a worker mid-decode that needs its reader's
+/// next chunk does the `pread` on the spot rather than waiting for a
+/// worker slot that may never free up.
+struct PreadJob {
+    file: Arc<File>,
+    off: u64,
+    size: usize,
+    state: Mutex<PreadState>,
+    done: Condvar,
+}
+
+enum PreadState {
+    /// Not started; holds the destination buffer for the first claimant.
+    Queued(Vec<u8>),
+    /// Some thread is executing the read (or took it inline).
+    Running,
+    /// Finished; the result awaits the consumer.
+    Done(io::Result<Vec<u8>>),
+    /// The consumer already has the result.
+    Taken,
+}
+
+impl PreadJob {
+    fn execute(&self, mut buf: Vec<u8>) -> io::Result<Vec<u8>> {
+        buf.resize(self.size, 0);
+        self.file.read_exact_at(&mut buf, self.off).map(|()| buf)
+    }
+
+    /// Worker side: run the read unless a consumer already claimed it.
+    fn run_queued(&self) {
+        let buf = {
+            let mut st = self.state.lock().expect("spill pread state");
+            match std::mem::replace(&mut *st, PreadState::Running) {
+                PreadState::Queued(buf) => buf,
+                other => {
+                    *st = other;
+                    return;
+                }
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| self.execute(buf)))
+            .unwrap_or_else(|_| Err(io::Error::other("spill io read panicked")));
+        let mut st = self.state.lock().expect("spill pread state");
+        *st = PreadState::Done(result);
+        self.done.notify_all();
+    }
+
+    /// Consumer side: take the result, servicing the read inline when no
+    /// worker has started it.  Sleeps only while another thread is
+    /// actively executing the read — a bounded wait, because the
+    /// executing thread itself never blocks.
+    fn take(&self) -> io::Result<Vec<u8>> {
+        let mut st = self.state.lock().expect("spill pread state");
+        loop {
+            match std::mem::replace(&mut *st, PreadState::Running) {
+                PreadState::Queued(buf) => {
+                    drop(st);
+                    let result = self.execute(buf);
+                    *self.state.lock().expect("spill pread state") = PreadState::Taken;
+                    return result;
+                }
+                PreadState::Running => {
+                    st = self.done.wait(st).expect("spill pread state");
+                }
+                PreadState::Done(result) => {
+                    *st = PreadState::Taken;
+                    return result;
+                }
+                PreadState::Taken => {
+                    return Err(io::Error::other("spill pread result taken twice"));
+                }
+            }
+        }
+    }
+}
+
 /// Double-buffered positioned-read source: while the consumer drains the
-/// current chunk, at most one `pread` job fetches the next.
+/// current chunk, at most one claimable `pread` job fetches the next.
 struct BatchedRead {
     core: Arc<BatchedCore>,
     file: Arc<File>,
@@ -567,7 +675,7 @@ struct BatchedRead {
     next_offset: u64,
     cur: Vec<u8>,
     cur_pos: usize,
-    pending: Option<Receiver<io::Result<Vec<u8>>>>,
+    pending: Option<Arc<PreadJob>>,
 }
 
 impl BatchedRead {
@@ -578,15 +686,16 @@ impl BatchedRead {
         let size = (self.len - self.next_offset).min(self.chunk as u64) as usize;
         let off = self.next_offset;
         self.next_offset += size as u64;
-        let (tx, rx) = sync_channel::<io::Result<Vec<u8>>>(1);
-        let file = Arc::clone(&self.file);
-        let mut buf = self.core.take_buffer();
-        self.core.pool.submit(Box::new(move || {
-            buf.resize(size, 0);
-            let result = file.read_exact_at(&mut buf, off).map(|()| buf);
-            let _ = tx.send(result); // capacity 1: never blocks the worker
-        }));
-        self.pending = Some(rx);
+        let job = Arc::new(PreadJob {
+            file: Arc::clone(&self.file),
+            off,
+            size,
+            state: Mutex::new(PreadState::Queued(self.core.take_buffer())),
+            done: Condvar::new(),
+        });
+        let task = Arc::clone(&job);
+        self.core.pool.submit(Box::new(move || task.run_queued()));
+        self.pending = Some(job);
     }
 }
 
@@ -599,10 +708,8 @@ impl Read for BatchedRead {
                 }
                 self.submit_next();
             }
-            let rx = self.pending.take().expect("in-flight read");
-            let chunk = rx
-                .recv()
-                .map_err(|_| io::Error::other("spill io worker lost a read job"))??;
+            let job = self.pending.take().expect("in-flight read");
+            let chunk = job.take()?;
             let old = std::mem::replace(&mut self.cur, chunk);
             self.core.recycle_buffer(old);
             self.cur_pos = 0;
@@ -724,6 +831,109 @@ mod tests {
         let b = SpillIoHandle::blocking();
         b.rebalance_shared(4);
         assert_eq!(b.max_inflight(), usize::MAX);
+    }
+
+    /// Opens `path` through `io` and drains it with a tiny chunk size, so
+    /// the read spans many `pread` jobs.
+    fn drain_in_tiny_chunks(io: &SpillIoHandle, path: &Path) -> io::Result<Vec<u8>> {
+        let (mut r, _) = io.open(path, 64)?;
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).map(|_| out)
+    }
+
+    #[test]
+    fn pool_worker_reading_through_the_pool_cannot_deadlock() {
+        // The merge read-ahead tasks of `pipeline.rs` run *on* the I/O
+        // workers and read through `BatchedRead`.  With one worker and a
+        // tiny chunk size, the task's next pread is submitted mid-task and
+        // queues behind it — the claimable-job discipline must service it
+        // inline instead of deadlocking on the busy worker.
+        let io = SpillIoHandle::batched(1, 2);
+        let path = tmp_path("worker-read.bin");
+        let data = payload(50_000);
+        write_all_then_finish(&io, &path, &data).unwrap();
+        let pool = io.pool().unwrap();
+        let (tx, rx) = sync_channel::<io::Result<Vec<u8>>>(1);
+        let io2 = io.clone();
+        let p = path.clone();
+        pool.submit(Box::new(move || {
+            let _ = tx.send(drain_in_tiny_chunks(&io2, &p));
+        }));
+        let out = rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("worker-side read must not deadlock")
+            .unwrap();
+        assert_eq!(out, data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fan_in_above_the_worker_count_makes_progress() {
+        // Eight reader tasks on a 2-worker, depth-4 pool, each spanning
+        // hundreds of chunks: queued, inline-claimed and overflow-submitted
+        // jobs in every combination must all drain (fan-in >= workers was
+        // the high-severity deadlock scenario).
+        let io = SpillIoHandle::batched(2, 4);
+        let data = payload(20_000);
+        let mut paths = Vec::new();
+        for i in 0..8 {
+            let path = tmp_path(&format!("fanin-{i}.bin"));
+            write_all_then_finish(&io, &path, &data).unwrap();
+            paths.push(path);
+        }
+        let pool = io.pool().unwrap();
+        let (tx, rx) = sync_channel::<io::Result<Vec<u8>>>(8);
+        for path in &paths {
+            let io2 = io.clone();
+            let p = path.clone();
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                let _ = tx.send(drain_in_tiny_chunks(&io2, &p));
+            }));
+        }
+        for _ in 0..8 {
+            let out = rx
+                .recv_timeout(std::time::Duration::from_secs(60))
+                .expect("fan-in readers must not deadlock")
+                .unwrap();
+            assert_eq!(out, data);
+        }
+        for p in paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn submit_overflow_runs_the_job_inline() {
+        // A full queue must never block the submitter: jobs past the
+        // depth run inline on the submitting thread.
+        let io = SpillIoHandle::batched(1, 1);
+        let pool = io.pool().unwrap();
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        // Park the only worker so the queue cannot drain.
+        let g = Arc::clone(&gate);
+        pool.submit(Box::new(move || {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        }));
+        // Saturate the queue, then one more: must return without blocking.
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let ran = Arc::clone(&ran);
+            pool.submit(Box::new(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        assert!(
+            ran.load(Ordering::SeqCst) >= 3,
+            "overflow submissions past the depth-1 queue must run inline"
+        );
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
     }
 
     #[test]
