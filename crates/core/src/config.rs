@@ -181,20 +181,130 @@ pub enum SpillIoMode {
 impl SpillIoMode {
     /// The environment-resolved default: `PISORT_SPILL_IO=batched` forces
     /// [`SpillIoMode::Batched`] for configs that do not set the field
-    /// explicitly (the CI backend-matrix hook); anything else (including
-    /// unset) yields [`SpillIoMode::Blocking`].
+    /// explicitly (the CI backend-matrix hook); `blocking`, empty, or
+    /// unset yields [`SpillIoMode::Blocking`].  Any *other* value is a
+    /// typo (e.g. `bacthed`): it still resolves to `Blocking` so the
+    /// process keeps running, but a warning is printed to stderr once —
+    /// silently ignoring it would make a mistyped CI matrix leg pass
+    /// while testing the wrong backend.
     pub fn env_default() -> Self {
         static FROM_ENV: std::sync::OnceLock<SpillIoMode> = std::sync::OnceLock::new();
-        *FROM_ENV.get_or_init(|| match std::env::var("PISORT_SPILL_IO") {
-            Ok(v) if v.eq_ignore_ascii_case("batched") => SpillIoMode::Batched,
-            _ => SpillIoMode::Blocking,
+        *FROM_ENV.get_or_init(|| {
+            let var = std::env::var("PISORT_SPILL_IO").ok();
+            let (mode, unknown) = Self::parse_env(var.as_deref());
+            if let Some(bad) = unknown {
+                eprintln!(
+                    "warning: unknown PISORT_SPILL_IO value {bad:?} \
+                     (expected \"blocking\" or \"batched\"); using blocking"
+                );
+            }
+            mode
         })
+    }
+
+    /// Pure resolution rule behind [`SpillIoMode::env_default`]: returns
+    /// the resolved mode plus the unrecognized value, if any (the caller
+    /// decides how to warn).  Split out so the unknown-value path is unit
+    /// testable despite the `OnceLock` cache above.
+    pub fn parse_env(value: Option<&str>) -> (Self, Option<&str>) {
+        match value {
+            None => (SpillIoMode::Blocking, None),
+            Some(v) if v.eq_ignore_ascii_case("batched") => (SpillIoMode::Batched, None),
+            Some(v) if v.is_empty() || v.eq_ignore_ascii_case("blocking") => {
+                (SpillIoMode::Blocking, None)
+            }
+            Some(v) => (SpillIoMode::Blocking, Some(v)),
+        }
     }
 }
 
 impl Default for SpillIoMode {
     fn default() -> Self {
         Self::env_default()
+    }
+}
+
+/// Recovery policy for spill I/O failures (the `stream` crate's engines).
+///
+/// Spill I/O errors split into two classes.  *Transient* kinds
+/// ([`SpillRetryPolicy::is_transient`]: `Interrupted`, `TimedOut`,
+/// `WouldBlock`) describe conditions that can clear on their own; a spill
+/// write is retried in place up to [`SpillRetryPolicy::max_retries`]
+/// times with bounded exponential backoff — deterministic, derived only
+/// from the attempt number, never from wall clock or randomness, so
+/// failure tests replay identically.  Every other kind (ENOSPC, quota,
+/// corruption, permission) is *permanent* and surfaces immediately as a
+/// typed `SpillError`.
+///
+/// A pipelined-writer failure additionally puts the engine on
+/// **probation** instead of the old permanent synchronous fallback: the
+/// next [`SpillRetryPolicy::probation_spills`] runs are written
+/// synchronously (each counted by the `spill.degraded_syncs` metric), and
+/// once they complete cleanly the pipeline is restarted — so a transient
+/// burst degrades throughput for a bounded window instead of for the rest
+/// of the engine's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillRetryPolicy {
+    /// Retries per spill operation after the first attempt fails with a
+    /// transient kind.  `0` disables retrying (every failure is final).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in milliseconds; each further
+    /// retry doubles it.
+    pub backoff_base_ms: u64,
+    /// Upper bound on a single backoff sleep, in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Clean synchronous spills required after a pipelined-writer failure
+    /// before pipelining is re-enabled (clamped to at least 1).  Use
+    /// `u32::MAX` to make degradation effectively permanent (the pre-PR-10
+    /// behavior).
+    pub probation_spills: u32,
+}
+
+impl Default for SpillRetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_base_ms: 2,
+            backoff_cap_ms: 50,
+            probation_spills: 4,
+        }
+    }
+}
+
+impl SpillRetryPolicy {
+    /// A policy that never retries and keeps degradation effectively
+    /// permanent — the exact pre-PR-10 behavior, for differentials.
+    pub fn disabled() -> Self {
+        Self {
+            max_retries: 0,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+            probation_spills: u32::MAX,
+        }
+    }
+
+    /// Whether `kind` is worth retrying: the condition can clear without
+    /// any corrective action (interrupted call, timeout, contended
+    /// resource).  ENOSPC (`StorageFull`) and `QuotaExceeded` are
+    /// deliberately *not* transient: retrying a full disk burns the
+    /// backoff budget without any chance of success.
+    pub fn is_transient(kind: std::io::ErrorKind) -> bool {
+        matches!(
+            kind,
+            std::io::ErrorKind::Interrupted
+                | std::io::ErrorKind::TimedOut
+                | std::io::ErrorKind::WouldBlock
+        )
+    }
+
+    /// Deterministic backoff before retry number `attempt` (0-based):
+    /// `base · 2^attempt`, capped at [`SpillRetryPolicy::backoff_cap_ms`].
+    pub fn backoff(&self, attempt: u32) -> std::time::Duration {
+        let ms = self
+            .backoff_base_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.backoff_cap_ms);
+        std::time::Duration::from_millis(ms)
     }
 }
 
@@ -342,6 +452,13 @@ pub struct StreamConfig {
     /// derived from it (one scheduled read per run).  Clamped to at least
     /// 1.  Ignored under [`SpillIoMode::Blocking`].
     pub spill_io_queue_depth: usize,
+    /// Recovery policy for spill I/O failures: transient-kind retries
+    /// with bounded deterministic backoff, and the probation window that
+    /// re-enables pipelined spilling after a writer failure.  See
+    /// [`SpillRetryPolicy`]; [`SpillRetryPolicy::disabled`] restores the
+    /// pre-recovery behavior (no retries, permanent synchronous
+    /// fallback).
+    pub spill_retry: SpillRetryPolicy,
     /// Turn on the `obs` tracing/metrics layer for this engine's
     /// lifetime: the streaming sorter and group-by hold an
     /// `obs::EnableGuard` from construction until the engine (and any
@@ -376,6 +493,7 @@ impl Default for StreamConfig {
             spill_io: SpillIoMode::default(),
             spill_io_workers: 2,
             spill_io_queue_depth: 32,
+            spill_retry: SpillRetryPolicy::default(),
             trace: false,
             sort: SortConfig::default(),
         }
@@ -638,6 +756,82 @@ mod tests {
             ..StreamConfig::default()
         };
         assert_eq!(forced.spill_io, SpillIoMode::Batched);
+    }
+
+    #[test]
+    fn env_spill_io_parse_flags_unknown_values() {
+        // Recognized values, any case, resolve silently.
+        assert_eq!(SpillIoMode::parse_env(None), (SpillIoMode::Blocking, None));
+        assert_eq!(
+            SpillIoMode::parse_env(Some("")),
+            (SpillIoMode::Blocking, None)
+        );
+        assert_eq!(
+            SpillIoMode::parse_env(Some("blocking")),
+            (SpillIoMode::Blocking, None)
+        );
+        assert_eq!(
+            SpillIoMode::parse_env(Some("batched")),
+            (SpillIoMode::Batched, None)
+        );
+        assert_eq!(
+            SpillIoMode::parse_env(Some("BATCHED")),
+            (SpillIoMode::Batched, None)
+        );
+        // A typo must fall back to Blocking but be *reported*, not
+        // silently swallowed (a mistyped CI leg would otherwise pass
+        // while testing the wrong backend).
+        assert_eq!(
+            SpillIoMode::parse_env(Some("bacthed")),
+            (SpillIoMode::Blocking, Some("bacthed"))
+        );
+        assert_eq!(
+            SpillIoMode::parse_env(Some("async")),
+            (SpillIoMode::Blocking, Some("async"))
+        );
+    }
+
+    #[test]
+    fn spill_retry_policy_classification_and_backoff() {
+        use std::io::ErrorKind;
+        for kind in [
+            ErrorKind::Interrupted,
+            ErrorKind::TimedOut,
+            ErrorKind::WouldBlock,
+        ] {
+            assert!(SpillRetryPolicy::is_transient(kind), "{kind:?}");
+        }
+        for kind in [
+            ErrorKind::StorageFull,
+            ErrorKind::QuotaExceeded,
+            ErrorKind::InvalidData,
+            ErrorKind::NotFound,
+            ErrorKind::PermissionDenied,
+            ErrorKind::WriteZero,
+            ErrorKind::Other,
+        ] {
+            assert!(!SpillRetryPolicy::is_transient(kind), "{kind:?}");
+        }
+        let p = SpillRetryPolicy {
+            max_retries: 5,
+            backoff_base_ms: 2,
+            backoff_cap_ms: 9,
+            probation_spills: 3,
+        };
+        // base · 2^attempt, capped — and deterministic across calls.
+        assert_eq!(p.backoff(0).as_millis(), 2);
+        assert_eq!(p.backoff(1).as_millis(), 4);
+        assert_eq!(p.backoff(2).as_millis(), 8);
+        assert_eq!(p.backoff(3).as_millis(), 9, "capped");
+        assert_eq!(p.backoff(60).as_millis(), 9, "huge attempts stay capped");
+        let off = SpillRetryPolicy::disabled();
+        assert_eq!(off.max_retries, 0);
+        assert_eq!(off.probation_spills, u32::MAX);
+        assert_eq!(off.backoff(0).as_millis(), 0);
+        assert_eq!(
+            StreamConfig::default().spill_retry,
+            SpillRetryPolicy::default()
+        );
     }
 
     #[test]

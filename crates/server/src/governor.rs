@@ -21,6 +21,7 @@ use dtsort::BudgetHandle;
 use std::collections::HashMap;
 use std::io;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// What [`MemoryGovernor::admit`] does when the global budget cannot fit
 /// another session floor.
@@ -29,6 +30,11 @@ pub enum AdmissionPolicy {
     /// Block until enough leases are released (the default: bursty clients
     /// queue instead of failing).
     Queue,
+    /// Block like [`Queue`](Self::Queue), but give up with
+    /// [`io::ErrorKind::TimedOut`] once the deadline passes — the shape a
+    /// fault-tolerant client wants: bounded waiting instead of an
+    /// indefinite park behind a wedged session.
+    QueueWithTimeout(Duration),
     /// Fail fast with [`io::ErrorKind::WouldBlock`].
     Reject,
 }
@@ -121,7 +127,11 @@ impl MemoryGovernor {
     ) -> io::Result<BudgetLease> {
         let floor = self.floor();
         let requested = requested_bytes.clamp(floor, self.cfg.global_budget_bytes);
-        let wait_start = obs::enabled().then(std::time::Instant::now);
+        let wait_start = obs::enabled().then(Instant::now);
+        let deadline = match self.cfg.admission {
+            AdmissionPolicy::QueueWithTimeout(timeout) => Some(Instant::now() + timeout),
+            _ => None,
+        };
         let mut state = self.state.lock().unwrap();
         // Admission invariant: every live session can be paid its floor.
         while (state.grants.len() + 1) * floor > self.cfg.global_budget_bytes {
@@ -146,6 +156,31 @@ impl MemoryGovernor {
                     ));
                 }
                 AdmissionPolicy::Queue => state = self.released.wait(state).unwrap(),
+                AdmissionPolicy::QueueWithTimeout(_) => {
+                    let deadline = deadline.expect("deadline set for QueueWithTimeout");
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        state
+                            .fairness
+                            .entry(tenant.to_string())
+                            .or_default()
+                            .sessions_rejected += 1;
+                        if obs::enabled() {
+                            m().rejections.incr();
+                        }
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!(
+                                "admission timed out: {} live sessions still exhaust \
+                                 the {}-byte global budget",
+                                state.grants.len(),
+                                self.cfg.global_budget_bytes
+                            ),
+                        ));
+                    }
+                    // A spurious wakeup just re-checks the deadline.
+                    state = self.released.wait_timeout(state, left).unwrap().0;
+                }
             }
         }
         let id = state.next_id;
@@ -369,6 +404,46 @@ mod tests {
         let c = &fair.iter().find(|(t, _)| t == "c").unwrap().1;
         assert_eq!(c.sessions_rejected, 1);
         assert_eq!(c.sessions_admitted, 0);
+    }
+
+    #[test]
+    fn queue_with_timeout_gives_up_with_timed_out() {
+        let g = gov(
+            256 << 10,
+            128 << 10,
+            AdmissionPolicy::QueueWithTimeout(std::time::Duration::from_millis(30)),
+        );
+        let _a = g.admit("a", 128 << 10).unwrap();
+        let _b = g.admit("b", 128 << 10).unwrap();
+        let start = std::time::Instant::now();
+        let err = g.admit("c", 1).expect_err("third floor cannot fit");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(
+            start.elapsed() >= std::time::Duration::from_millis(30),
+            "must actually wait out the deadline"
+        );
+        let fair = g.fairness();
+        let c = &fair.iter().find(|(t, _)| t == "c").unwrap().1;
+        assert_eq!(c.sessions_rejected, 1);
+    }
+
+    #[test]
+    fn queue_with_timeout_admits_when_a_lease_releases_in_time() {
+        let g = gov(
+            256 << 10,
+            128 << 10,
+            AdmissionPolicy::QueueWithTimeout(std::time::Duration::from_secs(30)),
+        );
+        let a = g.admit("a", 128 << 10).unwrap();
+        let _b = g.admit("b", 128 << 10).unwrap();
+        let g2 = Arc::clone(&g);
+        let waiter =
+            std::thread::spawn(move || g2.admit("c", 128 << 10).map(|l| l.granted_bytes()));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!waiter.is_finished(), "admission must be queued");
+        drop(a);
+        let granted = waiter.join().unwrap().unwrap();
+        assert!(granted >= 128 << 10);
     }
 
     #[test]

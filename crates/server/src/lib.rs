@@ -31,7 +31,7 @@ mod spillmgr;
 
 pub use governor::{AdmissionPolicy, BudgetLease, GovernorConfig, MemoryGovernor, TenantCounters};
 pub use session::{
-    GroupSession, GroupSessionStream, ServerConfig, SessionStream, SortServer, SortSession,
-    StringSessionStream, StringSortSession,
+    GroupSession, GroupSessionStream, ServerConfig, SessionError, SessionStream, SortServer,
+    SortSession, StringSessionStream, StringSortSession,
 };
 pub use spillmgr::{SpillDirLease, SpillDirManager, SpillManagerConfig};

@@ -9,6 +9,7 @@
 //! | `server.sessions_active` | gauge | live sessions holding a budget lease |
 //! | `server.sessions_opened` | counter | sessions opened over the server's life |
 //! | `server.session_ns` | histogram | open-to-finished session latency |
+//! | `server.sessions_failed` | counter | sessions quarantined by an I/O failure (counted once per session) |
 //! | `governor.bytes_granted` | gauge | bytes currently granted across live sessions |
 //! | `governor.admissions` | counter | sessions admitted |
 //! | `governor.rejections` | counter | admissions rejected (Reject policy) |
@@ -23,6 +24,7 @@ pub(crate) struct ServerMetrics {
     pub sessions_active: obs::Gauge,
     pub sessions_opened: obs::Counter,
     pub session_ns: obs::Histogram,
+    pub sessions_failed: obs::Counter,
     pub bytes_granted: obs::Gauge,
     pub admissions: obs::Counter,
     pub rejections: obs::Counter,
@@ -42,6 +44,7 @@ pub(crate) fn m() -> &'static ServerMetrics {
             sessions_active: reg.gauge("server.sessions_active"),
             sessions_opened: reg.counter("server.sessions_opened"),
             session_ns: reg.histogram("server.session_ns"),
+            sessions_failed: reg.counter("server.sessions_failed"),
             bytes_granted: reg.gauge("governor.bytes_granted"),
             admissions: reg.counter("governor.admissions"),
             rejections: reg.counter("governor.rejections"),

@@ -10,9 +10,75 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use stream::{
-    Aggregator, GroupByStats, GroupedStream, SortedStream, SpillIoHandle, SpillValue,
+    Aggregator, FaultPlan, GroupByStats, GroupedStream, SortedStream, SpillIoHandle, SpillValue,
     StreamGroupBy, StreamSorter, StreamStats, StringKey, StringSortedStream, StringStreamSorter,
 };
+
+/// A session-scoped failure: the I/O error that broke *one* session,
+/// tagged with the session id and tenant so a multi-tenant caller can
+/// attribute the blast radius.  The source's [`io::ErrorKind`] is
+/// preserved (an injected ENOSPC still reads as
+/// [`io::ErrorKind::StorageFull`]), and a typed [`stream::SpillError`]
+/// underneath stays reachable through [`SessionError::source_io`].
+///
+/// Quarantine contract: the failure is scoped to the session that hit it.
+/// The shared spill I/O pool, the governor's grant pool and every other
+/// session keep running; the failed session's budget lease and spill
+/// subdirectory are still reclaimed when it drops.
+#[derive(Debug)]
+pub struct SessionError {
+    /// Server-assigned session id (matches its `session-<id>` spill dir).
+    pub session_id: u64,
+    /// The tenant that opened the session.
+    pub tenant: String,
+    source: io::Error,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "session {:08} (tenant {}) failed: {}",
+            self.session_id, self.tenant, self.source
+        )
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+impl SessionError {
+    pub fn new(session_id: u64, tenant: String, source: io::Error) -> Self {
+        Self {
+            session_id,
+            tenant,
+            source,
+        }
+    }
+
+    /// Repacks into an [`io::Error`] that keeps the source's kind and
+    /// carries `self` in the boxed slot ([`SessionError::from_io`] gets it
+    /// back).
+    pub fn into_io(self) -> io::Error {
+        let kind = self.source.kind();
+        io::Error::new(kind, self)
+    }
+
+    /// The underlying I/O error (e.g. to downcast further into
+    /// [`stream::SpillError`]).
+    pub fn source_io(&self) -> &io::Error {
+        &self.source
+    }
+
+    /// Recovers the typed error from an [`io::Error`] produced by
+    /// [`SessionError::into_io`].
+    pub fn from_io(e: &io::Error) -> Option<&SessionError> {
+        e.get_ref()?.downcast_ref()
+    }
+}
 
 /// Tuning knobs of the [`SortServer`].
 #[derive(Debug, Clone, Default)]
@@ -81,18 +147,32 @@ impl SortServer {
     /// governor's admission policy.
     fn open_core(&self, tenant: &str, requested_bytes: usize) -> io::Result<SessionCore> {
         let lease = self.governor.admit(tenant, requested_bytes)?;
-        let dir = self
-            .spill
-            .lease(self.session_seq.fetch_add(1, Ordering::Relaxed))?;
+        let id = self.session_seq.fetch_add(1, Ordering::Relaxed);
+        let dir = self.spill.lease(id)?;
         if obs::enabled() {
             m().sessions_opened.incr();
         }
         Ok(SessionCore {
+            id,
+            tenant: tenant.to_string(),
             lease,
             dir,
             charged: 0,
+            failed: false,
             opened: Instant::now(),
         })
+    }
+
+    /// The session's view of the shared spill I/O backend — the clean
+    /// pool, or a fault-injecting decorator over it.  The decorator is
+    /// per *handle*, so a faulted session cannot leak faults (or broken
+    /// state) into its neighbors.
+    fn session_io(&self, core: &SessionCore, faults: Option<FaultPlan>) -> SpillIoHandle {
+        let io = core.dir.io().clone();
+        match faults {
+            Some(plan) => io.with_faults(plan),
+            None => io,
+        }
     }
 
     /// The session's engine config: the base template with the leased
@@ -112,8 +192,31 @@ impl SortServer {
         tenant: &str,
         requested_bytes: usize,
     ) -> io::Result<SortSession<K, V>> {
+        self.open_sort_inner(tenant, requested_bytes, None)
+    }
+
+    /// [`open_sort`](Self::open_sort) with a deterministic [`FaultPlan`]
+    /// injected into *this session's* view of the shared spill I/O
+    /// backend (chaos testing).  Faults — and any broken state they leave
+    /// behind — stay scoped to the returned session; every other session
+    /// keeps the clean pool.
+    pub fn open_sort_with_faults<K: IntegerKey, V: SpillValue>(
+        &self,
+        tenant: &str,
+        requested_bytes: usize,
+        plan: FaultPlan,
+    ) -> io::Result<SortSession<K, V>> {
+        self.open_sort_inner(tenant, requested_bytes, Some(plan))
+    }
+
+    fn open_sort_inner<K: IntegerKey, V: SpillValue>(
+        &self,
+        tenant: &str,
+        requested_bytes: usize,
+        faults: Option<FaultPlan>,
+    ) -> io::Result<SortSession<K, V>> {
         let core = self.open_core(tenant, requested_bytes)?;
-        let io = core.dir.io().clone();
+        let io = self.session_io(&core, faults);
         let sorter = StreamSorter::with_config_and_io(self.session_config(&core), io);
         Ok(SortSession { sorter, core })
     }
@@ -125,8 +228,30 @@ impl SortServer {
         agg: G,
         requested_bytes: usize,
     ) -> io::Result<GroupSession<K, G>> {
+        self.open_group_inner(tenant, agg, requested_bytes, None)
+    }
+
+    /// [`open_group`](Self::open_group) with a session-scoped
+    /// [`FaultPlan`] (see [`open_sort_with_faults`](Self::open_sort_with_faults)).
+    pub fn open_group_with_faults<K: IntegerKey, G: Aggregator>(
+        &self,
+        tenant: &str,
+        agg: G,
+        requested_bytes: usize,
+        plan: FaultPlan,
+    ) -> io::Result<GroupSession<K, G>> {
+        self.open_group_inner(tenant, agg, requested_bytes, Some(plan))
+    }
+
+    fn open_group_inner<K: IntegerKey, G: Aggregator>(
+        &self,
+        tenant: &str,
+        agg: G,
+        requested_bytes: usize,
+        faults: Option<FaultPlan>,
+    ) -> io::Result<GroupSession<K, G>> {
         let core = self.open_core(tenant, requested_bytes)?;
-        let io = core.dir.io().clone();
+        let io = self.session_io(&core, faults);
         let gb = StreamGroupBy::with_config_and_io(agg, self.session_config(&core), io);
         Ok(GroupSession { gb, core })
     }
@@ -137,8 +262,28 @@ impl SortServer {
         tenant: &str,
         requested_bytes: usize,
     ) -> io::Result<StringSortSession<K, V>> {
+        self.open_string_sort_inner(tenant, requested_bytes, None)
+    }
+
+    /// [`open_string_sort`](Self::open_string_sort) with a session-scoped
+    /// [`FaultPlan`] (see [`open_sort_with_faults`](Self::open_sort_with_faults)).
+    pub fn open_string_sort_with_faults<K: StringKey, V: SpillValue>(
+        &self,
+        tenant: &str,
+        requested_bytes: usize,
+        plan: FaultPlan,
+    ) -> io::Result<StringSortSession<K, V>> {
+        self.open_string_sort_inner(tenant, requested_bytes, Some(plan))
+    }
+
+    fn open_string_sort_inner<K: StringKey, V: SpillValue>(
+        &self,
+        tenant: &str,
+        requested_bytes: usize,
+        faults: Option<FaultPlan>,
+    ) -> io::Result<StringSortSession<K, V>> {
         let core = self.open_core(tenant, requested_bytes)?;
-        let io = core.dir.io().clone();
+        let io = self.session_io(&core, faults);
         let sorter = StringStreamSorter::with_config_and_io(self.session_config(&core), io);
         Ok(StringSortSession { sorter, core })
     }
@@ -149,19 +294,44 @@ impl SortServer {
 /// admissions), the spill subdirectory is removed, and the session's
 /// open-to-end latency is recorded.
 struct SessionCore {
+    id: u64,
+    tenant: String,
     lease: BudgetLease,
     dir: SpillDirLease,
     /// Durable spill bytes already charged against the disk quota.
     charged: u64,
+    /// Quarantine flag: the first I/O failure marks the session failed
+    /// (and bumps `server.sessions_failed` exactly once).
+    failed: bool,
     opened: Instant,
 }
 
 impl SessionCore {
+    /// Quarantines the session: records the failure (once) and wraps the
+    /// error as a [`SessionError`] naming this session, preserving the
+    /// source's [`io::ErrorKind`].  Only this session sees the error —
+    /// the shared pool and its neighbors are untouched, and the leases
+    /// still release on drop.
+    fn fail(&mut self, source: io::Error) -> io::Error {
+        if !self.failed {
+            self.failed = true;
+            if obs::enabled() {
+                m().sessions_failed.incr();
+            }
+        }
+        if SessionError::from_io(&source).is_some() {
+            return source;
+        }
+        SessionError::new(self.id, self.tenant.clone(), source).into_io()
+    }
+
     /// Charges the growth of the engine's durable spill bytes against the
     /// shared disk quota.
     fn charge_spill(&mut self, spilled_bytes: u64) -> io::Result<()> {
         if spilled_bytes > self.charged {
-            self.dir.charge(spilled_bytes - self.charged)?;
+            if let Err(e) = self.dir.charge(spilled_bytes - self.charged) {
+                return Err(self.fail(e));
+            }
             self.charged = spilled_bytes;
         }
         Ok(())
@@ -183,15 +353,22 @@ pub struct SortSession<K: IntegerKey, V: SpillValue> {
 }
 
 impl<K: IntegerKey, V: SpillValue> SortSession<K, V> {
-    /// Appends a batch; spilled bytes are charged to the disk quota.
+    /// Appends a batch; spilled bytes are charged to the disk quota.  An
+    /// I/O failure quarantines *this* session (the error comes back as a
+    /// [`SessionError`] with the source kind preserved); sibling sessions
+    /// on the shared backend are unaffected.
     pub fn push(&mut self, records: &[(K, V)]) -> io::Result<()> {
-        self.sorter.push(records)?;
+        if let Err(e) = self.sorter.push(records) {
+            return Err(self.core.fail(e));
+        }
         self.core.charge_spill(self.sorter.stats().spilled_bytes)
     }
 
     /// Appends one record.
     pub fn push_record(&mut self, key: K, value: V) -> io::Result<()> {
-        self.sorter.push_record(key, value)?;
+        if let Err(e) = self.sorter.push_record(key, value) {
+            return Err(self.core.fail(e));
+        }
         self.core.charge_spill(self.sorter.stats().spilled_bytes)
     }
 
@@ -215,19 +392,26 @@ impl<K: IntegerKey, V: SpillValue> SortSession<K, V> {
     /// Finishes the sort; the leases ride inside the returned stream and
     /// are released when it drops.
     pub fn finish(mut self) -> io::Result<SessionStream<K, V>> {
-        self.sorter.flush_spills()?;
+        if let Err(e) = self.sorter.flush_spills() {
+            return Err(self.core.fail(e));
+        }
         self.core.charge_spill(self.sorter.stats().spilled_bytes)?;
-        Ok(SessionStream {
-            inner: self.sorter.finish()?,
-            _core: self.core,
-        })
+        match self.sorter.finish() {
+            Ok(inner) => Ok(SessionStream {
+                inner,
+                _core: self.core,
+            }),
+            Err(e) => Err(self.core.fail(e)),
+        }
     }
 
     /// [`SortSession::finish`], materialized via the parallel merge.
     pub fn finish_vec(mut self) -> io::Result<Vec<(K, V)>> {
-        self.sorter.flush_spills()?;
+        if let Err(e) = self.sorter.flush_spills() {
+            return Err(self.core.fail(e));
+        }
         self.core.charge_spill(self.sorter.stats().spilled_bytes)?;
-        self.sorter.finish_vec()
+        self.sorter.finish_vec().map_err(|e| self.core.fail(e))
     }
 }
 
@@ -259,13 +443,19 @@ pub struct GroupSession<K: IntegerKey, G: Aggregator> {
 }
 
 impl<K: IntegerKey, G: Aggregator> GroupSession<K, G> {
+    /// Appends a batch; failures quarantine this session only (see
+    /// [`SortSession::push`]).
     pub fn push(&mut self, records: &[(K, G::Input)]) -> io::Result<()> {
-        self.gb.push(records)?;
+        if let Err(e) = self.gb.push(records) {
+            return Err(self.core.fail(e));
+        }
         self.core.charge_spill(self.gb.stats().spilled_bytes)
     }
 
     pub fn push_record(&mut self, key: K, value: G::Input) -> io::Result<()> {
-        self.gb.push_record(key, value)?;
+        if let Err(e) = self.gb.push_record(key, value) {
+            return Err(self.core.fail(e));
+        }
         self.core.charge_spill(self.gb.stats().spilled_bytes)
     }
 
@@ -286,12 +476,17 @@ impl<K: IntegerKey, G: Aggregator> GroupSession<K, G> {
 
     /// Finishes the group-by; leases ride inside the returned stream.
     pub fn finish(mut self) -> io::Result<GroupSessionStream<K, G>> {
-        self.gb.flush_spills()?;
+        if let Err(e) = self.gb.flush_spills() {
+            return Err(self.core.fail(e));
+        }
         self.core.charge_spill(self.gb.stats().spilled_bytes)?;
-        Ok(GroupSessionStream {
-            inner: self.gb.finish()?,
-            _core: self.core,
-        })
+        match self.gb.finish() {
+            Ok(inner) => Ok(GroupSessionStream {
+                inner,
+                _core: self.core,
+            }),
+            Err(e) => Err(self.core.fail(e)),
+        }
     }
 
     pub fn finish_vec(self) -> io::Result<Vec<(K, G::Acc)>> {
@@ -322,13 +517,19 @@ pub struct StringSortSession<K: StringKey, V: SpillValue> {
 }
 
 impl<K: StringKey, V: SpillValue> StringSortSession<K, V> {
+    /// Appends a batch; failures quarantine this session only (see
+    /// [`SortSession::push`]).
     pub fn push(&mut self, records: &[(K, V)]) -> io::Result<()> {
-        self.sorter.push(records)?;
+        if let Err(e) = self.sorter.push(records) {
+            return Err(self.core.fail(e));
+        }
         self.core.charge_spill(self.sorter.stats().spilled_bytes)
     }
 
     pub fn push_record(&mut self, key: K, value: V) -> io::Result<()> {
-        self.sorter.push_record(key, value)?;
+        if let Err(e) = self.sorter.push_record(key, value) {
+            return Err(self.core.fail(e));
+        }
         self.core.charge_spill(self.sorter.stats().spilled_bytes)
     }
 
@@ -348,12 +549,17 @@ impl<K: StringKey, V: SpillValue> StringSortSession<K, V> {
 
     /// Finishes the sort; leases ride inside the returned stream.
     pub fn finish(mut self) -> io::Result<StringSessionStream<K, V>> {
-        self.sorter.flush_spills()?;
+        if let Err(e) = self.sorter.flush_spills() {
+            return Err(self.core.fail(e));
+        }
         self.core.charge_spill(self.sorter.stats().spilled_bytes)?;
-        Ok(StringSessionStream {
-            inner: self.sorter.finish()?,
-            _core: self.core,
-        })
+        match self.sorter.finish() {
+            Ok(inner) => Ok(StringSessionStream {
+                inner,
+                _core: self.core,
+            }),
+            Err(e) => Err(self.core.fail(e)),
+        }
     }
 
     pub fn finish_vec(self) -> io::Result<Vec<(K, V)>> {
@@ -522,10 +728,20 @@ mod tests {
         .unwrap();
         let mut s = server.open_sort::<u32, u32>("hog", 16 << 10).unwrap();
         let batch: Vec<(u32, u32)> = (0..200_000u32).map(|i| (i.rotate_left(7), i)).collect();
+        let assert_typed_quota = |e: &io::Error| {
+            assert!(e.to_string().contains("quota"), "got: {e}");
+            assert_eq!(e.kind(), io::ErrorKind::QuotaExceeded);
+            let session = SessionError::from_io(e).expect("typed SessionError");
+            assert_eq!(session.tenant, "hog");
+            assert!(
+                stream::SpillError::from_io(session.source_io()).is_some(),
+                "SpillError must stay reachable under the session wrapper"
+            );
+        };
         let mut failed = false;
         for chunk in batch.chunks(4096) {
             if let Err(e) = s.push(chunk) {
-                assert!(e.to_string().contains("quota"), "got: {e}");
+                assert_typed_quota(&e);
                 failed = true;
                 break;
             }
@@ -534,7 +750,7 @@ mod tests {
         // error may surface on a later push or at finish; force the issue.
         if !failed {
             let err = s.finish().err().expect("quota must be enforced");
-            assert!(err.to_string().contains("quota"), "got: {err}");
+            assert_typed_quota(&err);
         }
     }
 }

@@ -10,14 +10,15 @@
 //! Disk is governed like memory: sessions [`charge`](SpillDirLease::charge)
 //! their durable spill bytes against the global
 //! [`SpillManagerConfig::quota_bytes`], and a charge past the quota fails
-//! with [`std::io::ErrorKind::QuotaExceeded`]-style error (mapped onto
-//! `Other`, which is stable), *before* more disk is consumed.
+//! *before* more disk is consumed, as a typed [`stream::SpillError`] with
+//! [`std::io::ErrorKind::QuotaExceeded`] naming the session's spill
+//! directory and the bytes that pushed it over.
 
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use stream::SpillIoHandle;
+use stream::{SpillError, SpillIoHandle};
 
 /// Distinguishes concurrent managers within one process (same fix as the
 /// spill-space collision bug: a pid alone is not unique).
@@ -143,10 +144,13 @@ impl SpillDirManager {
             if obs::enabled() {
                 crate::metrics::m().quota_rejections.incr();
             }
-            return Err(io::Error::other(format!(
-                "spill quota exceeded: {} + {} bytes over the {}-byte quota",
-                before, delta, self.quota_bytes
-            )));
+            return Err(io::Error::new(
+                io::ErrorKind::QuotaExceeded,
+                format!(
+                    "spill quota exceeded: {} + {} bytes over the {}-byte quota",
+                    before, delta, self.quota_bytes
+                ),
+            ));
         }
         if obs::enabled() {
             crate::metrics::m().spill_bytes_charged.add(delta);
@@ -189,12 +193,17 @@ impl SpillDirLease {
     }
 
     /// Charges `delta` more durable spill bytes against the global quota,
-    /// failing (without charging) past the ceiling.
+    /// failing (without charging) past the ceiling.  The failure is a
+    /// typed [`SpillError`] (kind [`io::ErrorKind::QuotaExceeded`])
+    /// carrying this session's spill directory and the rejected byte
+    /// count, so a caller can tell a full quota from a full disk.
     pub fn charge(&mut self, delta: u64) -> io::Result<()> {
         if delta == 0 {
             return Ok(());
         }
-        self.manager.charge(delta)?;
+        self.manager
+            .charge(delta)
+            .map_err(|e| SpillError::new(self.path.clone(), 0, delta, e).into_io())?;
         self.charged += delta;
         Ok(())
     }
@@ -277,6 +286,10 @@ mod tests {
         b.charge(300).unwrap();
         let err = b.charge(200).expect_err("past the quota");
         assert!(err.to_string().contains("quota"), "got: {err}");
+        assert_eq!(err.kind(), io::ErrorKind::QuotaExceeded);
+        let typed = SpillError::from_io(&err).expect("typed SpillError");
+        assert_eq!(typed.path, b.path());
+        assert_eq!(typed.bytes_attempted, 200);
         assert_eq!(mgr.charged_bytes(), 900, "failed charge rolled back");
         drop(a);
         assert_eq!(mgr.charged_bytes(), 300, "lease drop un-charges");

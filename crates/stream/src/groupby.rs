@@ -41,7 +41,8 @@
 use crate::pipeline::SpillPipeline;
 use crate::sorter::{open_run_cursors, RunCursor};
 use crate::spill::{
-    var_payload_bytes, var_payload_should_spill, write_run, SpillSpace, SpillValue, SpilledRun,
+    var_payload_bytes, var_payload_should_spill, wrap_spill_err, write_run_with_retry, SpillSpace,
+    SpillValue, SpilledRun,
 };
 use crate::spillio::SpillIoHandle;
 use dtsort::{IntegerKey, StreamConfig};
@@ -242,6 +243,13 @@ pub struct GroupByStats {
     /// `records_pushed − partial_aggregates` records were collapsed before
     /// ever reaching disk.
     pub partial_aggregates: u64,
+    /// Transient spill-write failures retried (and eventually succeeded)
+    /// under [`StreamConfig::spill_retry`]; see
+    /// [`crate::StreamStats::spill_retries`].
+    pub spill_retries: u64,
+    /// Runs spilled synchronously while pipelining was on probation after
+    /// a writer failure; see [`crate::StreamStats::degraded_syncs`].
+    pub degraded_syncs: u64,
     /// Whether the spill counters are exact right now: `false` while
     /// aggregated runs are in flight to the background spill writer,
     /// `true` once reconciliation has caught up.  Always `true` under
@@ -258,6 +266,8 @@ impl Default for GroupByStats {
             spilled_bytes: 0,
             spilled_raw_bytes: 0,
             partial_aggregates: 0,
+            spill_retries: 0,
+            degraded_syncs: 0,
             // Nothing in flight before the first pipelined spill.
             is_settled: true,
         }
@@ -294,11 +304,16 @@ pub struct StreamGroupBy<K: IntegerKey, G: Aggregator> {
     /// Distinct name counter for synchronously written run files (the
     /// pipelined writer numbers its own `agg-p*` namespace).
     sync_run_seq: usize,
-    /// Set after a writer-side error surfaced: fall back to synchronous
-    /// spilling for the rest of this group-by's life.
-    pipeline_broken: bool,
+    /// `Some(n)` after a writer-side error surfaced: spill synchronously
+    /// until `n` more clean synchronous spills succeed, then re-enable
+    /// pipelining ([`dtsort::SpillRetryPolicy::probation_spills`]).
+    degraded: Option<u32>,
     /// Runs aggregated so far (labels the `aggregate_run` trace spans).
     runs_aggregated: usize,
+    /// Pipeline incarnations started so far; each gets its own
+    /// `agg-p{generation}-` file namespace so a restart after probation
+    /// cannot collide with a previous incarnation's files.
+    pipeline_generation: usize,
     // Field order matters: the pipeline must drop (joining its writer)
     // before the spill space deletes the directory under it.
     pipeline: Option<SpillPipeline<u64, G::Acc>>,
@@ -364,8 +379,9 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             runs: Vec::new(),
             in_flight_runs: 0,
             sync_run_seq: 0,
-            pipeline_broken: false,
+            degraded: None,
             runs_aggregated: 0,
+            pipeline_generation: 0,
             pipeline: None,
             space: None,
             stats: GroupByStats::default(),
@@ -452,7 +468,13 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         loop {
             self.refresh_run_capacity();
             if self.should_spill() {
-                self.spill_partial_run()?;
+                if let Err(e) = self.spill_partial_run() {
+                    // A failed spill must not cost the caller the rest of
+                    // the slice: absorb it (transiently past capacity,
+                    // bounded by the slice), then report.
+                    self.buffer_chunk(rest);
+                    return Err(e);
+                }
             }
             if rest.is_empty() {
                 return Ok(());
@@ -463,15 +485,24 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             let space = self.run_capacity.saturating_sub(self.buffer.len());
             let take = space.min(rest.len());
             let (chunk, tail) = rest.split_at(take);
-            self.buffer.extend_from_slice(chunk);
-            self.buffered_value_bytes += var_payload_bytes(chunk);
-            // Count per accepted chunk (not per whole batch) so a failed
-            // spill leaves the records already buffered counted.
-            self.stats.records_pushed += take as u64;
-            if obs::enabled() {
-                crate::metrics::m().gb_records_pushed.add(take as u64);
-            }
+            self.buffer_chunk(chunk);
             rest = tail;
+        }
+    }
+
+    /// Moves `chunk` into the run buffer, keeping byte and record
+    /// accounting exact (`records_pushed == len()` even on error paths).
+    fn buffer_chunk(&mut self, chunk: &[(K, G::Input)]) {
+        if chunk.is_empty() {
+            return;
+        }
+        self.buffer.extend_from_slice(chunk);
+        self.buffered_value_bytes += var_payload_bytes(chunk);
+        self.stats.records_pushed += chunk.len() as u64;
+        if obs::enabled() {
+            crate::metrics::m()
+                .gb_records_pushed
+                .add(chunk.len() as u64);
         }
     }
 
@@ -608,7 +639,7 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         if !self.buffer_needs_spill() {
             return Ok(());
         }
-        if self.cfg.synchronous_spill || self.pipeline_broken {
+        if self.cfg.synchronous_spill || self.degraded.is_some() {
             let partial = self.aggregate_run();
             self.write_partial_sync(partial)
         } else {
@@ -640,24 +671,46 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         let dir = &self.space.as_ref().expect("spill space secured").dir;
         let path = dir.join(format!("agg-s{:06}.bin", self.sync_run_seq));
         let _span = obs::enabled().then(|| obs::span!("spill_write", run = self.sync_run_seq));
-        let spilled = match write_run(&self.io, &path, partial, self.cfg.spill_compression) {
+        let spilled = match write_run_with_retry(
+            &self.io,
+            &path,
+            partial,
+            self.cfg.spill_compression,
+            &self.cfg.spill_retry,
+        ) {
             Ok(spilled) => spilled,
             Err(e) => {
                 std::fs::remove_file(&path).ok();
-                return Err(e);
+                let attempted: u64 = partial.iter().map(|(_, a)| 8 + a.spill_size() as u64).sum();
+                return Err(wrap_spill_err(&path, self.sync_run_seq, attempted, e));
             }
         };
         self.sync_run_seq += 1;
         self.stats.spilled_runs += 1;
         self.stats.spilled_bytes += spilled.bytes;
         self.stats.spilled_raw_bytes += spilled.raw_bytes;
+        self.stats.spill_retries += spilled.retries as u64;
         if obs::enabled() {
             let metrics = crate::metrics::m();
             metrics.gb_spilled_runs.incr();
             metrics.gb_spilled_bytes.add(spilled.bytes);
         }
         self.runs.push(spilled);
+        self.note_degraded_sync();
         Ok(())
+    }
+
+    /// One clean synchronous spill while on probation: count it, and once
+    /// enough succeed, lift the probation so the next spill restarts the
+    /// pipeline.  A no-op outside probation.
+    fn note_degraded_sync(&mut self) {
+        let Some(left) = self.degraded else { return };
+        self.stats.degraded_syncs += 1;
+        if obs::enabled() {
+            crate::metrics::m().degraded_syncs.incr();
+        }
+        let left = left.saturating_sub(1);
+        self.degraded = (left > 0).then_some(left);
     }
 
     /// Hands the aggregated run to the background writer: the next run
@@ -670,12 +723,15 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
                 .expect("spill space secured")
                 .dir
                 .clone();
+            let generation = self.pipeline_generation;
+            self.pipeline_generation += 1;
             self.pipeline = Some(SpillPipeline::start(
                 self.io.clone(),
                 dir,
                 self.cfg.spill_pipeline_depth,
-                "agg-p",
+                format!("agg-p{generation}-"),
                 self.cfg.spill_compression,
+                self.cfg.spill_retry,
             ));
         }
         let partial = self.aggregate_run();
@@ -713,6 +769,7 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
             self.stats.spilled_runs += 1;
             self.stats.spilled_bytes += run.bytes;
             self.stats.spilled_raw_bytes += run.raw_bytes;
+            self.stats.spill_retries += run.retries as u64;
             if obs::enabled() {
                 let metrics = crate::metrics::m();
                 metrics.gb_spilled_runs.incr();
@@ -736,7 +793,9 @@ impl<K: IntegerKey, G: Aggregator> StreamGroupBy<K, G> {
         // Nothing is in flight any more: completed runs were accounted
         // above and failed ones reclaimed as pending.
         self.stats.is_settled = true;
-        self.pipeline_broken = true;
+        // Probation, not a life sentence: spill synchronously until enough
+        // clean spills prove the fault was transient, then re-pipeline.
+        self.degraded = Some(self.cfg.spill_retry.probation_spills.max(1));
         closed.error
     }
 

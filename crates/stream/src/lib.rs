@@ -64,8 +64,16 @@
 //! paid for out of the same budget; the bounded channel is the
 //! backpressure.  Writer-side errors surface on the next `push` or on
 //! `finish` — never dropped, never a hang — with the failed runs'
-//! records reclaimed and the engine falling back to synchronous
-//! spilling.  [`dtsort::StreamConfig::synchronous_spill`] turns the
+//! records reclaimed and the engine entering **degradation probation**:
+//! it spills synchronously until
+//! [`dtsort::SpillRetryPolicy::probation_spills`] consecutive spills
+//! succeed, then re-enables the pipeline (visible as
+//! `spill.degraded_syncs` / [`StreamStats::degraded_syncs`]).
+//! Transient failures (interrupted/timed-out syscalls) are retried with
+//! bounded deterministic backoff before any of that
+//! ([`dtsort::SpillRetryPolicy`]), and errors that survive the retries
+//! are typed [`SpillError`]s naming the run file, run index and bytes
+//! attempted.  [`dtsort::StreamConfig::synchronous_spill`] turns the
 //! whole stage off (the reference behavior for the differential tests).
 //!
 //! ## Spill I/O backends
@@ -156,6 +164,7 @@
 //! | Dedup variable-length payloads per key | [`StreamGroupBy`] + [`FirstAgg`] |
 
 mod codec;
+mod fault;
 mod groupby;
 mod metrics;
 #[cfg(test)]
@@ -166,13 +175,16 @@ mod spill;
 mod spillio;
 mod strkey;
 
-pub use dtsort::{SortConfig, SpillCompression, SpillIoMode, StreamConfig, StringKey};
+pub use dtsort::{
+    SortConfig, SpillCompression, SpillIoMode, SpillRetryPolicy, StreamConfig, StringKey,
+};
+pub use fault::{FaultKind, FaultPlan, DEFAULT_FAULT_KINDS, DEFAULT_FAULT_PERIOD};
 pub use groupby::{
     Aggregator, ConcatAgg, CountAgg, FirstAgg, FoldAgg, GroupByStats, GroupedStream, MaxAgg,
     MinAgg, StreamGroupBy, SumAgg,
 };
 pub use sorter::{SortedStream, StreamSorter, StreamStats};
-pub use spill::{PodValue, SpillValue, VarValue};
+pub use spill::{PodValue, SpillError, SpillValue, VarValue};
 pub use spillio::SpillIoHandle;
 pub use strkey::{
     StringAggAdapter, StringGroupedStream, StringKeyed, StringSortedStream, StringStreamGroupBy,

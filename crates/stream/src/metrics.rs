@@ -37,6 +37,9 @@
 //! | `spillio.queue_depth` | gauge | batched I/O jobs in flight (queued + running) |
 //! | `spillio.inline_jobs` | counter | jobs run inline by their submitter because the queue was at depth (submit never blocks) |
 //! | `spillio.complete_ns` | histogram | per-job service time on the batched I/O workers |
+//! | `spill.retries` | counter | transient spill-I/O failures retried (writes and merge-side reads) |
+//! | `spill.degraded_syncs` | counter | synchronous spills performed while pipelining was on probation after a failure |
+//! | `fault.injected` | counter | faults injected by an active [`crate::FaultPlan`] (zero outside chaos runs) |
 
 use std::sync::OnceLock;
 
@@ -71,6 +74,10 @@ pub(crate) struct StreamMetrics {
     pub spillio_queue_depth: obs::Gauge,
     pub spillio_inline_jobs: obs::Counter,
     pub spillio_complete_ns: obs::Histogram,
+
+    pub spill_retries: obs::Counter,
+    pub degraded_syncs: obs::Counter,
+    pub fault_injected: obs::Counter,
 }
 
 /// The handle bundle, registered in [`obs::global`] on first use.  Call
@@ -106,6 +113,9 @@ pub(crate) fn m() -> &'static StreamMetrics {
             spillio_queue_depth: reg.gauge("spillio.queue_depth"),
             spillio_inline_jobs: reg.counter("spillio.inline_jobs"),
             spillio_complete_ns: reg.histogram("spillio.complete_ns"),
+            spill_retries: reg.counter("spill.retries"),
+            degraded_syncs: reg.counter("spill.degraded_syncs"),
+            fault_injected: reg.counter("fault.injected"),
         }
     })
 }

@@ -37,9 +37,9 @@
 //! same guarantees.
 
 use crate::metrics::m;
-use crate::spill::{write_run, RunReader, SpillValue, SpilledRun};
+use crate::spill::{wrap_spill_err, write_run_with_retry, RunReader, SpillValue, SpilledRun};
 use crate::spillio::{JobPool, SpillIoHandle};
-use dtsort::{IntegerKey, SpillCompression};
+use dtsort::{IntegerKey, SpillCompression, SpillRetryPolicy};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -101,13 +101,16 @@ impl<K: IntegerKey, V: SpillValue> SpillPipeline<K, V> {
     /// Starts the writer thread over `dir`, naming run files
     /// `{prefix}NNNNNN.bin` and encoding them with `compression`.  `depth`
     /// bounds the in-flight runs (queued + being written); the buffer pool
-    /// keeps at most `depth + 1` cleared run buffers for reuse.
+    /// keeps at most `depth + 1` cleared run buffers for reuse.  `retry`
+    /// governs how the writer handles transient I/O failures: each run is
+    /// retried from scratch per the policy before it counts as failed.
     pub fn start(
         io: SpillIoHandle,
         dir: PathBuf,
         depth: usize,
-        prefix: &'static str,
+        prefix: String,
         compression: SpillCompression,
+        retry: SpillRetryPolicy,
     ) -> Self {
         let depth = depth.max(1);
         let (tx, rx) = sync_channel::<Vec<(K, V)>>(depth - 1);
@@ -128,7 +131,18 @@ impl<K: IntegerKey, V: SpillValue> SpillPipeline<K, V> {
         let pool_limit = depth + 1;
         let worker = std::thread::Builder::new()
             .name("pisort-spill-writer".to_string())
-            .spawn(move || writer_loop(io, rx, dir, prefix, compression, worker_shared, pool_limit))
+            .spawn(move || {
+                writer_loop(
+                    io,
+                    rx,
+                    dir,
+                    prefix,
+                    compression,
+                    retry,
+                    worker_shared,
+                    pool_limit,
+                )
+            })
             .expect("failed to spawn spill-writer thread");
         Self {
             tx: Some(tx),
@@ -247,12 +261,14 @@ impl<K: IntegerKey, V: SpillValue> Drop for SpillPipeline<K, V> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn writer_loop<K: IntegerKey, V: SpillValue>(
     io: SpillIoHandle,
     rx: Receiver<Vec<(K, V)>>,
     dir: PathBuf,
-    prefix: &'static str,
+    prefix: String,
     compression: SpillCompression,
+    retry: SpillRetryPolicy,
     shared: Arc<Shared<K, V>>,
     pool_limit: usize,
 ) {
@@ -279,13 +295,13 @@ fn writer_loop<K: IntegerKey, V: SpillValue>(
             let start = std::time::Instant::now();
             let _span = obs::span!("spill_write", run = seq);
             let r = catch_unwind(AssertUnwindSafe(|| {
-                write_run(&io, &path, &buf, compression)
+                write_run_with_retry(&io, &path, &buf, compression, &retry)
             }));
             m().write_ns.record_duration(start.elapsed());
             r
         } else {
             catch_unwind(AssertUnwindSafe(|| {
-                write_run(&io, &path, &buf, compression)
+                write_run_with_retry(&io, &path, &buf, compression, &retry)
             }))
         };
         let mut st = shared.state.lock().expect("spill state");
@@ -302,7 +318,11 @@ fn writer_loop<K: IntegerKey, V: SpillValue>(
             Ok(Err(e)) => {
                 std::fs::remove_file(&path).ok();
                 if st.error.is_none() {
-                    st.error = Some(e);
+                    // Attach the typed spill context without disturbing the
+                    // error's kind, so callers can still tell ENOSPC from
+                    // corruption after the pipeline relays it.
+                    let attempted: u64 = buf.iter().map(|(_, v)| 8 + v.spill_size() as u64).sum();
+                    st.error = Some(wrap_spill_err(&path, seq, attempted, e));
                 }
                 st.broken = true;
                 st.failed.push(buf);
@@ -597,6 +617,7 @@ impl<V: SpillValue> RunPrefetcher<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spill::write_run;
     use std::path::Path;
 
     fn tmp_dir(name: &str) -> PathBuf {
@@ -619,8 +640,14 @@ mod tests {
     #[test]
     fn writes_runs_in_submission_order_and_recycles_buffers() {
         let dir = tmp_dir("order");
-        let mut pipe: SpillPipeline<u64, u64> =
-            SpillPipeline::start(bio(), dir.clone(), 2, "run-p", SpillCompression::Off);
+        let mut pipe: SpillPipeline<u64, u64> = SpillPipeline::start(
+            bio(),
+            dir.clone(),
+            2,
+            "run-p".to_string(),
+            SpillCompression::Off,
+            SpillRetryPolicy::default(),
+        );
         for r in 0..6u64 {
             let run: Vec<(u64, u64)> = (0..100).map(|i| (i, r)).collect();
             pipe.submit(run);
@@ -643,8 +670,14 @@ mod tests {
     #[test]
     fn error_stops_writing_and_stashes_later_runs_in_order() {
         let dir = tmp_dir("err");
-        let mut pipe: SpillPipeline<u64, u64> =
-            SpillPipeline::start(bio(), dir.clone(), 2, "run-p", SpillCompression::Off);
+        let mut pipe: SpillPipeline<u64, u64> = SpillPipeline::start(
+            bio(),
+            dir.clone(),
+            2,
+            "run-p".to_string(),
+            SpillCompression::Off,
+            SpillRetryPolicy::default(),
+        );
         pipe.submit(vec![(1, 0)]);
         pipe.flush();
         // Break the spill directory under the writer: every later write
@@ -671,8 +704,14 @@ mod tests {
         let blocked = dir.join("blocked-file");
         std::fs::write(&blocked, b"x").unwrap();
         // Point the pipeline *at a file*: the very first write fails.
-        let mut pipe: SpillPipeline<u64, u64> =
-            SpillPipeline::start(bio(), blocked.clone(), 1, "run-p", SpillCompression::Off);
+        let mut pipe: SpillPipeline<u64, u64> = SpillPipeline::start(
+            bio(),
+            blocked.clone(),
+            1,
+            "run-p".to_string(),
+            SpillCompression::Off,
+            SpillRetryPolicy::default(),
+        );
         pipe.submit(vec![(9, 9)]);
         let closed = pipe.close();
         assert!(closed.error.is_some(), "close must never drop the error");
@@ -722,6 +761,7 @@ mod tests {
                 bytes: good.bytes + 16,
                 raw_bytes: good.raw_bytes + 16,
                 compression: SpillCompression::Off,
+                retries: 0,
             };
             match RunPrefetcher::<u64>::spawn(&io, &run, 4096, 0) {
                 Err(e) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),

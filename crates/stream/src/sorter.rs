@@ -2,8 +2,9 @@
 
 use crate::pipeline::{PrefetchSource, RunPrefetcher, SpillPipeline};
 use crate::spill::{
-    per_run_reader_budget, var_payload_bytes, var_payload_should_spill, write_run, PodValue,
-    RunReader, SpillSpace, SpillValue, SpilledRun, VarValue,
+    per_run_reader_budget, var_payload_bytes, var_payload_should_spill, with_transient_retry,
+    wrap_spill_err, write_run_with_retry, PodValue, RunReader, SpillSpace, SpillValue, SpilledRun,
+    VarValue,
 };
 use crate::spillio::SpillIoHandle;
 use dtsort::{sort_run_pairs_with, IntegerKey, RunReport, SortConfig, SpillIoMode, StreamConfig};
@@ -55,6 +56,14 @@ pub struct StreamStats {
     pub spilled_raw_bytes: u64,
     /// Heavy keys currently carried into the next run's sampling.
     pub carried_heavy_keys: usize,
+    /// Transient spill-write failures that were retried (and eventually
+    /// succeeded) under [`StreamConfig::spill_retry`], across both the
+    /// synchronous and the pipelined writer.
+    pub spill_retries: u64,
+    /// Runs spilled synchronously while pipelining was on probation after
+    /// a writer failure.  Stops growing once the probation run count is
+    /// served and pipelining resumes.
+    pub degraded_syncs: u64,
     /// Whether the spill counters are exact right now: `false` while runs
     /// are in flight to the background spill writer (their bytes are not
     /// yet in `spilled_runs` / `spilled_bytes`), `true` once reconciliation
@@ -72,6 +81,8 @@ impl Default for StreamStats {
             spilled_bytes: 0,
             spilled_raw_bytes: 0,
             carried_heavy_keys: 0,
+            spill_retries: 0,
+            degraded_syncs: 0,
             // Nothing in flight before the first pipelined spill.
             is_settled: true,
         }
@@ -137,12 +148,19 @@ pub struct StreamSorter<K: IntegerKey, V: SpillValue = ()> {
     /// Distinct name counter for synchronously written run files (the
     /// pipelined writer numbers its own `run-p*` namespace).
     sync_run_seq: usize,
-    /// Set after a writer-side error surfaced: the sorter falls back to
-    /// synchronous spilling for the rest of its life (the error path
-    /// converges onto one code path instead of restarting the pipeline).
-    pipeline_broken: bool,
+    /// `Some(n)` after a writer-side error surfaced: the sorter is on
+    /// *probation*, spilling synchronously (the error path converges onto
+    /// one code path) until `n` more clean synchronous spills have
+    /// succeeded, after which pipelining is re-enabled
+    /// ([`dtsort::SpillRetryPolicy::probation_spills`]).  `None` while
+    /// pipelining is allowed.
+    degraded: Option<u32>,
     /// Runs sorted so far (labels the `sort_run` trace spans).
     runs_sorted: usize,
+    /// Pipeline incarnations started so far.  Each gets its own run-file
+    /// namespace (`run-p{generation}-NNNNNN.bin`), so a pipeline restarted
+    /// after probation cannot collide with a previous incarnation's files.
+    pipeline_generation: usize,
     carry: Vec<u64>,
     // Field order matters: the pipeline must drop (joining its writer)
     // before the spill space deletes the directory under it.
@@ -191,8 +209,9 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
             in_flight_records: 0,
             in_flight_runs: 0,
             sync_run_seq: 0,
-            pipeline_broken: false,
+            degraded: None,
             runs_sorted: 0,
+            pipeline_generation: 0,
             carry: Vec::new(),
             pipeline: None,
             space: None,
@@ -288,12 +307,25 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
     }
 
     /// Appends a batch of records, spilling full runs to disk as needed.
+    ///
+    /// On a spill error the sorter still takes ownership of the *whole*
+    /// slice before the error surfaces: the un-consumed tail is buffered
+    /// (transiently past the run capacity, bounded by the slice length),
+    /// so a caller that treats the error as transient and keeps pushing
+    /// never loses the records it already handed over.
     pub fn push(&mut self, records: &[(K, V)]) -> io::Result<()> {
         let mut rest = records;
         loop {
             self.refresh_run_capacity();
             if self.should_spill() {
-                self.spill_run()?;
+                if let Err(e) = self.spill_run() {
+                    // A failed spill parks its run in the pending queue,
+                    // but must not cost the caller the rest of the slice:
+                    // absorb it, then report.  The next successful spill
+                    // drains the excess.
+                    self.buffer_chunk(rest);
+                    return Err(e);
+                }
             }
             if rest.is_empty() {
                 return Ok(());
@@ -304,17 +336,22 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
             let space = self.run_capacity.saturating_sub(self.buffer.len());
             let take = space.min(rest.len());
             let (chunk, tail) = rest.split_at(take);
-            self.buffer.extend_from_slice(chunk);
-            self.buffered_value_bytes += var_payload_bytes(chunk);
-            // Count per accepted chunk, not per whole batch: if the spill
-            // above fails on a later iteration, the records already moved
-            // into the buffer stay owned by the sorter and must stay
-            // counted (`records_pushed == len()` even on error paths).
-            self.stats.records_pushed += take as u64;
-            if obs::enabled() {
-                crate::metrics::m().records_pushed.add(take as u64);
-            }
+            self.buffer_chunk(chunk);
             rest = tail;
+        }
+    }
+
+    /// Moves `chunk` into the run buffer, keeping byte and record
+    /// accounting exact (`records_pushed == len()` even on error paths).
+    fn buffer_chunk(&mut self, chunk: &[(K, V)]) {
+        if chunk.is_empty() {
+            return;
+        }
+        self.buffer.extend_from_slice(chunk);
+        self.buffered_value_bytes += var_payload_bytes(chunk);
+        self.stats.records_pushed += chunk.len() as u64;
+        if obs::enabled() {
+            crate::metrics::m().records_pushed.add(chunk.len() as u64);
         }
     }
 
@@ -381,7 +418,7 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
         if !self.buffer_needs_spill() {
             return Ok(());
         }
-        if self.cfg.synchronous_spill || self.pipeline_broken {
+        if self.cfg.synchronous_spill || self.degraded.is_some() {
             self.sort_buffer();
             let run = std::mem::take(&mut self.buffer);
             self.buffered_value_bytes = 0;
@@ -417,24 +454,49 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
         let dir = &self.space.as_ref().expect("spill space secured").dir;
         let path = dir.join(format!("run-s{:06}.bin", self.sync_run_seq));
         let _span = obs::enabled().then(|| obs::span!("spill_write", run = self.sync_run_seq));
-        let spilled = match write_run(&self.io, &path, run, self.cfg.spill_compression) {
+        let spilled = match write_run_with_retry(
+            &self.io,
+            &path,
+            run,
+            self.cfg.spill_compression,
+            &self.cfg.spill_retry,
+        ) {
             Ok(spilled) => spilled,
             Err(e) => {
                 std::fs::remove_file(&path).ok();
-                return Err(e);
+                let attempted: u64 = run.iter().map(|(_, v)| 8 + v.spill_size() as u64).sum();
+                return Err(wrap_spill_err(&path, self.sync_run_seq, attempted, e));
             }
         };
         self.sync_run_seq += 1;
         self.stats.spilled_runs += 1;
         self.stats.spilled_bytes += spilled.bytes;
         self.stats.spilled_raw_bytes += spilled.raw_bytes;
+        self.stats.spill_retries += spilled.retries as u64;
         if obs::enabled() {
             let metrics = crate::metrics::m();
             metrics.spilled_runs.incr();
             metrics.spilled_bytes.add(spilled.bytes);
         }
         self.runs.push(spilled);
+        self.note_degraded_sync();
         Ok(())
+    }
+
+    /// One clean synchronous spill while on probation: count it, and once
+    /// [`dtsort::SpillRetryPolicy::probation_spills`] of them have
+    /// succeeded, lift the probation so the next spill restarts the
+    /// pipeline.  A no-op outside probation (including under
+    /// [`StreamConfig::synchronous_spill`], which is a choice, not a
+    /// degradation).
+    fn note_degraded_sync(&mut self) {
+        let Some(left) = self.degraded else { return };
+        self.stats.degraded_syncs += 1;
+        if obs::enabled() {
+            crate::metrics::m().degraded_syncs.incr();
+        }
+        let left = left.saturating_sub(1);
+        self.degraded = (left > 0).then_some(left);
     }
 
     /// Hands the sorted buffer to the background writer and keeps going
@@ -448,12 +510,15 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
                 .expect("spill space secured")
                 .dir
                 .clone();
+            let generation = self.pipeline_generation;
+            self.pipeline_generation += 1;
             self.pipeline = Some(SpillPipeline::start(
                 self.io.clone(),
                 dir,
                 self.cfg.spill_pipeline_depth,
-                "run-p",
+                format!("run-p{generation}-"),
                 self.cfg.spill_compression,
+                self.cfg.spill_retry,
             ));
         }
         self.sort_buffer();
@@ -494,6 +559,7 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
             self.stats.spilled_runs += 1;
             self.stats.spilled_bytes += run.bytes;
             self.stats.spilled_raw_bytes += run.raw_bytes;
+            self.stats.spill_retries += run.retries as u64;
             if obs::enabled() {
                 let metrics = crate::metrics::m();
                 metrics.spilled_runs.incr();
@@ -521,7 +587,9 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
         // Nothing is in flight any more: completed runs were accounted
         // above and failed ones reclaimed as pending.
         self.stats.is_settled = true;
-        self.pipeline_broken = true;
+        // Probation, not a life sentence: spill synchronously until enough
+        // clean spills prove the fault was transient, then re-pipeline.
+        self.degraded = Some(self.cfg.spill_retry.probation_spills.max(1));
         closed.error
     }
 
@@ -623,9 +691,15 @@ impl<K: IntegerKey, V: SpillValue> StreamSorter<K, V> {
             let cell = parlay::slice::UnsafeSliceCell::new(&mut results);
             let runs = &self.runs;
             let io = &self.io;
+            let retry = &self.cfg.spill_retry;
             parlay::par::parallel_for_grained(0, runs.len(), 1, &|i| {
-                let res = RunReader::<V>::open(io, &runs[i], reader_budget)
-                    .and_then(|mut r| r.read_all());
+                // Whole-run granularity: a transient read failure anywhere
+                // in the run re-opens and re-reads it from the start.
+                let res = with_transient_retry(retry, || {
+                    RunReader::<V>::open(io, &runs[i], reader_budget).and_then(|mut r| r.read_all())
+                })
+                .map(|(records, _)| records)
+                .map_err(|e| wrap_spill_err(&runs[i].path, i, runs[i].bytes, e));
                 unsafe { cell.write(i, res) };
             });
         }
@@ -782,18 +856,30 @@ pub(crate) fn open_run_cursors<V: SpillValue>(
     let mut cursors: Vec<RunCursor<V>> = Vec::with_capacity(runs.len() + 2);
     if prefetch {
         // Spawn every producer before priming any cursor, so all the
-        // first blocks decode in parallel.
+        // first blocks decode in parallel.  Open-time failures (the only
+        // ones with a clean retry point) are retried per the policy.
         let prefetchers: Vec<RunPrefetcher<V>> = runs
             .iter()
             .enumerate()
-            .map(|(i, run)| RunPrefetcher::spawn(io, run, reader_budget, i))
+            .map(|(i, run)| {
+                with_transient_retry(&cfg.spill_retry, || {
+                    RunPrefetcher::spawn(io, run, reader_budget, i)
+                })
+                .map(|(p, _)| p)
+                .map_err(|e| wrap_spill_err(&run.path, i, run.bytes, e))
+            })
             .collect::<io::Result<_>>()?;
         for p in prefetchers {
             cursors.push(RunCursor::from_prefetch(p.into_source())?);
         }
     } else {
-        for run in runs {
-            cursors.push(RunCursor::open_disk(io, run, reader_budget)?);
+        for (i, run) in runs.iter().enumerate() {
+            let cursor = with_transient_retry(&cfg.spill_retry, || {
+                RunCursor::open_disk(io, run, reader_budget)
+            })
+            .map(|(c, _)| c)
+            .map_err(|e| wrap_spill_err(&run.path, i, run.bytes, e))?;
+            cursors.push(cursor);
         }
     }
     Ok((cursors, read_ahead_disabled, capped))
@@ -1535,7 +1621,7 @@ mod tests {
                     // (which will retry the reclaimed runs).
                     assert!(!sorter.pending_runs.is_empty(), "records reclaimed");
                     assert_eq!(sorter.in_flight_records, 0);
-                    assert!(sorter.pipeline_broken);
+                    assert!(sorter.degraded.is_some(), "probation engaged");
                     saw_error = true;
                 }
             }
@@ -1639,6 +1725,51 @@ mod tests {
     }
 
     #[test]
+    fn probation_reenables_pipelining_after_clean_sync_spills() {
+        // A writer failure no longer demotes the sorter to synchronous
+        // spilling forever: after `probation_spills` clean synchronous
+        // spills the pipeline restarts, and `degraded_syncs` stops
+        // growing — the observable signature of a served probation.
+        let cfg = batched_cfg(16 << 10, 2, 8);
+        let io = SpillIoHandle::batched(2, 8);
+        let mut sorter: StreamSorter<u64, u64> = StreamSorter::with_config_and_io(cfg, io.clone());
+        let capacity = sorter.run_capacity;
+        let run_bytes = (capacity * 16) as u64; // flat: 8B key + 8B value
+        io.inject_write_failure_after(run_bytes + run_bytes / 2);
+        let n = 24 * capacity;
+        let input: Vec<(u64, u64)> = (0..n as u64).map(|i| (i % 101, i)).collect();
+        let mut saw_error = false;
+        for &(k, v) in &input {
+            match sorter.push_record(k, v) {
+                Ok(()) => {}
+                Err(e) => {
+                    assert!(e.to_string().contains("injected"), "unexpected: {e}");
+                    assert!(sorter.degraded.is_some(), "probation engaged");
+                    saw_error = true;
+                    // Heal the disk: the fault was transient after all.
+                    io.clear_write_failures();
+                }
+            }
+        }
+        assert!(saw_error, "the fused write must surface on a push");
+        let probation = sorter.cfg.spill_retry.probation_spills as u64;
+        assert_eq!(
+            sorter.stats().degraded_syncs,
+            probation,
+            "probation served exactly once, then degraded counting stopped"
+        );
+        assert!(sorter.degraded.is_none(), "probation lifted");
+        assert!(
+            sorter.pipeline.is_some(),
+            "pipelining resumed after probation"
+        );
+        let got = sorter.finish_vec().unwrap();
+        let mut want = input;
+        want.sort_by_key(|r| r.0);
+        assert_eq!(got, want, "lossless through failure, probation, resume");
+    }
+
+    #[test]
     fn batched_writer_panic_surfaces_as_error_and_loses_no_records() {
         // The Grenade detonates inside the spill-writer thread while it is
         // streaming into the batched backend: same error contract as the
@@ -1658,7 +1789,7 @@ mod tests {
                 Err(e) => {
                     assert!(e.to_string().contains("panicked"), "unexpected error: {e}");
                     assert_eq!(sorter.in_flight_records, 0);
-                    assert!(sorter.pipeline_broken);
+                    assert!(sorter.degraded.is_some(), "probation engaged");
                     saw_error = true;
                 }
             }

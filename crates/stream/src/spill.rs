@@ -69,12 +69,125 @@
 
 use crate::codec;
 use crate::spillio::{SpillIoHandle, SpillRead, SpillWrite};
-use dtsort::{IntegerKey, RunReport, SortConfig, SpillCompression};
+use dtsort::{IntegerKey, RunReport, SortConfig, SpillCompression, SpillRetryPolicy};
 use std::io::{self, Read, Write};
 use std::marker::PhantomData;
 use std::mem::size_of;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Typed payload of a spill-stack failure, carried *inside* an
+/// [`io::Error`] (via [`io::Error::new`]'s boxed-error slot) so every
+/// existing `io::Result` signature keeps working while callers that care
+/// can recover the context with [`SpillError::from_io`].
+///
+/// The wrapping preserves the source's [`io::ErrorKind`], so
+/// `e.kind() == ErrorKind::StorageFull` still distinguishes ENOSPC from
+/// corruption (`InvalidData`) or a quota rejection (`QuotaExceeded`)
+/// without any downcast.
+#[derive(Debug)]
+pub struct SpillError {
+    /// The spill file (or directory, for quota failures) involved.
+    pub path: PathBuf,
+    /// Engine-assigned index of the run being written or read when the
+    /// operation failed.
+    pub run_index: usize,
+    /// Bytes the failed operation attempted to move.
+    pub bytes_attempted: u64,
+    source: io::Error,
+}
+
+impl std::fmt::Display for SpillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "spill run {} ({}, {} bytes attempted): {}",
+            self.run_index,
+            self.path.display(),
+            self.bytes_attempted,
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for SpillError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+impl SpillError {
+    /// Builds the typed payload; pair with [`SpillError::into_io`].
+    pub fn new(path: PathBuf, run_index: usize, bytes_attempted: u64, source: io::Error) -> Self {
+        Self {
+            path,
+            run_index,
+            bytes_attempted,
+            source,
+        }
+    }
+
+    /// Wraps this payload back into an [`io::Error`] of the *source's*
+    /// kind, so kind-based classification (transient vs permanent,
+    /// ENOSPC vs corruption) is unaffected by the added context.
+    pub fn into_io(self) -> io::Error {
+        let kind = self.source.kind();
+        io::Error::new(kind, self)
+    }
+
+    /// The underlying I/O error.
+    pub fn source_io(&self) -> &io::Error {
+        &self.source
+    }
+
+    /// Recovers the typed payload from an [`io::Error`] produced by
+    /// [`SpillError::into_io`], if that is what `e` carries.
+    pub fn from_io(e: &io::Error) -> Option<&SpillError> {
+        e.get_ref()?.downcast_ref()
+    }
+}
+
+/// Wraps `source` with spill context unless it already carries a
+/// [`SpillError`] (an error can cross several layers that each know the
+/// path; the innermost wrap wins — it has the most precise context).
+pub(crate) fn wrap_spill_err(
+    path: &Path,
+    run_index: usize,
+    bytes_attempted: u64,
+    source: io::Error,
+) -> io::Error {
+    if SpillError::from_io(&source).is_some() {
+        return source;
+    }
+    SpillError::new(path.to_path_buf(), run_index, bytes_attempted, source).into_io()
+}
+
+/// Runs `op`, retrying transient failures ([`SpillRetryPolicy::is_transient`])
+/// up to `policy.max_retries` times with the policy's deterministic
+/// backoff.  Returns the value plus the number of retries spent; the
+/// first permanent error (or transient-retry exhaustion) surfaces as-is.
+pub(crate) fn with_transient_retry<T>(
+    policy: &SpillRetryPolicy,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> io::Result<(T, u32)> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok((v, attempt)),
+            Err(e) if attempt < policy.max_retries && SpillRetryPolicy::is_transient(e.kind()) => {
+                if obs::enabled() {
+                    crate::metrics::m().spill_retries.incr();
+                }
+                let backoff = policy.backoff(attempt);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
 
 /// A unique, self-deleting directory holding one consumer's spill files
 /// (used by both the streaming sorter and the streaming group-by).
@@ -591,7 +704,31 @@ pub(crate) fn write_run<K: IntegerKey, V: SpillValue>(
         bytes,
         raw_bytes,
         compression,
+        retries: 0,
     })
+}
+
+/// [`write_run`] with transient-failure retry per `policy`.
+///
+/// Each attempt recreates the file from scratch (`create` truncates), and
+/// a failed attempt's partial file is removed before backing off, so a
+/// torn or unsynced earlier attempt can never leak bytes into the run
+/// that finally succeeds.  The returned run's `retries` records the
+/// attempts spent, so callers can fold it into engine stats.
+pub(crate) fn write_run_with_retry<K: IntegerKey, V: SpillValue>(
+    io: &SpillIoHandle,
+    path: &Path,
+    records: &[(K, V)],
+    compression: SpillCompression,
+    policy: &SpillRetryPolicy,
+) -> io::Result<SpilledRun> {
+    let (mut run, retries) = with_transient_retry(policy, || {
+        write_run(io, path, records, compression).inspect_err(|_| {
+            std::fs::remove_file(path).ok();
+        })
+    })?;
+    run.retries = retries;
+    Ok(run)
 }
 
 /// Metadata of one spilled run: record count, exact on-disk byte size,
@@ -607,6 +744,10 @@ pub(crate) struct SpilledRun {
     /// `compression` is `Off`.
     pub raw_bytes: u64,
     pub compression: SpillCompression,
+    /// Transient-failure retries spent writing this run
+    /// ([`write_run_with_retry`]); folded into engine stats by the
+    /// sorter/group-by accounting.
+    pub retries: u32,
 }
 
 /// Read-buffer bytes granted to each of `runs` spilled runs during a
@@ -1061,6 +1202,7 @@ mod tests {
             bytes: good.bytes + fixed_record_size::<()>(),
             raw_bytes: good.raw_bytes + fixed_record_size::<()>(),
             compression: SpillCompression::Off,
+            retries: 0,
         };
         let err = match RunReader::<()>::open(&bio(), &run, 4096) {
             Err(e) => e,
@@ -1091,6 +1233,7 @@ mod tests {
             bytes: good.bytes,
             raw_bytes: good.raw_bytes,
             compression: SpillCompression::Off,
+            retries: 0,
         };
         let mut reader = RunReader::<Vec<u8>>::open(&bio(), &run, 4096).unwrap();
         let err = reader

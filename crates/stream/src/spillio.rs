@@ -65,7 +65,7 @@ use std::time::Instant;
 /// job to the workers.
 const WRITE_CHUNK_BYTES: usize = 256 << 10;
 
-mod sealed_io {
+pub(crate) mod sealed_io {
     pub trait Sealed {}
 }
 
@@ -103,6 +103,10 @@ pub(crate) trait SpillIo: Send + Sync + sealed_io::Sealed {
     /// (no-op on `Blocking`).  Only reachable from `#[cfg(test)]` code.
     #[cfg_attr(not(test), allow(dead_code))]
     fn set_write_fuse(&self, _bytes: u64) {}
+    /// Failure injection: make a tripped write fuse *panic* on the worker
+    /// instead of erroring (exercises the pool's worker-panic hardening).
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn set_write_fuse_panics(&self, _on: bool) {}
 }
 
 /// A cloneable, shareable handle to one spill I/O backend.  Engines
@@ -149,6 +153,20 @@ impl SpillIoHandle {
         self.inner.mode()
     }
 
+    /// Wraps this handle in a deterministic fault-injection layer (the
+    /// crate-private `FaultIo`): the returned handle shares the same
+    /// backend underneath — pool, recycled buffers, queue depth — but
+    /// filters every create/open/write/read through `plan`.  Fault scope
+    /// is therefore per *handle*: a server can hand one session a faulted
+    /// view of the shared pool while every other session keeps the clean
+    /// view, which is exactly how the chaos tests prove cross-session
+    /// isolation.
+    pub fn with_faults(&self, plan: crate::fault::FaultPlan) -> Self {
+        Self {
+            inner: Arc::new(crate::fault::FaultIo::new(Arc::clone(&self.inner), plan)),
+        }
+    }
+
     /// Re-splits the backend's in-flight read budget across `sessions`
     /// concurrent sessions (the cross-session spill-bandwidth hook: each
     /// live session's merges get an equal share of the queue depth, never
@@ -187,6 +205,22 @@ impl SpillIoHandle {
     #[cfg(test)]
     pub(crate) fn inject_write_failure_after(&self, bytes: u64) {
         self.inner.set_write_fuse(bytes);
+    }
+
+    /// Failure injection for tests: the first batched write past `bytes`
+    /// more bytes *panics on the pool worker* — the worker-crash chaos
+    /// scenario, as opposed to the clean short write above.
+    #[cfg(test)]
+    pub(crate) fn inject_write_panic_after(&self, bytes: u64) {
+        self.inner.set_write_fuse_panics(true);
+        self.inner.set_write_fuse(bytes);
+    }
+
+    /// Disarms both injected-failure fuses ("the disk healed").
+    #[cfg(test)]
+    pub(crate) fn clear_write_failures(&self) {
+        self.inner.set_write_fuse_panics(false);
+        self.inner.set_write_fuse(u64::MAX);
     }
 }
 
@@ -358,6 +392,9 @@ struct BatchedCore {
     /// Failure injection: remaining bytes before writes start failing
     /// (`i64::MAX` = disabled).
     write_fuse: AtomicI64,
+    /// Failure injection: when set, a tripped fuse panics on the worker
+    /// instead of returning the short-write error.
+    write_fuse_panics: std::sync::atomic::AtomicBool,
 }
 
 impl BatchedCore {
@@ -384,6 +421,9 @@ impl BatchedCore {
         let len = data.len() as i64;
         let allowed = self.write_fuse.fetch_sub(len, Ordering::Relaxed);
         if allowed < len {
+            if self.write_fuse_panics.load(Ordering::Relaxed) {
+                panic!("injected spill-write worker panic");
+            }
             let keep = allowed.max(0) as usize;
             file.write_all_at(&data[..keep], off)?;
             return Err(io::Error::new(
@@ -409,6 +449,7 @@ impl BatchedIo {
                 max_inflight: AtomicUsize::new(queue_depth),
                 buffers: Mutex::new(Vec::new()),
                 write_fuse: AtomicI64::new(i64::MAX),
+                write_fuse_panics: std::sync::atomic::AtomicBool::new(false),
             }),
         }
     }
@@ -481,6 +522,10 @@ impl SpillIo for BatchedIo {
             .write_fuse
             .store(bytes.min(i64::MAX as u64) as i64, Ordering::Relaxed);
     }
+
+    fn set_write_fuse_panics(&self, on: bool) {
+        self.core.write_fuse_panics.store(on, Ordering::Relaxed);
+    }
 }
 
 struct WriteShared {
@@ -535,7 +580,13 @@ impl BatchedWriter {
         let core = Arc::clone(&self.core);
         let shared = Arc::clone(&self.shared);
         self.core.pool.submit(Box::new(move || {
-            let result = core.checked_write(&file, &data, off);
+            // The pool's worker catches panics, but a panic escaping this
+            // job before `pending` is decremented would strand `finish` on
+            // a count that never drains.  Catch it here and convert it to
+            // an error so a crashing write fails *this file* (and only
+            // this file) instead of hanging its session.
+            let result = catch_unwind(AssertUnwindSafe(|| core.checked_write(&file, &data, off)))
+                .unwrap_or_else(|_| Err(io::Error::other("spill write job panicked")));
             core.recycle_buffer(data);
             let mut st = shared.state.lock().expect("spill write state");
             st.pending -= 1;
@@ -793,6 +844,30 @@ mod tests {
         write_all_then_finish(&io2, &path, &data).unwrap();
         assert_eq!(read_back(&io2, &path, 4096).unwrap(), data);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batched_write_worker_panic_errors_instead_of_hanging() {
+        // A panic on the pool worker mid-`pwrite` must surface as an
+        // error on this file's writer — never strand `finish` on a
+        // `pending` count that cannot drain, and never take down the pool
+        // for other files.
+        let io = SpillIoHandle::batched(2, 4);
+        io.inject_write_panic_after(WRITE_CHUNK_BYTES as u64);
+        let path = tmp_path("panic-fuse.bin");
+        let data = payload(4 * WRITE_CHUNK_BYTES);
+        let err = write_all_then_finish(&io, &path, &data)
+            .expect_err("worker panic must surface as an error");
+        assert!(err.to_string().contains("panicked"), "got: {err}");
+        // The pool survives: disarm the fuse and the same handle writes a
+        // fresh file end to end.
+        io.inner.set_write_fuse_panics(false);
+        io.inner.set_write_fuse(u64::MAX);
+        let path2 = tmp_path("panic-fuse-after.bin");
+        write_all_then_finish(&io, &path2, &data).unwrap();
+        assert_eq!(read_back(&io, &path2, 4096).unwrap(), data);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path2).ok();
     }
 
     #[test]

@@ -297,11 +297,22 @@ impl<K: StringKey, V: SpillValue> StringStreamSorter<K, V> {
 
     /// Appends a batch of records (cloning each; use
     /// [`StringStreamSorter::push_record`] to move values in).
+    ///
+    /// Like [`crate::StreamSorter::push`], a spill error does not drop
+    /// the rest of the slice: every record is buffered before its spill
+    /// attempt, and the first error is reported once the whole slice is
+    /// owned by the sorter.
     pub fn push(&mut self, records: &[(K, V)]) -> io::Result<()> {
+        let mut first_err = None;
         for (k, v) in records {
-            self.push_record(k.clone(), v.clone())?;
+            if let Err(e) = self.push_record(k.clone(), v.clone()) {
+                first_err.get_or_insert(e);
+            }
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Total records accepted so far.

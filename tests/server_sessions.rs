@@ -17,8 +17,10 @@
 //! pool at both concurrency levels.
 
 use dtsort::{SortConfig, StreamConfig};
-use server::{AdmissionPolicy, GovernorConfig, ServerConfig, SortServer, SpillManagerConfig};
-use stream::{SpillCompression, StreamSorter, SumAgg};
+use server::{
+    AdmissionPolicy, GovernorConfig, ServerConfig, SessionError, SortServer, SpillManagerConfig,
+};
+use stream::{FaultKind, FaultPlan, SpillCompression, SpillIoMode, StreamSorter, SumAgg};
 use workloads::dist::{generate_pairs_u32, paper_instances};
 
 /// Sessions per scenario — enough that admissions force several reclaims.
@@ -206,4 +208,117 @@ fn interleaved_group_sessions_match_solo_runs() {
         let want: Vec<(u32, u64)> = want.into_iter().collect();
         assert_eq!(got, want, "group session {s} differs from solo aggregation");
     }
+}
+
+/// Cross-session fault isolation over the shared **batched** backend:
+///
+/// * session A gets a one-shot injected spill-write panic — the writer
+///   thread catches it, the run is reclaimed and rewritten, and A's
+///   output is byte-identical (a worker panic in one session must not
+///   poison the shared [`stream::SpillIoHandle`] pool);
+/// * session C gets a dense permanent ENOSPC plan — it fails loudly with
+///   a typed [`SessionError`] naming its own tenant, kind preserved;
+/// * clean session B, interleaved with both, stays byte-identical to a
+///   solo run, and every lease/grant is reclaimed after the drops.
+#[test]
+fn faulted_sessions_stay_isolated_from_clean_peers() {
+    let inputs = session_inputs();
+    let (input_a, input_b, input_c) = (&inputs[0], &inputs[1], &inputs[2]);
+    let sorted = |input: &[(u32, u32)]| {
+        let mut want = input.to_vec();
+        want.sort_by_key(|r| r.0);
+        want
+    };
+
+    let server = SortServer::new(ServerConfig {
+        governor: GovernorConfig {
+            global_budget_bytes: 3 * (24 << 10),
+            session_floor_bytes: 8 << 10,
+            admission: AdmissionPolicy::Reject,
+        },
+        spill: SpillManagerConfig::default(),
+        base: StreamConfig {
+            spill_io: SpillIoMode::Batched,
+            spill_io_workers: 2,
+            spill_io_queue_depth: 8,
+            ..base_config(false, SpillCompression::Off)
+        },
+    })
+    .unwrap();
+
+    let panic_plan = FaultPlan::nth(FaultKind::WritePanic, 1);
+    let mut a = server
+        .open_sort_with_faults::<u32, u32>("tenant-a", 64 << 10, panic_plan.clone())
+        .unwrap();
+    let mut b = server.open_sort::<u32, u32>("tenant-b", 64 << 10).unwrap();
+    let enospc_plan = FaultPlan::seeded_kinds(0xBAD_5EED, 2, &[FaultKind::WriteEnospc]);
+    let mut c = server
+        .open_sort_with_faults::<u32, u32>("tenant-c", 64 << 10, enospc_plan)
+        .unwrap();
+
+    // Round-robin interleave.  A's single loud error (the caught writer
+    // panic) is tolerated and pushing continues; C stops at its first
+    // (permanent) error; B must never error.
+    let mut a_errors = 0usize;
+    let mut c_error: Option<std::io::Error> = None;
+    let max_chunks = inputs[..3]
+        .iter()
+        .map(|i| i.len().div_ceil(CHUNK))
+        .max()
+        .unwrap();
+    for chunk in 0..max_chunks {
+        let lo = chunk * CHUNK;
+        let hi = (lo + CHUNK).min(N);
+        if lo >= N {
+            break;
+        }
+        if let Err(e) = a.push(&input_a[lo..hi]) {
+            assert!(
+                e.to_string().contains("panicked"),
+                "A's only error must be the converted writer panic: {e}"
+            );
+            a_errors += 1;
+        }
+        b.push(&input_b[lo..hi])
+            .expect("the clean session must never see a peer's fault");
+        if c_error.is_none() {
+            if let Err(e) = c.push(&input_c[lo..hi]) {
+                c_error = Some(e);
+            }
+        }
+    }
+
+    assert_eq!(panic_plan.injected(), 1, "A's panic fault must have fired");
+    assert!(a_errors <= 1, "the caught panic surfaces at most once");
+    let got_a = a.finish_vec().expect("A recovers after the caught panic");
+    assert_eq!(
+        got_a,
+        sorted(input_a),
+        "worker panic must not cost session A a record"
+    );
+
+    let err = c_error.expect("the dense ENOSPC plan must fail session C");
+    assert_eq!(
+        err.kind(),
+        std::io::ErrorKind::StorageFull,
+        "kind preserved"
+    );
+    let session_err = SessionError::from_io(&err).expect("typed SessionError");
+    assert_eq!(session_err.tenant, "tenant-c", "failure names its session");
+    drop(c);
+
+    let got_b: Vec<(u32, u32)> = b.finish().unwrap().collect();
+    assert_eq!(
+        got_b,
+        sorted(input_b),
+        "session B must be byte-identical despite faulted neighbors"
+    );
+
+    assert_eq!(server.governor().live_sessions(), 0, "grants reclaimed");
+    assert_eq!(server.spill_manager().live_leases(), 0, "leases reclaimed");
+    assert_eq!(
+        server.spill_manager().charged_bytes(),
+        0,
+        "charges released"
+    );
 }
